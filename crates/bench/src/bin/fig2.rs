@@ -1,0 +1,82 @@
+//! Regenerates **Figure 2**: timing-violation points (violating
+//! registers/endpoints) on MAERI 128PE under the three policies, and the
+//! reduction percentages vs No-MLS (paper: SOTA −68 %, GNN-MLS −80 %).
+//!
+//! ```sh
+//! cargo run --release -p gnnmls-bench --bin fig2
+//! ```
+
+use gnnmls_bench::designs::maeri128_hetero;
+use gnnmls_bench::paper::{FIG2_OURS_REDUCTION_PCT, FIG2_SOTA_REDUCTION_PCT};
+use gnnmls_bench::render::{check, summarize, write_json, Comparison};
+use gnnmls_bench::run_three;
+
+fn main() {
+    let exp = maeri128_hetero();
+    let reports = run_three(&exp);
+    let base = reports[0].violating_paths.max(1) as f64;
+    let red = |r: &gnn_mls::FlowReport| 100.0 * (1.0 - r.violating_paths as f64 / base);
+
+    let mut t = Comparison::new(
+        "Figure 2 — violation points, MAERI 128PE (hetero)",
+        &["paper red. %", "meas points", "meas red. %"],
+    );
+    t.row(
+        "No MLS",
+        &[
+            "0".into(),
+            reports[0].violating_paths.to_string(),
+            "0".into(),
+        ],
+    );
+    t.row(
+        "SOTA",
+        &[
+            Comparison::num(FIG2_SOTA_REDUCTION_PCT),
+            reports[1].violating_paths.to_string(),
+            Comparison::num(red(&reports[1])),
+        ],
+    );
+    t.row(
+        "GNN-MLS",
+        &[
+            Comparison::num(FIG2_OURS_REDUCTION_PCT),
+            reports[2].violating_paths.to_string(),
+            Comparison::num(red(&reports[2])),
+        ],
+    );
+    println!("\n{}", t.render());
+
+    let checks = vec![
+        check(
+            "both MLS policies reduce violation points",
+            red(&reports[1]) > 0.0 && red(&reports[2]) > 0.0,
+            format!(
+                "SOTA {:.0}%, GNN-MLS {:.0}%",
+                red(&reports[1]),
+                red(&reports[2])
+            ),
+        ),
+        check(
+            "GNN-MLS reduces at least as much as SOTA",
+            reports[2].violating_paths <= reports[1].violating_paths,
+            format!(
+                "{} vs {} points",
+                reports[2].violating_paths, reports[1].violating_paths
+            ),
+        ),
+    ];
+    summarize(&checks);
+    write_json(
+        "fig2",
+        &serde_json::json!({
+            "violating_points": [
+                reports[0].violating_paths,
+                reports[1].violating_paths,
+                reports[2].violating_paths
+            ],
+            "reduction_pct": [0.0, red(&reports[1]), red(&reports[2])],
+            "paper_reduction_pct": [0.0, FIG2_SOTA_REDUCTION_PCT, FIG2_OURS_REDUCTION_PCT],
+        }),
+    );
+}

@@ -1,0 +1,145 @@
+//! Regenerates **Figure 9**: (a) the heterogeneous IR-drop map, (b/c) the
+//! sharing of the memory die's top metal between PDN stripes and signal
+//! (MLS) routing.
+//!
+//! ```sh
+//! cargo run --release -p gnnmls-bench --bin fig9
+//! ```
+
+use gnn_mls::flow::prepare;
+use gnnmls_bench::designs::{a7_hetero, maeri128_hetero, Experiment};
+use gnnmls_bench::paper::{FIG9_A7_IR_PCT, FIG9_MAERI_IR_MV};
+use gnnmls_bench::render::{ascii_heatmap, check, summarize, write_json};
+use gnnmls_netlist::Tier;
+use gnnmls_pdn::ir::{currents_from_power, IrReport};
+use gnnmls_pdn::{PdnGrid, PdnSpec, PowerConfig, PowerReport};
+use gnnmls_route::{route_design, MlsPolicy};
+
+struct Fig9Result {
+    name: &'static str,
+    ir_pct: f64,
+    ir_mv: f64,
+    pdn_util: f64,
+    signal_util_top_mem: f64,
+}
+
+fn run(exp: &Experiment, spec: PdnSpec) -> Fig9Result {
+    eprintln!("running {} ...", exp.name);
+    let (netlist, placement) = prepare(&exp.design, &exp.cfg).expect("prepare succeeds");
+    let (db, grid) = route_design(
+        &netlist,
+        &placement,
+        &exp.design.tech,
+        MlsPolicy::sota(),
+        exp.cfg.route.clone(),
+    )
+    .expect("routing succeeds");
+    let power = PowerReport::compute(
+        &netlist,
+        &db,
+        &exp.design.tech,
+        &PowerConfig::at_freq_mhz(exp.cfg.target_freq_mhz),
+    );
+    // IR on the denser (logic) die at the paper's stripe geometry.
+    let vdd_ref = exp.design.tech.min_vdd();
+    let mut worst: Option<IrReport> = None;
+    for tier in Tier::BOTH {
+        let mesh = PdnGrid::build(placement.floorplan(), &exp.design.tech, tier, spec);
+        let vdd = exp.design.tech.node(tier).vdd;
+        let cur = currents_from_power(&mesh, &netlist, &placement, &power, vdd);
+        let rep = IrReport::solve(&mesh, &cur, vdd_ref);
+        if worst
+            .as_ref()
+            .is_none_or(|w| rep.max_drop_mv > w.max_drop_mv)
+        {
+            worst = Some(rep);
+        }
+    }
+    let worst = worst.expect("two tiers analyzed");
+    println!(
+        "\n{}",
+        ascii_heatmap(
+            &worst.drop_v,
+            worst.nx,
+            worst.ny,
+            &format!(
+                "Figure 9(a) — IR-drop map, {} ({:?} die)",
+                exp.name, worst.tier
+            ),
+        )
+    );
+
+    // Figure 9(b/c): memory-die top metal shared between PDN and signal.
+    let top_mem_z = grid.logic_layers; // bond-adjacent memory top metal
+    let signal_util = db.summary.layer_utilization[top_mem_z];
+    // Layout artifacts: routing-usage heat maps per die + IR map.
+    let dir = std::path::PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let tag = exp.name.replace([' ', '(', ')'], "_");
+        for tier in Tier::BOTH {
+            let svg = gnnmls_route::congestion_svg(&db, &grid, tier);
+            let _ = std::fs::write(dir.join(format!("fig9_{tag}_{tier}_usage.svg")), svg);
+        }
+        let _ = std::fs::write(dir.join(format!("fig9_{tag}_ir.svg")), worst.to_svg());
+        println!("layout SVGs written under target/experiments/ (fig9_{tag}_*.svg)");
+    }
+    println!(
+        "memory-die top metal: PDN utilization {:.0}%, signal utilization {:.0}% (MLS nets: {})",
+        spec.utilization() * 100.0,
+        signal_util * 100.0,
+        db.summary.mls_net_count
+    );
+    Fig9Result {
+        name: exp.name,
+        ir_pct: worst.pct_of_vdd,
+        ir_mv: worst.max_drop_mv,
+        pdn_util: spec.utilization(),
+        signal_util_top_mem: signal_util,
+    }
+}
+
+fn main() {
+    let maeri = run(&maeri128_hetero(), PdnSpec::maeri_hetero());
+    let a7 = run(&a7_hetero(), PdnSpec::a7_hetero());
+
+    println!(
+        "\npaper: MAERI IR 92 mV (~10% of 0.9 V); A7 IR ~{FIG9_A7_IR_PCT}%  (ref {FIG9_MAERI_IR_MV} mV)"
+    );
+    println!(
+        "ours:  MAERI IR {:.1} mV ({:.2}%); A7 IR {:.1} mV ({:.2}%)",
+        maeri.ir_mv, maeri.ir_pct, a7.ir_mv, a7.ir_pct
+    );
+
+    let checks = vec![
+        check(
+            "MAERI droops more than the A7 (higher power density)",
+            maeri.ir_pct > a7.ir_pct,
+            format!("{:.2}% vs {:.2}%", maeri.ir_pct, a7.ir_pct),
+        ),
+        check(
+            "both meet the 10% budget at the paper's PDN geometry",
+            maeri.ir_pct <= 10.0 && a7.ir_pct <= 10.0,
+            format!("{:.2}% / {:.2}%", maeri.ir_pct, a7.ir_pct),
+        ),
+        check(
+            "PDN and signal share the memory top metal without overflow",
+            maeri.pdn_util + maeri.signal_util_top_mem < 1.2,
+            format!(
+                "PDN {:.0}% + signal {:.0}%",
+                maeri.pdn_util * 100.0,
+                maeri.signal_util_top_mem * 100.0
+            ),
+        ),
+    ];
+    summarize(&checks);
+    write_json(
+        "fig9",
+        &serde_json::json!({
+            "maeri": {"ir_mv": maeri.ir_mv, "ir_pct": maeri.ir_pct,
+                       "pdn_util": maeri.pdn_util, "signal_util": maeri.signal_util_top_mem},
+            "a7": {"ir_mv": a7.ir_mv, "ir_pct": a7.ir_pct,
+                    "pdn_util": a7.pdn_util, "signal_util": a7.signal_util_top_mem},
+            "names": [maeri.name, a7.name],
+        }),
+    );
+}

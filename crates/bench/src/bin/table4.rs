@@ -1,0 +1,38 @@
+//! Regenerates **Table IV** (and the left half of Figure 8): PPA metrics
+//! for No-MLS / SOTA / GNN-MLS on the heterogeneous benchmarks.
+//!
+//! ```sh
+//! cargo run --release -p gnnmls-bench --bin table4
+//! ```
+
+use gnnmls_bench::designs::{a7_hetero, maeri128_hetero};
+use gnnmls_bench::paper::{TABLE4_A7, TABLE4_MAERI128};
+use gnnmls_bench::render::{summarize, write_json};
+use gnnmls_bench::{policy_comparison, run_three, shape_checks};
+
+fn main() {
+    let mut all = Vec::new();
+    for (exp, paper) in [
+        (maeri128_hetero(), TABLE4_MAERI128),
+        (a7_hetero(), TABLE4_A7),
+    ] {
+        let reports = run_three(&exp);
+        let table = policy_comparison(
+            &format!("Table IV — {} (16nm logic + 28nm memory)", exp.name),
+            paper,
+            &reports,
+        );
+        println!("\n{}", table.render());
+        if let Some(rt) = reports[2].runtime_s {
+            println!("GNN-MLS model runtime: {rt:.1} s (paper: minutes at full scale)");
+        }
+        let checks = shape_checks(paper, &reports);
+        summarize(&checks);
+        all.push((exp.name, reports));
+    }
+    let json: Vec<_> = all
+        .iter()
+        .map(|(name, r)| serde_json::json!({ "design": name, "reports": r }))
+        .collect();
+    write_json("table4", &json);
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Table V** (and the right half of Figure 8): PPA metrics
+//! for the homogeneous (28 nm + 28 nm) benchmarks.
+//!
+//! ```sh
+//! cargo run --release -p gnnmls-bench --bin table5
+//! ```
+
+use gnnmls_bench::designs::{a7_homo, maeri256_homo};
+use gnnmls_bench::paper::{TABLE5_A7, TABLE5_MAERI256};
+use gnnmls_bench::render::{summarize, write_json};
+use gnnmls_bench::{policy_comparison, run_three, shape_checks};
+
+fn main() {
+    let mut all = Vec::new();
+    for (exp, paper) in [(maeri256_homo(), TABLE5_MAERI256), (a7_homo(), TABLE5_A7)] {
+        let reports = run_three(&exp);
+        let table = policy_comparison(
+            &format!("Table V — {} (28nm logic + 28nm memory)", exp.name),
+            paper,
+            &reports,
+        );
+        println!("\n{}", table.render());
+        let checks = shape_checks(paper, &reports);
+        summarize(&checks);
+        all.push((exp.name, reports));
+    }
+    let json: Vec<_> = all
+        .iter()
+        .map(|(name, r)| serde_json::json!({ "design": name, "reports": r }))
+        .collect();
+    write_json("table5", &json);
+}

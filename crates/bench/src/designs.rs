@@ -1,0 +1,114 @@
+//! Canonical experiment setups.
+//!
+//! The generators reproduce each benchmark's *structure* at a scale that
+//! keeps the whole experiment suite in minutes (the paper's RTL is tens
+//! of times larger); EXPERIMENTS.md records the scale alongside the
+//! results. Targets follow the paper: 2,500 MHz for MAERI, 2,000 MHz for
+//! the A7.
+
+use gnn_mls::flow::FlowConfig;
+use gnnmls_netlist::generators::{
+    generate_a7, generate_maeri, A7Config, GeneratedDesign, MaeriConfig,
+};
+use gnnmls_netlist::tech::TechConfig;
+
+/// One named experiment: a generated design plus its flow configuration.
+pub struct Experiment {
+    /// Display name (matches the paper's benchmark naming).
+    pub name: &'static str,
+    /// The generated design (netlist + technology).
+    pub design: GeneratedDesign,
+    /// Flow configuration (target frequency, training budget, …).
+    pub cfg: FlowConfig,
+}
+
+impl Experiment {
+    fn new(name: &'static str, design: GeneratedDesign, mhz: f64) -> Self {
+        Self {
+            name,
+            design,
+            cfg: FlowConfig::new(mhz),
+        }
+    }
+}
+
+/// Table IV / Fig. 2 / Fig. 8-left: MAERI 128PE 32BW, 16 nm logic +
+/// 28 nm memory, BEOL 6+6, 2.5 GHz.
+pub fn maeri128_hetero() -> Experiment {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    Experiment::new(
+        "MAERI 128PE (hetero)",
+        generate_maeri(&MaeriConfig::pe128_bw32(), &tech).expect("generator is infallible"),
+        2500.0,
+    )
+}
+
+/// Table IV / Fig. 8: A7 dual-core, heterogeneous, BEOL 8+8, 2.0 GHz.
+pub fn a7_hetero() -> Experiment {
+    let tech = TechConfig::heterogeneous_16_28(8, 8);
+    Experiment::new(
+        "A7 Dual-Core (hetero)",
+        generate_a7(&A7Config::dual_core(), &tech).expect("generator is infallible"),
+        2000.0,
+    )
+}
+
+/// Table V: MAERI 256PE 64BW, homogeneous 28 + 28 nm, 2.5 GHz.
+pub fn maeri256_homo() -> Experiment {
+    let tech = TechConfig::homogeneous_28_28(6, 6);
+    Experiment::new(
+        "MAERI 256PE (homo)",
+        generate_maeri(&MaeriConfig::pe256_bw64(), &tech).expect("generator is infallible"),
+        2500.0,
+    )
+}
+
+/// Table V: A7 dual-core, homogeneous 28 + 28 nm, 2.0 GHz.
+pub fn a7_homo() -> Experiment {
+    let tech = TechConfig::homogeneous_28_28(8, 8);
+    Experiment::new(
+        "A7 Dual-Core (homo)",
+        generate_a7(&A7Config::dual_core(), &tech).expect("generator is infallible"),
+        2000.0,
+    )
+}
+
+/// Table III: MAERI 16PE 4BW (the DFT study design), heterogeneous.
+pub fn maeri16_hetero() -> Experiment {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    Experiment::new(
+        "MAERI 16PE 4BW (hetero)",
+        generate_maeri(&MaeriConfig::pe16_bw4(), &tech).expect("generator is infallible"),
+        2500.0,
+    )
+}
+
+/// A down-scaled experiment for Criterion benches (seconds, not minutes).
+pub fn bench_scale() -> Experiment {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let mut e = Experiment::new(
+        "MAERI 16PE (bench scale)",
+        generate_maeri(&MaeriConfig::pe16_bw4(), &tech).expect("generator is infallible"),
+        2500.0,
+    );
+    e.cfg = FlowConfig::fast_test(2500.0);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_build_and_follow_paper_targets() {
+        let t3 = maeri16_hetero();
+        assert_eq!(t3.cfg.target_freq_mhz, 2500.0);
+        assert!(t3.design.netlist.cell_count() > 500);
+        let a7 = a7_homo();
+        assert_eq!(a7.cfg.target_freq_mhz, 2000.0);
+        assert!(!a7.design.tech.is_heterogeneous());
+        let m = maeri128_hetero();
+        assert!(m.design.tech.is_heterogeneous());
+        assert!(m.design.netlist.cell_count() > t3.design.netlist.cell_count());
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness for the GNN-MLS reproduction.
+//!
+//! Each table and figure of the paper has a regenerator binary
+//! (`cargo run --release -p gnnmls-bench --bin table4`, …) that runs the
+//! corresponding flow configurations, prints measured rows next to the
+//! paper's published rows, evaluates *shape checks* (who wins, direction
+//! of regressions — absolute numbers cannot match a TSMC testbed), and
+//! dumps machine-readable JSON under `target/experiments/`.
+//!
+//! - [`designs`] — the canonical experiment setups (design generator +
+//!   flow configuration per benchmark).
+//! - [`paper`] — the paper's published values (Tables I, III–VI, Fig. 2).
+//! - [`render`] — table rendering, shape checks, and JSON output.
+
+pub mod designs;
+pub mod paper;
+pub mod render;
+pub mod runner;
+
+pub use designs::Experiment;
+pub use render::{check, write_json, Comparison, ShapeCheck};
+pub use runner::{metric_of, policy_comparison, run_three, shape_checks};

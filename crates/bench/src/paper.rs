@@ -1,0 +1,395 @@
+//! The paper's published numbers, used as the reference column in every
+//! regenerated table.
+
+/// One three-policy metric row as published.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyRow {
+    /// Metric label, e.g. `"WNS (ps)"`.
+    pub metric: &'static str,
+    /// Sequential-2D (No MLS) value.
+    pub no_mls: f64,
+    /// SOTA (region sharing, ref. \[9\]) value.
+    pub sota: f64,
+    /// GNN-MLS value.
+    pub ours: f64,
+}
+
+/// Table IV, MAERI 128PE heterogeneous (16 nm logic + 28 nm memory).
+pub const TABLE4_MAERI128: &[PolicyRow] = &[
+    PolicyRow {
+        metric: "WL (m)",
+        no_mls: 5.23,
+        sota: 5.18,
+        ours: 5.16,
+    },
+    PolicyRow {
+        metric: "WNS (ps)",
+        no_mls: -85.0,
+        sota: -29.0,
+        ours: -23.0,
+    },
+    PolicyRow {
+        metric: "TNS (ns)",
+        no_mls: -327.0,
+        sota: -32.0,
+        ours: -11.0,
+    },
+    PolicyRow {
+        metric: "#Vio. Paths",
+        no_mls: 14_000.0,
+        sota: 4_600.0,
+        ours: 2_800.0,
+    },
+    PolicyRow {
+        metric: "#MLS Nets",
+        no_mls: 0.0,
+        sota: 9_500.0,
+        ours: 2_370.0,
+    },
+    PolicyRow {
+        metric: "Pwr (mW)",
+        no_mls: 1_472.0,
+        sota: 1_404.0,
+        ours: 1_389.0,
+    },
+    PolicyRow {
+        metric: "IR-drop (%)",
+        no_mls: 10.0,
+        sota: 9.5,
+        ours: 9.4,
+    },
+    PolicyRow {
+        metric: "L.S Pwr (mW)",
+        no_mls: 40.0,
+        sota: 45.0,
+        ours: 46.0,
+    },
+    PolicyRow {
+        metric: "Eff. Freq (MHz)",
+        no_mls: 2_061.0,
+        sota: 2_330.0,
+        ours: 2_363.0,
+    },
+];
+
+/// Table IV, A7 dual-core heterogeneous.
+pub const TABLE4_A7: &[PolicyRow] = &[
+    PolicyRow {
+        metric: "WL (m)",
+        no_mls: 7.60,
+        sota: 8.30,
+        ours: 8.10,
+    },
+    PolicyRow {
+        metric: "WNS (ps)",
+        no_mls: -140.0,
+        sota: -118.0,
+        ours: -106.0,
+    },
+    PolicyRow {
+        metric: "TNS (ns)",
+        no_mls: -84.0,
+        sota: -94.0,
+        ours: -75.0,
+    },
+    PolicyRow {
+        metric: "#Vio. Paths",
+        no_mls: 4_500.0,
+        sota: 4_400.0,
+        ours: 4_200.0,
+    },
+    PolicyRow {
+        metric: "#MLS Nets",
+        no_mls: 0.0,
+        sota: 3_542.0,
+        ours: 2_621.0,
+    },
+    PolicyRow {
+        metric: "Pwr (mW)",
+        no_mls: 1_008.0,
+        sota: 1_061.0,
+        ours: 1_052.0,
+    },
+    PolicyRow {
+        metric: "IR-drop (%)",
+        no_mls: 1.9,
+        sota: 2.0,
+        ours: 1.98,
+    },
+    PolicyRow {
+        metric: "L.S Pwr (mW)",
+        no_mls: 31.0,
+        sota: 32.0,
+        ours: 33.0,
+    },
+    PolicyRow {
+        metric: "Eff. Freq (MHz)",
+        no_mls: 1_562.0,
+        sota: 1_618.0,
+        ours: 1_650.0,
+    },
+];
+
+/// Table V, MAERI 256PE homogeneous (28 + 28 nm).
+pub const TABLE5_MAERI256: &[PolicyRow] = &[
+    PolicyRow {
+        metric: "WL (m)",
+        no_mls: 14.5,
+        sota: 14.6,
+        ours: 15.5,
+    },
+    PolicyRow {
+        metric: "WNS (ps)",
+        no_mls: -83.0,
+        sota: -85.0,
+        ours: -77.0,
+    },
+    PolicyRow {
+        metric: "TNS (ns)",
+        no_mls: -513.0,
+        sota: -715.0,
+        ours: -240.0,
+    },
+    PolicyRow {
+        metric: "#Vio. Paths",
+        no_mls: 16_037.0,
+        sota: 24_195.0,
+        ours: 9_173.0,
+    },
+    PolicyRow {
+        metric: "#MLS Nets",
+        no_mls: 0.0,
+        sota: 870.0,
+        ours: 1_600.0,
+    },
+    PolicyRow {
+        metric: "Pwr (mW)",
+        no_mls: 4_680.0,
+        sota: 4_747.0,
+        ours: 4_804.0,
+    },
+    PolicyRow {
+        metric: "Eff. Freq (MHz)",
+        no_mls: 2_070.0,
+        sota: 2_061.0,
+        ours: 2_096.0,
+    },
+];
+
+/// Table V, A7 dual-core homogeneous.
+pub const TABLE5_A7: &[PolicyRow] = &[
+    PolicyRow {
+        metric: "WL (m)",
+        no_mls: 14.5,
+        sota: 12.1,
+        ours: 11.2,
+    },
+    PolicyRow {
+        metric: "WNS (ps)",
+        no_mls: -114.0,
+        sota: -258.0,
+        ours: -48.0,
+    },
+    PolicyRow {
+        metric: "TNS (ns)",
+        no_mls: -89.0,
+        sota: -242.0,
+        ours: -48.0,
+    },
+    PolicyRow {
+        metric: "#Vio. Paths",
+        no_mls: 11_391.0,
+        sota: 16_770.0,
+        ours: 3_569.0,
+    },
+    PolicyRow {
+        metric: "#MLS Nets",
+        no_mls: 0.0,
+        sota: 8_400.0,
+        ours: 73_000.0,
+    },
+    PolicyRow {
+        metric: "Pwr (mW)",
+        no_mls: 1_425.0,
+        sota: 1_412.0,
+        ours: 1_442.0,
+    },
+    PolicyRow {
+        metric: "Eff. Freq (MHz)",
+        no_mls: 1_628.0,
+        sota: 1_319.0,
+        ours: 1_824.0,
+    },
+];
+
+/// One No-MLS vs GNN-MLS row of Table VI (testable designs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DftRow {
+    /// Metric label.
+    pub metric: &'static str,
+    /// No-MLS design with DFT.
+    pub no_mls: f64,
+    /// GNN-MLS design with DFT.
+    pub gnn_mls: f64,
+}
+
+/// Table VI, MAERI 128PE with scan + MLS DFT.
+pub const TABLE6_MAERI128: &[DftRow] = &[
+    DftRow {
+        metric: "WL (m)",
+        no_mls: 5.95,
+        gnn_mls: 5.93,
+    },
+    DftRow {
+        metric: "Test Cover (%)",
+        no_mls: 98.25,
+        gnn_mls: 98.38,
+    },
+    DftRow {
+        metric: "WNS (ps)",
+        no_mls: -86.0,
+        gnn_mls: -21.0,
+    },
+    DftRow {
+        metric: "TNS (ns)",
+        no_mls: -358.0,
+        gnn_mls: -20.0,
+    },
+    DftRow {
+        metric: "#Vio. Paths",
+        no_mls: 15_321.0,
+        gnn_mls: 3_766.0,
+    },
+    DftRow {
+        metric: "#MLS Nets",
+        no_mls: 0.0,
+        gnn_mls: 2_425.0,
+    },
+    DftRow {
+        metric: "Pwr (mW)",
+        no_mls: 1_539.0,
+        gnn_mls: 1_523.0,
+    },
+    DftRow {
+        metric: "Eff. Freq (MHz)",
+        no_mls: 2_062.0,
+        gnn_mls: 2_375.0,
+    },
+];
+
+/// Table VI, A7 dual-core with scan + MLS DFT.
+pub const TABLE6_A7: &[DftRow] = &[
+    DftRow {
+        metric: "WL (m)",
+        no_mls: 9.40,
+        gnn_mls: 9.30,
+    },
+    DftRow {
+        metric: "Test Cover (%)",
+        no_mls: 97.32,
+        gnn_mls: 97.49,
+    },
+    DftRow {
+        metric: "WNS (ps)",
+        no_mls: -159.0,
+        gnn_mls: -132.0,
+    },
+    DftRow {
+        metric: "TNS (ns)",
+        no_mls: -112.0,
+        gnn_mls: -76.0,
+    },
+    DftRow {
+        metric: "#Vio. Paths",
+        no_mls: 6_055.0,
+        gnn_mls: 5_267.0,
+    },
+    DftRow {
+        metric: "#MLS Nets",
+        no_mls: 0.0,
+        gnn_mls: 2_536.0,
+    },
+    DftRow {
+        metric: "Pwr (mW)",
+        no_mls: 1_157.0,
+        gnn_mls: 1_152.0,
+    },
+    DftRow {
+        metric: "Eff. Freq (MHz)",
+        no_mls: 2_062.0,
+        gnn_mls: 2_375.0,
+    },
+];
+
+/// Table III: the two MLS DFT strategies on MAERI 16PE 4BW (16 MLS nets).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Table3Row {
+    /// Strategy label.
+    pub method: &'static str,
+    /// Total stuck-at faults.
+    pub total_faults: f64,
+    /// Detected faults.
+    pub detected_faults: f64,
+    /// WNS after insertion, ps.
+    pub wns_ps: f64,
+}
+
+/// Table III as published.
+pub const TABLE3: &[Table3Row] = &[
+    Table3Row {
+        method: "Net-based DFT",
+        total_faults: 444_296.0,
+        detected_faults: 438_152.0,
+        wns_ps: -21.0,
+    },
+    Table3Row {
+        method: "Wire-based DFT",
+        total_faults: 444_346.0,
+        detected_faults: 438_276.0,
+        wns_ps: -23.0,
+    },
+];
+
+/// Figure 2: violation-point reduction vs No-MLS on MAERI 128PE.
+pub const FIG2_SOTA_REDUCTION_PCT: f64 = 68.0;
+/// Figure 2: GNN-MLS reduction.
+pub const FIG2_OURS_REDUCTION_PCT: f64 = 80.0;
+
+/// Table I: single-net MLS impact rows (MAERI 128PE heterogeneous).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Net name as published.
+    pub net: &'static str,
+    /// Slack before MLS, ps.
+    pub before_ps: f64,
+    /// Metals before.
+    pub metals_before: &'static str,
+    /// Slack after MLS, ps.
+    pub after_ps: f64,
+    /// Metals after.
+    pub metals_after: &'static str,
+}
+
+/// Table I as published: one net helped, one hurt.
+pub const TABLE1: &[Table1Row] = &[
+    Table1Row {
+        net: "n480132",
+        before_ps: -62.0,
+        metals_before: "M1-6(bot)",
+        after_ps: -45.0,
+        metals_after: "M1-6(bot)+M5-6(top)",
+    },
+    Table1Row {
+        net: "n146095",
+        before_ps: -45.0,
+        metals_before: "M1-4(bot)",
+        after_ps: -48.0,
+        metals_after: "M1-6(bot)+M6(top)",
+    },
+];
+
+/// Figure 9: heterogeneous MAERI 128PE worst IR-drop (92 mV ≈ 10 % of
+/// 0.9 V... the paper quotes 10 % of the lowest 0.81 V rail elsewhere).
+pub const FIG9_MAERI_IR_MV: f64 = 92.0;
+/// Figure 9 / Table IV: A7 heterogeneous IR-drop, %.
+pub const FIG9_A7_IR_PCT: f64 = 2.0;

@@ -1,0 +1,194 @@
+//! Table rendering, shape checks, and JSON result dumps.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A rendered paper-vs-measured comparison table.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl Comparison {
+    /// Starts a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one metric row.
+    pub fn row(&mut self, metric: impl Into<String>, values: &[String]) -> &mut Self {
+        self.rows.push((metric.into(), values.to_vec()));
+        self
+    }
+
+    /// Convenience: formats an f64 with sensible precision.
+    pub fn num(v: f64) -> String {
+        if v == 0.0 {
+            "0".into()
+        } else if v.abs() >= 1000.0 {
+            format!("{v:.0}")
+        } else if v.abs() >= 10.0 {
+            format!("{v:.1}")
+        } else {
+            format!("{v:.2}")
+        }
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let metric_w = self
+            .rows
+            .iter()
+            .map(|(m, _)| m.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .chain(
+                self.rows
+                    .iter()
+                    .flat_map(|(_, v)| v.iter().map(|s| s.len())),
+            )
+            .max()
+            .unwrap_or(10)
+            .max(8);
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!("{:metric_w$}", ""));
+        for c in &self.columns {
+            out.push_str(&format!(" | {c:>col_w$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(metric_w + self.columns.len() * (col_w + 3)));
+        out.push('\n');
+        for (m, vals) in &self.rows {
+            out.push_str(&format!("{m:metric_w$}"));
+            for v in vals {
+                out.push_str(&format!(" | {v:>col_w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One shape assertion: a qualitative property the paper's data shows
+/// that the reproduction must also show.
+#[derive(Debug, Serialize)]
+pub struct ShapeCheck {
+    /// What is being checked.
+    pub name: String,
+    /// Whether the reproduction shows it.
+    pub pass: bool,
+    /// The measured values behind the verdict.
+    pub detail: String,
+}
+
+/// Evaluates and formats one shape check.
+pub fn check(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> ShapeCheck {
+    let c = ShapeCheck {
+        name: name.into(),
+        pass,
+        detail: detail.into(),
+    };
+    println!(
+        "  [{}] {} — {}",
+        if c.pass { "PASS" } else { "MISS" },
+        c.name,
+        c.detail
+    );
+    c
+}
+
+/// Summarizes a slice of checks (returns the pass count).
+pub fn summarize(checks: &[ShapeCheck]) -> usize {
+    let pass = checks.iter().filter(|c| c.pass).count();
+    println!("shape checks: {pass}/{} pass", checks.len());
+    pass
+}
+
+/// Writes a JSON result blob under `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target/experiments");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(s) => {
+                if let Err(e) = fs::write(&path, s) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("results written to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        }
+    }
+}
+
+/// Renders an ASCII heat map (used for the Figure 9 IR-drop map).
+pub fn ascii_heatmap(values: &[f64], nx: usize, ny: usize, title: &str) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let max = values.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+    let mut out = format!("{title} (max {max:.3})\n");
+    for y in (0..ny).rev() {
+        for x in 0..nx {
+            let v = values[y * nx + x] / max;
+            let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_renders_aligned_rows() {
+        let mut c = Comparison::new("Test", &["paper", "measured"]);
+        c.row("WNS (ps)", &["-85".into(), "-410".into()]);
+        c.row("TNS (ns)", &["-327".into(), "-19.8".into()]);
+        let s = c.render();
+        assert!(s.contains("== Test =="));
+        assert!(s.contains("WNS (ps)"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn num_formatting_scales() {
+        assert_eq!(Comparison::num(0.0), "0");
+        assert_eq!(Comparison::num(-2414.0), "-2414");
+        assert_eq!(Comparison::num(-23.4), "-23.4");
+        assert_eq!(Comparison::num(9.44), "9.44");
+    }
+
+    #[test]
+    fn heatmap_is_rectangular() {
+        let v = vec![0.0, 0.5, 1.0, 0.25];
+        let s = ascii_heatmap(&v, 2, 2, "ir");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].len(), 2);
+        assert!(lines[0].contains("max 1.000"));
+    }
+
+    #[test]
+    fn checks_report_pass_and_miss() {
+        let a = check("ordering", true, "a < b");
+        let b = check("ordering2", false, "oops");
+        assert!(a.pass && !b.pass);
+        assert_eq!(summarize(&[a, b]), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared experiment-running helpers for the table/figure binaries.
+
+use gnn_mls::flow::{run_flow, FlowPolicy};
+use gnn_mls::FlowReport;
+
+use crate::designs::Experiment;
+use crate::paper::PolicyRow;
+use crate::render::{check, Comparison, ShapeCheck};
+
+/// Runs all three policies on an experiment, printing progress.
+pub fn run_three(exp: &Experiment) -> [FlowReport; 3] {
+    let mut out = Vec::with_capacity(3);
+    for policy in [FlowPolicy::NoMls, FlowPolicy::Sota, FlowPolicy::GnnMls] {
+        eprintln!("running {} [{}] ...", exp.name, policy.name());
+        let r = run_flow(&exp.design, &exp.cfg, policy).expect("flow succeeds");
+        out.push(r);
+    }
+    out.try_into().expect("exactly three reports")
+}
+
+/// Extracts the measured value of a paper metric from a flow report.
+pub fn metric_of(report: &FlowReport, metric: &str) -> Option<f64> {
+    Some(match metric {
+        "WL (m)" => report.wirelength_m,
+        "WNS (ps)" => report.wns_ps,
+        "TNS (ns)" => report.tns_ns,
+        "#Vio. Paths" => report.violating_paths as f64,
+        "#MLS Nets" => report.mls_nets as f64,
+        "Pwr (mW)" => report.power_mw,
+        "IR-drop (%)" => report.ir_drop_pct?,
+        "L.S Pwr (mW)" => report.ls_power_mw?,
+        "Eff. Freq (MHz)" => report.eff_freq_mhz,
+        _ => return None,
+    })
+}
+
+/// Builds the paper-vs-measured comparison for a three-policy table.
+pub fn policy_comparison(
+    title: &str,
+    paper: &[PolicyRow],
+    reports: &[FlowReport; 3],
+) -> Comparison {
+    let mut c = Comparison::new(
+        title,
+        &[
+            "paper NoMLS",
+            "paper SOTA",
+            "paper Ours",
+            "meas NoMLS",
+            "meas SOTA",
+            "meas Ours",
+        ],
+    );
+    for row in paper {
+        let meas: Vec<String> = reports
+            .iter()
+            .map(|r| {
+                metric_of(r, row.metric)
+                    .map(Comparison::num)
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        let mut vals = vec![
+            Comparison::num(row.no_mls),
+            Comparison::num(row.sota),
+            Comparison::num(row.ours),
+        ];
+        vals.extend(meas);
+        c.row(row.metric, &vals);
+    }
+    c
+}
+
+/// Checks that the measured policy ordering matches the paper's ordering
+/// for every pair the paper separates by more than 5 % — the "shape" of
+/// the table. Returns one check per significant metric.
+pub fn shape_checks(paper: &[PolicyRow], reports: &[FlowReport; 3]) -> Vec<ShapeCheck> {
+    const KEY_METRICS: &[&str] = &["WNS (ps)", "TNS (ns)", "#Vio. Paths", "#MLS Nets"];
+    let mut checks = Vec::new();
+    for row in paper {
+        if !KEY_METRICS.contains(&row.metric) {
+            continue;
+        }
+        let Some(m0) = metric_of(&reports[0], row.metric) else {
+            continue;
+        };
+        let Some(m1) = metric_of(&reports[1], row.metric) else {
+            continue;
+        };
+        let Some(m2) = metric_of(&reports[2], row.metric) else {
+            continue;
+        };
+        let paper_vals = [row.no_mls, row.sota, row.ours];
+        let meas_vals = [m0, m1, m2];
+        let names = ["NoMLS", "SOTA", "Ours"];
+        let mut pairs_total = 0;
+        let mut pairs_ok = 0;
+        let mut detail = String::new();
+        for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let dp = paper_vals[i] - paper_vals[j];
+            let scale = paper_vals[i].abs().max(paper_vals[j].abs()).max(1e-9);
+            if dp.abs() / scale < 0.05 {
+                continue; // the paper itself calls this a tie
+            }
+            pairs_total += 1;
+            let dm = meas_vals[i] - meas_vals[j];
+            let ok = dp.signum() == dm.signum();
+            if ok {
+                pairs_ok += 1;
+            }
+            detail.push_str(&format!(
+                "{}{}{}{} ",
+                names[i],
+                if dp > 0.0 { ">" } else { "<" },
+                names[j],
+                if ok { "✓" } else { "✗" }
+            ));
+        }
+        if pairs_total > 0 {
+            checks.push(check(
+                format!("{} ordering", row.metric),
+                pairs_ok == pairs_total,
+                detail.trim().to_string(),
+            ));
+        }
+    }
+    checks
+}

@@ -1,0 +1,197 @@
+//! `gnnmls` — command-line front end to the GNN-MLS flow.
+//!
+//! ```sh
+//! gnnmls flow --design maeri128 --tech hetero --policy gnn-mls --freq 2500 \
+//!        [--dft net|wire] [--json report.json] [--save-model model.json] \
+//!        [--load-model model.json] [--verilog netlist.v]
+//! gnnmls designs      # list available designs
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace is dependency-minimal).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use gnn_mls::flow::{run_flow, FlowConfig, FlowPolicy};
+use gnn_mls::GnnMls;
+use gnnmls_dft::DftMode;
+use gnnmls_netlist::generators::{
+    generate_a7, generate_maeri, A7Config, GeneratedDesign, MaeriConfig,
+};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::verilog::write_verilog;
+
+const DESIGNS: &[(&str, &str)] = &[
+    ("maeri16", "MAERI 16PE 4BW (Table III scale)"),
+    ("maeri128", "MAERI 128PE 32BW (Table IV)"),
+    ("maeri256", "MAERI 256PE 64BW (Table V)"),
+    ("a7", "Cortex-A7-style dual-core (Tables IV/V)"),
+];
+
+fn usage() -> &'static str {
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--fast]\n  gnnmls designs\n"
+}
+
+fn build_design(name: &str, tech: &TechConfig) -> Option<GeneratedDesign> {
+    let d = match name {
+        "maeri16" => generate_maeri(&MaeriConfig::pe16_bw4(), tech),
+        "maeri128" => generate_maeri(&MaeriConfig::pe128_bw32(), tech),
+        "maeri256" => generate_maeri(&MaeriConfig::pe256_bw64(), tech),
+        "a7" => generate_a7(&A7Config::dual_core(), tech),
+        _ => return None,
+    };
+    Some(d.expect("generators are infallible for known configs"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("designs") => {
+            for (name, desc) in DESIGNS {
+                println!("{name:10} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("flow") => run_flow_cmd(&args[1..]),
+        _ => {
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_flow_cmd(args: &[String]) -> ExitCode {
+    let mut opts: HashMap<&str, &str> = HashMap::new();
+    let mut fast = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--fast" {
+            fast = true;
+            continue;
+        }
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument `{a}`\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let Some(v) = it.next() else {
+            eprintln!("missing value for --{key}");
+            return ExitCode::FAILURE;
+        };
+        opts.insert(
+            match key {
+                "design" | "tech" | "policy" | "freq" | "dft" | "json" | "verilog"
+                | "save-model" | "load-model" => key,
+                other => {
+                    eprintln!("unknown option --{other}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            v,
+        );
+    }
+
+    let design_name = opts.get("design").copied().unwrap_or("maeri16");
+    let is_a7 = design_name == "a7";
+    let layers = if is_a7 { 8 } else { 6 };
+    let tech = match opts.get("tech").copied().unwrap_or("hetero") {
+        "hetero" => TechConfig::heterogeneous_16_28(layers, layers),
+        "homo" => TechConfig::homogeneous_28_28(layers, layers),
+        other => {
+            eprintln!("unknown tech `{other}` (hetero|homo)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(design) = build_design(design_name, &tech) else {
+        eprintln!("unknown design `{design_name}`; see `gnnmls designs`");
+        return ExitCode::FAILURE;
+    };
+
+    let policy = match opts.get("policy").copied().unwrap_or("gnn-mls") {
+        "no-mls" => FlowPolicy::NoMls,
+        "sota" => FlowPolicy::Sota,
+        "gnn-mls" => FlowPolicy::GnnMls,
+        other => {
+            eprintln!("unknown policy `{other}` (no-mls|sota|gnn-mls)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let freq: f64 = match opts
+        .get("freq")
+        .copied()
+        .unwrap_or(if is_a7 { "2000" } else { "2500" })
+        .parse()
+    {
+        Ok(f) if f > 0.0 => f,
+        _ => {
+            eprintln!("--freq must be a positive number (MHz)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = if fast {
+        FlowConfig::fast_test(freq)
+    } else {
+        FlowConfig::new(freq)
+    };
+    match opts.get("dft").copied() {
+        None => {}
+        Some("net") => cfg.dft = Some(DftMode::NetBased),
+        Some("wire") => cfg.dft = Some(DftMode::WireBased),
+        Some(other) => {
+            eprintln!("unknown dft mode `{other}` (net|wire)");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = opts.get("save-model") {
+        cfg.save_model = Some(std::path::PathBuf::from(path));
+    }
+    if let Some(path) = opts.get("load-model") {
+        match GnnMls::load_json(path) {
+            Ok(m) => cfg.pretrained = Some(m.to_checkpoint()),
+            Err(e) => {
+                eprintln!("could not load model from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = opts.get("verilog") {
+        if let Err(e) = std::fs::write(path, write_verilog(&design.netlist)) {
+            eprintln!("could not write verilog to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("netlist written to {path}");
+    }
+
+    eprintln!(
+        "running {} [{}] @ {freq} MHz ({})...",
+        design.netlist.name(),
+        policy.name(),
+        tech.name
+    );
+    let report = match run_flow(&design, &cfg, policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flow failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+
+    if let Some(path) = opts.get("json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, s) {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("report written to {path}");
+            }
+            Err(e) => eprintln!("serialize failed: {e}"),
+        }
+    }
+    if let Some(path) = opts.get("save-model") {
+        eprintln!("trained model checkpointed to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,223 @@
+//! Model checkpoints: serialize a trained GNN-MLS model (architecture
+//! config, encoder + head weights, feature scaler) to JSON and restore it
+//! later — e.g. train once on a family of designs, then make MLS
+//! decisions on new ones without re-running the oracle.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_nn::Tensor;
+
+use crate::features::FeatureScaler;
+use crate::model::{GnnMls, ModelConfig};
+
+/// A serializable snapshot of a trained model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelCheckpoint {
+    /// Architecture / training configuration (the restore target must be
+    /// rebuilt from exactly this config).
+    pub config: ModelConfig,
+    /// Encoder parameters in registration order.
+    pub encoder_params: Vec<Tensor>,
+    /// MLP head parameters in registration order.
+    pub head_params: Vec<Tensor>,
+    /// The frozen feature normalizer (present after training).
+    pub scaler: Option<FeatureScaler>,
+}
+
+/// Errors raised restoring a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// File or serialization problem.
+    Io(std::io::Error),
+    /// JSON problem.
+    Json(serde_json::Error),
+    /// Parameter count/shape mismatch at the given index (the checkpoint
+    /// was produced by a different architecture).
+    Shape(usize),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint json: {e}"),
+            CheckpointError::Shape(i) => {
+                write!(
+                    f,
+                    "checkpoint parameter {i} does not match the architecture"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+impl GnnMls {
+    /// Snapshots the model.
+    pub fn to_checkpoint(&self) -> ModelCheckpoint {
+        ModelCheckpoint {
+            config: self.config().clone(),
+            encoder_params: self.encoder_tensors().to_vec(),
+            head_params: self.head_tensors().to_vec(),
+            scaler: self.scaler_ref().cloned(),
+        }
+    }
+
+    /// Rebuilds a model from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Shape`] if the snapshot does not match
+    /// the architecture its config describes.
+    pub fn from_checkpoint(cp: ModelCheckpoint) -> Result<Self, CheckpointError> {
+        let mut model = GnnMls::new(cp.config);
+        model
+            .restore_tensors(cp.encoder_params, cp.head_params)
+            .map_err(CheckpointError::Shape)?;
+        model.set_scaler(cp.scaler);
+        Ok(model)
+    }
+
+    /// Saves the model as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on IO or serialization failure.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let s = serde_json::to_string(&self.to_checkpoint())?;
+        fs::write(path, s)?;
+        Ok(())
+    }
+
+    /// Loads a model from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on IO, parse, or shape mismatch.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let s = fs::read_to_string(path)?;
+        let cp: ModelCheckpoint = serde_json::from_str(&s)?;
+        Self::from_checkpoint(cp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_DIM;
+    use crate::model::EncoderKind;
+    use crate::paths::PathSample;
+    use gnnmls_netlist::{NetId, PinId};
+    use gnnmls_sta::TimingPath;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn samples(n: usize, seed: u64) -> Vec<PathSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|k| {
+                let len = rng.gen_range(4..10);
+                let mut features = Vec::new();
+                let mut labels = Vec::new();
+                let mut nets = Vec::new();
+                for i in 0..len {
+                    let mut f = [0.0f32; FEATURE_DIM];
+                    for v in f.iter_mut() {
+                        *v = rng.gen_range(-1.0..1.0);
+                    }
+                    labels.push(f[4] > 0.0);
+                    features.push(f);
+                    nets.push(NetId::new((k * 64 + i) as u32));
+                }
+                PathSample {
+                    path: TimingPath {
+                        pins: vec![],
+                        cells: vec![],
+                        nets: nets.clone(),
+                        endpoint: PinId::new(0),
+                        slack_ps: -5.0,
+                        clock_period_ps: 400.0,
+                        setup_ps: 10.0,
+                    },
+                    eligible: vec![true; nets.len()],
+                    nets,
+                    features,
+                    labels: Some(labels),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let train = samples(25, 1);
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 10,
+            ..ModelConfig::default()
+        });
+        model.pretrain(&train);
+        model.finetune(&train);
+        let before: Vec<Vec<f32>> = train.iter().map(|s| model.predict_path(s)).collect();
+
+        let restored = GnnMls::from_checkpoint(model.to_checkpoint()).unwrap();
+        let after: Vec<Vec<f32>> = train.iter().map(|s| restored.predict_path(s)).collect();
+        assert_eq!(before, after, "restored model must predict identically");
+        assert_eq!(model.decide(&train), restored.decide(&train));
+    }
+
+    #[test]
+    fn json_roundtrip_via_disk() {
+        let train = samples(15, 2);
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 1,
+            finetune_epochs: 5,
+            ..ModelConfig::default()
+        });
+        model.pretrain(&train);
+        model.finetune(&train);
+        let dir = std::env::temp_dir().join("gnnmls_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save_json(&path).unwrap();
+        let restored = GnnMls::load_json(&path).unwrap();
+        for s in &train {
+            assert_eq!(model.predict_path(s), restored.predict_path(s));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let model = GnnMls::new(ModelConfig::default());
+        let mut cp = model.to_checkpoint();
+        // Claim a different architecture than the weights describe.
+        cp.config.encoder = EncoderKind::Gcn;
+        assert!(matches!(
+            GnnMls::from_checkpoint(cp),
+            Err(CheckpointError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_errors_display() {
+        let e = CheckpointError::Shape(3);
+        assert!(e.to_string().contains("parameter 3"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Table II hand-crafted features, folded per-net into the net's source
+//! node (the hypergraph → node-centric conversion of Section III-B).
+//!
+//! Per path node (= one net + its driver cell):
+//!
+//! | # | feature | paper unit |
+//! |---|---|---|
+//! | 0 | cell location x | µm |
+//! | 1 | cell location y | µm |
+//! | 2 | cell delay | ps |
+//! | 3 | pin capacitance (output load) | fF |
+//! | 4 | early-global-routing wirelength (HPWL) | µm |
+//! | 5 | estimated wire capacitance | fF |
+//! | 6 | estimated wire resistance | kΩ |
+//! | 7 | net fanout | — |
+//! | 8 | home tier (0 = logic, 0.5 = memory, 1 = 3D) | — |
+//!
+//! Features 0–6 are the paper's; 7–8 disambiguate the synthetic designs'
+//! high-fanout control nets and per-die stacks. Everything is computable
+//! *before* detailed routing (HPWL-based estimates), which is the point:
+//! the model decides MLS at the routing stage.
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::{NetId, Netlist, Tier};
+use gnnmls_nn::Tensor;
+use gnnmls_phys::{net_hpwl_um, Placement};
+
+/// Width of the per-node feature vector.
+pub const FEATURE_DIM: usize = 9;
+
+/// Raw (unnormalized) features of one net/source-node.
+pub fn node_features(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &TechConfig,
+    net: NetId,
+) -> [f32; FEATURE_DIM] {
+    let driver = netlist.driver_cell(net);
+    let loc = placement.loc(driver);
+    let tpl = netlist.template(driver);
+    let hpwl = net_hpwl_um(netlist, placement, net);
+    let home = netlist.net_tier(net);
+    // Mid-stack RC of the home die (or the average for 3D nets) as the
+    // early wire estimate.
+    let stack_rc = |tier: Tier| {
+        let s = tech.stack(tier);
+        let mid = s.layer(((s.len() + 1) / 2) as u8);
+        (mid.r_kohm_per_um, mid.c_ff_per_um)
+    };
+    let (r_um, c_um) = match home {
+        Some(t) => stack_rc(t),
+        None => {
+            let (rl, cl) = stack_rc(Tier::Logic);
+            let (rm, cm) = stack_rc(Tier::Memory);
+            ((rl + rm) / 2.0, (cl + cm) / 2.0)
+        }
+    };
+    [
+        loc.x as f32,
+        loc.y as f32,
+        tpl.delay_ps as f32,
+        netlist.pin_load_ff(net) as f32,
+        hpwl as f32,
+        (hpwl * c_um) as f32,
+        (hpwl * r_um) as f32,
+        netlist.sinks(net).len() as f32,
+        match home {
+            Some(Tier::Logic) => 0.0,
+            Some(Tier::Memory) => 0.5,
+            None => 1.0,
+        },
+    ]
+}
+
+/// Z-score normalizer fit on a training set and frozen into the model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScaler {
+    mean: [f32; FEATURE_DIM],
+    std: [f32; FEATURE_DIM],
+}
+
+impl FeatureScaler {
+    /// Fits mean/std over a set of feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn fit(rows: &[[f32; FEATURE_DIM]]) -> Self {
+        assert!(!rows.is_empty(), "scaler needs at least one row");
+        let n = rows.len() as f32;
+        let mut mean = [0.0f32; FEATURE_DIM];
+        for r in rows {
+            for (m, v) in mean.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = [0.0f32; FEATURE_DIM];
+        for r in rows {
+            for ((s, v), m) in std.iter_mut().zip(r).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-6);
+        }
+        Self { mean, std }
+    }
+
+    /// Normalizes one row.
+    pub fn apply(&self, row: &[f32; FEATURE_DIM]) -> [f32; FEATURE_DIM] {
+        let mut out = [0.0f32; FEATURE_DIM];
+        for i in 0..FEATURE_DIM {
+            out[i] = (row[i] - self.mean[i]) / self.std[i];
+        }
+        out
+    }
+
+    /// Normalizes a path's feature rows into an `n × FEATURE_DIM` tensor.
+    pub fn apply_matrix(&self, rows: &[[f32; FEATURE_DIM]]) -> Tensor {
+        let data: Vec<f32> = rows
+            .iter()
+            .flat_map(|r| self.apply(r).into_iter())
+            .collect();
+        Tensor::from_flat(rows.len(), FEATURE_DIM, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_phys::{place, PlaceConfig};
+
+    fn setup() -> (gnnmls_netlist::Netlist, Placement, TechConfig) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        (d.netlist, p, tech)
+    }
+
+    #[test]
+    fn features_are_finite_and_dimensioned() {
+        let (netlist, placement, tech) = setup();
+        for net in netlist.net_ids().take(200) {
+            let f = node_features(&netlist, &placement, &tech, net);
+            assert_eq!(f.len(), FEATURE_DIM);
+            for (i, v) in f.iter().enumerate() {
+                assert!(v.is_finite(), "feature {i} of net {net}");
+            }
+            assert!(f[7] >= 1.0, "fanout at least 1");
+            assert!([0.0, 0.5, 1.0].contains(&f[8]));
+        }
+    }
+
+    #[test]
+    fn wire_estimates_scale_with_hpwl() {
+        let (netlist, placement, tech) = setup();
+        let mut nets: Vec<_> = netlist.net_ids().collect();
+        nets.sort_by(|&a, &b| {
+            net_hpwl_um(&netlist, &placement, a).total_cmp(&net_hpwl_um(&netlist, &placement, b))
+        });
+        let short = node_features(&netlist, &placement, &tech, nets[0]);
+        let long = node_features(&netlist, &placement, &tech, *nets.last().unwrap());
+        assert!(long[4] > short[4]);
+        assert!(long[5] > short[5], "cap estimate follows wirelength");
+        assert!(long[6] > short[6], "res estimate follows wirelength");
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let (netlist, placement, tech) = setup();
+        let rows: Vec<[f32; FEATURE_DIM]> = netlist
+            .net_ids()
+            .take(500)
+            .map(|n| node_features(&netlist, &placement, &tech, n))
+            .collect();
+        let scaler = FeatureScaler::fit(&rows);
+        // Normalized training set has ~zero mean, ~unit variance.
+        let normed: Vec<[f32; FEATURE_DIM]> = rows.iter().map(|r| scaler.apply(r)).collect();
+        for i in 0..FEATURE_DIM {
+            let m: f32 = normed.iter().map(|r| r[i]).sum::<f32>() / normed.len() as f32;
+            assert!(m.abs() < 1e-3, "feature {i} mean {m}");
+        }
+        let t = scaler.apply_matrix(&rows[..4]);
+        assert_eq!(t.shape(), (4, FEATURE_DIM));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_fit_panics() {
+        let _ = FeatureScaler::fit(&[]);
+    }
+}

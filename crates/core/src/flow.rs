@@ -1,0 +1,529 @@
+//! The GNN-MLS design flow (Figure 4), end to end:
+//!
+//! place → (heterogeneous: level-shifter insertion) → baseline route +
+//! STA → path extraction → iterative-STA oracle on a budgeted training
+//! sample → DGI pretraining + MLP fine-tuning → per-net MLS decisions →
+//! targeted routing → STA → (optional) MLS DFT ECO + re-route + coverage
+//! → power / PDN sizing / IR-drop.
+//!
+//! The same entry point runs the two baselines: `No MLS` (sequential-2D)
+//! and `SOTA` (region-level sharing), which is how every table of the
+//! paper is produced.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_dft::{analyze_coverage, insert_mls_dft, DftMode, ScanChain};
+use gnnmls_netlist::generators::GeneratedDesign;
+use gnnmls_netlist::graph::GraphError;
+use gnnmls_netlist::{NetId, Netlist, NetlistError, Tier};
+use gnnmls_pdn::ir::size_for_budget;
+use gnnmls_pdn::{insert_level_shifters, PowerConfig, PowerReport};
+use gnnmls_phys::{
+    insert_repeaters, place, Floorplan, PlaceConfig, PlaceError, Placement, RepeaterConfig,
+};
+use gnnmls_route::{route_design, MlsPolicy, RouteConfig, RouteError, Router};
+use gnnmls_sta::{analyze, StaConfig};
+
+use crate::checkpoint::{CheckpointError, ModelCheckpoint};
+use crate::model::{GnnMls, ModelConfig};
+use crate::oracle::{label_paths, OracleConfig};
+use crate::paths::extract_path_samples;
+use crate::report::{FlowReport, PdnSummary, TrainSummary};
+
+/// Which MLS strategy the flow applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowPolicy {
+    /// Sequential-2D baseline: no sharing.
+    NoMls,
+    /// Region-level sharing (ref. \[9\]).
+    Sota,
+    /// The paper's contribution: learned per-net decisions.
+    GnnMls,
+}
+
+impl FlowPolicy {
+    /// Display name matching the paper's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowPolicy::NoMls => "No MLS",
+            FlowPolicy::Sota => "SOTA",
+            FlowPolicy::GnnMls => "GNN-MLS",
+        }
+    }
+}
+
+/// Flow configuration.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Target clock frequency, MHz.
+    pub target_freq_mhz: f64,
+    /// Placement knobs.
+    pub place: PlaceConfig,
+    /// Routing knobs.
+    pub route: RouteConfig,
+    /// Model hyperparameters.
+    pub model: ModelConfig,
+    /// Oracle labeling threshold.
+    pub oracle: OracleConfig,
+    /// Paths labeled for fine-tuning (the paper uses 500 per design).
+    pub train_paths: usize,
+    /// Extra labeled paths held out for evaluation metrics.
+    pub eval_paths: usize,
+    /// Paths used for DGI pretraining and decision inference.
+    pub inference_paths: usize,
+    /// MLS DFT strategy to insert post-route (`None` = skip DFT).
+    pub dft: Option<DftMode>,
+    /// PDN stripe pitch, µm.
+    pub pdn_pitch_um: f64,
+    /// IR-drop budget as % of the lowest VDD (the paper uses 10 %).
+    pub ir_budget_pct: f64,
+    /// Switching activity for the power model.
+    pub activity: f64,
+    /// Insert level shifters on 3D nets of heterogeneous stacks.
+    pub level_shifters: bool,
+    /// Repeater insertion (physical synthesis) parameters.
+    pub repeaters: RepeaterConfig,
+    /// Use a pre-trained model instead of running the oracle + training
+    /// (train once on a design family, reuse everywhere; see
+    /// [`crate::checkpoint`]).
+    pub pretrained: Option<ModelCheckpoint>,
+    /// Save the trained model as a JSON checkpoint after training.
+    pub save_model: Option<std::path::PathBuf>,
+    /// Run the PDN/IR analysis (skippable for timing-only sweeps).
+    pub analyze_pdn: bool,
+}
+
+impl FlowConfig {
+    /// Paper-like defaults at a target frequency.
+    pub fn new(target_freq_mhz: f64) -> Self {
+        Self {
+            target_freq_mhz,
+            place: PlaceConfig::default(),
+            route: RouteConfig::default(),
+            model: ModelConfig::default(),
+            oracle: OracleConfig::default(),
+            train_paths: 500,
+            eval_paths: 100,
+            inference_paths: 3000,
+            dft: None,
+            pdn_pitch_um: 7.0,
+            ir_budget_pct: 10.0,
+            activity: 0.15,
+            level_shifters: true,
+            repeaters: RepeaterConfig::default(),
+            pretrained: None,
+            save_model: None,
+            analyze_pdn: true,
+        }
+    }
+
+    /// A down-scaled configuration for fast tests.
+    pub fn fast_test(target_freq_mhz: f64) -> Self {
+        let mut c = Self::new(target_freq_mhz);
+        c.train_paths = 40;
+        c.eval_paths = 10;
+        c.inference_paths = 150;
+        c.model.pretrain_epochs = 2;
+        c.model.finetune_epochs = 8;
+        c.route.target_gcells = 24;
+        c.analyze_pdn = false;
+        c
+    }
+
+    /// Enables MLS DFT insertion.
+    pub fn with_dft(mut self, mode: DftMode) -> Self {
+        self.dft = Some(mode);
+        self
+    }
+}
+
+/// Errors surfaced by the flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing setup failed.
+    Route(RouteError),
+    /// Netlist ECO failed.
+    Netlist(NetlistError),
+    /// The design has a combinational loop.
+    Graph(GraphError),
+    /// A pre-trained checkpoint could not be restored.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Place(e) => write!(f, "placement: {e}"),
+            FlowError::Route(e) => write!(f, "routing: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist eco: {e}"),
+            FlowError::Graph(e) => write!(f, "timing graph: {e}"),
+            FlowError::Checkpoint(e) => write!(f, "pretrained model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> Self {
+        FlowError::Route(e)
+    }
+}
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+impl From<GraphError> for FlowError {
+    fn from(e: GraphError) -> Self {
+        FlowError::Graph(e)
+    }
+}
+impl From<CheckpointError> for FlowError {
+    fn from(e: CheckpointError) -> Self {
+        FlowError::Checkpoint(e)
+    }
+}
+
+/// Prepares a design for routing exactly as [`run_flow`] does: clone,
+/// place, insert level shifters (heterogeneous stacks), insert repeaters.
+/// Exposed for experiments that work below the flow level (Table I's
+/// single-net study, Figure 9's PDN maps).
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if placement or an ECO fails.
+pub fn prepare(
+    design: &GeneratedDesign,
+    cfg: &FlowConfig,
+) -> Result<(Netlist, Placement), FlowError> {
+    let mut netlist = design.netlist.clone();
+    let mut placement = place(&netlist, &cfg.place)?;
+    if cfg.level_shifters {
+        insert_level_shifters(&mut netlist, &mut placement, &design.tech)?;
+    }
+    insert_repeaters(&mut netlist, &mut placement, &design.tech, &cfg.repeaters)?;
+    Ok((netlist, placement))
+}
+
+/// Runs the full flow on a generated design under one policy.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if any stage fails (all stages succeed for
+/// well-formed generated designs).
+pub fn run_flow(
+    design: &GeneratedDesign,
+    cfg: &FlowConfig,
+    policy: FlowPolicy,
+) -> Result<FlowReport, FlowError> {
+    let tech = &design.tech;
+    let sta_cfg = StaConfig::from_freq_mhz(cfg.target_freq_mhz);
+    let mut netlist = design.netlist.clone();
+    let mut placement = place(&netlist, &cfg.place)?;
+
+    // Level shifters on 3D signals (heterogeneous stacks).
+    let ls = if cfg.level_shifters {
+        insert_level_shifters(&mut netlist, &mut placement, tech)?
+    } else {
+        Default::default()
+    };
+    // Physical synthesis: break over-long wires with repeaters (keep in
+    // sync with [`prepare`]).
+    insert_repeaters(&mut netlist, &mut placement, tech, &cfg.repeaters)?;
+
+    // Resolve the routing policy; GNN-MLS trains its decisions first.
+    let mut runtime_s = None;
+    let mut train_summary = None;
+    let route_policy: MlsPolicy = match policy {
+        FlowPolicy::NoMls => MlsPolicy::Disabled,
+        FlowPolicy::Sota => MlsPolicy::sota(),
+        FlowPolicy::GnnMls => {
+            let t0 = Instant::now();
+            let (selected, summary) = learn_decisions(&netlist, &placement, tech, cfg, sta_cfg)?;
+            runtime_s = Some(t0.elapsed().as_secs_f64());
+            train_summary = Some(summary);
+            MlsPolicy::per_net_from(&netlist, selected)
+        }
+    };
+
+    // Targeted routing + STA.
+    let (mut routes, grid) = route_design(
+        &netlist,
+        &placement,
+        tech,
+        route_policy.clone(),
+        cfg.route.clone(),
+    )?;
+    let mut timing = analyze(&netlist, &routes, sta_cfg)?;
+
+    // Optional MLS DFT ECO: logical coverage first (pre-ECO routes define
+    // the opens), then the physical insertion + re-route + re-STA.
+    let mut coverage = None;
+    let mut faults = None;
+    let mut dft_cells = 0;
+    if let Some(mode) = cfg.dft {
+        let rec = insert_mls_dft(&mut netlist, &mut placement, &routes, &grid, tech, mode)?;
+        dft_cells = rec.added_cells.len();
+        if !rec.added_cells.is_empty() {
+            // Preserve MLS permission for the split nets and their
+            // children, then re-route the modified design.
+            let mut allowed: HashSet<NetId> = match &route_policy {
+                MlsPolicy::PerNet(flags) => flags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| NetId::new(i as u32))
+                    .collect(),
+                _ => routes
+                    .nets
+                    .iter()
+                    .filter(|r| r.is_mls)
+                    .map(|r| r.net)
+                    .collect(),
+            };
+            for &(parent, child) in &rec.mls_nets {
+                allowed.insert(parent);
+                allowed.insert(child);
+            }
+            let post_policy = MlsPolicy::per_net_from(&netlist, allowed.iter().copied());
+            let (r2, _post_grid) =
+                route_design(&netlist, &placement, tech, post_policy, cfg.route.clone())?;
+            routes = r2;
+            timing = analyze(&netlist, &routes, sta_cfg)?;
+        }
+        // Coverage on the post-ECO design: the inserted DFT cells add
+        // their own faults (Table III counts them) and the mode's test
+        // structures bridge the remaining opens.
+        let cov = analyze_coverage(&netlist, &routes, mode);
+        coverage = Some(cov.coverage_pct());
+        faults = Some((cov.total_faults, cov.detected_faults));
+        // Scan stitching (full-scan model; chain length sanity only).
+        let _ = ScanChain::build(&netlist, &placement, 5.0);
+    }
+
+    // Power.
+    let power = PowerReport::compute(
+        &netlist,
+        &routes,
+        tech,
+        &PowerConfig {
+            activity: cfg.activity,
+            freq_mhz: cfg.target_freq_mhz,
+        },
+    );
+
+    // PDN + IR.
+    let (ir_drop_pct, pdn) = if cfg.analyze_pdn {
+        let (spec, worst) = pdn_for_design(&netlist, &placement, tech, &power, cfg);
+        (Some(worst), Some(spec))
+    } else {
+        (None, None)
+    };
+
+    let fp: &Floorplan = placement.floorplan();
+    Ok(FlowReport {
+        design: netlist.name().to_string(),
+        policy: policy.name().to_string(),
+        tech: tech.name.clone(),
+        target_freq_mhz: cfg.target_freq_mhz,
+        fp_mm2: fp.area_mm2(),
+        wirelength_m: routes.summary.total_wirelength_m,
+        wns_ps: timing.wns_ps(),
+        tns_ns: timing.tns_ns(),
+        violating_paths: timing.violating_endpoints(),
+        endpoints: timing.endpoint_count(),
+        mls_nets: routes.summary.mls_net_count,
+        power_mw: power.total_mw + ls.power_mw,
+        eff_freq_mhz: timing.eff_freq_mhz(),
+        runtime_s,
+        ir_drop_pct,
+        pdn,
+        ls_power_mw: if ls.count > 0 {
+            Some(ls.power_mw)
+        } else {
+            None
+        },
+        level_shifters: ls.count,
+        test_coverage_pct: coverage,
+        faults,
+        dft_cells,
+        train: train_summary,
+    })
+}
+
+/// The learning phase: baseline route/STA, oracle labels, DGI + MLP
+/// training, per-net decisions.
+fn learn_decisions(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &gnnmls_netlist::TechConfig,
+    cfg: &FlowConfig,
+    sta_cfg: StaConfig,
+) -> Result<(Vec<NetId>, TrainSummary), FlowError> {
+    let mut router = Router::new(
+        netlist,
+        placement,
+        tech,
+        MlsPolicy::Disabled,
+        cfg.route.clone(),
+    )?;
+    router.route_all();
+    let routes = router.db();
+    let baseline = analyze(netlist, &routes, sta_cfg)?;
+
+    let total = baseline.endpoint_count();
+    let infer_k = cfg.inference_paths.min(total);
+    let mut infer = extract_path_samples(netlist, placement, tech, &baseline, infer_k);
+
+    // A pre-trained checkpoint skips the oracle and training entirely.
+    if let Some(cp) = &cfg.pretrained {
+        let model = GnnMls::from_checkpoint(cp.clone())?;
+        let selected = model.decide(&infer);
+        return Ok((selected, TrainSummary::default()));
+    }
+
+    let train_k = cfg.train_paths.min(total);
+    let eval_k = cfg.eval_paths.min(total.saturating_sub(train_k));
+
+    // Training set = the worst `train_k` paths; evaluation set = the next
+    // `eval_k`.
+    let mut labeled: Vec<_> = infer.iter().take(train_k + eval_k).cloned().collect();
+    let stats = label_paths(&mut labeled, netlist, &mut router, &routes, &cfg.oracle);
+    let (train_set, eval_set) = labeled.split_at(train_k);
+
+    let mut model = GnnMls::new(cfg.model.clone());
+    let pretrain_loss = model.pretrain(&infer);
+    let train_metrics = model.finetune(train_set);
+    let eval_metrics = if eval_set.is_empty() {
+        Default::default()
+    } else {
+        model.evaluate(eval_set)
+    };
+    if let Some(path) = &cfg.save_model {
+        model.save_json(path)?;
+    }
+
+    // Decide over the full inference set; for the paths the oracle
+    // already labeled, use the exact labels (the model's job is to extend
+    // them to unlabeled paths, not to re-predict known answers).
+    infer.truncate(infer_k);
+    let mut selected: HashSet<NetId> = model.decide(&infer).into_iter().collect();
+    for s in &labeled {
+        if s.path.slack_ps >= 0.0 {
+            continue;
+        }
+        if let Some(l) = &s.labels {
+            for (i, &net) in s.nets.iter().enumerate() {
+                if l[i] {
+                    selected.insert(net);
+                }
+            }
+        }
+    }
+    let mut selected: Vec<NetId> = selected.into_iter().collect();
+    selected.sort();
+    Ok((
+        selected,
+        TrainSummary {
+            oracle: stats,
+            pretrain_loss,
+            train_metrics,
+            eval_metrics,
+        },
+    ))
+}
+
+/// Sizes the PDN per tier to the IR budget; returns the memory-die
+/// top-metal summary (the paper's `M-T` row) and the worst IR % across
+/// tiers.
+fn pdn_for_design(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &gnnmls_netlist::TechConfig,
+    power: &PowerReport,
+    cfg: &FlowConfig,
+) -> (PdnSummary, f64) {
+    let fp = placement.floorplan();
+    let vdd_ref = tech.min_vdd();
+    let mut worst = 0.0f64;
+    let mut mem_summary = PdnSummary::default();
+    for tier in Tier::BOTH {
+        let (spec, rep) = size_for_budget(
+            fp,
+            tech,
+            tier,
+            netlist,
+            placement,
+            power,
+            vdd_ref,
+            cfg.ir_budget_pct,
+            cfg.pdn_pitch_um,
+        );
+        worst = worst.max(rep.pct_of_vdd);
+        if tier == Tier::Memory {
+            mem_summary = PdnSummary {
+                width_um: spec.width_um,
+                pitch_um: spec.pitch_um,
+                utilization: spec.utilization(),
+            };
+        }
+    }
+    (mem_summary, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+
+    fn design() -> GeneratedDesign {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap()
+    }
+
+    #[test]
+    fn no_mls_flow_produces_a_report() {
+        let d = design();
+        let cfg = FlowConfig::fast_test(2500.0);
+        let r = run_flow(&d, &cfg, FlowPolicy::NoMls).unwrap();
+        assert_eq!(r.policy, "No MLS");
+        assert_eq!(r.mls_nets, 0);
+        assert!(r.wirelength_m > 0.0);
+        assert!(r.endpoints > 0);
+        assert!(r.power_mw > 0.0);
+        assert!(r.level_shifters > 0, "hetero stack needs level shifters");
+        assert!(r.runtime_s.is_none());
+    }
+
+    #[test]
+    fn gnn_mls_flow_trains_and_decides() {
+        let d = design();
+        let cfg = FlowConfig::fast_test(2500.0);
+        let r = run_flow(&d, &cfg, FlowPolicy::GnnMls).unwrap();
+        assert_eq!(r.policy, "GNN-MLS");
+        assert!(r.runtime_s.is_some());
+        let t = r.train.expect("training summary present");
+        assert!(t.oracle.paths > 0);
+        assert!(!format!("{r}").is_empty());
+    }
+
+    #[test]
+    fn policy_names_match_paper_headers() {
+        assert_eq!(FlowPolicy::NoMls.name(), "No MLS");
+        assert_eq!(FlowPolicy::Sota.name(), "SOTA");
+        assert_eq!(FlowPolicy::GnnMls.name(), "GNN-MLS");
+    }
+}

@@ -1,0 +1,56 @@
+//! **GNN-MLS** — GNN-assisted Metal Layer Sharing for signal routing in
+//! mixed-node 3D ICs (reproduction of Hu et al., DAC 2025).
+//!
+//! Metal Layer Sharing (MLS) lets a net whose pins all sit on one die of
+//! a face-to-face-bonded 3D IC borrow the *other* die's back-end metals,
+//! unlocking routing resource that sequential-2D flows leave untouched.
+//! Applied indiscriminately (the region-sharing SOTA), MLS helps some
+//! nets and hurts others; GNN-MLS instead makes a *per-net* decision
+//! with a graph Transformer trained on timing paths:
+//!
+//! 1. a baseline (no-MLS) route + STA produces critical timing paths;
+//! 2. each path becomes a node sequence via the hypergraph conversion —
+//!    every net (hyperedge) is folded into its single source node with
+//!    the Table II features ([`features`]);
+//! 3. a small labeled set is produced by the *iterative-STA oracle*
+//!    ([`oracle`]): what-if re-route each path net with MLS forced on,
+//!    re-evaluate the path's slack, label the net by its gain — the very
+//!    procedure the paper calls prohibitive at scale, run on a budget;
+//! 4. the model ([`model`]) pretrains with Deep Graph Infomax on
+//!    unlabeled paths, then fine-tunes a 2-layer MLP head on the labels;
+//! 5. predicted per-net decisions drive targeted routing
+//!    ([`gnnmls_route::MlsPolicy::PerNet`]), followed by MLS DFT
+//!    insertion and mixed-node PDN design ([`flow`]).
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use gnn_mls::flow::{run_flow, FlowConfig, FlowPolicy};
+//! use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+//! use gnnmls_netlist::tech::TechConfig;
+//!
+//! # fn main() -> Result<(), gnn_mls::flow::FlowError> {
+//! let tech = TechConfig::heterogeneous_16_28(6, 6);
+//! let design = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+//! let cfg = FlowConfig::new(2500.0);
+//! let report = run_flow(&design, &cfg, FlowPolicy::GnnMls)?;
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod checkpoint;
+pub mod features;
+pub mod flow;
+pub mod model;
+pub mod oracle;
+pub mod paths;
+pub mod report;
+
+pub use checkpoint::{CheckpointError, ModelCheckpoint};
+pub use features::{node_features, FeatureScaler, FEATURE_DIM};
+pub use flow::{run_flow, FlowConfig, FlowError, FlowPolicy};
+pub use model::{GnnMls, ModelConfig};
+pub use oracle::{label_paths, net_mls_impact, NetImpact, OracleConfig};
+pub use paths::{extract_path_samples, PathSample};
+pub use report::FlowReport;

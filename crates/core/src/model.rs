@@ -1,0 +1,509 @@
+//! The GNN-MLS model: graph-Transformer encoder + 2-layer MLP head,
+//! pretrained with Deep Graph Infomax, fine-tuned on oracle labels
+//! (Algorithm 1 of the paper).
+//!
+//! Encoder and head keep *separate* parameter stores: DGI pretraining
+//! updates only the encoder, fine-tuning updates only the MLP head (the
+//! paper passes "DGI-pretrained node embeddings" through the MLP). Both
+//! choices are ablation knobs ([`ModelConfig::use_dgi`],
+//! [`ModelConfig::finetune_encoder`], [`ModelConfig::encoder`]).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::NetId;
+use gnnmls_nn::layers::{GcnEncoder, TransformerEncoder};
+use gnnmls_nn::loss::{corrupt_features, dgi_loss};
+use gnnmls_nn::{Adam, Classification, Mlp, Params, Tape, Tensor, Var};
+
+use crate::features::{FeatureScaler, FEATURE_DIM};
+use crate::paths::PathSample;
+
+/// Which encoder architecture to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// The paper's graph Transformer (3 layers × 3 heads by default).
+    Transformer,
+    /// Plain mean-aggregation GNN over the path chain (ablation baseline).
+    Gcn,
+}
+
+/// Model hyperparameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Embedding width (divisible by `heads`).
+    pub d_model: usize,
+    /// Attention heads (the paper uses 3).
+    pub heads: usize,
+    /// Encoder layers (the paper uses 3).
+    pub layers: usize,
+    /// MLP head hidden width.
+    pub head_hidden: usize,
+    /// DGI pretraining epochs over the sample set.
+    pub pretrain_epochs: usize,
+    /// Fine-tuning epochs over the labeled set.
+    pub finetune_epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Init/corruption seed.
+    pub seed: u64,
+    /// Keep sinusoidal positional encodings (ablation knob).
+    pub use_positional: bool,
+    /// Run DGI pretraining at all (ablation knob).
+    pub use_dgi: bool,
+    /// Also update the encoder during fine-tuning (ablation knob; the
+    /// paper freezes it).
+    pub finetune_encoder: bool,
+    /// Encoder architecture.
+    pub encoder: EncoderKind,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            d_model: 24,
+            heads: 3,
+            layers: 3,
+            head_hidden: 16,
+            pretrain_epochs: 8,
+            finetune_epochs: 30,
+            lr: 3e-3,
+            seed: 0,
+            use_positional: true,
+            use_dgi: true,
+            finetune_encoder: false,
+            encoder: EncoderKind::Transformer,
+        }
+    }
+}
+
+enum Encoder {
+    Transformer(TransformerEncoder),
+    Gcn(GcnEncoder),
+}
+
+/// The trained (or trainable) GNN-MLS model.
+pub struct GnnMls {
+    cfg: ModelConfig,
+    enc_params: Params,
+    head_params: Params,
+    encoder: Encoder,
+    head: Mlp,
+    scaler: Option<FeatureScaler>,
+    rng: StdRng,
+}
+
+impl GnnMls {
+    /// A freshly initialized model.
+    pub fn new(cfg: ModelConfig) -> Self {
+        let mut enc_params = Params::new(cfg.seed);
+        let encoder = match cfg.encoder {
+            EncoderKind::Transformer => {
+                let mut t = TransformerEncoder::new(
+                    &mut enc_params,
+                    FEATURE_DIM,
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.layers,
+                );
+                t.use_positional = cfg.use_positional;
+                Encoder::Transformer(t)
+            }
+            EncoderKind::Gcn => Encoder::Gcn(GcnEncoder::new(
+                &mut enc_params,
+                FEATURE_DIM,
+                cfg.d_model,
+                cfg.layers,
+            )),
+        };
+        let mut head_params = Params::new(cfg.seed ^ 0x5EED);
+        let head = Mlp::new(&mut head_params, cfg.d_model, cfg.head_hidden, 1);
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(17)),
+            cfg,
+            enc_params,
+            head_params,
+            encoder,
+            head,
+            scaler: None,
+        }
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Fits the feature scaler (idempotent; called by training).
+    pub fn fit_scaler(&mut self, samples: &[PathSample]) {
+        if self.scaler.is_some() {
+            return;
+        }
+        let rows: Vec<[f32; FEATURE_DIM]> = samples
+            .iter()
+            .flat_map(|s| s.features.iter().copied())
+            .collect();
+        self.scaler = Some(FeatureScaler::fit(&rows));
+    }
+
+    fn features_of(&self, sample: &PathSample) -> Tensor {
+        self.scaler
+            .as_ref()
+            .expect("scaler fit before use")
+            .apply_matrix(&sample.features)
+    }
+
+    fn encode(&self, tape: &mut Tape, pv: &gnnmls_nn::optim::ParamVars, x: Var, n: usize) -> Var {
+        match &self.encoder {
+            Encoder::Transformer(t) => t.forward(tape, pv, x),
+            Encoder::Gcn(g) => {
+                // Path chain adjacency, row-normalized.
+                let mut adj = Tensor::zeros(n, n);
+                for i in 0..n.saturating_sub(1) {
+                    adj.set(i, i + 1, 0.5);
+                    adj.set(i + 1, i, 0.5);
+                }
+                g.forward(tape, pv, x, &adj)
+            }
+        }
+    }
+
+    /// DGI self-supervised pretraining over unlabeled path samples.
+    /// Returns the mean loss of the final epoch (no-op returning 0 when
+    /// [`ModelConfig::use_dgi`] is off).
+    pub fn pretrain(&mut self, samples: &[PathSample]) -> f32 {
+        self.fit_scaler(samples);
+        if !self.cfg.use_dgi || samples.is_empty() {
+            return 0.0;
+        }
+        let mut adam = Adam::new(self.cfg.lr);
+        let mut last_epoch_loss = 0.0;
+        for _epoch in 0..self.cfg.pretrain_epochs {
+            let mut sum = 0.0f32;
+            for s in samples {
+                if s.len() < 2 {
+                    continue;
+                }
+                let x = self.features_of(s);
+                let xc = corrupt_features(&x, &mut self.rng);
+                let mut tape = Tape::new();
+                let pv = self.enc_params.bind(&mut tape);
+                let xv = tape.leaf(x);
+                let cv = tape.leaf(xc);
+                let h = self.encode(&mut tape, &pv, xv, s.len());
+                let hc = self.encode(&mut tape, &pv, cv, s.len());
+                let loss = dgi_loss(&mut tape, h, hc);
+                sum += tape.value(loss).get(0, 0);
+                let grads = tape.backward(loss);
+                let g = pv.collect_grads(&grads, &self.enc_params);
+                adam.step(&mut self.enc_params, &g);
+            }
+            last_epoch_loss = sum / samples.len().max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Supervised fine-tuning on labeled samples; returns final-epoch
+    /// training metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample lacks labels.
+    pub fn finetune(&mut self, samples: &[PathSample]) -> Classification {
+        self.fit_scaler(samples);
+        let mut head_adam = Adam::new(self.cfg.lr);
+        let mut enc_adam = Adam::new(self.cfg.lr * 0.3);
+        let mut metrics = Classification::default();
+        // Positive labels are rare (most nets don't benefit from MLS);
+        // oversample the paths that carry positives so the head does not
+        // collapse to the majority class.
+        let (mut pos_nodes, mut neg_nodes) = (0usize, 0usize);
+        for s in samples {
+            if let Some(l) = &s.labels {
+                pos_nodes += l.iter().filter(|&&b| b).count();
+                neg_nodes += l.iter().filter(|&&b| !b).count();
+            }
+        }
+        let repeat = if pos_nodes == 0 {
+            1
+        } else {
+            (neg_nodes / pos_nodes / 3).clamp(1, 6)
+        };
+        let order: Vec<&PathSample> = samples
+            .iter()
+            .flat_map(|s| {
+                let has_pos = s.labels.as_ref().is_some_and(|l| l.iter().any(|&b| b));
+                std::iter::repeat(s).take(if has_pos { repeat } else { 1 })
+            })
+            .collect();
+        for epoch in 0..self.cfg.finetune_epochs {
+            metrics = Classification::default();
+            for &s in &order {
+                let labels = s.labels.as_ref().expect("fine-tuning needs labels");
+                if s.is_empty() {
+                    continue;
+                }
+                let targets: Vec<f32> = labels.iter().map(|&b| f32::from(b)).collect();
+                let x = self.features_of(s);
+                let mut tape = Tape::new();
+                let pv_enc = self.enc_params.bind(&mut tape);
+                let pv_head = self.head_params.bind(&mut tape);
+                let xv = tape.leaf(x);
+                let h = self.encode(&mut tape, &pv_enc, xv, s.len());
+                let z = self.head.forward(&mut tape, &pv_head, h);
+                let loss = tape.bce_with_logits(z, &targets);
+                if epoch + 1 == self.cfg.finetune_epochs {
+                    metrics = metrics.merge(&Classification::from_logits(tape.value(z), labels));
+                }
+                let grads = tape.backward(loss);
+                let gh = pv_head.collect_grads(&grads, &self.head_params);
+                head_adam.step(&mut self.head_params, &gh);
+                if self.cfg.finetune_encoder {
+                    let ge = pv_enc.collect_grads(&grads, &self.enc_params);
+                    enc_adam.step(&mut self.enc_params, &ge);
+                }
+            }
+        }
+        metrics
+    }
+
+    /// Per-node MLS probabilities for one path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaler has not been fit (train first).
+    pub fn predict_path(&self, sample: &PathSample) -> Vec<f32> {
+        let x = self.features_of(sample);
+        let mut tape = Tape::new();
+        let pv_enc = self.enc_params.bind(&mut tape);
+        let pv_head = self.head_params.bind(&mut tape);
+        let xv = tape.leaf(x);
+        let h = self.encode(&mut tape, &pv_enc, xv, sample.len());
+        let z = self.head.forward(&mut tape, &pv_head, h);
+        tape.value(z)
+            .as_slice()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect()
+    }
+
+    /// Evaluates classification metrics against oracle labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample lacks labels.
+    pub fn evaluate(&self, samples: &[PathSample]) -> Classification {
+        let mut m = Classification::default();
+        for s in samples {
+            let labels = s.labels.as_ref().expect("evaluation needs labels");
+            let probs = self.predict_path(s);
+            let logits =
+                Tensor::from_flat(probs.len(), 1, probs.iter().map(|&p| p - 0.5).collect());
+            m = m.merge(&Classification::from_logits(&logits, labels));
+        }
+        m
+    }
+
+    /// Aggregates per-path predictions into per-net MLS decisions: a net
+    /// is selected if its maximum probability over all appearances (on
+    /// eligible nodes of *violating* paths) exceeds 0.5. Non-violating
+    /// paths carry no decision — MLS exists to fix timing, and leaving
+    /// passing paths alone is what keeps GNN-MLS from the indiscriminate
+    /// regressions the SOTA shows (Table I).
+    pub fn decide(&self, samples: &[PathSample]) -> Vec<NetId> {
+        let mut best: HashMap<NetId, f32> = HashMap::new();
+        for s in samples {
+            if s.path.slack_ps >= 0.0 {
+                continue;
+            }
+            let probs = self.predict_path(s);
+            for ((&net, &eligible), &p) in s.nets.iter().zip(&s.eligible).zip(&probs) {
+                if !eligible {
+                    continue;
+                }
+                let e = best.entry(net).or_insert(0.0);
+                if p > *e {
+                    *e = p;
+                }
+            }
+        }
+        let mut v: Vec<NetId> = best
+            .into_iter()
+            .filter(|&(_, p)| p > 0.5)
+            .map(|(n, _)| n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total trainable scalars (encoder + head).
+    pub fn parameter_count(&self) -> usize {
+        self.enc_params.scalar_count() + self.head_params.scalar_count()
+    }
+
+    // ---- checkpointing plumbing (see [`crate::checkpoint`]) ----
+
+    /// Encoder parameter tensors in registration order.
+    pub(crate) fn encoder_tensors(&self) -> &[Tensor] {
+        self.enc_params.tensors()
+    }
+
+    /// Head parameter tensors in registration order.
+    pub(crate) fn head_tensors(&self) -> &[Tensor] {
+        self.head_params.tensors()
+    }
+
+    /// The fitted scaler, if any.
+    pub(crate) fn scaler_ref(&self) -> Option<&FeatureScaler> {
+        self.scaler.as_ref()
+    }
+
+    /// Overwrites the scaler (checkpoint restore).
+    pub(crate) fn set_scaler(&mut self, scaler: Option<FeatureScaler>) {
+        self.scaler = scaler;
+    }
+
+    /// Restores all parameters; returns the offending index on mismatch.
+    pub(crate) fn restore_tensors(
+        &mut self,
+        enc: Vec<Tensor>,
+        head: Vec<Tensor>,
+    ) -> Result<(), usize> {
+        self.enc_params.restore(enc)?;
+        let enc_len = self.enc_params.tensors().len();
+        self.head_params.restore(head).map_err(|i| enc_len + i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::PinId;
+    use gnnmls_sta::TimingPath;
+
+    /// Synthetic samples: label = (wirelength feature large AND slack
+    /// negative-ish) — a learnable rule in feature space.
+    fn synthetic_samples(n: usize, seed: u64) -> Vec<PathSample> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|k| {
+                let len = rng.gen_range(4..12);
+                let mut features = Vec::new();
+                let mut labels = Vec::new();
+                let mut nets = Vec::new();
+                for i in 0..len {
+                    let wl: f32 = rng.gen_range(0.0..200.0);
+                    let mut f = [0.0f32; FEATURE_DIM];
+                    f[0] = rng.gen_range(0.0..100.0);
+                    f[1] = rng.gen_range(0.0..100.0);
+                    f[2] = rng.gen_range(5.0..25.0);
+                    f[3] = rng.gen_range(1.0..10.0);
+                    f[4] = wl;
+                    f[5] = wl * 0.2;
+                    f[6] = wl * 0.001;
+                    f[7] = rng.gen_range(1.0..4.0);
+                    f[8] = 0.0;
+                    features.push(f);
+                    labels.push(wl > 100.0);
+                    nets.push(NetId::new((k * 100 + i) as u32));
+                }
+                PathSample {
+                    path: TimingPath {
+                        pins: vec![],
+                        cells: vec![],
+                        nets: nets.clone(),
+                        endpoint: PinId::new(0),
+                        slack_ps: -10.0,
+                        clock_period_ps: 400.0,
+                        setup_ps: 10.0,
+                    },
+                    eligible: vec![true; nets.len()],
+                    nets,
+                    features,
+                    labels: Some(labels),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn model_learns_a_feature_rule() {
+        let samples = synthetic_samples(40, 1);
+        let test = synthetic_samples(15, 2);
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 3,
+            finetune_epochs: 25,
+            ..ModelConfig::default()
+        });
+        model.pretrain(&samples);
+        let train_m = model.finetune(&samples);
+        assert!(
+            train_m.accuracy() > 0.85,
+            "train accuracy {:.2}",
+            train_m.accuracy()
+        );
+        let test_m = model.evaluate(&test);
+        assert!(
+            test_m.accuracy() > 0.8,
+            "test accuracy {:.2}",
+            test_m.accuracy()
+        );
+    }
+
+    #[test]
+    fn dgi_pretraining_runs_and_returns_finite_loss() {
+        let samples = synthetic_samples(10, 3);
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 2,
+            ..ModelConfig::default()
+        });
+        let loss = model.pretrain(&samples);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn decisions_come_from_eligible_high_probability_nets() {
+        let mut samples = synthetic_samples(30, 4);
+        // Make one node ineligible everywhere.
+        for s in &mut samples {
+            s.eligible[0] = false;
+        }
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 20,
+            ..ModelConfig::default()
+        });
+        model.pretrain(&samples);
+        model.finetune(&samples);
+        let decided = model.decide(&samples);
+        for s in &samples {
+            assert!(!decided.contains(&s.nets[0]), "ineligible net selected");
+        }
+    }
+
+    #[test]
+    fn gcn_variant_trains_too() {
+        let samples = synthetic_samples(30, 5);
+        let mut model = GnnMls::new(ModelConfig {
+            encoder: EncoderKind::Gcn,
+            pretrain_epochs: 2,
+            finetune_epochs: 20,
+            ..ModelConfig::default()
+        });
+        model.pretrain(&samples);
+        let m = model.finetune(&samples);
+        assert!(m.accuracy() > 0.6, "gcn accuracy {:.2}", m.accuracy());
+    }
+
+    #[test]
+    fn parameter_count_is_plausible() {
+        let model = GnnMls::new(ModelConfig::default());
+        let n = model.parameter_count();
+        // 3-layer, d=24 transformer + head: thousands, not millions.
+        assert!((1_000..100_000).contains(&n), "params {n}");
+    }
+}

@@ -1,0 +1,299 @@
+//! The iterative-STA label oracle.
+//!
+//! Ground truth for "does MLS help this net?" requires the procedure the
+//! paper calls computationally prohibitive at scale: disconnect the net,
+//! re-route it with MLS allowed, re-extract RC, and re-evaluate the
+//! path's slack (Section II-B). The oracle runs exactly that — via
+//! [`gnnmls_route::Router::what_if`] (detached re-route) and
+//! [`gnnmls_sta::TimingPath::slack_with`] (path-local slack, eq. (1)) —
+//! on a *budgeted* sample of paths, which is what makes training labels
+//! affordable while the learned model generalizes to the rest.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::{NetId, Netlist};
+use gnnmls_route::router::MlsOverride;
+use gnnmls_route::{NetRoute, RouteDb, Router};
+
+use crate::paths::PathSample;
+
+/// Oracle parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Minimum path-slack gain (ps) for a positive MLS label.
+    pub gain_threshold_ps: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            gain_threshold_ps: 0.5,
+        }
+    }
+}
+
+/// Labeling statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleStats {
+    /// Paths labeled.
+    pub paths: usize,
+    /// Positive (MLS helps) node labels.
+    pub positive: usize,
+    /// Negative node labels.
+    pub negative: usize,
+    /// Detached what-if re-routes performed (cache misses).
+    pub what_ifs: usize,
+}
+
+/// Labels each sample's nodes with the iterative-STA ground truth.
+///
+/// What-if routes are cached per net, so a net shared by several paths is
+/// re-routed once.
+pub fn label_paths(
+    samples: &mut [PathSample],
+    netlist: &Netlist,
+    router: &mut Router<'_>,
+    routes: &RouteDb,
+    cfg: &OracleConfig,
+) -> OracleStats {
+    let mut stats = OracleStats::default();
+    let mut cache: HashMap<NetId, NetRoute> = HashMap::new();
+
+    for sample in samples.iter_mut() {
+        let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
+        let mut labels = Vec::with_capacity(sample.len());
+        for (i, &net) in sample.nets.iter().enumerate() {
+            if !sample.eligible[i] {
+                labels.push(false);
+                continue;
+            }
+            if !cache.contains_key(&net) {
+                let cand = router.what_if(net, MlsOverride::Allow);
+                cache.insert(net, cand);
+                stats.what_ifs += 1;
+            }
+            let cand = &cache[&net];
+            let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
+            subs.insert(net, cand);
+            let gain = sample.path.slack_with(netlist, routes, &subs) - base_slack;
+            let positive = cand.is_mls && gain > cfg.gain_threshold_ps;
+            if positive {
+                stats.positive += 1;
+            } else {
+                stats.negative += 1;
+            }
+            labels.push(positive);
+        }
+        sample.labels = Some(labels);
+        stats.paths += 1;
+    }
+    stats
+}
+
+/// Single-net MLS impact (the Table I experiment): before/after slack and
+/// metal usage when one net is re-routed with MLS forced on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetImpact {
+    /// The net.
+    pub net: NetId,
+    /// Its instance name.
+    pub name: String,
+    /// Worst path slack through it before MLS, ps.
+    pub slack_before_ps: f64,
+    /// The same path's slack with the net re-routed under MLS, ps.
+    pub slack_after_ps: f64,
+    /// Die-local metal bitmasks used before: (logic, memory).
+    pub metals_before: (u16, u16),
+    /// Metal bitmasks used after.
+    pub metals_after: (u16, u16),
+}
+
+impl NetImpact {
+    /// Slack gain (positive = MLS helps).
+    pub fn gain_ps(&self) -> f64 {
+        self.slack_after_ps - self.slack_before_ps
+    }
+
+    /// Formats a metal mask pair like the paper ("M1-6(bot)+M5-6(top)").
+    pub fn metals_str(masks: (u16, u16)) -> String {
+        fn span(mask: u16) -> Option<(u8, u8)> {
+            if mask == 0 {
+                return None;
+            }
+            let lo = mask.trailing_zeros() as u8 + 1;
+            let hi = 16 - mask.leading_zeros() as u8;
+            Some((lo, hi))
+        }
+        let mut parts = Vec::new();
+        if let Some((lo, hi)) = span(masks.0) {
+            parts.push(if lo == hi {
+                format!("M{lo}(bot)")
+            } else {
+                format!("M{lo}-{hi}(bot)")
+            });
+        }
+        if let Some((lo, hi)) = span(masks.1) {
+            parts.push(if lo == hi {
+                format!("M{lo}(top)")
+            } else {
+                format!("M{lo}-{hi}(top)")
+            });
+        }
+        if parts.is_empty() {
+            "-".into()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Evaluates single-net MLS impact for every eligible net on the given
+/// paths, sorted by gain (most-helped first).
+pub fn net_mls_impact(
+    samples: &[PathSample],
+    netlist: &Netlist,
+    router: &mut Router<'_>,
+    routes: &RouteDb,
+    grid: &gnnmls_route::RoutingGrid,
+) -> Vec<NetImpact> {
+    let mut seen: HashMap<NetId, NetImpact> = HashMap::new();
+    for sample in samples {
+        let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
+        for (i, &net) in sample.nets.iter().enumerate() {
+            if !sample.eligible[i] || seen.contains_key(&net) {
+                continue;
+            }
+            let cand = router.what_if(net, MlsOverride::Allow);
+            let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
+            subs.insert(net, &cand);
+            let after = sample.path.slack_with(netlist, routes, &subs);
+            seen.insert(
+                net,
+                NetImpact {
+                    net,
+                    name: netlist.net(net).name.clone(),
+                    slack_before_ps: base_slack,
+                    slack_after_ps: after,
+                    metals_before: routes.route(net).tree.used_layers(grid),
+                    metals_after: cand.tree.used_layers(grid),
+                },
+            );
+        }
+    }
+    let mut v: Vec<NetImpact> = seen.into_values().collect();
+    v.sort_by(|a, b| b.gain_ps().total_cmp(&a.gain_ps()).then(a.net.cmp(&b.net)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::extract_path_samples;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_phys::{place, PlaceConfig, Placement};
+    use gnnmls_route::{MlsPolicy, RouteConfig};
+    use gnnmls_sta::{analyze, StaConfig};
+
+    fn setup() -> (gnnmls_netlist::Netlist, Placement, TechConfig) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        (d.netlist, p, tech)
+    }
+
+    #[test]
+    fn oracle_labels_every_node_and_state_is_preserved() {
+        let (netlist, placement, tech) = setup();
+        let mut router = Router::new(
+            &netlist,
+            &placement,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        router.route_all();
+        let routes = router.db();
+        let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
+        let mut samples = extract_path_samples(&netlist, &placement, &tech, &rep, 30);
+        let stats = label_paths(
+            &mut samples,
+            &netlist,
+            &mut router,
+            &routes,
+            &OracleConfig::default(),
+        );
+        assert_eq!(stats.paths, 30);
+        assert!(stats.positive + stats.negative > 0);
+        for s in &samples {
+            let l = s.labels.as_ref().unwrap();
+            assert_eq!(l.len(), s.len());
+            // Ineligible nodes are always negative.
+            for (i, &e) in s.eligible.iter().enumerate() {
+                if !e {
+                    assert!(!l[i]);
+                }
+            }
+        }
+        // What-if caching: no more what-ifs than distinct eligible nets.
+        let distinct: std::collections::HashSet<_> = samples
+            .iter()
+            .flat_map(|s| {
+                s.nets
+                    .iter()
+                    .zip(&s.eligible)
+                    .filter(|(_, &e)| e)
+                    .map(|(&n, _)| n)
+            })
+            .collect();
+        assert!(stats.what_ifs <= distinct.len());
+        // Router state unchanged by the oracle.
+        let routes2 = router.db();
+        assert_eq!(routes.summary, routes2.summary);
+    }
+
+    #[test]
+    fn net_impact_reports_both_helped_and_hurt_nets() {
+        let (netlist, placement, tech) = setup();
+        let mut router = Router::new(
+            &netlist,
+            &placement,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        router.route_all();
+        let routes = router.db();
+        let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
+        let samples = extract_path_samples(&netlist, &placement, &tech, &rep, 20);
+        let grid = router.grid().clone();
+        let impacts = net_mls_impact(&samples, &netlist, &mut router, &routes, &grid);
+        assert!(!impacts.is_empty());
+        // Sorted descending by gain.
+        for w in impacts.windows(2) {
+            assert!(w[0].gain_ps() >= w[1].gain_ps() - 1e-9);
+        }
+        // Every impact row has valid metal strings.
+        for i in impacts.iter().take(5) {
+            assert!(!NetImpact::metals_str(i.metals_before).is_empty());
+        }
+    }
+
+    #[test]
+    fn metals_str_formats_like_the_paper() {
+        assert_eq!(
+            NetImpact::metals_str((0b0011_1111, 0b0011_0000)),
+            "M1-6(bot)+M5-6(top)"
+        );
+        assert_eq!(NetImpact::metals_str((0b0000_1111, 0)), "M1-4(bot)");
+        assert_eq!(
+            NetImpact::metals_str((0b0011_1111, 0b0010_0000)),
+            "M1-6(bot)+M6(top)"
+        );
+        assert_eq!(NetImpact::metals_str((0, 0)), "-");
+    }
+}

@@ -1,0 +1,124 @@
+//! Timing-path samples: the unit of GNN-MLS training and inference data.
+//!
+//! A [`PathSample`] is one extracted critical path with its per-node
+//! (per-net) feature rows. Samples are unlabeled until the oracle runs
+//! (Deep Graph Infomax pretraining uses them as-is; fine-tuning needs
+//! [`PathSample::labels`]).
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::{NetId, Netlist, Tier};
+use gnnmls_phys::Placement;
+use gnnmls_sta::path::worst_paths;
+use gnnmls_sta::{TimingPath, TimingReport};
+
+use crate::features::{node_features, FEATURE_DIM};
+
+/// One timing path converted to a node sequence with features.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PathSample {
+    /// The underlying timing path.
+    pub path: TimingPath,
+    /// Nets along the path, in order (one per node).
+    pub nets: Vec<NetId>,
+    /// Raw feature rows, one per node.
+    pub features: Vec<[f32; FEATURE_DIM]>,
+    /// Which nodes are eligible for MLS at all (single-die nets; 3D nets
+    /// cross the bond regardless and carry no decision).
+    pub eligible: Vec<bool>,
+    /// Oracle labels (`Some` after labeling): `true` = MLS improves the
+    /// path's slack beyond the threshold.
+    pub labels: Option<Vec<bool>>,
+}
+
+impl PathSample {
+    /// Number of nodes (nets) on the path.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the path has no nets (never true for extracted paths).
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+}
+
+/// Extracts the `k` worst paths as unlabeled samples.
+pub fn extract_path_samples(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &TechConfig,
+    report: &TimingReport,
+    k: usize,
+) -> Vec<PathSample> {
+    worst_paths(netlist, report, k)
+        .into_iter()
+        .map(|path| sample_from_path(netlist, placement, tech, path))
+        .collect()
+}
+
+/// Converts one timing path into a sample.
+pub fn sample_from_path(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &TechConfig,
+    path: TimingPath,
+) -> PathSample {
+    let nets = path.nets.clone();
+    let features = nets
+        .iter()
+        .map(|&n| node_features(netlist, placement, tech, n))
+        .collect();
+    let eligible = nets
+        .iter()
+        .map(|&n| matches!(netlist.net_tier(n), Some(Tier::Logic) | Some(Tier::Memory)))
+        .collect();
+    PathSample {
+        path,
+        nets,
+        features,
+        eligible,
+        labels: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_phys::{place, PlaceConfig};
+    use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
+    use gnnmls_sta::{analyze, StaConfig};
+
+    #[test]
+    fn samples_match_their_paths() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        let rep = analyze(&d.netlist, &db, StaConfig::from_freq_mhz(2500.0)).unwrap();
+        let samples = extract_path_samples(&d.netlist, &p, &tech, &rep, 25);
+        assert_eq!(samples.len(), 25);
+        for s in &samples {
+            assert!(!s.is_empty());
+            assert_eq!(s.features.len(), s.len());
+            assert_eq!(s.eligible.len(), s.len());
+            assert_eq!(s.nets, s.path.nets);
+            assert!(s.labels.is_none());
+            // Eligibility matches net tier.
+            for (i, &n) in s.nets.iter().enumerate() {
+                assert_eq!(s.eligible[i], d.netlist.net_tier(n).is_some());
+            }
+        }
+        // Worst first.
+        assert!(samples[0].path.slack_ps <= samples[24].path.slack_ps + 1e-9);
+    }
+}

@@ -1,0 +1,207 @@
+//! The flow's PPA report — one column of Tables IV–VI.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use gnnmls_nn::Classification;
+
+use crate::oracle::OracleStats;
+
+/// PDN geometry summary (Table IV's `M-T:W/P/U` row).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PdnSummary {
+    /// Stripe width, µm.
+    pub width_um: f64,
+    /// Stripe pitch, µm.
+    pub pitch_um: f64,
+    /// Top-metal utilization (0..1).
+    pub utilization: f64,
+}
+
+/// Training diagnostics for the GNN-MLS policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainSummary {
+    /// Oracle labeling statistics.
+    pub oracle: OracleStats,
+    /// Final DGI pretraining loss.
+    pub pretrain_loss: f32,
+    /// Final-epoch training metrics.
+    pub train_metrics: Classification,
+    /// Held-out evaluation metrics (on labeled paths not used for
+    /// fine-tuning).
+    pub eval_metrics: Classification,
+}
+
+/// One full flow run's results.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Design name (e.g. `maeri128pe_32bw`).
+    pub design: String,
+    /// Policy name (`No MLS`, `SOTA`, `GNN-MLS`).
+    pub policy: String,
+    /// Technology name (e.g. `hetero-16-28-6+6`).
+    pub tech: String,
+    /// Target frequency, MHz.
+    pub target_freq_mhz: f64,
+    /// Floorplan area, mm².
+    pub fp_mm2: f64,
+    /// Total routed wirelength, m.
+    pub wirelength_m: f64,
+    /// Worst negative slack, ps.
+    pub wns_ps: f64,
+    /// Total negative slack, ns.
+    pub tns_ns: f64,
+    /// Violating endpoints (the paper's `#Vio. Paths` / Fig. 2 points).
+    pub violating_paths: usize,
+    /// Total timing endpoints.
+    pub endpoints: usize,
+    /// Nets routed with metal-layer sharing.
+    pub mls_nets: usize,
+    /// Total power, mW.
+    pub power_mw: f64,
+    /// Effective frequency `1/(T − WNS)`, MHz.
+    pub eff_freq_mhz: f64,
+    /// Model runtime (oracle + training + inference), s; `None` for the
+    /// baselines (the paper lists `-`).
+    pub runtime_s: Option<f64>,
+    /// Worst IR-drop as % of the lowest VDD.
+    pub ir_drop_pct: Option<f64>,
+    /// Memory-die top-metal PDN geometry.
+    pub pdn: Option<PdnSummary>,
+    /// Level-shifter power, mW (heterogeneous designs).
+    pub ls_power_mw: Option<f64>,
+    /// Level shifters inserted.
+    pub level_shifters: usize,
+    /// Stuck-at test coverage (with the configured DFT), %.
+    pub test_coverage_pct: Option<f64>,
+    /// Total / detected fault counts behind the coverage number.
+    pub faults: Option<(usize, usize)>,
+    /// DFT cells added by the MLS DFT ECO.
+    pub dft_cells: usize,
+    /// Training diagnostics (GNN-MLS only).
+    pub train: Option<TrainSummary>,
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] @ {:.0} MHz ({})",
+            self.design, self.policy, self.target_freq_mhz, self.tech
+        )?;
+        writeln!(
+            f,
+            "  FP {:.2} mm2 | WL {:.3} m | WNS {:.1} ps | TNS {:.2} ns | vio {} / {}",
+            self.fp_mm2,
+            self.wirelength_m,
+            self.wns_ps,
+            self.tns_ns,
+            self.violating_paths,
+            self.endpoints
+        )?;
+        writeln!(
+            f,
+            "  MLS nets {} | power {:.1} mW | eff freq {:.0} MHz",
+            self.mls_nets, self.power_mw, self.eff_freq_mhz
+        )?;
+        if let Some(ir) = self.ir_drop_pct {
+            let pdn = self.pdn.unwrap_or_default();
+            writeln!(
+                f,
+                "  IR {ir:.2}% | PDN {:.1}um/{:.0}um/{:.0}% | LS {} ({} mW)",
+                pdn.width_um,
+                pdn.pitch_um,
+                pdn.utilization * 100.0,
+                self.level_shifters,
+                self.ls_power_mw
+                    .map(|p| format!("{p:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+            )?;
+        }
+        if let Some(cov) = self.test_coverage_pct {
+            let (total, det) = self.faults.unwrap_or((0, 0));
+            writeln!(
+                f,
+                "  test coverage {cov:.2}% ({det}/{total} faults, {} DFT cells)",
+                self.dft_cells
+            )?;
+        }
+        if let Some(rt) = self.runtime_s {
+            writeln!(f, "  model runtime {rt:.1} s")?;
+        }
+        if let Some(t) = &self.train {
+            writeln!(
+                f,
+                "  train: {} paths, {}+/{}- labels, acc {:.2}, f1 {:.2} (eval acc {:.2})",
+                t.oracle.paths,
+                t.oracle.positive,
+                t.oracle.negative,
+                t.train_metrics.accuracy(),
+                t.train_metrics.f1(),
+                t.eval_metrics.accuracy()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_displays_all_sections() {
+        let r = FlowReport {
+            design: "maeri16pe_4bw".into(),
+            policy: "GNN-MLS".into(),
+            tech: "hetero-16-28-6+6".into(),
+            target_freq_mhz: 2500.0,
+            fp_mm2: 0.38,
+            wirelength_m: 5.16,
+            wns_ps: -23.0,
+            tns_ns: -11.0,
+            violating_paths: 2800,
+            endpoints: 14000,
+            mls_nets: 2370,
+            power_mw: 1389.0,
+            eff_freq_mhz: 2363.0,
+            runtime_s: Some(20.0 * 60.0),
+            ir_drop_pct: Some(9.4),
+            pdn: Some(PdnSummary {
+                width_um: 2.0,
+                pitch_um: 7.0,
+                utilization: 0.14,
+            }),
+            ls_power_mw: Some(46.0),
+            level_shifters: 120,
+            test_coverage_pct: Some(98.38),
+            faults: Some((444_346, 438_276)),
+            dft_cells: 32,
+            train: Some(TrainSummary::default()),
+        };
+        let s = format!("{r}");
+        for needle in [
+            "GNN-MLS",
+            "WNS -23.0",
+            "MLS nets 2370",
+            "IR 9.40%",
+            "coverage 98.38%",
+            "train:",
+        ] {
+            assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn minimal_report_displays() {
+        let r = FlowReport {
+            design: "x".into(),
+            policy: "No MLS".into(),
+            ..Default::default()
+        };
+        let s = format!("{r}");
+        assert!(s.contains("No MLS"));
+        assert!(!s.contains("coverage"));
+        assert!(!s.contains("IR "));
+    }
+}

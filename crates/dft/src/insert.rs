@@ -1,0 +1,296 @@
+//! Physical insertion of MLS DFT structures (post-route ECO).
+//!
+//! Both strategies are inserted *at the bond crossing* of each MLS net —
+//! the paper stresses that the insertion is post-routing so it can align
+//! with the pads' exact locations:
+//!
+//! - **net-based** (Figure 6a): a `SCANMUX` is spliced into the crossing
+//!   path; in test mode the scan chain redirects signal flow across the
+//!   open, restoring observability upstream and controllability
+//!   downstream. One extra cell in the functional path.
+//! - **wire-based** (Figure 6b): the net-based MUX *plus* a shadow
+//!   `SCANDFF` that registers the upstream signal (extra load → the
+//!   slightly worse WNS the paper measures) and can drive the downstream
+//!   side during test; its Q is observed at a dedicated test port.
+//!
+//! The ECO mutates the netlist and appends locations to the placement;
+//! the caller re-routes the modified nets (granting them their previous
+//! MLS permission via [`DftInsertion::mls_nets`]) and re-runs STA.
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::{CellId, CellLibrary, NetId, Netlist, NetlistError};
+use gnnmls_phys::place::Point;
+use gnnmls_phys::Placement;
+use gnnmls_route::grid::RoutingGrid;
+use gnnmls_route::RouteDb;
+
+use crate::faults::{cut_sinks, DftMode};
+
+/// Record of an MLS DFT insertion ECO.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DftInsertion {
+    /// Strategy inserted.
+    pub mode: Option<DftMode>,
+    /// All cells added by the ECO.
+    pub added_cells: Vec<CellId>,
+    /// Nets whose connectivity changed and must be re-routed.
+    pub modified_nets: Vec<NetId>,
+    /// Nets created by the ECO.
+    pub new_nets: Vec<NetId>,
+    /// MLS crossing sites processed.
+    pub sites: usize,
+    /// Pairs `(parent, child)` of split MLS nets: the child should
+    /// inherit the parent's MLS routing permission.
+    pub mls_nets: Vec<(NetId, NetId)>,
+}
+
+/// Inserts MLS DFT into a routed design.
+///
+/// Appends cells to `netlist`/`placement` (locations at the first bond
+/// crossing of each MLS net) and returns the ECO record. With
+/// [`DftMode::None`] this is a no-op.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] on internal wiring failures (name
+/// collisions would indicate the ECO ran twice).
+pub fn insert_mls_dft(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    routes: &RouteDb,
+    grid: &RoutingGrid,
+    tech: &TechConfig,
+    mode: DftMode,
+) -> Result<DftInsertion, NetlistError> {
+    let mut rec = DftInsertion {
+        mode: Some(mode),
+        ..Default::default()
+    };
+    if mode == DftMode::None {
+        return Ok(rec);
+    }
+
+    // Gather sites first (netlist mutation invalidates nothing in routes,
+    // but we only consult pre-ECO routes).
+    struct Site {
+        net: NetId,
+        cut_pins: Vec<gnnmls_netlist::PinId>,
+        loc: Point,
+        tier: gnnmls_netlist::Tier,
+    }
+    let mut sites = Vec::new();
+    for net in netlist.net_ids() {
+        // Nets added after `routes` was captured (e.g. by another ECO)
+        // have no route yet and cannot carry an MLS crossing.
+        if net.index() >= routes.nets.len() {
+            continue;
+        }
+        let r = routes.route(net);
+        if !r.is_mls || r.f2f_crossings == 0 {
+            continue;
+        }
+        let cut = cut_sinks(r);
+        let cut_pins: Vec<_> = netlist
+            .sinks(net)
+            .iter()
+            .zip(&cut)
+            .filter(|(_, &c)| c)
+            .map(|(&p, _)| p)
+            .collect();
+        // First bond-crossing edge gives the pad location.
+        let t = &r.tree;
+        let Some(i) = (1..t.nodes.len()).find(|&i| t.edge_f2f[i]) else {
+            continue;
+        };
+        let (gx, gy, _) = grid.coords(t.nodes[i]);
+        let loc = Point::new(
+            (gx as f64 + 0.5) * grid.gcell_um,
+            (gy as f64 + 0.5) * grid.gcell_um,
+        );
+        let tier = netlist
+            .net_tier(net)
+            .expect("MLS nets are single-die by definition");
+        sites.push(Site {
+            net,
+            cut_pins,
+            loc,
+            tier,
+        });
+    }
+    if sites.is_empty() {
+        return Ok(rec);
+    }
+
+    // One shared test-enable port drives every inserted MUX select.
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let memory_lib = CellLibrary::for_node(&tech.memory_node);
+    let lib_of = |tier: gnnmls_netlist::Tier| match tier {
+        gnnmls_netlist::Tier::Logic => &logic_lib,
+        gnnmls_netlist::Tier::Memory => &memory_lib,
+    };
+    let te_cell = netlist.add_cell(
+        "dft_test_en",
+        logic_lib.expect("PI"),
+        gnnmls_netlist::Tier::Logic,
+    )?;
+    push_loc(placement, te_cell, Point::new(0.0, 0.0));
+    rec.added_cells.push(te_cell);
+    // The PI's output net is created on first use below.
+    let mut te_net: Option<NetId> = None;
+
+    for (k, site) in sites.iter().enumerate() {
+        rec.sites += 1;
+        let lib = lib_of(site.tier);
+        let netname = netlist.net(site.net).name.clone();
+
+        // --- Net-based portion (both modes): MUX spliced at the pad.
+        if !site.cut_pins.is_empty() {
+            let mux = netlist.add_cell(format!("dftmux_{k}"), lib.expect("SCANMUX"), site.tier)?;
+            push_loc(placement, mux, site.loc);
+            rec.added_cells.push(mux);
+            let child =
+                netlist.split_net(site.net, &site.cut_pins, mux, format!("{netname}_dft"))?;
+            rec.modified_nets.push(site.net);
+            rec.new_nets.push(child);
+            rec.mls_nets.push((site.net, child));
+            // Select pin (input ordinal 1) from the shared test-enable
+            // net. The signal is static in functional mode; the timer
+            // treats this arc as a false path.
+            let te = match te_net {
+                Some(n) => n,
+                None => {
+                    let n = splice_te_net(netlist, te_cell)?;
+                    te_net = Some(n);
+                    n
+                }
+            };
+            netlist.connect_sink(te, mux, 1)?;
+        }
+
+        // --- Wire-based extra: shadow scan FF + observe port.
+        if mode == DftMode::WireBased {
+            let ff = netlist.add_cell(format!("dftff_{k}"), lib.expect("SCANDFF"), site.tier)?;
+            push_loc(placement, ff, site.loc);
+            rec.added_cells.push(ff);
+            // D taps the (driver-side) net: extra load on the MLS net.
+            netlist.connect_sink(site.net, ff, 0)?;
+            rec.modified_nets.push(site.net);
+            // Q observed at a test port.
+            let po = netlist.add_cell(format!("dftobs_{k}"), lib.expect("PO"), site.tier)?;
+            push_loc(placement, po, site.loc);
+            rec.added_cells.push(po);
+            let qnet = netlist.connect_new_net(format!("{netname}_dftq"), ff, po)?;
+            rec.new_nets.push(qnet);
+        }
+    }
+
+    rec.modified_nets.sort();
+    rec.modified_nets.dedup();
+    Ok(rec)
+}
+
+fn push_loc(placement: &mut Placement, cell: CellId, loc: Point) {
+    let idx = placement.push_location(loc);
+    debug_assert_eq!(idx, cell.index(), "placement and netlist stay aligned");
+}
+
+/// Creates the test-enable net driven by the TE port cell with a dummy
+/// keeper sink so validation holds even before any MUX connects.
+fn splice_te_net(netlist: &mut Netlist, te_cell: CellId) -> Result<NetId, NetlistError> {
+    netlist.new_driven_net("dft_test_en_net", te_cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_phys::{place, PlaceConfig};
+    use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
+
+    fn setup() -> (
+        gnnmls_netlist::Netlist,
+        Placement,
+        RouteDb,
+        RoutingGrid,
+        TechConfig,
+    ) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, grid) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::sota(),
+            RouteConfig::default(),
+        )
+        .unwrap();
+        (d.netlist, p, db, grid, tech)
+    }
+
+    #[test]
+    fn none_mode_is_a_noop() {
+        let (mut n, mut p, db, grid, tech) = setup();
+        let cells = n.cell_count();
+        let rec = insert_mls_dft(&mut n, &mut p, &db, &grid, &tech, DftMode::None).unwrap();
+        assert_eq!(rec.sites, 0);
+        assert!(rec.added_cells.is_empty());
+        assert_eq!(n.cell_count(), cells);
+    }
+
+    #[test]
+    fn net_based_insertion_splits_mls_nets() {
+        let (mut n, mut p, db, grid, tech) = setup();
+        assert!(db.summary.mls_net_count > 0);
+        let cells_before = n.cell_count();
+        let rec = insert_mls_dft(&mut n, &mut p, &db, &grid, &tech, DftMode::NetBased).unwrap();
+        assert!(rec.sites > 0);
+        assert!(n.cell_count() > cells_before);
+        assert_eq!(p.locations().len(), n.cell_count(), "placement tracks ECO");
+        // Every split child is driven by a scan mux.
+        for &(parent, child) in &rec.mls_nets {
+            let drv = n.driver_cell(child);
+            assert_eq!(n.class(drv), gnnmls_netlist::CellClass::ScanMux);
+            assert_ne!(parent, child);
+        }
+        // Netlist still validates structurally: every net driver + sinks.
+        for net in n.net_ids() {
+            assert!(n.net(net).pins.len() >= 2, "net {net} lost its sinks");
+        }
+    }
+
+    #[test]
+    fn wire_based_adds_shadow_ffs_and_observation_ports() {
+        let (mut n, mut p, db, grid, tech) = setup();
+        let rec = insert_mls_dft(&mut n, &mut p, &db, &grid, &tech, DftMode::WireBased).unwrap();
+
+        let (mut n2, mut p2, db2, grid2, tech2) = setup();
+        let net_rec =
+            insert_mls_dft(&mut n2, &mut p2, &db2, &grid2, &tech2, DftMode::NetBased).unwrap();
+
+        assert!(
+            rec.added_cells.len() > net_rec.added_cells.len(),
+            "wire-based adds more logic ({} vs {})",
+            rec.added_cells.len(),
+            net_rec.added_cells.len()
+        );
+        let ffs = rec
+            .added_cells
+            .iter()
+            .filter(|&&c| n.class(c) == gnnmls_netlist::CellClass::ScanRegister)
+            .count();
+        assert_eq!(ffs, rec.sites);
+        // Each shadow FF's Q is observed at a PO.
+        let pos = rec
+            .added_cells
+            .iter()
+            .filter(|&&c| n.class(c) == gnnmls_netlist::CellClass::Output)
+            .count();
+        assert_eq!(pos, rec.sites);
+        // The extra D-taps load the parent nets (recorded for re-route).
+        assert!(!rec.modified_nets.is_empty());
+    }
+}

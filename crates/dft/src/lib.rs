@@ -1,0 +1,33 @@
+//! Design-for-test for MLS-enabled hybrid-bonded 3D ICs.
+//!
+//! Hybrid bonding tests each die *before* bonding, so any signal that
+//! crosses the F2F interface is an **open connection** at die-level test
+//! time: the upstream cone becomes unobservable and the downstream cone
+//! uncontrollable (Figure 3 of the paper). True 3D nets are covered by
+//! the base flow's boundary test structures; *MLS nets* — single-die nets
+//! that borrowed the other die's metals — are not, which is the paper's
+//! testability problem.
+//!
+//! This crate provides:
+//!
+//! - [`scan`] — placement-aware scan-chain stitching (full-scan model).
+//! - [`faults`] — the stuck-at fault universe and structural
+//!   detectability analysis under MLS opens (Table III / Table VI's
+//!   coverage numbers).
+//! - [`insert`] — physical insertion of the two MLS DFT strategies:
+//!   net-based (a test MUX in the crossing path, Figure 6a) and
+//!   wire-based (a shadow scan FF observing/driving the crossing,
+//!   Figure 6b), as post-route ECOs.
+//! - [`simulate`] — a pattern-based fault simulator that cross-validates
+//!   the structural coverage model (faults behind opens are provably
+//!   silent; bridging them with DFT makes them fall to random patterns).
+
+pub mod faults;
+pub mod insert;
+pub mod scan;
+pub mod simulate;
+
+pub use faults::{analyze_coverage, DftMode, FaultReport};
+pub use insert::{insert_mls_dft, DftInsertion};
+pub use scan::ScanChain;
+pub use simulate::{Fault, FaultSimulator, SimReport};

@@ -1,0 +1,148 @@
+//! DFT-crate integration: the insertion ECO composed with re-routing and
+//! re-analysis — the full post-route DFT pipeline at crate granularity.
+
+use gnnmls_dft::{analyze_coverage, insert_mls_dft, DftMode, ScanChain};
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::{CellClass, NetId};
+use gnnmls_phys::{place, PlaceConfig, Placement};
+use gnnmls_route::{route_design, MlsPolicy, RouteConfig, RouteDb, RoutingGrid};
+
+fn routed_with_mls() -> (
+    gnnmls_netlist::Netlist,
+    Placement,
+    RouteDb,
+    RoutingGrid,
+    TechConfig,
+) {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let d = generate_maeri(&MaeriConfig::new(32, 4), &tech).unwrap();
+    let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+    let (db, grid) = route_design(
+        &d.netlist,
+        &p,
+        &tech,
+        MlsPolicy::sota(),
+        RouteConfig::default(),
+    )
+    .unwrap();
+    (d.netlist, p, db, grid, tech)
+}
+
+#[test]
+fn insertion_then_reroute_keeps_the_design_routable() {
+    let (mut netlist, mut placement, db, grid, tech) = routed_with_mls();
+    assert!(db.summary.mls_net_count > 0);
+    let rec = insert_mls_dft(
+        &mut netlist,
+        &mut placement,
+        &db,
+        &grid,
+        &tech,
+        DftMode::WireBased,
+    )
+    .unwrap();
+    assert!(rec.sites > 0);
+
+    // Grant split nets their MLS permission and re-route the whole thing.
+    let allowed: Vec<NetId> = rec.mls_nets.iter().flat_map(|&(p, c)| [p, c]).collect();
+    let policy = MlsPolicy::per_net_from(&netlist, allowed);
+    let (db2, _) =
+        route_design(&netlist, &placement, &tech, policy, RouteConfig::default()).unwrap();
+    assert_eq!(db2.nets.len(), netlist.net_count());
+    // Post-ECO coverage with the mode active is high again.
+    let cov = analyze_coverage(&netlist, &db2, DftMode::WireBased);
+    assert!(cov.coverage_pct() > 90.0, "{:.2}%", cov.coverage_pct());
+}
+
+#[test]
+fn inserted_cells_sit_near_their_crossings() {
+    let (mut netlist, mut placement, db, grid, tech) = routed_with_mls();
+    let fp = *placement.floorplan();
+    let rec = insert_mls_dft(
+        &mut netlist,
+        &mut placement,
+        &db,
+        &grid,
+        &tech,
+        DftMode::NetBased,
+    )
+    .unwrap();
+    for &c in &rec.added_cells {
+        let l = placement.loc(c);
+        assert!(
+            fp.contains(l.x, l.y),
+            "DFT cell {} placed off-die",
+            netlist.cell(c).name
+        );
+    }
+    // Exactly one test-enable port among the added cells.
+    let te = rec
+        .added_cells
+        .iter()
+        .filter(|&&c| netlist.class(c) == CellClass::Input)
+        .count();
+    assert_eq!(te, 1);
+}
+
+#[test]
+fn repeated_insertion_fails_cleanly() {
+    let (mut netlist, mut placement, db, grid, tech) = routed_with_mls();
+    insert_mls_dft(
+        &mut netlist,
+        &mut placement,
+        &db,
+        &grid,
+        &tech,
+        DftMode::NetBased,
+    )
+    .unwrap();
+    // Running the ECO again collides on the deterministic names.
+    let again = insert_mls_dft(
+        &mut netlist,
+        &mut placement,
+        &db,
+        &grid,
+        &tech,
+        DftMode::NetBased,
+    );
+    assert!(again.is_err(), "double insertion must be rejected");
+}
+
+#[test]
+fn scan_chain_spans_both_tiers_in_order() {
+    let (netlist, placement, _, _, _) = routed_with_mls();
+    let chain = ScanChain::build(&netlist, &placement, 5.0);
+    // Logic-tier elements come before memory-tier ones (per-tier stitch).
+    let first_mem = chain
+        .order
+        .iter()
+        .position(|&c| netlist.cell(c).tier == gnnmls_netlist::Tier::Memory);
+    if let Some(k) = first_mem {
+        assert!(chain.order[k..]
+            .iter()
+            .all(|&c| netlist.cell(c).tier == gnnmls_netlist::Tier::Memory));
+    }
+}
+
+#[test]
+fn coverage_is_monotone_in_dft_strength_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::new(16, 4).with_seed(seed), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::sota(),
+            RouteConfig::default(),
+        )
+        .unwrap();
+        let none = analyze_coverage(&d.netlist, &db, DftMode::None);
+        let net = analyze_coverage(&d.netlist, &db, DftMode::NetBased);
+        let wire = analyze_coverage(&d.netlist, &db, DftMode::WireBased);
+        assert!(none.detected_faults <= net.detected_faults, "seed {seed}");
+        assert!(net.detected_faults <= wire.detected_faults, "seed {seed}");
+    }
+}

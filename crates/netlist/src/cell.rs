@@ -1,0 +1,418 @@
+//! A small standard-cell library parameterized by technology node.
+//!
+//! Templates carry the handful of electrical numbers the rest of the flow
+//! needs: intrinsic delay, output drive resistance, input pin capacitance,
+//! area, and leakage. Values are synthetic but ordered like a real library
+//! (an inverter is faster than a full adder; an SRAM macro dominates both),
+//! and are scaled per node by [`TechNode`] factors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tech::TechNode;
+
+/// Functional class of a cell instance.
+///
+/// The class determines how the timing graph, DFT insertion, and the power
+/// model treat the cell; the specific gate function is irrelevant to the
+/// flow and only kept as a template name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Primary input port (timing startpoint).
+    Input,
+    /// Primary output port (timing endpoint).
+    Output,
+    /// Generic combinational gate.
+    Combinational,
+    /// Sequential element (D flip-flop; startpoint at Q, endpoint at D).
+    Register,
+    /// SRAM macro (placed on the memory tier; both startpoint and endpoint).
+    Macro,
+    /// Level shifter inserted on inter-domain 3D crossings.
+    LevelShifter,
+    /// Test MUX inserted by net-based MLS DFT.
+    ScanMux,
+    /// Scan flip-flop inserted by wire-based MLS DFT.
+    ScanRegister,
+}
+
+impl CellClass {
+    /// Whether the cell is a timing startpoint (launches signals).
+    #[inline]
+    pub fn is_startpoint(self) -> bool {
+        matches!(
+            self,
+            CellClass::Input | CellClass::Register | CellClass::Macro | CellClass::ScanRegister
+        )
+    }
+
+    /// Whether the cell is a timing endpoint (captures signals).
+    #[inline]
+    pub fn is_endpoint(self) -> bool {
+        matches!(
+            self,
+            CellClass::Output | CellClass::Register | CellClass::Macro | CellClass::ScanRegister
+        )
+    }
+
+    /// Whether signals propagate through the cell combinationally.
+    #[inline]
+    pub fn is_combinational(self) -> bool {
+        matches!(
+            self,
+            CellClass::Combinational | CellClass::LevelShifter | CellClass::ScanMux
+        )
+    }
+
+    /// Whether the cell is sequential (participates in scan chains).
+    #[inline]
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellClass::Register | CellClass::ScanRegister)
+    }
+}
+
+/// Electrical template of a library cell.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct CellTemplate {
+    /// Library name, e.g. `"NAND2"`.
+    pub name: &'static str,
+    /// Functional class.
+    pub class: CellClass,
+    /// Number of signal input pins.
+    pub inputs: u8,
+    /// Number of signal output pins.
+    pub outputs: u8,
+    /// Intrinsic delay in ps (clk→Q for registers, access time for macros).
+    pub delay_ps: f64,
+    /// Output drive resistance in kΩ.
+    pub drive_kohm: f64,
+    /// Capacitance of each input pin in fF.
+    pub input_cap_ff: f64,
+    /// Setup requirement in ps (registers and macros only).
+    pub setup_ps: f64,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Leakage power in µW.
+    pub leakage_uw: f64,
+}
+
+impl CellTemplate {
+    fn scaled(&self, node: &TechNode) -> CellTemplate {
+        CellTemplate {
+            delay_ps: self.delay_ps * node.delay_scale,
+            drive_kohm: self.drive_kohm * node.drive_scale,
+            input_cap_ff: self.input_cap_ff * node.cap_scale,
+            setup_ps: self.setup_ps * node.delay_scale,
+            area_um2: self.area_um2 * node.area_scale,
+            leakage_uw: self.leakage_uw * node.leakage_scale,
+            ..self.clone()
+        }
+    }
+}
+
+/// All base templates at the 28 nm reference node.
+const BASE_TEMPLATES: &[CellTemplate] = &[
+    CellTemplate {
+        name: "PI",
+        class: CellClass::Input,
+        inputs: 0,
+        outputs: 1,
+        delay_ps: 0.0,
+        drive_kohm: 0.5,
+        input_cap_ff: 0.0,
+        setup_ps: 0.0,
+        area_um2: 0.0,
+        leakage_uw: 0.0,
+    },
+    CellTemplate {
+        name: "PO",
+        class: CellClass::Output,
+        inputs: 1,
+        outputs: 0,
+        delay_ps: 0.0,
+        drive_kohm: 0.0,
+        input_cap_ff: 2.0,
+        setup_ps: 0.0,
+        area_um2: 0.0,
+        leakage_uw: 0.0,
+    },
+    CellTemplate {
+        name: "INV",
+        class: CellClass::Combinational,
+        inputs: 1,
+        outputs: 1,
+        delay_ps: 6.0,
+        drive_kohm: 1.0,
+        input_cap_ff: 0.9,
+        setup_ps: 0.0,
+        area_um2: 0.5,
+        leakage_uw: 0.010,
+    },
+    CellTemplate {
+        name: "BUF",
+        class: CellClass::Combinational,
+        inputs: 1,
+        outputs: 1,
+        delay_ps: 9.0,
+        drive_kohm: 0.7,
+        input_cap_ff: 1.0,
+        setup_ps: 0.0,
+        area_um2: 0.8,
+        leakage_uw: 0.014,
+    },
+    CellTemplate {
+        name: "BUFX4",
+        class: CellClass::Combinational,
+        inputs: 1,
+        outputs: 1,
+        delay_ps: 7.5,
+        drive_kohm: 0.28,
+        input_cap_ff: 2.4,
+        setup_ps: 0.0,
+        area_um2: 1.9,
+        leakage_uw: 0.040,
+    },
+    CellTemplate {
+        name: "NAND2",
+        class: CellClass::Combinational,
+        inputs: 2,
+        outputs: 1,
+        delay_ps: 8.0,
+        drive_kohm: 1.1,
+        input_cap_ff: 1.1,
+        setup_ps: 0.0,
+        area_um2: 0.7,
+        leakage_uw: 0.015,
+    },
+    CellTemplate {
+        name: "NOR2",
+        class: CellClass::Combinational,
+        inputs: 2,
+        outputs: 1,
+        delay_ps: 9.5,
+        drive_kohm: 1.25,
+        input_cap_ff: 1.1,
+        setup_ps: 0.0,
+        area_um2: 0.7,
+        leakage_uw: 0.015,
+    },
+    CellTemplate {
+        name: "XOR2",
+        class: CellClass::Combinational,
+        inputs: 2,
+        outputs: 1,
+        delay_ps: 14.0,
+        drive_kohm: 1.4,
+        input_cap_ff: 1.6,
+        setup_ps: 0.0,
+        area_um2: 1.3,
+        leakage_uw: 0.024,
+    },
+    CellTemplate {
+        name: "AOI22",
+        class: CellClass::Combinational,
+        inputs: 4,
+        outputs: 1,
+        delay_ps: 12.0,
+        drive_kohm: 1.3,
+        input_cap_ff: 1.3,
+        setup_ps: 0.0,
+        area_um2: 1.2,
+        leakage_uw: 0.022,
+    },
+    CellTemplate {
+        name: "MUX2",
+        class: CellClass::Combinational,
+        inputs: 3,
+        outputs: 1,
+        delay_ps: 12.5,
+        drive_kohm: 1.2,
+        input_cap_ff: 1.4,
+        setup_ps: 0.0,
+        area_um2: 1.4,
+        leakage_uw: 0.024,
+    },
+    CellTemplate {
+        name: "FA",
+        class: CellClass::Combinational,
+        inputs: 3,
+        outputs: 2,
+        delay_ps: 22.0,
+        drive_kohm: 1.3,
+        input_cap_ff: 1.8,
+        setup_ps: 0.0,
+        area_um2: 2.4,
+        leakage_uw: 0.045,
+    },
+    CellTemplate {
+        name: "DFF",
+        class: CellClass::Register,
+        inputs: 1,
+        outputs: 1,
+        delay_ps: 18.0,
+        drive_kohm: 1.05,
+        input_cap_ff: 1.4,
+        setup_ps: 11.0,
+        area_um2: 2.8,
+        leakage_uw: 0.055,
+    },
+    CellTemplate {
+        name: "SRAM",
+        class: CellClass::Macro,
+        inputs: 8,
+        outputs: 8,
+        delay_ps: 130.0,
+        drive_kohm: 0.55,
+        input_cap_ff: 2.8,
+        setup_ps: 24.0,
+        area_um2: 2600.0,
+        leakage_uw: 9.0,
+    },
+    CellTemplate {
+        name: "LVLSHIFT",
+        class: CellClass::LevelShifter,
+        inputs: 1,
+        outputs: 1,
+        delay_ps: 14.0,
+        drive_kohm: 0.9,
+        input_cap_ff: 1.2,
+        setup_ps: 0.0,
+        area_um2: 1.6,
+        leakage_uw: 0.20,
+    },
+    CellTemplate {
+        name: "SCANMUX",
+        class: CellClass::ScanMux,
+        inputs: 3,
+        outputs: 1,
+        delay_ps: 12.5,
+        drive_kohm: 1.2,
+        input_cap_ff: 1.4,
+        setup_ps: 0.0,
+        area_um2: 1.4,
+        leakage_uw: 0.024,
+    },
+    CellTemplate {
+        name: "SCANDFF",
+        class: CellClass::ScanRegister,
+        inputs: 2,
+        outputs: 1,
+        delay_ps: 19.5,
+        drive_kohm: 1.05,
+        input_cap_ff: 1.5,
+        setup_ps: 12.0,
+        area_um2: 3.4,
+        leakage_uw: 0.065,
+    },
+];
+
+/// A node-scaled view of the standard-cell library.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct CellLibrary {
+    node_name: &'static str,
+    templates: Vec<CellTemplate>,
+}
+
+impl CellLibrary {
+    /// Builds the library scaled to `node`.
+    pub fn for_node(node: &TechNode) -> Self {
+        Self {
+            node_name: node.name,
+            templates: BASE_TEMPLATES.iter().map(|t| t.scaled(node)).collect(),
+        }
+    }
+
+    /// Name of the node this library was scaled to.
+    #[inline]
+    pub fn node_name(&self) -> &'static str {
+        self.node_name
+    }
+
+    /// Looks up a template by library name.
+    pub fn get(&self, name: &str) -> Option<&CellTemplate> {
+        self.templates.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a template, panicking with a clear message if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in the library; generators only use known
+    /// names so this indicates a programming error.
+    pub fn expect(&self, name: &str) -> &CellTemplate {
+        self.get(name)
+            .unwrap_or_else(|| panic!("cell template `{name}` not in library"))
+    }
+
+    /// Iterates over all templates.
+    pub fn iter(&self) -> impl Iterator<Item = &CellTemplate> {
+        self.templates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_contains_all_base_templates() {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        for t in BASE_TEMPLATES {
+            assert!(lib.get(t.name).is_some(), "missing {}", t.name);
+        }
+        assert_eq!(lib.iter().count(), BASE_TEMPLATES.len());
+        assert_eq!(lib.node_name(), "28nm");
+    }
+
+    #[test]
+    fn scaling_preserves_ordering_and_shrinks_16nm() {
+        let l28 = CellLibrary::for_node(&TechNode::n28());
+        let l16 = CellLibrary::for_node(&TechNode::n16());
+        for t in BASE_TEMPLATES {
+            let t28 = l28.expect(t.name);
+            let t16 = l16.expect(t.name);
+            assert!(t16.delay_ps <= t28.delay_ps, "{} delay", t.name);
+            assert!(t16.input_cap_ff <= t28.input_cap_ff, "{} cap", t.name);
+            assert!(t16.area_um2 <= t28.area_um2, "{} area", t.name);
+        }
+        // Relative ordering survives scaling.
+        assert!(l16.expect("INV").delay_ps < l16.expect("FA").delay_ps);
+        assert!(l16.expect("FA").delay_ps < l16.expect("SRAM").delay_ps);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(CellClass::Register.is_startpoint());
+        assert!(CellClass::Register.is_endpoint());
+        assert!(CellClass::Register.is_sequential());
+        assert!(!CellClass::Register.is_combinational());
+        assert!(CellClass::Input.is_startpoint());
+        assert!(!CellClass::Input.is_endpoint());
+        assert!(CellClass::Output.is_endpoint());
+        assert!(CellClass::Combinational.is_combinational());
+        assert!(CellClass::ScanMux.is_combinational());
+        assert!(CellClass::ScanRegister.is_sequential());
+        assert!(CellClass::Macro.is_startpoint() && CellClass::Macro.is_endpoint());
+        assert!(CellClass::LevelShifter.is_combinational());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in library")]
+    fn expect_unknown_template_panics() {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let _ = lib.expect("NAND97");
+    }
+
+    #[test]
+    fn pin_counts_are_consistent() {
+        for t in BASE_TEMPLATES {
+            match t.class {
+                CellClass::Input => assert_eq!((t.inputs, t.outputs), (0, 1)),
+                CellClass::Output => assert_eq!((t.inputs, t.outputs), (1, 0)),
+                _ => {
+                    assert!(t.inputs >= 1);
+                    assert!(t.outputs >= 1);
+                }
+            }
+        }
+    }
+}

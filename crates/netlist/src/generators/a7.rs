@@ -1,0 +1,373 @@
+//! Cortex-A7-style CPU generator.
+//!
+//! Builds an in-order, 5-stage (IF/ID/EX/MEM/WB) pipeline per core with
+//! forwarding paths, a flip-flop register file, L1 I/D cache macros on the
+//! memory die with small bank-decode glue, and a shared L2 with a bus
+//! interconnect between cores. Stage logic is generated as random clouds
+//! sized by `gates_per_stage`, which reproduces the mix of short intra-
+//! stage nets and long forwarding / cache-access nets that makes the A7
+//! benchmark interesting for MLS.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cell::CellLibrary;
+use crate::ids::{NetId, Tier};
+use crate::netlist::{NetlistBuilder, NetlistError};
+use crate::tech::TechConfig;
+
+use super::cloud::{build_cloud, sink_into_outputs, sink_into_registers, CloudSpec};
+use super::GeneratedDesign;
+
+/// Configuration of an A7-style CPU design.
+#[derive(Clone, Debug, PartialEq)]
+pub struct A7Config {
+    /// Number of cores (the paper uses a dual-core).
+    pub cores: usize,
+    /// Combinational gates per pipeline stage per core.
+    pub gates_per_stage: usize,
+    /// Architectural register count (flip-flop register file entries; each
+    /// entry is one DFF in this bit-sliced model).
+    pub regfile_entries: usize,
+    /// L1 cache banks per side (I and D) per core.
+    pub l1_banks: usize,
+    /// Shared L2 banks.
+    pub l2_banks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl A7Config {
+    /// A `cores`-core A7 with default sizing.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores: cores.max(1),
+            gates_per_stage: 1200,
+            regfile_entries: 64,
+            l1_banks: 2,
+            l2_banks: 4,
+            seed: 0,
+        }
+    }
+
+    /// The paper's dual-core benchmark.
+    pub fn dual_core() -> Self {
+        Self::new(2)
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales the per-stage gate count (used by fast tests and scaled
+    /// benches).
+    pub fn with_gates_per_stage(mut self, gates: usize) -> Self {
+        self.gates_per_stage = gates.max(8);
+        self
+    }
+}
+
+const STAGES: [&str; 5] = ["if", "id", "ex", "mem", "wb"];
+
+struct A7Builder<'a> {
+    b: NetlistBuilder,
+    logic_lib: &'a CellLibrary,
+    mem_lib: &'a CellLibrary,
+    rng: StdRng,
+}
+
+impl<'a> A7Builder<'a> {
+    fn pi_bus(&mut self, prefix: &str, n: usize) -> Result<Vec<NetId>, NetlistError> {
+        let pi = self.logic_lib.expect("PI");
+        let mut nets = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = self
+                .b
+                .add_cell(format!("{prefix}_pi{i}"), pi, Tier::Logic)?;
+            let net = self.b.add_net(format!("{prefix}_in{i}"))?;
+            self.b.connect_output(net, c, 0)?;
+            nets.push(net);
+        }
+        Ok(nets)
+    }
+
+    /// An SRAM bank on the memory tier with a small decode cloud (also on
+    /// the memory tier) in front of it. Returns the bank's 8 output nets.
+    fn cache_bank(&mut self, name: &str, addr: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+        // Bank-decode glue lives with the macro on the memory die so the
+        // memory tier has some routable logic of its own.
+        let dec = build_cloud(
+            &mut self.b,
+            self.mem_lib,
+            Tier::Memory,
+            &format!("{name}_dec"),
+            addr,
+            &CloudSpec::new(24),
+            &mut self.rng,
+        )?;
+        let tpl = self.mem_lib.expect("SRAM");
+        let c = self.b.add_cell(name.to_string(), tpl, Tier::Memory)?;
+        for (k, &n) in dec.iter().take(8).enumerate() {
+            self.b.connect_input(n, c, k as u8)?;
+        }
+        // Any decode outputs beyond the macro's 8 inputs must still be sunk.
+        if dec.len() > 8 {
+            let extra = sink_into_registers(
+                &mut self.b,
+                self.mem_lib,
+                Tier::Memory,
+                &format!("{name}_spill"),
+                &dec[8..],
+            )?;
+            sink_into_outputs(
+                &mut self.b,
+                self.mem_lib,
+                Tier::Memory,
+                &format!("{name}_spill"),
+                &extra,
+            )?;
+        }
+        let mut outs = Vec::with_capacity(8);
+        for w in 0..8 {
+            let net = self.b.add_net(format!("{name}_q{w}"))?;
+            self.b.connect_output(net, c, w)?;
+            outs.push(net);
+        }
+        Ok(outs)
+    }
+}
+
+/// Generates an A7-style multi-core CPU netlist.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] (internal name collisions would be a bug).
+pub fn generate_a7(cfg: &A7Config, tech: &TechConfig) -> Result<GeneratedDesign, NetlistError> {
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let mem_lib = CellLibrary::for_node(&tech.memory_node);
+    let name = format!("a7_{}core", cfg.cores);
+
+    let mut a = A7Builder {
+        b: NetlistBuilder::new(&name),
+        logic_lib: &logic_lib,
+        mem_lib: &mem_lib,
+        rng: StdRng::seed_from_u64(cfg.seed),
+    };
+
+    let mut bus_masters: Vec<NetId> = Vec::new();
+
+    for core in 0..cfg.cores {
+        let cp = format!("c{core}");
+
+        // Fetch inputs: external pins + L1I read data.
+        let ext = a.pi_bus(&format!("{cp}_ext"), 8)?;
+        let mut l1i_out = Vec::new();
+        for bank in 0..cfg.l1_banks {
+            l1i_out.extend(a.cache_bank(&format!("{cp}_l1i{bank}"), &ext)?);
+        }
+
+        // Register file: DFF array written by WB (wired after the loop via
+        // feedback), read by EX. Model reads as Q nets; writes land in the
+        // WB sink registers below, so here the regfile is seeded from ext.
+        let rf_seed: Vec<NetId> = (0..cfg.regfile_entries)
+            .map(|i| ext[i % ext.len()])
+            .collect();
+        let rf_q = sink_into_registers(
+            &mut a.b,
+            &logic_lib,
+            Tier::Logic,
+            &format!("{cp}_rf"),
+            &rf_seed,
+        )?;
+
+        // Pipeline stages. Each stage: cloud fed by the previous stage's
+        // registered outputs (+ stage-specific extras), outputs registered.
+        let mut prev_q: Vec<NetId> = {
+            let mut v = ext.clone();
+            v.extend(l1i_out.iter().copied());
+            v
+        };
+        let mut ex_fwd: Vec<NetId> = Vec::new();
+        let mut mem_addr: Vec<NetId> = Vec::new();
+        for (si, stage) in STAGES.iter().enumerate() {
+            let sp = format!("{cp}_{stage}");
+            let mut inputs = prev_q.clone();
+            match *stage {
+                // Decode reads forwarding results (wired on the next loop
+                // iteration for EX; on iteration 0 ex_fwd is empty).
+                "ex" => inputs.extend(rf_q.iter().copied()),
+                "mem" => {}
+                _ => {}
+            }
+            let spec = CloudSpec::new(cfg.gates_per_stage.max(8)).with_depth(16);
+            let outs = build_cloud(
+                &mut a.b,
+                &logic_lib,
+                Tier::Logic,
+                &sp,
+                &inputs,
+                &spec,
+                &mut a.rng,
+            )?;
+            let q =
+                sink_into_registers(&mut a.b, &logic_lib, Tier::Logic, &format!("{sp}_r"), &outs)?;
+            if *stage == "ex" {
+                ex_fwd = q.iter().copied().take(8).collect();
+            }
+            if *stage == "mem" {
+                mem_addr = q.iter().copied().take(8).collect();
+            }
+            prev_q = q;
+            // Keep stage-to-stage words bounded so later stages do not blow
+            // up combinatorially.
+            if prev_q.len() > 48 {
+                let (keep, spill) = prev_q.split_at(48);
+                sink_into_outputs(
+                    &mut a.b,
+                    &logic_lib,
+                    Tier::Logic,
+                    &format!("{sp}_spill"),
+                    spill,
+                )?;
+                prev_q = keep.to_vec();
+            }
+            let _ = si;
+        }
+
+        // L1D: addressed by MEM stage outputs; read data merges into a WB
+        // merge cloud together with the WB stage outputs.
+        let mut l1d_out = Vec::new();
+        for bank in 0..cfg.l1_banks {
+            l1d_out.extend(a.cache_bank(&format!("{cp}_l1d{bank}"), &mem_addr)?);
+        }
+        let mut wb_in = prev_q.clone();
+        wb_in.extend(l1d_out);
+        // Forwarding: EX results re-enter the merge (long nets back).
+        wb_in.extend(ex_fwd);
+        let wb_merge = build_cloud(
+            &mut a.b,
+            &logic_lib,
+            Tier::Logic,
+            &format!("{cp}_wbm"),
+            &wb_in,
+            &CloudSpec::new(cfg.gates_per_stage / 2),
+            &mut a.rng,
+        )?;
+        let wb_q = sink_into_registers(
+            &mut a.b,
+            &logic_lib,
+            Tier::Logic,
+            &format!("{cp}_wbq"),
+            &wb_merge,
+        )?;
+        // Retire a slice architecturally; the rest drives the bus.
+        let retire: Vec<NetId> = wb_q.iter().copied().take(8).collect();
+        sink_into_outputs(
+            &mut a.b,
+            &logic_lib,
+            Tier::Logic,
+            &format!("{cp}_ret"),
+            &retire,
+        )?;
+        bus_masters.extend(wb_q.into_iter().skip(8));
+    }
+
+    // Shared bus + L2.
+    if bus_masters.is_empty() {
+        bus_masters = a.pi_bus("bus_seed", 8)?;
+    }
+    let bus = build_cloud(
+        &mut a.b,
+        &logic_lib,
+        Tier::Logic,
+        "bus",
+        &bus_masters,
+        &CloudSpec::new((cfg.gates_per_stage / 2).max(16)),
+        &mut a.rng,
+    )?;
+    let mut l2_out = Vec::new();
+    for bank in 0..cfg.l2_banks {
+        let addr: Vec<NetId> = bus
+            .iter()
+            .copied()
+            .skip(bank)
+            .take(8.min(bus.len()))
+            .collect();
+        let addr = if addr.is_empty() { bus.clone() } else { addr };
+        l2_out.extend(a.cache_bank(&format!("l2_{bank}"), &addr)?);
+    }
+    // Sink every remaining open net: unused bus nets and L2 outputs.
+    let used_by_l2: std::collections::HashSet<NetId> = (0..cfg.l2_banks)
+        .flat_map(|bank| bus.iter().copied().skip(bank).take(8.min(bus.len())))
+        .collect();
+    let leftover: Vec<NetId> = bus
+        .iter()
+        .copied()
+        .filter(|n| !used_by_l2.contains(n))
+        .chain(l2_out)
+        .collect();
+    let q = sink_into_registers(&mut a.b, &logic_lib, Tier::Logic, "drain", &leftover)?;
+    sink_into_outputs(&mut a.b, &logic_lib, Tier::Logic, "drain", &q)?;
+
+    let mut netlist = a.b.finish()?;
+    super::buffering::limit_fanout(&mut netlist, tech, 10)?;
+    Ok(GeneratedDesign {
+        netlist,
+        tech: tech.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CircuitDag;
+    use crate::stats::NetlistStats;
+
+    fn small() -> A7Config {
+        A7Config::new(2).with_gates_per_stage(120)
+    }
+
+    #[test]
+    fn a7_builds_and_validates() {
+        let tech = TechConfig::heterogeneous_16_28(8, 8);
+        let d = generate_a7(&small(), &tech).unwrap();
+        let s = NetlistStats::compute(&d.netlist);
+        assert!(s.cells > 1000, "{s}");
+        assert!(s.macros >= 2 * (2 * 2) + 4, "L1I/L1D per core + L2");
+        assert!(s.registers > 100);
+        assert!(s.nets_3d > 0, "cache access nets cross tiers");
+        assert!(
+            s.memory_tier_cells > s.macros,
+            "decode glue lives on the memory tier"
+        );
+    }
+
+    #[test]
+    fn a7_is_acyclic_and_deep() {
+        let tech = TechConfig::homogeneous_28_28(8, 8);
+        let d = generate_a7(&small(), &tech).unwrap();
+        let dag = CircuitDag::build(&d.netlist).unwrap();
+        assert!(dag.depth() >= 5, "depth {}", dag.depth());
+    }
+
+    #[test]
+    fn a7_is_deterministic() {
+        let tech = TechConfig::homogeneous_28_28(8, 8);
+        let a = generate_a7(&small().with_seed(3), &tech).unwrap();
+        let b = generate_a7(&small().with_seed(3), &tech).unwrap();
+        assert_eq!(a.netlist.cell_count(), b.netlist.cell_count());
+        assert_eq!(a.netlist.net_count(), b.netlist.net_count());
+    }
+
+    #[test]
+    fn a7_scales_with_cores_and_stage_size() {
+        let tech = TechConfig::homogeneous_28_28(8, 8);
+        let one = generate_a7(&A7Config::new(1).with_gates_per_stage(120), &tech).unwrap();
+        let two = generate_a7(&A7Config::new(2).with_gates_per_stage(120), &tech).unwrap();
+        assert!(two.netlist.cell_count() > (one.netlist.cell_count() * 3) / 2);
+        let fat = generate_a7(&A7Config::new(1).with_gates_per_stage(240), &tech).unwrap();
+        assert!(fat.netlist.cell_count() > one.netlist.cell_count());
+    }
+}

@@ -1,0 +1,137 @@
+//! Fanout buffering — the buffer-tree insertion synthesis performs on
+//! high-fanout nets (clock-like control, broadcast weights).
+//!
+//! Without it the generators' control nets would carry hundreds of sinks,
+//! and `R_drive × C_load` would blow the timing model up in a way no real
+//! netlist does. [`limit_fanout`] repeatedly splits any net with more
+//! than `max_fanout` sinks through `BUFX4` drivers until every net is
+//! within bound.
+
+use crate::cell::CellLibrary;
+use crate::ids::{NetId, Tier};
+use crate::netlist::{Netlist, NetlistError};
+use crate::tech::TechConfig;
+
+/// Splits every net with more than `max_fanout` sinks through buffer
+/// trees; returns the number of buffers inserted.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] (name collisions indicate the pass ran on
+/// a netlist that already used its naming scheme).
+///
+/// # Panics
+///
+/// Panics if `max_fanout < 2` (a buffer tree cannot reduce fanout below
+/// its own branching).
+pub fn limit_fanout(
+    netlist: &mut Netlist,
+    tech: &TechConfig,
+    max_fanout: usize,
+) -> Result<usize, NetlistError> {
+    assert!(max_fanout >= 2, "max_fanout must be at least 2");
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let memory_lib = CellLibrary::for_node(&tech.memory_node);
+    let mut added = 0usize;
+    let mut serial = 0usize;
+
+    // Worklist: nets may re-enter after splitting (their remaining fanout
+    // is ceil(n / max_fanout) buffers + untouched sinks, bounded each
+    // round, so this terminates).
+    let mut work: Vec<NetId> = netlist.net_ids().collect();
+    while let Some(net) = work.pop() {
+        let sinks = netlist.sinks(net).len();
+        if sinks <= max_fanout {
+            continue;
+        }
+        // Move every sink behind a fresh buffer, in chunks of
+        // `max_fanout`; the net is left with `ceil(n / max_fanout)` buffer
+        // sinks (< n), so the worklist strictly converges.
+        let all: Vec<_> = netlist.sinks(net).to_vec();
+        let tier = netlist.cell(netlist.driver_cell(net)).tier;
+        let lib = match tier {
+            Tier::Logic => &logic_lib,
+            Tier::Memory => &memory_lib,
+        };
+        for chunk in all.chunks(max_fanout) {
+            let buf = netlist.add_cell(format!("fobuf_{serial}"), lib.expect("BUFX4"), tier)?;
+            let child = netlist.split_net(net, chunk, buf, format!("fonet_{serial}"))?;
+            serial += 1;
+            added += 1;
+            work.push(child);
+        }
+        work.push(net);
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::graph::CircuitDag;
+    use crate::netlist::NetlistBuilder;
+    use crate::tech::TechNode;
+
+    fn star(fanout: usize) -> Netlist {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("star");
+        let pi = b.add_cell("pi", lib.expect("PI"), Tier::Logic).unwrap();
+        let n = b.add_net("big").unwrap();
+        b.connect_output(n, pi, 0).unwrap();
+        for i in 0..fanout {
+            let po = b
+                .add_cell(format!("po{i}"), lib.expect("PO"), Tier::Logic)
+                .unwrap();
+            b.connect_input(n, po, 0).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fanout_is_bounded_after_the_pass() {
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let mut n = star(100);
+        let added = limit_fanout(&mut n, &tech, 8).unwrap();
+        assert!(added > 0);
+        for net in n.net_ids() {
+            assert!(
+                n.sinks(net).len() <= 8,
+                "net {} still has {} sinks",
+                n.net(net).name,
+                n.sinks(net).len()
+            );
+        }
+        // All 100 POs still reachable (acyclic, connected).
+        let dag = CircuitDag::build(&n).unwrap();
+        assert_eq!(dag.topo_order().len(), n.cell_count());
+    }
+
+    #[test]
+    fn small_nets_are_untouched() {
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let mut n = star(5);
+        let cells = n.cell_count();
+        let added = limit_fanout(&mut n, &tech, 8).unwrap();
+        assert_eq!(added, 0);
+        assert_eq!(n.cell_count(), cells);
+    }
+
+    #[test]
+    fn deep_trees_terminate() {
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let mut n = star(1000);
+        limit_fanout(&mut n, &tech, 4).unwrap();
+        for net in n.net_ids() {
+            assert!(n.sinks(net).len() <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_fanout")]
+    fn tiny_bound_panics() {
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let mut n = star(10);
+        let _ = limit_fanout(&mut n, &tech, 1);
+    }
+}

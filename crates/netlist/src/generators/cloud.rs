@@ -1,0 +1,314 @@
+//! Random combinational logic clouds with Rent's-rule-flavored locality.
+//!
+//! Both benchmark generators need "a cluster of N gates fed by these nets".
+//! [`build_cloud`] creates one: gates pick their fanins mostly from recently
+//! created nets (local wiring) with an occasional long reach back (global
+//! wiring), which reproduces the short-net-dominated / long-tail wirelength
+//! distribution of synthesized logic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::cell::CellLibrary;
+use crate::ids::{NetId, Tier};
+use crate::netlist::{NetlistBuilder, NetlistError};
+
+/// Parameters of a random logic cloud.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CloudSpec {
+    /// Number of gates to create.
+    pub gates: usize,
+    /// Logic depth: gates are distributed over this many levels and pick
+    /// fanins mostly from the previous level, bounding the combinational
+    /// depth like synthesized logic (real cones are 8–20 levels deep).
+    pub depth: usize,
+    /// Probability of a fanin reaching any earlier level (long wires).
+    pub long_reach: f64,
+}
+
+impl CloudSpec {
+    /// A cloud of `gates` gates with default depth (12 levels, 8 % long
+    /// reach).
+    pub fn new(gates: usize) -> Self {
+        Self {
+            gates,
+            depth: 12,
+            long_reach: 0.08,
+        }
+    }
+
+    /// Sets the logic depth.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+}
+
+/// Gate mix used inside clouds: (template name, relative weight).
+const GATE_MIX: &[(&str, u32)] = &[
+    ("INV", 18),
+    ("BUF", 6),
+    ("NAND2", 28),
+    ("NOR2", 16),
+    ("XOR2", 10),
+    ("AOI22", 12),
+    ("MUX2", 10),
+];
+
+fn pick_gate(rng: &mut StdRng) -> &'static str {
+    let total: u32 = GATE_MIX.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0..total);
+    for (name, w) in GATE_MIX {
+        if x < *w {
+            return name;
+        }
+        x -= w;
+    }
+    unreachable!("weights cover the range")
+}
+
+/// Builds a random logic cloud on `tier`, fed by `inputs`.
+///
+/// Returns the cloud's output nets: every created net that ended up with no
+/// internal sink (the cone outputs). Callers must sink all of them —
+/// typically with [`sink_into_registers`] or by wiring them onward — or the
+/// final [`NetlistBuilder::finish`] validation will fail.
+///
+/// Instance and net names are prefixed with `prefix` and must therefore be
+/// unique per call site.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] on name collisions (a reused `prefix`).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or `spec.gates == 0`.
+pub fn build_cloud(
+    b: &mut NetlistBuilder,
+    lib: &CellLibrary,
+    tier: Tier,
+    prefix: &str,
+    inputs: &[NetId],
+    spec: &CloudSpec,
+    rng: &mut StdRng,
+) -> Result<Vec<NetId>, NetlistError> {
+    assert!(!inputs.is_empty(), "cloud needs at least one input net");
+    assert!(spec.gates > 0, "cloud needs at least one gate");
+
+    // Nets are organized in levels: a gate at level `l` draws fanins
+    // mostly from level `l − 1` (short wires, bounded depth) with an
+    // occasional reach to any earlier level (long wires). `sink_count`
+    // tracks which nets end up unconsumed (those become the cloud's
+    // outputs). Every input net is guaranteed a sink: gate fanins drain
+    // `must_use` first, and any inputs left over (more inputs than gate
+    // pins) get a tap inverter appended.
+    let mut history: Vec<NetId> = inputs.to_vec();
+    let first_internal = history.len();
+    let mut sink_count = vec![0usize; spec.gates];
+    let mut must_use: std::collections::VecDeque<usize> = (0..inputs.len()).collect();
+    // level_start[l] = first history index of level l; level 0 = inputs.
+    let mut level_start: Vec<usize> = vec![0];
+    let depth = spec.depth.max(1);
+    let per_level = spec.gates.div_ceil(depth);
+
+    for g in 0..spec.gates {
+        if g % per_level == 0 {
+            level_start.push(history.len());
+        }
+        let tpl = lib.expect(pick_gate(rng));
+        let cell = b.add_cell(format!("{prefix}_g{g}"), tpl, tier)?;
+        let out = b.add_net(format!("{prefix}_n{g}"))?;
+        b.connect_output(out, cell, 0)?;
+        // Fanin pool: the previous completed level.
+        let cur_level = level_start.len() - 1;
+        let (pool_lo, pool_hi) = if cur_level == 1 {
+            (0, first_internal.max(1))
+        } else {
+            (level_start[cur_level - 1], level_start[cur_level])
+        };
+        for k in 0..tpl.inputs {
+            let idx = if let Some(i) = must_use.pop_front() {
+                i
+            } else if rng.gen_bool(spec.long_reach) {
+                rng.gen_range(0..history.len())
+            } else {
+                rng.gen_range(pool_lo..pool_hi.max(pool_lo + 1))
+            };
+            b.connect_input(history[idx], cell, k)?;
+            if idx >= first_internal {
+                sink_count[idx - first_internal] += 1;
+            }
+        }
+        history.push(out);
+    }
+
+    let mut outputs: Vec<NetId> = history[first_internal..]
+        .iter()
+        .zip(&sink_count)
+        .filter(|(_, &c)| c == 0)
+        .map(|(&n, _)| n)
+        .collect();
+
+    // More inputs than the cloud had fanin pins: tap the rest so every
+    // input net is sunk; the tap outputs join the cloud's outputs.
+    let inv = lib.expect("INV");
+    for (t, idx) in must_use.into_iter().enumerate() {
+        let cell = b.add_cell(format!("{prefix}_tap{t}"), inv, tier)?;
+        b.connect_input(history[idx], cell, 0)?;
+        let out = b.add_net(format!("{prefix}_tapn{t}"))?;
+        b.connect_output(out, cell, 0)?;
+        outputs.push(out);
+    }
+
+    Ok(outputs)
+}
+
+/// Sinks each net into a fresh register on `tier`; returns the registers'
+/// output (Q) nets, one per input net, in order.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] on name collisions (a reused `prefix`).
+pub fn sink_into_registers(
+    b: &mut NetlistBuilder,
+    lib: &CellLibrary,
+    tier: Tier,
+    prefix: &str,
+    nets: &[NetId],
+) -> Result<Vec<NetId>, NetlistError> {
+    let dff = lib.expect("DFF");
+    let mut q_nets = Vec::with_capacity(nets.len());
+    for (i, &n) in nets.iter().enumerate() {
+        let ff = b.add_cell(format!("{prefix}_ff{i}"), dff, tier)?;
+        b.connect_input(n, ff, 0)?;
+        let q = b.add_net(format!("{prefix}_q{i}"))?;
+        b.connect_output(q, ff, 0)?;
+        q_nets.push(q);
+    }
+    Ok(q_nets)
+}
+
+/// Sinks each net into a fresh primary output on `tier`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] on name collisions (a reused `prefix`).
+pub fn sink_into_outputs(
+    b: &mut NetlistBuilder,
+    lib: &CellLibrary,
+    tier: Tier,
+    prefix: &str,
+    nets: &[NetId],
+) -> Result<(), NetlistError> {
+    let po = lib.expect("PO");
+    for (i, &n) in nets.iter().enumerate() {
+        let p = b.add_cell(format!("{prefix}_po{i}"), po, tier)?;
+        b.connect_input(n, p, 0)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::TechNode;
+    use rand::SeedableRng;
+
+    fn setup() -> (NetlistBuilder, CellLibrary, Vec<NetId>) {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("cloudtest");
+        let mut inputs = Vec::new();
+        for i in 0..4 {
+            let pi = b
+                .add_cell(format!("pi{i}"), lib.expect("PI"), Tier::Logic)
+                .unwrap();
+            let n = b.add_net(format!("in{i}")).unwrap();
+            b.connect_output(n, pi, 0).unwrap();
+            inputs.push(n);
+        }
+        (b, lib, inputs)
+    }
+
+    #[test]
+    fn cloud_validates_and_every_internal_net_is_sunk() {
+        let (mut b, lib, inputs) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outs = build_cloud(
+            &mut b,
+            &lib,
+            Tier::Logic,
+            "c",
+            &inputs,
+            &CloudSpec::new(200),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!outs.is_empty(), "a cone must have outputs");
+        let qs = sink_into_registers(&mut b, &lib, Tier::Logic, "c_out", &outs).unwrap();
+        assert_eq!(qs.len(), outs.len());
+        sink_into_outputs(&mut b, &lib, Tier::Logic, "c_po", &qs).unwrap();
+        let n = b.finish().expect("all nets driven and sunk");
+        assert!(n.cell_count() > 200);
+    }
+
+    #[test]
+    fn cloud_is_deterministic_under_a_seed() {
+        let gen = |seed| {
+            let (mut b, lib, inputs) = setup();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outs = build_cloud(
+                &mut b,
+                &lib,
+                Tier::Logic,
+                "c",
+                &inputs,
+                &CloudSpec::new(64),
+                &mut rng,
+            )
+            .unwrap();
+            (outs.len(), b.cell_count())
+        };
+        assert_eq!(gen(42), gen(42));
+        // Different seeds almost surely give different shapes.
+        assert_ne!(gen(1).0, gen(2).0);
+    }
+
+    #[test]
+    fn depth_bounds_the_logic_levels() {
+        // Build two clouds with different depths and check the deeper one
+        // levelizes deeper (structural property of the generator).
+        use crate::generators::cloud::sink_into_outputs;
+        use crate::graph::CircuitDag;
+
+        let build = |depth: usize| {
+            let (mut b, lib, inputs) = setup();
+            let mut rng = StdRng::seed_from_u64(7);
+            let spec = CloudSpec {
+                gates: 240,
+                depth,
+                long_reach: 0.0,
+            };
+            let outs =
+                build_cloud(&mut b, &lib, Tier::Logic, "c", &inputs, &spec, &mut rng).unwrap();
+            let qs = sink_into_registers(&mut b, &lib, Tier::Logic, "r", &outs).unwrap();
+            sink_into_outputs(&mut b, &lib, Tier::Logic, "o", &qs).unwrap();
+            let n = b.finish().unwrap();
+            CircuitDag::build(&n).unwrap().depth()
+        };
+        let shallow = build(4);
+        let deep = build(20);
+        assert!(shallow <= 4 + 3, "shallow cloud depth {shallow}");
+        assert!(deep > shallow, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn gate_mix_covers_all_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(pick_gate(&mut rng));
+        }
+        assert_eq!(seen.len(), GATE_MIX.len(), "all gate kinds should appear");
+    }
+}

@@ -1,0 +1,483 @@
+//! MAERI-style DNN accelerator generator.
+//!
+//! Reproduces the structure of MAERI (Kwon et al., ASPLOS'18) as used in the
+//! paper's benchmarks: a global buffer (SRAM, memory die) feeding a binary
+//! *distribution tree* of configurable switches, an array of multiplier
+//! *processing elements* (PEs, logic die) with per-group local weight
+//! buffers (SRAM, memory die), and a binary *reduction tree* of adder
+//! switches collecting results into an output buffer. A control cloud
+//! drives the switch select lines; PE/adder carry-outs feed a status
+//! collector. Every module is bit-sliced to `data_width`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cell::CellLibrary;
+use crate::ids::{NetId, Tier};
+use crate::netlist::{NetlistBuilder, NetlistError};
+use crate::tech::TechConfig;
+
+use super::cloud::{build_cloud, sink_into_outputs, sink_into_registers, CloudSpec};
+use super::GeneratedDesign;
+
+/// Configuration of a MAERI-style accelerator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaeriConfig {
+    /// Number of processing elements (rounded up to a power of two, ≥ 2).
+    pub pes: usize,
+    /// Memory bandwidth lanes (global buffer banks; rounded up to a power
+    /// of two, ≥ 1).
+    pub bandwidth: usize,
+    /// Bits per link (1..=8; SRAM macros expose 8 data pins).
+    pub data_width: usize,
+    /// RNG seed for the random-logic portions (control cloud, gate mix).
+    pub seed: u64,
+}
+
+impl MaeriConfig {
+    /// A MAERI with `pes` PEs and `bandwidth` buffer lanes, 8-bit links,
+    /// seed 0.
+    pub fn new(pes: usize, bandwidth: usize) -> Self {
+        Self {
+            pes,
+            bandwidth,
+            data_width: 8,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the link width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8.
+    pub fn with_data_width(mut self, bits: usize) -> Self {
+        assert!((1..=8).contains(&bits), "data width must be 1..=8 bits");
+        self.data_width = bits;
+        self
+    }
+
+    /// The paper's MAERI 128PE 32BW benchmark.
+    pub fn pe128_bw32() -> Self {
+        Self::new(128, 32)
+    }
+
+    /// The paper's MAERI 256PE 64BW benchmark.
+    pub fn pe256_bw64() -> Self {
+        Self::new(256, 64)
+    }
+
+    /// The paper's MAERI 16PE 4BW benchmark (Table III DFT study).
+    pub fn pe16_bw4() -> Self {
+        Self::new(16, 4)
+    }
+
+    fn normalized(&self) -> (usize, usize) {
+        (
+            self.pes.max(2).next_power_of_two(),
+            self.bandwidth.max(1).next_power_of_two(),
+        )
+    }
+}
+
+struct MaeriBuilder<'a> {
+    b: NetlistBuilder,
+    logic_lib: &'a CellLibrary,
+    mem_lib: &'a CellLibrary,
+    rng: StdRng,
+    width: usize,
+    /// Control nets driving switch select pins (round-robin).
+    ctrl: Vec<NetId>,
+    ctrl_cursor: usize,
+    /// Carry/status nets collected from PEs and adders.
+    status: Vec<NetId>,
+}
+
+impl<'a> MaeriBuilder<'a> {
+    fn next_ctrl(&mut self) -> NetId {
+        let n = self.ctrl[self.ctrl_cursor % self.ctrl.len()];
+        self.ctrl_cursor += 1;
+        n
+    }
+
+    /// Adds a bus of `n` primary inputs, returning their nets.
+    fn pi_bus(&mut self, prefix: &str, n: usize) -> Result<Vec<NetId>, NetlistError> {
+        let pi = self.logic_lib.expect("PI");
+        let mut nets = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = self
+                .b
+                .add_cell(format!("{prefix}_pi{i}"), pi, Tier::Logic)?;
+            let net = self.b.add_net(format!("{prefix}_in{i}"))?;
+            self.b.connect_output(net, c, 0)?;
+            nets.push(net);
+        }
+        Ok(nets)
+    }
+
+    /// Adds an SRAM macro on the memory tier wired to up to 8 input nets;
+    /// returns `width` output nets.
+    fn sram(&mut self, name: &str, inputs: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+        let tpl = self.mem_lib.expect("SRAM");
+        let c = self.b.add_cell(name.to_string(), tpl, Tier::Memory)?;
+        for (k, &n) in inputs.iter().take(8).enumerate() {
+            self.b.connect_input(n, c, k as u8)?;
+        }
+        let mut outs = Vec::with_capacity(self.width);
+        for w in 0..self.width {
+            let net = self.b.add_net(format!("{name}_q{w}"))?;
+            self.b.connect_output(net, c, w as u8)?;
+            outs.push(net);
+        }
+        Ok(outs)
+    }
+
+    /// A distribution-tree switch: per bit a MUX2 choosing between the two
+    /// "parent" words; returns the switched word.
+    fn switch(
+        &mut self,
+        prefix: &str,
+        a: &[NetId],
+        bb: &[NetId],
+    ) -> Result<Vec<NetId>, NetlistError> {
+        let mux = self.logic_lib.expect("MUX2");
+        let mut outs = Vec::with_capacity(self.width);
+        for w in 0..self.width {
+            let sel = self.next_ctrl();
+            let c = self
+                .b
+                .add_cell(format!("{prefix}_mx{w}"), mux, Tier::Logic)?;
+            self.b.connect_input(a[w], c, 0)?;
+            self.b.connect_input(bb[w % bb.len()], c, 1)?;
+            self.b.connect_input(sel, c, 2)?;
+            let net = self.b.add_net(format!("{prefix}_o{w}"))?;
+            self.b.connect_output(net, c, 0)?;
+            outs.push(net);
+        }
+        Ok(outs)
+    }
+
+    /// Registers a word (pipeline stage); returns the Q word.
+    fn pipe(&mut self, prefix: &str, word: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+        sink_into_registers(&mut self.b, self.logic_lib, Tier::Logic, prefix, word)
+    }
+
+    /// A multiplier PE: input registers, AND partial products, a ripple FA
+    /// chain, and output registers. Returns the registered sum word; pushes
+    /// the final carry (registered) onto `status`.
+    fn pe(&mut self, idx: usize, act: &[NetId], wt: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+        let p = format!("pe{idx}");
+        let act_r = self.pipe(&format!("{p}_ar"), act)?;
+        let nand = self.logic_lib.expect("NAND2");
+        let inv = self.logic_lib.expect("INV");
+        let fa = self.logic_lib.expect("FA");
+
+        let mut sums = Vec::with_capacity(self.width);
+        let mut carry: Option<NetId> = None;
+        for w in 0..self.width {
+            // pp = act & wt  (NAND + INV)
+            let cn = self.b.add_cell(format!("{p}_nd{w}"), nand, Tier::Logic)?;
+            self.b.connect_input(act_r[w], cn, 0)?;
+            self.b.connect_input(wt[w % wt.len()], cn, 1)?;
+            let nn = self.b.add_net(format!("{p}_ndn{w}"))?;
+            self.b.connect_output(nn, cn, 0)?;
+            let ci = self.b.add_cell(format!("{p}_iv{w}"), inv, Tier::Logic)?;
+            self.b.connect_input(nn, ci, 0)?;
+            let pp = self.b.add_net(format!("{p}_pp{w}"))?;
+            self.b.connect_output(pp, ci, 0)?;
+
+            // (sum, carry) = FA(pp, prev_sum_or_pp, carry_in)
+            let cf = self.b.add_cell(format!("{p}_fa{w}"), fa, Tier::Logic)?;
+            self.b.connect_input(pp, cf, 0)?;
+            let second = *sums.last().unwrap_or(&pp);
+            self.b.connect_input(second, cf, 1)?;
+            let cin = carry.unwrap_or(act_r[0]);
+            self.b.connect_input(cin, cf, 2)?;
+            let s = self.b.add_net(format!("{p}_s{w}"))?;
+            self.b.connect_output(s, cf, 0)?;
+            let co = self.b.add_net(format!("{p}_c{w}"))?;
+            self.b.connect_output(co, cf, 1)?;
+            sums.push(s);
+            carry = Some(co);
+        }
+        // Intermediate sums feed the next FA; only register the final word.
+        let out = self.pipe(&format!("{p}_or"), &sums)?;
+        let carry_q = self.pipe(
+            &format!("{p}_cr"),
+            &[carry.expect("width >= 1 so a carry exists")],
+        )?;
+        self.status.extend(carry_q);
+        Ok(out)
+    }
+
+    /// An adder switch of the reduction tree: per-bit FA rippling a carry;
+    /// returns the sum word and pushes the registered carry-out to `status`.
+    fn adder(
+        &mut self,
+        prefix: &str,
+        a: &[NetId],
+        bb: &[NetId],
+    ) -> Result<Vec<NetId>, NetlistError> {
+        let fa = self.logic_lib.expect("FA");
+        let mut sums = Vec::with_capacity(self.width);
+        let mut carry: Option<NetId> = None;
+        for w in 0..self.width {
+            let cf = self
+                .b
+                .add_cell(format!("{prefix}_fa{w}"), fa, Tier::Logic)?;
+            self.b.connect_input(a[w], cf, 0)?;
+            self.b.connect_input(bb[w], cf, 1)?;
+            let cin = carry.unwrap_or_else(|| self.next_ctrl());
+            self.b.connect_input(cin, cf, 2)?;
+            let s = self.b.add_net(format!("{prefix}_s{w}"))?;
+            self.b.connect_output(s, cf, 0)?;
+            let co = self.b.add_net(format!("{prefix}_c{w}"))?;
+            self.b.connect_output(co, cf, 1)?;
+            sums.push(s);
+            carry = Some(co);
+        }
+        let cq = self.pipe(
+            &format!("{prefix}_cr"),
+            &[carry.expect("width >= 1 so a carry exists")],
+        )?;
+        self.status.extend(cq);
+        Ok(sums)
+    }
+}
+
+/// Generates a MAERI-style accelerator netlist.
+///
+/// The returned design targets `tech`: PEs, trees, and control logic on the
+/// logic die; global/local/output buffers on the memory die.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] (internal name collisions would be a bug;
+/// validation failures cannot occur for well-formed configs).
+pub fn generate_maeri(
+    cfg: &MaeriConfig,
+    tech: &TechConfig,
+) -> Result<GeneratedDesign, NetlistError> {
+    let (pes, bw) = cfg.normalized();
+    let width = cfg.data_width;
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let mem_lib = CellLibrary::for_node(&tech.memory_node);
+    let name = format!("maeri{}pe_{}bw", pes, bw);
+
+    let mut m = MaeriBuilder {
+        b: NetlistBuilder::new(&name),
+        logic_lib: &logic_lib,
+        mem_lib: &mem_lib,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        width,
+        ctrl: Vec::new(),
+        ctrl_cursor: 0,
+        status: Vec::new(),
+    };
+
+    // --- Control cloud: cfg PIs -> random logic -> switch select lines.
+    let cfg_in = m.pi_bus("cfg", 8.max(bw / 2))?;
+    let ctrl_gates = (pes * 4).max(64);
+    let mut rng = std::mem::replace(&mut m.rng, StdRng::seed_from_u64(0));
+    let ctrl_out = build_cloud(
+        &mut m.b,
+        &logic_lib,
+        Tier::Logic,
+        "ctrl",
+        &cfg_in,
+        &CloudSpec::new(ctrl_gates),
+        &mut rng,
+    )?;
+    m.rng = rng;
+    // Register control outputs so select lines launch from FFs.
+    m.ctrl = sink_into_registers(&mut m.b, &logic_lib, Tier::Logic, "ctrlr", &ctrl_out)?;
+
+    // --- Global buffer: bw SRAM banks fed by stream PIs.
+    let stream = m.pi_bus("act", bw * width.min(8))?;
+    let mut lanes: Vec<Vec<NetId>> = Vec::with_capacity(bw);
+    for l in 0..bw {
+        let ins: Vec<NetId> = stream
+            .iter()
+            .copied()
+            .skip(l * width.min(8))
+            .take(width.min(8))
+            .collect();
+        lanes.push(m.sram(&format!("gbuf{l}"), &ins)?);
+    }
+
+    // --- Lane merge: binary MUX tree reducing bw lanes to the tree root.
+    let mut level: Vec<Vec<NetId>> = lanes;
+    let mut li = 0;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for (k, pair) in level.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(m.switch(&format!("lm{li}_{k}"), &pair[0], &pair[1])?);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        level = next;
+        li += 1;
+    }
+    let root = level.pop().expect("at least one lane");
+
+    // --- Distribution tree: root word fans out to pes leaf words.
+    let depth = pes.trailing_zeros() as usize;
+    let mut frontier = vec![root];
+    for d in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (k, word) in frontier.iter().enumerate() {
+            // Each node forwards left (plain) and right (switched); every
+            // two levels the edges are pipelined.
+            let left = if d % 2 == 1 {
+                m.pipe(&format!("dt{d}_{k}_lp"), word)?
+            } else {
+                word.clone()
+            };
+            let right = m.switch(&format!("dt{d}_{k}_r"), word, word)?;
+            next.push(left);
+            next.push(right);
+        }
+        frontier = next;
+    }
+    debug_assert_eq!(frontier.len(), pes);
+
+    // --- Local weight buffers: one SRAM per 8 PEs, loaded from weight PIs.
+    let wt_in = m.pi_bus("wt", width.min(8))?;
+    let groups = pes.div_ceil(8);
+    let mut wt_words = Vec::with_capacity(groups);
+    for g in 0..groups {
+        wt_words.push(m.sram(&format!("lbuf{g}"), &wt_in)?);
+    }
+
+    // --- PEs.
+    let mut pe_out = Vec::with_capacity(pes);
+    for (i, act) in frontier.iter().enumerate() {
+        let wt = wt_words[i / 8].clone();
+        pe_out.push(m.pe(i, act, &wt)?);
+    }
+
+    // --- Reduction tree.
+    let mut level = pe_out;
+    let mut d = 0;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for (k, pair) in level.chunks(2).enumerate() {
+            let mut s = m.adder(&format!("rt{d}_{k}"), &pair[0], &pair[1])?;
+            s = m.pipe(&format!("rt{d}_{k}_p"), &s)?;
+            next.push(s);
+        }
+        level = next;
+        d += 1;
+    }
+    let result = level.pop().expect("reduction tree leaves a root");
+
+    // --- Output buffer and primary outputs.
+    let obuf = m.sram("obuf", &result)?;
+    sink_into_outputs(&mut m.b, &logic_lib, Tier::Logic, "res", &obuf)?;
+
+    // --- Drain any control nets the trees never consumed (tiny configs
+    // have fewer switch select pins than control outputs).
+    if m.ctrl_cursor < m.ctrl.len() {
+        let unused: Vec<NetId> = m.ctrl[m.ctrl_cursor..].to_vec();
+        sink_into_outputs(&mut m.b, &logic_lib, Tier::Logic, "ctrl_unused", &unused)?;
+    }
+
+    // --- Status collector: carries -> cloud -> registers -> POs.
+    let status = std::mem::take(&mut m.status);
+    let mut rng = std::mem::replace(&mut m.rng, StdRng::seed_from_u64(0));
+    let st_out = build_cloud(
+        &mut m.b,
+        &logic_lib,
+        Tier::Logic,
+        "stat",
+        &status,
+        &CloudSpec::new((pes * 2).max(32)),
+        &mut rng,
+    )?;
+    m.rng = rng;
+    let st_q = sink_into_registers(&mut m.b, &logic_lib, Tier::Logic, "statr", &st_out)?;
+    sink_into_outputs(&mut m.b, &logic_lib, Tier::Logic, "stat", &st_q)?;
+
+    let mut netlist = m.b.finish()?;
+    super::buffering::limit_fanout(&mut netlist, tech, 10)?;
+    Ok(GeneratedDesign {
+        netlist,
+        tech: tech.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CircuitDag;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn maeri16_builds_and_validates() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let s = NetlistStats::compute(&d.netlist);
+        assert!(s.cells > 500, "16PE should have hundreds of cells: {s}");
+        assert!(s.macros >= 4 + 2 + 1, "gbuf + lbuf + obuf macros");
+        assert!(s.registers > 50);
+        assert!(s.nets_3d > 0, "buffer links must cross tiers");
+        assert!(s.logic_2d_nets > s.nets_3d, "most nets are on-tier");
+    }
+
+    #[test]
+    fn maeri_is_acyclic() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let dag = CircuitDag::build(&d.netlist).unwrap();
+        assert!(dag.depth() > 4, "trees give multi-level logic");
+    }
+
+    #[test]
+    fn maeri_is_deterministic() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let a = generate_maeri(&MaeriConfig::new(16, 4).with_seed(9), &tech).unwrap();
+        let b = generate_maeri(&MaeriConfig::new(16, 4).with_seed(9), &tech).unwrap();
+        assert_eq!(a.netlist.cell_count(), b.netlist.cell_count());
+        assert_eq!(a.netlist.net_count(), b.netlist.net_count());
+        let c = generate_maeri(&MaeriConfig::new(16, 4).with_seed(10), &tech).unwrap();
+        // Same structure, different random control cloud wiring: counts may
+        // coincide but the gate mix should differ somewhere.
+        let mix = |n: &crate::netlist::Netlist| {
+            n.cell_ids()
+                .map(|cid| n.template(cid).name)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(mix(&a.netlist), mix(&c.netlist));
+    }
+
+    #[test]
+    fn maeri_scales_with_pe_count() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let small = generate_maeri(&MaeriConfig::new(16, 4), &tech).unwrap();
+        let big = generate_maeri(&MaeriConfig::new(64, 8), &tech).unwrap();
+        assert!(big.netlist.cell_count() > 3 * small.netlist.cell_count());
+    }
+
+    #[test]
+    fn config_normalization_rounds_to_powers_of_two() {
+        let (p, b) = MaeriConfig::new(100, 3).normalized();
+        assert_eq!(p, 128);
+        assert_eq!(b, 4);
+        let (p, _) = MaeriConfig::new(1, 1).normalized();
+        assert_eq!(p, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "data width")]
+    fn oversized_width_panics() {
+        let _ = MaeriConfig::new(16, 4).with_data_width(16);
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic structural generators for the paper's benchmark designs.
+//!
+//! The paper evaluates on MAERI accelerators (128PE/32BW, 256PE/64BW,
+//! 16PE/4BW) and a Cortex-A7 dual-core, synthesized with TSMC libraries.
+//! Neither the RTL nor the libraries are available, so these generators
+//! build gate-level netlists with the same *structure*:
+//!
+//! - [`maeri`] — multiplier PEs, a binary distribution tree, a binary
+//!   reduction (adder) tree, SRAM buffers on the memory die, and a control
+//!   cloud (after Kwon et al., MAERI, ASPLOS'18).
+//! - [`a7`] — in-order 5-stage pipelines with forwarding, register files,
+//!   L1 I/D cache macros and a shared L2 on the memory die.
+//! - [`cloud`] — the shared random-logic-cone builder (Rent's-rule-flavored
+//!   locality) both generators use for combinational clusters.
+//!
+//! All generators are deterministic functions of their config (including
+//! the seed), so every experiment in the workspace is reproducible.
+
+pub mod a7;
+pub mod buffering;
+pub mod cloud;
+pub mod maeri;
+
+pub use a7::{generate_a7, A7Config};
+pub use buffering::limit_fanout;
+pub use cloud::{build_cloud, sink_into_registers, CloudSpec};
+pub use maeri::{generate_maeri, MaeriConfig};
+
+use crate::netlist::Netlist;
+use crate::tech::TechConfig;
+
+/// A generated benchmark design together with the technology it targets.
+#[derive(Clone, Debug)]
+pub struct GeneratedDesign {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// The two-die technology configuration the design was built for.
+    pub tech: TechConfig,
+}

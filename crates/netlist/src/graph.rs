@@ -1,0 +1,367 @@
+//! Cell-level DAG and hypergraph views of a netlist.
+//!
+//! Signal flow through a synchronous circuit forms a DAG once paths are cut
+//! at sequential elements: registers, macros, and primary inputs *launch*
+//! signals; registers, macros, and primary outputs *capture* them. This
+//! module levelizes that DAG (used by STA and the generators' sanity
+//! checks) and provides the hypergraph view of Section III-B: each net is a
+//! hyperedge with a single source node — the driver cell — which is how
+//! GNN-MLS turns net-level MLS decisions into node-level ones.
+
+use std::fmt;
+
+use crate::ids::{CellId, NetId};
+use crate::netlist::Netlist;
+
+/// Errors raised while building graph views.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The combinational portion of the design contains a cycle through the
+    /// listed cell (unsynthesizable without a register).
+    CombinationalLoop(CellId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CombinationalLoop(c) => {
+                write!(f, "combinational loop through cell {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Levelized cell-level DAG of a netlist.
+#[derive(Clone, Debug)]
+pub struct CircuitDag {
+    /// Cells in a valid topological order (launch points first).
+    order: Vec<CellId>,
+    /// Logic level per cell: 0 for launch points, `1 + max(fanin)` for
+    /// combinational cells and capture points.
+    level: Vec<u32>,
+    /// Fanin cells per cell (driver cells of nets feeding its inputs).
+    fanin: Vec<Vec<CellId>>,
+    /// Fanout cells per cell.
+    fanout: Vec<Vec<CellId>>,
+}
+
+impl CircuitDag {
+    /// Builds and levelizes the DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CombinationalLoop`] if combinational cells form
+    /// a cycle.
+    pub fn build(netlist: &Netlist) -> Result<Self, GraphError> {
+        let n = netlist.cell_count();
+        let mut fanin: Vec<Vec<CellId>> = vec![Vec::new(); n];
+        let mut fanout: Vec<Vec<CellId>> = vec![Vec::new(); n];
+        for net in netlist.net_ids() {
+            let d = netlist.driver_cell(net);
+            for &s in netlist.sinks(net) {
+                let sc = netlist.pin(s).cell;
+                if sc != d {
+                    fanin[sc.index()].push(d);
+                    fanout[d.index()].push(sc);
+                }
+            }
+        }
+
+        // Kahn's algorithm. Launch-capable cells are ready immediately; a
+        // combinational cell becomes ready once all its fanin cells are
+        // processed. Capture-only cells (POs) are ordinary nodes.
+        let mut indeg = vec![0usize; n];
+        let mut ready: Vec<CellId> = Vec::new();
+        for c in netlist.cell_ids() {
+            if netlist.class(c).is_startpoint() {
+                ready.push(c);
+            } else {
+                indeg[c.index()] = fanin[c.index()].len();
+                if indeg[c.index()] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+
+        let mut order = Vec::with_capacity(n);
+        let mut level = vec![0u32; n];
+        let mut head = 0;
+        let mut queue = ready;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            // Launch points do not propagate their capture level.
+            let lu = if netlist.class(u).is_startpoint() {
+                0
+            } else {
+                level[u.index()]
+            };
+            for &v in &fanout[u.index()] {
+                if netlist.class(v).is_startpoint() {
+                    // Ordering-wise the edge is cut, but the capture level
+                    // of a register/macro is still the max over fanin.
+                    level[v.index()] = level[v.index()].max(lu + 1);
+                    continue;
+                }
+                level[v.index()] = level[v.index()].max(lu + 1);
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+
+        if order.len() != n {
+            let stuck = netlist
+                .cell_ids()
+                .find(|c| indeg[c.index()] > 0 && !netlist.class(*c).is_startpoint())
+                .expect("some cell must be stuck when order is incomplete");
+            return Err(GraphError::CombinationalLoop(stuck));
+        }
+
+        Ok(Self {
+            order,
+            level,
+            fanin,
+            fanout,
+        })
+    }
+
+    /// Cells in topological order (launch points first).
+    #[inline]
+    pub fn topo_order(&self) -> &[CellId] {
+        &self.order
+    }
+
+    /// Logic level of a cell (0 = launch point).
+    #[inline]
+    pub fn level(&self, cell: CellId) -> u32 {
+        self.level[cell.index()]
+    }
+
+    /// Maximum logic level in the design (combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fanin cells of a cell.
+    #[inline]
+    pub fn fanin(&self, cell: CellId) -> &[CellId] {
+        &self.fanin[cell.index()]
+    }
+
+    /// Fanout cells of a cell.
+    #[inline]
+    pub fn fanout(&self, cell: CellId) -> &[CellId] {
+        &self.fanout[cell.index()]
+    }
+}
+
+/// One hyperedge of the hypergraph view: a net with its single source node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperEdge {
+    /// The underlying net.
+    pub net: NetId,
+    /// The source node — the cell whose output pin drives the net. Per the
+    /// paper, net (hyperedge) features are folded into this node, turning
+    /// the net-level MLS decision into a node decision.
+    pub source: CellId,
+    /// Sink cells (may repeat if a cell has several input pins on the net).
+    pub sinks: Vec<CellId>,
+}
+
+/// Hypergraph view of a netlist (Section III-B / Figure 5).
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    edges: Vec<HyperEdge>,
+    /// For each cell, the nets it drives (usually one per output pin).
+    driven_by_cell: Vec<Vec<NetId>>,
+}
+
+impl Hypergraph {
+    /// Builds the hypergraph view.
+    pub fn build(netlist: &Netlist) -> Self {
+        let mut driven_by_cell = vec![Vec::new(); netlist.cell_count()];
+        let edges = netlist
+            .net_ids()
+            .map(|net| {
+                let source = netlist.driver_cell(net);
+                driven_by_cell[source.index()].push(net);
+                HyperEdge {
+                    net,
+                    source,
+                    sinks: netlist
+                        .sinks(net)
+                        .iter()
+                        .map(|&p| netlist.pin(p).cell)
+                        .collect(),
+                }
+            })
+            .collect();
+        Self {
+            edges,
+            driven_by_cell,
+        }
+    }
+
+    /// All hyperedges, indexed by net id.
+    #[inline]
+    pub fn edges(&self) -> &[HyperEdge] {
+        &self.edges
+    }
+
+    /// The hyperedge of a net.
+    #[inline]
+    pub fn edge(&self, net: NetId) -> &HyperEdge {
+        &self.edges[net.index()]
+    }
+
+    /// Nets driven by a cell (the node-centric mapping: deciding MLS for
+    /// these nets is deciding for this node).
+    #[inline]
+    pub fn nets_of_source(&self, cell: CellId) -> &[NetId] {
+        &self.driven_by_cell[cell.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::ids::Tier;
+    use crate::netlist::NetlistBuilder;
+    use crate::tech::TechNode;
+
+    /// PI -> inv1 -> dff -> inv2 -> PO, plus a fanout from inv1 to PO2.
+    fn pipeline() -> Netlist {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("pipe");
+        let pi = b.add_cell("pi", lib.expect("PI"), Tier::Logic).unwrap();
+        let i1 = b.add_cell("i1", lib.expect("INV"), Tier::Logic).unwrap();
+        let ff = b.add_cell("ff", lib.expect("DFF"), Tier::Logic).unwrap();
+        let i2 = b.add_cell("i2", lib.expect("INV"), Tier::Logic).unwrap();
+        let po = b.add_cell("po", lib.expect("PO"), Tier::Logic).unwrap();
+        let po2 = b.add_cell("po2", lib.expect("PO"), Tier::Logic).unwrap();
+        let mk = |b: &mut NetlistBuilder, name: &str| b.add_net(name).unwrap();
+        let n0 = mk(&mut b, "n0");
+        b.connect_output(n0, pi, 0).unwrap();
+        b.connect_input(n0, i1, 0).unwrap();
+        let n1 = mk(&mut b, "n1");
+        b.connect_output(n1, i1, 0).unwrap();
+        b.connect_input(n1, ff, 0).unwrap();
+        b.connect_input(n1, po2, 0).unwrap();
+        let n2 = mk(&mut b, "n2");
+        b.connect_output(n2, ff, 0).unwrap();
+        b.connect_input(n2, i2, 0).unwrap();
+        let n3 = mk(&mut b, "n3");
+        b.connect_output(n3, i2, 0).unwrap();
+        b.connect_input(n3, po, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn levelization_cuts_at_registers() {
+        let n = pipeline();
+        let dag = CircuitDag::build(&n).unwrap();
+        let id = |s: &str| n.cell_by_name(s).unwrap();
+        assert_eq!(dag.level(id("pi")), 0);
+        assert_eq!(dag.level(id("i1")), 1);
+        // The register *captures* at level 2 but *launches* at level 0...
+        assert_eq!(dag.level(id("ff")), 2);
+        // ...so downstream logic restarts shallow.
+        assert_eq!(dag.level(id("i2")), 1);
+        assert_eq!(dag.level(id("po")), 2);
+        assert_eq!(dag.depth(), 2);
+    }
+
+    #[test]
+    fn topo_order_respects_combinational_edges() {
+        let n = pipeline();
+        let dag = CircuitDag::build(&n).unwrap();
+        let pos: std::collections::HashMap<_, _> = dag
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let id = |s: &str| n.cell_by_name(s).unwrap();
+        assert!(pos[&id("pi")] < pos[&id("i1")]);
+        assert!(pos[&id("i1")] < pos[&id("po2")]);
+        assert!(pos[&id("ff")] < pos[&id("i2")]);
+        assert!(pos[&id("i2")] < pos[&id("po")]);
+        assert_eq!(dag.topo_order().len(), n.cell_count());
+    }
+
+    #[test]
+    fn fanin_fanout_are_mirrors() {
+        let n = pipeline();
+        let dag = CircuitDag::build(&n).unwrap();
+        for c in n.cell_ids() {
+            for &f in dag.fanout(c) {
+                assert!(dag.fanin(f).contains(&c));
+            }
+            for &f in dag.fanin(c) {
+                assert!(dag.fanout(f).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("loop");
+        let g1 = b.add_cell("g1", lib.expect("NAND2"), Tier::Logic).unwrap();
+        let g2 = b.add_cell("g2", lib.expect("NAND2"), Tier::Logic).unwrap();
+        let pi = b.add_cell("pi", lib.expect("PI"), Tier::Logic).unwrap();
+        let n0 = b.add_net("n0").unwrap();
+        b.connect_output(n0, pi, 0).unwrap();
+        b.connect_input(n0, g1, 1).unwrap();
+        let a = b.add_net("a").unwrap();
+        b.connect_output(a, g1, 0).unwrap();
+        b.connect_input(a, g2, 0).unwrap();
+        let z = b.add_net("z").unwrap();
+        b.connect_output(z, g2, 0).unwrap();
+        b.connect_input(z, g1, 0).unwrap();
+        let netlist = b.finish().unwrap();
+        assert!(matches!(
+            CircuitDag::build(&netlist),
+            Err(GraphError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn register_feedback_loop_is_fine() {
+        // dff -> inv -> dff (same register): legal synchronous loop.
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("fb");
+        let ff = b.add_cell("ff", lib.expect("DFF"), Tier::Logic).unwrap();
+        let inv = b.add_cell("inv", lib.expect("INV"), Tier::Logic).unwrap();
+        let q = b.add_net("q").unwrap();
+        b.connect_output(q, ff, 0).unwrap();
+        b.connect_input(q, inv, 0).unwrap();
+        let d = b.add_net("d").unwrap();
+        b.connect_output(d, inv, 0).unwrap();
+        b.connect_input(d, ff, 0).unwrap();
+        let netlist = b.finish().unwrap();
+        let dag = CircuitDag::build(&netlist).unwrap();
+        assert_eq!(dag.depth(), 2); // capture level of the DFF
+    }
+
+    #[test]
+    fn hypergraph_sources_match_drivers() {
+        let n = pipeline();
+        let hg = Hypergraph::build(&n);
+        assert_eq!(hg.edges().len(), n.net_count());
+        for e in hg.edges() {
+            assert_eq!(e.source, n.driver_cell(e.net));
+            assert_eq!(e.sinks.len(), n.sinks(e.net).len());
+            assert!(hg.nets_of_source(e.source).contains(&e.net));
+        }
+        // Multi-pin net n1 has two sink cells.
+        let n1 = n.net_by_name("n1").unwrap();
+        assert_eq!(hg.edge(n1).sinks.len(), 2);
+    }
+}

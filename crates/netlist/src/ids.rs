@@ -1,0 +1,155 @@
+//! Strongly typed indices into a [`Netlist`](crate::Netlist) and the 3D tier
+//! enumeration.
+//!
+//! Newtypes keep cell/net/pin indices from being mixed up at compile time
+//! (C-NEWTYPE). All ids are dense `u32` indices assigned by
+//! [`NetlistBuilder`](crate::NetlistBuilder) in insertion order.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw dense index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index, usable to address `Vec`-backed tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a cell instance (gate, register, macro, port).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Identifier of a net (a driver pin plus its sink pins).
+    NetId,
+    "n"
+);
+define_id!(
+    /// Identifier of a pin (one terminal on one cell).
+    PinId,
+    "p"
+);
+
+/// One of the two dies of the face-to-face bonded stack.
+///
+/// The paper's Memory-on-Logic arrangement puts the logic die at the bottom
+/// (`Tier::Logic`) and the memory die on top (`Tier::Memory`); F2F pads sit
+/// between the two top metals of each die.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Bottom die (logic; 16 nm in the heterogeneous setup).
+    Logic,
+    /// Top die (memory; 28 nm in the heterogeneous setup).
+    Memory,
+}
+
+impl Tier {
+    /// The other tier of the two-die stack.
+    #[inline]
+    pub const fn other(self) -> Tier {
+        match self {
+            Tier::Logic => Tier::Memory,
+            Tier::Memory => Tier::Logic,
+        }
+    }
+
+    /// Dense index: logic = 0, memory = 1.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Tier::Logic => 0,
+            Tier::Memory => 1,
+        }
+    }
+
+    /// Both tiers, bottom first.
+    pub const BOTH: [Tier; 2] = [Tier::Logic, Tier::Memory];
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Logic => write!(f, "logic"),
+            Tier::Memory => write!(f, "memory"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let c = CellId::new(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(c.raw(), 42);
+        assert_eq!(usize::from(c), 42);
+        assert_eq!(format!("{c}"), "c42");
+        assert_eq!(format!("{c:?}"), "c42");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(PinId::new(7), PinId::new(7));
+    }
+
+    #[test]
+    fn tier_other_is_involution() {
+        for t in Tier::BOTH {
+            assert_eq!(t.other().other(), t);
+            assert_ne!(t.other(), t);
+        }
+    }
+
+    #[test]
+    fn tier_indices_are_dense() {
+        assert_eq!(Tier::Logic.index(), 0);
+        assert_eq!(Tier::Memory.index(), 1);
+        assert_eq!(format!("{}", Tier::Logic), "logic");
+        assert_eq!(format!("{}", Tier::Memory), "memory");
+    }
+}

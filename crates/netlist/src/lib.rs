@@ -1,0 +1,46 @@
+//! Netlist substrate for the GNN-MLS reproduction.
+//!
+//! This crate provides everything the rest of the workspace needs to talk
+//! about a gate-level design destined for a two-tier, face-to-face (F2F)
+//! bonded 3D IC:
+//!
+//! - [`ids`] — strongly typed indices ([`CellId`], [`NetId`], [`PinId`]).
+//! - [`tech`] — synthetic technology models: metal stacks with per-layer
+//!   RC, F2F via parameters, and node-level (16 nm / 28 nm) scaling.
+//! - [`cell`] — a small standard-cell library parameterized by node.
+//! - [`netlist`] — the [`Netlist`] container, its builder, and validation.
+//! - [`graph`] — cell-level DAG and hypergraph views (topological order,
+//!   levelization, fan-in/fan-out traversal).
+//! - [`generators`] — deterministic structural generators for the paper's
+//!   benchmarks: MAERI-style DNN accelerators and Cortex-A7-style CPUs.
+//! - [`stats`] — summary statistics used by reports and tests.
+//! - [`verilog`] — structural Verilog export/import (round-trippable).
+//!
+//! # Example
+//!
+//! ```
+//! use gnnmls_netlist::generators::{MaeriConfig, generate_maeri};
+//! use gnnmls_netlist::tech::TechConfig;
+//!
+//! # fn main() -> Result<(), gnnmls_netlist::NetlistError> {
+//! let tech = TechConfig::heterogeneous_16_28(6, 6);
+//! let design = generate_maeri(&MaeriConfig::new(16, 4).with_seed(7), &tech)?;
+//! assert!(design.netlist.cell_count() > 100);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cell;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod netlist;
+pub mod stats;
+pub mod tech;
+pub mod verilog;
+
+pub use cell::{CellClass, CellLibrary, CellTemplate};
+pub use ids::{CellId, NetId, PinId, Tier};
+pub use netlist::{Cell, Net, Netlist, NetlistBuilder, NetlistError, Pin, PinDir};
+pub use stats::NetlistStats;
+pub use tech::{F2fParams, MetalLayer, MetalStack, TechConfig, TechNode};

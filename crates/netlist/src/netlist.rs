@@ -1,0 +1,886 @@
+//! The gate-level netlist container, its builder, and validation.
+//!
+//! A [`Netlist`] is a dense, index-based structure: cells, pins, and nets
+//! live in `Vec`s addressed by the newtype ids from [`crate::ids`]. Cell
+//! templates are interned so each instance only stores a small index.
+//!
+//! Invariants maintained by [`NetlistBuilder::finish`] and all mutators:
+//!
+//! - every net has exactly one driver (an output pin), stored first in its
+//!   pin list, and at least one sink;
+//! - every pin is connected to at most one net;
+//! - cell and net names are unique.
+//!
+//! Unconnected *input* pins are allowed (spare macro pins) and simply do not
+//! participate in timing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{CellClass, CellTemplate};
+use crate::ids::{CellId, NetId, PinId, Tier};
+
+/// Direction of a pin as seen from its cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinDir {
+    /// Signal enters the cell.
+    Input,
+    /// Signal leaves the cell.
+    Output,
+}
+
+/// One terminal of one cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Owning cell.
+    pub cell: CellId,
+    /// Direction relative to the cell.
+    pub dir: PinDir,
+    /// Connected net, if any.
+    pub net: Option<NetId>,
+    /// Pin capacitance in fF (0 for output pins; load is on the sinks).
+    pub cap_ff: f64,
+    /// Ordinal of this pin among the cell's pins of the same direction.
+    pub ordinal: u8,
+}
+
+/// A cell instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Unique instance name.
+    pub name: String,
+    /// Index into the netlist's interned template table.
+    pub template: u16,
+    /// Die this cell lives on (fixed by the Memory-on-Logic flow).
+    pub tier: Tier,
+    /// All pins, inputs first then outputs, in ordinal order.
+    pub pins: Vec<PinId>,
+}
+
+/// A net: one driver pin plus its sinks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Unique net name.
+    pub name: String,
+    /// `pins[0]` is the driver; the rest are sinks.
+    pub pins: Vec<PinId>,
+}
+
+/// Errors raised while building or mutating a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell with this name already exists.
+    DuplicateCellName(String),
+    /// A net with this name already exists.
+    DuplicateNetName(String),
+    /// The net already has a driver.
+    MultipleDrivers(NetId),
+    /// The net has no driver pin.
+    NoDriver(NetId),
+    /// The net has a driver but no sinks.
+    NoSinks(NetId),
+    /// The pin is already connected to some net.
+    PinAlreadyConnected(PinId),
+    /// An operation expected a pin of the other direction.
+    WrongPinDir(PinId),
+    /// A cell pin ordinal was out of range for its template.
+    PinOutOfRange(CellId, u8),
+    /// A referenced pin does not belong to the given net.
+    PinNotOnNet(PinId, NetId),
+    /// The design has no cells or no nets.
+    EmptyDesign,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateCellName(n) => write!(f, "duplicate cell name `{n}`"),
+            NetlistError::DuplicateNetName(n) => write!(f, "duplicate net name `{n}`"),
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::NoDriver(n) => write!(f, "net {n} has no driver"),
+            NetlistError::NoSinks(n) => write!(f, "net {n} has no sinks"),
+            NetlistError::PinAlreadyConnected(p) => write!(f, "pin {p} is already connected"),
+            NetlistError::WrongPinDir(p) => write!(f, "pin {p} has the wrong direction"),
+            NetlistError::PinOutOfRange(c, k) => {
+                write!(f, "cell {c} has no pin with ordinal {k}")
+            }
+            NetlistError::PinNotOnNet(p, n) => write!(f, "pin {p} is not on net {n}"),
+            NetlistError::EmptyDesign => write!(f, "design has no cells or no nets"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A validated gate-level design.
+#[derive(Clone, Debug, Serialize)]
+pub struct Netlist {
+    name: String,
+    templates: Vec<CellTemplate>,
+    cells: Vec<Cell>,
+    pins: Vec<Pin>,
+    nets: Vec<Net>,
+    cell_names: HashMap<String, CellId>,
+    net_names: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cell instances.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of pins.
+    #[inline]
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// A cell by id.
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// A net by id.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// A pin by id.
+    #[inline]
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// The interned template of a cell.
+    #[inline]
+    pub fn template(&self, cell: CellId) -> &CellTemplate {
+        &self.templates[self.cell(cell).template as usize]
+    }
+
+    /// The functional class of a cell.
+    #[inline]
+    pub fn class(&self, cell: CellId) -> CellClass {
+        self.template(cell).class
+    }
+
+    /// Looks up a cell by instance name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.cell_names.get(name).copied()
+    }
+
+    /// Looks up a net by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Iterates over cell ids in insertion order.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len() as u32).map(CellId::new)
+    }
+
+    /// Iterates over net ids in insertion order.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len() as u32).map(NetId::new)
+    }
+
+    /// Iterates over pin ids in insertion order.
+    pub fn pin_ids(&self) -> impl Iterator<Item = PinId> + '_ {
+        (0..self.pins.len() as u32).map(PinId::new)
+    }
+
+    /// The driver pin of a net.
+    #[inline]
+    pub fn driver(&self, net: NetId) -> PinId {
+        self.net(net).pins[0]
+    }
+
+    /// The sink pins of a net.
+    #[inline]
+    pub fn sinks(&self, net: NetId) -> &[PinId] {
+        &self.net(net).pins[1..]
+    }
+
+    /// The cell driving a net.
+    #[inline]
+    pub fn driver_cell(&self, net: NetId) -> CellId {
+        self.pin(self.driver(net)).cell
+    }
+
+    /// Input pins of a cell, in ordinal order.
+    pub fn input_pins(&self, cell: CellId) -> impl Iterator<Item = PinId> + '_ {
+        self.cell(cell)
+            .pins
+            .iter()
+            .copied()
+            .filter(move |&p| self.pin(p).dir == PinDir::Input)
+    }
+
+    /// Output pins of a cell, in ordinal order.
+    pub fn output_pins(&self, cell: CellId) -> impl Iterator<Item = PinId> + '_ {
+        self.cell(cell)
+            .pins
+            .iter()
+            .copied()
+            .filter(move |&p| self.pin(p).dir == PinDir::Output)
+    }
+
+    /// Total capacitive load on a net: sink pin caps only (wire cap is added
+    /// by extraction downstream).
+    pub fn pin_load_ff(&self, net: NetId) -> f64 {
+        self.sinks(net).iter().map(|&p| self.pin(p).cap_ff).sum()
+    }
+
+    /// Whether all pins of the net sit on a single tier (a "2D net" in the
+    /// paper's terms); `None` if pins span both tiers (a "3D net").
+    pub fn net_tier(&self, net: NetId) -> Option<Tier> {
+        let mut pins = self.net(net).pins.iter();
+        let first = self.cell(self.pin(*pins.next()?).cell).tier;
+        for &p in pins {
+            if self.cell(self.pin(p).cell).tier != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// Sum of cell areas on a tier, µm².
+    pub fn tier_area_um2(&self, tier: Tier) -> f64 {
+        self.cell_ids()
+            .filter(|&c| self.cell(c).tier == tier)
+            .map(|c| self.template(c).area_um2)
+            .sum()
+    }
+
+    // ---- mutation (used by DFT insertion and level-shifter insertion) ----
+
+    /// Adds a new cell instance post-validation; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateCellName`] if the name is taken.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        template: &CellTemplate,
+        tier: Tier,
+    ) -> Result<CellId, NetlistError> {
+        let name = name.into();
+        if self.cell_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateCellName(name));
+        }
+        let tpl_idx = intern_template(&mut self.templates, template);
+        let id = CellId::new(self.cells.len() as u32);
+        let pins = make_pins(&mut self.pins, id, template);
+        self.cells.push(Cell {
+            name: name.clone(),
+            template: tpl_idx,
+            tier,
+            pins,
+        });
+        self.cell_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Splices `through` (a 1-input/1-output cell such as a MUX, buffer,
+    /// level shifter, or scan FF) into `net`, moving the given sinks onto a
+    /// new net driven by `through`.
+    ///
+    /// Before: `driver -> {sinks_to_move ∪ others}`.
+    /// After: `driver -> {others, through.in}` and
+    /// `through.out -> {sinks_to_move}` on a new net named `new_net_name`.
+    ///
+    /// Returns the id of the new net.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetlistError::DuplicateNetName`] if `new_net_name` is taken.
+    /// - [`NetlistError::PinNotOnNet`] if a sink is not on `net`.
+    /// - [`NetlistError::PinAlreadyConnected`] if `through` is already wired.
+    /// - [`NetlistError::NoSinks`] if `sinks_to_move` is empty or would
+    ///   leave `net` sink-less... `net` always keeps `through`'s input as a
+    ///   sink, so only the empty case errors.
+    pub fn split_net(
+        &mut self,
+        net: NetId,
+        sinks_to_move: &[PinId],
+        through: CellId,
+        new_net_name: impl Into<String>,
+    ) -> Result<NetId, NetlistError> {
+        let new_net_name = new_net_name.into();
+        if self.net_names.contains_key(&new_net_name) {
+            return Err(NetlistError::DuplicateNetName(new_net_name));
+        }
+        if sinks_to_move.is_empty() {
+            return Err(NetlistError::NoSinks(net));
+        }
+        for &p in sinks_to_move {
+            if self.pin(p).net != Some(net) || self.pin(p).dir != PinDir::Input {
+                return Err(NetlistError::PinNotOnNet(p, net));
+            }
+        }
+        let t_in = self
+            .input_pins(through)
+            .next()
+            .ok_or(NetlistError::PinOutOfRange(through, 0))?;
+        let t_out = self
+            .output_pins(through)
+            .next()
+            .ok_or(NetlistError::PinOutOfRange(through, 0))?;
+        if self.pin(t_in).net.is_some() || self.pin(t_out).net.is_some() {
+            return Err(NetlistError::PinAlreadyConnected(t_in));
+        }
+
+        // Detach moved sinks from the old net.
+        self.nets[net.index()]
+            .pins
+            .retain(|p| !sinks_to_move.contains(p));
+        // Old net now drives `through`'s input.
+        self.nets[net.index()].pins.push(t_in);
+        self.pins[t_in.index()].net = Some(net);
+
+        // New net: driver = through's output, sinks = moved pins.
+        let new_id = NetId::new(self.nets.len() as u32);
+        let mut pins = Vec::with_capacity(1 + sinks_to_move.len());
+        pins.push(t_out);
+        self.pins[t_out.index()].net = Some(new_id);
+        for &p in sinks_to_move {
+            self.pins[p.index()].net = Some(new_id);
+            pins.push(p);
+        }
+        self.nets.push(Net {
+            name: new_net_name.clone(),
+            pins,
+        });
+        self.net_names.insert(new_net_name, new_id);
+        Ok(new_id)
+    }
+
+    /// Creates a new net driven by the first unconnected output pin of
+    /// `driver`. The net starts sink-less; callers must attach at least
+    /// one sink (via [`Netlist::connect_sink`]) before analysis.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the name is taken or `driver` has no free output pin.
+    pub fn new_driven_net(
+        &mut self,
+        name: impl Into<String>,
+        driver: CellId,
+    ) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.net_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateNetName(name));
+        }
+        let out = self
+            .output_pins(driver)
+            .find(|&p| self.pin(p).net.is_none())
+            .ok_or(NetlistError::PinOutOfRange(driver, 0))?;
+        let id = NetId::new(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.clone(),
+            pins: vec![out],
+        });
+        self.pins[out.index()].net = Some(id);
+        self.net_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Creates a new two-pin net from `driver`'s first free output to
+    /// `sink`'s first free input.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the name is taken or either cell lacks a free pin.
+    pub fn connect_new_net(
+        &mut self,
+        name: impl Into<String>,
+        driver: CellId,
+        sink: CellId,
+    ) -> Result<NetId, NetlistError> {
+        let net = self.new_driven_net(name, driver)?;
+        let inp = self
+            .input_pins(sink)
+            .position(|p| self.pin(p).net.is_none())
+            .ok_or(NetlistError::PinOutOfRange(sink, 0))?;
+        // `position` counts among *input pins*; connect_sink indexes input
+        // ordinals the same way, but skipping connected ones differs —
+        // resolve directly instead.
+        let pin = self
+            .input_pins(sink)
+            .nth(inp)
+            .expect("position came from the same iterator");
+        self.pins[pin.index()].net = Some(net);
+        self.nets[net.index()].pins.push(pin);
+        Ok(net)
+    }
+
+    /// Connects an extra, currently unconnected input pin of `cell` as a
+    /// sink of `net` (used to hook up scan-enable / scan-in style pins).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pin ordinal is out of range, the pin is not
+    /// an input, or it is already connected.
+    pub fn connect_sink(
+        &mut self,
+        net: NetId,
+        cell: CellId,
+        input_ordinal: u8,
+    ) -> Result<PinId, NetlistError> {
+        let pin = self
+            .input_pins(cell)
+            .nth(input_ordinal as usize)
+            .ok_or(NetlistError::PinOutOfRange(cell, input_ordinal))?;
+        if self.pin(pin).net.is_some() {
+            return Err(NetlistError::PinAlreadyConnected(pin));
+        }
+        self.pins[pin.index()].net = Some(net);
+        self.nets[net.index()].pins.push(pin);
+        Ok(pin)
+    }
+}
+
+fn intern_template(templates: &mut Vec<CellTemplate>, t: &CellTemplate) -> u16 {
+    if let Some(i) = templates.iter().position(|x| x == t) {
+        return i as u16;
+    }
+    templates.push(t.clone());
+    u16::try_from(templates.len() - 1).expect("fewer than 65536 distinct templates")
+}
+
+fn make_pins(pins: &mut Vec<Pin>, cell: CellId, t: &CellTemplate) -> Vec<PinId> {
+    let mut out = Vec::with_capacity((t.inputs + t.outputs) as usize);
+    for k in 0..t.inputs {
+        let id = PinId::new(pins.len() as u32);
+        pins.push(Pin {
+            cell,
+            dir: PinDir::Input,
+            net: None,
+            cap_ff: t.input_cap_ff,
+            ordinal: k,
+        });
+        out.push(id);
+    }
+    for k in 0..t.outputs {
+        let id = PinId::new(pins.len() as u32);
+        pins.push(Pin {
+            cell,
+            dir: PinDir::Output,
+            net: None,
+            cap_ff: 0.0,
+            ordinal: k,
+        });
+        out.push(id);
+    }
+    out
+}
+
+/// Incremental builder for [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use gnnmls_netlist::{CellLibrary, NetlistBuilder, Tier};
+/// use gnnmls_netlist::tech::TechNode;
+///
+/// # fn main() -> Result<(), gnnmls_netlist::NetlistError> {
+/// let lib = CellLibrary::for_node(&TechNode::n28());
+/// let mut b = NetlistBuilder::new("tiny");
+/// let a = b.add_cell("a", lib.expect("PI"), Tier::Logic)?;
+/// let g = b.add_cell("g", lib.expect("INV"), Tier::Logic)?;
+/// let z = b.add_cell("z", lib.expect("PO"), Tier::Logic)?;
+/// let n1 = b.add_net("n1")?;
+/// b.connect_output(n1, a, 0)?;
+/// b.connect_input(n1, g, 0)?;
+/// let n2 = b.add_net("n2")?;
+/// b.connect_output(n2, g, 0)?;
+/// b.connect_input(n2, z, 0)?;
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.cell_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    netlist: Netlist,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            netlist: Netlist {
+                name: name.into(),
+                templates: Vec::new(),
+                cells: Vec::new(),
+                pins: Vec::new(),
+                nets: Vec::new(),
+                cell_names: HashMap::new(),
+                net_names: HashMap::new(),
+            },
+        }
+    }
+
+    /// Adds a cell instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateCellName`] if the name is taken.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        template: &CellTemplate,
+        tier: Tier,
+    ) -> Result<CellId, NetlistError> {
+        self.netlist.add_cell(name, template, tier)
+    }
+
+    /// Adds an empty net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNetName`] if the name is taken.
+    pub fn add_net(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.netlist.net_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateNetName(name));
+        }
+        let id = NetId::new(self.netlist.nets.len() as u32);
+        self.netlist.nets.push(Net {
+            name: name.clone(),
+            pins: Vec::new(),
+        });
+        self.netlist.net_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Connects the `ordinal`-th output pin of `cell` as the driver of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the net already has a driver, the ordinal is out of range,
+    /// or the pin is already connected elsewhere.
+    pub fn connect_output(
+        &mut self,
+        net: NetId,
+        cell: CellId,
+        ordinal: u8,
+    ) -> Result<PinId, NetlistError> {
+        let pin = self
+            .netlist
+            .output_pins(cell)
+            .nth(ordinal as usize)
+            .ok_or(NetlistError::PinOutOfRange(cell, ordinal))?;
+        if self.netlist.pin(pin).net.is_some() {
+            return Err(NetlistError::PinAlreadyConnected(pin));
+        }
+        let n = &mut self.netlist.nets[net.index()];
+        if n.pins
+            .first()
+            .is_some_and(|&p| self.netlist.pins[p.index()].dir == PinDir::Output)
+        {
+            return Err(NetlistError::MultipleDrivers(net));
+        }
+        n.pins.insert(0, pin);
+        self.netlist.pins[pin.index()].net = Some(net);
+        Ok(pin)
+    }
+
+    /// Connects the `ordinal`-th input pin of `cell` as a sink of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the ordinal is out of range or the pin is connected.
+    pub fn connect_input(
+        &mut self,
+        net: NetId,
+        cell: CellId,
+        ordinal: u8,
+    ) -> Result<PinId, NetlistError> {
+        let pin = self
+            .netlist
+            .input_pins(cell)
+            .nth(ordinal as usize)
+            .ok_or(NetlistError::PinOutOfRange(cell, ordinal))?;
+        if self.netlist.pin(pin).net.is_some() {
+            return Err(NetlistError::PinAlreadyConnected(pin));
+        }
+        self.netlist.nets[net.index()].pins.push(pin);
+        self.netlist.pins[pin.index()].net = Some(net);
+        Ok(pin)
+    }
+
+    /// Current number of cells (useful for generators naming instances).
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.netlist.cell_count()
+    }
+
+    /// Validates and returns the finished netlist.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetlistError::EmptyDesign`] if there are no cells or nets.
+    /// - [`NetlistError::NoDriver`] / [`NetlistError::NoSinks`] for any
+    ///   malformed net.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        let n = self.netlist;
+        if n.cells.is_empty() || n.nets.is_empty() {
+            return Err(NetlistError::EmptyDesign);
+        }
+        for id in n.net_ids() {
+            let net = n.net(id);
+            match net.pins.first() {
+                Some(&p) if n.pin(p).dir == PinDir::Output => {}
+                _ => return Err(NetlistError::NoDriver(id)),
+            }
+            if net.pins.len() < 2 {
+                if std::env::var("GNNMLS_DEBUG_VALIDATE").is_ok() {
+                    eprintln!("sinkless net: {} ({})", net.name, id);
+                }
+                return Err(NetlistError::NoSinks(id));
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::tech::TechNode;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::for_node(&TechNode::n28())
+    }
+
+    fn tiny() -> Netlist {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.add_cell("a", lib.expect("PI"), Tier::Logic).unwrap();
+        let g = b.add_cell("g", lib.expect("NAND2"), Tier::Logic).unwrap();
+        let m = b.add_cell("m", lib.expect("SRAM"), Tier::Memory).unwrap();
+        let z = b.add_cell("z", lib.expect("PO"), Tier::Logic).unwrap();
+        let n1 = b.add_net("n1").unwrap();
+        b.connect_output(n1, a, 0).unwrap();
+        b.connect_input(n1, g, 0).unwrap();
+        b.connect_input(n1, g, 1).unwrap();
+        let n2 = b.add_net("n2").unwrap();
+        b.connect_output(n2, g, 0).unwrap();
+        b.connect_input(n2, m, 0).unwrap();
+        let n3 = b.add_net("n3").unwrap();
+        b.connect_output(n3, m, 0).unwrap();
+        b.connect_input(n3, z, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_design() {
+        let n = tiny();
+        assert_eq!(n.cell_count(), 4);
+        assert_eq!(n.net_count(), 3);
+        let n1 = n.net_by_name("n1").unwrap();
+        assert_eq!(n.sinks(n1).len(), 2);
+        let drv = n.driver(n1);
+        assert_eq!(n.pin(drv).dir, PinDir::Output);
+        assert_eq!(n.cell(n.driver_cell(n1)).name, "a");
+        assert_eq!(n.name(), "tiny");
+    }
+
+    #[test]
+    fn net_tier_classifies_2d_and_3d_nets() {
+        let n = tiny();
+        let n1 = n.net_by_name("n1").unwrap();
+        let n2 = n.net_by_name("n2").unwrap();
+        assert_eq!(n.net_tier(n1), Some(Tier::Logic));
+        assert_eq!(n.net_tier(n2), None, "n2 crosses tiers");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("x");
+        b.add_cell("a", lib.expect("INV"), Tier::Logic).unwrap();
+        assert!(matches!(
+            b.add_cell("a", lib.expect("INV"), Tier::Logic),
+            Err(NetlistError::DuplicateCellName(_))
+        ));
+        b.add_net("n").unwrap();
+        assert!(matches!(
+            b.add_net("n"),
+            Err(NetlistError::DuplicateNetName(_))
+        ));
+    }
+
+    #[test]
+    fn double_drive_is_rejected() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("x");
+        let g1 = b.add_cell("g1", lib.expect("INV"), Tier::Logic).unwrap();
+        let g2 = b.add_cell("g2", lib.expect("INV"), Tier::Logic).unwrap();
+        let n = b.add_net("n").unwrap();
+        b.connect_output(n, g1, 0).unwrap();
+        assert!(matches!(
+            b.connect_output(n, g2, 0),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn driverless_net_fails_validation() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("x");
+        let g = b.add_cell("g", lib.expect("INV"), Tier::Logic).unwrap();
+        let n = b.add_net("n").unwrap();
+        b.connect_input(n, g, 0).unwrap();
+        assert!(matches!(b.finish(), Err(NetlistError::NoDriver(_))));
+    }
+
+    #[test]
+    fn sinkless_net_fails_validation() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("x");
+        let g = b.add_cell("g", lib.expect("INV"), Tier::Logic).unwrap();
+        let n = b.add_net("n").unwrap();
+        b.connect_output(n, g, 0).unwrap();
+        assert!(matches!(b.finish(), Err(NetlistError::NoSinks(_))));
+    }
+
+    #[test]
+    fn empty_design_fails_validation() {
+        let b = NetlistBuilder::new("x");
+        assert!(matches!(b.finish(), Err(NetlistError::EmptyDesign)));
+    }
+
+    #[test]
+    fn split_net_moves_sinks_through_cell() {
+        let mut n = tiny();
+        let lib = lib();
+        let n1 = n.net_by_name("n1").unwrap();
+        let sinks: Vec<_> = n.sinks(n1).to_vec();
+        let moved = vec![sinks[1]];
+        let mux = n
+            .add_cell("dft_mux", lib.expect("BUF"), Tier::Logic)
+            .unwrap();
+        let new_net = n.split_net(n1, &moved, mux, "n1_split").unwrap();
+        // Old net: driver + remaining sink + mux input.
+        assert_eq!(n.net(n1).pins.len(), 3);
+        // New net: mux output + moved sink.
+        assert_eq!(n.net(new_net).pins.len(), 2);
+        assert_eq!(n.driver_cell(new_net), mux);
+        assert_eq!(n.pin(moved[0]).net, Some(new_net));
+        assert_eq!(n.net_by_name("n1_split"), Some(new_net));
+    }
+
+    #[test]
+    fn split_net_rejects_foreign_pins() {
+        let mut n = tiny();
+        let lib = lib();
+        let n1 = n.net_by_name("n1").unwrap();
+        let n3 = n.net_by_name("n3").unwrap();
+        let foreign = n.sinks(n3)[0];
+        let mux = n
+            .add_cell("dft_mux", lib.expect("BUF"), Tier::Logic)
+            .unwrap();
+        assert!(matches!(
+            n.split_net(n1, &[foreign], mux, "bad"),
+            Err(NetlistError::PinNotOnNet(_, _))
+        ));
+    }
+
+    #[test]
+    fn templates_are_interned() {
+        let n = tiny();
+        // 4 cells use 4 distinct templates; adding more cells of the same
+        // template must not grow the table.
+        let before = n.templates.len();
+        let mut n2 = n.clone();
+        let lib = lib();
+        n2.add_cell("g2", lib.expect("NAND2"), Tier::Logic).unwrap();
+        assert_eq!(n2.templates.len(), before);
+    }
+
+    #[test]
+    fn pin_load_sums_sink_caps() {
+        let n = tiny();
+        let lib = lib();
+        let n1 = n.net_by_name("n1").unwrap();
+        let expect = 2.0 * lib.expect("NAND2").input_cap_ff;
+        assert!((n.pin_load_ff(n1) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_driven_net_and_connect_new_net() {
+        let mut n = tiny();
+        let lib = lib();
+        let buf = n.add_cell("nb", lib.expect("BUF"), Tier::Logic).unwrap();
+        let po = n.add_cell("npo", lib.expect("PO"), Tier::Logic).unwrap();
+        let net = n.connect_new_net("fresh", buf, po).unwrap();
+        assert_eq!(n.driver_cell(net), buf);
+        assert_eq!(n.sinks(net).len(), 1);
+        assert_eq!(n.net_by_name("fresh"), Some(net));
+        // The buffer's only output is now taken.
+        let buf2 = n.add_cell("nb2", lib.expect("BUF"), Tier::Logic).unwrap();
+        assert!(matches!(
+            n.connect_new_net("fresh", buf2, po),
+            Err(NetlistError::DuplicateNetName(_))
+        ));
+        // PO input is taken too: a second net to it must fail.
+        assert!(matches!(
+            n.connect_new_net("fresh2", buf2, po),
+            Err(NetlistError::PinOutOfRange(_, _))
+        ));
+        // Driver with no free output errors as well.
+        assert!(matches!(
+            n.new_driven_net("fresh3", buf),
+            Err(NetlistError::PinOutOfRange(_, _))
+        ));
+    }
+
+    #[test]
+    fn connect_sink_rejects_connected_and_out_of_range_pins() {
+        let mut n = tiny();
+        let n1 = n.net_by_name("n1").unwrap();
+        let g = n.cell_by_name("g").unwrap();
+        // Both NAND2 inputs already connected.
+        assert!(matches!(
+            n.connect_sink(n1, g, 0),
+            Err(NetlistError::PinAlreadyConnected(_))
+        ));
+        assert!(matches!(
+            n.connect_sink(n1, g, 7),
+            Err(NetlistError::PinOutOfRange(_, _))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs: Vec<NetlistError> = vec![
+            NetlistError::DuplicateCellName("a".into()),
+            NetlistError::NoDriver(NetId::new(0)),
+            NetlistError::EmptyDesign,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Summary statistics for a netlist, used in reports and generator tests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::cell::CellClass;
+use crate::ids::Tier;
+use crate::netlist::Netlist;
+
+/// Aggregate statistics of a design.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Total cells.
+    pub cells: usize,
+    /// Total nets.
+    pub nets: usize,
+    /// Total pins.
+    pub pins: usize,
+    /// Combinational gates.
+    pub combinational: usize,
+    /// Registers (including scan registers).
+    pub registers: usize,
+    /// SRAM macros.
+    pub macros: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Level shifters.
+    pub level_shifters: usize,
+    /// Cells on the logic tier.
+    pub logic_tier_cells: usize,
+    /// Cells on the memory tier.
+    pub memory_tier_cells: usize,
+    /// Nets entirely on the logic tier ("2D nets", bottom).
+    pub logic_2d_nets: usize,
+    /// Nets entirely on the memory tier ("2D nets", top).
+    pub memory_2d_nets: usize,
+    /// Nets spanning both tiers ("3D nets").
+    pub nets_3d: usize,
+    /// Maximum net fanout (sink count).
+    pub max_fanout: usize,
+    /// Mean net fanout.
+    pub mean_fanout: f64,
+    /// Cell area on the logic tier, µm².
+    pub logic_area_um2: f64,
+    /// Cell area on the memory tier, µm².
+    pub memory_area_um2: f64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a design.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            cells: netlist.cell_count(),
+            nets: netlist.net_count(),
+            pins: netlist.pin_count(),
+            logic_area_um2: netlist.tier_area_um2(Tier::Logic),
+            memory_area_um2: netlist.tier_area_um2(Tier::Memory),
+            ..Default::default()
+        };
+        for c in netlist.cell_ids() {
+            match netlist.class(c) {
+                CellClass::Combinational | CellClass::ScanMux => s.combinational += 1,
+                CellClass::Register | CellClass::ScanRegister => s.registers += 1,
+                CellClass::Macro => s.macros += 1,
+                CellClass::Input => s.inputs += 1,
+                CellClass::Output => s.outputs += 1,
+                CellClass::LevelShifter => s.level_shifters += 1,
+            }
+            match netlist.cell(c).tier {
+                Tier::Logic => s.logic_tier_cells += 1,
+                Tier::Memory => s.memory_tier_cells += 1,
+            }
+        }
+        let mut fanout_sum = 0usize;
+        for n in netlist.net_ids() {
+            let fo = netlist.sinks(n).len();
+            fanout_sum += fo;
+            s.max_fanout = s.max_fanout.max(fo);
+            match netlist.net_tier(n) {
+                Some(Tier::Logic) => s.logic_2d_nets += 1,
+                Some(Tier::Memory) => s.memory_2d_nets += 1,
+                None => s.nets_3d += 1,
+            }
+        }
+        s.mean_fanout = if s.nets == 0 {
+            0.0
+        } else {
+            fanout_sum as f64 / s.nets as f64
+        };
+        s
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cells={} (comb={} reg={} macro={} pi={} po={} ls={})",
+            self.cells,
+            self.combinational,
+            self.registers,
+            self.macros,
+            self.inputs,
+            self.outputs,
+            self.level_shifters
+        )?;
+        writeln!(
+            f,
+            "tiers: logic={} cells / {:.0} um2, memory={} cells / {:.0} um2",
+            self.logic_tier_cells,
+            self.logic_area_um2,
+            self.memory_tier_cells,
+            self.memory_area_um2
+        )?;
+        write!(
+            f,
+            "nets={} (2d-logic={} 2d-memory={} 3d={}), fanout max={} mean={:.2}",
+            self.nets,
+            self.logic_2d_nets,
+            self.memory_2d_nets,
+            self.nets_3d,
+            self.max_fanout,
+            self.mean_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellLibrary;
+    use crate::netlist::NetlistBuilder;
+    use crate::tech::TechNode;
+
+    #[test]
+    fn stats_count_classes_tiers_and_net_kinds() {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("s");
+        let pi = b.add_cell("pi", lib.expect("PI"), Tier::Logic).unwrap();
+        let g = b.add_cell("g", lib.expect("INV"), Tier::Logic).unwrap();
+        let m = b.add_cell("m", lib.expect("SRAM"), Tier::Memory).unwrap();
+        let po = b.add_cell("po", lib.expect("PO"), Tier::Logic).unwrap();
+        let n0 = b.add_net("n0").unwrap();
+        b.connect_output(n0, pi, 0).unwrap();
+        b.connect_input(n0, g, 0).unwrap();
+        let n1 = b.add_net("n1").unwrap();
+        b.connect_output(n1, g, 0).unwrap();
+        b.connect_input(n1, m, 0).unwrap();
+        let n2 = b.add_net("n2").unwrap();
+        b.connect_output(n2, m, 0).unwrap();
+        b.connect_input(n2, po, 0).unwrap();
+        let n = b.finish().unwrap();
+
+        let s = NetlistStats::compute(&n);
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.combinational, 1);
+        assert_eq!(s.macros, 1);
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.logic_tier_cells, 3);
+        assert_eq!(s.memory_tier_cells, 1);
+        assert_eq!(s.logic_2d_nets, 1);
+        assert_eq!(s.nets_3d, 2);
+        assert_eq!(s.max_fanout, 1);
+        assert!((s.mean_fanout - 1.0).abs() < 1e-12);
+        assert!(s.memory_area_um2 > s.logic_area_um2);
+        assert!(!format!("{s}").is_empty());
+    }
+}

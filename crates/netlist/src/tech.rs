@@ -1,0 +1,408 @@
+//! Synthetic technology models.
+//!
+//! The paper runs on TSMC 16 nm / 28 nm PDKs, which are unavailable; this
+//! module provides stand-ins that preserve the *relative* properties the
+//! experiments depend on:
+//!
+//! - 16 nm gates are faster, smaller, and lower-capacitance than 28 nm and
+//!   run at a lower core voltage (0.81 V vs 0.9 V, per the paper's power
+//!   domains).
+//! - upper metal layers are thicker (lower R per µm, slightly lower C) and
+//!   coarser-pitched than lower ones, so routing long nets high is cheaper.
+//! - F2F bond vias use the paper's published values: 0.5 µm size, 1.0 µm
+//!   pitch, 0.5 Ω, 0.2 fF.
+//!
+//! Units used throughout the workspace: **µm** for length, **ps** for time,
+//! **kΩ** for resistance, and **fF** for capacitance, so `kΩ × fF = ps`
+//! directly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Tier;
+
+/// Preferred routing direction of a metal layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteDir {
+    /// Wires run along x.
+    Horizontal,
+    /// Wires run along y.
+    Vertical,
+}
+
+impl RouteDir {
+    /// The orthogonal direction.
+    #[inline]
+    pub const fn other(self) -> RouteDir {
+        match self {
+            RouteDir::Horizontal => RouteDir::Vertical,
+            RouteDir::Vertical => RouteDir::Horizontal,
+        }
+    }
+}
+
+/// Electrical and geometric model of one metal layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetalLayer {
+    /// 1-based layer index within its die (M1 = 1).
+    pub index: u8,
+    /// Preferred routing direction (alternating by layer).
+    pub dir: RouteDir,
+    /// Wire resistance in kΩ per µm.
+    pub r_kohm_per_um: f64,
+    /// Wire capacitance in fF per µm.
+    pub c_ff_per_um: f64,
+    /// Routing track pitch in µm (wider on upper, thicker metals).
+    pub pitch_um: f64,
+}
+
+impl MetalLayer {
+    /// Human-readable name, e.g. `M3`.
+    pub fn name(&self) -> String {
+        format!("M{}", self.index)
+    }
+}
+
+/// The back-end-of-line metal stack of one die.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetalStack {
+    layers: Vec<MetalLayer>,
+}
+
+impl MetalStack {
+    /// Base M1 resistance for the 28 nm stand-in, kΩ/µm.
+    const BASE_R: f64 = 0.0024;
+    /// Base M1 capacitance, fF/µm.
+    const BASE_C: f64 = 0.20;
+    /// Base M1 track pitch, µm.
+    const BASE_PITCH: f64 = 0.10;
+    /// Per-layer geometric scaling going up the stack.
+    const R_DECAY: f64 = 0.52;
+    const C_DECAY: f64 = 0.97;
+    const PITCH_GROWTH: f64 = 1.35;
+
+    /// Builds a stack of `n` layers for a given node.
+    ///
+    /// `r_scale`/`c_scale` come from the [`TechNode`]: finer nodes have more
+    /// resistive lower metals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 12` (no real BEOL in this range is outside
+    /// 1..=12 and downstream code packs layer indices into small integers).
+    pub fn with_layers(n: u8, r_scale: f64, c_scale: f64) -> Self {
+        assert!((1..=12).contains(&n), "metal stack must have 1..=12 layers");
+        let layers = (1..=n)
+            .map(|i| {
+                let k = f64::from(i - 1);
+                MetalLayer {
+                    index: i,
+                    // M1 horizontal, M2 vertical, alternating upward.
+                    dir: if i % 2 == 1 {
+                        RouteDir::Horizontal
+                    } else {
+                        RouteDir::Vertical
+                    },
+                    r_kohm_per_um: Self::BASE_R * Self::R_DECAY.powf(k) * r_scale,
+                    c_ff_per_um: Self::BASE_C * Self::C_DECAY.powf(k) * c_scale,
+                    pitch_um: Self::BASE_PITCH * Self::PITCH_GROWTH.powf(k),
+                }
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of metal layers in the stack.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack has no layers (never true for built stacks).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer by 1-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is 0 or larger than [`len`](Self::len).
+    #[inline]
+    pub fn layer(&self, index: u8) -> &MetalLayer {
+        &self.layers[index as usize - 1]
+    }
+
+    /// The top-most (thickest) layer.
+    #[inline]
+    pub fn top(&self) -> &MetalLayer {
+        self.layers.last().expect("stack is non-empty")
+    }
+
+    /// Iterates over layers bottom-up.
+    pub fn iter(&self) -> impl Iterator<Item = &MetalLayer> {
+        self.layers.iter()
+    }
+}
+
+/// Inter-die via (cut) resistance used between adjacent metal layers.
+pub const VIA_R_KOHM: f64 = 0.002;
+/// Inter-die via capacitance.
+pub const VIA_C_FF: f64 = 0.05;
+
+/// Face-to-face bond pad parameters (Section IV-A of the paper).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct F2fParams {
+    /// Pad size in µm.
+    pub size_um: f64,
+    /// Pad pitch in µm.
+    pub pitch_um: f64,
+    /// Pad resistance in kΩ.
+    pub r_kohm: f64,
+    /// Pad capacitance in fF.
+    pub c_ff: f64,
+}
+
+impl Default for F2fParams {
+    fn default() -> Self {
+        // "F2F via parameters are configured as size 0.5 µm, pitch 1.0 µm,
+        //  resistance 0.5 Ω, and capacitance 0.2 fF."
+        Self {
+            size_um: 0.5,
+            pitch_um: 1.0,
+            r_kohm: 0.0005,
+            c_ff: 0.2,
+        }
+    }
+}
+
+/// Node-level scaling of gate delay, capacitance, drive, leakage, and area.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TechNode {
+    /// Display name, e.g. `"16nm"`.
+    pub name: &'static str,
+    /// Core supply voltage in volts.
+    pub vdd: f64,
+    /// Multiplier on intrinsic gate delay relative to the 28 nm base.
+    pub delay_scale: f64,
+    /// Multiplier on pin capacitance.
+    pub cap_scale: f64,
+    /// Multiplier on output drive resistance.
+    pub drive_scale: f64,
+    /// Multiplier on per-cell leakage power.
+    pub leakage_scale: f64,
+    /// Multiplier on cell area.
+    pub area_scale: f64,
+    /// Multiplier on wire resistance of the die's metal stack.
+    pub wire_r_scale: f64,
+    /// Multiplier on wire capacitance of the die's metal stack.
+    pub wire_c_scale: f64,
+}
+
+impl TechNode {
+    /// The 28 nm stand-in node (base for all scaling; VDD 0.9 V).
+    pub fn n28() -> Self {
+        Self {
+            name: "28nm",
+            vdd: 0.90,
+            delay_scale: 1.0,
+            cap_scale: 1.0,
+            drive_scale: 1.0,
+            leakage_scale: 1.0,
+            area_scale: 1.0,
+            wire_r_scale: 1.0,
+            wire_c_scale: 1.0,
+        }
+    }
+
+    /// The 16 nm stand-in node (faster, smaller, 0.81 V per the paper's
+    /// logic sub-domain).
+    pub fn n16() -> Self {
+        Self {
+            name: "16nm",
+            vdd: 0.81,
+            delay_scale: 0.58,
+            cap_scale: 0.62,
+            drive_scale: 0.85,
+            leakage_scale: 1.4,
+            area_scale: 0.40,
+            wire_r_scale: 1.35,
+            wire_c_scale: 0.92,
+        }
+    }
+}
+
+/// Complete technology configuration for a two-die F2F stack.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TechConfig {
+    /// Display name, e.g. `"hetero-16-28"`.
+    pub name: String,
+    /// Node of the bottom (logic) die.
+    pub logic_node: TechNode,
+    /// Node of the top (memory) die.
+    pub memory_node: TechNode,
+    /// Metal stack of the logic die.
+    pub logic_stack: MetalStack,
+    /// Metal stack of the memory die.
+    pub memory_stack: MetalStack,
+    /// Face-to-face bond parameters.
+    pub f2f: F2fParams,
+}
+
+impl TechConfig {
+    /// Heterogeneous integration: 16 nm logic die + 28 nm memory die with
+    /// `logic_layers`/`memory_layers` BEOL metals (Table IV uses 6+6 for
+    /// MAERI and 8+8 for the A7).
+    pub fn heterogeneous_16_28(logic_layers: u8, memory_layers: u8) -> Self {
+        let logic_node = TechNode::n16();
+        let memory_node = TechNode::n28();
+        Self {
+            name: format!("hetero-16-28-{logic_layers}+{memory_layers}"),
+            logic_stack: MetalStack::with_layers(
+                logic_layers,
+                logic_node.wire_r_scale,
+                logic_node.wire_c_scale,
+            ),
+            memory_stack: MetalStack::with_layers(
+                memory_layers,
+                memory_node.wire_r_scale,
+                memory_node.wire_c_scale,
+            ),
+            logic_node,
+            memory_node,
+            f2f: F2fParams::default(),
+        }
+    }
+
+    /// Homogeneous integration: 28 nm on both dies (Table V).
+    pub fn homogeneous_28_28(logic_layers: u8, memory_layers: u8) -> Self {
+        let node = TechNode::n28();
+        Self {
+            name: format!("homo-28-28-{logic_layers}+{memory_layers}"),
+            logic_stack: MetalStack::with_layers(
+                logic_layers,
+                node.wire_r_scale,
+                node.wire_c_scale,
+            ),
+            memory_stack: MetalStack::with_layers(
+                memory_layers,
+                node.wire_r_scale,
+                node.wire_c_scale,
+            ),
+            logic_node: node.clone(),
+            memory_node: node,
+            f2f: F2fParams::default(),
+        }
+    }
+
+    /// The node of a given tier.
+    #[inline]
+    pub fn node(&self, tier: Tier) -> &TechNode {
+        match tier {
+            Tier::Logic => &self.logic_node,
+            Tier::Memory => &self.memory_node,
+        }
+    }
+
+    /// The metal stack of a given tier.
+    #[inline]
+    pub fn stack(&self, tier: Tier) -> &MetalStack {
+        match tier {
+            Tier::Logic => &self.logic_stack,
+            Tier::Memory => &self.memory_stack,
+        }
+    }
+
+    /// Whether the two dies use different nodes (requires level shifters on
+    /// 3D signal crossings and split power domains).
+    #[inline]
+    pub fn is_heterogeneous(&self) -> bool {
+        self.logic_node.name != self.memory_node.name
+    }
+
+    /// The lowest VDD across domains; the paper's IR-drop budget is 10 % of
+    /// this value.
+    #[inline]
+    pub fn min_vdd(&self) -> f64 {
+        self.logic_node.vdd.min(self.memory_node.vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_has_monotone_rc_profile() {
+        let s = MetalStack::with_layers(6, 1.0, 1.0);
+        assert_eq!(s.len(), 6);
+        for w in s.iter().collect::<Vec<_>>().windows(2) {
+            assert!(
+                w[1].r_kohm_per_um < w[0].r_kohm_per_um,
+                "upper metals must be less resistive"
+            );
+            assert!(w[1].pitch_um > w[0].pitch_um, "upper metals are coarser");
+        }
+    }
+
+    #[test]
+    fn stack_directions_alternate() {
+        let s = MetalStack::with_layers(8, 1.0, 1.0);
+        for l in s.iter() {
+            let expect = if l.index % 2 == 1 {
+                RouteDir::Horizontal
+            } else {
+                RouteDir::Vertical
+            };
+            assert_eq!(l.dir, expect, "layer {}", l.name());
+        }
+        assert_eq!(s.top().index, 8);
+        assert_eq!(s.layer(3).name(), "M3");
+    }
+
+    #[test]
+    #[should_panic(expected = "metal stack")]
+    fn zero_layer_stack_panics() {
+        let _ = MetalStack::with_layers(0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn f2f_defaults_match_paper() {
+        let f = F2fParams::default();
+        assert_eq!(f.size_um, 0.5);
+        assert_eq!(f.pitch_um, 1.0);
+        assert!((f.r_kohm - 0.0005).abs() < 1e-12); // 0.5 Ω
+        assert_eq!(f.c_ff, 0.2);
+    }
+
+    #[test]
+    fn hetero_config_wires_up_nodes() {
+        let t = TechConfig::heterogeneous_16_28(6, 6);
+        assert!(t.is_heterogeneous());
+        assert_eq!(t.node(Tier::Logic).name, "16nm");
+        assert_eq!(t.node(Tier::Memory).name, "28nm");
+        assert_eq!(t.stack(Tier::Logic).len(), 6);
+        assert!((t.min_vdd() - 0.81).abs() < 1e-12);
+        // 16 nm lower metals are more resistive than 28 nm.
+        assert!(t.logic_stack.layer(1).r_kohm_per_um > t.memory_stack.layer(1).r_kohm_per_um);
+    }
+
+    #[test]
+    fn homo_config_is_symmetric() {
+        let t = TechConfig::homogeneous_28_28(6, 6);
+        assert!(!t.is_heterogeneous());
+        assert_eq!(t.logic_stack, t.memory_stack);
+        assert!((t.min_vdd() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_scalings_are_directionally_correct() {
+        let n16 = TechNode::n16();
+        let n28 = TechNode::n28();
+        assert!(n16.delay_scale < n28.delay_scale);
+        assert!(n16.cap_scale < n28.cap_scale);
+        assert!(n16.area_scale < n28.area_scale);
+        assert!(n16.vdd < n28.vdd);
+        assert!(n16.wire_r_scale > n28.wire_r_scale);
+    }
+}

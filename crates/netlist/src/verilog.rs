@@ -1,0 +1,345 @@
+//! Structural Verilog export and import.
+//!
+//! The writer emits a flat gate-level module using the library template
+//! names as cell types and generic pin names (`i0…` inputs, `o0…`
+//! outputs), with each instance's die recorded as a Verilog attribute:
+//!
+//! ```verilog
+//! (* tier = "memory" *) SRAM gbuf0 (.i0(act_in0), .o0(gbuf0_q0));
+//! ```
+//!
+//! The reader parses exactly this dialect back into a [`Netlist`], which
+//! both round-trips generated designs and provides an import path for
+//! externally produced netlists that stick to the library's cell set.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::cell::CellLibrary;
+use crate::ids::Tier;
+use crate::netlist::{Netlist, NetlistBuilder, NetlistError};
+use crate::tech::TechConfig;
+
+/// Serializes a netlist to structural Verilog.
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// gnnmls structural netlist");
+    let _ = writeln!(out, "module {} ();", sanitize(netlist.name()));
+
+    // Wire declarations.
+    for net in netlist.net_ids() {
+        let _ = writeln!(out, "  wire {};", sanitize(&netlist.net(net).name));
+    }
+
+    // Instances.
+    for cell in netlist.cell_ids() {
+        let tpl = netlist.template(cell);
+        let c = netlist.cell(cell);
+        let mut ports = Vec::new();
+        for (k, p) in netlist.input_pins(cell).enumerate() {
+            if let Some(net) = netlist.pin(p).net {
+                ports.push(format!(".i{k}({})", sanitize(&netlist.net(net).name)));
+            }
+        }
+        for (k, p) in netlist.output_pins(cell).enumerate() {
+            if let Some(net) = netlist.pin(p).net {
+                ports.push(format!(".o{k}({})", sanitize(&netlist.net(net).name)));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  (* tier = \"{}\" *) {} {} ({});",
+            c.tier,
+            tpl.name,
+            sanitize(&c.name),
+            ports.join(", ")
+        );
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Errors raised parsing the Verilog dialect.
+#[derive(Debug)]
+pub enum ParseVerilogError {
+    /// A line did not match the expected dialect.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A referenced cell type is not in the library.
+    UnknownCell(String),
+    /// Netlist construction failed (duplicate names, dangling nets, …).
+    Netlist(NetlistError),
+}
+
+impl std::fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseVerilogError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseVerilogError::UnknownCell(c) => write!(f, "unknown cell type `{c}`"),
+            ParseVerilogError::Netlist(e) => write!(f, "netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+impl From<NetlistError> for ParseVerilogError {
+    fn from(e: NetlistError) -> Self {
+        ParseVerilogError::Netlist(e)
+    }
+}
+
+/// Parses the dialect produced by [`write_verilog`].
+///
+/// `tech` selects the per-die cell libraries the instances resolve
+/// against.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on any deviation from the dialect.
+pub fn parse_verilog(src: &str, tech: &TechConfig) -> Result<Netlist, ParseVerilogError> {
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let memory_lib = CellLibrary::for_node(&tech.memory_node);
+
+    let mut builder: Option<NetlistBuilder> = None;
+    let mut nets: HashMap<String, crate::ids::NetId> = HashMap::new();
+    // Deferred connections: (net, cell, dir-is-output, ordinal).
+    struct Conn {
+        net: String,
+        cell: crate::ids::CellId,
+        output: bool,
+        ordinal: u8,
+        line: usize,
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let s = raw.trim();
+        if s.is_empty() || s.starts_with("//") || s == "endmodule" {
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix("module ") {
+            let name = rest
+                .trim_end_matches(|c| c == ';' || c == ')' || c == '(')
+                .trim();
+            builder = Some(NetlistBuilder::new(name));
+            continue;
+        }
+        let b = builder.as_mut().ok_or(ParseVerilogError::Syntax {
+            line,
+            message: "statement before module header".into(),
+        })?;
+        if let Some(rest) = s.strip_prefix("wire ") {
+            let name = rest.trim_end_matches(';').trim();
+            let id = b.add_net(name)?;
+            nets.insert(name.to_string(), id);
+            continue;
+        }
+        // Instance: (* tier = "x" *) TYPE name (.i0(net), ...);
+        let (tier, rest) = if let Some(r) = s.strip_prefix("(* tier = \"") {
+            let end = r.find('"').ok_or(ParseVerilogError::Syntax {
+                line,
+                message: "unterminated tier attribute".into(),
+            })?;
+            let tier = match &r[..end] {
+                "logic" => Tier::Logic,
+                "memory" => Tier::Memory,
+                other => {
+                    return Err(ParseVerilogError::Syntax {
+                        line,
+                        message: format!("unknown tier `{other}`"),
+                    })
+                }
+            };
+            let r = r[end + 1..]
+                .trim_start_matches([' ', '*', ')'])
+                .trim_start();
+            (tier, r)
+        } else {
+            (Tier::Logic, s)
+        };
+        let open = rest.find('(').ok_or(ParseVerilogError::Syntax {
+            line,
+            message: "instance without port list".into(),
+        })?;
+        let head: Vec<&str> = rest[..open].split_whitespace().collect();
+        if head.len() != 2 {
+            return Err(ParseVerilogError::Syntax {
+                line,
+                message: format!("expected `TYPE name (`, got `{}`", &rest[..open]),
+            });
+        }
+        let (ty, inst) = (head[0], head[1]);
+        let lib = match tier {
+            Tier::Logic => &logic_lib,
+            Tier::Memory => &memory_lib,
+        };
+        let tpl = lib
+            .get(ty)
+            .ok_or_else(|| ParseVerilogError::UnknownCell(ty.to_string()))?;
+        let cell = b.add_cell(inst, tpl, tier)?;
+
+        let ports = rest[open + 1..].trim_end_matches([';', ')']).trim();
+        for port in ports.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            // .i3(netname)  /  .o0(netname)
+            let p = port.strip_prefix('.').ok_or(ParseVerilogError::Syntax {
+                line,
+                message: format!("bad port `{port}`"),
+            })?;
+            let paren = p.find('(').ok_or(ParseVerilogError::Syntax {
+                line,
+                message: format!("bad port `{port}`"),
+            })?;
+            let pname = &p[..paren];
+            let net = p[paren + 1..].trim_end_matches(')').to_string();
+            let (output, ordinal) = match pname.split_at(1) {
+                ("i", k) => (false, k),
+                ("o", k) => (true, k),
+                _ => {
+                    return Err(ParseVerilogError::Syntax {
+                        line,
+                        message: format!("unknown port name `{pname}`"),
+                    })
+                }
+            };
+            let ordinal: u8 = ordinal.parse().map_err(|_| ParseVerilogError::Syntax {
+                line,
+                message: format!("bad port ordinal in `{pname}`"),
+            })?;
+            conns.push(Conn {
+                net,
+                cell,
+                output,
+                ordinal,
+                line,
+            });
+        }
+    }
+
+    let mut b = builder.ok_or(ParseVerilogError::Syntax {
+        line: 0,
+        message: "no module found".into(),
+    })?;
+    // Drivers first so `connect_output` sees empty nets.
+    conns.sort_by_key(|c| !c.output);
+    for c in conns {
+        let net = *nets.get(&c.net).ok_or(ParseVerilogError::Syntax {
+            line: c.line,
+            message: format!("undeclared wire `{}`", c.net),
+        })?;
+        if c.output {
+            b.connect_output(net, c.cell, c.ordinal)?;
+        } else {
+            b.connect_input(net, c.cell, c.ordinal)?;
+        }
+    }
+    Ok(b.finish()?)
+}
+
+/// Makes a name a legal Verilog identifier (deterministic, collision-safe
+/// for the generator's naming scheme which is already `[A-Za-z0-9_]`).
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_maeri, MaeriConfig};
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::new(8, 2), &tech).unwrap();
+        let v = write_verilog(&d.netlist);
+        assert!(v.contains("module maeri8pe_2bw"));
+        assert!(v.contains("(* tier = \"memory\" *) SRAM"));
+
+        let back = parse_verilog(&v, &tech).unwrap();
+        let a = NetlistStats::compute(&d.netlist);
+        let b = NetlistStats::compute(&back);
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(a.nets, b.nets);
+        assert_eq!(a.macros, b.macros);
+        assert_eq!(a.registers, b.registers);
+        assert_eq!(a.nets_3d, b.nets_3d);
+        assert_eq!(a.logic_tier_cells, b.logic_tier_cells);
+        // Per-net connectivity identical (same names on both sides).
+        for net in d.netlist.net_ids() {
+            let name = sanitize(&d.netlist.net(net).name);
+            let other = back.net_by_name(&name).expect("net survives");
+            assert_eq!(
+                d.netlist.sinks(net).len(),
+                back.sinks(other).len(),
+                "net {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        assert!(matches!(
+            parse_verilog("wire w;\n", &tech),
+            Err(ParseVerilogError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_verilog("module m ();\n  FOO u1 (.i0(w));\nendmodule", &tech),
+            Err(ParseVerilogError::UnknownCell(_))
+        ));
+        let undeclared = "module m ();\n  INV u1 (.i0(w), .o0(x));\nendmodule";
+        assert!(matches!(
+            parse_verilog(undeclared, &tech),
+            Err(ParseVerilogError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn hand_written_dialect_parses() {
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let src = r#"
+// tiny hand-written design
+module hand ();
+  wire a;
+  wire b;
+  PI p0 (.o0(a));
+  INV g0 (.i0(a), .o0(b));
+  PO z0 (.i0(b));
+endmodule
+"#;
+        let n = parse_verilog(src, &tech).unwrap();
+        assert_eq!(n.cell_count(), 3);
+        assert_eq!(n.net_count(), 2);
+        assert_eq!(n.name(), "hand");
+        let a = n.net_by_name("a").unwrap();
+        assert_eq!(n.sinks(a).len(), 1);
+    }
+
+    #[test]
+    fn sanitize_produces_legal_identifiers() {
+        assert_eq!(sanitize("a.b:c"), "a_b_c");
+        assert_eq!(sanitize("1abc"), "_1abc");
+        assert_eq!(sanitize("ok_name9"), "ok_name9");
+    }
+}

@@ -1,0 +1,135 @@
+//! Binary-classification metrics for the fine-tuned MLS decision head.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Confusion-matrix summary of a binary classifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classification {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Classification {
+    /// Scores logits (`n × 1`) against boolean labels at threshold 0
+    /// (σ(z) > 0.5 ⇔ z > 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the number of logits.
+    pub fn from_logits(logits: &Tensor, labels: &[bool]) -> Self {
+        assert_eq!(logits.as_slice().len(), labels.len(), "one label per logit");
+        let mut c = Classification::default();
+        for (&z, &y) in logits.as_slice().iter().zip(labels) {
+            match (z > 0.0, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision of the positive class (1.0 when nothing was predicted
+    /// positive).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall of the positive class (1.0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges two confusion matrices.
+    pub fn merge(&self, other: &Classification) -> Classification {
+        Classification {
+            tp: self.tp + other.tp,
+            fp: self.fp + other.fp,
+            tn: self.tn + other.tn,
+            fn_: self.fn_ + other.fn_,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_from_logits() {
+        let z = Tensor::from_rows(&[vec![2.0], vec![-1.0], vec![0.5], vec![-0.2]]);
+        let c = Classification::from_logits(&z, &[true, false, false, true]);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_defined() {
+        let empty = Classification::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        let all_neg = Classification {
+            tn: 5,
+            ..Default::default()
+        };
+        assert_eq!(all_neg.accuracy(), 1.0);
+        assert_eq!(all_neg.f1(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Classification {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        let b = a;
+        let m = a.merge(&b);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 4, 6, 8));
+    }
+}

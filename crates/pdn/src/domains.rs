@@ -1,0 +1,181 @@
+//! Multi-power-domain view and level-shifter insertion.
+//!
+//! In the heterogeneous stack the logic die runs at 0.81 V and the memory
+//! die at 0.9 V (Figure 7); every 3D *signal* crossing between the
+//! domains needs a level shifter. The insertion ECO splices a
+//! `LVLSHIFT` cell into each 3D net at the driver-side bond point,
+//! moving the other-die sinks behind it; homogeneous designs need none.
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::{CellClass, CellLibrary, NetId, Netlist, NetlistError, Tier};
+use gnnmls_phys::place::Point;
+use gnnmls_phys::Placement;
+
+/// The stack's power domains.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerDomains {
+    /// Supply of the logic die, V.
+    pub logic_vdd: f64,
+    /// Supply of the memory die, V.
+    pub memory_vdd: f64,
+}
+
+impl PowerDomains {
+    /// Domains from a technology config.
+    pub fn from_tech(tech: &TechConfig) -> Self {
+        Self {
+            logic_vdd: tech.logic_node.vdd,
+            memory_vdd: tech.memory_node.vdd,
+        }
+    }
+
+    /// Whether inter-die signals need level shifting.
+    pub fn needs_level_shifters(&self) -> bool {
+        (self.logic_vdd - self.memory_vdd).abs() > 1e-9
+    }
+
+    /// The lowest supply — the paper's 10 % IR budget reference.
+    pub fn min_vdd(&self) -> f64 {
+        self.logic_vdd.min(self.memory_vdd)
+    }
+}
+
+/// Result of level-shifter insertion.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LevelShifterReport {
+    /// Level shifters inserted.
+    pub count: usize,
+    /// Nets that were split (must be re-routed with their children).
+    pub modified_nets: Vec<NetId>,
+    /// New nets created (shifter → far-die sinks).
+    pub new_nets: Vec<NetId>,
+    /// Total level-shifter power, mW (leakage + a fixed dynamic share).
+    pub power_mw: f64,
+}
+
+/// Per-shifter power, mW (dominated by the dual-rail output stage; chosen
+/// so designs with a few hundred 3D signals land in the paper's tens-of-mW
+/// `L.S Pwr` range).
+const LS_POWER_MW: f64 = 0.09;
+
+/// Splices a level shifter into every 3D signal net of a heterogeneous
+/// design. No-op for homogeneous stacks.
+///
+/// Each 3D net's far-die sinks move behind a `LVLSHIFT` placed at the
+/// net's driver-side centroid (the bond-pad neighborhood).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] on wiring failures (running the ECO twice
+/// would collide on names).
+pub fn insert_level_shifters(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    tech: &TechConfig,
+) -> Result<LevelShifterReport, NetlistError> {
+    let mut rep = LevelShifterReport::default();
+    if !PowerDomains::from_tech(tech).needs_level_shifters() {
+        return Ok(rep);
+    }
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let memory_lib = CellLibrary::for_node(&tech.memory_node);
+
+    let nets: Vec<NetId> = netlist
+        .net_ids()
+        .filter(|&n| netlist.net_tier(n).is_none())
+        .collect();
+    for (k, net) in nets.into_iter().enumerate() {
+        let driver_tier = netlist.cell(netlist.driver_cell(net)).tier;
+        let far: Vec<_> = netlist
+            .sinks(net)
+            .iter()
+            .copied()
+            .filter(|&p| netlist.cell(netlist.pin(p).cell).tier != driver_tier)
+            .collect();
+        if far.is_empty() {
+            // Driver on the far die relative to every sink cannot happen
+            // here: net_tier() == None guarantees mixed pins, so if no far
+            // *sink* exists the driver itself is the foreign pin — the
+            // shifter then sits at the driver on its own die.
+            continue;
+        }
+        // Receiver-side shifter: place on the sink die at the driver's
+        // footprint (the bond pad is vertically aligned).
+        let sink_tier = driver_tier.other();
+        let lib = match sink_tier {
+            Tier::Logic => &logic_lib,
+            Tier::Memory => &memory_lib,
+        };
+        let loc = placement.loc(netlist.driver_cell(net));
+        let ls = netlist.add_cell(format!("ls_{k}"), lib.expect("LVLSHIFT"), sink_tier)?;
+        let idx = placement.push_location(Point::new(loc.x, loc.y));
+        debug_assert_eq!(idx, ls.index());
+        let name = netlist.net(net).name.clone();
+        let child = netlist.split_net(net, &far, ls, format!("{name}_ls"))?;
+        rep.count += 1;
+        rep.modified_nets.push(net);
+        rep.new_nets.push(child);
+    }
+    rep.power_mw = rep.count as f64 * LS_POWER_MW;
+    Ok(rep)
+}
+
+/// Counts the level shifters already present in a netlist.
+pub fn count_level_shifters(netlist: &Netlist) -> usize {
+    netlist
+        .cell_ids()
+        .filter(|&c| netlist.class(c) == CellClass::LevelShifter)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_phys::{place, PlaceConfig};
+
+    #[test]
+    fn hetero_design_gets_shifters_on_every_3d_net() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let mut n = d.netlist;
+        let mut p = place(&n, &PlaceConfig::default()).unwrap();
+        let before_3d = n.net_ids().filter(|&x| n.net_tier(x).is_none()).count();
+        assert!(before_3d > 0);
+        let rep = insert_level_shifters(&mut n, &mut p, &tech).unwrap();
+        assert!(rep.count > 0);
+        assert!(rep.count <= before_3d);
+        assert_eq!(count_level_shifters(&n), rep.count);
+        assert!(rep.power_mw > 0.0);
+        assert_eq!(p.locations().len(), n.cell_count());
+        // After the ECO every original 3D net terminates at the shifter:
+        // the split children connect the far die.
+        for &c in &rep.new_nets {
+            assert!(n.net(c).pins.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn homogeneous_design_needs_none() {
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let mut n = d.netlist;
+        let mut p = place(&n, &PlaceConfig::default()).unwrap();
+        let rep = insert_level_shifters(&mut n, &mut p, &tech).unwrap();
+        assert_eq!(rep.count, 0);
+        assert_eq!(rep.power_mw, 0.0);
+        assert!(!PowerDomains::from_tech(&tech).needs_level_shifters());
+    }
+
+    #[test]
+    fn domains_reflect_tech() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = PowerDomains::from_tech(&tech);
+        assert!((d.logic_vdd - 0.81).abs() < 1e-12);
+        assert!((d.memory_vdd - 0.90).abs() < 1e-12);
+        assert!(d.needs_level_shifters());
+        assert!((d.min_vdd() - 0.81).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Stripe-PDN synthesis on each die's top two metals.
+//!
+//! The PDN is a mesh: stripes of width `W` at pitch `P` on the die's
+//! top-most metal (Table IV's `M-T:W/P/U` row) plus orthogonal stripes on
+//! the metal below. The fraction of top-metal tracks the PDN occupies
+//! (`U = W / P`) is exactly what the router loses as signal capacity —
+//! the PDN/MLS resource trade-off of Figure 9(b–c).
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::Tier;
+use gnnmls_phys::Floorplan;
+
+/// Geometry of one die's power mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PdnSpec {
+    /// Stripe width, µm.
+    pub width_um: f64,
+    /// Stripe pitch, µm.
+    pub pitch_um: f64,
+}
+
+impl PdnSpec {
+    /// Top-metal utilization `U = W / P` (Table IV reports this per die).
+    pub fn utilization(&self) -> f64 {
+        (self.width_um / self.pitch_um).min(1.0)
+    }
+
+    /// The paper's MAERI heterogeneous setting (2.0 µm / 7 µm).
+    pub fn maeri_hetero() -> Self {
+        Self {
+            width_um: 2.0,
+            pitch_um: 7.0,
+        }
+    }
+
+    /// The paper's A7 heterogeneous setting (2.7 µm / 9 µm).
+    pub fn a7_hetero() -> Self {
+        Self {
+            width_um: 2.7,
+            pitch_um: 9.0,
+        }
+    }
+}
+
+/// A synthesized power mesh for one die: nodes at stripe crossings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PdnGrid {
+    /// Die the mesh powers.
+    pub tier: Tier,
+    /// Geometry used.
+    pub spec: PdnSpec,
+    /// Crossing nodes along x.
+    pub nx: usize,
+    /// Crossing nodes along y.
+    pub ny: usize,
+    /// Node pitch (stripe pitch), µm.
+    pub pitch_um: f64,
+    /// Segment resistance along x (top metal direction), kΩ.
+    pub rx_kohm: f64,
+    /// Segment resistance along y (metal below), kΩ.
+    pub ry_kohm: f64,
+    /// Power bumps sit on every `pad_every`-th boundary node (bump pitch
+    /// ≈ `pad_every × pitch_um`; C4/µ-bump pitches are 50–150 µm, far
+    /// coarser than the stripe pitch).
+    pub pad_every: usize,
+}
+
+impl PdnGrid {
+    /// Builds the mesh for a die.
+    ///
+    /// Stripe resistance derives from the layer's per-track resistance
+    /// scaled by how many minimum tracks a `width_um` stripe spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has non-positive width or pitch, or
+    /// `width > pitch`.
+    pub fn build(fp: &Floorplan, tech: &TechConfig, tier: Tier, spec: PdnSpec) -> Self {
+        assert!(
+            spec.width_um > 0.0 && spec.pitch_um > 0.0,
+            "PDN stripes need positive geometry"
+        );
+        assert!(
+            spec.width_um <= spec.pitch_um,
+            "stripes may not overlap (width > pitch)"
+        );
+        let stack = tech.stack(tier);
+        let top = stack.top();
+        let below = stack.layer((stack.len() - 1).max(1) as u8);
+        let nx = ((fp.width_um / spec.pitch_um).floor() as usize).max(2);
+        let ny = ((fp.height_um / spec.pitch_um).floor() as usize).max(2);
+        // A W-µm stripe is W / (pitch/2) minimum-width tracks in parallel.
+        let tracks =
+            |layer: &gnnmls_netlist::MetalLayer| (spec.width_um / (layer.pitch_um / 2.0)).max(1.0);
+        let rx_kohm = top.r_kohm_per_um * spec.pitch_um / tracks(top);
+        let ry_kohm = below.r_kohm_per_um * spec.pitch_um / tracks(below);
+        // Bump pitch ≈ 60 µm regardless of stripe pitch.
+        let pad_every = ((60.0 / spec.pitch_um).round() as usize).max(1);
+        Self {
+            tier,
+            spec,
+            nx,
+            ny,
+            pitch_um: spec.pitch_um,
+            rx_kohm,
+            ry_kohm,
+            pad_every,
+        }
+    }
+
+    /// Node count of the mesh.
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Maps a µm location to its nearest mesh node index.
+    pub fn node_of(&self, x_um: f64, y_um: f64) -> usize {
+        let gx = ((x_um / self.pitch_um).round() as usize).min(self.nx - 1);
+        let gy = ((y_um / self.pitch_um).round() as usize).min(self.ny - 1);
+        gy * self.nx + gx
+    }
+
+    /// Whether a node is a power bump (VDD source): bumps sit on the
+    /// mesh boundary at every `pad_every`-th node.
+    pub fn is_pad(&self, node: usize) -> bool {
+        let x = node % self.nx;
+        let y = node / self.nx;
+        let on_x_edge = x == 0 || x == self.nx - 1;
+        let on_y_edge = y == 0 || y == self.ny - 1;
+        (on_x_edge && y % self.pad_every == 0) || (on_y_edge && x % self.pad_every == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Floorplan {
+        Floorplan {
+            width_um: 140.0,
+            height_um: 140.0,
+        }
+    }
+
+    #[test]
+    fn utilization_matches_paper_settings() {
+        assert!((PdnSpec::maeri_hetero().utilization() - 2.0 / 7.0).abs() < 1e-12);
+        assert!((PdnSpec::a7_hetero().utilization() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_geometry_follows_pitch() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let g = PdnGrid::build(&fp(), &tech, Tier::Memory, PdnSpec::maeri_hetero());
+        assert_eq!(g.nx, 20);
+        assert_eq!(g.ny, 20);
+        assert_eq!(g.node_count(), 400);
+        assert!(g.rx_kohm > 0.0 && g.ry_kohm > 0.0);
+        // Wider stripes -> lower resistance.
+        let wide = PdnGrid::build(
+            &fp(),
+            &tech,
+            Tier::Memory,
+            PdnSpec {
+                width_um: 4.0,
+                pitch_um: 7.0,
+            },
+        );
+        assert!(wide.rx_kohm < g.rx_kohm);
+    }
+
+    #[test]
+    fn pads_are_discrete_bumps_on_the_boundary() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let g = PdnGrid::build(&fp(), &tech, Tier::Logic, PdnSpec::maeri_hetero());
+        let pads = (0..g.node_count()).filter(|&n| g.is_pad(n)).count();
+        // Far fewer bumps than boundary nodes, but at least the corners.
+        assert!(pads >= 4);
+        assert!(pads < 2 * g.nx + 2 * (g.ny - 2));
+        assert!(!g.is_pad(g.node_of(70.0, 70.0)), "interior is never a pad");
+        // Every pad is on the boundary.
+        for n in 0..g.node_count() {
+            if g.is_pad(n) {
+                let (x, y) = (n % g.nx, n / g.nx);
+                assert!(x == 0 || y == 0 || x == g.nx - 1 || y == g.ny - 1);
+            }
+        }
+        assert_eq!(g.pad_every, 9, "60um bumps at 7um stripe pitch");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_stripes_panic() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let _ = PdnGrid::build(
+            &fp(),
+            &tech,
+            Tier::Logic,
+            PdnSpec {
+                width_um: 8.0,
+                pitch_um: 7.0,
+            },
+        );
+    }
+}

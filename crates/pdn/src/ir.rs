@@ -1,0 +1,326 @@
+//! Static IR-drop analysis of the power mesh.
+//!
+//! The mesh is a resistive Laplacian with Dirichlet (VDD) boundary at the
+//! pad ring and per-node current loads from the power model. The drop
+//! vector solves `G · d = I`; we solve it matrix-free with conjugate
+//! gradients (the system is symmetric positive definite).
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::{Netlist, Tier};
+use gnnmls_phys::{Floorplan, Placement};
+
+use crate::grid::{PdnGrid, PdnSpec};
+use crate::power::PowerReport;
+
+/// IR-drop result for one die's mesh.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IrReport {
+    /// Die analyzed.
+    pub tier: Tier,
+    /// Drop per mesh node, V (the Figure 9a heat map).
+    pub drop_v: Vec<f64>,
+    /// Worst drop, mV.
+    pub max_drop_mv: f64,
+    /// Worst drop as a percentage of the reference VDD (the paper budgets
+    /// 10 % of the lowest rail, 0.81 V).
+    pub pct_of_vdd: f64,
+    /// Mesh width in nodes.
+    pub nx: usize,
+    /// Mesh height in nodes.
+    pub ny: usize,
+}
+
+impl IrReport {
+    /// Solves the mesh for per-node current loads (mA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current_ma.len() != grid.node_count()`.
+    pub fn solve(grid: &PdnGrid, current_ma: &[f64], vdd_ref: f64) -> Self {
+        assert_eq!(
+            current_ma.len(),
+            grid.node_count(),
+            "one current per mesh node"
+        );
+        let n = grid.node_count();
+        let gx = 1.0 / grid.rx_kohm.max(1e-12);
+        let gy = 1.0 / grid.ry_kohm.max(1e-12);
+        let (nx, ny) = (grid.nx, grid.ny);
+
+        // b: load currents at interior nodes; 0 (Dirichlet) at pads.
+        let b: Vec<f64> = (0..n)
+            .map(|i| if grid.is_pad(i) { 0.0 } else { current_ma[i] })
+            .collect();
+
+        // Matrix-free apply of the Dirichlet Laplacian.
+        let apply = |x: &[f64], out: &mut [f64]| {
+            for i in 0..n {
+                if grid.is_pad(i) {
+                    out[i] = x[i];
+                    continue;
+                }
+                let (cx, cy) = (i % nx, i / nx);
+                let mut acc = 0.0;
+                let mut diag = 0.0;
+                let nb = |j: usize, g: f64, acc: &mut f64, diag: &mut f64| {
+                    *diag += g;
+                    *acc += g * x[j];
+                };
+                if cx > 0 {
+                    nb(i - 1, gx, &mut acc, &mut diag);
+                }
+                if cx + 1 < nx {
+                    nb(i + 1, gx, &mut acc, &mut diag);
+                }
+                if cy > 0 {
+                    nb(i - nx, gy, &mut acc, &mut diag);
+                }
+                if cy + 1 < ny {
+                    nb(i + nx, gy, &mut acc, &mut diag);
+                }
+                out[i] = diag * x[i] - acc;
+            }
+        };
+
+        // Conjugate gradients.
+        let mut x = vec![0.0f64; n];
+        let mut r = b.clone();
+        let mut p = r.clone();
+        let mut ax = vec![0.0f64; n];
+        let mut rs: f64 = r.iter().map(|v| v * v).sum();
+        let rs0 = rs.max(1e-30);
+        for _ in 0..2000 {
+            if rs / rs0 < 1e-18 {
+                break;
+            }
+            apply(&p, &mut ax);
+            let pap: f64 = p.iter().zip(&ax).map(|(a, b)| a * b).sum();
+            if pap.abs() < 1e-30 {
+                break;
+            }
+            let alpha = rs / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ax[i];
+            }
+            let rs_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs;
+            rs = rs_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+
+        let max_drop = x.iter().copied().fold(0.0f64, f64::max);
+        IrReport {
+            tier: grid.tier,
+            max_drop_mv: max_drop * 1000.0,
+            pct_of_vdd: 100.0 * max_drop / vdd_ref.max(1e-12),
+            drop_v: x,
+            nx,
+            ny,
+        }
+    }
+}
+
+impl IrReport {
+    /// Renders the drop map as an SVG heat map (Figure 9(a)).
+    pub fn to_svg(&self) -> String {
+        use std::fmt::Write as _;
+        const CELL: f64 = 8.0;
+        let max = self.drop_v.iter().copied().fold(1e-12f64, f64::max);
+        let (w, h) = (self.nx as f64 * CELL, self.ny as f64 * CELL);
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">"
+        );
+        let _ = writeln!(
+            svg,
+            "<title>{} die IR-drop, max {:.2} mV</title>",
+            self.tier, self.max_drop_mv
+        );
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let v = self.drop_v[y * self.nx + x] / max;
+                let rch = (255.0 * v) as u8;
+                let bch = (255.0 * (1.0 - v)) as u8;
+                let px = x as f64 * CELL;
+                let py = (self.ny - 1 - y) as f64 * CELL;
+                let _ = writeln!(
+                    svg,
+                    "<rect x=\"{px}\" y=\"{py}\" width=\"{CELL}\" height=\"{CELL}\" fill=\"rgb({rch},40,{bch})\"/>"
+                );
+            }
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// Maps per-cell power of one die onto mesh-node currents (mA).
+pub fn currents_from_power(
+    grid: &PdnGrid,
+    netlist: &Netlist,
+    placement: &Placement,
+    power: &PowerReport,
+    vdd: f64,
+) -> Vec<f64> {
+    let mut i_ma = vec![0.0f64; grid.node_count()];
+    for c in netlist.cell_ids() {
+        if netlist.cell(c).tier != grid.tier {
+            continue;
+        }
+        let l = placement.loc(c);
+        // mW / V = mA.
+        i_ma[grid.node_of(l.x, l.y)] += power.per_cell_mw[c.index()] / vdd.max(1e-12);
+    }
+    i_ma
+}
+
+/// Sizes the PDN stripe width (at fixed pitch) so worst-case IR-drop
+/// stays within `budget_pct` of `vdd_ref`, widening in 0.1 µm steps up to
+/// 80 % of the pitch. Returns the chosen spec and its IR report (the last
+/// attempt if the budget is unreachable).
+pub fn size_for_budget(
+    fp: &Floorplan,
+    tech: &TechConfig,
+    tier: Tier,
+    netlist: &Netlist,
+    placement: &Placement,
+    power: &PowerReport,
+    vdd_ref: f64,
+    budget_pct: f64,
+    pitch_um: f64,
+) -> (PdnSpec, IrReport) {
+    let vdd = tech.node(tier).vdd;
+    let mut width = 0.4;
+    loop {
+        let spec = PdnSpec {
+            width_um: width,
+            pitch_um,
+        };
+        let grid = PdnGrid::build(fp, tech, tier, spec);
+        let currents = currents_from_power(&grid, netlist, placement, power, vdd);
+        let rep = IrReport::solve(&grid, &currents, vdd_ref);
+        if rep.pct_of_vdd <= budget_pct || width + 0.1 > 0.8 * pitch_um {
+            return (spec, rep);
+        }
+        width += 0.1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_phys::{place, PlaceConfig};
+    use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
+
+    use crate::power::PowerConfig;
+
+    fn setup() -> (gnnmls_netlist::Netlist, Placement, PowerReport, TechConfig) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        let pw = PowerReport::compute(&d.netlist, &db, &tech, &PowerConfig::at_freq_mhz(2500.0));
+        (d.netlist, p, pw, tech)
+    }
+
+    #[test]
+    fn uniform_center_load_droops_in_the_middle() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let fp = Floorplan {
+            width_um: 140.0,
+            height_um: 140.0,
+        };
+        let grid = PdnGrid::build(&fp, &tech, Tier::Logic, PdnSpec::maeri_hetero());
+        let mut i = vec![0.0; grid.node_count()];
+        let center = grid.node_of(70.0, 70.0);
+        i[center] = 10.0; // 10 mA point load
+        let rep = IrReport::solve(&grid, &i, 0.81);
+        assert!(rep.max_drop_mv > 0.0);
+        // Worst drop is at the load.
+        let max_node = rep
+            .drop_v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_node, center);
+        // Pads stay at zero drop.
+        for n in 0..grid.node_count() {
+            if grid.is_pad(n) {
+                assert!(rep.drop_v[n].abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn wider_stripes_reduce_drop() {
+        let (netlist, placement, power, tech) = setup();
+        let fp = *placement.floorplan();
+        let run = |w: f64| {
+            let spec = PdnSpec {
+                width_um: w,
+                pitch_um: 7.0,
+            };
+            let grid = PdnGrid::build(&fp, &tech, Tier::Logic, spec);
+            let cur = currents_from_power(&grid, &netlist, &placement, &power, 0.81);
+            IrReport::solve(&grid, &cur, 0.81).max_drop_mv
+        };
+        let narrow = run(0.5);
+        let wide = run(4.0);
+        assert!(
+            wide < narrow,
+            "wider PDN must droop less: {wide:.2} vs {narrow:.2} mV"
+        );
+    }
+
+    #[test]
+    fn sizing_meets_the_ten_percent_budget() {
+        let (netlist, placement, power, tech) = setup();
+        let fp = *placement.floorplan();
+        let (spec, rep) = size_for_budget(
+            &fp,
+            &tech,
+            Tier::Logic,
+            &netlist,
+            &placement,
+            &power,
+            0.81,
+            10.0,
+            7.0,
+        );
+        assert!(
+            rep.pct_of_vdd <= 10.0,
+            "sized PDN should meet budget, got {:.2}%",
+            rep.pct_of_vdd
+        );
+        assert!(spec.utilization() <= 0.8);
+        assert!(rep.max_drop_mv < 81.0);
+    }
+
+    #[test]
+    fn higher_power_increases_drop() {
+        let (netlist, placement, power, tech) = setup();
+        let fp = *placement.floorplan();
+        let grid = PdnGrid::build(&fp, &tech, Tier::Memory, PdnSpec::maeri_hetero());
+        let cur = currents_from_power(&grid, &netlist, &placement, &power, 0.9);
+        let base = IrReport::solve(&grid, &cur, 0.81);
+        let doubled: Vec<f64> = cur.iter().map(|c| c * 2.0).collect();
+        let hot = IrReport::solve(&grid, &doubled, 0.81);
+        assert!(hot.max_drop_mv > base.max_drop_mv * 1.9);
+    }
+}

@@ -1,0 +1,27 @@
+//! Power delivery for mixed-node 3D ICs (Section III-E / IV-E).
+//!
+//! The paper's heterogeneous setup runs the top level at 0.9 V with the
+//! 28 nm memory sub-domain at 0.9 V and the 16 nm logic sub-domain at
+//! 0.81 V; level shifters sit on every 3D signal crossing, and the PDN's
+//! width/pitch are chosen so IR-drop stays within 10 % of the lowest VDD.
+//! This crate reproduces each piece:
+//!
+//! - [`power`] — activity-based dynamic + leakage power from the routed
+//!   design (`Pwr` rows of Tables IV–VI).
+//! - [`domains`] — the multi-power-domain view and level-shifter
+//!   insertion/accounting on 3D crossings (`L.S Pwr` row).
+//! - [`grid`] — stripe-PDN synthesis on each die's top two metals, with
+//!   the width/pitch/utilization knobs of Table IV's `M-T:W/P/U` row, and
+//!   automatic sizing to an IR budget.
+//! - [`ir`] — matrix-free conjugate-gradient solve of the PDN's resistive
+//!   mesh for the static IR-drop map (Figure 9a).
+
+pub mod domains;
+pub mod grid;
+pub mod ir;
+pub mod power;
+
+pub use domains::{insert_level_shifters, LevelShifterReport, PowerDomains};
+pub use grid::{PdnGrid, PdnSpec};
+pub use ir::IrReport;
+pub use power::{PowerConfig, PowerReport};

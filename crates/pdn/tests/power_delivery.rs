@@ -1,0 +1,109 @@
+//! PDN-crate integration: domains + shifters + power + IR as one pipeline.
+
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::Tier;
+use gnnmls_pdn::domains::count_level_shifters;
+use gnnmls_pdn::ir::{currents_from_power, IrReport};
+use gnnmls_pdn::{insert_level_shifters, PdnGrid, PdnSpec, PowerConfig, PowerDomains, PowerReport};
+use gnnmls_phys::{place, PlaceConfig};
+use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
+
+#[test]
+fn level_shifter_insertion_is_single_shot_and_powered() {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let d = generate_maeri(&MaeriConfig::new(16, 4), &tech).unwrap();
+    let mut netlist = d.netlist;
+    let mut placement = place(&netlist, &PlaceConfig::default()).unwrap();
+
+    let rep = insert_level_shifters(&mut netlist, &mut placement, &tech).unwrap();
+    assert!(rep.count > 0);
+    assert_eq!(count_level_shifters(&netlist), rep.count);
+
+    // A second run finds no *new* 3D signal nets needing shifters at the
+    // same crossings... the split children terminate at the shifter, so
+    // re-running only shifts nets still crossing (the shifter-to-far-die
+    // children). Their names collide deterministically -> clean error.
+    let again = insert_level_shifters(&mut netlist, &mut placement, &tech);
+    assert!(again.is_err(), "re-running the ECO must fail on names");
+
+    // Power accounting: the routed design includes shifter leakage.
+    let (db, _) = route_design(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::Disabled,
+        RouteConfig::default(),
+    )
+    .unwrap();
+    let power = PowerReport::compute(&netlist, &db, &tech, &PowerConfig::at_freq_mhz(2000.0));
+    assert!(power.total_mw > 0.0);
+    // LS power is linear in the shifter count (per-instance constant).
+    assert!(rep.power_mw > 0.0);
+    let per_ls = rep.power_mw / rep.count as f64;
+    assert!((0.01..1.0).contains(&per_ls), "per-LS power {per_ls} mW");
+}
+
+#[test]
+fn ir_drop_is_symmetric_for_symmetric_loads() {
+    let tech = TechConfig::homogeneous_28_28(6, 6);
+    let fp = gnnmls_phys::Floorplan {
+        width_um: 210.0,
+        height_um: 210.0,
+    };
+    let mesh = PdnGrid::build(&fp, &tech, Tier::Logic, PdnSpec::maeri_hetero());
+    let mut i = vec![0.0; mesh.node_count()];
+    // Two mirrored point loads.
+    let a = mesh.node_of(70.0, 105.0);
+    let b = mesh.node_of(140.0, 105.0);
+    i[a] = 5.0;
+    i[b] = 5.0;
+    let rep = IrReport::solve(&mesh, &i, 0.9);
+    let da = rep.drop_v[a];
+    let db_ = rep.drop_v[b];
+    // Bumps sit at discrete boundary sites, so the mesh is only
+    // approximately mirror-symmetric — allow a small tolerance.
+    assert!(
+        (da - db_).abs() < 0.02 * da.max(1e-12),
+        "mirrored loads must droop (nearly) equally: {da} vs {db_}"
+    );
+    assert!(da > 0.0 && db_ > 0.0);
+}
+
+#[test]
+fn domains_drive_the_budget_reference() {
+    let hetero = PowerDomains::from_tech(&TechConfig::heterogeneous_16_28(6, 6));
+    let homo = PowerDomains::from_tech(&TechConfig::homogeneous_28_28(6, 6));
+    assert!(hetero.min_vdd() < homo.min_vdd());
+    // 10% budget in volts differs accordingly.
+    assert!(0.1 * hetero.min_vdd() < 0.1 * homo.min_vdd());
+}
+
+#[test]
+fn per_tier_currents_partition_total_power() {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let d = generate_maeri(&MaeriConfig::new(16, 4), &tech).unwrap();
+    let placement = place(&d.netlist, &PlaceConfig::default()).unwrap();
+    let (db, _) = route_design(
+        &d.netlist,
+        &placement,
+        &tech,
+        MlsPolicy::Disabled,
+        RouteConfig::default(),
+    )
+    .unwrap();
+    let power = PowerReport::compute(&d.netlist, &db, &tech, &PowerConfig::at_freq_mhz(2500.0));
+    let fp = placement.floorplan();
+    let mut recovered_mw = 0.0;
+    for tier in Tier::BOTH {
+        let mesh = PdnGrid::build(fp, &tech, tier, PdnSpec::maeri_hetero());
+        let vdd = tech.node(tier).vdd;
+        let cur = currents_from_power(&mesh, &d.netlist, &placement, &power, vdd);
+        recovered_mw += cur.iter().sum::<f64>() * vdd; // mA × V = mW
+    }
+    assert!(
+        (recovered_mw - power.total_mw).abs() < 1e-6 * power.total_mw,
+        "currents must conserve power: {recovered_mw} vs {}",
+        power.total_mw
+    );
+}

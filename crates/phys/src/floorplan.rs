@@ -1,0 +1,106 @@
+//! Die outline derivation.
+//!
+//! Both dies of an F2F stack share one footprint. The outline is sized so
+//! the *denser* die hits the target utilization; the paper reports the
+//! resulting footprint as `FP (mm²)` (0.38 mm² for MAERI 128PE, 1.11 mm²
+//! for the A7 dual-core).
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::{Netlist, Tier};
+
+/// A square die outline shared by both tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Die width in µm.
+    pub width_um: f64,
+    /// Die height in µm.
+    pub height_um: f64,
+}
+
+impl Floorplan {
+    /// Derives a square outline from the design's per-tier cell area and a
+    /// target utilization (0 < `utilization` ≤ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]`.
+    pub fn for_netlist(netlist: &Netlist, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        let area = netlist
+            .tier_area_um2(Tier::Logic)
+            .max(netlist.tier_area_um2(Tier::Memory))
+            .max(1.0);
+        let side = (area / utilization).sqrt();
+        Self {
+            width_um: side,
+            height_um: side,
+        }
+    }
+
+    /// Die area in mm² (the paper's `FP` metric).
+    #[inline]
+    pub fn area_mm2(&self) -> f64 {
+        self.width_um * self.height_um / 1.0e6
+    }
+
+    /// Clamps a point into the outline.
+    pub fn clamp(&self, x: f64, y: f64) -> (f64, f64) {
+        (x.clamp(0.0, self.width_um), y.clamp(0.0, self.height_um))
+    }
+
+    /// Whether a point lies inside the outline (inclusive).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        (0.0..=self.width_um).contains(&x) && (0.0..=self.height_um).contains(&y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+
+    #[test]
+    fn outline_scales_with_design_area() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let small = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let big = generate_maeri(&MaeriConfig::new(64, 8), &tech).unwrap();
+        let fs = Floorplan::for_netlist(&small.netlist, 0.7);
+        let fb = Floorplan::for_netlist(&big.netlist, 0.7);
+        assert!(fb.area_mm2() > fs.area_mm2());
+        assert!(fs.width_um > 0.0);
+    }
+
+    #[test]
+    fn lower_utilization_grows_the_die() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let tight = Floorplan::for_netlist(&d.netlist, 0.9);
+        let loose = Floorplan::for_netlist(&d.netlist, 0.5);
+        assert!(loose.area_mm2() > tight.area_mm2());
+    }
+
+    #[test]
+    fn clamp_and_contains() {
+        let f = Floorplan {
+            width_um: 100.0,
+            height_um: 50.0,
+        };
+        assert_eq!(f.clamp(-5.0, 200.0), (0.0, 50.0));
+        assert!(f.contains(100.0, 0.0));
+        assert!(!f.contains(100.1, 0.0));
+        assert!((f.area_mm2() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn zero_utilization_panics() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let _ = Floorplan::for_netlist(&d.netlist, 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Physical design substrate: floorplanning and tier-aware placement.
+//!
+//! The paper's flow (Macro-3D / Memory-on-Logic) fixes each cell's die by
+//! type — macros and their glue on the memory die, everything else on the
+//! logic die — then places both dies over the same footprint so that
+//! face-to-face pads can connect vertically aligned points. This crate
+//! reproduces that step:
+//!
+//! - [`floorplan`] — derives the common die outline from cell area and a
+//!   target utilization (compare the paper's `FP (mm²)` rows).
+//! - [`place`](mod@place) — quadratic-style placement: connectivity averaging
+//!   (Jacobi iterations anchored at IO pads and macros) interleaved with
+//!   recursive-bisection spreading; macros are packed in rows along the
+//!   memory-die edges first.
+//! - [`wirelength`] — half-perimeter wirelength (HPWL) estimation, the
+//!   router's net-ordering key and the GNN's early wirelength feature.
+//!
+//! # Example
+//!
+//! ```
+//! use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+//! use gnnmls_netlist::tech::TechConfig;
+//! use gnnmls_phys::{place, PlaceConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = TechConfig::heterogeneous_16_28(6, 6);
+//! let design = generate_maeri(&MaeriConfig::pe16_bw4(), &tech)?;
+//! let placement = place(&design.netlist, &PlaceConfig::default())?;
+//! assert!(placement.floorplan().width_um > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod floorplan;
+pub mod place;
+pub mod repeaters;
+pub mod wirelength;
+
+pub use floorplan::Floorplan;
+pub use place::{place, PlaceConfig, PlaceError, Placement, Point};
+pub use repeaters::{insert_repeaters, RepeaterConfig};
+pub use wirelength::{net_hpwl_um, total_hpwl_um};

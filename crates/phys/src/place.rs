@@ -1,0 +1,538 @@
+//! Tier-aware quadratic-style placement.
+//!
+//! The placer follows the classic analytic recipe at small scale:
+//!
+//! 1. **Anchors** — IO ports are distributed around the die perimeter and
+//!    SRAM macros are row-packed from the top edge of the memory die; both
+//!    stay fixed.
+//! 2. **Connectivity averaging** — movable cells repeatedly move toward
+//!    the mean position of their net neighbors (a Jacobi relaxation of the
+//!    quadratic wirelength objective). Both tiers share the xy plane, so
+//!    3D nets pull their endpoints into vertical alignment — exactly what
+//!    makes F2F pads short.
+//! 3. **Spreading** — recursive balanced bisection redistributes each
+//!    tier's cells over its allowed region, removing the collapse toward
+//!    the center that pure averaging produces.
+//!
+//! Steps 2–3 alternate for a few rounds (SimPL-style).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::{CellClass, CellId, Netlist, Tier};
+
+use crate::floorplan::Floorplan;
+
+/// A 2D location in µm (tiers share the xy plane).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// x coordinate, µm.
+    pub x: f64,
+    /// y coordinate, µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// A new point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to another point.
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+/// Placement parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlaceConfig {
+    /// Target utilization of the denser die (sizes the floorplan).
+    pub utilization: f64,
+    /// Jacobi averaging iterations per round.
+    pub averaging_iters: usize,
+    /// Averaging/spreading rounds.
+    pub rounds: usize,
+    /// RNG seed for the initial scatter.
+    pub seed: u64,
+    /// Fraction of die height reserved (from the top) for macro rows on
+    /// the memory die.
+    pub macro_region_frac: f64,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        Self {
+            utilization: 0.65,
+            averaging_iters: 30,
+            rounds: 4,
+            seed: 0,
+            macro_region_frac: 0.45,
+        }
+    }
+}
+
+/// Errors raised by placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The netlist has no cells.
+    NoCells,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::NoCells => write!(f, "cannot place an empty netlist"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// A completed placement: one location per cell plus the shared outline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Placement {
+    locations: Vec<Point>,
+    floorplan: Floorplan,
+}
+
+impl Placement {
+    /// Location of a cell.
+    #[inline]
+    pub fn loc(&self, cell: CellId) -> Point {
+        self.locations[cell.index()]
+    }
+
+    /// The die outline.
+    #[inline]
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// All locations, indexed by cell id.
+    #[inline]
+    pub fn locations(&self) -> &[Point] {
+        &self.locations
+    }
+
+    /// Builds a placement directly from locations (testing / replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` is empty.
+    pub fn from_locations(locations: Vec<Point>, floorplan: Floorplan) -> Self {
+        assert!(!locations.is_empty(), "placement needs at least one cell");
+        Self {
+            locations,
+            floorplan,
+        }
+    }
+
+    /// Appends a location for a newly added cell (post-placement ECO, used
+    /// by DFT and level-shifter insertion) and returns its implied cell id
+    /// index.
+    pub fn push_location(&mut self, p: Point) -> usize {
+        self.locations.push(p);
+        self.locations.len() - 1
+    }
+}
+
+struct Rect {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl Rect {
+    fn cy(&self) -> f64 {
+        (self.y0 + self.y1) / 2.0
+    }
+    fn w(&self) -> f64 {
+        self.x1 - self.x0
+    }
+    fn h(&self) -> f64 {
+        self.y1 - self.y0
+    }
+}
+
+/// Places a netlist.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::NoCells`] for an empty netlist (unreachable for
+/// validated designs).
+pub fn place(netlist: &Netlist, cfg: &PlaceConfig) -> Result<Placement, PlaceError> {
+    if netlist.cell_count() == 0 {
+        return Err(PlaceError::NoCells);
+    }
+    let fp = Floorplan::for_netlist(netlist, cfg.utilization);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = netlist.cell_count();
+
+    let mut pos = vec![Point::default(); n];
+    let mut fixed = vec![false; n];
+
+    // --- Anchors: IO ports around the perimeter.
+    let ios: Vec<CellId> = netlist
+        .cell_ids()
+        .filter(|&c| matches!(netlist.class(c), CellClass::Input | CellClass::Output))
+        .collect();
+    let perim = 2.0 * (fp.width_um + fp.height_um);
+    for (i, &c) in ios.iter().enumerate() {
+        let t = perim * (i as f64 + 0.5) / ios.len().max(1) as f64;
+        pos[c.index()] = perimeter_point(&fp, t);
+        fixed[c.index()] = true;
+    }
+
+    // --- Anchors: macros row-packed from the top edge of their tier.
+    let mut macros: Vec<CellId> = netlist
+        .cell_ids()
+        .filter(|&c| netlist.class(c) == CellClass::Macro)
+        .collect();
+    macros.sort_by(|&a, &b| {
+        netlist
+            .template(b)
+            .area_um2
+            .total_cmp(&netlist.template(a).area_um2)
+    });
+    let max_macro_y = fp.height_um * cfg.macro_region_frac;
+    let (mut x, mut y, mut row_h) = (0.0f64, 0.0f64, 0.0f64);
+    for &m in &macros {
+        let side = netlist.template(m).area_um2.sqrt();
+        if x + side > fp.width_um + 1e-9 {
+            x = 0.0;
+            y += row_h;
+            row_h = 0.0;
+        }
+        if y + side > max_macro_y {
+            // Macro region overflow: restart packing with overlap rather
+            // than fail (synthetic designs may be macro-dominated).
+            y = 0.0;
+        }
+        pos[m.index()] = Point::new(
+            (x + side / 2.0).min(fp.width_um),
+            fp.height_um - (y + side / 2.0).min(fp.height_um),
+        );
+        fixed[m.index()] = true;
+        x += side;
+        row_h = row_h.max(side);
+    }
+    let macro_rows_bottom = fp.height_um - (y + row_h).min(fp.height_um);
+
+    // --- Initial scatter for movable cells.
+    for c in netlist.cell_ids() {
+        if !fixed[c.index()] {
+            pos[c.index()] = Point::new(
+                rng.gen_range(0.0..fp.width_um.max(1e-6)),
+                rng.gen_range(0.0..fp.height_um.max(1e-6)),
+            );
+        }
+    }
+
+    // --- Star-model adjacency.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for net in netlist.net_ids() {
+        let d = netlist.driver_cell(net);
+        for &s in netlist.sinks(net) {
+            let sc = netlist.pin(s).cell;
+            if sc != d {
+                adj[d.index()].push(sc.raw());
+                adj[sc.index()].push(d.raw());
+            }
+        }
+    }
+
+    // --- Rounds of averaging + spreading.
+    for round in 0..cfg.rounds.max(1) {
+        for _ in 0..cfg.averaging_iters {
+            let snapshot = pos.clone();
+            for c in 0..n {
+                if fixed[c] || adj[c].is_empty() {
+                    continue;
+                }
+                let (mut sx, mut sy) = (0.0, 0.0);
+                for &nb in &adj[c] {
+                    let p = snapshot[nb as usize];
+                    sx += p.x;
+                    sy += p.y;
+                }
+                let k = adj[c].len() as f64;
+                pos[c] = Point::new(sx / k, sy / k);
+            }
+        }
+        // Spread per tier; the memory tier's movable cells avoid the macro
+        // rows.
+        for tier in Tier::BOTH {
+            let mut movable: Vec<(CellId, Point)> = netlist
+                .cell_ids()
+                .filter(|&c| !fixed[c.index()] && netlist.cell(c).tier == tier)
+                .map(|c| (c, pos[c.index()]))
+                .collect();
+            if movable.is_empty() {
+                continue;
+            }
+            let region = if tier == Tier::Memory && macro_rows_bottom > fp.height_um * 0.1 {
+                Rect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: fp.width_um,
+                    y1: macro_rows_bottom,
+                }
+            } else {
+                Rect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: fp.width_um,
+                    y1: fp.height_um,
+                }
+            };
+            spread(&mut movable, region, &mut pos, &mut rng);
+        }
+        let _ = round;
+    }
+
+    for p in &mut pos {
+        let (cx, cy) = fp.clamp(p.x, p.y);
+        *p = Point::new(cx, cy);
+    }
+
+    Ok(Placement {
+        locations: pos,
+        floorplan: fp,
+    })
+}
+
+/// Maps arc length `t` along the perimeter to a boundary point.
+fn perimeter_point(fp: &Floorplan, t: f64) -> Point {
+    let (w, h) = (fp.width_um, fp.height_um);
+    let t = t % (2.0 * (w + h));
+    if t < w {
+        Point::new(t, 0.0)
+    } else if t < w + h {
+        Point::new(w, t - w)
+    } else if t < 2.0 * w + h {
+        Point::new(w - (t - w - h), h)
+    } else {
+        Point::new(0.0, h - (t - 2.0 * w - h))
+    }
+}
+
+/// Recursive balanced bisection: redistributes `cells` (with their current
+/// positions as ordering keys) uniformly over `region`.
+fn spread(cells: &mut [(CellId, Point)], region: Rect, pos: &mut [Point], rng: &mut StdRng) {
+    if cells.is_empty() {
+        return;
+    }
+    if cells.len() <= 2 {
+        for (i, (c, _)) in cells.iter().enumerate() {
+            let fx = (i as f64 + 0.5) / cells.len() as f64;
+            let jitter = rng.gen_range(-0.05..0.05);
+            pos[c.index()] = Point::new(
+                region.x0 + region.w() * (fx + jitter).clamp(0.05, 0.95),
+                region.cy() + region.h() * rng.gen_range(-0.25..0.25),
+            );
+        }
+        return;
+    }
+    let horizontal = region.w() >= region.h();
+    if horizontal {
+        cells.sort_by(|a, b| a.1.x.total_cmp(&b.1.x));
+    } else {
+        cells.sort_by(|a, b| a.1.y.total_cmp(&b.1.y));
+    }
+    let half = cells.len() / 2;
+    let frac = half as f64 / cells.len() as f64;
+    let (lo, hi) = cells.split_at_mut(half);
+    if horizontal {
+        let xm = region.x0 + region.w() * frac;
+        spread(
+            lo,
+            Rect {
+                x1: xm,
+                ..Rect {
+                    ..region_copy(&region)
+                }
+            },
+            pos,
+            rng,
+        );
+        spread(
+            hi,
+            Rect {
+                x0: xm,
+                ..region_copy(&region)
+            },
+            pos,
+            rng,
+        );
+    } else {
+        let ym = region.y0 + region.h() * frac;
+        spread(
+            lo,
+            Rect {
+                y1: ym,
+                ..region_copy(&region)
+            },
+            pos,
+            rng,
+        );
+        spread(
+            hi,
+            Rect {
+                y0: ym,
+                ..region_copy(&region)
+            },
+            pos,
+            rng,
+        );
+    }
+}
+
+fn region_copy(r: &Rect) -> Rect {
+    Rect {
+        x0: r.x0,
+        y0: r.y0,
+        x1: r.x1,
+        y1: r.y1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wirelength::total_hpwl_um;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+
+    fn maeri16() -> gnnmls_netlist::Netlist {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        generate_maeri(&MaeriConfig::pe16_bw4(), &tech)
+            .unwrap()
+            .netlist
+    }
+
+    #[test]
+    fn all_cells_are_inside_the_floorplan() {
+        let n = maeri16();
+        let p = place(&n, &PlaceConfig::default()).unwrap();
+        for c in n.cell_ids() {
+            let l = p.loc(c);
+            assert!(
+                p.floorplan().contains(l.x, l.y),
+                "{} at ({}, {})",
+                n.cell(c).name,
+                l.x,
+                l.y
+            );
+        }
+    }
+
+    #[test]
+    fn placement_beats_random_scatter_on_hpwl() {
+        let n = maeri16();
+        let placed = place(&n, &PlaceConfig::default()).unwrap();
+        // Random baseline: one averaging-free, spread-only round over a
+        // random scatter is close to random.
+        let random = place(
+            &n,
+            &PlaceConfig {
+                averaging_iters: 0,
+                rounds: 1,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
+        let w_placed = total_hpwl_um(&n, &placed);
+        let w_random = total_hpwl_um(&n, &random);
+        assert!(
+            w_placed < 0.7 * w_random,
+            "placed {w_placed:.0} vs random {w_random:.0}"
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let n = maeri16();
+        let a = place(&n, &PlaceConfig::default()).unwrap();
+        let b = place(&n, &PlaceConfig::default()).unwrap();
+        assert_eq!(a.locations(), b.locations());
+        let c = place(
+            &n,
+            &PlaceConfig {
+                seed: 99,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a.locations(), c.locations());
+    }
+
+    #[test]
+    fn macros_sit_high_on_the_die() {
+        let n = maeri16();
+        let p = place(&n, &PlaceConfig::default()).unwrap();
+        let fp = p.floorplan();
+        for c in n.cell_ids() {
+            if n.class(c) == CellClass::Macro {
+                assert!(
+                    p.loc(c).y > fp.height_um * 0.4,
+                    "macro {} should be packed near the top edge",
+                    n.cell(c).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn io_cells_are_pinned_to_the_perimeter() {
+        let n = maeri16();
+        let p = place(&n, &PlaceConfig::default()).unwrap();
+        let fp = p.floorplan();
+        for c in n.cell_ids() {
+            if matches!(n.class(c), CellClass::Input | CellClass::Output) {
+                let l = p.loc(c);
+                let on_edge = l.x < 1e-6
+                    || l.y < 1e-6
+                    || (fp.width_um - l.x) < 1e-6
+                    || (fp.height_um - l.y) < 1e-6;
+                assert!(on_edge, "IO {} at ({}, {})", n.cell(c).name, l.x, l.y);
+            }
+        }
+    }
+
+    #[test]
+    fn perimeter_point_walks_all_four_edges() {
+        let fp = Floorplan {
+            width_um: 10.0,
+            height_um: 6.0,
+        };
+        assert_eq!(perimeter_point(&fp, 5.0), Point::new(5.0, 0.0));
+        assert_eq!(perimeter_point(&fp, 13.0), Point::new(10.0, 3.0));
+        assert_eq!(perimeter_point(&fp, 21.0), Point::new(5.0, 6.0));
+        assert_eq!(perimeter_point(&fp, 29.0), Point::new(0.0, 3.0));
+        // Wraps around.
+        assert_eq!(perimeter_point(&fp, 37.0), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 0.0);
+        assert_eq!(a.manhattan(&b), 5.0);
+        assert_eq!(b.manhattan(&a), 5.0);
+    }
+
+    #[test]
+    fn push_location_extends_for_eco_cells() {
+        let n = maeri16();
+        let mut p = place(&n, &PlaceConfig::default()).unwrap();
+        let before = p.locations().len();
+        let idx = p.push_location(Point::new(1.0, 1.0));
+        assert_eq!(idx, before);
+        assert_eq!(p.locations().len(), before + 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Post-placement repeater insertion.
+//!
+//! Physical synthesis breaks long wires with buffers (repeaters) so that
+//! RC delay grows linearly rather than quadratically with distance; no
+//! commercial flow tapes out multi-hundred-µm unbuffered nets. This pass
+//! reproduces that: any net whose sinks sit farther than `max_seg_um`
+//! (manhattan) from the driver gets those sinks regrouped by quadrant
+//! behind a `BUFX4` placed at the group's centroid, recursively, so long
+//! connections become chains/trees of ≤ `max_seg_um` hops.
+
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::{CellLibrary, NetId, Netlist, NetlistError, PinId, Tier};
+
+use crate::place::{Placement, Point};
+
+/// Repeater insertion parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepeaterConfig {
+    /// Maximum unbuffered driver→sink manhattan distance, µm.
+    pub max_seg_um: f64,
+    /// Safety bound on recursive splits per original net.
+    pub max_depth: usize,
+}
+
+impl Default for RepeaterConfig {
+    fn default() -> Self {
+        Self {
+            max_seg_um: 80.0,
+            max_depth: 24,
+        }
+    }
+}
+
+/// Inserts repeaters on all over-long nets; returns the buffer count.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] (name collisions indicate a repeated run).
+pub fn insert_repeaters(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    tech: &TechConfig,
+    cfg: &RepeaterConfig,
+) -> Result<usize, NetlistError> {
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let memory_lib = CellLibrary::for_node(&tech.memory_node);
+    let mut serial = 0usize;
+    let mut added = 0usize;
+
+    let mut work: Vec<(NetId, usize)> = netlist.net_ids().map(|n| (n, 0)).collect();
+    while let Some((net, depth)) = work.pop() {
+        if depth >= cfg.max_depth {
+            continue;
+        }
+        let driver = netlist.driver_cell(net);
+        let dloc = placement.loc(driver);
+        // Group far sinks by quadrant around the driver.
+        let mut groups: [Vec<PinId>; 4] = Default::default();
+        for &p in netlist.sinks(net) {
+            let sloc = placement.loc(netlist.pin(p).cell);
+            if dloc.manhattan(&sloc) <= cfg.max_seg_um {
+                continue;
+            }
+            let q = match (sloc.x >= dloc.x, sloc.y >= dloc.y) {
+                (true, true) => 0,
+                (true, false) => 1,
+                (false, true) => 2,
+                (false, false) => 3,
+            };
+            groups[q].push(p);
+        }
+        let tier = netlist.cell(driver).tier;
+        let lib = match tier {
+            Tier::Logic => &logic_lib,
+            Tier::Memory => &memory_lib,
+        };
+        for group in groups.iter().filter(|g| !g.is_empty()) {
+            // Repeater at one hop toward the group centroid.
+            let (mut cx, mut cy) = (0.0, 0.0);
+            for &p in group {
+                let l = placement.loc(netlist.pin(p).cell);
+                cx += l.x;
+                cy += l.y;
+            }
+            cx /= group.len() as f64;
+            cy /= group.len() as f64;
+            let dist = dloc.manhattan(&Point::new(cx, cy)).max(1e-9);
+            let t = (cfg.max_seg_um / dist).min(1.0);
+            let loc = Point::new(dloc.x + (cx - dloc.x) * t, dloc.y + (cy - dloc.y) * t);
+            let buf = netlist.add_cell(format!("repbuf_{serial}"), lib.expect("BUFX4"), tier)?;
+            let idx = placement.push_location(loc);
+            debug_assert_eq!(idx, buf.index());
+            let child = netlist.split_net(net, group, buf, format!("repnet_{serial}"))?;
+            serial += 1;
+            added += 1;
+            work.push((child, depth + 1));
+        }
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use gnnmls_netlist::tech::TechNode;
+    use gnnmls_netlist::NetlistBuilder;
+
+    /// A driver at the origin with sinks scattered at known distances.
+    fn long_net(sink_locs: &[(f64, f64)]) -> (Netlist, Placement) {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("long");
+        let pi = b.add_cell("pi", lib.expect("PI"), Tier::Logic).unwrap();
+        let n = b.add_net("n").unwrap();
+        b.connect_output(n, pi, 0).unwrap();
+        let mut locs = vec![Point::new(0.0, 0.0)];
+        for (i, &(x, y)) in sink_locs.iter().enumerate() {
+            let po = b
+                .add_cell(format!("po{i}"), lib.expect("PO"), Tier::Logic)
+                .unwrap();
+            b.connect_input(n, po, 0).unwrap();
+            locs.push(Point::new(x, y));
+        }
+        let netlist = b.finish().unwrap();
+        let fp = Floorplan {
+            width_um: 1000.0,
+            height_um: 1000.0,
+        };
+        (netlist, Placement::from_locations(locs, fp))
+    }
+
+    /// Checks every driver→sink hop after insertion.
+    fn max_hop(netlist: &Netlist, placement: &Placement) -> f64 {
+        let mut worst = 0.0f64;
+        for net in netlist.net_ids() {
+            let d = placement.loc(netlist.driver_cell(net));
+            for &p in netlist.sinks(net) {
+                worst = worst.max(d.manhattan(&placement.loc(netlist.pin(p).cell)));
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn long_straight_net_becomes_a_repeater_chain() {
+        let (mut n, mut p) = long_net(&[(400.0, 0.0)]);
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let added = insert_repeaters(&mut n, &mut p, &tech, &RepeaterConfig::default()).unwrap();
+        assert!(added >= 4, "400um / 80um needs ~5 hops, added {added}");
+        assert!(max_hop(&n, &p) <= 80.0 + 1e-6);
+    }
+
+    #[test]
+    fn spread_sinks_get_a_tree() {
+        let (mut n, mut p) =
+            long_net(&[(300.0, 300.0), (320.0, 280.0), (-300.0, 250.0), (10.0, 5.0)]);
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let added = insert_repeaters(&mut n, &mut p, &tech, &RepeaterConfig::default()).unwrap();
+        assert!(added >= 2, "two far quadrants need separate chains");
+        assert!(max_hop(&n, &p) <= 80.0 + 1e-6);
+        // Near sink stays directly connected to the driver.
+        let first = n.net_by_name("n").unwrap();
+        let near = n.cell_by_name("po3").unwrap();
+        assert!(n.sinks(first).iter().any(|&pin| n.pin(pin).cell == near));
+    }
+
+    #[test]
+    fn short_nets_are_untouched() {
+        let (mut n, mut p) = long_net(&[(30.0, 20.0), (10.0, 40.0)]);
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let cells = n.cell_count();
+        let added = insert_repeaters(&mut n, &mut p, &tech, &RepeaterConfig::default()).unwrap();
+        assert_eq!(added, 0);
+        assert_eq!(n.cell_count(), cells);
+    }
+
+    #[test]
+    fn depth_bound_prevents_runaway() {
+        let (mut n, mut p) = long_net(&[(900.0, 900.0)]);
+        let tech = TechConfig::homogeneous_28_28(6, 6);
+        let cfg = RepeaterConfig {
+            max_seg_um: 5.0,
+            max_depth: 3,
+        };
+        let added = insert_repeaters(&mut n, &mut p, &tech, &cfg).unwrap();
+        assert!(added <= 3, "bounded by max_depth, got {added}");
+    }
+}

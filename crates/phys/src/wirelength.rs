@@ -1,0 +1,82 @@
+//! Half-perimeter wirelength (HPWL) estimation.
+//!
+//! HPWL is the standard pre-route wirelength proxy: the half-perimeter of
+//! the bounding box of a net's pins. It drives the router's net ordering
+//! and is the GNN's early-global-routing `wirelength` feature (Table II).
+
+use gnnmls_netlist::{NetId, Netlist};
+
+use crate::place::Placement;
+
+/// HPWL of a single net in µm.
+///
+/// Tiers share the xy plane, so a 3D net's bounding box ignores z; the
+/// F2F hop is accounted for separately by the router.
+pub fn net_hpwl_um(netlist: &Netlist, placement: &Placement, net: NetId) -> f64 {
+    let mut it = netlist.net(net).pins.iter();
+    let first = match it.next() {
+        Some(&p) => placement.loc(netlist.pin(p).cell),
+        None => return 0.0,
+    };
+    let (mut x0, mut x1, mut y0, mut y1) = (first.x, first.x, first.y, first.y);
+    for &p in it {
+        let l = placement.loc(netlist.pin(p).cell);
+        x0 = x0.min(l.x);
+        x1 = x1.max(l.x);
+        y0 = y0.min(l.y);
+        y1 = y1.max(l.y);
+    }
+    (x1 - x0) + (y1 - y0)
+}
+
+/// Total HPWL of the design in µm.
+pub fn total_hpwl_um(netlist: &Netlist, placement: &Placement) -> f64 {
+    netlist
+        .net_ids()
+        .map(|n| net_hpwl_um(netlist, placement, n))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::place::Point;
+    use gnnmls_netlist::tech::TechNode;
+    use gnnmls_netlist::{CellLibrary, NetlistBuilder, Tier};
+
+    #[test]
+    fn hpwl_is_bounding_box_half_perimeter() {
+        let lib = CellLibrary::for_node(&TechNode::n28());
+        let mut b = NetlistBuilder::new("w");
+        let a = b.add_cell("a", lib.expect("PI"), Tier::Logic).unwrap();
+        let g = b.add_cell("g", lib.expect("NAND2"), Tier::Logic).unwrap();
+        let h = b.add_cell("h", lib.expect("PO"), Tier::Memory).unwrap();
+        let n0 = b.add_net("n0").unwrap();
+        b.connect_output(n0, a, 0).unwrap();
+        b.connect_input(n0, g, 0).unwrap();
+        b.connect_input(n0, g, 1).unwrap();
+        let n1 = b.add_net("n1").unwrap();
+        b.connect_output(n1, g, 0).unwrap();
+        b.connect_input(n1, h, 0).unwrap();
+        let n = b.finish().unwrap();
+
+        let fp = Floorplan {
+            width_um: 100.0,
+            height_um: 100.0,
+        };
+        let p = Placement::from_locations(
+            vec![
+                Point::new(0.0, 0.0),   // a
+                Point::new(30.0, 40.0), // g
+                Point::new(10.0, 90.0), // h (other tier: z ignored)
+            ],
+            fp,
+        );
+        let n0 = n.net_by_name("n0").unwrap();
+        let n1 = n.net_by_name("n1").unwrap();
+        assert_eq!(net_hpwl_um(&n, &p, n0), 70.0);
+        assert_eq!(net_hpwl_um(&n, &p, n1), 70.0);
+        assert_eq!(total_hpwl_um(&n, &p), 140.0);
+    }
+}

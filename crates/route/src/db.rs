@@ -1,0 +1,91 @@
+//! Route database: per-net results plus design-level summaries.
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::{NetId, Tier};
+
+use crate::grid::RoutingGrid;
+use crate::tree::RouteTree;
+
+/// The routed result for one net.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetRoute {
+    /// The net.
+    pub net: NetId,
+    /// The route tree over grid nodes.
+    pub tree: RouteTree,
+    /// Routed wirelength, µm.
+    pub wirelength_um: f64,
+    /// F2F bond crossings consumed.
+    pub f2f_crossings: u32,
+    /// Whether this is an *MLS net*: a single-die net that borrowed the
+    /// other die's metals (the paper's `#MLS Nets` metric counts these).
+    pub is_mls: bool,
+    /// Total load the driver sees: wire + via + pad + sink pin caps, fF.
+    pub total_cap_ff: f64,
+    /// Wire Elmore delay to each sink (aligned with `netlist.sinks`), ps,
+    /// excluding the driver's drive resistance.
+    pub sink_elmore_ps: Vec<f64>,
+    /// Whether the final route still traverses an over-capacity edge.
+    pub overflowed: bool,
+}
+
+/// Aggregate routing metrics (rows of Tables IV–VI).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouteSummary {
+    /// Total wirelength in meters (the paper's `WL (m)`).
+    pub total_wirelength_m: f64,
+    /// Count of MLS nets.
+    pub mls_net_count: usize,
+    /// Total F2F signal pads consumed (3D nets + MLS crossings).
+    pub f2f_pads: usize,
+    /// Nets left routed through over-capacity edges.
+    pub overflowed_nets: usize,
+    /// Per-z-slice track utilization (used / capacity), 0..=1+.
+    pub layer_utilization: Vec<f64>,
+    /// F2F pad site utilization.
+    pub f2f_utilization: f64,
+}
+
+/// All routed nets of a design.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouteDb {
+    /// One entry per net, indexed by [`NetId`].
+    pub nets: Vec<NetRoute>,
+    /// Aggregate metrics captured at the end of routing.
+    pub summary: RouteSummary,
+}
+
+impl RouteDb {
+    /// The route of a net.
+    #[inline]
+    pub fn route(&self, net: NetId) -> &NetRoute {
+        &self.nets[net.index()]
+    }
+
+    /// Iterates over all MLS nets.
+    pub fn mls_nets(&self) -> impl Iterator<Item = &NetRoute> {
+        self.nets.iter().filter(|r| r.is_mls)
+    }
+
+    /// Nets whose route crosses the F2F bond at least once (3D nets plus
+    /// MLS nets) — these are the opens the DFT strategies must cover.
+    pub fn bond_crossing_nets(&self) -> impl Iterator<Item = &NetRoute> {
+        self.nets.iter().filter(|r| r.f2f_crossings > 0)
+    }
+
+    /// Wirelength on a specific tier, µm (for per-die congestion reports).
+    pub fn tier_wirelength_um(&self, grid: &RoutingGrid, tier: Tier) -> f64 {
+        let mut wl = 0.0;
+        for r in &self.nets {
+            for i in 1..r.tree.nodes.len() {
+                let (_, _, za) = grid.coords(r.tree.nodes[i]);
+                let (_, _, zb) = grid.coords(r.tree.nodes[r.tree.parent[i] as usize]);
+                if za == zb && grid.tier_of_z(za) == tier {
+                    wl += grid.gcell_um;
+                }
+            }
+        }
+        wl
+    }
+}

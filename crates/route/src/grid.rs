@@ -1,0 +1,290 @@
+//! The 3D routing grid: g-cells × a z-stack spanning both dies.
+//!
+//! z-order (bottom-up): logic M1 … logic M(top), **F2F bond interface**,
+//! memory M(top) … memory M1. Logic cells pin at z = 0; memory cells pin
+//! at the top-most z (their die's M1, since the memory die is flipped).
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::{RouteDir, TechConfig};
+use gnnmls_netlist::Tier;
+use gnnmls_phys::Floorplan;
+
+/// One z-slice of the grid: a metal layer of one die.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridLayer {
+    /// Which die the layer belongs to.
+    pub tier: Tier,
+    /// The die-local metal index (M1 = 1).
+    pub metal: u8,
+    /// Preferred routing direction; in-layer edges only run this way.
+    pub dir: RouteDir,
+    /// Wire resistance, kΩ per µm.
+    pub r_kohm_per_um: f64,
+    /// Wire capacitance, fF per µm.
+    pub c_ff_per_um: f64,
+    /// Routing tracks available per g-cell edge.
+    pub capacity: u16,
+}
+
+/// The routing grid geometry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoutingGrid {
+    /// G-cells in x.
+    pub nx: usize,
+    /// G-cells in y.
+    pub ny: usize,
+    /// G-cell edge length in µm.
+    pub gcell_um: f64,
+    /// All layers, bottom-up in z.
+    pub layers: Vec<GridLayer>,
+    /// Number of logic-die layers (the F2F bond sits between z =
+    /// `logic_layers - 1` and z = `logic_layers`).
+    pub logic_layers: usize,
+    /// F2F bond pads available per g-cell.
+    pub f2f_capacity: u16,
+}
+
+/// Fraction of tracks available for signal routing (the rest is pins,
+/// power rails, and blockages).
+const SIGNAL_TRACK_FRAC: f64 = 0.32;
+/// Fraction of F2F pad sites available for signals.
+const F2F_SITE_FRAC: f64 = 0.5;
+
+impl RoutingGrid {
+    /// Builds the grid for a floorplan and technology.
+    ///
+    /// `target_gcells` is the desired g-cell count along the die's width
+    /// (clamped to 8..=192). `pdn_top_util_logic` / `pdn_top_util_memory`
+    /// are the fractions of each die's *top-layer* tracks consumed by the
+    /// power grid (Table IV's `U` column); those tracks are subtracted
+    /// from signal capacity. In a Memory-on-Logic stack the logic die's
+    /// PDN is much denser than the memory die's, which is what leaves the
+    /// memory BEOL idle and makes MLS attractive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either utilization is outside `[0, 1]`.
+    pub fn build(
+        fp: &Floorplan,
+        tech: &TechConfig,
+        target_gcells: usize,
+        pdn_top_util_logic: f64,
+        pdn_top_util_memory: f64,
+    ) -> Self {
+        for u in [pdn_top_util_logic, pdn_top_util_memory] {
+            assert!(
+                (0.0..=1.0).contains(&u),
+                "pdn_top_util must be within [0, 1]"
+            );
+        }
+        let target = target_gcells.clamp(8, 192);
+        let gcell_um = (fp.width_um / target as f64).max(0.5);
+        let nx = (fp.width_um / gcell_um).ceil() as usize;
+        let ny = (fp.height_um / gcell_um).ceil() as usize;
+
+        let mut layers = Vec::new();
+        let push_stack = |tier: Tier, flipped: bool, layers: &mut Vec<GridLayer>| {
+            let stack = tech.stack(tier);
+            let idxs: Vec<u8> = if flipped {
+                (1..=stack.len() as u8).rev().collect()
+            } else {
+                (1..=stack.len() as u8).collect()
+            };
+            for i in idxs {
+                let l = stack.layer(i);
+                let mut cap = ((gcell_um / l.pitch_um) * SIGNAL_TRACK_FRAC)
+                    .floor()
+                    .max(1.0) as u16;
+                if i as usize == stack.len() {
+                    // The die's top metal shares tracks with the PDN.
+                    let util = match tier {
+                        Tier::Logic => pdn_top_util_logic,
+                        Tier::Memory => pdn_top_util_memory,
+                    };
+                    cap = ((f64::from(cap)) * (1.0 - util)).floor().max(1.0) as u16;
+                }
+                layers.push(GridLayer {
+                    tier,
+                    metal: i,
+                    dir: l.dir,
+                    r_kohm_per_um: l.r_kohm_per_um,
+                    c_ff_per_um: l.c_ff_per_um,
+                    capacity: cap,
+                });
+            }
+        };
+        push_stack(Tier::Logic, false, &mut layers);
+        let logic_layers = layers.len();
+        push_stack(Tier::Memory, true, &mut layers);
+
+        let f2f_capacity = ((gcell_um * gcell_um) / (tech.f2f.pitch_um * tech.f2f.pitch_um)
+            * F2F_SITE_FRAC)
+            .floor()
+            .max(1.0) as u16;
+
+        Self {
+            nx,
+            ny,
+            gcell_um,
+            layers,
+            logic_layers,
+            f2f_capacity,
+        }
+    }
+
+    /// Total number of z-slices.
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total grid nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny * self.nz()
+    }
+
+    /// Packs (x, y, z) into a node id.
+    #[inline]
+    pub fn node(&self, x: usize, y: usize, z: usize) -> u32 {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz());
+        ((z * self.ny + y) * self.nx + x) as u32
+    }
+
+    /// Unpacks a node id into (x, y, z).
+    #[inline]
+    pub fn coords(&self, node: u32) -> (usize, usize, usize) {
+        let n = node as usize;
+        let x = n % self.nx;
+        let y = (n / self.nx) % self.ny;
+        let z = n / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// The z-slice where cells of a tier connect (their die's M1).
+    #[inline]
+    pub fn pin_z(&self, tier: Tier) -> usize {
+        match tier {
+            Tier::Logic => 0,
+            Tier::Memory => self.nz() - 1,
+        }
+    }
+
+    /// The tier owning a z-slice.
+    #[inline]
+    pub fn tier_of_z(&self, z: usize) -> Tier {
+        if z < self.logic_layers {
+            Tier::Logic
+        } else {
+            Tier::Memory
+        }
+    }
+
+    /// Whether the via between z and z+1 crosses the F2F bond.
+    #[inline]
+    pub fn is_f2f_via(&self, z_low: usize) -> bool {
+        z_low + 1 == self.logic_layers
+    }
+
+    /// Maps a µm location to a g-cell coordinate.
+    #[inline]
+    pub fn gcell_of(&self, x_um: f64, y_um: f64) -> (usize, usize) {
+        let gx = ((x_um / self.gcell_um) as usize).min(self.nx - 1);
+        let gy = ((y_um / self.gcell_um) as usize).min(self.ny - 1);
+        (gx, gy)
+    }
+
+    /// z-range (inclusive) of a tier's layers.
+    pub fn tier_z_range(&self, tier: Tier) -> (usize, usize) {
+        match tier {
+            Tier::Logic => (0, self.logic_layers - 1),
+            Tier::Memory => (self.logic_layers, self.nz() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::tech::TechConfig;
+
+    fn grid() -> RoutingGrid {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let fp = Floorplan {
+            width_um: 200.0,
+            height_um: 200.0,
+        };
+        RoutingGrid::build(&fp, &tech, 32, 0.14, 0.14)
+    }
+
+    #[test]
+    fn z_stack_mirrors_at_the_bond() {
+        let g = grid();
+        assert_eq!(g.nz(), 12);
+        assert_eq!(g.logic_layers, 6);
+        // Logic die bottom-up: M1..M6.
+        assert_eq!(g.layers[0].metal, 1);
+        assert_eq!(g.layers[5].metal, 6);
+        assert_eq!(g.layers[0].tier, Tier::Logic);
+        // Memory die flipped: M6 first (adjacent to the bond), M1 last.
+        assert_eq!(g.layers[6].metal, 6);
+        assert_eq!(g.layers[11].metal, 1);
+        assert_eq!(g.layers[6].tier, Tier::Memory);
+        assert!(g.is_f2f_via(5));
+        assert!(!g.is_f2f_via(4));
+        assert!(!g.is_f2f_via(6));
+    }
+
+    #[test]
+    fn pin_layers_are_the_outer_m1s() {
+        let g = grid();
+        assert_eq!(g.pin_z(Tier::Logic), 0);
+        assert_eq!(g.pin_z(Tier::Memory), 11);
+        assert_eq!(g.tier_of_z(0), Tier::Logic);
+        assert_eq!(g.tier_of_z(5), Tier::Logic);
+        assert_eq!(g.tier_of_z(6), Tier::Memory);
+        assert_eq!(g.tier_z_range(Tier::Logic), (0, 5));
+        assert_eq!(g.tier_z_range(Tier::Memory), (6, 11));
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        let g = grid();
+        for &(x, y, z) in &[(0, 0, 0), (3, 7, 2), (g.nx - 1, g.ny - 1, g.nz() - 1)] {
+            assert_eq!(g.coords(g.node(x, y, z)), (x, y, z));
+        }
+        assert_eq!(g.node_count(), g.nx * g.ny * g.nz());
+    }
+
+    #[test]
+    fn pdn_utilization_cuts_top_layer_capacity() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let fp = Floorplan {
+            width_um: 200.0,
+            height_um: 200.0,
+        };
+        let free = RoutingGrid::build(&fp, &tech, 32, 0.0, 0.0);
+        let loaded = RoutingGrid::build(&fp, &tech, 32, 0.5, 0.5);
+        // Top of logic die = z 5; top of memory die = z 6 (flipped).
+        assert!(loaded.layers[5].capacity < free.layers[5].capacity);
+        assert!(loaded.layers[6].capacity < free.layers[6].capacity);
+        // Lower metals unaffected.
+        assert_eq!(loaded.layers[0].capacity, free.layers[0].capacity);
+    }
+
+    #[test]
+    fn lower_metals_have_more_tracks() {
+        let g = grid();
+        assert!(g.layers[0].capacity > g.layers[5].capacity);
+        assert!(g.f2f_capacity >= 1);
+    }
+
+    #[test]
+    fn gcell_of_clamps_to_grid() {
+        let g = grid();
+        assert_eq!(g.gcell_of(0.0, 0.0), (0, 0));
+        let (gx, gy) = g.gcell_of(1e9, 1e9);
+        assert_eq!((gx, gy), (g.nx - 1, g.ny - 1));
+    }
+}

@@ -1,0 +1,155 @@
+//! SVG rendering of routing results (Figure 9(b–c)-style layout views).
+//!
+//! Renders a per-g-cell heat map of one die's routing usage, recomputed
+//! from the committed route trees, plus markers for F2F pad sites used by
+//! MLS crossings. Output is plain SVG text — no dependencies.
+
+use std::fmt::Write as _;
+
+use gnnmls_netlist::Tier;
+
+use crate::db::RouteDb;
+use crate::grid::RoutingGrid;
+
+/// Per-g-cell wire usage of one die, recomputed from route trees.
+pub fn usage_map(db: &RouteDb, grid: &RoutingGrid, tier: Tier) -> Vec<u32> {
+    let mut map = vec![0u32; grid.nx * grid.ny];
+    for r in &db.nets {
+        let t = &r.tree;
+        for i in 1..t.nodes.len() {
+            let (xa, ya, za) = grid.coords(t.nodes[t.parent[i] as usize]);
+            let (xb, yb, zb) = grid.coords(t.nodes[i]);
+            if za == zb && grid.tier_of_z(za) == tier {
+                map[ya.min(yb) * grid.nx + xa.min(xb)] += 1;
+            }
+        }
+    }
+    map
+}
+
+/// F2F pad sites consumed by MLS crossings, per g-cell.
+pub fn mls_pad_map(db: &RouteDb, grid: &RoutingGrid) -> Vec<u32> {
+    let mut map = vec![0u32; grid.nx * grid.ny];
+    for r in db.nets.iter().filter(|r| r.is_mls) {
+        let t = &r.tree;
+        for i in 1..t.nodes.len() {
+            if t.edge_f2f[i] {
+                let (x, y, _) = grid.coords(t.nodes[i]);
+                map[y * grid.nx + x] += 1;
+            }
+        }
+    }
+    map
+}
+
+/// Renders a die's routing-usage heat map with MLS pad markers as SVG.
+pub fn congestion_svg(db: &RouteDb, grid: &RoutingGrid, tier: Tier) -> String {
+    const CELL: f64 = 8.0;
+    let usage = usage_map(db, grid, tier);
+    let pads = mls_pad_map(db, grid);
+    let max = usage.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let (w, h) = (grid.nx as f64 * CELL, grid.ny as f64 * CELL);
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">"
+    );
+    let _ = writeln!(
+        svg,
+        "<title>{tier} die routing usage (max {max} tracks/gcell)</title>"
+    );
+    for gy in 0..grid.ny {
+        for gx in 0..grid.nx {
+            let u = usage[gy * grid.nx + gx] as f64 / max;
+            // Blue (cold) -> red (hot).
+            let rch = (255.0 * u) as u8;
+            let bch = (255.0 * (1.0 - u)) as u8;
+            let x = gx as f64 * CELL;
+            // SVG y grows downward; flip so (0,0) is bottom-left.
+            let y = (grid.ny - 1 - gy) as f64 * CELL;
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{x}\" y=\"{y}\" width=\"{CELL}\" height=\"{CELL}\" fill=\"rgb({rch},40,{bch})\"/>"
+            );
+            if pads[gy * grid.nx + gx] > 0 {
+                let cx = x + CELL / 2.0;
+                let cy = y + CELL / 2.0;
+                let _ = writeln!(
+                    svg,
+                    "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"{:.1}\" fill=\"none\" stroke=\"white\" stroke-width=\"1\"/>",
+                    CELL / 3.0
+                );
+            }
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{route_design, MlsPolicy, RouteConfig};
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_phys::{place, PlaceConfig};
+
+    fn routed() -> (RouteDb, RoutingGrid) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::sota(),
+            RouteConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn usage_map_counts_only_the_requested_tier() {
+        let (db, grid) = routed();
+        let logic = usage_map(&db, &grid, Tier::Logic);
+        let memory = usage_map(&db, &grid, Tier::Memory);
+        let l: u32 = logic.iter().sum();
+        let m: u32 = memory.iter().sum();
+        assert!(l > 0, "logic die carries wires");
+        assert!(l > m, "logic die dominates a MoL design");
+        // Wire segments total = per-tier sums.
+        let total: usize = db
+            .nets
+            .iter()
+            .map(|r| {
+                (1..r.tree.nodes.len())
+                    .filter(|&i| {
+                        let (_, _, za) = grid.coords(r.tree.nodes[r.tree.parent[i] as usize]);
+                        let (_, _, zb) = grid.coords(r.tree.nodes[i]);
+                        za == zb
+                    })
+                    .count()
+            })
+            .sum();
+        assert_eq!(total as u32, l + m);
+    }
+
+    #[test]
+    fn mls_pads_appear_only_for_mls_routes() {
+        let (db, grid) = routed();
+        let pads = mls_pad_map(&db, &grid);
+        let count: u32 = pads.iter().sum();
+        let expect: u32 = db.mls_nets().map(|r| r.f2f_crossings).sum();
+        assert_eq!(count, expect);
+    }
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        let (db, grid) = routed();
+        let svg = congestion_svg(&db, &grid, Tier::Memory);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), grid.nx * grid.ny);
+        assert!(svg.contains("<title>memory die"));
+    }
+}

@@ -1,0 +1,969 @@
+//! Congestion-driven multi-source A* maze routing with MLS policies.
+//!
+//! Each net is routed sink-by-sink (nearest first): every search starts
+//! from the net's whole partial tree and ends at one sink's grid node, so
+//! the result is a Steiner-ish tree. Edge costs combine a per-layer base
+//! cost (long nets drift to the thick upper metals), via and F2F pad
+//! costs, and a congestion multiplier that turns into a steep overflow
+//! penalty past capacity. A rip-up-and-reroute pass re-spreads the nets
+//! that ended up on over-capacity edges.
+//!
+//! The router also exposes *detached what-if routing*
+//! ([`Router::what_if`]): re-route one net with MLS forced on or off
+//! without touching committed state. That is the "iterative STA"
+//! primitive the paper calls computationally prohibitive at full scale —
+//! and the label oracle for GNN-MLS training.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use gnnmls_netlist::tech::{F2fParams, TechConfig};
+use gnnmls_netlist::{NetId, Netlist, Tier};
+use gnnmls_phys::{net_hpwl_um, Placement};
+
+use crate::db::{NetRoute, RouteDb, RouteSummary};
+use crate::grid::RoutingGrid;
+use crate::policy::{MlsPolicy, SotaShareMap};
+use crate::tree::{RouteTree, RouteTreeBuilder};
+
+/// Router parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteConfig {
+    /// Desired g-cells across the die width.
+    pub target_gcells: usize,
+    /// Fraction of the logic die's top-metal tracks consumed by the PDN.
+    pub pdn_top_util_logic: f64,
+    /// Fraction of the memory die's top-metal tracks consumed by the PDN.
+    pub pdn_top_util_memory: f64,
+    /// Cost of an ordinary inter-layer via.
+    pub via_cost: f64,
+    /// Cost of an F2F bond crossing (before congestion).
+    pub f2f_cost: f64,
+    /// Congestion multiplier strength below capacity.
+    pub congestion_weight: f64,
+    /// Multiplier applied per unit of overflow past capacity.
+    pub overflow_penalty: f64,
+    /// Rip-up-and-reroute rounds after the initial pass.
+    pub ripup_rounds: usize,
+    /// A* expansion budget per sink before falling back to pattern
+    /// routing.
+    pub max_expansions: usize,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        Self {
+            target_gcells: 48,
+            pdn_top_util_logic: 0.45,
+            pdn_top_util_memory: 0.15,
+            via_cost: 1.2,
+            f2f_cost: 1.5,
+            congestion_weight: 3.0,
+            overflow_penalty: 12.0,
+            ripup_rounds: 1,
+            max_expansions: 400_000,
+        }
+    }
+}
+
+/// Errors raised while setting up routing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The placement does not cover every cell of the netlist.
+    PlacementMismatch {
+        /// Cells in the netlist.
+        cells: usize,
+        /// Locations in the placement.
+        locations: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::PlacementMismatch { cells, locations } => {
+                write!(f, "placement has {locations} locations for {cells} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Per-net MLS override used by what-if routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MlsOverride {
+    /// Follow the router's global policy.
+    UsePolicy,
+    /// Force-allow this net to borrow the other die's metals anywhere.
+    Allow,
+    /// Force-confine this net to its home die.
+    Deny,
+}
+
+#[derive(Debug, Default)]
+struct Scratch {
+    dist: Vec<f32>,
+    came: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0.0);
+            self.came.resize(n, u32::MAX);
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn seen(&self, node: u32) -> bool {
+        self.stamp[node as usize] == self.epoch
+    }
+
+    #[inline]
+    fn set(&mut self, node: u32, d: f32, from: u32) {
+        self.dist[node as usize] = d;
+        self.came[node as usize] = from;
+        self.stamp[node as usize] = self.epoch;
+    }
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    f: f32,
+    g: f32,
+    node: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f, tie-broken by node id for determinism.
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// The stateful router.
+pub struct Router<'a> {
+    netlist: &'a Netlist,
+    placement: &'a Placement,
+    grid: RoutingGrid,
+    f2f: F2fParams,
+    policy: MlsPolicy,
+    share: Option<SotaShareMap>,
+    cfg: RouteConfig,
+    /// Base wire cost per g-cell step, per z.
+    layer_cost: Vec<f32>,
+    min_wire_cost: f32,
+    usage_h: Vec<u16>,
+    usage_v: Vec<u16>,
+    usage_f2f: Vec<u16>,
+    routes: Vec<Option<NetRoute>>,
+    home: Vec<Option<Tier>>,
+    congestion_scale: f64,
+    scratch: Scratch,
+}
+
+impl<'a> Router<'a> {
+    /// Builds a router for a placed design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::PlacementMismatch`] if the placement is
+    /// missing cell locations.
+    pub fn new(
+        netlist: &'a Netlist,
+        placement: &'a Placement,
+        tech: &TechConfig,
+        policy: MlsPolicy,
+        cfg: RouteConfig,
+    ) -> Result<Self, RouteError> {
+        if placement.locations().len() < netlist.cell_count() {
+            return Err(RouteError::PlacementMismatch {
+                cells: netlist.cell_count(),
+                locations: placement.locations().len(),
+            });
+        }
+        let grid = RoutingGrid::build(
+            placement.floorplan(),
+            tech,
+            cfg.target_gcells,
+            cfg.pdn_top_util_logic,
+            cfg.pdn_top_util_memory,
+        );
+        let share = if policy.needs_share_map() {
+            let threshold = match policy {
+                MlsPolicy::SotaRegionSharing { threshold } => threshold,
+                _ => unreachable!(),
+            };
+            Some(SotaShareMap::compute(netlist, placement, &grid, threshold))
+        } else {
+            None
+        };
+        let layer_cost: Vec<f32> = grid
+            .layers
+            .iter()
+            .map(|l| (grid.gcell_um * (1.0 + 600.0 * l.r_kohm_per_um + 0.3 * l.c_ff_per_um)) as f32)
+            .collect();
+        let min_wire_cost = layer_cost.iter().copied().fold(f32::MAX, f32::min);
+        let home: Vec<Option<Tier>> = netlist.net_ids().map(|n| netlist.net_tier(n)).collect();
+        let nzyx = grid.node_count();
+        Ok(Self {
+            netlist,
+            placement,
+            f2f: tech.f2f.clone(),
+            policy,
+            share,
+            layer_cost,
+            min_wire_cost,
+            usage_h: vec![0; nzyx],
+            usage_v: vec![0; nzyx],
+            usage_f2f: vec![0; grid.nx * grid.ny],
+            routes: vec![None; netlist.net_count()],
+            home,
+            congestion_scale: 1.0,
+            scratch: Scratch::default(),
+            grid,
+            cfg,
+        })
+    }
+
+    /// The routing grid.
+    #[inline]
+    pub fn grid(&self) -> &RoutingGrid {
+        &self.grid
+    }
+
+    /// The SOTA share map, if the policy computed one.
+    #[inline]
+    pub fn share_map(&self) -> Option<&SotaShareMap> {
+        self.share.as_ref()
+    }
+
+    /// Routes every net, then runs the configured rip-up rounds.
+    pub fn route_all(&mut self) {
+        let mut order: Vec<NetId> = self.netlist.net_ids().collect();
+        order.sort_by(|&a, &b| {
+            net_hpwl_um(self.netlist, self.placement, a)
+                .total_cmp(&net_hpwl_um(self.netlist, self.placement, b))
+                .then_with(|| a.cmp(&b))
+        });
+        for &net in &order {
+            let r = self.route_net(net, MlsOverride::UsePolicy, true);
+            self.routes[net.index()] = Some(r);
+        }
+        for _ in 0..self.cfg.ripup_rounds {
+            self.congestion_scale *= 2.0;
+            let victims: Vec<NetId> = order
+                .iter()
+                .copied()
+                .filter(|&n| self.tree_overflows(&self.routes[n.index()].as_ref().unwrap().tree))
+                .collect();
+            if victims.is_empty() {
+                break;
+            }
+            for &net in &victims {
+                self.rip_up(net);
+            }
+            for &net in &victims {
+                let r = self.route_net(net, MlsOverride::UsePolicy, true);
+                self.routes[net.index()] = Some(r);
+            }
+        }
+        // Final overflow flags against settled usage.
+        for net in self.netlist.net_ids() {
+            let of = self.tree_overflows(&self.routes[net.index()].as_ref().unwrap().tree);
+            self.routes[net.index()].as_mut().unwrap().overflowed = of;
+        }
+    }
+
+    /// Re-routes one net with a forced MLS decision, committing the result.
+    pub fn commit_reroute(&mut self, net: NetId, ov: MlsOverride) {
+        self.rip_up(net);
+        let r = self.route_net(net, ov, true);
+        self.routes[net.index()] = Some(r);
+    }
+
+    /// Detached what-if: the route this net would get under `ov`, leaving
+    /// all committed state untouched. This is the iterative-STA primitive
+    /// (disconnect → re-route → re-extract) used by the label oracle.
+    pub fn what_if(&mut self, net: NetId, ov: MlsOverride) -> NetRoute {
+        let saved = self.routes[net.index()].take();
+        if let Some(r) = &saved {
+            self.apply_usage(&r.tree, -1);
+        }
+        let cand = self.route_net(net, ov, false);
+        if let Some(r) = &saved {
+            self.apply_usage(&r.tree, 1);
+        }
+        self.routes[net.index()] = saved;
+        cand
+    }
+
+    /// Snapshot of all routes plus summary metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Router::route_all`].
+    pub fn db(&self) -> RouteDb {
+        let nets: Vec<NetRoute> = self
+            .routes
+            .iter()
+            .map(|r| r.clone().expect("route_all must run before db()"))
+            .collect();
+        let summary = self.summary(&nets);
+        RouteDb { nets, summary }
+    }
+
+    fn summary(&self, nets: &[NetRoute]) -> RouteSummary {
+        let total_wl_um: f64 = nets.iter().map(|r| r.wirelength_um).sum();
+        let (nx, ny) = (self.grid.nx, self.grid.ny);
+        let mut layer_utilization = Vec::with_capacity(self.grid.nz());
+        for (z, layer) in self.grid.layers.iter().enumerate() {
+            let (mut used, mut cap) = (0u64, 0u64);
+            for y in 0..ny {
+                for x in 0..nx {
+                    let idx = (z * ny + y) * nx + x;
+                    if x + 1 < nx {
+                        used += u64::from(self.usage_h[idx]);
+                        cap += u64::from(layer.capacity);
+                    }
+                    if y + 1 < ny {
+                        used += u64::from(self.usage_v[idx]);
+                        cap += u64::from(layer.capacity);
+                    }
+                }
+            }
+            layer_utilization.push(if cap == 0 {
+                0.0
+            } else {
+                used as f64 / cap as f64
+            });
+        }
+        let pads: u64 = self.usage_f2f.iter().map(|&u| u64::from(u)).sum();
+        let pad_cap = (nx * ny) as u64 * u64::from(self.grid.f2f_capacity);
+        RouteSummary {
+            total_wirelength_m: total_wl_um / 1.0e6,
+            mls_net_count: nets.iter().filter(|r| r.is_mls).count(),
+            f2f_pads: pads as usize,
+            overflowed_nets: nets.iter().filter(|r| r.overflowed).count(),
+            layer_utilization,
+            f2f_utilization: if pad_cap == 0 {
+                0.0
+            } else {
+                pads as f64 / pad_cap as f64
+            },
+        }
+    }
+
+    // ---- per-net routing ----
+
+    fn pin_node(&self, pin: gnnmls_netlist::PinId) -> u32 {
+        let cell = self.netlist.pin(pin).cell;
+        let loc = self.placement.loc(cell);
+        let (gx, gy) = self.grid.gcell_of(loc.x, loc.y);
+        let z = self.grid.pin_z(self.netlist.cell(cell).tier);
+        self.grid.node(gx, gy, z)
+    }
+
+    fn route_net(&mut self, net: NetId, ov: MlsOverride, commit: bool) -> NetRoute {
+        let driver = self.netlist.driver(net);
+        let root = self.pin_node(driver);
+        let mut builder = RouteTreeBuilder::new(&self.grid, &self.f2f, root);
+
+        // Sinks nearest-first (by g-cell manhattan distance from the root).
+        let (rx, ry, rz) = self.grid.coords(root);
+        let mut sinks: Vec<(usize, u32)> = self
+            .netlist
+            .sinks(net)
+            .iter()
+            .map(|&p| {
+                let n = self.pin_node(p);
+                let (x, y, z) = self.grid.coords(n);
+                (x.abs_diff(rx) + y.abs_diff(ry) + z.abs_diff(rz), n)
+            })
+            .collect();
+        let sink_order: Vec<u32> = {
+            let mut idx: Vec<usize> = (0..sinks.len()).collect();
+            idx.sort_by_key(|&i| (sinks[i].0, sinks[i].1));
+            idx.iter().map(|&i| sinks[i].1).collect()
+        };
+
+        for &target in &sink_order {
+            if builder.contains(target) {
+                continue;
+            }
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let path = self.astar(&mut scratch, net, ov, builder.grid_nodes(), target);
+            self.scratch = scratch;
+            let path = path.unwrap_or_else(|| self.fallback_path(&builder, target, net, ov));
+            builder.add_path(&path);
+        }
+        // Mark sinks in the netlist's sink order.
+        for (_, n) in &mut sinks {
+            builder.mark_sink(*n);
+        }
+        // Restore netlist order for the elmore vector.
+        let tree = {
+            let mut t = builder.finish();
+            // sink_node was pushed in `sinks` (netlist) order already.
+            t.sink_node.truncate(self.netlist.sinks(net).len());
+            t
+        };
+
+        if commit {
+            self.apply_usage(&tree, 1);
+        }
+
+        let home = self.home[net.index()];
+        let sink_caps: Vec<f64> = self
+            .netlist
+            .sinks(net)
+            .iter()
+            .map(|&p| self.netlist.pin(p).cap_ff)
+            .collect();
+        let sink_elmore_ps = tree.elmore_to_sinks_ps(&sink_caps);
+        let total_cap_ff = tree.wire_cap_ff() + sink_caps.iter().sum::<f64>();
+        NetRoute {
+            net,
+            wirelength_um: tree.wirelength_um(&self.grid),
+            f2f_crossings: tree.f2f_crossings(),
+            is_mls: home.is_some_and(|h| tree.uses_other_tier(&self.grid, h)),
+            total_cap_ff,
+            sink_elmore_ps,
+            overflowed: false,
+            tree,
+        }
+    }
+
+    /// Multi-source A* from the tree to one sink.
+    fn astar(
+        &self,
+        scratch: &mut Scratch,
+        net: NetId,
+        ov: MlsOverride,
+        sources: &[u32],
+        target: u32,
+    ) -> Option<Vec<u32>> {
+        scratch.ensure(self.grid.node_count());
+        let (tx, ty, tz) = self.grid.coords(target);
+        let h = |x: usize, y: usize, z: usize| -> f32 {
+            (x.abs_diff(tx) + y.abs_diff(ty)) as f32 * self.min_wire_cost
+                + z.abs_diff(tz) as f32 * self.cfg.via_cost as f32
+        };
+        let mut heap = BinaryHeap::new();
+        for &s in sources {
+            let (x, y, z) = self.grid.coords(s);
+            scratch.set(s, 0.0, u32::MAX);
+            heap.push(HeapEntry {
+                f: h(x, y, z),
+                g: 0.0,
+                node: s,
+            });
+        }
+
+        let mut expansions = 0usize;
+        while let Some(HeapEntry { g, node, .. }) = heap.pop() {
+            if g > scratch.dist[node as usize] + 1e-6 && scratch.seen(node) {
+                continue;
+            }
+            if node == target {
+                return Some(self.backtrack(scratch, node));
+            }
+            expansions += 1;
+            if expansions > self.cfg.max_expansions {
+                return None;
+            }
+            let (x, y, z) = self.grid.coords(node);
+            let layer = &self.grid.layers[z];
+
+            let consider = |nx_: usize,
+                            ny_: usize,
+                            nz_: usize,
+                            cost: f32,
+                            scratch: &mut Scratch,
+                            heap: &mut BinaryHeap<HeapEntry>| {
+                if !self.allowed(net, ov, nx_, ny_, nz_) {
+                    return;
+                }
+                let nnode = self.grid.node(nx_, ny_, nz_);
+                let ng = g + cost;
+                if !scratch.seen(nnode) || ng < scratch.dist[nnode as usize] - 1e-6 {
+                    scratch.set(nnode, ng, node);
+                    heap.push(HeapEntry {
+                        f: ng + h(nx_, ny_, nz_),
+                        g: ng,
+                        node: nnode,
+                    });
+                }
+            };
+
+            // In-layer moves along the preferred direction.
+            match layer.dir {
+                gnnmls_netlist::tech::RouteDir::Horizontal => {
+                    if x + 1 < self.grid.nx {
+                        let c = self.wire_cost(z, x, y, true);
+                        consider(x + 1, y, z, c, scratch, &mut heap);
+                    }
+                    if x > 0 {
+                        let c = self.wire_cost(z, x - 1, y, true);
+                        consider(x - 1, y, z, c, scratch, &mut heap);
+                    }
+                }
+                gnnmls_netlist::tech::RouteDir::Vertical => {
+                    if y + 1 < self.grid.ny {
+                        let c = self.wire_cost(z, x, y, false);
+                        consider(x, y + 1, z, c, scratch, &mut heap);
+                    }
+                    if y > 0 {
+                        let c = self.wire_cost(z, x, y - 1, false);
+                        consider(x, y - 1, z, c, scratch, &mut heap);
+                    }
+                }
+            }
+            // Via moves.
+            if z + 1 < self.grid.nz() {
+                let c = self.via_cost(z, x, y);
+                consider(x, y, z + 1, c, scratch, &mut heap);
+            }
+            if z > 0 {
+                let c = self.via_cost(z - 1, x, y);
+                consider(x, y, z - 1, c, scratch, &mut heap);
+            }
+        }
+        None
+    }
+
+    fn backtrack(&self, scratch: &Scratch, target: u32) -> Vec<u32> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while scratch.came[cur as usize] != u32::MAX {
+            cur = scratch.came[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Own-die L-shaped pattern route used when A* exhausts its budget.
+    fn fallback_path(
+        &self,
+        builder: &RouteTreeBuilder<'_>,
+        target: u32,
+        net: NetId,
+        ov: MlsOverride,
+    ) -> Vec<u32> {
+        let _ = (net, ov);
+        let root = builder.grid_nodes()[0];
+        let (x0, y0, z0) = self.grid.coords(root);
+        let (x1, y1, z1) = self.grid.coords(target);
+        let from_tier = self.grid.tier_of_z(z0);
+        // Safe H/V layers near the from-die's pin layer (never confiscated
+        // by region sharing, which only takes bond-adjacent metals).
+        let (zr0, zr1) = self.grid.tier_z_range(from_tier);
+        let zs: Vec<usize> = if from_tier == Tier::Logic {
+            (zr0..=zr1).collect()
+        } else {
+            (zr0..=zr1).rev().collect()
+        };
+        let hz = *zs
+            .iter()
+            .find(|&&z| self.grid.layers[z].dir == gnnmls_netlist::tech::RouteDir::Horizontal)
+            .expect("every stack has a horizontal layer");
+        let vz = *zs
+            .iter()
+            .find(|&&z| self.grid.layers[z].dir == gnnmls_netlist::tech::RouteDir::Vertical)
+            .expect("every stack has a vertical layer");
+
+        let mut path = vec![root];
+        let mut cur = (x0, y0, z0);
+        let mut push = |path: &mut Vec<u32>, p: (usize, usize, usize)| {
+            path.push(self.grid.node(p.0, p.1, p.2));
+        };
+        let step_z =
+            |path: &mut Vec<u32>,
+             cur: &mut (usize, usize, usize),
+             to_z: usize,
+             push: &mut dyn FnMut(&mut Vec<u32>, (usize, usize, usize))| {
+                while cur.2 != to_z {
+                    cur.2 = if cur.2 < to_z { cur.2 + 1 } else { cur.2 - 1 };
+                    push(path, *cur);
+                }
+            };
+        // Horizontal leg.
+        step_z(&mut path, &mut cur, hz, &mut push);
+        while cur.0 != x1 {
+            cur.0 = if cur.0 < x1 { cur.0 + 1 } else { cur.0 - 1 };
+            push(&mut path, cur);
+        }
+        // Vertical leg.
+        step_z(&mut path, &mut cur, vz, &mut push);
+        while cur.1 != y1 {
+            cur.1 = if cur.1 < y1 { cur.1 + 1 } else { cur.1 - 1 };
+            push(&mut path, cur);
+        }
+        // Final via stack to the sink (crosses the bond for 3D nets).
+        step_z(&mut path, &mut cur, z1, &mut push);
+        path
+    }
+
+    // ---- costs, capacity, access ----
+
+    #[inline]
+    fn congestion_factor(&self, usage: u16, cap: u16) -> f32 {
+        let cap = cap.max(1);
+        if usage < cap {
+            let r = f32::from(usage) / f32::from(cap);
+            1.0 + (self.cfg.congestion_weight * self.congestion_scale) as f32 * r * r * r * r
+        } else {
+            (self.cfg.overflow_penalty * self.congestion_scale) as f32 * f32::from(usage - cap + 2)
+        }
+    }
+
+    #[inline]
+    fn edge_idx(&self, z: usize, x: usize, y: usize) -> usize {
+        (z * self.grid.ny + y) * self.grid.nx + x
+    }
+
+    /// Cost of the wire edge leaving `(x, y, z)`; for horizontal layers
+    /// `x` is the min-x endpoint, for vertical layers `y` is min-y.
+    #[inline]
+    fn wire_cost(&self, z: usize, x_min: usize, y_min: usize, horizontal: bool) -> f32 {
+        let idx = self.edge_idx(z, x_min, y_min);
+        let usage = if horizontal {
+            self.usage_h[idx]
+        } else {
+            self.usage_v[idx]
+        };
+        self.layer_cost[z] * self.congestion_factor(usage, self.grid.layers[z].capacity)
+    }
+
+    #[inline]
+    fn via_cost(&self, z_low: usize, x: usize, y: usize) -> f32 {
+        if self.grid.is_f2f_via(z_low) {
+            let usage = self.usage_f2f[y * self.grid.nx + x];
+            self.cfg.f2f_cost as f32 * self.congestion_factor(usage, self.grid.f2f_capacity)
+        } else {
+            self.cfg.via_cost as f32
+        }
+    }
+
+    fn allowed(&self, net: NetId, ov: MlsOverride, x: usize, y: usize, z: usize) -> bool {
+        let Some(home) = self.home[net.index()] else {
+            return true;
+        };
+        let z_tier = self.grid.tier_of_z(z);
+        match ov {
+            MlsOverride::Allow => true,
+            MlsOverride::Deny => z_tier == home,
+            MlsOverride::UsePolicy => match &self.policy {
+                MlsPolicy::Disabled => z_tier == home,
+                MlsPolicy::PerNet(flags) => z_tier == home || flags[net.index()],
+                MlsPolicy::SotaRegionSharing { .. } => {
+                    let map = self.share.as_ref().expect("share map exists for SOTA");
+                    let donor_top = |tier: Tier| -> [usize; 2] {
+                        let ll = self.grid.logic_layers;
+                        match tier {
+                            Tier::Logic => [ll - 1, ll.saturating_sub(2)],
+                            Tier::Memory => [ll, (ll + 1).min(self.grid.nz() - 1)],
+                        }
+                    };
+                    if z_tier == home {
+                        match map.shared_to(x, y) {
+                            Some(b) if b != home => !donor_top(home).contains(&z),
+                            _ => true,
+                        }
+                    } else {
+                        map.shared_to(x, y) == Some(home) && donor_top(z_tier).contains(&z)
+                    }
+                }
+            },
+        }
+    }
+
+    fn apply_usage(&mut self, tree: &RouteTree, delta: i32) {
+        for i in 1..tree.nodes.len() {
+            let a = tree.nodes[tree.parent[i] as usize];
+            let b = tree.nodes[i];
+            let (xa, ya, za) = self.grid.coords(a);
+            let (xb, yb, zb) = self.grid.coords(b);
+            if za == zb {
+                if ya == yb {
+                    let idx = self.edge_idx(za, xa.min(xb), ya);
+                    self.usage_h[idx] = add_u16(self.usage_h[idx], delta);
+                } else {
+                    let idx = self.edge_idx(za, xa, ya.min(yb));
+                    self.usage_v[idx] = add_u16(self.usage_v[idx], delta);
+                }
+            } else if self.grid.is_f2f_via(za.min(zb)) {
+                let idx = ya * self.grid.nx + xa;
+                self.usage_f2f[idx] = add_u16(self.usage_f2f[idx], delta);
+            }
+        }
+    }
+
+    fn rip_up(&mut self, net: NetId) {
+        if let Some(r) = self.routes[net.index()].take() {
+            self.apply_usage(&r.tree, -1);
+        }
+    }
+
+    fn tree_overflows(&self, tree: &RouteTree) -> bool {
+        for i in 1..tree.nodes.len() {
+            let a = tree.nodes[tree.parent[i] as usize];
+            let b = tree.nodes[i];
+            let (xa, ya, za) = self.grid.coords(a);
+            let (xb, yb, zb) = self.grid.coords(b);
+            if za == zb {
+                let cap = self.grid.layers[za].capacity;
+                let u = if ya == yb {
+                    self.usage_h[self.edge_idx(za, xa.min(xb), ya)]
+                } else {
+                    self.usage_v[self.edge_idx(za, xa, ya.min(yb))]
+                };
+                if u > cap {
+                    return true;
+                }
+            } else if self.grid.is_f2f_via(za.min(zb))
+                && self.usage_f2f[ya * self.grid.nx + xa] > self.grid.f2f_capacity
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn add_u16(v: u16, delta: i32) -> u16 {
+    (i32::from(v) + delta).max(0) as u16
+}
+
+/// One-shot convenience: route a placed design under a policy.
+///
+/// Returns the route database and the grid it was routed on.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if the placement does not match the netlist.
+pub fn route_design(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &TechConfig,
+    policy: MlsPolicy,
+    cfg: RouteConfig,
+) -> Result<(RouteDb, RoutingGrid), RouteError> {
+    let mut router = Router::new(netlist, placement, tech, policy, cfg)?;
+    router.route_all();
+    let db = router.db();
+    Ok((db, router.grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_phys::{place, PlaceConfig};
+
+    fn routed(policy: MlsPolicy) -> (gnnmls_netlist::Netlist, RouteDb, RoutingGrid) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, grid) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            policy,
+            RouteConfig {
+                target_gcells: 24,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        (d.netlist, db, grid)
+    }
+
+    #[test]
+    fn every_net_gets_a_route_with_all_sinks() {
+        let (netlist, db, _) = routed(MlsPolicy::Disabled);
+        assert_eq!(db.nets.len(), netlist.net_count());
+        for net in netlist.net_ids() {
+            let r = db.route(net);
+            assert_eq!(r.tree.sink_node.len(), netlist.sinks(net).len());
+            assert_eq!(r.sink_elmore_ps.len(), netlist.sinks(net).len());
+            assert!(r.total_cap_ff > 0.0, "sink pins always load the driver");
+            for &d in &r.sink_elmore_ps {
+                assert!(d.is_finite() && d >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_mls_policy_never_produces_mls_nets() {
+        let (netlist, db, grid) = routed(MlsPolicy::Disabled);
+        assert_eq!(db.summary.mls_net_count, 0);
+        // 2D nets stay on their die.
+        for net in netlist.net_ids() {
+            if let Some(home) = netlist.net_tier(net) {
+                assert!(
+                    !db.route(net).tree.uses_other_tier(&grid, home),
+                    "net {net} escaped its die under Disabled"
+                );
+            }
+        }
+        // 3D nets still cross.
+        let crossing = db.bond_crossing_nets().count();
+        assert!(crossing > 0, "macro links must cross the bond");
+    }
+
+    #[test]
+    fn sota_produces_mls_nets() {
+        let (_, db, _) = routed(MlsPolicy::sota());
+        assert!(
+            db.summary.mls_net_count > 0,
+            "region sharing should push some nets across"
+        );
+    }
+
+    #[test]
+    fn per_net_policy_limits_mls_to_selected_nets() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let netlist = &d.netlist;
+        let p = place(netlist, &PlaceConfig::default()).unwrap();
+        // Select the 20 longest 2D nets.
+        let mut two_d: Vec<NetId> = netlist
+            .net_ids()
+            .filter(|&n| netlist.net_tier(n).is_some())
+            .collect();
+        two_d.sort_by(|&a, &b| net_hpwl_um(netlist, &p, b).total_cmp(&net_hpwl_um(netlist, &p, a)));
+        let selected: Vec<NetId> = two_d.iter().copied().take(20).collect();
+        let policy = MlsPolicy::per_net_from(netlist, selected.iter().copied());
+        let (db, _) = route_design(netlist, &p, &tech, policy, RouteConfig::default()).unwrap();
+        for r in db.mls_nets() {
+            assert!(
+                selected.contains(&r.net),
+                "non-selected net {} used MLS",
+                r.net
+            );
+        }
+    }
+
+    #[test]
+    fn what_if_leaves_state_untouched() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let mut router = Router::new(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        router.route_all();
+        let before = router.db();
+        // What-if every 2D net with MLS allowed.
+        let nets: Vec<NetId> = d
+            .netlist
+            .net_ids()
+            .filter(|&n| d.netlist.net_tier(n).is_some())
+            .take(50)
+            .collect();
+        for n in nets {
+            let _ = router.what_if(n, MlsOverride::Allow);
+        }
+        let after = router.db();
+        assert_eq!(before.summary, after.summary);
+        for (a, b) in before.nets.iter().zip(after.nets.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn commit_reroute_changes_the_route() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let mut router = Router::new(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        router.route_all();
+        // Find a 2D logic net that would cross under Allow.
+        let candidate = d.netlist.net_ids().find(|&n| {
+            d.netlist.net_tier(n) == Some(Tier::Logic)
+                && router.what_if(n, MlsOverride::Allow).is_mls
+        });
+        if let Some(n) = candidate {
+            router.commit_reroute(n, MlsOverride::Allow);
+            assert!(router.db().route(n).is_mls);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (_, a, _) = routed(MlsPolicy::Disabled);
+        let (_, b, _) = routed(MlsPolicy::Disabled);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn summary_utilization_is_sane() {
+        let (_, db, grid) = routed(MlsPolicy::sota());
+        assert_eq!(db.summary.layer_utilization.len(), grid.nz());
+        for &u in &db.summary.layer_utilization {
+            assert!(u >= 0.0 && u.is_finite());
+        }
+        assert!(db.summary.total_wirelength_m > 0.0);
+        assert!(db.summary.f2f_utilization >= 0.0);
+    }
+
+    #[test]
+    fn placement_mismatch_is_reported() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let fp = gnnmls_phys::Floorplan {
+            width_um: 10.0,
+            height_um: 10.0,
+        };
+        let p = Placement::from_locations(vec![gnnmls_phys::place::Point::new(0.0, 0.0)], fp);
+        assert!(matches!(
+            Router::new(
+                &d.netlist,
+                &p,
+                &tech,
+                MlsPolicy::Disabled,
+                RouteConfig::default()
+            ),
+            Err(RouteError::PlacementMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,349 @@
+//! Route trees and Elmore-ready RC extraction.
+//!
+//! The router grows one tree per net: node 0 is the driver's grid node and
+//! every subsequent path attaches to an existing tree node. Each tree edge
+//! carries the R/C of the grid edge it traverses (wire segment, inter-layer
+//! via, or F2F bond pad), so Elmore delays fall out of two linear passes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::tech::{F2fParams, VIA_C_FF, VIA_R_KOHM};
+use gnnmls_netlist::Tier;
+
+use crate::grid::RoutingGrid;
+
+/// A routed net's tree over grid nodes.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouteTree {
+    /// Grid node per tree node; index 0 is the root (driver).
+    pub nodes: Vec<u32>,
+    /// Parent tree-node index (`parent[0] == 0`).
+    pub parent: Vec<u32>,
+    /// Resistance of the edge from the parent, kΩ.
+    pub edge_r: Vec<f64>,
+    /// Capacitance of the edge from the parent, fF.
+    pub edge_c: Vec<f64>,
+    /// Whether the edge from the parent crosses the F2F bond.
+    pub edge_f2f: Vec<bool>,
+    /// Tree-node index per sink, aligned with `netlist.sinks(net)`.
+    pub sink_node: Vec<u32>,
+}
+
+impl RouteTree {
+    /// Total wire + via + pad capacitance of the tree, fF.
+    pub fn wire_cap_ff(&self) -> f64 {
+        self.edge_c.iter().sum()
+    }
+
+    /// Number of F2F bond crossings.
+    pub fn f2f_crossings(&self) -> u32 {
+        self.edge_f2f.iter().filter(|&&b| b).count() as u32
+    }
+
+    /// Routed wirelength in µm (in-layer edges only).
+    pub fn wirelength_um(&self, grid: &RoutingGrid) -> f64 {
+        let mut wl = 0.0;
+        for i in 1..self.nodes.len() {
+            let (_, _, za) = grid.coords(self.nodes[i]);
+            let (_, _, zb) = grid.coords(self.nodes[self.parent[i] as usize]);
+            if za == zb {
+                wl += grid.gcell_um;
+            }
+        }
+        wl
+    }
+
+    /// Bitmask of die-local metal indices used per tier (bit `m-1` set if
+    /// the tree touches `Mm` of that tier): `(logic_mask, memory_mask)`.
+    pub fn used_layers(&self, grid: &RoutingGrid) -> (u16, u16) {
+        let mut masks = [0u16; 2];
+        for &n in &self.nodes {
+            let (_, _, z) = grid.coords(n);
+            let layer = &grid.layers[z];
+            masks[layer.tier.index()] |= 1 << (layer.metal - 1);
+        }
+        (masks[0], masks[1])
+    }
+
+    /// Whether the tree occupies any z-slice outside `home`'s die.
+    pub fn uses_other_tier(&self, grid: &RoutingGrid, home: Tier) -> bool {
+        self.nodes.iter().any(|&n| {
+            let (_, _, z) = grid.coords(n);
+            grid.tier_of_z(z) != home
+        })
+    }
+
+    /// Elmore delay from the driver output to each sink, ps.
+    ///
+    /// `sink_pin_cap_ff[i]` is the pin capacitance of sink `i`. Edge
+    /// capacitance is split half/half between its endpoints (π-model).
+    /// The returned delays exclude the driver's own drive resistance; the
+    /// timer adds `R_drv × total_cap` separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink_pin_cap_ff.len() != self.sink_node.len()`.
+    pub fn elmore_to_sinks_ps(&self, sink_pin_cap_ff: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            sink_pin_cap_ff.len(),
+            self.sink_node.len(),
+            "one pin cap per sink"
+        );
+        let n = self.nodes.len();
+        if n == 0 {
+            return vec![0.0; sink_pin_cap_ff.len()];
+        }
+        // Node capacitance: half of each incident edge + sink pin caps.
+        let mut node_cap = vec![0.0f64; n];
+        for i in 1..n {
+            node_cap[i] += self.edge_c[i] / 2.0;
+            node_cap[self.parent[i] as usize] += self.edge_c[i] / 2.0;
+        }
+        for (s, &cap) in self.sink_node.iter().zip(sink_pin_cap_ff) {
+            node_cap[*s as usize] += cap;
+        }
+        // Subtree capacitance (children always have larger indices).
+        let mut sub = node_cap;
+        for i in (1..n).rev() {
+            let p = self.parent[i] as usize;
+            let c = sub[i];
+            sub[p] += c;
+        }
+        // Elmore accumulation root-down.
+        let mut delay = vec![0.0f64; n];
+        for i in 1..n {
+            let p = self.parent[i] as usize;
+            delay[i] = delay[p] + self.edge_r[i] * sub[i];
+        }
+        self.sink_node.iter().map(|&s| delay[s as usize]).collect()
+    }
+}
+
+/// Incremental builder used by the router.
+#[derive(Debug)]
+pub struct RouteTreeBuilder<'a> {
+    grid: &'a RoutingGrid,
+    f2f: &'a F2fParams,
+    tree: RouteTree,
+    index_of: HashMap<u32, u32>,
+}
+
+impl<'a> RouteTreeBuilder<'a> {
+    /// Starts a tree rooted at the driver's grid node.
+    pub fn new(grid: &'a RoutingGrid, f2f: &'a F2fParams, root: u32) -> Self {
+        let tree = RouteTree {
+            nodes: vec![root],
+            parent: vec![0],
+            edge_r: vec![0.0],
+            edge_c: vec![0.0],
+            edge_f2f: vec![false],
+            sink_node: Vec::new(),
+        };
+        let mut index_of = HashMap::new();
+        index_of.insert(root, 0);
+        Self {
+            grid,
+            f2f,
+            tree,
+            index_of,
+        }
+    }
+
+    /// Whether a grid node is already part of the tree.
+    pub fn contains(&self, grid_node: u32) -> bool {
+        self.index_of.contains_key(&grid_node)
+    }
+
+    /// All grid nodes currently in the tree (A* source set).
+    pub fn grid_nodes(&self) -> &[u32] {
+        &self.tree.nodes
+    }
+
+    /// Attaches a path whose first element is an existing tree node and
+    /// whose remaining elements are consecutive grid neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path[0]` is not in the tree or consecutive elements are
+    /// not grid neighbors.
+    pub fn add_path(&mut self, path: &[u32]) {
+        assert!(
+            self.contains(path[0]),
+            "path must start at an existing tree node"
+        );
+        let mut prev_idx = self.index_of[&path[0]];
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if let Some(&existing) = self.index_of.get(&b) {
+                prev_idx = existing;
+                continue;
+            }
+            let (r, c, f2f) = self.edge_rc(a, b);
+            let idx = self.tree.nodes.len() as u32;
+            self.tree.nodes.push(b);
+            self.tree.parent.push(prev_idx);
+            self.tree.edge_r.push(r);
+            self.tree.edge_c.push(c);
+            self.tree.edge_f2f.push(f2f);
+            self.index_of.insert(b, idx);
+            prev_idx = idx;
+        }
+    }
+
+    /// Records a sink at a grid node already in the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not in the tree.
+    pub fn mark_sink(&mut self, grid_node: u32) {
+        let idx = *self
+            .index_of
+            .get(&grid_node)
+            .expect("sink node must be routed before marking");
+        self.tree.sink_node.push(idx);
+    }
+
+    /// Finalizes the tree.
+    pub fn finish(self) -> RouteTree {
+        self.tree
+    }
+
+    /// R/C/F2F of the grid edge a→b.
+    fn edge_rc(&self, a: u32, b: u32) -> (f64, f64, bool) {
+        let (xa, ya, za) = self.grid.coords(a);
+        let (xb, yb, zb) = self.grid.coords(b);
+        if za == zb {
+            debug_assert!(xa.abs_diff(xb) + ya.abs_diff(yb) == 1, "grid neighbors");
+            let l = &self.grid.layers[za];
+            (
+                l.r_kohm_per_um * self.grid.gcell_um,
+                l.c_ff_per_um * self.grid.gcell_um,
+                false,
+            )
+        } else {
+            debug_assert!(xa == xb && ya == yb && za.abs_diff(zb) == 1, "via move");
+            if self.grid.is_f2f_via(za.min(zb)) {
+                (self.f2f.r_kohm, self.f2f.c_ff, true)
+            } else {
+                (VIA_R_KOHM, VIA_C_FF, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_phys::Floorplan;
+
+    fn grid() -> RoutingGrid {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let fp = Floorplan {
+            width_um: 80.0,
+            height_um: 80.0,
+        };
+        RoutingGrid::build(&fp, &tech, 16, 0.0, 0.0)
+    }
+
+    #[test]
+    fn straight_wire_elmore_matches_hand_calc() {
+        let g = grid();
+        let f2f = F2fParams::default();
+        let root = g.node(0, 0, 0);
+        let mut b = RouteTreeBuilder::new(&g, &f2f, root);
+        // Two M1 segments east.
+        let p = vec![root, g.node(1, 0, 0), g.node(2, 0, 0)];
+        b.add_path(&p);
+        b.mark_sink(g.node(2, 0, 0));
+        let t = b.finish();
+
+        let l = &g.layers[0];
+        let (r, c) = (l.r_kohm_per_um * g.gcell_um, l.c_ff_per_um * g.gcell_um);
+        let pin = 1.5;
+        let d = t.elmore_to_sinks_ps(&[pin])[0];
+        // Edge 1 sees c/2 (its far half) + c (edge 2) + pin; edge 2 sees
+        // c/2 + pin.
+        let expect = r * (c / 2.0 + c + pin) + r * (c / 2.0 + pin);
+        assert!((d - expect).abs() < 1e-9, "{d} vs {expect}");
+        assert!((t.wire_cap_ff() - 2.0 * c).abs() < 1e-12);
+        assert_eq!(t.f2f_crossings(), 0);
+        assert!((t.wirelength_um(&g) - 2.0 * g.gcell_um).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branching_tree_delays_are_per_sink() {
+        let g = grid();
+        let f2f = F2fParams::default();
+        let root = g.node(2, 2, 0);
+        let mut b = RouteTreeBuilder::new(&g, &f2f, root);
+        b.add_path(&[root, g.node(3, 2, 0), g.node(4, 2, 0)]);
+        b.add_path(&[g.node(3, 2, 0), g.node(3, 2, 1), g.node(3, 3, 1)]);
+        b.mark_sink(g.node(4, 2, 0));
+        b.mark_sink(g.node(3, 3, 1));
+        let t = b.finish();
+        let d = t.elmore_to_sinks_ps(&[1.0, 1.0]);
+        assert_eq!(d.len(), 2);
+        assert!(d[0] > 0.0 && d[1] > 0.0);
+        // The nearer branch point gives each sink a distinct delay.
+        assert_ne!(d[0], d[1]);
+    }
+
+    #[test]
+    fn f2f_crossing_is_detected_and_costed() {
+        let g = grid();
+        let f2f = F2fParams::default();
+        let bond_low = g.logic_layers - 1;
+        let root = g.node(0, 0, bond_low);
+        let mut b = RouteTreeBuilder::new(&g, &f2f, root);
+        b.add_path(&[root, g.node(0, 0, bond_low + 1)]);
+        b.mark_sink(g.node(0, 0, bond_low + 1));
+        let t = b.finish();
+        assert_eq!(t.f2f_crossings(), 1);
+        assert!((t.wire_cap_ff() - f2f.c_ff).abs() < 1e-12);
+        assert!(t.uses_other_tier(&g, Tier::Logic));
+        assert!(t.uses_other_tier(&g, Tier::Memory));
+        let (lm, mm) = t.used_layers(&g);
+        assert_eq!(lm, 1 << 5, "logic M6");
+        assert_eq!(mm, 1 << 5, "memory M6");
+        assert_eq!(t.wirelength_um(&g), 0.0, "vias add no lateral length");
+    }
+
+    #[test]
+    fn single_node_tree_has_zero_delay() {
+        let g = grid();
+        let f2f = F2fParams::default();
+        let root = g.node(1, 1, 0);
+        let mut b = RouteTreeBuilder::new(&g, &f2f, root);
+        b.mark_sink(root);
+        b.mark_sink(root);
+        let t = b.finish();
+        let d = t.elmore_to_sinks_ps(&[1.0, 2.0]);
+        assert_eq!(d, vec![0.0, 0.0]);
+        assert_eq!(t.wire_cap_ff(), 0.0);
+    }
+
+    #[test]
+    fn add_path_deduplicates_shared_prefixes() {
+        let g = grid();
+        let f2f = F2fParams::default();
+        let root = g.node(0, 0, 0);
+        let mut b = RouteTreeBuilder::new(&g, &f2f, root);
+        b.add_path(&[root, g.node(1, 0, 0), g.node(2, 0, 0)]);
+        let before = b.grid_nodes().len();
+        // Re-adding an already-present path must not duplicate nodes.
+        b.add_path(&[root, g.node(1, 0, 0), g.node(2, 0, 0)]);
+        assert_eq!(b.grid_nodes().len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "existing tree node")]
+    fn detached_path_panics() {
+        let g = grid();
+        let f2f = F2fParams::default();
+        let mut b = RouteTreeBuilder::new(&g, &f2f, g.node(0, 0, 0));
+        b.add_path(&[g.node(5, 5, 0), g.node(6, 5, 0)]);
+    }
+}

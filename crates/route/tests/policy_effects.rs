@@ -1,0 +1,153 @@
+//! Routing-policy effects that span modules: confiscation really removes
+//! capacity, rip-up really reduces overflow, and the fallback path is
+//! exercised under a starved expansion budget.
+
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::Tier;
+use gnnmls_phys::{place, PlaceConfig};
+use gnnmls_route::{route_design, MlsPolicy, RouteConfig, Router};
+
+fn setup() -> (gnnmls_netlist::Netlist, gnnmls_phys::Placement, TechConfig) {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let d = generate_maeri(&MaeriConfig::new(32, 4), &tech).unwrap();
+    let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+    (d.netlist, p, tech)
+}
+
+#[test]
+fn starved_expansion_budget_still_routes_everything() {
+    let (netlist, placement, tech) = setup();
+    let cfg = RouteConfig {
+        max_expansions: 10, // force the pattern-route fallback everywhere
+        ..RouteConfig::default()
+    };
+    let (db, _) = route_design(&netlist, &placement, &tech, MlsPolicy::Disabled, cfg).unwrap();
+    for net in netlist.net_ids() {
+        assert_eq!(
+            db.route(net).tree.sink_node.len(),
+            netlist.sinks(net).len(),
+            "fallback must still connect net {net}"
+        );
+    }
+    // Fallback ignores congestion, so overflow is expected — and must be
+    // *higher* than the maze router's.
+    let (maze, _) = route_design(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::Disabled,
+        RouteConfig::default(),
+    )
+    .unwrap();
+    assert!(db.summary.overflowed_nets >= maze.summary.overflowed_nets);
+}
+
+#[test]
+fn ripup_rounds_do_not_increase_overflow() {
+    let (netlist, placement, tech) = setup();
+    let run = |rounds: usize| {
+        let cfg = RouteConfig {
+            ripup_rounds: rounds,
+            target_gcells: 16, // tight grid: provoke congestion
+            ..RouteConfig::default()
+        };
+        route_design(&netlist, &placement, &tech, MlsPolicy::Disabled, cfg)
+            .unwrap()
+            .0
+            .summary
+            .overflowed_nets
+    };
+    let none = run(0);
+    let two = run(2);
+    assert!(
+        two <= none,
+        "ripup must help or at least not hurt: {two} vs {none}"
+    );
+}
+
+#[test]
+fn sota_confiscation_moves_wirelength_across_the_bond() {
+    let (netlist, placement, tech) = setup();
+    let (disabled, grid) = route_design(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::Disabled,
+        RouteConfig::default(),
+    )
+    .unwrap();
+    let (sota, grid2) = route_design(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::sota(),
+        RouteConfig::default(),
+    )
+    .unwrap();
+    // Under sharing, logic nets offload onto the memory die: its share of
+    // wirelength grows.
+    let mem_disabled = disabled.tier_wirelength_um(&grid, Tier::Memory);
+    let mem_sota = sota.tier_wirelength_um(&grid2, Tier::Memory);
+    assert!(
+        mem_sota > mem_disabled,
+        "memory-die wirelength should grow under SOTA: {mem_sota:.0} vs {mem_disabled:.0}"
+    );
+    assert!(sota.summary.mls_net_count > 0);
+    // F2F pads are consumed by both 3D nets and MLS crossings.
+    assert!(sota.summary.f2f_pads > disabled.summary.f2f_pads);
+}
+
+#[test]
+fn what_if_deny_matches_disabled_for_2d_nets() {
+    let (netlist, placement, tech) = setup();
+    let mut router = Router::new(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::Disabled,
+        RouteConfig::default(),
+    )
+    .unwrap();
+    router.route_all();
+    for net in netlist.net_ids().take(100) {
+        if netlist.net_tier(net).is_none() {
+            continue;
+        }
+        let denied = router.what_if(net, gnnmls_route::router::MlsOverride::Deny);
+        assert!(!denied.is_mls, "deny must confine net {net}");
+        assert_eq!(denied.f2f_crossings, 0);
+    }
+}
+
+#[test]
+fn summary_serializes_to_json() {
+    let (netlist, placement, tech) = setup();
+    let (db, _) = route_design(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::sota(),
+        RouteConfig::default(),
+    )
+    .unwrap();
+    let s = serde_json::to_string(&db.summary).unwrap();
+    let back: gnnmls_route::RouteSummary = serde_json::from_str(&s).unwrap();
+    // JSON float printing may differ in the last ulp; compare field-wise
+    // with tolerance.
+    assert_eq!(back.mls_net_count, db.summary.mls_net_count);
+    assert_eq!(back.f2f_pads, db.summary.f2f_pads);
+    assert_eq!(back.overflowed_nets, db.summary.overflowed_nets);
+    assert!((back.total_wirelength_m - db.summary.total_wirelength_m).abs() < 1e-12);
+    assert_eq!(
+        back.layer_utilization.len(),
+        db.summary.layer_utilization.len()
+    );
+    for (a, b) in back
+        .layer_utilization
+        .iter()
+        .zip(&db.summary.layer_utilization)
+    {
+        assert!((a - b).abs() < 1e-12);
+    }
+}

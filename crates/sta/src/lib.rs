@@ -1,0 +1,406 @@
+//! Static timing analysis for routed two-tier designs.
+//!
+//! The timer implements the standard topological STA recipe at the level
+//! of detail the GNN-MLS experiments need:
+//!
+//! - **cell delay** — `intrinsic + R_drive × C_load`, where the load is the
+//!   routed net's wire + via + pad + sink-pin capacitance (from
+//!   [`gnnmls_route::RouteDb`]);
+//! - **net delay** — Elmore delay over the extracted route tree, per sink;
+//! - **propagation** — one pass over cells in topological order (paths cut
+//!   at registers/macros), tracking the worst predecessor per pin;
+//! - **metrics** — slack per endpoint against an ideal clock, WNS, TNS,
+//!   violating-endpoint count (the paper's `#Vio. Paths` / Figure 2's
+//!   violation points), and effective frequency `1 / (T − WNS)`;
+//! - **paths** — K-worst critical paths by backtracking worst
+//!   predecessors, the unit of the GNN's training data;
+//! - **what-if** — re-evaluate one path's slack with substitute routes for
+//!   some of its nets ([`TimingPath::slack_with`]): the per-net
+//!   iterative-STA step that labels MLS decisions.
+
+pub mod path;
+pub mod report;
+
+pub use path::TimingPath;
+pub use report::TimingReport;
+
+use gnnmls_netlist::graph::{CircuitDag, GraphError};
+use gnnmls_netlist::{CellClass, Netlist};
+use gnnmls_route::RouteDb;
+
+/// STA configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StaConfig {
+    /// Ideal clock period in ps.
+    pub clock_period_ps: f64,
+}
+
+impl StaConfig {
+    /// Config from a target frequency in MHz (the paper quotes targets of
+    /// 2500/2000 MHz).
+    pub fn from_freq_mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "target frequency must be positive");
+        Self {
+            clock_period_ps: 1.0e6 / mhz,
+        }
+    }
+}
+
+/// Runs full STA over a routed design.
+///
+/// # Errors
+///
+/// Returns [`GraphError::CombinationalLoop`] if the netlist is cyclic.
+///
+/// # Panics
+///
+/// Panics if `routes` does not cover every net of `netlist`.
+pub fn analyze(
+    netlist: &Netlist,
+    routes: &RouteDb,
+    cfg: StaConfig,
+) -> Result<TimingReport, GraphError> {
+    assert_eq!(
+        routes.nets.len(),
+        netlist.net_count(),
+        "route db must cover every net"
+    );
+    let dag = CircuitDag::build(netlist)?;
+
+    let mut arrival = vec![0.0f64; netlist.pin_count()];
+    let mut worst_pred = vec![u32::MAX; netlist.pin_count()];
+
+    for &cell in dag.topo_order() {
+        let class = netlist.class(cell);
+        let tpl = netlist.template(cell);
+
+        // Output arrivals.
+        for out in netlist.output_pins(cell) {
+            let load = match netlist.pin(out).net {
+                Some(net) => routes.route(net).total_cap_ff,
+                None => 0.0,
+            };
+            let stage = tpl.delay_ps + tpl.drive_kohm * load;
+            let (base, pred) = if class.is_startpoint() {
+                (0.0, u32::MAX)
+            } else {
+                // Worst input arrival. The select pin (ordinal 1) of a
+                // DFT scan MUX carries the static test-enable signal — a
+                // declared false path in functional mode, so it never
+                // constrains arrival (`set_false_path -from test_en`).
+                let mut best = 0.0f64;
+                let mut best_pin = u32::MAX;
+                for inp in netlist.input_pins(cell) {
+                    if netlist.pin(inp).net.is_none() {
+                        continue;
+                    }
+                    if class == CellClass::ScanMux && netlist.pin(inp).ordinal == 1 {
+                        continue;
+                    }
+                    if arrival[inp.index()] >= best {
+                        best = arrival[inp.index()];
+                        best_pin = inp.raw();
+                    }
+                }
+                (best, best_pin)
+            };
+            arrival[out.index()] = base + stage;
+            worst_pred[out.index()] = pred;
+
+            // Net arcs to sinks.
+            if let Some(net) = netlist.pin(out).net {
+                let route = routes.route(net);
+                for (i, &sink) in netlist.sinks(net).iter().enumerate() {
+                    let a = arrival[out.index()] + route.sink_elmore_ps[i];
+                    if a >= arrival[sink.index()] {
+                        arrival[sink.index()] = a;
+                        worst_pred[sink.index()] = out.raw();
+                    }
+                }
+            }
+        }
+    }
+
+    // Endpoint slacks. Shadow scan FFs (wire-based MLS DFT) capture only
+    // in test mode; functionally their D pins are false paths, exactly
+    // like the test-enable select arcs above.
+    let mut endpoints = Vec::new();
+    for cell in netlist.cell_ids() {
+        let class = netlist.class(cell);
+        if !class.is_endpoint() || class == CellClass::ScanRegister {
+            continue;
+        }
+        let setup = netlist.template(cell).setup_ps;
+        for inp in netlist.input_pins(cell) {
+            if netlist.pin(inp).net.is_none() {
+                continue;
+            }
+            let slack = cfg.clock_period_ps - setup - arrival[inp.index()];
+            endpoints.push((inp, slack));
+        }
+    }
+
+    Ok(TimingReport::new(
+        cfg.clock_period_ps,
+        arrival,
+        worst_pred,
+        endpoints,
+    ))
+}
+
+/// Internal helper shared with [`path`]: the arc delay of a cell stage
+/// (`intrinsic + drive × load`) given an explicit load.
+pub(crate) fn stage_delay_ps(netlist: &Netlist, cell: gnnmls_netlist::CellId, load_ff: f64) -> f64 {
+    let t = netlist.template(cell);
+    t.delay_ps + t.drive_kohm * load_ff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_netlist::{CellLibrary, NetlistBuilder, PinId, Tier};
+    use gnnmls_phys::{place, PlaceConfig};
+    use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
+
+    /// Routes MAERI-16 and analyzes at a given clock.
+    fn analyzed(mhz: f64) -> TimingReport {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        analyze(&d.netlist, &db, StaConfig::from_freq_mhz(mhz)).unwrap()
+    }
+
+    #[test]
+    fn arrivals_are_finite_and_monotone_along_paths() {
+        let r = analyzed(2000.0);
+        for &a in r.arrival_ps() {
+            assert!(a.is_finite() && a >= 0.0);
+        }
+        assert!(r.endpoint_count() > 0);
+    }
+
+    #[test]
+    fn tighter_clock_means_worse_slack() {
+        let fast = analyzed(4000.0);
+        let slow = analyzed(500.0);
+        assert!(fast.wns_ps() < slow.wns_ps());
+        assert!(fast.tns_ps() <= slow.tns_ps());
+        assert!(fast.violating_endpoints() >= slow.violating_endpoints());
+        // At 500 MHz (2 ns) the tiny design should easily close timing.
+        assert_eq!(slow.violating_endpoints(), 0);
+        assert_eq!(slow.tns_ps(), 0.0);
+    }
+
+    #[test]
+    fn wns_bounds_every_endpoint_slack() {
+        let r = analyzed(2500.0);
+        for &(_, s) in r.endpoint_slacks() {
+            assert!(s >= r.wns_ps() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn effective_frequency_matches_paper_formula() {
+        // Paper: 2500 MHz target (400 ps) with WNS −85 ps → 2061 MHz.
+        let r = TimingReport::new(400.0, vec![], vec![], vec![(PinId::new(0), -85.0)]);
+        assert!((r.eff_freq_mhz() - 2061.85).abs() < 1.0);
+        // Positive slack → can clock faster than target.
+        let r2 = TimingReport::new(400.0, vec![], vec![], vec![(PinId::new(0), 50.0)]);
+        assert!(r2.eff_freq_mhz() > 2500.0);
+    }
+
+    #[test]
+    fn hand_built_pipeline_delay_matches_hand_calc() {
+        // dff -> inv -> po with a known route. Build routes manually.
+        let lib = CellLibrary::for_node(&gnnmls_netlist::tech::TechNode::n28());
+        let mut b = NetlistBuilder::new("h");
+        let ff = b.add_cell("ff", lib.expect("DFF"), Tier::Logic).unwrap();
+        let inv = b.add_cell("inv", lib.expect("INV"), Tier::Logic).unwrap();
+        let po = b.add_cell("po", lib.expect("PO"), Tier::Logic).unwrap();
+        let q = b.add_net("q").unwrap();
+        b.connect_output(q, ff, 0).unwrap();
+        b.connect_input(q, inv, 0).unwrap();
+        let z = b.add_net("z").unwrap();
+        b.connect_output(z, inv, 0).unwrap();
+        b.connect_input(z, po, 0).unwrap();
+        let n = b.finish().unwrap();
+
+        // Zero-wire routes: loads are pin caps only.
+        use gnnmls_route::{NetRoute, RouteSummary};
+        let mk = |net, cap: f64| NetRoute {
+            net,
+            tree: Default::default(),
+            wirelength_um: 0.0,
+            f2f_crossings: 0,
+            is_mls: false,
+            total_cap_ff: cap,
+            sink_elmore_ps: vec![0.0],
+            overflowed: false,
+        };
+        let inv_t = lib.expect("INV");
+        let po_t = lib.expect("PO");
+        let db = RouteDb {
+            nets: vec![
+                mk(n.net_by_name("q").unwrap(), inv_t.input_cap_ff),
+                mk(n.net_by_name("z").unwrap(), po_t.input_cap_ff),
+            ],
+            summary: RouteSummary::default(),
+        };
+        let r = analyze(
+            &n,
+            &db,
+            StaConfig {
+                clock_period_ps: 100.0,
+            },
+        )
+        .unwrap();
+        let dff_t = lib.expect("DFF");
+        let expect = (dff_t.delay_ps + dff_t.drive_kohm * inv_t.input_cap_ff)
+            + (inv_t.delay_ps + inv_t.drive_kohm * po_t.input_cap_ff);
+        let (_, slack) = r.endpoint_slacks()[0];
+        assert!(
+            (slack - (100.0 - expect)).abs() < 1e-9,
+            "slack {slack}, expected {}",
+            100.0 - expect
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "route db must cover")]
+    fn incomplete_route_db_panics() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let db = RouteDb {
+            nets: vec![],
+            summary: Default::default(),
+        };
+        let _ = analyze(&d.netlist, &db, StaConfig::from_freq_mhz(1000.0));
+    }
+
+    #[test]
+    fn scanmux_select_arc_is_a_false_path() {
+        // pi --n0--> mux.in0 ; slowpath: pi2 -> inv*3 -> mux.sel(ordinal 1)
+        // The select must not set the mux output arrival.
+        let lib = CellLibrary::for_node(&gnnmls_netlist::tech::TechNode::n28());
+        let mut b = NetlistBuilder::new("fp");
+        let pi = b.add_cell("pi", lib.expect("PI"), Tier::Logic).unwrap();
+        let pi2 = b.add_cell("pi2", lib.expect("PI"), Tier::Logic).unwrap();
+        let mux = b
+            .add_cell("mux", lib.expect("SCANMUX"), Tier::Logic)
+            .unwrap();
+        let po = b.add_cell("po", lib.expect("PO"), Tier::Logic).unwrap();
+        let mut prev = {
+            let n = b.add_net("sel0").unwrap();
+            b.connect_output(n, pi2, 0).unwrap();
+            n
+        };
+        for i in 0..3 {
+            let inv = b
+                .add_cell(format!("i{i}"), lib.expect("INV"), Tier::Logic)
+                .unwrap();
+            b.connect_input(prev, inv, 0).unwrap();
+            let n = b.add_net(format!("sel{}", i + 1)).unwrap();
+            b.connect_output(n, inv, 0).unwrap();
+            prev = n;
+        }
+        let n0 = b.add_net("n0").unwrap();
+        b.connect_output(n0, pi, 0).unwrap();
+        b.connect_input(n0, mux, 0).unwrap();
+        b.connect_input(prev, mux, 1).unwrap(); // select = slow chain
+        let nz = b.add_net("nz").unwrap();
+        b.connect_output(nz, mux, 0).unwrap();
+        b.connect_input(nz, po, 0).unwrap();
+        let n = b.finish().unwrap();
+
+        use gnnmls_route::{NetRoute, RouteDb, RouteSummary};
+        let mk = |net: gnnmls_netlist::NetId| NetRoute {
+            net,
+            tree: Default::default(),
+            wirelength_um: 0.0,
+            f2f_crossings: 0,
+            is_mls: false,
+            total_cap_ff: 1.0,
+            sink_elmore_ps: vec![0.0; n.sinks(net).len()],
+            overflowed: false,
+        };
+        let db = RouteDb {
+            nets: n.net_ids().map(mk).collect(),
+            summary: RouteSummary::default(),
+        };
+        let rep = analyze(
+            &n,
+            &db,
+            StaConfig {
+                clock_period_ps: 1000.0,
+            },
+        )
+        .unwrap();
+        let (_, slack) = rep.endpoint_slacks()[0];
+        // Data path: PI stage + MUX stage only — well under 100 ps. If the
+        // 3-inverter select chain leaked in, it would add ~20+ ps more.
+        let lib_mux = lib.expect("SCANMUX");
+        let lib_pi = lib.expect("PI");
+        let expect = (lib_pi.delay_ps + lib_pi.drive_kohm * 1.0)
+            + (lib_mux.delay_ps + lib_mux.drive_kohm * 1.0);
+        assert!(
+            (1000.0 - slack - expect).abs() < 1e-9,
+            "select chain leaked into arrival: slack {slack}"
+        );
+    }
+
+    #[test]
+    fn shadow_scan_registers_are_not_functional_endpoints() {
+        let lib = CellLibrary::for_node(&gnnmls_netlist::tech::TechNode::n28());
+        let mut b = NetlistBuilder::new("sr");
+        let pi = b.add_cell("pi", lib.expect("PI"), Tier::Logic).unwrap();
+        let sr = b
+            .add_cell("sr", lib.expect("SCANDFF"), Tier::Logic)
+            .unwrap();
+        let po = b.add_cell("po", lib.expect("PO"), Tier::Logic).unwrap();
+        let n0 = b.add_net("n0").unwrap();
+        b.connect_output(n0, pi, 0).unwrap();
+        b.connect_input(n0, sr, 0).unwrap();
+        b.connect_input(n0, po, 0).unwrap();
+        let n = b.finish().unwrap();
+        use gnnmls_route::{NetRoute, RouteDb, RouteSummary};
+        let db = RouteDb {
+            nets: vec![NetRoute {
+                net: gnnmls_netlist::NetId::new(0),
+                tree: Default::default(),
+                wirelength_um: 0.0,
+                f2f_crossings: 0,
+                is_mls: false,
+                total_cap_ff: 1.0,
+                sink_elmore_ps: vec![0.0, 0.0],
+                overflowed: false,
+            }],
+            summary: RouteSummary::default(),
+        };
+        let rep = analyze(
+            &n,
+            &db,
+            StaConfig {
+                clock_period_ps: 100.0,
+            },
+        )
+        .unwrap();
+        // Only the PO counts as an endpoint; the shadow FF is test-only.
+        assert_eq!(rep.endpoint_count(), 1);
+    }
+
+    #[test]
+    fn from_freq_mhz_converts_to_period() {
+        let c = StaConfig::from_freq_mhz(2500.0);
+        assert!((c.clock_period_ps - 400.0).abs() < 1e-9);
+    }
+}

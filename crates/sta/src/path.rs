@@ -1,0 +1,246 @@
+//! Critical timing paths and what-if re-evaluation.
+//!
+//! A [`TimingPath`] is the worst arrival chain into one endpoint:
+//! `launch-Q → net → gate → net → … → endpoint-D`. Paths are the unit of
+//! GNN-MLS training data (the paper samples 500 per design), and
+//! [`TimingPath::slack_with`] is the per-net what-if primitive: recompute
+//! the path's slack with substitute routes for some of its nets, exactly
+//! the `slack_2D + f(δ(n_1), …)` decomposition of the paper's eq. (1).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::{CellId, NetId, Netlist, PinId};
+use gnnmls_route::{NetRoute, RouteDb};
+
+use crate::report::TimingReport;
+use crate::stage_delay_ps;
+
+/// One extracted critical path.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimingPath {
+    /// Pins along the path: `[Q0, D1, Q1, D2, …, D_end]` — alternating
+    /// output (launch/drive) and input (sink) pins.
+    pub pins: Vec<PinId>,
+    /// Cells traversed, launch cell first, capture cell last.
+    pub cells: Vec<CellId>,
+    /// Nets traversed, in path order (one per output→input arc).
+    pub nets: Vec<NetId>,
+    /// The capturing endpoint pin.
+    pub endpoint: PinId,
+    /// Slack under the baseline routes, ps.
+    pub slack_ps: f64,
+    /// Clock period the slack was computed against, ps.
+    pub clock_period_ps: f64,
+    /// Setup requirement of the capture cell, ps.
+    pub setup_ps: f64,
+}
+
+impl TimingPath {
+    /// Extracts the worst path into `endpoint` by walking the report's
+    /// worst-predecessor chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` is not an endpoint recorded in the report.
+    pub fn extract(netlist: &Netlist, report: &TimingReport, endpoint: PinId) -> Self {
+        let slack = report
+            .endpoint_slacks()
+            .iter()
+            .find(|&&(p, _)| p == endpoint)
+            .map(|&(_, s)| s)
+            .expect("pin must be a reported endpoint");
+
+        // Walk back: input pin -> its driver output pin (worst_pred), then
+        // output pin -> worst input pin of its cell (worst_pred), until a
+        // launch output (pred == MAX).
+        let mut rev_pins = vec![endpoint];
+        let mut cur = endpoint;
+        loop {
+            let pred = report.worst_pred()[cur.index()];
+            if pred == u32::MAX {
+                break;
+            }
+            cur = PinId::new(pred);
+            rev_pins.push(cur);
+        }
+        rev_pins.reverse();
+        let pins = rev_pins;
+
+        // Derive cells and nets from the pin chain.
+        let mut cells = Vec::new();
+        let mut nets = Vec::new();
+        for (k, &p) in pins.iter().enumerate() {
+            let pin = netlist.pin(p);
+            if k == 0 {
+                cells.push(pin.cell);
+            } else if cells.last() != Some(&pin.cell) {
+                cells.push(pin.cell);
+            }
+            // Output -> input arcs carry a net.
+            if k + 1 < pins.len() && netlist.pin(p).dir == gnnmls_netlist::PinDir::Output {
+                nets.push(pin.net.expect("driving pin on a path is connected"));
+            }
+        }
+
+        let capture = netlist.pin(endpoint).cell;
+        Self {
+            pins,
+            cells,
+            nets,
+            endpoint,
+            slack_ps: slack,
+            clock_period_ps: report.clock_period_ps(),
+            setup_ps: netlist.template(capture).setup_ps,
+        }
+    }
+
+    /// Number of stages (cells) on the path.
+    pub fn depth(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Path delay under baseline routes with optional substitutions, ps.
+    ///
+    /// `subs` maps a net to a candidate route (e.g. a what-if MLS re-route
+    /// from [`gnnmls_route::Router::what_if`]); all other nets use `routes`.
+    pub fn delay_with(
+        &self,
+        netlist: &Netlist,
+        routes: &RouteDb,
+        subs: &HashMap<NetId, &NetRoute>,
+    ) -> f64 {
+        let route_of = |net: NetId| -> &NetRoute {
+            subs.get(&net).copied().unwrap_or_else(|| routes.route(net))
+        };
+        let mut delay = 0.0;
+        // Pins alternate output/input starting with the launch output.
+        let mut k = 0;
+        while k + 1 < self.pins.len() {
+            let out = self.pins[k];
+            let sink = self.pins[k + 1];
+            let net = netlist.pin(out).net.expect("arc net");
+            let r = route_of(net);
+            // Cell stage driving this net.
+            delay += stage_delay_ps(netlist, netlist.pin(out).cell, r.total_cap_ff);
+            // Wire arc to the sink.
+            let sink_idx = netlist
+                .sinks(net)
+                .iter()
+                .position(|&p| p == sink)
+                .expect("sink on its own net");
+            delay += r.sink_elmore_ps[sink_idx];
+            k += 2;
+        }
+        delay
+    }
+
+    /// Path slack with substitute routes, ps (eq. (1):
+    /// `slack_opt = T − setup − delay(δ)`).
+    pub fn slack_with(
+        &self,
+        netlist: &Netlist,
+        routes: &RouteDb,
+        subs: &HashMap<NetId, &NetRoute>,
+    ) -> f64 {
+        self.clock_period_ps - self.setup_ps - self.delay_with(netlist, routes, subs)
+    }
+}
+
+/// Extracts the `k` worst paths (most negative endpoint slack first).
+///
+/// One path per endpoint — the paper counts violating *paths* the same
+/// way (violating endpoints, each with its single worst path).
+pub fn worst_paths(netlist: &Netlist, report: &TimingReport, k: usize) -> Vec<TimingPath> {
+    report
+        .worst_endpoints(k)
+        .into_iter()
+        .map(|(pin, _)| TimingPath::extract(netlist, report, pin))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, StaConfig};
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_phys::{place, PlaceConfig};
+    use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
+
+    fn setup() -> (gnnmls_netlist::Netlist, RouteDb, TimingReport) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        let r = analyze(&d.netlist, &db, StaConfig::from_freq_mhz(2500.0)).unwrap();
+        (d.netlist, db, r)
+    }
+
+    #[test]
+    fn extracted_paths_are_well_formed() {
+        let (netlist, _, report) = setup();
+        let paths = worst_paths(&netlist, &report, 20);
+        assert_eq!(paths.len(), 20);
+        for p in &paths {
+            assert!(p.pins.len() >= 2, "launch + capture at minimum");
+            assert_eq!(p.pins.len() % 2, 0, "alternating out/in pins");
+            assert_eq!(p.nets.len(), p.pins.len() / 2);
+            assert!(p.depth() >= 2);
+            // Launch cell is a startpoint; capture cell is an endpoint.
+            assert!(netlist.class(p.cells[0]).is_startpoint());
+            assert!(netlist.class(*p.cells.last().unwrap()).is_endpoint());
+            // Consecutive worst paths are sorted by slack.
+        }
+        for w in paths.windows(2) {
+            assert!(w[0].slack_ps <= w[1].slack_ps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn recomputed_delay_matches_reported_slack() {
+        let (netlist, db, report) = setup();
+        for p in worst_paths(&netlist, &report, 10) {
+            let slack = p.slack_with(&netlist, &db, &HashMap::new());
+            assert!(
+                (slack - p.slack_ps).abs() < 1e-6,
+                "path recompute {slack} vs reported {}",
+                p.slack_ps
+            );
+        }
+    }
+
+    #[test]
+    fn substitute_route_changes_slack() {
+        let (netlist, db, report) = setup();
+        let p = &worst_paths(&netlist, &report, 1)[0];
+        let net = p.nets[p.nets.len() / 2];
+        // Fake a much slower route for one path net.
+        let mut slow = db.route(net).clone();
+        slow.total_cap_ff += 100.0;
+        for e in &mut slow.sink_elmore_ps {
+            *e += 50.0;
+        }
+        let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
+        subs.insert(net, &slow);
+        let s = p.slack_with(&netlist, &db, &subs);
+        assert!(s < p.slack_ps, "slower net must reduce slack");
+    }
+
+    #[test]
+    #[should_panic(expected = "reported endpoint")]
+    fn extracting_a_non_endpoint_panics() {
+        let (netlist, _, report) = setup();
+        // Pin 0 of cell 0 is a PI output, not an endpoint.
+        let pin = netlist.cell(gnnmls_netlist::CellId::new(0)).pins[0];
+        let _ = TimingPath::extract(&netlist, &report, pin);
+    }
+}

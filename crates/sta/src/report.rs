@@ -1,0 +1,174 @@
+//! Timing report: per-pin arrivals, endpoint slacks, and summary metrics.
+
+use serde::{Deserialize, Serialize};
+
+use gnnmls_netlist::PinId;
+
+/// Result of a full STA run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimingReport {
+    clock_period_ps: f64,
+    arrival_ps: Vec<f64>,
+    worst_pred: Vec<u32>,
+    endpoint_slack: Vec<(PinId, f64)>,
+}
+
+impl TimingReport {
+    /// Assembles a report (used by [`crate::analyze`] and tests).
+    pub fn new(
+        clock_period_ps: f64,
+        arrival_ps: Vec<f64>,
+        worst_pred: Vec<u32>,
+        endpoint_slack: Vec<(PinId, f64)>,
+    ) -> Self {
+        Self {
+            clock_period_ps,
+            arrival_ps,
+            worst_pred,
+            endpoint_slack,
+        }
+    }
+
+    /// The clock period used, ps.
+    #[inline]
+    pub fn clock_period_ps(&self) -> f64 {
+        self.clock_period_ps
+    }
+
+    /// Arrival time per pin, ps.
+    #[inline]
+    pub fn arrival_ps(&self) -> &[f64] {
+        &self.arrival_ps
+    }
+
+    /// Worst-predecessor pin per pin (raw id, `u32::MAX` at launch points).
+    #[inline]
+    pub fn worst_pred(&self) -> &[u32] {
+        &self.worst_pred
+    }
+
+    /// Slack per endpoint pin, ps.
+    #[inline]
+    pub fn endpoint_slacks(&self) -> &[(PinId, f64)] {
+        &self.endpoint_slack
+    }
+
+    /// Number of endpoints.
+    #[inline]
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoint_slack.len()
+    }
+
+    /// Worst negative slack, ps (negative when timing fails; the smallest
+    /// positive slack when it passes; 0 with no endpoints).
+    pub fn wns_ps(&self) -> f64 {
+        self.endpoint_slack
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::MAX, f64::min)
+            .pipe_finite()
+    }
+
+    /// Total negative slack, ps (≤ 0).
+    pub fn tns_ps(&self) -> f64 {
+        self.endpoint_slack.iter().map(|&(_, s)| s.min(0.0)).sum()
+    }
+
+    /// Total negative slack in ns (the paper's `TNS (ns)` unit).
+    pub fn tns_ns(&self) -> f64 {
+        self.tns_ps() / 1000.0
+    }
+
+    /// Number of endpoints with negative slack — the paper's `#Vio. Paths`
+    /// and Figure 2's violation points.
+    pub fn violating_endpoints(&self) -> usize {
+        self.endpoint_slack
+            .iter()
+            .filter(|&&(_, s)| s < 0.0)
+            .count()
+    }
+
+    /// Effective frequency in MHz: `1 / (T − WNS)` (Tables IV–VI's
+    /// `Eff. Freq.` row: 400 ps with WNS −85 ps → 2061 MHz).
+    pub fn eff_freq_mhz(&self) -> f64 {
+        let t = self.clock_period_ps - self.wns_ps();
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0e6 / t
+        }
+    }
+
+    /// Endpoints sorted by ascending slack (most critical first), capped
+    /// at `k`.
+    pub fn worst_endpoints(&self, k: usize) -> Vec<(PinId, f64)> {
+        let mut v = self.endpoint_slack.clone();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Tiny helper: collapse the `f64::MAX` sentinel of an empty fold to 0.
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self == f64::MAX {
+            0.0
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(slacks: &[f64]) -> TimingReport {
+        TimingReport::new(
+            400.0,
+            vec![],
+            vec![],
+            slacks
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (PinId::new(i as u32), s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn summary_metrics() {
+        let r = report(&[-85.0, -10.0, 25.0]);
+        assert_eq!(r.wns_ps(), -85.0);
+        assert_eq!(r.tns_ps(), -95.0);
+        assert!((r.tns_ns() + 0.095).abs() < 1e-12);
+        assert_eq!(r.violating_endpoints(), 2);
+        assert_eq!(r.endpoint_count(), 3);
+        let worst = r.worst_endpoints(2);
+        assert_eq!(worst[0].1, -85.0);
+        assert_eq!(worst[1].1, -10.0);
+    }
+
+    #[test]
+    fn all_positive_slack_gives_zero_tns() {
+        let r = report(&[5.0, 10.0]);
+        assert_eq!(r.tns_ps(), 0.0);
+        assert_eq!(r.violating_endpoints(), 0);
+        assert_eq!(r.wns_ps(), 5.0);
+        assert!(r.eff_freq_mhz() > 2500.0);
+    }
+
+    #[test]
+    fn empty_report_is_neutral() {
+        let r = report(&[]);
+        assert_eq!(r.wns_ps(), 0.0);
+        assert_eq!(r.tns_ps(), 0.0);
+        assert_eq!(r.violating_endpoints(), 0);
+        assert!((r.eff_freq_mhz() - 2500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+//! DFT scenario: the testability problem MLS creates in hybrid-bonded
+//! 3D ICs and the two insertion strategies that solve it (Section III-D,
+//! Table III, Figure 6).
+//!
+//! Shows, on one design: coverage without MLS, the coverage *hole* MLS
+//! opens at die-level test, and how the net-based (MUX) and wire-based
+//! (shadow scan FF) DFT strategies restore it at different cost points.
+//!
+//! ```sh
+//! cargo run --release --example dft_testability
+//! ```
+
+use gnn_mls::flow::{prepare, run_flow, FlowConfig, FlowPolicy};
+use gnnmls_dft::{analyze_coverage, DftMode, ScanChain};
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_route::{route_design, MlsPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let design = generate_maeri(&MaeriConfig::pe16_bw4(), &tech)?;
+    let cfg = FlowConfig::new(2500.0);
+
+    // Route once with aggressive sharing so there are MLS opens to study.
+    let (netlist, placement) = prepare(&design, &cfg)?;
+    let (routes, _) = route_design(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::sota(),
+        cfg.route.clone(),
+    )?;
+    println!(
+        "routed with SOTA sharing: {} MLS nets crossing the bond",
+        routes.summary.mls_net_count
+    );
+
+    let chain = ScanChain::build(&netlist, &placement, 5.0);
+    println!(
+        "full scan: {} elements, {:.0} um stitched wirelength",
+        chain.len(),
+        chain.wirelength_um
+    );
+
+    println!("\ndie-level stuck-at coverage:");
+    for mode in [DftMode::None, DftMode::NetBased, DftMode::WireBased] {
+        let rep = analyze_coverage(&netlist, &routes, mode);
+        println!(
+            "  {:10} {:8} faults, {:8} detected, coverage {:6.2}% (opens {}, pads {})",
+            format!("{mode:?}"),
+            rep.total_faults,
+            rep.detected_faults,
+            rep.coverage_pct(),
+            rep.undetected_open,
+            rep.undetected_pad
+        );
+    }
+
+    // End-to-end testable designs (timing included), as in Table VI.
+    println!("\ntestable-design flows (wire-based MLS DFT):");
+    let dft_cfg = cfg.clone().with_dft(DftMode::WireBased);
+    for policy in [FlowPolicy::NoMls, FlowPolicy::GnnMls] {
+        let r = run_flow(&design, &dft_cfg, policy)?;
+        println!(
+            "  {:8} coverage {:.2}% | WNS {:7.1} ps | {} DFT cells added",
+            r.policy,
+            r.test_coverage_pct.unwrap_or(0.0),
+            r.wns_ps,
+            r.dft_cells
+        );
+    }
+    Ok(())
+}

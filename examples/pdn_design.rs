@@ -1,0 +1,92 @@
+//! Mixed-node power delivery scenario (Section III-E, Figure 7/9):
+//! 0.81 V logic under 0.9 V memory, level shifters on every 3D signal,
+//! and a stripe PDN sized so IR-drop stays within 10 % of the lowest
+//! rail — while leaving top-metal tracks for MLS signal routing.
+//!
+//! ```sh
+//! cargo run --release --example pdn_design
+//! ```
+
+use gnn_mls::flow::{prepare, FlowConfig};
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_netlist::Tier;
+use gnnmls_pdn::domains::PowerDomains;
+use gnnmls_pdn::ir::{currents_from_power, size_for_budget, IrReport};
+use gnnmls_pdn::{PdnGrid, PdnSpec, PowerConfig, PowerReport};
+use gnnmls_route::{route_design, MlsPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let design = generate_maeri(&MaeriConfig::new(64, 8), &tech)?;
+    let cfg = FlowConfig::new(2500.0);
+
+    let domains = PowerDomains::from_tech(&tech);
+    println!(
+        "power domains: logic {} V, memory {} V (level shifters needed: {})",
+        domains.logic_vdd,
+        domains.memory_vdd,
+        domains.needs_level_shifters()
+    );
+
+    let (netlist, placement) = prepare(&design, &cfg)?;
+    let (routes, _) = route_design(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::Disabled,
+        cfg.route.clone(),
+    )?;
+    let power = PowerReport::compute(&netlist, &routes, &tech, &PowerConfig::at_freq_mhz(2500.0));
+    println!(
+        "power: {:.1} mW total ({:.1} dynamic + {:.1} leakage); logic die {:.1}, memory die {:.1}",
+        power.total_mw,
+        power.dynamic_mw,
+        power.leakage_mw,
+        power.logic_tier_mw,
+        power.memory_tier_mw
+    );
+
+    // Explore the width/IR trade at the paper's 7 µm pitch.
+    println!("\nIR-drop vs stripe width (logic die, pitch 7 um):");
+    for width in [0.5, 1.0, 2.0, 4.0] {
+        let spec = PdnSpec {
+            width_um: width,
+            pitch_um: 7.0,
+        };
+        let mesh = PdnGrid::build(placement.floorplan(), &tech, Tier::Logic, spec);
+        let cur = currents_from_power(&mesh, &netlist, &placement, &power, domains.logic_vdd);
+        let rep = IrReport::solve(&mesh, &cur, domains.min_vdd());
+        println!(
+            "  W={width:.1} um  U={:4.0}%  max drop {:6.2} mV ({:.2}% of {:.2} V)",
+            spec.utilization() * 100.0,
+            rep.max_drop_mv,
+            rep.pct_of_vdd,
+            domains.min_vdd()
+        );
+    }
+
+    // Automatic sizing to the paper's 10% budget, per die.
+    println!("\nauto-sized to the 10% IR budget:");
+    for tier in Tier::BOTH {
+        let (spec, rep) = size_for_budget(
+            placement.floorplan(),
+            &tech,
+            tier,
+            &netlist,
+            &placement,
+            &power,
+            domains.min_vdd(),
+            10.0,
+            7.0,
+        );
+        println!(
+            "  {tier}: W/P/U = {:.1}um / {:.0}um / {:.0}%  -> IR {:.2}%",
+            spec.width_um,
+            spec.pitch_um,
+            spec.utilization() * 100.0,
+            rep.pct_of_vdd
+        );
+    }
+    Ok(())
+}

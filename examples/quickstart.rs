@@ -1,0 +1,44 @@
+//! Quickstart: run the three MLS policies on a small MAERI accelerator
+//! and compare timing.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gnn_mls::flow::{run_flow, FlowConfig, FlowPolicy};
+use gnn_mls::FlowReport;
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A heterogeneous stack: 16 nm logic die under a 28 nm memory die,
+    // 6 + 6 metal layers, face-to-face bonded.
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let design = generate_maeri(&MaeriConfig::new(64, 8).with_seed(1), &tech)?;
+    println!(
+        "design {}: {} cells, {} nets",
+        design.netlist.name(),
+        design.netlist.cell_count(),
+        design.netlist.net_count()
+    );
+
+    let mut cfg = FlowConfig::new(2500.0);
+    cfg.train_paths = 120;
+    cfg.inference_paths = 600;
+
+    let mut reports: Vec<FlowReport> = Vec::new();
+    for policy in [FlowPolicy::NoMls, FlowPolicy::Sota, FlowPolicy::GnnMls] {
+        let r = run_flow(&design, &cfg, policy)?;
+        println!("\n{r}");
+        reports.push(r);
+    }
+
+    println!("\nsummary (WNS ps / TNS ns / #vio / #MLS):");
+    for r in &reports {
+        println!(
+            "  {:8} {:8.1} {:9.2} {:6} {:6}",
+            r.policy, r.wns_ps, r.tns_ns, r.violating_paths, r.mls_nets
+        );
+    }
+    Ok(())
+}

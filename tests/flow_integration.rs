@@ -1,0 +1,154 @@
+//! End-to-end flow integration: all three policies on a small design,
+//! checking cross-crate consistency of the resulting reports.
+
+use gnn_mls::flow::{run_flow, FlowConfig, FlowPolicy};
+use gnn_mls::FlowReport;
+use gnnmls_netlist::generators::{generate_maeri, GeneratedDesign, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+
+fn design() -> GeneratedDesign {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    generate_maeri(&MaeriConfig::pe16_bw4(), &tech).expect("generator succeeds")
+}
+
+fn run(policy: FlowPolicy) -> FlowReport {
+    run_flow(&design(), &FlowConfig::fast_test(2500.0), policy).expect("flow succeeds")
+}
+
+#[test]
+fn all_policies_produce_consistent_reports() {
+    let reports: Vec<FlowReport> = [FlowPolicy::NoMls, FlowPolicy::Sota, FlowPolicy::GnnMls]
+        .into_iter()
+        .map(run)
+        .collect();
+    for r in &reports {
+        assert!(r.wirelength_m > 0.0, "{}: wirelength", r.policy);
+        assert!(r.endpoints > 0);
+        assert!(r.violating_paths <= r.endpoints);
+        assert!(r.power_mw > 0.0);
+        assert!(r.eff_freq_mhz > 0.0 && r.eff_freq_mhz.is_finite());
+        assert!(r.fp_mm2 > 0.0);
+        // eff freq formula consistency: 1/(T - wns).
+        let t_ps = 1.0e6 / r.target_freq_mhz;
+        let expect = 1.0e6 / (t_ps - r.wns_ps);
+        assert!(
+            (r.eff_freq_mhz - expect).abs() < 1.0,
+            "{}: eff freq {} vs {}",
+            r.policy,
+            r.eff_freq_mhz,
+            expect
+        );
+    }
+    // Same netlist-derived quantities across policies.
+    assert_eq!(reports[0].endpoints, reports[1].endpoints);
+    assert_eq!(reports[0].endpoints, reports[2].endpoints);
+    assert_eq!(reports[0].level_shifters, reports[2].level_shifters);
+    // Policy semantics.
+    assert_eq!(reports[0].mls_nets, 0, "No MLS must use zero MLS nets");
+    assert!(reports[1].mls_nets > 0, "SOTA shares in a hetero design");
+    assert!(
+        reports[2].runtime_s.is_some(),
+        "GNN-MLS reports its runtime"
+    );
+    assert!(reports[0].runtime_s.is_none());
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let a = run(FlowPolicy::Sota);
+    let b = run(FlowPolicy::Sota);
+    assert_eq!(a.wns_ps, b.wns_ps);
+    assert_eq!(a.tns_ns, b.tns_ns);
+    assert_eq!(a.violating_paths, b.violating_paths);
+    assert_eq!(a.mls_nets, b.mls_nets);
+    assert_eq!(a.wirelength_m, b.wirelength_m);
+}
+
+#[test]
+fn heterogeneous_flow_inserts_level_shifters_homogeneous_does_not() {
+    let hetero = run(FlowPolicy::NoMls);
+    assert!(hetero.level_shifters > 0);
+    assert!(hetero.ls_power_mw.unwrap_or(0.0) > 0.0);
+
+    let tech = TechConfig::homogeneous_28_28(6, 6);
+    let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+    let homo = run_flow(&d, &FlowConfig::fast_test(2500.0), FlowPolicy::NoMls).unwrap();
+    assert_eq!(homo.level_shifters, 0);
+    assert!(homo.ls_power_mw.is_none());
+}
+
+#[test]
+fn pdn_analysis_meets_budget_when_enabled() {
+    let mut cfg = FlowConfig::fast_test(2500.0);
+    cfg.analyze_pdn = true;
+    let r = run_flow(&design(), &cfg, FlowPolicy::NoMls).unwrap();
+    let ir = r.ir_drop_pct.expect("PDN analysis ran");
+    assert!(ir >= 0.0 && ir <= cfg.ir_budget_pct + 1e-9, "IR {ir}%");
+    let pdn = r.pdn.expect("PDN summary present");
+    assert!(pdn.width_um > 0.0 && pdn.utilization <= 1.0);
+}
+
+#[test]
+fn tighter_targets_worsen_timing_metrics() {
+    let d = design();
+    let fast = run_flow(&d, &FlowConfig::fast_test(4000.0), FlowPolicy::NoMls).unwrap();
+    let slow = run_flow(&d, &FlowConfig::fast_test(800.0), FlowPolicy::NoMls).unwrap();
+    assert!(fast.wns_ps < slow.wns_ps);
+    assert!(fast.violating_paths >= slow.violating_paths);
+    assert!(fast.tns_ns <= slow.tns_ns);
+}
+
+#[test]
+fn pretrained_checkpoint_skips_training_and_still_applies_mls() {
+    let d = design();
+    let cfg = FlowConfig::fast_test(2500.0);
+    // Train once...
+    let trained = run_flow(&d, &cfg, FlowPolicy::GnnMls).unwrap();
+    assert!(trained.runtime_s.unwrap() > 0.0);
+
+    // ...then reuse: rebuild a model the expensive way once to snapshot it.
+    use gnn_mls::flow::prepare;
+    use gnn_mls::model::{GnnMls, ModelConfig};
+    use gnn_mls::oracle::{label_paths, OracleConfig};
+    use gnn_mls::paths::extract_path_samples;
+    use gnnmls_route::{MlsPolicy, Router};
+    use gnnmls_sta::{analyze, StaConfig};
+
+    let (netlist, placement) = prepare(&d, &cfg).unwrap();
+    let mut router = Router::new(
+        &netlist,
+        &placement,
+        &d.tech,
+        MlsPolicy::Disabled,
+        cfg.route.clone(),
+    )
+    .unwrap();
+    router.route_all();
+    let routes = router.db();
+    let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
+    let mut samples = extract_path_samples(&netlist, &placement, &d.tech, &rep, 60);
+    label_paths(
+        &mut samples,
+        &netlist,
+        &mut router,
+        &routes,
+        &OracleConfig::default(),
+    );
+    let mut model = GnnMls::new(ModelConfig {
+        pretrain_epochs: 2,
+        finetune_epochs: 8,
+        ..ModelConfig::default()
+    });
+    model.pretrain(&samples);
+    model.finetune(&samples);
+
+    let mut reuse_cfg = FlowConfig::fast_test(2500.0);
+    reuse_cfg.pretrained = Some(model.to_checkpoint());
+    let reused = run_flow(&d, &reuse_cfg, FlowPolicy::GnnMls).unwrap();
+    // The reused flow never runs the oracle.
+    let t = reused.train.expect("summary still reported");
+    assert_eq!(t.oracle.paths, 0, "no oracle labeling with a checkpoint");
+    // It is much faster than training and still produces a valid report.
+    assert!(reused.runtime_s.unwrap() < trained.runtime_s.unwrap());
+    assert!(reused.wirelength_m > 0.0);
+}

@@ -1,0 +1,217 @@
+//! Model training on *real* flow data (not synthetic features): the
+//! oracle labels genuine critical paths and the trained model must beat a
+//! majority-class baseline on held-out paths — i.e. GNN-MLS learns
+//! something the labels alone don't give it.
+
+use gnn_mls::flow::{prepare, FlowConfig};
+use gnn_mls::model::{EncoderKind, GnnMls, ModelConfig};
+use gnn_mls::oracle::{label_paths, OracleConfig};
+use gnn_mls::paths::{extract_path_samples, PathSample};
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_route::{MlsPolicy, Router};
+use gnnmls_sta::{analyze, StaConfig};
+
+/// Builds a labeled dataset from a real routed design.
+fn real_dataset(paths: usize) -> (Vec<PathSample>, Vec<PathSample>) {
+    dataset_for(&MaeriConfig::new(32, 4).with_seed(5), paths)
+}
+
+/// Labeled dataset for an arbitrary MAERI config.
+fn dataset_for(cfg_m: &MaeriConfig, paths: usize) -> (Vec<PathSample>, Vec<PathSample>) {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let d = generate_maeri(cfg_m, &tech).unwrap();
+    let cfg = FlowConfig::fast_test(2500.0);
+    let (netlist, placement) = prepare(&d, &cfg).unwrap();
+    let mut router = Router::new(
+        &netlist,
+        &placement,
+        &tech,
+        MlsPolicy::Disabled,
+        cfg.route.clone(),
+    )
+    .unwrap();
+    router.route_all();
+    let routes = router.db();
+    let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
+    let mut samples = extract_path_samples(&netlist, &placement, &tech, &rep, paths);
+    label_paths(
+        &mut samples,
+        &netlist,
+        &mut router,
+        &routes,
+        &OracleConfig::default(),
+    );
+    // Interleaved split so train and eval share the slack distribution
+    // (positives concentrate on the worst paths).
+    let mut train = Vec::new();
+    let mut eval = Vec::new();
+    for (i, s) in samples.into_iter().enumerate() {
+        if i % 4 == 3 {
+            eval.push(s);
+        } else {
+            train.push(s);
+        }
+    }
+    (train, eval)
+}
+
+fn majority_accuracy(samples: &[PathSample]) -> f64 {
+    let (mut pos, mut total) = (0usize, 0usize);
+    for s in samples {
+        for &l in s.labels.as_ref().unwrap() {
+            pos += usize::from(l);
+            total += 1;
+        }
+    }
+    let p = pos as f64 / total.max(1) as f64;
+    p.max(1.0 - p)
+}
+
+#[test]
+fn trained_model_finds_positives_majority_never_can() {
+    let (train, eval) = real_dataset(160);
+    let baseline = majority_accuracy(&eval);
+    let mut model = GnnMls::new(ModelConfig {
+        pretrain_epochs: 4,
+        finetune_epochs: 25,
+        ..ModelConfig::default()
+    });
+    model.pretrain(&train);
+    model.finetune(&train);
+    let m = model.evaluate(&eval);
+    // The majority class is almost always "no MLS", whose F1 on the
+    // positive class is 0 — the model must do real work instead:
+    // reasonable accuracy *and* non-trivial positive-class F1/recall.
+    assert!(
+        m.accuracy() > 0.70,
+        "model {:.3} (majority would be {:.3})",
+        m.accuracy(),
+        baseline
+    );
+    assert!(m.recall() > 0.1, "recall {:.3}", m.recall());
+    assert!(m.f1() > 0.15, "f1 {:.3}", m.f1());
+}
+
+#[test]
+fn decisions_are_deterministic_and_eligible_only() {
+    let (train, _) = real_dataset(100);
+    let run = || {
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 10,
+            ..ModelConfig::default()
+        });
+        model.pretrain(&train);
+        model.finetune(&train);
+        model.decide(&train)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same config + data must decide identically");
+    // Every selected net is eligible on some violating path.
+    for net in &a {
+        let ok = train.iter().any(|s| {
+            s.path.slack_ps < 0.0
+                && s.nets
+                    .iter()
+                    .zip(&s.eligible)
+                    .any(|(&n, &e)| n == *net && e)
+        });
+        assert!(ok, "net {net} selected without an eligible violating path");
+    }
+}
+
+#[test]
+fn dgi_pretraining_helps_or_at_least_does_not_hurt_much() {
+    let (train, eval) = real_dataset(160);
+    let acc = |use_dgi: bool| {
+        let mut model = GnnMls::new(ModelConfig {
+            use_dgi,
+            pretrain_epochs: 4,
+            finetune_epochs: 20,
+            ..ModelConfig::default()
+        });
+        model.pretrain(&train);
+        model.finetune(&train);
+        model.evaluate(&eval).accuracy()
+    };
+    let with = acc(true);
+    let without = acc(false);
+    // The paper's claim is data efficiency, not magic: with a frozen
+    // encoder the DGI features must carry the classifier into the same
+    // band as the random-features baseline (random projections are a
+    // strong baseline at this width, so parity is the honest bar).
+    assert!(
+        with >= without - 0.15,
+        "dgi {with:.3} vs no-dgi {without:.3}"
+    );
+    assert!(with > 0.6, "dgi features alone must be usable: {with:.3}");
+}
+
+#[test]
+fn gcn_ablation_trains_on_real_data() {
+    let (train, eval) = real_dataset(120);
+    let mut model = GnnMls::new(ModelConfig {
+        encoder: EncoderKind::Gcn,
+        pretrain_epochs: 2,
+        finetune_epochs: 15,
+        ..ModelConfig::default()
+    });
+    model.pretrain(&train);
+    model.finetune(&train);
+    let m = model.evaluate(&eval);
+    assert!(m.accuracy() > 0.4, "gcn accuracy {:.3}", m.accuracy());
+}
+
+/// The paper trains on paths from *several* designs (A7 + MAERI, hetero +
+/// homo). Cross-design transfer must at least produce usable decisions:
+/// train on one MAERI size, evaluate on another.
+#[test]
+fn model_transfers_across_design_sizes() {
+    let (train_a, _) = dataset_for(&MaeriConfig::new(32, 4).with_seed(5), 120);
+    let (train_b, eval_b) = dataset_for(&MaeriConfig::new(16, 4).with_seed(9), 80);
+
+    // Joint training set, as in the paper (500 paths from each design).
+    let mut joint = train_a.clone();
+    joint.extend(train_b.iter().cloned());
+    let mut model = GnnMls::new(ModelConfig {
+        pretrain_epochs: 3,
+        finetune_epochs: 20,
+        ..ModelConfig::default()
+    });
+    model.pretrain(&joint);
+    model.finetune(&joint);
+    let m = model.evaluate(&eval_b);
+    assert!(
+        m.accuracy() > 0.55,
+        "cross-design accuracy {:.3}",
+        m.accuracy()
+    );
+    // Decisions on the unseen design are non-degenerate.
+    let decided = model.decide(&eval_b);
+    let eligible: usize = eval_b
+        .iter()
+        .map(|s| s.eligible.iter().filter(|&&e| e).count())
+        .sum();
+    assert!(decided.len() < eligible, "must not select everything");
+}
+
+/// A trained model survives a checkpoint round-trip and keeps deciding
+/// identically — the train-once / reuse-everywhere workflow.
+#[test]
+fn checkpointed_model_decides_identically_on_real_data() {
+    let (train, eval) = real_dataset(100);
+    let mut model = GnnMls::new(ModelConfig {
+        pretrain_epochs: 2,
+        finetune_epochs: 10,
+        ..ModelConfig::default()
+    });
+    model.pretrain(&train);
+    model.finetune(&train);
+    let restored = GnnMls::from_checkpoint(model.to_checkpoint()).unwrap();
+    assert_eq!(model.decide(&eval), restored.decide(&eval));
+    let a = model.evaluate(&eval);
+    let b = restored.evaluate(&eval);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,156 @@
+//! The paper's qualitative claims, verified end-to-end at test scale:
+//! MLS moves timing, GNN-MLS is selective, and single-net MLS can both
+//! help and hurt (Table I's motivation).
+
+use std::collections::HashMap;
+
+use gnn_mls::flow::{prepare, run_flow, FlowConfig, FlowPolicy};
+use gnn_mls::oracle::net_mls_impact;
+use gnn_mls::paths::extract_path_samples;
+use gnnmls_netlist::generators::{generate_maeri, GeneratedDesign, MaeriConfig};
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_route::router::MlsOverride;
+use gnnmls_route::{MlsPolicy, Router};
+use gnnmls_sta::{analyze, StaConfig};
+
+fn design() -> GeneratedDesign {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    // 64 PEs: big enough for congestion, small enough for a test.
+    generate_maeri(&MaeriConfig::new(64, 8).with_seed(3), &tech).expect("generator succeeds")
+}
+
+fn cfg() -> FlowConfig {
+    let mut c = FlowConfig::fast_test(2500.0);
+    c.train_paths = 80;
+    c.inference_paths = 400;
+    c
+}
+
+#[test]
+fn gnn_mls_improves_tns_over_no_mls_and_is_selective() {
+    let d = design();
+    let c = cfg();
+    let no_mls = run_flow(&d, &c, FlowPolicy::NoMls).unwrap();
+    let sota = run_flow(&d, &c, FlowPolicy::Sota).unwrap();
+    let ours = run_flow(&d, &c, FlowPolicy::GnnMls).unwrap();
+
+    assert!(no_mls.tns_ns < 0.0, "baseline must violate for the claim");
+    assert!(
+        ours.tns_ns > no_mls.tns_ns,
+        "GNN-MLS TNS {:.2} vs No-MLS {:.2}",
+        ours.tns_ns,
+        no_mls.tns_ns
+    );
+    assert!(
+        ours.wns_ps > no_mls.wns_ps,
+        "GNN-MLS WNS {:.1} vs No-MLS {:.1}",
+        ours.wns_ps,
+        no_mls.wns_ps
+    );
+    assert!(ours.mls_nets > 0, "GNN-MLS applies some sharing");
+    assert!(
+        ours.mls_nets < sota.mls_nets,
+        "selective: {} vs SOTA {}",
+        ours.mls_nets,
+        sota.mls_nets
+    );
+}
+
+#[test]
+fn single_net_mls_helps_some_nets_and_hurts_others() {
+    let d = design();
+    let c = cfg();
+    let (netlist, placement) = prepare(&d, &c).unwrap();
+    let mut router = Router::new(
+        &netlist,
+        &placement,
+        &d.tech,
+        MlsPolicy::Disabled,
+        c.route.clone(),
+    )
+    .unwrap();
+    router.route_all();
+    let routes = router.db();
+    let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
+    let samples = extract_path_samples(&netlist, &placement, &d.tech, &rep, 60);
+    let grid = router.grid().clone();
+    let impacts = net_mls_impact(&samples, &netlist, &mut router, &routes, &grid);
+    assert!(impacts.len() > 10);
+    let helped = impacts.iter().filter(|i| i.gain_ps() > 0.5).count();
+    let hurt = impacts.iter().filter(|i| i.gain_ps() < -0.5).count();
+    assert!(helped > 0, "some net must gain from MLS");
+    assert!(hurt > 0, "some net must lose from MLS (Table I motivation)");
+}
+
+#[test]
+fn whatif_mls_routes_borrow_idle_memory_metals() {
+    // The Memory-on-Logic premise: the memory die's BEOL is mostly idle,
+    // so logic nets that cross should use its bond-adjacent metals.
+    let d = design();
+    let c = cfg();
+    let (netlist, placement) = prepare(&d, &c).unwrap();
+    let mut router = Router::new(
+        &netlist,
+        &placement,
+        &d.tech,
+        MlsPolicy::Disabled,
+        c.route.clone(),
+    )
+    .unwrap();
+    router.route_all();
+    let routes = router.db();
+    let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
+    let samples = extract_path_samples(&netlist, &placement, &d.tech, &rep, 30);
+    let grid = router.grid().clone();
+
+    let mut crossed = 0;
+    let mut used_mem_top = 0;
+    let mut seen = HashMap::new();
+    for s in &samples {
+        for (i, &net) in s.nets.iter().enumerate() {
+            if !s.eligible[i] || seen.contains_key(&net) {
+                continue;
+            }
+            let cand = router.what_if(net, MlsOverride::Allow);
+            if cand.is_mls {
+                crossed += 1;
+                let (_, mem_mask) = cand.tree.used_layers(&grid);
+                // Bond-adjacent memory metals are the top two (M5/M6 of a
+                // 6-layer stack): bits 4 and 5.
+                if mem_mask & 0b11_0000 != 0 {
+                    used_mem_top += 1;
+                }
+            }
+            seen.insert(net, ());
+        }
+    }
+    assert!(
+        crossed > 3,
+        "what-if must cross for several nets: {crossed}"
+    );
+    assert!(
+        used_mem_top * 2 >= crossed,
+        "most crossings use the memory top metals: {used_mem_top}/{crossed}"
+    );
+}
+
+#[test]
+fn sota_share_map_favors_the_congested_logic_die() {
+    let d = design();
+    let c = cfg();
+    let (netlist, placement) = prepare(&d, &c).unwrap();
+    let router = Router::new(
+        &netlist,
+        &placement,
+        &d.tech,
+        MlsPolicy::sota(),
+        c.route.clone(),
+    )
+    .unwrap();
+    let map = router.share_map().expect("SOTA computes a share map");
+    let (to_logic, to_memory) = map.shared_counts();
+    assert!(
+        to_logic > to_memory,
+        "logic demand dominates a MoL design: {to_logic} vs {to_memory}"
+    );
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over randomly generated designs: invariants of
+//! the netlist/placement/routing/timing pipeline that must hold for
+//! *every* seed and size, not just the benchmark configs.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use gnn_mls::features::{node_features, FeatureScaler, FEATURE_DIM};
+use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+use gnnmls_netlist::graph::CircuitDag;
+use gnnmls_netlist::stats::NetlistStats;
+use gnnmls_netlist::tech::TechConfig;
+use gnnmls_phys::{place, total_hpwl_um, PlaceConfig};
+use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
+use gnnmls_sta::{analyze, StaConfig};
+
+fn small_route_cfg() -> RouteConfig {
+    RouteConfig {
+        target_gcells: 16,
+        ..RouteConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every generated design validates, levelizes, and has sane stats.
+    #[test]
+    fn generated_designs_are_well_formed(
+        pes in 2usize..12,
+        bw in 1usize..4,
+        width in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let cfg = MaeriConfig {
+            pes,
+            bandwidth: bw,
+            data_width: width,
+            seed,
+        };
+        let d = generate_maeri(&cfg, &tech).unwrap();
+        let s = NetlistStats::compute(&d.netlist);
+        prop_assert!(s.cells > 0 && s.nets > 0);
+        prop_assert!(s.max_fanout <= 10, "fanout buffering bound: {}", s.max_fanout);
+        // Every net: one driver + >= 1 sink (validation), and the DAG
+        // levelizes (no combinational loops).
+        let dag = CircuitDag::build(&d.netlist).unwrap();
+        prop_assert_eq!(dag.topo_order().len(), d.netlist.cell_count());
+        prop_assert!(s.nets_3d > 0, "buffer macros force 3D nets");
+    }
+
+    /// Placement keeps every cell inside the die for all seeds.
+    #[test]
+    fn placement_is_always_legal(seed in 0u64..500) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::new(8, 2).with_seed(seed), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig { seed, ..PlaceConfig::default() }).unwrap();
+        for c in d.netlist.cell_ids() {
+            let l = p.loc(c);
+            prop_assert!(p.floorplan().contains(l.x, l.y));
+        }
+        prop_assert!(total_hpwl_um(&d.netlist, &p) >= 0.0);
+    }
+
+    /// Routing covers every sink, extraction is physical (non-negative,
+    /// finite), and the no-MLS policy is airtight for every seed.
+    #[test]
+    fn routing_invariants_hold(seed in 0u64..300) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::new(8, 2).with_seed(seed), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, grid) =
+            route_design(&d.netlist, &p, &tech, MlsPolicy::Disabled, small_route_cfg()).unwrap();
+        prop_assert_eq!(db.nets.len(), d.netlist.net_count());
+        for net in d.netlist.net_ids() {
+            let r = db.route(net);
+            prop_assert_eq!(r.tree.sink_node.len(), d.netlist.sinks(net).len());
+            prop_assert!(r.total_cap_ff >= 0.0 && r.total_cap_ff.is_finite());
+            for &e in &r.sink_elmore_ps {
+                prop_assert!(e >= 0.0 && e.is_finite());
+            }
+            // No MLS: single-die nets never leave their die.
+            if let Some(home) = d.netlist.net_tier(net) {
+                prop_assert!(!r.tree.uses_other_tier(&grid, home));
+                prop_assert!(!r.is_mls);
+            } else {
+                // 3D nets must cross the bond at least once (they may
+                // cross more: free-roaming branches can dip into either
+                // die's metals).
+                prop_assert!(r.f2f_crossings >= 1, "crossings {}", r.f2f_crossings);
+            }
+        }
+    }
+
+    /// STA invariants: finite arrivals, WNS bounds all slacks, violating
+    /// count consistent with slacks.
+    #[test]
+    fn sta_invariants_hold(seed in 0u64..300, mhz in 500.0f64..4000.0) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::new(8, 2).with_seed(seed), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, _) =
+            route_design(&d.netlist, &p, &tech, MlsPolicy::Disabled, small_route_cfg()).unwrap();
+        let rep = analyze(&d.netlist, &db, StaConfig::from_freq_mhz(mhz)).unwrap();
+        let mut violating = 0;
+        for &(_, s) in rep.endpoint_slacks() {
+            prop_assert!(s.is_finite());
+            prop_assert!(s >= rep.wns_ps() - 1e-9);
+            if s < 0.0 {
+                violating += 1;
+            }
+        }
+        prop_assert_eq!(violating, rep.violating_endpoints());
+        prop_assert!(rep.tns_ps() <= 0.0);
+        prop_assert!(rep.eff_freq_mhz() > 0.0);
+    }
+
+    /// Feature extraction + scaling round-trips to finite z-scores.
+    #[test]
+    fn features_standardize_for_all_seeds(seed in 0u64..200) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::new(4, 2).with_seed(seed), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let rows: Vec<[f32; FEATURE_DIM]> = d
+            .netlist
+            .net_ids()
+            .map(|n| node_features(&d.netlist, &p, &tech, n))
+            .collect();
+        let scaler = FeatureScaler::fit(&rows);
+        for r in &rows {
+            for v in scaler.apply(r) {
+                prop_assert!(v.is_finite());
+                prop_assert!(v.abs() < 1e4);
+            }
+        }
+    }
+}
+
+/// Non-proptest invariant with a fixed sweep: MLS permissions are
+/// monotone — allowing more nets can only grow the MLS net set.
+#[test]
+fn mls_permissions_are_respected_exactly() {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let d = generate_maeri(&MaeriConfig::new(16, 4), &tech).unwrap();
+    let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+    let two_d: Vec<_> = d
+        .netlist
+        .net_ids()
+        .filter(|&n| d.netlist.net_tier(n).is_some())
+        .take(40)
+        .collect();
+    let allowed: HashSet<_> = two_d.iter().copied().collect();
+    let policy = MlsPolicy::per_net_from(&d.netlist, two_d.iter().copied());
+    let (db, _) = route_design(&d.netlist, &p, &tech, policy, small_route_cfg()).unwrap();
+    for r in db.mls_nets() {
+        assert!(allowed.contains(&r.net), "unauthorized MLS net {}", r.net);
+    }
+}
