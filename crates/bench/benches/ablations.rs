@@ -41,7 +41,7 @@ fn dataset() -> (Vec<PathSample>, Vec<PathSample>) {
     label_paths(
         &mut samples,
         &netlist,
-        &mut router,
+        &router,
         &routes,
         &OracleConfig::default(),
     );
@@ -138,7 +138,7 @@ fn bench_oracle_threshold(c: &mut Criterion) {
                 label_paths(
                     &mut samples,
                     &netlist,
-                    &mut router,
+                    &router,
                     &routes,
                     &OracleConfig {
                         gain_threshold_ps: thr,

@@ -37,7 +37,7 @@ fn bench_table1(c: &mut Criterion) {
             let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
             let samples = extract_path_samples(&netlist, &placement, &exp.design.tech, &rep, 10);
             let grid = router.grid().clone();
-            net_mls_impact(&samples, &netlist, &mut router, &routes, &grid).len()
+            net_mls_impact(&samples, &netlist, &router, &routes, &grid).len()
         })
     });
 }
@@ -170,7 +170,7 @@ fn bench_stages(c: &mut Criterion) {
             label_paths(
                 &mut samples,
                 &netlist,
-                &mut router,
+                &router,
                 &routes,
                 &OracleConfig::default(),
             )

@@ -42,7 +42,7 @@ fn main() {
     eprintln!("evaluating single-net MLS impact over the 200 worst paths ...");
     let samples = extract_path_samples(&netlist, &placement, &exp.design.tech, &report, 200);
     let grid = router.grid().clone();
-    let impacts = net_mls_impact(&samples, &netlist, &mut router, &routes, &grid);
+    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
 
     let crossed: Vec<&NetImpact> = impacts
         .iter()

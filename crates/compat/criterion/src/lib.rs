@@ -1,0 +1,282 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API subset the workspace benches use: `Criterion` with
+//! `sample_size`/`warm_up_time`/`measurement_time` builders,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is
+//! a plain warm-up + timed-samples loop reporting min/median/mean; the
+//! `--test` flag (as passed by CI smoke runs) executes each benchmark
+//! routine exactly once without timing, and a positional argument
+//! filters benchmarks by substring, both matching criterion's CLI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies the process CLI arguments (`--test`, name filter).
+    /// Called by the `criterion_group!` expansion.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo or users pass that the shim can ignore.
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Whether the driver is in `--test` smoke mode (run once, no timing).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            cfg: self.clone(),
+            samples: Vec::new(),
+        };
+        if self.test_mode {
+            print!("Testing {id} ... ");
+            f(&mut b);
+            println!("ok");
+        } else {
+            f(&mut b);
+            b.report(&id);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks (`group/name` ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(id, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs the routine.
+pub struct Bencher {
+    cfg: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: one timed sample per run, until both the sample
+        // target and the time budget allow stopping.
+        let measure_start = Instant::now();
+        self.samples.clear();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            let done_samples = self.samples.len() >= self.cfg.sample_size;
+            let out_of_time = measure_start.elapsed() >= self.cfg.measurement_time;
+            if done_samples || (out_of_time && !self.samples.is_empty()) {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "{id:<40} time: [min {} median {} mean {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0usize;
+        let mut c = fast_cfg();
+        c.bench_function("counts", |b| b.iter(|| calls += 1));
+        assert!(calls >= 3, "routine ran during warm-up and sampling");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = fast_cfg();
+        c.test_mode = true;
+        let mut calls = 0usize;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = fast_cfg();
+        c.filter = Some("match_me".to_string());
+        let mut calls = 0usize;
+        c.bench_function("other", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+        c.bench_function("does_match_me_yes", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = fast_cfg();
+        c.filter = Some("grp/inner".to_string());
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("inner", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert!(calls > 0, "group id should be group/name");
+    }
+}

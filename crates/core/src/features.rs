@@ -46,7 +46,7 @@ pub fn node_features(
     // early wire estimate.
     let stack_rc = |tier: Tier| {
         let s = tech.stack(tier);
-        let mid = s.layer(((s.len() + 1) / 2) as u8);
+        let mid = s.layer(s.len().div_ceil(2) as u8);
         (mid.r_kohm_per_um, mid.c_ff_per_um)
     };
     let (r_um, c_um) = match home {

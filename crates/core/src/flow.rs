@@ -31,7 +31,7 @@ use gnnmls_sta::{analyze, StaConfig};
 use crate::checkpoint::{CheckpointError, ModelCheckpoint};
 use crate::model::{GnnMls, ModelConfig};
 use crate::oracle::{label_paths, OracleConfig};
-use crate::paths::extract_path_samples;
+use crate::paths::extract_path_samples_par;
 use crate::report::{FlowReport, PdnSummary, TrainSummary};
 
 /// Which MLS strategy the flow applies.
@@ -95,6 +95,13 @@ pub struct FlowConfig {
     pub save_model: Option<std::path::PathBuf>,
     /// Run the PDN/IR analysis (skippable for timing-only sweeps).
     pub analyze_pdn: bool,
+    /// Worker threads for the flow's parallel phases — the what-if
+    /// oracle, speculative rip-up rerouting, path extraction, and model
+    /// inference. `0` = all available cores, `1` = fully serial; results
+    /// are bit-identical for every value. This flow-level knob is copied
+    /// into [`RouteConfig::threads`] wherever the flow builds a router
+    /// (overriding whatever `route.threads` holds).
+    pub threads: usize,
 }
 
 impl FlowConfig {
@@ -118,6 +125,7 @@ impl FlowConfig {
             pretrained: None,
             save_model: None,
             analyze_pdn: true,
+            threads: 0,
         }
     }
 
@@ -138,6 +146,20 @@ impl FlowConfig {
     pub fn with_dft(mut self, mode: DftMode) -> Self {
         self.dft = Some(mode);
         self
+    }
+
+    /// Sets the worker-thread knob (`0` = all cores, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The routing config with the flow-level thread knob applied.
+    fn route_cfg(&self) -> RouteConfig {
+        RouteConfig {
+            threads: self.threads,
+            ..self.route.clone()
+        }
     }
 }
 
@@ -264,7 +286,7 @@ pub fn run_flow(
         &placement,
         tech,
         route_policy.clone(),
-        cfg.route.clone(),
+        cfg.route_cfg(),
     )?;
     let mut timing = analyze(&netlist, &routes, sta_cfg)?;
 
@@ -299,7 +321,7 @@ pub fn run_flow(
             }
             let post_policy = MlsPolicy::per_net_from(&netlist, allowed.iter().copied());
             let (r2, _post_grid) =
-                route_design(&netlist, &placement, tech, post_policy, cfg.route.clone())?;
+                route_design(&netlist, &placement, tech, post_policy, cfg.route_cfg())?;
             routes = r2;
             timing = analyze(&netlist, &routes, sta_cfg)?;
         }
@@ -377,7 +399,7 @@ fn learn_decisions(
         placement,
         tech,
         MlsPolicy::Disabled,
-        cfg.route.clone(),
+        cfg.route_cfg(),
     )?;
     router.route_all();
     let routes = router.db();
@@ -385,11 +407,13 @@ fn learn_decisions(
 
     let total = baseline.endpoint_count();
     let infer_k = cfg.inference_paths.min(total);
-    let mut infer = extract_path_samples(netlist, placement, tech, &baseline, infer_k);
+    let mut infer =
+        extract_path_samples_par(netlist, placement, tech, &baseline, infer_k, cfg.threads);
 
     // A pre-trained checkpoint skips the oracle and training entirely.
     if let Some(cp) = &cfg.pretrained {
-        let model = GnnMls::from_checkpoint(cp.clone())?;
+        let mut model = GnnMls::from_checkpoint(cp.clone())?;
+        model.set_threads(cfg.threads);
         let selected = model.decide(&infer);
         return Ok((selected, TrainSummary::default()));
     }
@@ -400,10 +424,11 @@ fn learn_decisions(
     // Training set = the worst `train_k` paths; evaluation set = the next
     // `eval_k`.
     let mut labeled: Vec<_> = infer.iter().take(train_k + eval_k).cloned().collect();
-    let stats = label_paths(&mut labeled, netlist, &mut router, &routes, &cfg.oracle);
+    let stats = label_paths(&mut labeled, netlist, &router, &routes, &cfg.oracle);
     let (train_set, eval_set) = labeled.split_at(train_k);
 
     let mut model = GnnMls::new(cfg.model.clone());
+    model.set_threads(cfg.threads);
     let pretrain_loss = model.pretrain(&infer);
     let train_metrics = model.finetune(train_set);
     let eval_metrics = if eval_set.is_empty() {

@@ -94,6 +94,12 @@ pub struct GnnMls {
     head: Mlp,
     scaler: Option<FeatureScaler>,
     rng: StdRng,
+    /// Worker threads for inference fan-out (`0` = all cores). Runtime
+    /// state, not a hyperparameter: never checkpointed, never affects
+    /// results — per-path prediction is pure, so [`GnnMls::decide`] and
+    /// [`GnnMls::evaluate`] are bit-identical for any value. Training
+    /// (SGD) stays serial: its updates are order-dependent.
+    threads: usize,
 }
 
 impl GnnMls {
@@ -129,12 +135,18 @@ impl GnnMls {
             encoder,
             head,
             scaler: None,
+            threads: 0,
         }
     }
 
     /// The configuration used.
     pub fn config(&self) -> &ModelConfig {
         &self.cfg
+    }
+
+    /// Sets the inference thread count (`0` = all cores, `1` = serial).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
     }
 
     /// Fits the feature scaler (idempotent; called by training).
@@ -227,16 +239,14 @@ impl GnnMls {
                 neg_nodes += l.iter().filter(|&&b| !b).count();
             }
         }
-        let repeat = if pos_nodes == 0 {
-            1
-        } else {
-            (neg_nodes / pos_nodes / 3).clamp(1, 6)
-        };
+        let repeat = neg_nodes
+            .checked_div(pos_nodes)
+            .map_or(1, |r| (r / 3).clamp(1, 6));
         let order: Vec<&PathSample> = samples
             .iter()
             .flat_map(|s| {
                 let has_pos = s.labels.as_ref().is_some_and(|l| l.iter().any(|&b| b));
-                std::iter::repeat(s).take(if has_pos { repeat } else { 1 })
+                std::iter::repeat_n(s, if has_pos { repeat } else { 1 })
             })
             .collect();
         for epoch in 0..self.cfg.finetune_epochs {
@@ -296,13 +306,17 @@ impl GnnMls {
     ///
     /// Panics if any sample lacks labels.
     pub fn evaluate(&self, samples: &[PathSample]) -> Classification {
-        let mut m = Classification::default();
-        for s in samples {
+        // Per-sample prediction is pure; fan it out, fold in input order.
+        let per_sample = gnnmls_par::par_map(self.threads, samples, |s| {
             let labels = s.labels.as_ref().expect("evaluation needs labels");
             let probs = self.predict_path(s);
             let logits =
                 Tensor::from_flat(probs.len(), 1, probs.iter().map(|&p| p - 0.5).collect());
-            m = m.merge(&Classification::from_logits(&logits, labels));
+            Classification::from_logits(&logits, labels)
+        });
+        let mut m = Classification::default();
+        for c in &per_sample {
+            m = m.merge(c);
         }
         m
     }
@@ -314,13 +328,21 @@ impl GnnMls {
     /// passing paths alone is what keeps GNN-MLS from the indiscriminate
     /// regressions the SOTA shows (Table I).
     pub fn decide(&self, samples: &[PathSample]) -> Vec<NetId> {
-        let mut best: HashMap<NetId, f32> = HashMap::new();
-        for s in samples {
+        // Predict violating paths concurrently, then reduce serially in
+        // input order (max-per-net is order-independent anyway).
+        let probs_per_sample = gnnmls_par::par_map(self.threads, samples, |s| {
             if s.path.slack_ps >= 0.0 {
-                continue;
+                None
+            } else {
+                Some(self.predict_path(s))
             }
-            let probs = self.predict_path(s);
-            for ((&net, &eligible), &p) in s.nets.iter().zip(&s.eligible).zip(&probs) {
+        });
+        let mut best: HashMap<NetId, f32> = HashMap::new();
+        for (s, probs) in samples.iter().zip(&probs_per_sample) {
+            let Some(probs) = probs else {
+                continue;
+            };
+            for ((&net, &eligible), &p) in s.nets.iter().zip(&s.eligible).zip(probs) {
                 if !eligible {
                     continue;
                 }

@@ -9,7 +9,7 @@
 //! on a *budgeted* sample of paths, which is what makes training labels
 //! affordable while the learned model generalizes to the rest.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -51,42 +51,78 @@ pub struct OracleStats {
 ///
 /// What-if routes are cached per net, so a net shared by several paths is
 /// re-routed once.
+///
+/// The what-if fan-out is the oracle's hot loop and runs on
+/// [`gnnmls_route::RouteConfig::threads`] workers (read from the
+/// router's config): every distinct eligible net is what-if routed
+/// concurrently against the same committed state, then each sample's
+/// slack deltas are evaluated concurrently from the shared cache. Both
+/// stages are pure per item, so labels, counts, and cache contents are
+/// bit-identical to the serial pass for any thread count.
 pub fn label_paths(
     samples: &mut [PathSample],
     netlist: &Netlist,
-    router: &mut Router<'_>,
+    router: &Router<'_>,
     routes: &RouteDb,
     cfg: &OracleConfig,
 ) -> OracleStats {
-    let mut stats = OracleStats::default();
-    let mut cache: HashMap<NetId, NetRoute> = HashMap::new();
+    let threads = router.config().threads;
 
-    for sample in samples.iter_mut() {
-        let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
-        let mut labels = Vec::with_capacity(sample.len());
+    // Distinct eligible nets in first-occurrence order (the serial
+    // cache-miss order), each detached-re-routed exactly once.
+    let mut order: Vec<NetId> = Vec::new();
+    let mut seen: HashSet<NetId> = HashSet::new();
+    for sample in samples.iter() {
         for (i, &net) in sample.nets.iter().enumerate() {
-            if !sample.eligible[i] {
-                labels.push(false);
-                continue;
+            if sample.eligible[i] && seen.insert(net) {
+                order.push(net);
             }
-            if !cache.contains_key(&net) {
-                let cand = router.what_if(net, MlsOverride::Allow);
-                cache.insert(net, cand);
-                stats.what_ifs += 1;
-            }
-            let cand = &cache[&net];
-            let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
-            subs.insert(net, cand);
-            let gain = sample.path.slack_with(netlist, routes, &subs) - base_slack;
-            let positive = cand.is_mls && gain > cfg.gain_threshold_ps;
-            if positive {
-                stats.positive += 1;
-            } else {
-                stats.negative += 1;
-            }
-            labels.push(positive);
         }
+    }
+    let cands = gnnmls_par::par_map_with(
+        threads,
+        order.len(),
+        || router.scratch(),
+        |scratch, i| router.what_if(scratch, order[i], MlsOverride::Allow),
+    );
+    let cache: HashMap<NetId, NetRoute> = order.iter().copied().zip(cands).collect();
+
+    // Per-sample label evaluation is pure given the cache.
+    let samples_ro: &[PathSample] = samples;
+    let per_sample: Vec<(Vec<bool>, usize, usize)> =
+        gnnmls_par::par_map_n(threads, samples_ro.len(), |s| {
+            let sample = &samples_ro[s];
+            let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
+            let mut labels = Vec::with_capacity(sample.len());
+            let (mut positive, mut negative) = (0usize, 0usize);
+            for (i, &net) in sample.nets.iter().enumerate() {
+                if !sample.eligible[i] {
+                    labels.push(false);
+                    continue;
+                }
+                let cand = &cache[&net];
+                let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
+                subs.insert(net, cand);
+                let gain = sample.path.slack_with(netlist, routes, &subs) - base_slack;
+                let is_pos = cand.is_mls && gain > cfg.gain_threshold_ps;
+                if is_pos {
+                    positive += 1;
+                } else {
+                    negative += 1;
+                }
+                labels.push(is_pos);
+            }
+            (labels, positive, negative)
+        });
+
+    let mut stats = OracleStats {
+        what_ifs: order.len(),
+        ..OracleStats::default()
+    };
+    for (sample, (labels, positive, negative)) in samples.iter_mut().zip(per_sample) {
         sample.labels = Some(labels);
+        stats.positive += positive;
+        stats.negative += negative;
         stats.paths += 1;
     }
     stats
@@ -154,35 +190,43 @@ impl NetImpact {
 pub fn net_mls_impact(
     samples: &[PathSample],
     netlist: &Netlist,
-    router: &mut Router<'_>,
+    router: &Router<'_>,
     routes: &RouteDb,
     grid: &gnnmls_route::RoutingGrid,
 ) -> Vec<NetImpact> {
-    let mut seen: HashMap<NetId, NetImpact> = HashMap::new();
-    for sample in samples {
-        let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
+    // Each distinct eligible net is evaluated against the first sample
+    // that mentions it; the pairs are independent, so fan them out.
+    let mut order: Vec<(NetId, usize)> = Vec::new();
+    let mut seen: HashSet<NetId> = HashSet::new();
+    for (s, sample) in samples.iter().enumerate() {
         for (i, &net) in sample.nets.iter().enumerate() {
-            if !sample.eligible[i] || seen.contains_key(&net) {
-                continue;
+            if sample.eligible[i] && seen.insert(net) {
+                order.push((net, s));
             }
-            let cand = router.what_if(net, MlsOverride::Allow);
+        }
+    }
+    let mut v: Vec<NetImpact> = gnnmls_par::par_map_with(
+        router.config().threads,
+        order.len(),
+        || router.scratch(),
+        |scratch, k| {
+            let (net, s) = order[k];
+            let sample = &samples[s];
+            let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
+            let cand = router.what_if(scratch, net, MlsOverride::Allow);
             let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
             subs.insert(net, &cand);
             let after = sample.path.slack_with(netlist, routes, &subs);
-            seen.insert(
+            NetImpact {
                 net,
-                NetImpact {
-                    net,
-                    name: netlist.net(net).name.clone(),
-                    slack_before_ps: base_slack,
-                    slack_after_ps: after,
-                    metals_before: routes.route(net).tree.used_layers(grid),
-                    metals_after: cand.tree.used_layers(grid),
-                },
-            );
-        }
-    }
-    let mut v: Vec<NetImpact> = seen.into_values().collect();
+                name: netlist.net(net).name.clone(),
+                slack_before_ps: base_slack,
+                slack_after_ps: after,
+                metals_before: routes.route(net).tree.used_layers(grid),
+                metals_after: cand.tree.used_layers(grid),
+            }
+        },
+    );
     v.sort_by(|a, b| b.gain_ps().total_cmp(&a.gain_ps()).then(a.net.cmp(&b.net)));
     v
 }
@@ -222,7 +266,7 @@ mod tests {
         let stats = label_paths(
             &mut samples,
             &netlist,
-            &mut router,
+            &router,
             &routes,
             &OracleConfig::default(),
         );
@@ -271,7 +315,7 @@ mod tests {
         let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
         let samples = extract_path_samples(&netlist, &placement, &tech, &rep, 20);
         let grid = router.grid().clone();
-        let impacts = net_mls_impact(&samples, &netlist, &mut router, &routes, &grid);
+        let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
         assert!(!impacts.is_empty());
         // Sorted descending by gain.
         for w in impacts.windows(2) {
@@ -280,6 +324,48 @@ mod tests {
         // Every impact row has valid metal strings.
         for i in impacts.iter().take(5) {
             assert!(!NetImpact::metals_str(i.metals_before).is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_identical_across_thread_counts() {
+        let (netlist, placement, tech) = setup();
+        let run = |threads: usize| {
+            let mut router = Router::new(
+                &netlist,
+                &placement,
+                &tech,
+                MlsPolicy::Disabled,
+                RouteConfig {
+                    threads,
+                    ..RouteConfig::default()
+                },
+            )
+            .unwrap();
+            router.route_all();
+            let routes = router.db();
+            let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
+            let mut samples = extract_path_samples(&netlist, &placement, &tech, &rep, 25);
+            let stats = label_paths(
+                &mut samples,
+                &netlist,
+                &router,
+                &routes,
+                &OracleConfig::default(),
+            );
+            let labels: Vec<Vec<bool>> =
+                samples.iter().map(|s| s.labels.clone().unwrap()).collect();
+            (stats, labels, routes.summary)
+        };
+        let serial = run(1);
+        for threads in [2, 4, 0] {
+            let par = run(threads);
+            assert_eq!(serial.0, par.0, "OracleStats differ at threads={threads}");
+            assert_eq!(serial.1, par.1, "labels differ at threads={threads}");
+            assert_eq!(
+                serial.2, par.2,
+                "RouteDb summary differs at threads={threads}"
+            );
         }
     }
 

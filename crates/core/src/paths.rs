@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use gnnmls_netlist::tech::TechConfig;
 use gnnmls_netlist::{NetId, Netlist, Tier};
 use gnnmls_phys::Placement;
-use gnnmls_sta::path::worst_paths;
+use gnnmls_sta::path::worst_paths_par;
 use gnnmls_sta::{TimingPath, TimingReport};
 
 use crate::features::{node_features, FEATURE_DIM};
@@ -52,10 +52,24 @@ pub fn extract_path_samples(
     report: &TimingReport,
     k: usize,
 ) -> Vec<PathSample> {
-    worst_paths(netlist, report, k)
-        .into_iter()
-        .map(|path| sample_from_path(netlist, placement, tech, path))
-        .collect()
+    extract_path_samples_par(netlist, placement, tech, report, k, 1)
+}
+
+/// [`extract_path_samples`] with extraction and featurization fanned
+/// out over `threads` workers (`0` = all cores). Both stages are pure
+/// per path, so the samples are identical for every thread count.
+pub fn extract_path_samples_par(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &TechConfig,
+    report: &TimingReport,
+    k: usize,
+    threads: usize,
+) -> Vec<PathSample> {
+    let paths = worst_paths_par(netlist, report, k, threads);
+    gnnmls_par::par_map_n(threads, paths.len(), |i| {
+        sample_from_path(netlist, placement, tech, paths[i].clone())
+    })
 }
 
 /// Converts one timing path into a sample.

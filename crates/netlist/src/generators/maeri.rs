@@ -426,7 +426,7 @@ mod tests {
         let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
         let s = NetlistStats::compute(&d.netlist);
         assert!(s.cells > 500, "16PE should have hundreds of cells: {s}");
-        assert!(s.macros >= 4 + 2 + 1, "gbuf + lbuf + obuf macros");
+        assert!(s.macros > 4 + 2, "gbuf + lbuf + obuf macros");
         assert!(s.registers > 50);
         assert!(s.nets_3d > 0, "buffer links must cross tiers");
         assert!(s.logic_2d_nets > s.nets_3d, "most nets are on-tier");

@@ -126,9 +126,7 @@ pub fn parse_verilog(src: &str, tech: &TechConfig) -> Result<Netlist, ParseVeril
             continue;
         }
         if let Some(rest) = s.strip_prefix("module ") {
-            let name = rest
-                .trim_end_matches(|c| c == ';' || c == ')' || c == '(')
-                .trim();
+            let name = rest.trim_end_matches([';', ')', '(']).trim();
             builder = Some(NetlistBuilder::new(name));
             continue;
         }

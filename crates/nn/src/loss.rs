@@ -43,7 +43,7 @@ pub fn dgi_loss(tape: &mut Tape, h: Var, h_corrupt: Var) -> Var {
     let neg_t = tape.transpose(neg); // 1 × m
     let logits = tape.concat_cols(&[pos_t, neg_t]); // 1 × (n+m)
     let mut targets = vec![1.0f32; n];
-    targets.extend(std::iter::repeat(0.0).take(m));
+    targets.extend(std::iter::repeat_n(0.0, m));
     tape.bce_with_logits(logits, &targets)
 }
 

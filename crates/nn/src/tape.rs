@@ -365,8 +365,8 @@ impl Tape {
                         let inv = 1.0 / (var + eps).sqrt();
                         let xhat: Vec<f32> = row.iter().map(|v| (v - mean) * inv).collect();
                         // dgamma / dbeta.
-                        for c in 0..cols {
-                            ggamma.set(0, c, ggamma.get(0, c) + gy.get(r, c) * xhat[c]);
+                        for (c, &xh) in xhat.iter().enumerate() {
+                            ggamma.set(0, c, ggamma.get(0, c) + gy.get(r, c) * xh);
                             gbeta.set(0, c, gbeta.get(0, c) + gy.get(r, c));
                         }
                         // dx.

@@ -258,13 +258,13 @@ impl Tensor {
 
 /// GELU (tanh approximation) applied elementwise.
 pub fn gelu(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
 }
 
 /// Derivative of [`gelu`].
 pub fn gelu_grad(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56;
+    const C: f32 = 0.797_884_6;
     let u = C * (x + 0.044_715 * x * x * x);
     let t = u.tanh();
     let du = C * (1.0 + 3.0 * 0.044_715 * x * x);

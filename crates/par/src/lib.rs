@@ -1,0 +1,198 @@
+//! Deterministic fork-join parallelism for the GNN-MLS workspace.
+//!
+//! The router's what-if oracle and rip-up rounds fan out over items
+//! whose results must come back **in input order** so parallel runs are
+//! bit-identical to serial ones. This crate provides exactly that: an
+//! ordered parallel map built on `std::thread::scope` with an atomic
+//! work index (no external dependencies — the build environment is
+//! offline). Each result is written to its own pre-allocated slot, so
+//! output order never depends on thread scheduling; only wall-clock
+//! time does.
+//!
+//! `threads == 1` bypasses thread spawning entirely and runs the plain
+//! serial loop, making the serial path exactly today's code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of logical cores (the `threads = 0` default).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a `threads` knob value: `0` means "all cores".
+///
+/// When the knob is `0`, the `GNNMLS_THREADS` environment variable (if
+/// set to a positive integer) overrides the core count. CI uses this to
+/// run the whole suite in forced-serial and default-parallel modes
+/// without touching any config; results are bit-identical either way.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::env::var("GNNMLS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(available_parallelism)
+    } else {
+        threads
+    }
+}
+
+/// Ordered parallel map over `0..n`: returns `vec![f(0), f(1), ..]`.
+///
+/// Results are identical to the serial loop for any thread count; only
+/// the evaluation schedule differs. Worker panics propagate.
+pub fn par_map_n<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_with(threads, n, || (), |(), i| f(i))
+}
+
+/// Ordered parallel map over a slice.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_n(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Ordered parallel map with per-worker scratch state.
+///
+/// `make_scratch` runs once per worker thread (once total when serial);
+/// `f` may freely mutate the scratch between items. This is how the
+/// router shares one A* scratch buffer per thread instead of
+/// reallocating per net.
+pub fn par_map_with<S, R, FS, F>(threads: usize, n: usize, make_scratch: FS, f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        let mut scratch = make_scratch();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let slots = SlotWriter(results.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            let make_scratch = &make_scratch;
+            scope.spawn(move || {
+                let mut scratch = make_scratch();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&mut scratch, i);
+                    // SAFETY: `fetch_add` hands each index to exactly one
+                    // worker, so no two threads ever write the same slot,
+                    // and the scope joins all workers before `results` is
+                    // read again.
+                    unsafe { slots.0.add(i).write(Some(r)) };
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index claimed by exactly one worker"))
+        .collect()
+}
+
+struct SlotWriter<R>(*mut Option<R>);
+
+// SAFETY: workers write disjoint slots (see par_map_with) and the
+// pointee outlives the scope that shares the pointer.
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_for_any_thread_count() {
+        let expect: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = par_map_n(threads, 257, |i| i * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let items: Vec<String> = (0..64).map(|i| format!("n{i}")).collect();
+        let got = par_map(4, &items, |s| s.len());
+        let expect: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scratch_is_per_worker() {
+        let n = 100;
+        // Parallel: per-worker counters each start at zero and never
+        // exceed the number of items.
+        let parallel = par_map_with(
+            4,
+            n,
+            || 0usize,
+            |count, _i| {
+                *count += 1;
+                *count
+            },
+        );
+        assert!(parallel.iter().all(|&c| c >= 1 && c <= n));
+        // Serial path: one scratch sees every item in order.
+        let serial = par_map_with(
+            1,
+            n,
+            || 0usize,
+            |count, _i| {
+                *count += 1;
+                *count
+            },
+        );
+        assert_eq!(serial, (1..=n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_n(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_n(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn zero_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let got = par_map_n(0, 50, |i| i);
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        par_map_n(4, 16, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

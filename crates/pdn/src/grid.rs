@@ -129,7 +129,8 @@ impl PdnGrid {
         let y = node / self.nx;
         let on_x_edge = x == 0 || x == self.nx - 1;
         let on_y_edge = y == 0 || y == self.ny - 1;
-        (on_x_edge && y % self.pad_every == 0) || (on_y_edge && x % self.pad_every == 0)
+        (on_x_edge && y.is_multiple_of(self.pad_every))
+            || (on_y_edge && x.is_multiple_of(self.pad_every))
     }
 }
 

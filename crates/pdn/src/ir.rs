@@ -184,6 +184,7 @@ pub fn currents_from_power(
 /// stays within `budget_pct` of `vdd_ref`, widening in 0.1 µm steps up to
 /// 80 % of the pitch. Returns the chosen spec and its IR report (the last
 /// attempt if the budget is unreachable).
+#[allow(clippy::too_many_arguments)]
 pub fn size_for_budget(
     fp: &Floorplan,
     tech: &TechConfig,

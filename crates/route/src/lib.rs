@@ -44,5 +44,5 @@ pub use db::{NetRoute, RouteDb, RouteSummary};
 pub use grid::{GridLayer, RoutingGrid};
 pub use policy::{MlsPolicy, SotaShareMap};
 pub use render::{congestion_svg, mls_pad_map, usage_map};
-pub use router::{route_design, RouteConfig, RouteError, Router};
+pub use router::{route_design, MlsOverride, RouteConfig, RouteError, RouteScratch, Router};
 pub use tree::RouteTree;

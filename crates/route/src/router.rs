@@ -49,6 +49,11 @@ pub struct RouteConfig {
     /// A* expansion budget per sink before falling back to pattern
     /// routing.
     pub max_expansions: usize,
+    /// Worker threads for parallel routing phases (what-if fan-out and
+    /// speculative rip-up rounds). `0` means "all available cores";
+    /// `1` runs the exact serial code path. Results are bit-identical
+    /// for every thread count.
+    pub threads: usize,
 }
 
 impl Default for RouteConfig {
@@ -63,6 +68,7 @@ impl Default for RouteConfig {
             overflow_penalty: 12.0,
             ripup_rounds: 1,
             max_expansions: 400_000,
+            threads: 0,
         }
     }
 }
@@ -102,15 +108,26 @@ pub enum MlsOverride {
     Deny,
 }
 
+/// Reusable per-thread A* working state.
+///
+/// Routing reads shared router state (`&Router`) but writes only into a
+/// scratch, so independent searches can run concurrently, each with its
+/// own scratch (mint one per worker via [`Router::scratch`]). Besides
+/// the distance/backtrack arrays, the scratch records the search
+/// *footprint* — every node stamped since the last [`RouteScratch::
+/// begin_footprint`] — which is exactly the set of nodes whose incident
+/// edges' congestion a search may have read. Speculative parallel
+/// rip-up uses that to detect when a result must be recomputed.
 #[derive(Debug, Default)]
-struct Scratch {
+pub struct RouteScratch {
     dist: Vec<f32>,
     came: Vec<u32>,
     stamp: Vec<u32>,
     epoch: u32,
+    footprint: Vec<u32>,
 }
 
-impl Scratch {
+impl RouteScratch {
     fn ensure(&mut self, n: usize) {
         if self.dist.len() < n {
             self.dist.resize(n, 0.0);
@@ -131,9 +148,51 @@ impl Scratch {
 
     #[inline]
     fn set(&mut self, node: u32, d: f32, from: u32) {
+        if self.stamp[node as usize] != self.epoch {
+            self.footprint.push(node);
+        }
         self.dist[node as usize] = d;
         self.came[node as usize] = from;
         self.stamp[node as usize] = self.epoch;
+    }
+
+    /// Clears the recorded footprint; subsequent searches accumulate
+    /// into a fresh set.
+    fn begin_footprint(&mut self) {
+        self.footprint.clear();
+    }
+
+    /// Nodes stamped since the last [`RouteScratch::begin_footprint`].
+    fn footprint(&self) -> &[u32] {
+        &self.footprint
+    }
+}
+
+/// Usage counts to *subtract* while costing edges: the committed
+/// contribution of the net being what-if re-routed. This lets what-if
+/// routing run against `&Router` (no mutate-and-restore), seeing the
+/// exact same congestion numbers the old detached route saw.
+#[derive(Debug, Default)]
+struct ExcludedUsage {
+    h: std::collections::HashMap<usize, u16>,
+    v: std::collections::HashMap<usize, u16>,
+    f2f: std::collections::HashMap<usize, u16>,
+}
+
+impl ExcludedUsage {
+    #[inline]
+    fn sub_h(&self, idx: usize, usage: u16) -> u16 {
+        usage - self.h.get(&idx).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn sub_v(&self, idx: usize, usage: u16) -> u16 {
+        usage - self.v.get(&idx).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn sub_f2f(&self, idx: usize, usage: u16) -> u16 {
+        usage - self.f2f.get(&idx).copied().unwrap_or(0)
     }
 }
 
@@ -183,7 +242,7 @@ pub struct Router<'a> {
     routes: Vec<Option<NetRoute>>,
     home: Vec<Option<Tier>>,
     congestion_scale: f64,
-    scratch: Scratch,
+    scratch: RouteScratch,
 }
 
 impl<'a> Router<'a> {
@@ -244,7 +303,7 @@ impl<'a> Router<'a> {
             routes: vec![None; netlist.net_count()],
             home,
             congestion_scale: 1.0,
-            scratch: Scratch::default(),
+            scratch: RouteScratch::default(),
             grid,
             cfg,
         })
@@ -256,6 +315,19 @@ impl<'a> Router<'a> {
         &self.grid
     }
 
+    /// The router's configuration.
+    #[inline]
+    pub fn config(&self) -> &RouteConfig {
+        &self.cfg
+    }
+
+    /// Mints a fresh A* scratch sized lazily on first use. Callers that
+    /// fan what-if routing out across threads create one per worker.
+    #[inline]
+    pub fn scratch(&self) -> RouteScratch {
+        RouteScratch::default()
+    }
+
     /// The SOTA share map, if the policy computed one.
     #[inline]
     pub fn share_map(&self) -> Option<&SotaShareMap> {
@@ -263,6 +335,17 @@ impl<'a> Router<'a> {
     }
 
     /// Routes every net, then runs the configured rip-up rounds.
+    ///
+    /// Rip-up rounds re-route their victims concurrently when
+    /// [`RouteConfig::threads`] allows. All victims are ripped first,
+    /// each is routed speculatively against that frozen snapshot on a
+    /// worker thread, and results commit serially in victim order. A
+    /// speculative result is reused only if its search footprint is
+    /// disjoint from every earlier-committed victim's new tree — the
+    /// only way it could have read congestion the serial schedule would
+    /// have seen differently — otherwise that net is re-routed in place
+    /// against current state. Either way the outcome is bit-identical
+    /// to the serial schedule.
     pub fn route_all(&mut self) {
         let mut order: Vec<NetId> = self.netlist.net_ids().collect();
         order.sort_by(|&a, &b| {
@@ -287,15 +370,53 @@ impl<'a> Router<'a> {
             for &net in &victims {
                 self.rip_up(net);
             }
-            for &net in &victims {
-                let r = self.route_net(net, MlsOverride::UsePolicy, true);
-                self.routes[net.index()] = Some(r);
-            }
+            self.reroute_victims(&victims);
         }
         // Final overflow flags against settled usage.
         for net in self.netlist.net_ids() {
             let of = self.tree_overflows(&self.routes[net.index()].as_ref().unwrap().tree);
             self.routes[net.index()].as_mut().unwrap().overflowed = of;
+        }
+    }
+
+    /// Re-routes one round's already-ripped victims, committing in
+    /// victim order (see [`Router::route_all`] for the speculation
+    /// scheme and why it is deterministic).
+    fn reroute_victims(&mut self, victims: &[NetId]) {
+        let workers = gnnmls_par::resolve_threads(self.cfg.threads);
+        if workers <= 1 || victims.len() < 2 {
+            for &net in victims {
+                let r = self.route_net(net, MlsOverride::UsePolicy, true);
+                self.routes[net.index()] = Some(r);
+            }
+            return;
+        }
+
+        // Speculative pass against the frozen (all-victims-ripped) state.
+        let this: &Router<'_> = self;
+        let speculated = gnnmls_par::par_map_with(
+            self.cfg.threads,
+            victims.len(),
+            || this.scratch(),
+            |scratch, i| {
+                let r = this.compute_route(scratch, victims[i], MlsOverride::UsePolicy, None);
+                (r, scratch.footprint().to_vec())
+            },
+        );
+
+        // Serial-order commit with footprint validation.
+        let mut committed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (i, (route, footprint)) in speculated.into_iter().enumerate() {
+            let net = victims[i];
+            let valid = footprint.iter().all(|n| !committed.contains(n));
+            let route = if valid {
+                self.apply_usage(&route.tree, 1);
+                route
+            } else {
+                self.route_net(net, MlsOverride::UsePolicy, true)
+            };
+            committed.extend(route.tree.nodes.iter().copied());
+            self.routes[net.index()] = Some(route);
         }
     }
 
@@ -309,17 +430,39 @@ impl<'a> Router<'a> {
     /// Detached what-if: the route this net would get under `ov`, leaving
     /// all committed state untouched. This is the iterative-STA primitive
     /// (disconnect → re-route → re-extract) used by the label oracle.
-    pub fn what_if(&mut self, net: NetId, ov: MlsOverride) -> NetRoute {
-        let saved = self.routes[net.index()].take();
-        if let Some(r) = &saved {
-            self.apply_usage(&r.tree, -1);
+    ///
+    /// Takes `&self` plus a caller-owned [`RouteScratch`] (mint with
+    /// [`Router::scratch`]), so independent what-ifs for different nets
+    /// can run concurrently against the same committed state. The net's
+    /// own committed usage is subtracted via a read-only overlay rather
+    /// than mutate-and-restore, so the search sees the exact congestion
+    /// numbers a detached re-route always saw.
+    pub fn what_if(&self, scratch: &mut RouteScratch, net: NetId, ov: MlsOverride) -> NetRoute {
+        let exclude = self.excluded_for(net);
+        self.compute_route(scratch, net, ov, exclude.as_ref())
+    }
+
+    /// Usage overlay subtracting `net`'s committed tree, if any.
+    fn excluded_for(&self, net: NetId) -> Option<ExcludedUsage> {
+        let route = self.routes[net.index()].as_ref()?;
+        let tree = &route.tree;
+        let mut ex = ExcludedUsage::default();
+        for i in 1..tree.nodes.len() {
+            let a = tree.nodes[tree.parent[i] as usize];
+            let b = tree.nodes[i];
+            let (xa, ya, za) = self.grid.coords(a);
+            let (xb, yb, zb) = self.grid.coords(b);
+            if za == zb {
+                if ya == yb {
+                    *ex.h.entry(self.edge_idx(za, xa.min(xb), ya)).or_insert(0) += 1;
+                } else {
+                    *ex.v.entry(self.edge_idx(za, xa, ya.min(yb))).or_insert(0) += 1;
+                }
+            } else if self.grid.is_f2f_via(za.min(zb)) {
+                *ex.f2f.entry(ya * self.grid.nx + xa).or_insert(0) += 1;
+            }
         }
-        let cand = self.route_net(net, ov, false);
-        if let Some(r) = &saved {
-            self.apply_usage(&r.tree, 1);
-        }
-        self.routes[net.index()] = saved;
-        cand
+        Some(ex)
     }
 
     /// Snapshot of all routes plus summary metrics.
@@ -388,7 +531,30 @@ impl<'a> Router<'a> {
         self.grid.node(gx, gy, z)
     }
 
+    /// Committing wrapper around [`Router::compute_route`] using the
+    /// router's own scratch (the serial hot path).
     fn route_net(&mut self, net: NetId, ov: MlsOverride, commit: bool) -> NetRoute {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = self.compute_route(&mut scratch, net, ov, None);
+        self.scratch = scratch;
+        if commit {
+            self.apply_usage(&r.tree, 1);
+        }
+        r
+    }
+
+    /// Routes one net against current committed usage (minus `exclude`,
+    /// if given) without committing anything: reads `&self`, writes only
+    /// into `scratch`. The scratch's footprint is reset first, so after
+    /// the call it holds every node this search stamped.
+    fn compute_route(
+        &self,
+        scratch: &mut RouteScratch,
+        net: NetId,
+        ov: MlsOverride,
+        exclude: Option<&ExcludedUsage>,
+    ) -> NetRoute {
+        scratch.begin_footprint();
         let driver = self.netlist.driver(net);
         let root = self.pin_node(driver);
         let mut builder = RouteTreeBuilder::new(&self.grid, &self.f2f, root);
@@ -415,9 +581,7 @@ impl<'a> Router<'a> {
             if builder.contains(target) {
                 continue;
             }
-            let mut scratch = std::mem::take(&mut self.scratch);
-            let path = self.astar(&mut scratch, net, ov, builder.grid_nodes(), target);
-            self.scratch = scratch;
+            let path = self.astar(scratch, net, ov, exclude, builder.grid_nodes(), target);
             let path = path.unwrap_or_else(|| self.fallback_path(&builder, target, net, ov));
             builder.add_path(&path);
         }
@@ -432,10 +596,6 @@ impl<'a> Router<'a> {
             t.sink_node.truncate(self.netlist.sinks(net).len());
             t
         };
-
-        if commit {
-            self.apply_usage(&tree, 1);
-        }
 
         let home = self.home[net.index()];
         let sink_caps: Vec<f64> = self
@@ -461,9 +621,10 @@ impl<'a> Router<'a> {
     /// Multi-source A* from the tree to one sink.
     fn astar(
         &self,
-        scratch: &mut Scratch,
+        scratch: &mut RouteScratch,
         net: NetId,
         ov: MlsOverride,
+        exclude: Option<&ExcludedUsage>,
         sources: &[u32],
         target: u32,
     ) -> Option<Vec<u32>> {
@@ -503,7 +664,7 @@ impl<'a> Router<'a> {
                             ny_: usize,
                             nz_: usize,
                             cost: f32,
-                            scratch: &mut Scratch,
+                            scratch: &mut RouteScratch,
                             heap: &mut BinaryHeap<HeapEntry>| {
                 if !self.allowed(net, ov, nx_, ny_, nz_) {
                     return;
@@ -524,39 +685,39 @@ impl<'a> Router<'a> {
             match layer.dir {
                 gnnmls_netlist::tech::RouteDir::Horizontal => {
                     if x + 1 < self.grid.nx {
-                        let c = self.wire_cost(z, x, y, true);
+                        let c = self.wire_cost(z, x, y, true, exclude);
                         consider(x + 1, y, z, c, scratch, &mut heap);
                     }
                     if x > 0 {
-                        let c = self.wire_cost(z, x - 1, y, true);
+                        let c = self.wire_cost(z, x - 1, y, true, exclude);
                         consider(x - 1, y, z, c, scratch, &mut heap);
                     }
                 }
                 gnnmls_netlist::tech::RouteDir::Vertical => {
                     if y + 1 < self.grid.ny {
-                        let c = self.wire_cost(z, x, y, false);
+                        let c = self.wire_cost(z, x, y, false, exclude);
                         consider(x, y + 1, z, c, scratch, &mut heap);
                     }
                     if y > 0 {
-                        let c = self.wire_cost(z, x, y - 1, false);
+                        let c = self.wire_cost(z, x, y - 1, false, exclude);
                         consider(x, y - 1, z, c, scratch, &mut heap);
                     }
                 }
             }
             // Via moves.
             if z + 1 < self.grid.nz() {
-                let c = self.via_cost(z, x, y);
+                let c = self.via_cost(z, x, y, exclude);
                 consider(x, y, z + 1, c, scratch, &mut heap);
             }
             if z > 0 {
-                let c = self.via_cost(z - 1, x, y);
+                let c = self.via_cost(z - 1, x, y, exclude);
                 consider(x, y, z - 1, c, scratch, &mut heap);
             }
         }
         None
     }
 
-    fn backtrack(&self, scratch: &Scratch, target: u32) -> Vec<u32> {
+    fn backtrack(&self, scratch: &RouteScratch, target: u32) -> Vec<u32> {
         let mut path = vec![target];
         let mut cur = target;
         while scratch.came[cur as usize] != u32::MAX {
@@ -597,35 +758,32 @@ impl<'a> Router<'a> {
             .find(|&&z| self.grid.layers[z].dir == gnnmls_netlist::tech::RouteDir::Vertical)
             .expect("every stack has a vertical layer");
 
+        let grid = &self.grid;
         let mut path = vec![root];
         let mut cur = (x0, y0, z0);
-        let mut push = |path: &mut Vec<u32>, p: (usize, usize, usize)| {
-            path.push(self.grid.node(p.0, p.1, p.2));
+        let push = |path: &mut Vec<u32>, p: (usize, usize, usize)| {
+            path.push(grid.node(p.0, p.1, p.2));
         };
-        let step_z =
-            |path: &mut Vec<u32>,
-             cur: &mut (usize, usize, usize),
-             to_z: usize,
-             push: &mut dyn FnMut(&mut Vec<u32>, (usize, usize, usize))| {
-                while cur.2 != to_z {
-                    cur.2 = if cur.2 < to_z { cur.2 + 1 } else { cur.2 - 1 };
-                    push(path, *cur);
-                }
-            };
+        let step_z = |path: &mut Vec<u32>, cur: &mut (usize, usize, usize), to_z: usize| {
+            while cur.2 != to_z {
+                cur.2 = if cur.2 < to_z { cur.2 + 1 } else { cur.2 - 1 };
+                push(path, *cur);
+            }
+        };
         // Horizontal leg.
-        step_z(&mut path, &mut cur, hz, &mut push);
+        step_z(&mut path, &mut cur, hz);
         while cur.0 != x1 {
             cur.0 = if cur.0 < x1 { cur.0 + 1 } else { cur.0 - 1 };
             push(&mut path, cur);
         }
         // Vertical leg.
-        step_z(&mut path, &mut cur, vz, &mut push);
+        step_z(&mut path, &mut cur, vz);
         while cur.1 != y1 {
             cur.1 = if cur.1 < y1 { cur.1 + 1 } else { cur.1 - 1 };
             push(&mut path, cur);
         }
         // Final via stack to the sink (crosses the bond for 3D nets).
-        step_z(&mut path, &mut cur, z1, &mut push);
+        step_z(&mut path, &mut cur, z1);
         path
     }
 
@@ -650,20 +808,31 @@ impl<'a> Router<'a> {
     /// Cost of the wire edge leaving `(x, y, z)`; for horizontal layers
     /// `x` is the min-x endpoint, for vertical layers `y` is min-y.
     #[inline]
-    fn wire_cost(&self, z: usize, x_min: usize, y_min: usize, horizontal: bool) -> f32 {
+    fn wire_cost(
+        &self,
+        z: usize,
+        x_min: usize,
+        y_min: usize,
+        horizontal: bool,
+        exclude: Option<&ExcludedUsage>,
+    ) -> f32 {
         let idx = self.edge_idx(z, x_min, y_min);
         let usage = if horizontal {
-            self.usage_h[idx]
+            let u = self.usage_h[idx];
+            exclude.map_or(u, |e| e.sub_h(idx, u))
         } else {
-            self.usage_v[idx]
+            let u = self.usage_v[idx];
+            exclude.map_or(u, |e| e.sub_v(idx, u))
         };
         self.layer_cost[z] * self.congestion_factor(usage, self.grid.layers[z].capacity)
     }
 
     #[inline]
-    fn via_cost(&self, z_low: usize, x: usize, y: usize) -> f32 {
+    fn via_cost(&self, z_low: usize, x: usize, y: usize, exclude: Option<&ExcludedUsage>) -> f32 {
         if self.grid.is_f2f_via(z_low) {
-            let usage = self.usage_f2f[y * self.grid.nx + x];
+            let idx = y * self.grid.nx + x;
+            let u = self.usage_f2f[idx];
+            let usage = exclude.map_or(u, |e| e.sub_f2f(idx, u));
             self.cfg.f2f_cost as f32 * self.congestion_factor(usage, self.grid.f2f_capacity)
         } else {
             self.cfg.via_cost as f32
@@ -893,8 +1062,9 @@ mod tests {
             .filter(|&n| d.netlist.net_tier(n).is_some())
             .take(50)
             .collect();
+        let mut scratch = router.scratch();
         for n in nets {
-            let _ = router.what_if(n, MlsOverride::Allow);
+            let _ = router.what_if(&mut scratch, n, MlsOverride::Allow);
         }
         let after = router.db();
         assert_eq!(before.summary, after.summary);
@@ -918,9 +1088,10 @@ mod tests {
         .unwrap();
         router.route_all();
         // Find a 2D logic net that would cross under Allow.
+        let mut scratch = router.scratch();
         let candidate = d.netlist.net_ids().find(|&n| {
             d.netlist.net_tier(n) == Some(Tier::Logic)
-                && router.what_if(n, MlsOverride::Allow).is_mls
+                && router.what_if(&mut scratch, n, MlsOverride::Allow).is_mls
         });
         if let Some(n) = candidate {
             router.commit_reroute(n, MlsOverride::Allow);
@@ -933,6 +1104,83 @@ mod tests {
         let (_, a, _) = routed(MlsPolicy::Disabled);
         let (_, b, _) = routed(MlsPolicy::Disabled);
         assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn what_if_overlay_matches_detached_reroute() {
+        // The `&self` what-if (usage-exclusion overlay) must produce the
+        // exact route of the historical mutate-and-restore detached
+        // re-route, inlined here against the same router.
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let mut router = Router::new(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig {
+                target_gcells: 24,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        router.route_all();
+        let mut scratch = router.scratch();
+        let nets: Vec<NetId> = d.netlist.net_ids().take(40).collect();
+        for net in nets {
+            for ov in [MlsOverride::Allow, MlsOverride::Deny] {
+                if matches!(ov, MlsOverride::Deny) && d.netlist.net_tier(net).is_none() {
+                    continue; // 3D nets cannot be confined to one die
+                }
+                let got = router.what_if(&mut scratch, net, ov);
+                // Historical semantics: detach the net, re-route, restore.
+                let saved = router.routes[net.index()].take();
+                if let Some(r) = &saved {
+                    router.apply_usage(&r.tree, -1);
+                }
+                let expected = router.route_net(net, ov, false);
+                if let Some(r) = &saved {
+                    router.apply_usage(&r.tree, 1);
+                }
+                router.routes[net.index()] = saved;
+                assert_eq!(expected, got, "net {net} ov {ov:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ripup_rounds_identical_across_thread_counts() {
+        // A congested config (tiny grid, extra rounds) exercises the
+        // speculative parallel rip-up path; every thread count must
+        // yield the serial result bit-for-bit.
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let route = |threads: usize| {
+            let (db, _) = route_design(
+                &d.netlist,
+                &p,
+                &tech,
+                MlsPolicy::sota(),
+                RouteConfig {
+                    target_gcells: 16,
+                    ripup_rounds: 3,
+                    threads,
+                    ..RouteConfig::default()
+                },
+            )
+            .unwrap();
+            db
+        };
+        let serial = route(1);
+        for threads in [2, 4, 0] {
+            let par = route(threads);
+            assert_eq!(serial.summary, par.summary, "threads={threads}");
+            for (a, b) in serial.nets.iter().zip(par.nets.iter()) {
+                assert_eq!(a, b, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -73,9 +73,7 @@ impl TimingPath {
         let mut nets = Vec::new();
         for (k, &p) in pins.iter().enumerate() {
             let pin = netlist.pin(p);
-            if k == 0 {
-                cells.push(pin.cell);
-            } else if cells.last() != Some(&pin.cell) {
+            if k == 0 || cells.last() != Some(&pin.cell) {
                 cells.push(pin.cell);
             }
             // Output -> input arcs carry a net.
@@ -153,11 +151,24 @@ impl TimingPath {
 /// One path per endpoint — the paper counts violating *paths* the same
 /// way (violating endpoints, each with its single worst path).
 pub fn worst_paths(netlist: &Netlist, report: &TimingReport, k: usize) -> Vec<TimingPath> {
-    report
-        .worst_endpoints(k)
-        .into_iter()
-        .map(|(pin, _)| TimingPath::extract(netlist, report, pin))
-        .collect()
+    worst_paths_par(netlist, report, k, 1)
+}
+
+/// [`worst_paths`] with the extraction fanned out over `threads`
+/// workers (`0` = all cores). Each path walks the report's
+/// worst-predecessor chain independently, reading only shared state, so
+/// the result is identical to the serial extraction for every thread
+/// count.
+pub fn worst_paths_par(
+    netlist: &Netlist,
+    report: &TimingReport,
+    k: usize,
+    threads: usize,
+) -> Vec<TimingPath> {
+    let endpoints = report.worst_endpoints(k);
+    gnnmls_par::par_map(threads, &endpoints, |&(pin, _)| {
+        TimingPath::extract(netlist, report, pin)
+    })
 }
 
 #[cfg(test)]
@@ -233,6 +244,16 @@ mod tests {
         subs.insert(net, &slow);
         let s = p.slack_with(&netlist, &db, &subs);
         assert!(s < p.slack_ps, "slower net must reduce slack");
+    }
+
+    #[test]
+    fn parallel_extraction_matches_serial() {
+        let (netlist, _, report) = setup();
+        let serial = worst_paths(&netlist, &report, 30);
+        for threads in [2, 4, 0] {
+            let par = worst_paths_par(&netlist, &report, 30, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let samples = extract_path_samples(&netlist, &placement, &tech, &timing, 50);
     let grid = router.grid().clone();
-    let impacts = net_mls_impact(&samples, &netlist, &mut router, &routes, &grid);
+    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
     if let (Some(best), Some(worst)) = (impacts.first(), impacts.last()) {
         println!(
             "single-net MLS: best {} {:+.1} ps ({} -> {}), worst {} {:+.1} ps",

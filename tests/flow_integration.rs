@@ -130,7 +130,7 @@ fn pretrained_checkpoint_skips_training_and_still_applies_mls() {
     label_paths(
         &mut samples,
         &netlist,
-        &mut router,
+        &router,
         &routes,
         &OracleConfig::default(),
     );

@@ -38,7 +38,7 @@ fn dataset_for(cfg_m: &MaeriConfig, paths: usize) -> (Vec<PathSample>, Vec<PathS
     label_paths(
         &mut samples,
         &netlist,
-        &mut router,
+        &router,
         &routes,
         &OracleConfig::default(),
     );

@@ -74,7 +74,7 @@ fn single_net_mls_helps_some_nets_and_hurts_others() {
     let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
     let samples = extract_path_samples(&netlist, &placement, &d.tech, &rep, 60);
     let grid = router.grid().clone();
-    let impacts = net_mls_impact(&samples, &netlist, &mut router, &routes, &grid);
+    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
     assert!(impacts.len() > 10);
     let helped = impacts.iter().filter(|i| i.gain_ps() > 0.5).count();
     let hurt = impacts.iter().filter(|i| i.gain_ps() < -0.5).count();
@@ -106,12 +106,13 @@ fn whatif_mls_routes_borrow_idle_memory_metals() {
     let mut crossed = 0;
     let mut used_mem_top = 0;
     let mut seen = HashMap::new();
+    let mut scratch = router.scratch();
     for s in &samples {
         for (i, &net) in s.nets.iter().enumerate() {
             if !s.eligible[i] || seen.contains_key(&net) {
                 continue;
             }
-            let cand = router.what_if(net, MlsOverride::Allow);
+            let cand = router.what_if(&mut scratch, net, MlsOverride::Allow);
             if cand.is_mls {
                 crossed += 1;
                 let (_, mem_mask) = cand.tree.used_layers(&grid);

@@ -1,10 +1,16 @@
-//! Property-based tests over randomly generated designs: invariants of
+//! Property-style tests over randomly generated designs: invariants of
 //! the netlist/placement/routing/timing pipeline that must hold for
 //! *every* seed and size, not just the benchmark configs.
+//!
+//! Each test sweeps a deterministic set of seeded random cases (drawn
+//! from the in-tree `rand` shim) instead of using proptest, which is
+//! unavailable in the offline build environment. Failures name the
+//! offending case so it can be replayed directly.
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use gnn_mls::features::{node_features, FeatureScaler, FEATURE_DIM};
 use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
@@ -15,6 +21,8 @@ use gnnmls_phys::{place, total_hpwl_um, PlaceConfig};
 use gnnmls_route::{route_design, MlsPolicy, RouteConfig};
 use gnnmls_sta::{analyze, StaConfig};
 
+const CASES: usize = 8;
+
 fn small_route_cfg() -> RouteConfig {
     RouteConfig {
         target_gcells: 16,
@@ -22,21 +30,17 @@ fn small_route_cfg() -> RouteConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8,
-        max_shrink_iters: 0,
-        ..ProptestConfig::default()
-    })]
+/// Every generated design validates, levelizes, and has sane stats.
+#[test]
+fn generated_designs_are_well_formed() {
+    let mut draw = StdRng::seed_from_u64(0xD0E1);
+    for case in 0..CASES {
+        let pes = draw.gen_range(2usize..12);
+        let bw = draw.gen_range(1usize..4);
+        let width = draw.gen_range(2usize..6);
+        let seed = draw.gen_range(0u64..1000);
+        let ctx = format!("case {case}: pes={pes} bw={bw} width={width} seed={seed}");
 
-    /// Every generated design validates, levelizes, and has sane stats.
-    #[test]
-    fn generated_designs_are_well_formed(
-        pes in 2usize..12,
-        bw in 1usize..4,
-        width in 2usize..6,
-        seed in 0u64..1000,
-    ) {
         let tech = TechConfig::heterogeneous_16_28(6, 6);
         let cfg = MaeriConfig {
             pes,
@@ -46,84 +50,136 @@ proptest! {
         };
         let d = generate_maeri(&cfg, &tech).unwrap();
         let s = NetlistStats::compute(&d.netlist);
-        prop_assert!(s.cells > 0 && s.nets > 0);
-        prop_assert!(s.max_fanout <= 10, "fanout buffering bound: {}", s.max_fanout);
+        assert!(s.cells > 0 && s.nets > 0, "{ctx}");
+        assert!(
+            s.max_fanout <= 10,
+            "fanout buffering bound: {} ({ctx})",
+            s.max_fanout
+        );
         // Every net: one driver + >= 1 sink (validation), and the DAG
         // levelizes (no combinational loops).
         let dag = CircuitDag::build(&d.netlist).unwrap();
-        prop_assert_eq!(dag.topo_order().len(), d.netlist.cell_count());
-        prop_assert!(s.nets_3d > 0, "buffer macros force 3D nets");
+        assert_eq!(dag.topo_order().len(), d.netlist.cell_count(), "{ctx}");
+        assert!(s.nets_3d > 0, "buffer macros force 3D nets ({ctx})");
     }
+}
 
-    /// Placement keeps every cell inside the die for all seeds.
-    #[test]
-    fn placement_is_always_legal(seed in 0u64..500) {
+/// Placement keeps every cell inside the die for all seeds.
+#[test]
+fn placement_is_always_legal() {
+    let mut draw = StdRng::seed_from_u64(0x91ACE);
+    for case in 0..CASES {
+        let seed = draw.gen_range(0u64..500);
+        let ctx = format!("case {case}: seed={seed}");
+
         let tech = TechConfig::heterogeneous_16_28(6, 6);
         let d = generate_maeri(&MaeriConfig::new(8, 2).with_seed(seed), &tech).unwrap();
-        let p = place(&d.netlist, &PlaceConfig { seed, ..PlaceConfig::default() }).unwrap();
+        let p = place(
+            &d.netlist,
+            &PlaceConfig {
+                seed,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
         for c in d.netlist.cell_ids() {
             let l = p.loc(c);
-            prop_assert!(p.floorplan().contains(l.x, l.y));
+            assert!(p.floorplan().contains(l.x, l.y), "{ctx}");
         }
-        prop_assert!(total_hpwl_um(&d.netlist, &p) >= 0.0);
+        assert!(total_hpwl_um(&d.netlist, &p) >= 0.0, "{ctx}");
     }
+}
 
-    /// Routing covers every sink, extraction is physical (non-negative,
-    /// finite), and the no-MLS policy is airtight for every seed.
-    #[test]
-    fn routing_invariants_hold(seed in 0u64..300) {
+/// Routing covers every sink, extraction is physical (non-negative,
+/// finite), and the no-MLS policy is airtight for every seed.
+#[test]
+fn routing_invariants_hold() {
+    let mut draw = StdRng::seed_from_u64(0x2007);
+    for case in 0..CASES {
+        let seed = draw.gen_range(0u64..300);
+        let ctx = format!("case {case}: seed={seed}");
+
         let tech = TechConfig::heterogeneous_16_28(6, 6);
         let d = generate_maeri(&MaeriConfig::new(8, 2).with_seed(seed), &tech).unwrap();
         let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
-        let (db, grid) =
-            route_design(&d.netlist, &p, &tech, MlsPolicy::Disabled, small_route_cfg()).unwrap();
-        prop_assert_eq!(db.nets.len(), d.netlist.net_count());
+        let (db, grid) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            small_route_cfg(),
+        )
+        .unwrap();
+        assert_eq!(db.nets.len(), d.netlist.net_count(), "{ctx}");
         for net in d.netlist.net_ids() {
             let r = db.route(net);
-            prop_assert_eq!(r.tree.sink_node.len(), d.netlist.sinks(net).len());
-            prop_assert!(r.total_cap_ff >= 0.0 && r.total_cap_ff.is_finite());
+            assert_eq!(r.tree.sink_node.len(), d.netlist.sinks(net).len(), "{ctx}");
+            assert!(r.total_cap_ff >= 0.0 && r.total_cap_ff.is_finite(), "{ctx}");
             for &e in &r.sink_elmore_ps {
-                prop_assert!(e >= 0.0 && e.is_finite());
+                assert!(e >= 0.0 && e.is_finite(), "{ctx}");
             }
             // No MLS: single-die nets never leave their die.
             if let Some(home) = d.netlist.net_tier(net) {
-                prop_assert!(!r.tree.uses_other_tier(&grid, home));
-                prop_assert!(!r.is_mls);
+                assert!(!r.tree.uses_other_tier(&grid, home), "{ctx}");
+                assert!(!r.is_mls, "{ctx}");
             } else {
                 // 3D nets must cross the bond at least once (they may
                 // cross more: free-roaming branches can dip into either
                 // die's metals).
-                prop_assert!(r.f2f_crossings >= 1, "crossings {}", r.f2f_crossings);
+                assert!(
+                    r.f2f_crossings >= 1,
+                    "crossings {} ({ctx})",
+                    r.f2f_crossings
+                );
             }
         }
     }
+}
 
-    /// STA invariants: finite arrivals, WNS bounds all slacks, violating
-    /// count consistent with slacks.
-    #[test]
-    fn sta_invariants_hold(seed in 0u64..300, mhz in 500.0f64..4000.0) {
+/// STA invariants: finite arrivals, WNS bounds all slacks, violating
+/// count consistent with slacks.
+#[test]
+fn sta_invariants_hold() {
+    let mut draw = StdRng::seed_from_u64(0x57A);
+    for case in 0..CASES {
+        let seed = draw.gen_range(0u64..300);
+        let mhz = draw.gen_range(500.0f64..4000.0);
+        let ctx = format!("case {case}: seed={seed} mhz={mhz}");
+
         let tech = TechConfig::heterogeneous_16_28(6, 6);
         let d = generate_maeri(&MaeriConfig::new(8, 2).with_seed(seed), &tech).unwrap();
         let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
-        let (db, _) =
-            route_design(&d.netlist, &p, &tech, MlsPolicy::Disabled, small_route_cfg()).unwrap();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            small_route_cfg(),
+        )
+        .unwrap();
         let rep = analyze(&d.netlist, &db, StaConfig::from_freq_mhz(mhz)).unwrap();
         let mut violating = 0;
         for &(_, s) in rep.endpoint_slacks() {
-            prop_assert!(s.is_finite());
-            prop_assert!(s >= rep.wns_ps() - 1e-9);
+            assert!(s.is_finite(), "{ctx}");
+            assert!(s >= rep.wns_ps() - 1e-9, "{ctx}");
             if s < 0.0 {
                 violating += 1;
             }
         }
-        prop_assert_eq!(violating, rep.violating_endpoints());
-        prop_assert!(rep.tns_ps() <= 0.0);
-        prop_assert!(rep.eff_freq_mhz() > 0.0);
+        assert_eq!(violating, rep.violating_endpoints(), "{ctx}");
+        assert!(rep.tns_ps() <= 0.0, "{ctx}");
+        assert!(rep.eff_freq_mhz() > 0.0, "{ctx}");
     }
+}
 
-    /// Feature extraction + scaling round-trips to finite z-scores.
-    #[test]
-    fn features_standardize_for_all_seeds(seed in 0u64..200) {
+/// Feature extraction + scaling round-trips to finite z-scores.
+#[test]
+fn features_standardize_for_all_seeds() {
+    let mut draw = StdRng::seed_from_u64(0xFEA7);
+    for case in 0..CASES {
+        let seed = draw.gen_range(0u64..200);
+        let ctx = format!("case {case}: seed={seed}");
+
         let tech = TechConfig::heterogeneous_16_28(6, 6);
         let d = generate_maeri(&MaeriConfig::new(4, 2).with_seed(seed), &tech).unwrap();
         let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
@@ -135,15 +191,15 @@ proptest! {
         let scaler = FeatureScaler::fit(&rows);
         for r in &rows {
             for v in scaler.apply(r) {
-                prop_assert!(v.is_finite());
-                prop_assert!(v.abs() < 1e4);
+                assert!(v.is_finite(), "{ctx}");
+                assert!(v.abs() < 1e4, "{ctx}");
             }
         }
     }
 }
 
-/// Non-proptest invariant with a fixed sweep: MLS permissions are
-/// monotone — allowing more nets can only grow the MLS net set.
+/// Non-random invariant with a fixed sweep: MLS permissions are
+/// respected exactly — only explicitly allowed nets may share metal.
 #[test]
 fn mls_permissions_are_respected_exactly() {
     let tech = TechConfig::heterogeneous_16_28(6, 6);
