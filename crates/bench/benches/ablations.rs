@@ -34,8 +34,8 @@ fn dataset() -> (Vec<PathSample>, Vec<PathSample>) {
         exp.cfg.route.clone(),
     )
     .unwrap();
-    router.route_all();
-    let routes = router.db();
+    router.route_all().unwrap();
+    let routes = router.db().unwrap();
     let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
     let mut samples = extract_path_samples(&netlist, &placement, &exp.design.tech, &rep, 120);
     label_paths(
@@ -44,7 +44,8 @@ fn dataset() -> (Vec<PathSample>, Vec<PathSample>) {
         &router,
         &routes,
         &OracleConfig::default(),
-    );
+    )
+    .unwrap();
     let eval = samples.split_off(90);
     (samples, eval)
 }
@@ -94,9 +95,9 @@ fn bench_model_ablations(c: &mut Criterion) {
     for (name, cfg) in model_variants() {
         // Print the quality metric once per variant.
         let mut model = GnnMls::new(cfg.clone());
-        model.pretrain(&train);
-        let tm = model.finetune(&train);
-        let em = model.evaluate(&eval);
+        model.pretrain(&train).unwrap();
+        let tm = model.finetune(&train).unwrap();
+        let em = model.evaluate(&eval).unwrap();
         eprintln!(
             "[ablation {name}] train acc {:.3} f1 {:.3} | eval acc {:.3} f1 {:.3}",
             tm.accuracy(),
@@ -107,8 +108,8 @@ fn bench_model_ablations(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut m = GnnMls::new(cfg.clone());
-                m.pretrain(&train);
-                m.finetune(&train).accuracy()
+                m.pretrain(&train).unwrap();
+                m.finetune(&train).unwrap().accuracy()
             })
         });
     }
@@ -130,8 +131,8 @@ fn bench_oracle_threshold(c: &mut Criterion) {
                     exp.cfg.route.clone(),
                 )
                 .unwrap();
-                router.route_all();
-                let routes = router.db();
+                router.route_all().unwrap();
+                let routes = router.db().unwrap();
                 let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
                 let mut samples =
                     extract_path_samples(&netlist, &placement, &exp.design.tech, &rep, 20);
@@ -144,6 +145,7 @@ fn bench_oracle_threshold(c: &mut Criterion) {
                         gain_threshold_ps: thr,
                     },
                 )
+                .unwrap()
                 .positive
             })
         });

@@ -65,8 +65,8 @@ fn scenario() -> Scenario {
         route_cfg.clone(),
     )
     .unwrap();
-    router.route_all();
-    let routes = router.db();
+    router.route_all().unwrap();
+    let routes = router.db().unwrap();
     let report = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
     Scenario {
         netlist,
@@ -92,7 +92,7 @@ fn router_with_threads<'a>(s: &'a Scenario, threads: usize) -> Router<'a> {
         },
     )
     .unwrap();
-    router.route_all();
+    router.route_all().unwrap();
     router
 }
 
@@ -108,6 +108,7 @@ fn label(
         &s.routes,
         &OracleConfig::default(),
     )
+    .unwrap()
 }
 
 /// Minimum wall time of `iters` runs of `f`.
@@ -130,8 +131,8 @@ fn bench_oracle(c: &mut Criterion) {
 
     // Identity: routing, labels, and stats must match bit-for-bit.
     assert_eq!(
-        serial_router.db().summary,
-        parallel_router.db().summary,
+        serial_router.db().unwrap().summary,
+        parallel_router.db().unwrap().summary,
         "route_all must be thread-count invariant"
     );
     let mut serial_samples = samples.clone();

@@ -32,12 +32,14 @@ fn bench_table1(c: &mut Criterion) {
                 exp.cfg.route.clone(),
             )
             .unwrap();
-            router.route_all();
-            let routes = router.db();
+            router.route_all().unwrap();
+            let routes = router.db().unwrap();
             let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
             let samples = extract_path_samples(&netlist, &placement, &exp.design.tech, &rep, 10);
             let grid = router.grid().clone();
-            net_mls_impact(&samples, &netlist, &router, &routes, &grid).len()
+            net_mls_impact(&samples, &netlist, &router, &routes, &grid)
+                .unwrap()
+                .len()
         })
     });
 }
@@ -164,7 +166,7 @@ fn bench_stages(c: &mut Criterion) {
                 exp.cfg.route.clone(),
             )
             .unwrap();
-            router.route_all();
+            router.route_all().unwrap();
             let mut samples =
                 extract_path_samples(&netlist, &placement, &exp.design.tech, &rep, 10);
             label_paths(
@@ -174,6 +176,7 @@ fn bench_stages(c: &mut Criterion) {
                 &routes,
                 &OracleConfig::default(),
             )
+            .unwrap()
             .what_ifs
         })
     });

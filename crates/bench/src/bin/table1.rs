@@ -30,8 +30,8 @@ fn main() {
         exp.cfg.route.clone(),
     )
     .expect("router builds");
-    router.route_all();
-    let routes = router.db();
+    router.route_all().unwrap();
+    let routes = router.db().unwrap();
     let report = analyze(
         &netlist,
         &routes,
@@ -42,7 +42,7 @@ fn main() {
     eprintln!("evaluating single-net MLS impact over the 200 worst paths ...");
     let samples = extract_path_samples(&netlist, &placement, &exp.design.tech, &report, 200);
     let grid = router.grid().clone();
-    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
+    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid).unwrap();
 
     let crossed: Vec<&NetImpact> = impacts
         .iter()

@@ -29,7 +29,7 @@ const DESIGNS: &[(&str, &str)] = &[
 ];
 
 fn usage() -> &'static str {
-    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--fast]\n  gnnmls designs\n"
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls designs\n\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\n"
 }
 
 fn build_design(name: &str, tech: &TechConfig) -> Option<GeneratedDesign> {
@@ -44,6 +44,8 @@ fn build_design(name: &str, tech: &TechConfig) -> Option<GeneratedDesign> {
 }
 
 fn main() -> ExitCode {
+    // Armed only when GNNMLS_FAULTS is set; the guard must outlive the run.
+    let _faults = gnnmls_faults::install_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("designs") => {
@@ -80,7 +82,7 @@ fn run_flow_cmd(args: &[String]) -> ExitCode {
         opts.insert(
             match key {
                 "design" | "tech" | "policy" | "freq" | "dft" | "json" | "verilog"
-                | "save-model" | "load-model" => key,
+                | "save-model" | "load-model" | "resume" => key,
                 other => {
                     eprintln!("unknown option --{other}\n{}", usage());
                     return ExitCode::FAILURE;
@@ -144,6 +146,9 @@ fn run_flow_cmd(args: &[String]) -> ExitCode {
     }
     if let Some(path) = opts.get("save-model") {
         cfg.save_model = Some(std::path::PathBuf::from(path));
+    }
+    if let Some(dir) = opts.get("resume") {
+        cfg.resume = Some(std::path::PathBuf::from(dir));
     }
     if let Some(path) = opts.get("load-model") {
         match GnnMls::load_json(path) {

@@ -1,7 +1,23 @@
-//! Model checkpoints: serialize a trained GNN-MLS model (architecture
-//! config, encoder + head weights, feature scaler) to JSON and restore it
-//! later — e.g. train once on a family of designs, then make MLS
-//! decisions on new ones without re-running the oracle.
+//! Flow checkpoints.
+//!
+//! Two layers live here:
+//!
+//! - [`ModelCheckpoint`] — a serializable snapshot of a trained GNN-MLS
+//!   model (architecture config, encoder + head weights, feature
+//!   scaler): train once on a family of designs, then make MLS decisions
+//!   on new ones without re-running the oracle.
+//! - **Stage checkpoints** ([`save_stage`] / [`load_stage`]) — the
+//!   resumable on-disk state each flow stage emits (placement, learned
+//!   decisions, routing DB, final report), wrapped in a checksummed
+//!   envelope so truncation or bit-corruption is always detected as
+//!   [`CheckpointError::Corrupt`], never deserialized into silently
+//!   wrong data.
+//!
+//! The envelope is a single header line followed by the JSON payload:
+//!
+//! ```text
+//! GNNMLS-CKPT v1 <stage> <fnv1a64-hex> <payload-len>\n{...json...}
+//! ```
 
 use std::fmt;
 use std::fs;
@@ -13,6 +29,9 @@ use gnnmls_nn::Tensor;
 
 use crate::features::FeatureScaler;
 use crate::model::{GnnMls, ModelConfig};
+
+/// Magic prefix of the stage-checkpoint envelope.
+pub const STAGE_MAGIC: &str = "GNNMLS-CKPT v1";
 
 /// A serializable snapshot of a trained model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -38,6 +57,9 @@ pub enum CheckpointError {
     /// Parameter count/shape mismatch at the given index (the checkpoint
     /// was produced by a different architecture).
     Shape(usize),
+    /// The stage envelope failed validation (bad magic, wrong stage
+    /// name, truncated payload, or checksum mismatch).
+    Corrupt(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -51,6 +73,7 @@ impl fmt::Display for CheckpointError {
                     "checkpoint parameter {i} does not match the architecture"
                 )
             }
+            CheckpointError::Corrupt(why) => write!(f, "checkpoint corrupt: {why}"),
         }
     }
 }
@@ -66,6 +89,128 @@ impl From<serde_json::Error> for CheckpointError {
     fn from(e: serde_json::Error) -> Self {
         CheckpointError::Json(e)
     }
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty to catch the
+/// torn/truncated/bit-flipped writes stage checkpoints must survive.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes `value` into the checksummed stage envelope.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Json`] if serialization fails.
+pub fn encode_stage<T: Serialize>(stage: &str, value: &T) -> Result<Vec<u8>, CheckpointError> {
+    let json = serde_json::to_string(value)?;
+    let mut out = format!(
+        "{STAGE_MAGIC} {stage} {:016x} {}\n",
+        fnv1a64(json.as_bytes()),
+        json.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(json.as_bytes());
+    Ok(out)
+}
+
+/// Validates the envelope and deserializes the payload of `stage`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Corrupt`] for any framing problem (bad
+/// magic, wrong stage, truncated payload, checksum mismatch) and
+/// [`CheckpointError::Json`] if the verified payload does not parse.
+pub fn decode_stage<T: Deserialize>(stage: &str, bytes: &[u8]) -> Result<T, CheckpointError> {
+    let corrupt = |why: &str| CheckpointError::Corrupt(format!("stage `{stage}`: {why}"));
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("missing header line"))?;
+    let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| corrupt("header is not utf-8"))?;
+    let rest = header
+        .strip_prefix(STAGE_MAGIC)
+        .ok_or_else(|| corrupt("bad magic"))?;
+    let mut fields = rest.split_whitespace();
+    let (name, sum, len) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+        (Some(n), Some(s), Some(l), None) => (n, s, l),
+        _ => return Err(corrupt("malformed header")),
+    };
+    if name != stage {
+        return Err(corrupt(&format!("holds stage `{name}`")));
+    }
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| corrupt("bad checksum field"))?;
+    let len: usize = len.parse().map_err(|_| corrupt("bad length field"))?;
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return Err(corrupt(&format!(
+            "payload is {} bytes, header says {len}",
+            payload.len()
+        )));
+    }
+    if fnv1a64(payload) != sum {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let json = std::str::from_utf8(payload).map_err(|_| corrupt("payload is not utf-8"))?;
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Path of a stage checkpoint inside a resume directory.
+pub fn stage_path(dir: &Path, stage: &str) -> std::path::PathBuf {
+    dir.join(format!("{stage}.ckpt"))
+}
+
+/// Writes `value` as the checkpoint of `stage` under `dir` (created if
+/// missing). The write goes through a temp file + rename so a crash
+/// mid-write leaves either the old checkpoint or a detectably-partial
+/// temp file — never a plausible half-written checkpoint.
+///
+/// The `gnnmls-faults` seams [`gnnmls_faults::FaultSite::CheckpointCorrupt`]
+/// and [`gnnmls_faults::FaultSite::CheckpointTruncate`] damage the bytes
+/// on their way to disk, which the next [`load_stage`] must detect.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on IO or serialization failure.
+pub fn save_stage<T: Serialize>(dir: &Path, stage: &str, value: &T) -> Result<(), CheckpointError> {
+    fs::create_dir_all(dir)?;
+    let mut bytes = encode_stage(stage, value)?;
+    if gnnmls_faults::fire(gnnmls_faults::FaultSite::CheckpointCorrupt) {
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0x01;
+        }
+    }
+    if gnnmls_faults::fire(gnnmls_faults::FaultSite::CheckpointTruncate) {
+        bytes.truncate(bytes.len() / 2);
+    }
+    let path = stage_path(dir, stage);
+    let tmp = dir.join(format!("{stage}.ckpt.tmp"));
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Loads the checkpoint of `stage` from `dir`; `Ok(None)` when the stage
+/// was never checkpointed (no file).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Corrupt`] for a damaged envelope and
+/// [`CheckpointError::Json`]/[`CheckpointError::Io`] for payload or
+/// filesystem problems.
+pub fn load_stage<T: Deserialize>(dir: &Path, stage: &str) -> Result<Option<T>, CheckpointError> {
+    let path = stage_path(dir, stage);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CheckpointError::Io(e)),
+    };
+    decode_stage(stage, &bytes).map(Some)
 }
 
 impl GnnMls {
@@ -94,25 +239,34 @@ impl GnnMls {
         Ok(model)
     }
 
-    /// Saves the model as JSON.
+    /// Saves the model in the checksummed stage envelope (stage
+    /// `model`), so later loads can tell corruption from a valid file.
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError`] on IO or serialization failure.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        let s = serde_json::to_string(&self.to_checkpoint())?;
-        fs::write(path, s)?;
+        let bytes = encode_stage("model", &self.to_checkpoint())?;
+        fs::write(path, bytes)?;
         Ok(())
     }
 
-    /// Loads a model from JSON.
+    /// Loads a model saved by [`GnnMls::save_json`]. Bare-JSON files
+    /// from before the envelope are still accepted.
     ///
     /// # Errors
     ///
-    /// Returns [`CheckpointError`] on IO, parse, or shape mismatch.
+    /// Returns [`CheckpointError`] on IO, corruption, parse, or shape
+    /// mismatch.
     pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
-        let s = fs::read_to_string(path)?;
-        let cp: ModelCheckpoint = serde_json::from_str(&s)?;
+        let bytes = fs::read(path)?;
+        let cp: ModelCheckpoint = if bytes.starts_with(STAGE_MAGIC.as_bytes()) {
+            decode_stage("model", &bytes)?
+        } else {
+            let s = std::str::from_utf8(&bytes)
+                .map_err(|_| CheckpointError::Corrupt("model checkpoint is not utf-8".into()))?;
+            serde_json::from_str(s)?
+        };
         Self::from_checkpoint(cp)
     }
 }
@@ -172,14 +326,23 @@ mod tests {
             finetune_epochs: 10,
             ..ModelConfig::default()
         });
-        model.pretrain(&train);
-        model.finetune(&train);
-        let before: Vec<Vec<f32>> = train.iter().map(|s| model.predict_path(s)).collect();
+        model.pretrain(&train).unwrap();
+        model.finetune(&train).unwrap();
+        let before: Vec<Vec<f32>> = train
+            .iter()
+            .map(|s| model.predict_path(s).unwrap())
+            .collect();
 
         let restored = GnnMls::from_checkpoint(model.to_checkpoint()).unwrap();
-        let after: Vec<Vec<f32>> = train.iter().map(|s| restored.predict_path(s)).collect();
+        let after: Vec<Vec<f32>> = train
+            .iter()
+            .map(|s| restored.predict_path(s).unwrap())
+            .collect();
         assert_eq!(before, after, "restored model must predict identically");
-        assert_eq!(model.decide(&train), restored.decide(&train));
+        assert_eq!(
+            model.decide(&train).unwrap(),
+            restored.decide(&train).unwrap()
+        );
     }
 
     #[test]
@@ -190,15 +353,18 @@ mod tests {
             finetune_epochs: 5,
             ..ModelConfig::default()
         });
-        model.pretrain(&train);
-        model.finetune(&train);
+        model.pretrain(&train).unwrap();
+        model.finetune(&train).unwrap();
         let dir = std::env::temp_dir().join("gnnmls_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
         model.save_json(&path).unwrap();
         let restored = GnnMls::load_json(&path).unwrap();
         for s in &train {
-            assert_eq!(model.predict_path(s), restored.predict_path(s));
+            assert_eq!(
+                model.predict_path(s).unwrap(),
+                restored.predict_path(s).unwrap()
+            );
         }
         std::fs::remove_file(&path).ok();
     }
@@ -219,5 +385,83 @@ mod tests {
     fn checkpoint_errors_display() {
         let e = CheckpointError::Shape(3);
         assert!(e.to_string().contains("parameter 3"));
+        let e = CheckpointError::Corrupt("checksum mismatch".into());
+        assert!(e.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn stage_envelope_roundtrips() {
+        let v: Vec<u32> = (0..50).collect();
+        let bytes = encode_stage("routes", &v).unwrap();
+        let back: Vec<u32> = decode_stage("routes", &bytes).unwrap();
+        assert_eq!(v, back);
+        // Saving the same value re-encodes bit-identically.
+        assert_eq!(bytes, encode_stage("routes", &back).unwrap());
+    }
+
+    #[test]
+    fn stage_envelope_rejects_damage() {
+        let bytes = encode_stage("routes", &vec![1u32, 2, 3]).unwrap();
+        // Every single-byte flip and every truncation is a typed error.
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x40;
+            if let Ok(v) = decode_stage::<Vec<u32>>("routes", &b) {
+                panic!("flip at {i} decoded as {v:?}");
+            }
+            assert!(decode_stage::<Vec<u32>>("routes", &bytes[..i]).is_err());
+        }
+        // Wrong stage name is refused even with a valid checksum.
+        assert!(matches!(
+            decode_stage::<Vec<u32>>("report", &bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_stage_via_disk() {
+        let dir = std::env::temp_dir().join("gnnmls_stage_ckpt_test");
+        assert!(load_stage::<Vec<u32>>(&dir, "missing").unwrap().is_none());
+        save_stage(&dir, "labels", &vec![7u32; 9]).unwrap();
+        let back: Vec<u32> = load_stage(&dir, "labels").unwrap().unwrap();
+        assert_eq!(back, vec![7u32; 9]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_checkpoint_faults_are_detected_on_load() {
+        use gnnmls_faults::{install, FaultPlan, FaultSite};
+        let dir = std::env::temp_dir().join("gnnmls_stage_fault_test");
+        for site in [FaultSite::CheckpointCorrupt, FaultSite::CheckpointTruncate] {
+            let guard = install(&FaultPlan::single(site, 1));
+            save_stage(&dir, "decisions", &vec![1u8, 2, 3]).unwrap();
+            drop(guard);
+            assert!(
+                matches!(
+                    load_stage::<Vec<u8>>(&dir, "decisions"),
+                    Err(CheckpointError::Corrupt(_))
+                ),
+                "{site} must be caught by the envelope"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_checkpoint_envelope_detects_corruption() {
+        let model = GnnMls::new(ModelConfig::default());
+        let dir = std::env::temp_dir().join("gnnmls_model_env_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save_json(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            GnnMls::load_json(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,6 +12,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -25,14 +26,16 @@ use gnnmls_pdn::{insert_level_shifters, PowerConfig, PowerReport};
 use gnnmls_phys::{
     insert_repeaters, place, Floorplan, PlaceConfig, PlaceError, Placement, RepeaterConfig,
 };
-use gnnmls_route::{route_design, MlsPolicy, RouteConfig, RouteError, Router};
-use gnnmls_sta::{analyze, StaConfig};
+use gnnmls_route::{
+    route_design, MlsPolicy, RouteConfig, RouteDb, RouteError, Router, RoutingGrid,
+};
+use gnnmls_sta::{analyze, StaConfig, StaError};
 
-use crate::checkpoint::{CheckpointError, ModelCheckpoint};
-use crate::model::{GnnMls, ModelConfig};
+use crate::checkpoint::{load_stage, save_stage, CheckpointError, ModelCheckpoint};
+use crate::model::{GnnMls, ModelConfig, ModelError};
 use crate::oracle::{label_paths, OracleConfig};
 use crate::paths::extract_path_samples_par;
-use crate::report::{FlowReport, PdnSummary, TrainSummary};
+use crate::report::{DegradationSummary, FlowReport, PdnSummary, TrainSummary};
 
 /// Which MLS strategy the flow applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +98,12 @@ pub struct FlowConfig {
     pub save_model: Option<std::path::PathBuf>,
     /// Run the PDN/IR analysis (skippable for timing-only sweeps).
     pub analyze_pdn: bool,
+    /// Stage-checkpoint directory: completed stages (`decisions`,
+    /// `routes`, `report`, suffixed with the policy) are saved here as
+    /// checksummed envelopes and reused on the next run, so an
+    /// interrupted flow resumes bit-identically (compare with
+    /// [`FlowReport::comparable`]).
+    pub resume: Option<PathBuf>,
     /// Worker threads for the flow's parallel phases — the what-if
     /// oracle, speculative rip-up rerouting, path extraction, and model
     /// inference. `0` = all available cores, `1` = fully serial; results
@@ -125,6 +134,7 @@ impl FlowConfig {
             pretrained: None,
             save_model: None,
             analyze_pdn: true,
+            resume: None,
             threads: 0,
         }
     }
@@ -176,6 +186,16 @@ pub enum FlowError {
     Graph(GraphError),
     /// A pre-trained checkpoint could not be restored.
     Checkpoint(CheckpointError),
+    /// Static timing analysis refused (e.g. incomplete route coverage).
+    Sta(StaError),
+    /// The model refused (untrained, unlabeled, or diverged past its
+    /// retry budget).
+    Model(ModelError),
+    /// A checkpointed path or sample disagrees with the design's
+    /// netlist or routes; refusing beats a silently wrong table.
+    InconsistentPath,
+    /// A worker panic that reproduced on the serial retry.
+    Par(gnnmls_par::ParError),
 }
 
 impl fmt::Display for FlowError {
@@ -185,7 +205,13 @@ impl fmt::Display for FlowError {
             FlowError::Route(e) => write!(f, "routing: {e}"),
             FlowError::Netlist(e) => write!(f, "netlist eco: {e}"),
             FlowError::Graph(e) => write!(f, "timing graph: {e}"),
-            FlowError::Checkpoint(e) => write!(f, "pretrained model: {e}"),
+            FlowError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            FlowError::Sta(e) => write!(f, "sta: {e}"),
+            FlowError::Model(e) => write!(f, "model: {e}"),
+            FlowError::InconsistentPath => {
+                write!(f, "path sample disagrees with the design's routes")
+            }
+            FlowError::Par(e) => write!(f, "parallel fan-out: {e}"),
         }
     }
 }
@@ -217,6 +243,21 @@ impl From<CheckpointError> for FlowError {
         FlowError::Checkpoint(e)
     }
 }
+impl From<StaError> for FlowError {
+    fn from(e: StaError) -> Self {
+        FlowError::Sta(e)
+    }
+}
+impl From<ModelError> for FlowError {
+    fn from(e: ModelError) -> Self {
+        FlowError::Model(e)
+    }
+}
+impl From<gnnmls_par::ParError> for FlowError {
+    fn from(e: gnnmls_par::ParError) -> Self {
+        FlowError::Par(e)
+    }
+}
 
 /// Prepares a design for routing exactly as [`run_flow`] does: clone,
 /// place, insert level shifters (heterogeneous stacks), insert repeaters.
@@ -239,7 +280,49 @@ pub fn prepare(
     Ok((netlist, placement))
 }
 
+/// The resumable result of the GNN-MLS learning stage (stage name
+/// `decisions-<policy>` in the resume directory).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct DecisionsCheckpoint {
+    /// Nets selected for MLS (empty under the heuristic fallback).
+    selected: Vec<NetId>,
+    /// Training diagnostics (`None` under the heuristic fallback).
+    train: Option<TrainSummary>,
+    /// Learning wall time, s.
+    runtime_s: Option<f64>,
+    /// The model or its checkpoint was unusable and the flow degraded
+    /// to the heuristic (SOTA) policy.
+    model_fallback: bool,
+    /// Training epochs retried after a divergence rollback.
+    training_retries: u32,
+}
+
+/// Loads `stage` from the resume directory if configured and present,
+/// otherwise computes it and (if configured) saves it.
+fn resume_or<T, F>(cfg: &FlowConfig, stage: &str, compute: F) -> Result<T, FlowError>
+where
+    T: Serialize + Deserialize,
+    F: FnOnce() -> Result<T, FlowError>,
+{
+    if let Some(dir) = &cfg.resume {
+        if let Some(v) = load_stage(dir, stage)? {
+            return Ok(v);
+        }
+    }
+    let v = compute()?;
+    if let Some(dir) = &cfg.resume {
+        save_stage(dir, stage, &v)?;
+    }
+    Ok(v)
+}
+
 /// Runs the full flow on a generated design under one policy.
+///
+/// With [`FlowConfig::resume`] set, completed stages are checkpointed
+/// to disk and reused: a run interrupted after any stage resumes from
+/// the last completed one and produces a bit-identical
+/// [`FlowReport::comparable`]. A corrupted or truncated stage file
+/// surfaces as [`FlowError::Checkpoint`], never a panic.
 ///
 /// # Errors
 ///
@@ -250,6 +333,20 @@ pub fn run_flow(
     cfg: &FlowConfig,
     policy: FlowPolicy,
 ) -> Result<FlowReport, FlowError> {
+    let slug = match policy {
+        FlowPolicy::NoMls => "nomls",
+        FlowPolicy::Sota => "sota",
+        FlowPolicy::GnnMls => "gnnmls",
+    };
+    let report_stage = format!("report-{slug}");
+    if let Some(dir) = &cfg.resume {
+        if let Some(report) = load_stage::<FlowReport>(dir, &report_stage)? {
+            return Ok(report);
+        }
+    }
+    let panics0 = gnnmls_par::recovered_panics();
+    let mut degradation = DegradationSummary::default();
+
     let tech = &design.tech;
     let sta_cfg = StaConfig::from_freq_mhz(cfg.target_freq_mhz);
     let mut netlist = design.netlist.clone();
@@ -265,29 +362,53 @@ pub fn run_flow(
     // sync with [`prepare`]).
     insert_repeaters(&mut netlist, &mut placement, tech, &cfg.repeaters)?;
 
-    // Resolve the routing policy; GNN-MLS trains its decisions first.
+    // Resolve the routing policy; GNN-MLS trains its decisions first
+    // (or resumes them from the checkpointed stage).
     let mut runtime_s = None;
     let mut train_summary = None;
     let route_policy: MlsPolicy = match policy {
         FlowPolicy::NoMls => MlsPolicy::Disabled,
         FlowPolicy::Sota => MlsPolicy::sota(),
         FlowPolicy::GnnMls => {
-            let t0 = Instant::now();
-            let (selected, summary) = learn_decisions(&netlist, &placement, tech, cfg, sta_cfg)?;
-            runtime_s = Some(t0.elapsed().as_secs_f64());
-            train_summary = Some(summary);
-            MlsPolicy::per_net_from(&netlist, selected)
+            let decisions = resume_or(cfg, &format!("decisions-{slug}"), || {
+                let t0 = Instant::now();
+                let mut d = learn_decisions(&netlist, &placement, tech, cfg, sta_cfg)?;
+                d.runtime_s = Some(t0.elapsed().as_secs_f64());
+                Ok(d)
+            })?;
+            runtime_s = decisions.runtime_s;
+            train_summary = decisions.train;
+            degradation.model_fallback = decisions.model_fallback;
+            degradation.training_retries = decisions.training_retries;
+            if decisions.model_fallback {
+                eprintln!("gnn-mls: using heuristic MLS policy (model fallback)");
+                MlsPolicy::sota()
+            } else {
+                MlsPolicy::per_net_from(&netlist, decisions.selected)
+            }
         }
     };
 
-    // Targeted routing + STA.
-    let (mut routes, grid) = route_design(
-        &netlist,
-        &placement,
+    // Targeted routing + STA. The grid is a deterministic function of
+    // the placement and config, so a resumed route DB rebuilds it
+    // without re-routing.
+    let mut routes: RouteDb = resume_or(cfg, &format!("routes-{slug}"), || {
+        let (db, _) = route_design(
+            &netlist,
+            &placement,
+            tech,
+            route_policy.clone(),
+            cfg.route_cfg(),
+        )?;
+        Ok(db)
+    })?;
+    let grid = RoutingGrid::build(
+        placement.floorplan(),
         tech,
-        route_policy.clone(),
-        cfg.route_cfg(),
-    )?;
+        cfg.route_cfg().target_gcells,
+        cfg.route_cfg().pdn_top_util_logic,
+        cfg.route_cfg().pdn_top_util_memory,
+    );
     let mut timing = analyze(&netlist, &routes, sta_cfg)?;
 
     // Optional MLS DFT ECO: logical coverage first (pre-ECO routes define
@@ -348,14 +469,26 @@ pub fn run_flow(
 
     // PDN + IR.
     let (ir_drop_pct, pdn) = if cfg.analyze_pdn {
-        let (spec, worst) = pdn_for_design(&netlist, &placement, tech, &power, cfg);
+        let (spec, worst, converged) = pdn_for_design(&netlist, &placement, tech, &power, cfg);
+        if !converged {
+            eprintln!(
+                "gnn-mls: IR solve hit its iteration cap without converging; \
+                 reported drop may be optimistic"
+            );
+            degradation.ir_nonconverged = true;
+        }
         (Some(worst), Some(spec))
     } else {
         (None, None)
     };
 
+    degradation.pattern_fallback_nets = routes.summary.pattern_fallback_nets;
+    degradation.pattern_fallback_sinks = routes.summary.pattern_fallback_sinks;
+    degradation.isolated_route_failures = routes.summary.isolated_failures;
+    degradation.recovered_worker_panics = gnnmls_par::recovered_panics() - panics0;
+
     let fp: &Floorplan = placement.floorplan();
-    Ok(FlowReport {
+    let report = FlowReport {
         design: netlist.name().to_string(),
         policy: policy.name().to_string(),
         tech: tech.name.clone(),
@@ -382,18 +515,35 @@ pub fn run_flow(
         faults,
         dft_cells,
         train: train_summary,
-    })
+        degradation,
+    };
+    if let Some(dir) = &cfg.resume {
+        save_stage(dir, &report_stage, &report)?;
+    }
+    Ok(report)
 }
 
 /// The learning phase: baseline route/STA, oracle labels, DGI + MLP
 /// training, per-net decisions.
+///
+/// An unusable model — a pre-trained checkpoint that does not restore,
+/// or training that diverges past its retry budget — degrades to the
+/// heuristic policy (`model_fallback` in the returned checkpoint)
+/// instead of failing the flow.
 fn learn_decisions(
     netlist: &Netlist,
     placement: &Placement,
     tech: &gnnmls_netlist::TechConfig,
     cfg: &FlowConfig,
     sta_cfg: StaConfig,
-) -> Result<(Vec<NetId>, TrainSummary), FlowError> {
+) -> Result<DecisionsCheckpoint, FlowError> {
+    let fallback = |retries: u32| DecisionsCheckpoint {
+        selected: Vec::new(),
+        train: None,
+        runtime_s: None,
+        model_fallback: true,
+        training_retries: retries,
+    };
     let mut router = Router::new(
         netlist,
         placement,
@@ -401,8 +551,8 @@ fn learn_decisions(
         MlsPolicy::Disabled,
         cfg.route_cfg(),
     )?;
-    router.route_all();
-    let routes = router.db();
+    router.route_all()?;
+    let routes = router.db()?;
     let baseline = analyze(netlist, &routes, sta_cfg)?;
 
     let total = baseline.endpoint_count();
@@ -410,12 +560,31 @@ fn learn_decisions(
     let mut infer =
         extract_path_samples_par(netlist, placement, tech, &baseline, infer_k, cfg.threads);
 
-    // A pre-trained checkpoint skips the oracle and training entirely.
+    // A pre-trained checkpoint skips the oracle and training entirely;
+    // an unusable one falls back to the heuristic policy.
     if let Some(cp) = &cfg.pretrained {
-        let mut model = GnnMls::from_checkpoint(cp.clone())?;
-        model.set_threads(cfg.threads);
-        let selected = model.decide(&infer);
-        return Ok((selected, TrainSummary::default()));
+        let selected = GnnMls::from_checkpoint(cp.clone())
+            .map_err(|e| e.to_string())
+            .and_then(|mut model| {
+                model.set_threads(cfg.threads);
+                model.decide(&infer).map_err(|e| e.to_string())
+            });
+        return Ok(match selected {
+            Ok(selected) => DecisionsCheckpoint {
+                selected,
+                train: Some(TrainSummary::default()),
+                runtime_s: None,
+                model_fallback: false,
+                training_retries: 0,
+            },
+            Err(e) => {
+                eprintln!(
+                    "gnn-mls: pretrained model unusable ({e}); \
+                     falling back to the heuristic MLS policy"
+                );
+                fallback(0)
+            }
+        });
     }
 
     let train_k = cfg.train_paths.min(total);
@@ -424,17 +593,32 @@ fn learn_decisions(
     // Training set = the worst `train_k` paths; evaluation set = the next
     // `eval_k`.
     let mut labeled: Vec<_> = infer.iter().take(train_k + eval_k).cloned().collect();
-    let stats = label_paths(&mut labeled, netlist, &router, &routes, &cfg.oracle);
+    let stats = label_paths(&mut labeled, netlist, &router, &routes, &cfg.oracle)?;
     let (train_set, eval_set) = labeled.split_at(train_k);
 
     let mut model = GnnMls::new(cfg.model.clone());
     model.set_threads(cfg.threads);
-    let pretrain_loss = model.pretrain(&infer);
-    let train_metrics = model.finetune(train_set);
+    let trained = model.pretrain(&infer).and_then(|pretrain_loss| {
+        let train_metrics = model.finetune(train_set)?;
+        Ok((pretrain_loss, train_metrics))
+    });
+    let (pretrain_loss, train_metrics) = match trained {
+        Ok(t) => t,
+        // Divergence past the retry budget is recoverable: route with
+        // the heuristic policy instead. Anything else is a caller bug.
+        Err(e @ ModelError::Diverged { .. }) => {
+            eprintln!(
+                "gnn-mls: training failed ({e}); \
+                 falling back to the heuristic MLS policy"
+            );
+            return Ok(fallback(model.divergence_retries()));
+        }
+        Err(e) => return Err(FlowError::Model(e)),
+    };
     let eval_metrics = if eval_set.is_empty() {
         Default::default()
     } else {
-        model.evaluate(eval_set)
+        model.evaluate(eval_set)?
     };
     if let Some(path) = &cfg.save_model {
         model.save_json(path)?;
@@ -444,7 +628,7 @@ fn learn_decisions(
     // already labeled, use the exact labels (the model's job is to extend
     // them to unlabeled paths, not to re-predict known answers).
     infer.truncate(infer_k);
-    let mut selected: HashSet<NetId> = model.decide(&infer).into_iter().collect();
+    let mut selected: HashSet<NetId> = model.decide(&infer)?.into_iter().collect();
     for s in &labeled {
         if s.path.slack_ps >= 0.0 {
             continue;
@@ -459,30 +643,34 @@ fn learn_decisions(
     }
     let mut selected: Vec<NetId> = selected.into_iter().collect();
     selected.sort();
-    Ok((
+    Ok(DecisionsCheckpoint {
         selected,
-        TrainSummary {
+        train: Some(TrainSummary {
             oracle: stats,
             pretrain_loss,
             train_metrics,
             eval_metrics,
-        },
-    ))
+        }),
+        runtime_s: None,
+        model_fallback: false,
+        training_retries: model.divergence_retries(),
+    })
 }
 
 /// Sizes the PDN per tier to the IR budget; returns the memory-die
-/// top-metal summary (the paper's `M-T` row) and the worst IR % across
-/// tiers.
+/// top-metal summary (the paper's `M-T` row), the worst IR % across
+/// tiers, and whether every tier's final solve converged.
 fn pdn_for_design(
     netlist: &Netlist,
     placement: &Placement,
     tech: &gnnmls_netlist::TechConfig,
     power: &PowerReport,
     cfg: &FlowConfig,
-) -> (PdnSummary, f64) {
+) -> (PdnSummary, f64, bool) {
     let fp = placement.floorplan();
     let vdd_ref = tech.min_vdd();
     let mut worst = 0.0f64;
+    let mut converged = true;
     let mut mem_summary = PdnSummary::default();
     for tier in Tier::BOTH {
         let (spec, rep) = size_for_budget(
@@ -497,6 +685,7 @@ fn pdn_for_design(
             cfg.pdn_pitch_um,
         );
         worst = worst.max(rep.pct_of_vdd);
+        converged &= rep.converged;
         if tier == Tier::Memory {
             mem_summary = PdnSummary {
                 width_um: spec.width_um,
@@ -505,7 +694,7 @@ fn pdn_for_design(
             };
         }
     }
-    (mem_summary, worst)
+    (mem_summary, worst, converged)
 }
 
 #[cfg(test)]

@@ -39,6 +39,11 @@
 //! # }
 //! ```
 
+// The flow hot path must degrade or return typed errors, never panic;
+// tests may still unwrap freely.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod checkpoint;
 pub mod features;
 pub mod flow;

@@ -9,6 +9,7 @@
 //! [`ModelConfig::finetune_encoder`], [`ModelConfig::encoder`]).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,6 +22,48 @@ use gnnmls_nn::{Adam, Classification, Mlp, Params, Tape, Tensor, Var};
 
 use crate::features::{FeatureScaler, FEATURE_DIM};
 use crate::paths::PathSample;
+
+/// How many times a diverged training stage is retried (from the last
+/// good epoch, with the learning rate halved each time) before the model
+/// is declared unusable.
+const MAX_DIVERGENCE_RETRIES: u32 = 3;
+
+/// Typed model failures; the flow falls back to the heuristic policy on
+/// [`ModelError::Diverged`] instead of shipping NaN decisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Inference was requested before the feature scaler was fit (train
+    /// or restore a checkpoint first).
+    NotTrained,
+    /// A supervised stage was handed samples without oracle labels.
+    MissingLabels,
+    /// Training produced non-finite losses or parameters and could not
+    /// recover within [`MAX_DIVERGENCE_RETRIES`] LR-backoff retries.
+    Diverged {
+        /// Which stage diverged (`"pretrain"` or `"finetune"`).
+        stage: &'static str,
+        /// Epoch at which the last retry gave up.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotTrained => write!(f, "model is not trained (no feature scaler)"),
+            ModelError::MissingLabels => write!(f, "sample lacks oracle labels"),
+            ModelError::Diverged { stage, epoch } => {
+                write!(
+                    f,
+                    "{stage} diverged at epoch {epoch} after {MAX_DIVERGENCE_RETRIES} \
+                     LR-backoff retries"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// Which encoder architecture to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +143,9 @@ pub struct GnnMls {
     /// [`GnnMls::evaluate`] are bit-identical for any value. Training
     /// (SGD) stays serial: its updates are order-dependent.
     threads: usize,
+    /// Divergence recoveries performed across all training stages
+    /// (reported in the flow's degradation summary).
+    divergence_retries: u32,
 }
 
 impl GnnMls {
@@ -136,6 +182,7 @@ impl GnnMls {
             head,
             scaler: None,
             threads: 0,
+            divergence_retries: 0,
         }
     }
 
@@ -161,11 +208,35 @@ impl GnnMls {
         self.scaler = Some(FeatureScaler::fit(&rows));
     }
 
-    fn features_of(&self, sample: &PathSample) -> Tensor {
-        self.scaler
+    fn features_of(&self, sample: &PathSample) -> Result<Tensor, ModelError> {
+        Ok(self
+            .scaler
             .as_ref()
-            .expect("scaler fit before use")
-            .apply_matrix(&sample.features)
+            .ok_or(ModelError::NotTrained)?
+            .apply_matrix(&sample.features))
+    }
+
+    /// Divergence recoveries performed so far (degradation reporting).
+    pub fn divergence_retries(&self) -> u32 {
+        self.divergence_retries
+    }
+
+    fn params_finite(params: &Params) -> bool {
+        params
+            .tensors()
+            .iter()
+            .all(|t| t.as_slice().iter().all(|v| v.is_finite()))
+    }
+
+    /// Replaces one parameter scalar with NaN — the `NanGradient` fault
+    /// seam's way of simulating an exploding update.
+    fn poison_params(params: &mut Params) {
+        let mut snap = params.tensors().to_vec();
+        if let Some(t) = snap.first_mut() {
+            t.set(0, 0, f32::NAN);
+        }
+        // Restoring same-shaped tensors cannot fail.
+        let _ = params.restore(snap);
     }
 
     fn encode(&self, tape: &mut Tape, pv: &gnnmls_nn::optim::ParamVars, x: Var, n: usize) -> Var {
@@ -186,20 +257,33 @@ impl GnnMls {
     /// DGI self-supervised pretraining over unlabeled path samples.
     /// Returns the mean loss of the final epoch (no-op returning 0 when
     /// [`ModelConfig::use_dgi`] is off).
-    pub fn pretrain(&mut self, samples: &[PathSample]) -> f32 {
+    ///
+    /// A non-finite epoch (NaN loss or parameters — including the
+    /// `gnnmls-faults` `NanGradient` seam) is rolled back to the last
+    /// good epoch and retried with the learning rate halved, up to
+    /// [`MAX_DIVERGENCE_RETRIES`] times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Diverged`] if the retries are exhausted.
+    pub fn pretrain(&mut self, samples: &[PathSample]) -> Result<f32, ModelError> {
         self.fit_scaler(samples);
         if !self.cfg.use_dgi || samples.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
-        let mut adam = Adam::new(self.cfg.lr);
+        let mut lr = self.cfg.lr;
+        let mut adam = Adam::new(lr);
+        let mut retries = 0u32;
         let mut last_epoch_loss = 0.0;
-        for _epoch in 0..self.cfg.pretrain_epochs {
+        let mut epoch = 0;
+        while epoch < self.cfg.pretrain_epochs {
+            let snapshot = self.enc_params.tensors().to_vec();
             let mut sum = 0.0f32;
             for s in samples {
                 if s.len() < 2 {
                     continue;
                 }
-                let x = self.features_of(s);
+                let x = self.features_of(s)?;
                 let xc = corrupt_features(&x, &mut self.rng);
                 let mut tape = Tape::new();
                 let pv = self.enc_params.bind(&mut tape);
@@ -213,21 +297,55 @@ impl GnnMls {
                 let g = pv.collect_grads(&grads, &self.enc_params);
                 adam.step(&mut self.enc_params, &g);
             }
+            if gnnmls_faults::fire(gnnmls_faults::FaultSite::NanGradient) {
+                Self::poison_params(&mut self.enc_params);
+                sum = f32::NAN;
+            }
+            if !sum.is_finite() || !Self::params_finite(&self.enc_params) {
+                if retries >= MAX_DIVERGENCE_RETRIES {
+                    return Err(ModelError::Diverged {
+                        stage: "pretrain",
+                        epoch,
+                    });
+                }
+                retries += 1;
+                self.divergence_retries += 1;
+                lr *= 0.5;
+                adam = Adam::new(lr);
+                let _ = self.enc_params.restore(snapshot);
+                eprintln!(
+                    "gnn-mls: pretrain epoch {epoch} diverged; retrying from last good epoch \
+                     at lr {lr:e}"
+                );
+                continue;
+            }
             last_epoch_loss = sum / samples.len().max(1) as f32;
+            epoch += 1;
         }
-        last_epoch_loss
+        Ok(last_epoch_loss)
     }
 
     /// Supervised fine-tuning on labeled samples; returns final-epoch
     /// training metrics.
     ///
-    /// # Panics
+    /// Divergent epochs roll back and retry at a halved learning rate,
+    /// exactly as in [`GnnMls::pretrain`].
     ///
-    /// Panics if any sample lacks labels.
-    pub fn finetune(&mut self, samples: &[PathSample]) -> Classification {
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingLabels`] if any non-empty sample
+    /// lacks labels, and [`ModelError::Diverged`] if the divergence
+    /// retries are exhausted.
+    pub fn finetune(&mut self, samples: &[PathSample]) -> Result<Classification, ModelError> {
+        if samples.iter().any(|s| !s.is_empty() && s.labels.is_none()) {
+            return Err(ModelError::MissingLabels);
+        }
         self.fit_scaler(samples);
-        let mut head_adam = Adam::new(self.cfg.lr);
-        let mut enc_adam = Adam::new(self.cfg.lr * 0.3);
+        let mut head_lr = self.cfg.lr;
+        let mut enc_lr = self.cfg.lr * 0.3;
+        let mut head_adam = Adam::new(head_lr);
+        let mut enc_adam = Adam::new(enc_lr);
+        let mut retries = 0u32;
         let mut metrics = Classification::default();
         // Positive labels are rare (most nets don't benefit from MLS);
         // oversample the paths that carry positives so the head does not
@@ -249,15 +367,21 @@ impl GnnMls {
                 std::iter::repeat_n(s, if has_pos { repeat } else { 1 })
             })
             .collect();
-        for epoch in 0..self.cfg.finetune_epochs {
+        let mut epoch = 0;
+        while epoch < self.cfg.finetune_epochs {
+            let head_snap = self.head_params.tensors().to_vec();
+            let enc_snap = self.enc_params.tensors().to_vec();
             metrics = Classification::default();
+            let mut loss_sum = 0.0f32;
             for &s in &order {
-                let labels = s.labels.as_ref().expect("fine-tuning needs labels");
                 if s.is_empty() {
                     continue;
                 }
+                let Some(labels) = s.labels.as_ref() else {
+                    return Err(ModelError::MissingLabels);
+                };
                 let targets: Vec<f32> = labels.iter().map(|&b| f32::from(b)).collect();
-                let x = self.features_of(s);
+                let x = self.features_of(s)?;
                 let mut tape = Tape::new();
                 let pv_enc = self.enc_params.bind(&mut tape);
                 let pv_head = self.head_params.bind(&mut tape);
@@ -265,6 +389,7 @@ impl GnnMls {
                 let h = self.encode(&mut tape, &pv_enc, xv, s.len());
                 let z = self.head.forward(&mut tape, &pv_head, h);
                 let loss = tape.bce_with_logits(z, &targets);
+                loss_sum += tape.value(loss).get(0, 0);
                 if epoch + 1 == self.cfg.finetune_epochs {
                     metrics = metrics.merge(&Classification::from_logits(tape.value(z), labels));
                 }
@@ -276,49 +401,97 @@ impl GnnMls {
                     enc_adam.step(&mut self.enc_params, &ge);
                 }
             }
+            if gnnmls_faults::fire(gnnmls_faults::FaultSite::NanGradient) {
+                Self::poison_params(&mut self.head_params);
+                loss_sum = f32::NAN;
+            }
+            if !loss_sum.is_finite()
+                || !Self::params_finite(&self.head_params)
+                || !Self::params_finite(&self.enc_params)
+            {
+                if retries >= MAX_DIVERGENCE_RETRIES {
+                    return Err(ModelError::Diverged {
+                        stage: "finetune",
+                        epoch,
+                    });
+                }
+                retries += 1;
+                self.divergence_retries += 1;
+                head_lr *= 0.5;
+                enc_lr *= 0.5;
+                head_adam = Adam::new(head_lr);
+                enc_adam = Adam::new(enc_lr);
+                let _ = self.head_params.restore(head_snap);
+                let _ = self.enc_params.restore(enc_snap);
+                eprintln!(
+                    "gnn-mls: finetune epoch {epoch} diverged; retrying from last good epoch \
+                     at lr {head_lr:e}"
+                );
+                continue;
+            }
+            epoch += 1;
         }
-        metrics
+        Ok(metrics)
     }
 
     /// Per-node MLS probabilities for one path.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the scaler has not been fit (train first).
-    pub fn predict_path(&self, sample: &PathSample) -> Vec<f32> {
-        let x = self.features_of(sample);
+    /// Returns [`ModelError::NotTrained`] if the scaler has not been fit
+    /// (train or restore a checkpoint first).
+    pub fn predict_path(&self, sample: &PathSample) -> Result<Vec<f32>, ModelError> {
+        let x = self.features_of(sample)?;
         let mut tape = Tape::new();
         let pv_enc = self.enc_params.bind(&mut tape);
         let pv_head = self.head_params.bind(&mut tape);
         let xv = tape.leaf(x);
         let h = self.encode(&mut tape, &pv_enc, xv, sample.len());
         let z = self.head.forward(&mut tape, &pv_head, h);
-        tape.value(z)
+        Ok(tape
+            .value(z)
             .as_slice()
             .iter()
             .map(|&v| 1.0 / (1.0 + (-v).exp()))
-            .collect()
+            .collect())
     }
 
     /// Evaluates classification metrics against oracle labels.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any sample lacks labels.
-    pub fn evaluate(&self, samples: &[PathSample]) -> Classification {
+    /// Returns [`ModelError::MissingLabels`] if any sample lacks labels
+    /// and [`ModelError::NotTrained`] if the model has never been fit.
+    pub fn evaluate(&self, samples: &[PathSample]) -> Result<Classification, ModelError> {
+        if samples.iter().any(|s| s.labels.is_none()) {
+            return Err(ModelError::MissingLabels);
+        }
+        if self.scaler.is_none() {
+            return Err(ModelError::NotTrained);
+        }
         // Per-sample prediction is pure; fan it out, fold in input order.
-        let per_sample = gnnmls_par::par_map(self.threads, samples, |s| {
-            let labels = s.labels.as_ref().expect("evaluation needs labels");
-            let probs = self.predict_path(s);
+        let eval_one = |s: &PathSample| {
+            let Some(labels) = s.labels.as_ref() else {
+                unreachable!("labels checked above");
+            };
+            let Ok(probs) = self.predict_path(s) else {
+                unreachable!("scaler checked above");
+            };
             let logits =
                 Tensor::from_flat(probs.len(), 1, probs.iter().map(|&p| p - 0.5).collect());
             Classification::from_logits(&logits, labels)
-        });
+        };
+        // A worker panic is retried serially; if even that fails, fall
+        // back to the plain serial loop (a panic there is a real bug).
+        let per_sample = match gnnmls_par::recovering_par_map(self.threads, samples, eval_one) {
+            Ok(v) => v,
+            Err(_) => samples.iter().map(eval_one).collect(),
+        };
         let mut m = Classification::default();
         for c in &per_sample {
             m = m.merge(c);
         }
-        m
+        Ok(m)
     }
 
     /// Aggregates per-path predictions into per-net MLS decisions: a net
@@ -327,16 +500,32 @@ impl GnnMls {
     /// paths carry no decision — MLS exists to fix timing, and leaving
     /// passing paths alone is what keeps GNN-MLS from the indiscriminate
     /// regressions the SOTA shows (Table I).
-    pub fn decide(&self, samples: &[PathSample]) -> Vec<NetId> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotTrained`] if the model has never been
+    /// fit.
+    pub fn decide(&self, samples: &[PathSample]) -> Result<Vec<NetId>, ModelError> {
+        if self.scaler.is_none() {
+            return Err(ModelError::NotTrained);
+        }
         // Predict violating paths concurrently, then reduce serially in
         // input order (max-per-net is order-independent anyway).
-        let probs_per_sample = gnnmls_par::par_map(self.threads, samples, |s| {
+        let predict_one = |s: &PathSample| {
             if s.path.slack_ps >= 0.0 {
                 None
             } else {
-                Some(self.predict_path(s))
+                let Ok(probs) = self.predict_path(s) else {
+                    unreachable!("scaler checked above");
+                };
+                Some(probs)
             }
-        });
+        };
+        let probs_per_sample =
+            match gnnmls_par::recovering_par_map(self.threads, samples, predict_one) {
+                Ok(v) => v,
+                Err(_) => samples.iter().map(predict_one).collect(),
+            };
         let mut best: HashMap<NetId, f32> = HashMap::new();
         for (s, probs) in samples.iter().zip(&probs_per_sample) {
             let Some(probs) = probs else {
@@ -358,7 +547,7 @@ impl GnnMls {
             .map(|(n, _)| n)
             .collect();
         v.sort();
-        v
+        Ok(v)
     }
 
     /// Total trainable scalars (encoder + head).
@@ -461,14 +650,14 @@ mod tests {
             finetune_epochs: 25,
             ..ModelConfig::default()
         });
-        model.pretrain(&samples);
-        let train_m = model.finetune(&samples);
+        model.pretrain(&samples).unwrap();
+        let train_m = model.finetune(&samples).unwrap();
         assert!(
             train_m.accuracy() > 0.85,
             "train accuracy {:.2}",
             train_m.accuracy()
         );
-        let test_m = model.evaluate(&test);
+        let test_m = model.evaluate(&test).unwrap();
         assert!(
             test_m.accuracy() > 0.8,
             "test accuracy {:.2}",
@@ -483,7 +672,7 @@ mod tests {
             pretrain_epochs: 2,
             ..ModelConfig::default()
         });
-        let loss = model.pretrain(&samples);
+        let loss = model.pretrain(&samples).unwrap();
         assert!(loss.is_finite() && loss > 0.0);
     }
 
@@ -499,9 +688,9 @@ mod tests {
             finetune_epochs: 20,
             ..ModelConfig::default()
         });
-        model.pretrain(&samples);
-        model.finetune(&samples);
-        let decided = model.decide(&samples);
+        model.pretrain(&samples).unwrap();
+        model.finetune(&samples).unwrap();
+        let decided = model.decide(&samples).unwrap();
         for s in &samples {
             assert!(!decided.contains(&s.nets[0]), "ineligible net selected");
         }
@@ -516,9 +705,75 @@ mod tests {
             finetune_epochs: 20,
             ..ModelConfig::default()
         });
-        model.pretrain(&samples);
-        let m = model.finetune(&samples);
+        model.pretrain(&samples).unwrap();
+        let m = model.finetune(&samples).unwrap();
         assert!(m.accuracy() > 0.6, "gcn accuracy {:.2}", m.accuracy());
+    }
+
+    #[test]
+    fn untrained_model_returns_typed_errors_not_panics() {
+        let model = GnnMls::new(ModelConfig::default());
+        let samples = synthetic_samples(2, 6);
+        assert!(matches!(
+            model.predict_path(&samples[0]),
+            Err(ModelError::NotTrained)
+        ));
+        assert!(matches!(
+            model.decide(&samples),
+            Err(ModelError::NotTrained)
+        ));
+        assert!(matches!(
+            model.evaluate(&samples),
+            Err(ModelError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn missing_labels_are_a_typed_error() {
+        let mut samples = synthetic_samples(4, 7);
+        samples[2].labels = None;
+        let mut model = GnnMls::new(ModelConfig::default());
+        assert!(matches!(
+            model.finetune(&samples),
+            Err(ModelError::MissingLabels)
+        ));
+    }
+
+    #[test]
+    fn injected_nan_gradient_recovers_with_lr_backoff() {
+        use gnnmls_faults::{install, FaultPlan, FaultSite};
+        let samples = synthetic_samples(10, 8);
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 3,
+            ..ModelConfig::default()
+        });
+        let _g = install(&FaultPlan::single(FaultSite::NanGradient, 1));
+        let loss = model.pretrain(&samples).unwrap();
+        assert!(loss.is_finite() && loss > 0.0, "recovered loss {loss}");
+        assert_eq!(model.divergence_retries(), 1);
+        assert!(GnnMls::params_finite(&model.enc_params));
+        let m = model.finetune(&samples).unwrap();
+        assert!(m.accuracy() > 0.0);
+    }
+
+    #[test]
+    fn unrecoverable_divergence_is_a_typed_error() {
+        use gnnmls_faults::{install, FaultPlan, FaultSite};
+        let samples = synthetic_samples(6, 9);
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 2,
+            ..ModelConfig::default()
+        });
+        // Every epoch diverges: retries must exhaust into a typed error.
+        let _g = install(&FaultPlan::single(FaultSite::NanGradient, u32::MAX));
+        assert!(matches!(
+            model.pretrain(&samples),
+            Err(ModelError::Diverged {
+                stage: "pretrain",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -15,8 +15,9 @@ use serde::{Deserialize, Serialize};
 
 use gnnmls_netlist::{NetId, Netlist};
 use gnnmls_route::router::MlsOverride;
-use gnnmls_route::{NetRoute, RouteDb, Router};
+use gnnmls_route::{NetRoute, RouteDb, RouteError, Router};
 
+use crate::flow::FlowError;
 use crate::paths::PathSample;
 
 /// Oracle parameters.
@@ -59,13 +60,20 @@ pub struct OracleStats {
 /// slack deltas are evaluated concurrently from the shared cache. Both
 /// stages are pure per item, so labels, counts, and cache contents are
 /// bit-identical to the serial pass for any thread count.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Route`] if a what-if re-route fails,
+/// [`FlowError::InconsistentPath`] if a sample's path disagrees with the
+/// route database, and [`FlowError::Par`] only if a worker panic
+/// reproduces on the serial retry.
 pub fn label_paths(
     samples: &mut [PathSample],
     netlist: &Netlist,
     router: &Router<'_>,
     routes: &RouteDb,
     cfg: &OracleConfig,
-) -> OracleStats {
+) -> Result<OracleStats, FlowError> {
     let threads = router.config().threads;
 
     // Distinct eligible nets in first-occurrence order (the serial
@@ -79,53 +87,58 @@ pub fn label_paths(
             }
         }
     }
-    let cands = gnnmls_par::par_map_with(
+    let cands: Vec<Result<NetRoute, RouteError>> = gnnmls_par::recovering_par_map_with(
         threads,
         order.len(),
         || router.scratch(),
         |scratch, i| router.what_if(scratch, order[i], MlsOverride::Allow),
-    );
-    let cache: HashMap<NetId, NetRoute> = order.iter().copied().zip(cands).collect();
+    )?;
+    let mut cache: HashMap<NetId, NetRoute> = HashMap::with_capacity(order.len());
+    for (net, cand) in order.iter().copied().zip(cands) {
+        cache.insert(net, cand?);
+    }
 
     // Per-sample label evaluation is pure given the cache.
     let samples_ro: &[PathSample] = samples;
-    let per_sample: Vec<(Vec<bool>, usize, usize)> =
-        gnnmls_par::par_map_n(threads, samples_ro.len(), |s| {
-            let sample = &samples_ro[s];
-            let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
-            let mut labels = Vec::with_capacity(sample.len());
-            let (mut positive, mut negative) = (0usize, 0usize);
-            for (i, &net) in sample.nets.iter().enumerate() {
-                if !sample.eligible[i] {
-                    labels.push(false);
-                    continue;
-                }
-                let cand = &cache[&net];
-                let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
-                subs.insert(net, cand);
-                let gain = sample.path.slack_with(netlist, routes, &subs) - base_slack;
-                let is_pos = cand.is_mls && gain > cfg.gain_threshold_ps;
-                if is_pos {
-                    positive += 1;
-                } else {
-                    negative += 1;
-                }
-                labels.push(is_pos);
+    let eval_one = |s: usize| -> Option<(Vec<bool>, usize, usize)> {
+        let sample = &samples_ro[s];
+        let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new())?;
+        let mut labels = Vec::with_capacity(sample.len());
+        let (mut positive, mut negative) = (0usize, 0usize);
+        for (i, &net) in sample.nets.iter().enumerate() {
+            if !sample.eligible[i] {
+                labels.push(false);
+                continue;
             }
-            (labels, positive, negative)
-        });
+            let cand = &cache[&net];
+            let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
+            subs.insert(net, cand);
+            let gain = sample.path.slack_with(netlist, routes, &subs)? - base_slack;
+            let is_pos = cand.is_mls && gain > cfg.gain_threshold_ps;
+            if is_pos {
+                positive += 1;
+            } else {
+                negative += 1;
+            }
+            labels.push(is_pos);
+        }
+        Some((labels, positive, negative))
+    };
+    let per_sample: Vec<Option<(Vec<bool>, usize, usize)>> =
+        gnnmls_par::recovering_par_map_with(threads, samples_ro.len(), || (), |(), s| eval_one(s))?;
 
     let mut stats = OracleStats {
         what_ifs: order.len(),
         ..OracleStats::default()
     };
-    for (sample, (labels, positive, negative)) in samples.iter_mut().zip(per_sample) {
+    for (sample, labeled) in samples.iter_mut().zip(per_sample) {
+        let (labels, positive, negative) = labeled.ok_or(FlowError::InconsistentPath)?;
         sample.labels = Some(labels);
         stats.positive += positive;
         stats.negative += negative;
         stats.paths += 1;
     }
-    stats
+    Ok(stats)
 }
 
 /// Single-net MLS impact (the Table I experiment): before/after slack and
@@ -187,13 +200,19 @@ impl NetImpact {
 
 /// Evaluates single-net MLS impact for every eligible net on the given
 /// paths, sorted by gain (most-helped first).
+///
+/// # Errors
+///
+/// Returns [`FlowError::Route`] if a what-if re-route fails and
+/// [`FlowError::InconsistentPath`] if a sample's path disagrees with
+/// the route database.
 pub fn net_mls_impact(
     samples: &[PathSample],
     netlist: &Netlist,
     router: &Router<'_>,
     routes: &RouteDb,
     grid: &gnnmls_route::RoutingGrid,
-) -> Vec<NetImpact> {
+) -> Result<Vec<NetImpact>, FlowError> {
     // Each distinct eligible net is evaluated against the first sample
     // that mentions it; the pairs are independent, so fan them out.
     let mut order: Vec<(NetId, usize)> = Vec::new();
@@ -205,30 +224,40 @@ pub fn net_mls_impact(
             }
         }
     }
-    let mut v: Vec<NetImpact> = gnnmls_par::par_map_with(
+    let evaluated = gnnmls_par::recovering_par_map_with(
         router.config().threads,
         order.len(),
         || router.scratch(),
-        |scratch, k| {
+        |scratch, k| -> Result<NetImpact, FlowError> {
             let (net, s) = order[k];
             let sample = &samples[s];
-            let base_slack = sample.path.slack_with(netlist, routes, &HashMap::new());
-            let cand = router.what_if(scratch, net, MlsOverride::Allow);
+            let base_slack = sample
+                .path
+                .slack_with(netlist, routes, &HashMap::new())
+                .ok_or(FlowError::InconsistentPath)?;
+            let cand = router.what_if(scratch, net, MlsOverride::Allow)?;
             let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
             subs.insert(net, &cand);
-            let after = sample.path.slack_with(netlist, routes, &subs);
-            NetImpact {
+            let after = sample
+                .path
+                .slack_with(netlist, routes, &subs)
+                .ok_or(FlowError::InconsistentPath)?;
+            Ok(NetImpact {
                 net,
                 name: netlist.net(net).name.clone(),
                 slack_before_ps: base_slack,
                 slack_after_ps: after,
                 metals_before: routes.route(net).tree.used_layers(grid),
                 metals_after: cand.tree.used_layers(grid),
-            }
+            })
         },
-    );
+    )?;
+    let mut v = Vec::with_capacity(evaluated.len());
+    for r in evaluated {
+        v.push(r?);
+    }
     v.sort_by(|a, b| b.gain_ps().total_cmp(&a.gain_ps()).then(a.net.cmp(&b.net)));
-    v
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -259,8 +288,8 @@ mod tests {
             RouteConfig::default(),
         )
         .unwrap();
-        router.route_all();
-        let routes = router.db();
+        router.route_all().unwrap();
+        let routes = router.db().unwrap();
         let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
         let mut samples = extract_path_samples(&netlist, &placement, &tech, &rep, 30);
         let stats = label_paths(
@@ -269,7 +298,8 @@ mod tests {
             &router,
             &routes,
             &OracleConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(stats.paths, 30);
         assert!(stats.positive + stats.negative > 0);
         for s in &samples {
@@ -295,7 +325,7 @@ mod tests {
             .collect();
         assert!(stats.what_ifs <= distinct.len());
         // Router state unchanged by the oracle.
-        let routes2 = router.db();
+        let routes2 = router.db().unwrap();
         assert_eq!(routes.summary, routes2.summary);
     }
 
@@ -310,12 +340,12 @@ mod tests {
             RouteConfig::default(),
         )
         .unwrap();
-        router.route_all();
-        let routes = router.db();
+        router.route_all().unwrap();
+        let routes = router.db().unwrap();
         let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
         let samples = extract_path_samples(&netlist, &placement, &tech, &rep, 20);
         let grid = router.grid().clone();
-        let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
+        let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid).unwrap();
         assert!(!impacts.is_empty());
         // Sorted descending by gain.
         for w in impacts.windows(2) {
@@ -342,8 +372,8 @@ mod tests {
                 },
             )
             .unwrap();
-            router.route_all();
-            let routes = router.db();
+            router.route_all().unwrap();
+            let routes = router.db().unwrap();
             let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
             let mut samples = extract_path_samples(&netlist, &placement, &tech, &rep, 25);
             let stats = label_paths(
@@ -352,7 +382,8 @@ mod tests {
                 &router,
                 &routes,
                 &OracleConfig::default(),
-            );
+            )
+            .unwrap();
             let labels: Vec<Vec<bool>> =
                 samples.iter().map(|s| s.labels.clone().unwrap()).collect();
             (stats, labels, routes.summary)

@@ -67,9 +67,13 @@ pub fn extract_path_samples_par(
     threads: usize,
 ) -> Vec<PathSample> {
     let paths = worst_paths_par(netlist, report, k, threads);
-    gnnmls_par::par_map_n(threads, paths.len(), |i| {
-        sample_from_path(netlist, placement, tech, paths[i].clone())
-    })
+    let featurize = |i: usize| sample_from_path(netlist, placement, tech, paths[i].clone());
+    // A worker panic is retried serially; if even that fails, fall back
+    // to the plain serial loop (a panic there is a genuine bug).
+    match gnnmls_par::recovering_par_map_with(threads, paths.len(), || (), |(), i| featurize(i)) {
+        Ok(v) => v,
+        Err(_) => (0..paths.len()).map(featurize).collect(),
+    }
 }
 
 /// Converts one timing path into a sample.

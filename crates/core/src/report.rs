@@ -32,6 +32,74 @@ pub struct TrainSummary {
     pub eval_metrics: Classification,
 }
 
+/// What the flow degraded gracefully on instead of failing.
+///
+/// All-zero / all-false means the run was clean; anything else is a
+/// recovery the flow performed (pattern-route fallback, isolated net
+/// failure, retried training epoch, worker-panic retry, heuristic model
+/// fallback, or a non-converged IR solve) that the caller should see.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationSummary {
+    /// Nets that fell back from maze to pattern routing for at least one
+    /// sink after the A* expansion budget ran out.
+    pub pattern_fallback_nets: usize,
+    /// Individual sinks routed by the pattern fallback.
+    pub pattern_fallback_sinks: usize,
+    /// Rip-up victims whose reroute failed and whose previous route was
+    /// restored instead of failing the flow.
+    pub isolated_route_failures: usize,
+    /// Worker panics that were caught and retried serially.
+    pub recovered_worker_panics: u32,
+    /// The GNN policy fell back to the heuristic (SOTA) policy because
+    /// the model or its checkpoint was unusable.
+    pub model_fallback: bool,
+    /// Training epochs retried after a divergence (NaN) rollback.
+    pub training_retries: u32,
+    /// The final IR solve hit its iteration cap without converging.
+    pub ir_nonconverged: bool,
+}
+
+impl DegradationSummary {
+    /// `true` when nothing degraded.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl fmt::Display for DegradationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.pattern_fallback_nets > 0 {
+            parts.push(format!(
+                "pattern fallback on {} nets ({} sinks)",
+                self.pattern_fallback_nets, self.pattern_fallback_sinks
+            ));
+        }
+        if self.isolated_route_failures > 0 {
+            parts.push(format!(
+                "{} isolated route failures",
+                self.isolated_route_failures
+            ));
+        }
+        if self.recovered_worker_panics > 0 {
+            parts.push(format!(
+                "{} recovered worker panics",
+                self.recovered_worker_panics
+            ));
+        }
+        if self.model_fallback {
+            parts.push("model fell back to heuristic policy".into());
+        }
+        if self.training_retries > 0 {
+            parts.push(format!("{} training retries", self.training_retries));
+        }
+        if self.ir_nonconverged {
+            parts.push("IR solve did not converge".into());
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
 /// One full flow run's results.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FlowReport {
@@ -80,6 +148,20 @@ pub struct FlowReport {
     pub dft_cells: usize,
     /// Training diagnostics (GNN-MLS only).
     pub train: Option<TrainSummary>,
+    /// Graceful degradations the flow performed instead of failing.
+    pub degradation: DegradationSummary,
+}
+
+impl FlowReport {
+    /// The report with runtime scrubbed — every remaining field is a
+    /// deterministic function of the inputs, so two runs of the same
+    /// flow (including a checkpoint-resumed rerun) must compare equal.
+    pub fn comparable(&self) -> Self {
+        Self {
+            runtime_s: None,
+            ..self.clone()
+        }
+    }
 }
 
 impl fmt::Display for FlowReport {
@@ -141,6 +223,9 @@ impl fmt::Display for FlowReport {
                 t.eval_metrics.accuracy()
             )?;
         }
+        if !self.degradation.is_clean() {
+            writeln!(f, "  degraded: {}", self.degradation)?;
+        }
         Ok(())
     }
 }
@@ -178,6 +263,15 @@ mod tests {
             faults: Some((444_346, 438_276)),
             dft_cells: 32,
             train: Some(TrainSummary::default()),
+            degradation: DegradationSummary {
+                pattern_fallback_nets: 3,
+                pattern_fallback_sinks: 7,
+                isolated_route_failures: 1,
+                recovered_worker_panics: 2,
+                model_fallback: false,
+                training_retries: 1,
+                ir_nonconverged: false,
+            },
         };
         let s = format!("{r}");
         for needle in [
@@ -187,9 +281,27 @@ mod tests {
             "IR 9.40%",
             "coverage 98.38%",
             "train:",
+            "degraded: pattern fallback on 3 nets (7 sinks)",
+            "1 isolated route failures",
+            "2 recovered worker panics",
+            "1 training retries",
         ] {
             assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
         }
+    }
+
+    #[test]
+    fn clean_degradation_is_silent_and_comparable_scrubs_runtime() {
+        let r = FlowReport {
+            design: "x".into(),
+            runtime_s: Some(12.0),
+            ..Default::default()
+        };
+        assert!(r.degradation.is_clean());
+        assert!(!format!("{r}").contains("degraded"));
+        let c = r.comparable();
+        assert!(c.runtime_s.is_none());
+        assert_eq!(c.design, r.design);
     }
 
     #[test]

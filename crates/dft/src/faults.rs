@@ -294,8 +294,8 @@ mod tests {
         // Sink A stays on the logic die; sink B crosses the bond.
         b.add_path(&[root, grid.node(1, 0, bond)]);
         b.add_path(&[root, grid.node(0, 0, bond + 1)]);
-        b.mark_sink(grid.node(1, 0, bond));
-        b.mark_sink(grid.node(0, 0, bond + 1));
+        assert!(b.mark_sink(grid.node(1, 0, bond)));
+        assert!(b.mark_sink(grid.node(0, 0, bond + 1)));
         let tree = b.finish();
         let route = gnnmls_route::NetRoute {
             net: gnnmls_netlist::NetId::new(0),
@@ -305,6 +305,7 @@ mod tests {
             total_cap_ff: 0.0,
             sink_elmore_ps: vec![0.0, 0.0],
             overflowed: false,
+            pattern_sinks: 0,
             tree,
         };
         assert_eq!(cut_sinks(&route), vec![false, true]);

@@ -11,8 +11,19 @@
 //!
 //! `threads == 1` bypasses thread spawning entirely and runs the plain
 //! serial loop, making the serial path exactly today's code.
+//!
+//! Resilience: every map has a [`try_par_map_with`]-style variant that
+//! catches a panicking item and returns a typed [`ParError`] carrying
+//! the failing index, and a [`recovering_par_map_with`] variant the
+//! flow's hot paths use — it retries the whole map serially once after
+//! a worker panic (deterministic, since results are ordered) and
+//! counts the recovery in a process-global tally the flow report reads.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
+
+use gnnmls_faults::{fire, FaultSite};
 
 /// Number of logical cores (the `threads = 0` default).
 pub fn available_parallelism() -> usize {
@@ -27,22 +38,78 @@ pub fn available_parallelism() -> usize {
 /// set to a positive integer) overrides the core count. CI uses this to
 /// run the whole suite in forced-serial and default-parallel modes
 /// without touching any config; results are bit-identical either way.
+/// A malformed value is ignored, but gets a one-line stderr warning
+/// (once per process) so a CI misconfiguration is visible.
 pub fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
-        std::env::var("GNNMLS_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(available_parallelism)
+        match std::env::var("GNNMLS_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    static WARN: Once = Once::new();
+                    WARN.call_once(|| {
+                        eprintln!(
+                            "gnnmls-par: ignoring malformed GNNMLS_THREADS={v:?} \
+                             (want a positive integer); using all cores"
+                        );
+                    });
+                    available_parallelism()
+                }
+            },
+            Err(_) => available_parallelism(),
+        }
     } else {
         threads
     }
 }
 
+/// A worker panicked while mapping one item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParError {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked at item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParError {}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Process-global count of worker panics recovered by the
+/// `recovering_*` maps. The flow snapshots this before and after a run
+/// to report recovered degradations; injected faults are serialized by
+/// the `gnnmls-faults` guard, so the delta is deterministic.
+static RECOVERED: AtomicU32 = AtomicU32::new(0);
+
+/// Total worker panics recovered by `recovering_*` maps so far.
+pub fn recovered_panics() -> u32 {
+    RECOVERED.load(Ordering::SeqCst)
+}
+
 /// Ordered parallel map over `0..n`: returns `vec![f(0), f(1), ..]`.
 ///
 /// Results are identical to the serial loop for any thread count; only
-/// the evaluation schedule differs. Worker panics propagate.
+/// the evaluation schedule differs. Worker panics propagate, with the
+/// failing item index in the panic message.
 pub fn par_map_n<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -67,6 +134,11 @@ where
 /// `f` may freely mutate the scratch between items. This is how the
 /// router shares one A* scratch buffer per thread instead of
 /// reallocating per net.
+///
+/// # Panics
+///
+/// Re-raises a worker panic with the failing item index in the message
+/// (`worker panicked at item <i>: <payload>`).
 pub fn par_map_with<S, R, FS, F>(threads: usize, n: usize, make_scratch: FS, f: F) -> Vec<R>
 where
     S: Send,
@@ -74,23 +146,82 @@ where
     FS: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> R + Sync,
 {
+    match try_par_map_with(threads, n, make_scratch, f) {
+        Ok(v) => v,
+        Err(e) => panic!("gnnmls-par: {e}"),
+    }
+}
+
+/// [`par_map_n`] returning a typed error instead of panicking.
+pub fn try_par_map_n<R, F>(threads: usize, n: usize, f: F) -> Result<Vec<R>, ParError>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    try_par_map_with(threads, n, || (), |(), i| f(i))
+}
+
+/// [`par_map`] returning a typed error instead of panicking.
+pub fn try_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map_n(threads, items.len(), |i| f(&items[i]))
+}
+
+/// [`par_map_with`] returning a typed error instead of panicking.
+///
+/// A panicking item aborts the map: in-flight items on other workers
+/// finish, queued items are skipped, and the error reports the lowest
+/// failing index. The `gnnmls-faults` `WorkerPanic` seam fires here
+/// (serial and parallel paths alike), so the injected fault class is
+/// exercised in both CI matrix legs.
+pub fn try_par_map_with<S, R, FS, F>(
+    threads: usize,
+    n: usize,
+    make_scratch: FS,
+    f: F,
+) -> Result<Vec<R>, ParError>
+where
+    S: Send,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let run_item = |scratch: &mut S, i: usize| -> Result<R, ParError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if fire(FaultSite::WorkerPanic) {
+                panic!("injected worker panic (gnnmls-faults)");
+            }
+            f(scratch, i)
+        }))
+        .map_err(|payload| ParError {
+            index: i,
+            message: payload_message(payload.as_ref()),
+        })
+    };
+
     let workers = resolve_threads(threads).min(n.max(1));
     if workers <= 1 {
         let mut scratch = make_scratch();
-        return (0..n).map(|i| f(&mut scratch, i)).collect();
+        return (0..n).map(|i| run_item(&mut scratch, i)).collect();
     }
 
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
     let slots = SlotWriter(results.as_mut_ptr());
     let next = AtomicUsize::new(0);
+    let first_error: Mutex<Option<ParError>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let slots = &slots;
             let next = &next;
-            let f = &f;
+            let run_item = &run_item;
             let make_scratch = &make_scratch;
+            let first_error = &first_error;
             scope.spawn(move || {
                 let mut scratch = make_scratch();
                 loop {
@@ -98,26 +229,89 @@ where
                     if i >= n {
                         break;
                     }
-                    let r = f(&mut scratch, i);
-                    // SAFETY: `fetch_add` hands each index to exactly one
-                    // worker, so no two threads ever write the same slot,
-                    // and the scope joins all workers before `results` is
-                    // read again.
-                    unsafe { slots.0.add(i).write(Some(r)) };
+                    match run_item(&mut scratch, i) {
+                        Ok(r) => {
+                            // SAFETY: `fetch_add` hands each index to
+                            // exactly one worker, so no two threads ever
+                            // write the same slot, and the scope joins all
+                            // workers before `results` is read again.
+                            unsafe { slots.0.add(i).write(Some(r)) };
+                        }
+                        Err(e) => {
+                            let mut slot =
+                                first_error.lock().unwrap_or_else(PoisonError::into_inner);
+                            match slot.as_ref() {
+                                Some(prev) if prev.index <= e.index => {}
+                                _ => *slot = Some(e),
+                            }
+                            // Park the queue so other workers drain fast.
+                            next.store(n, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                 }
             });
         }
     });
 
+    if let Some(e) = first_error
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        return Err(e);
+    }
     results
         .into_iter()
-        .map(|r| r.expect("every index claimed by exactly one worker"))
+        .enumerate()
+        .map(|(i, r)| {
+            r.ok_or_else(|| ParError {
+                index: i,
+                message: "item skipped after a worker panic".to_string(),
+            })
+        })
         .collect()
+}
+
+/// [`par_map_with`] that survives a worker panic: the map is retried
+/// once on the serial path (bit-identical results, since maps are
+/// ordered), the recovery is counted in [`recovered_panics`], and only
+/// a panic that also reproduces serially propagates as an error.
+pub fn recovering_par_map_with<S, R, FS, F>(
+    threads: usize,
+    n: usize,
+    make_scratch: FS,
+    f: F,
+) -> Result<Vec<R>, ParError>
+where
+    S: Send,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    match try_par_map_with(threads, n, &make_scratch, &f) {
+        Ok(v) => Ok(v),
+        Err(e) => {
+            eprintln!("gnnmls-par: {e}; retrying serially");
+            RECOVERED.fetch_add(1, Ordering::SeqCst);
+            try_par_map_with(1, n, &make_scratch, &f)
+        }
+    }
+}
+
+/// [`recovering_par_map_with`] over a slice without scratch.
+pub fn recovering_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    recovering_par_map_with(threads, items.len(), || (), |(), i| f(&items[i]))
 }
 
 struct SlotWriter<R>(*mut Option<R>);
 
-// SAFETY: workers write disjoint slots (see par_map_with) and the
+// SAFETY: workers write disjoint slots (see try_par_map_with) and the
 // pointee outlives the scope that shares the pointer.
 unsafe impl<R: Send> Send for SlotWriter<R> {}
 unsafe impl<R: Send> Sync for SlotWriter<R> {}
@@ -186,13 +380,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "worker panicked at item 7")]
+    fn worker_panics_propagate_with_index() {
         par_map_n(4, 16, |i| {
             if i == 7 {
                 panic!("boom");
             }
             i
         });
+    }
+
+    #[test]
+    fn try_map_reports_failing_index() {
+        for threads in [1, 4] {
+            let err = try_par_map_n(threads, 16, |i| {
+                if i == 5 {
+                    panic!("kaput");
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 5, "threads={threads}");
+            assert_eq!(err.message, "kaput");
+        }
+    }
+
+    #[test]
+    fn try_map_succeeds_without_panics() {
+        let got = try_par_map_n(4, 33, |i| i * 2).unwrap();
+        assert_eq!(got, (0..33).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_worker_panic_recovers_serially() {
+        let plan = gnnmls_faults::FaultPlan::single(gnnmls_faults::FaultSite::WorkerPanic, 1);
+        let guard = gnnmls_faults::install(&plan);
+        let before = recovered_panics();
+        let got = recovering_par_map_with(4, 20, || (), |(), i| i + 1).unwrap();
+        assert_eq!(got, (1..=20).collect::<Vec<_>>());
+        assert_eq!(recovered_panics(), before + 1);
+        drop(guard);
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_as_typed_error() {
+        let err = recovering_par_map_with(
+            4,
+            8,
+            || (),
+            |(), i| {
+                if i == 3 {
+                    panic!("always fails");
+                }
+                i
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.index, 3);
+        assert_eq!(err.message, "always fails");
     }
 }

@@ -30,6 +30,16 @@ pub struct IrReport {
     pub nx: usize,
     /// Mesh height in nodes.
     pub ny: usize,
+    /// Whether conjugate gradients reached the residual tolerance.
+    ///
+    /// A non-converged report is a *partial* solve: the drop map is
+    /// whatever iterate the cap left behind, and downstream sizing
+    /// ([`size_for_budget`]) refuses to trust it.
+    pub converged: bool,
+    /// CG iterations actually run.
+    pub iterations: usize,
+    /// Relative residual `‖r‖²/‖b‖²` at exit.
+    pub residual: f64,
 }
 
 impl IrReport {
@@ -84,20 +94,33 @@ impl IrReport {
             }
         };
 
-        // Conjugate gradients.
+        // Conjugate gradients, capped. The `gnnmls-faults` seam
+        // shrinks the cap to 1 so the non-convergence path is testable
+        // without a pathological mesh.
+        const TOL: f64 = 1e-18;
+        let max_iters = if gnnmls_faults::fire(gnnmls_faults::FaultSite::IrNonConvergence) {
+            1
+        } else {
+            2000
+        };
         let mut x = vec![0.0f64; n];
         let mut r = b.clone();
         let mut p = r.clone();
         let mut ax = vec![0.0f64; n];
         let mut rs: f64 = r.iter().map(|v| v * v).sum();
         let rs0 = rs.max(1e-30);
-        for _ in 0..2000 {
-            if rs / rs0 < 1e-18 {
+        let mut iterations = 0usize;
+        let mut stagnated = false;
+        for _ in 0..max_iters {
+            if rs / rs0 < TOL {
                 break;
             }
             apply(&p, &mut ax);
             let pap: f64 = p.iter().zip(&ax).map(|(a, b)| a * b).sum();
             if pap.abs() < 1e-30 {
+                // Search direction vanished: CG can make no further
+                // progress, so the current residual is final.
+                stagnated = true;
                 break;
             }
             let alpha = rs / pap;
@@ -111,7 +134,10 @@ impl IrReport {
             for i in 0..n {
                 p[i] = r[i] + beta * p[i];
             }
+            iterations += 1;
         }
+        let residual = rs / rs0;
+        let converged = residual < TOL || (stagnated && residual < 1e-12);
 
         let max_drop = x.iter().copied().fold(0.0f64, f64::max);
         IrReport {
@@ -121,6 +147,9 @@ impl IrReport {
             drop_v: x,
             nx,
             ny,
+            converged,
+            iterations,
+            residual,
         }
     }
 }
@@ -206,7 +235,12 @@ pub fn size_for_budget(
         let grid = PdnGrid::build(fp, tech, tier, spec);
         let currents = currents_from_power(&grid, netlist, placement, power, vdd);
         let rep = IrReport::solve(&grid, &currents, vdd_ref);
-        if rep.pct_of_vdd <= budget_pct || width + 0.1 > 0.8 * pitch_um {
+        // A non-converged solve reports whatever drop the iteration cap
+        // left behind — possibly optimistic — so it can never *satisfy*
+        // the budget; the loop keeps widening and the final report keeps
+        // `converged: false` for the caller to surface.
+        let trustworthy = rep.converged && rep.pct_of_vdd <= budget_pct;
+        if trustworthy || width + 0.1 > 0.8 * pitch_um {
             return (spec, rep);
         }
         width += 0.1;
@@ -311,6 +345,61 @@ mod tests {
         );
         assert!(spec.utilization() <= 0.8);
         assert!(rep.max_drop_mv < 81.0);
+    }
+
+    #[test]
+    fn solve_reports_convergence() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let fp = Floorplan {
+            width_um: 140.0,
+            height_um: 140.0,
+        };
+        let grid = PdnGrid::build(&fp, &tech, Tier::Logic, PdnSpec::maeri_hetero());
+        let mut i = vec![0.0; grid.node_count()];
+        i[grid.node_of(70.0, 70.0)] = 10.0;
+        let rep = IrReport::solve(&grid, &i, 0.81);
+        assert!(
+            rep.converged,
+            "residual {} after {} iters",
+            rep.residual, rep.iterations
+        );
+        assert!(rep.iterations >= 1);
+        assert!(rep.residual < 1e-12);
+    }
+
+    #[test]
+    fn injected_nonconvergence_is_flagged_and_sizing_refuses_it() {
+        use gnnmls_faults::{install, FaultPlan, FaultSite};
+        let (netlist, placement, power, tech) = setup();
+        let fp = *placement.floorplan();
+
+        // Every solve in this scope is capped at one CG iteration.
+        let guard = install(&FaultPlan::single(FaultSite::IrNonConvergence, 1000));
+        let grid = PdnGrid::build(&fp, &tech, Tier::Logic, PdnSpec::maeri_hetero());
+        let cur = currents_from_power(&grid, &netlist, &placement, &power, 0.81);
+        let rep = IrReport::solve(&grid, &cur, 0.81);
+        assert!(!rep.converged, "1-iteration CG cannot converge");
+        assert_eq!(rep.iterations, 1);
+
+        // size_for_budget must not accept a non-converged "pass": it
+        // widens to the cap and hands back a flagged report.
+        let (spec, rep) = size_for_budget(
+            &fp,
+            &tech,
+            Tier::Logic,
+            &netlist,
+            &placement,
+            &power,
+            0.81,
+            10.0,
+            7.0,
+        );
+        assert!(!rep.converged, "sizing must not trust a capped solve");
+        assert!(
+            spec.width_um + 0.1 > 0.8 * 7.0,
+            "non-converged solves force the widening loop to its cap"
+        );
+        drop(guard);
     }
 
     #[test]

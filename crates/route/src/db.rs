@@ -28,6 +28,10 @@ pub struct NetRoute {
     pub sink_elmore_ps: Vec<f64>,
     /// Whether the final route still traverses an over-capacity edge.
     pub overflowed: bool,
+    /// Sinks connected by the L-shaped pattern fallback because the A*
+    /// search exhausted its expansion budget (graceful degradation; `0`
+    /// for a fully maze-routed net).
+    pub pattern_sinks: u32,
 }
 
 /// Aggregate routing metrics (rows of Tables IV–VI).
@@ -45,6 +49,13 @@ pub struct RouteSummary {
     pub layer_utilization: Vec<f64>,
     /// F2F pad site utilization.
     pub f2f_utilization: f64,
+    /// Nets with at least one sink on the pattern-route fallback.
+    pub pattern_fallback_nets: usize,
+    /// Total sinks that fell back maze → pattern.
+    pub pattern_fallback_sinks: usize,
+    /// Rip-up/reroute victims whose reroute failed and whose previous
+    /// route was restored instead (per-net failure isolation).
+    pub isolated_failures: usize,
 }
 
 /// All routed nets of a design.

@@ -33,6 +33,11 @@
 //! - [`render`] — SVG heat maps of per-die routing usage and MLS pad
 //!   sites (Figure 9(b–c)-style views).
 
+// Library code must surface typed errors, not panic, on the flow's hot
+// path; tests may still unwrap freely.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod db;
 pub mod grid;
 pub mod policy;

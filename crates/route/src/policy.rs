@@ -166,22 +166,20 @@ enum AccessMode<'a> {
 
 impl<'a> AccessChecker<'a> {
     /// Builds the checker for a policy (`share` must be `Some` for the
-    /// SOTA policy).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the SOTA policy is used without a share map.
+    /// SOTA policy; without one, SOTA degrades to the home-die-only
+    /// rule rather than panicking).
     pub fn new(
         grid: &'a RoutingGrid,
         policy: &'a MlsPolicy,
         share: Option<&'a SotaShareMap>,
     ) -> Self {
-        let mode = match policy {
-            MlsPolicy::Disabled => AccessMode::Disabled,
-            MlsPolicy::SotaRegionSharing { .. } => {
-                AccessMode::Sota(share.expect("SOTA policy requires a share map"))
-            }
-            MlsPolicy::PerNet(flags) => AccessMode::PerNet(flags),
+        let mode = match (policy, share) {
+            (MlsPolicy::Disabled, _) => AccessMode::Disabled,
+            (MlsPolicy::SotaRegionSharing { .. }, Some(share)) => AccessMode::Sota(share),
+            // Defensive: a SOTA checker without a share map can't share
+            // anything, which is exactly the Disabled access rule.
+            (MlsPolicy::SotaRegionSharing { .. }, None) => AccessMode::Disabled,
+            (MlsPolicy::PerNet(flags), _) => AccessMode::PerNet(flags),
         };
         Self { grid, mode }
     }
@@ -297,11 +295,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share map")]
-    fn sota_without_map_panics() {
+    fn sota_without_map_degrades_to_home_die_only() {
+        // Defensive behavior: a SOTA checker missing its share map must
+        // act like Disabled (no sharing anywhere), not panic.
         let g = grid();
         let p = MlsPolicy::sota();
-        let _ = AccessChecker::new(&g, &p, None);
+        let sota = AccessChecker::new(&g, &p, None);
+        let disabled = AccessChecker::new(&g, &MlsPolicy::Disabled, None);
+        let net = NetId::new(0);
+        for z in 0..g.nz() {
+            assert_eq!(
+                sota.allowed(net, Some(Tier::Logic), 0, 0, z),
+                disabled.allowed(net, Some(Tier::Logic), 0, 0, z),
+                "z={z}"
+            );
+        }
     }
 
     #[test]

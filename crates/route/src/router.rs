@@ -73,7 +73,7 @@ impl Default for RouteConfig {
     }
 }
 
-/// Errors raised while setting up routing.
+/// Errors raised while setting up or running routing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RouteError {
     /// The placement does not cover every cell of the netlist.
@@ -83,6 +83,30 @@ pub enum RouteError {
         /// Locations in the placement.
         locations: usize,
     },
+    /// A net could not be connected to all of its sinks.
+    Unroutable {
+        /// The failing net.
+        net: NetId,
+    },
+    /// The route database was requested before every net had a route.
+    Incomplete {
+        /// Nets still missing a route.
+        missing: usize,
+    },
+    /// The layer stack offers no in-die H/V layer pair for the pattern
+    /// fallback (defensive; every supported stack has one).
+    NoPatternLayer {
+        /// The die whose stack is degenerate.
+        tier: Tier,
+    },
+    /// A routing worker panicked and the panic reproduced on the serial
+    /// retry.
+    Worker {
+        /// Index of the failing item in the fan-out.
+        index: usize,
+        /// The panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -90,6 +114,18 @@ impl fmt::Display for RouteError {
         match self {
             RouteError::PlacementMismatch { cells, locations } => {
                 write!(f, "placement has {locations} locations for {cells} cells")
+            }
+            RouteError::Unroutable { net } => {
+                write!(f, "net {net} could not be routed to all sinks")
+            }
+            RouteError::Incomplete { missing } => {
+                write!(f, "route db requested with {missing} unrouted nets")
+            }
+            RouteError::NoPatternLayer { tier } => {
+                write!(f, "{tier} die has no H/V layer pair for pattern routing")
+            }
+            RouteError::Worker { index, message } => {
+                write!(f, "routing worker panicked at item {index}: {message}")
             }
         }
     }
@@ -243,6 +279,8 @@ pub struct Router<'a> {
     home: Vec<Option<Tier>>,
     congestion_scale: f64,
     scratch: RouteScratch,
+    /// Rip-up victims whose reroute failed and kept their old route.
+    isolated_failures: usize,
 }
 
 impl<'a> Router<'a> {
@@ -272,14 +310,11 @@ impl<'a> Router<'a> {
             cfg.pdn_top_util_logic,
             cfg.pdn_top_util_memory,
         );
-        let share = if policy.needs_share_map() {
-            let threshold = match policy {
-                MlsPolicy::SotaRegionSharing { threshold } => threshold,
-                _ => unreachable!(),
-            };
-            Some(SotaShareMap::compute(netlist, placement, &grid, threshold))
-        } else {
-            None
+        let share = match policy {
+            MlsPolicy::SotaRegionSharing { threshold } => {
+                Some(SotaShareMap::compute(netlist, placement, &grid, threshold))
+            }
+            _ => None,
         };
         let layer_cost: Vec<f32> = grid
             .layers
@@ -304,6 +339,7 @@ impl<'a> Router<'a> {
             home,
             congestion_scale: 1.0,
             scratch: RouteScratch::default(),
+            isolated_failures: 0,
             grid,
             cfg,
         })
@@ -346,7 +382,17 @@ impl<'a> Router<'a> {
     /// have seen differently — otherwise that net is re-routed in place
     /// against current state. Either way the outcome is bit-identical
     /// to the serial schedule.
-    pub fn route_all(&mut self) {
+    ///
+    /// Rip-up failures are isolated per net: a victim whose reroute
+    /// fails (including the `gnnmls-faults` `UnroutableNet` seam) gets
+    /// its previous route restored and is counted in the summary's
+    /// `isolated_failures` instead of aborting the round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] when a net cannot be routed at all (no
+    /// previous route to fall back to).
+    pub fn route_all(&mut self) -> Result<(), RouteError> {
         let mut order: Vec<NetId> = self.netlist.net_ids().collect();
         order.sort_by(|&a, &b| {
             net_hpwl_um(self.netlist, self.placement, a)
@@ -354,7 +400,7 @@ impl<'a> Router<'a> {
                 .then_with(|| a.cmp(&b))
         });
         for &net in &order {
-            let r = self.route_net(net, MlsOverride::UsePolicy, true);
+            let r = self.route_net(net, MlsOverride::UsePolicy, true)?;
             self.routes[net.index()] = Some(r);
         }
         for _ in 0..self.cfg.ripup_rounds {
@@ -362,39 +408,95 @@ impl<'a> Router<'a> {
             let victims: Vec<NetId> = order
                 .iter()
                 .copied()
-                .filter(|&n| self.tree_overflows(&self.routes[n.index()].as_ref().unwrap().tree))
+                .filter(|&n| {
+                    self.routes[n.index()]
+                        .as_ref()
+                        .is_some_and(|r| self.tree_overflows(&r.tree))
+                })
                 .collect();
             if victims.is_empty() {
                 break;
             }
+            // Keep the old routes so a failing reroute can be isolated.
+            let saved: Vec<Option<NetRoute>> = victims
+                .iter()
+                .map(|&n| self.routes[n.index()].clone())
+                .collect();
             for &net in &victims {
                 self.rip_up(net);
             }
-            self.reroute_victims(&victims);
+            self.reroute_victims(&victims, &saved)?;
         }
         // Final overflow flags against settled usage.
         for net in self.netlist.net_ids() {
-            let of = self.tree_overflows(&self.routes[net.index()].as_ref().unwrap().tree);
-            self.routes[net.index()].as_mut().unwrap().overflowed = of;
+            let of = self.routes[net.index()]
+                .as_ref()
+                .map(|r| self.tree_overflows(&r.tree));
+            if let (Some(of), Some(r)) = (of, self.routes[net.index()].as_mut()) {
+                r.overflowed = of;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a victim's pre-rip route after its reroute failed:
+    /// per-net failure isolation. Errors only when there is nothing to
+    /// restore.
+    fn isolate_failure(
+        &mut self,
+        net: NetId,
+        saved: Option<NetRoute>,
+        err: RouteError,
+    ) -> Result<NetRoute, RouteError> {
+        match saved {
+            Some(r) => {
+                self.apply_usage(&r.tree, 1);
+                self.routes[net.index()] = Some(r.clone());
+                self.isolated_failures += 1;
+                Ok(r)
+            }
+            None => Err(err),
+        }
+    }
+
+    /// Injected-fault seam: does this victim's reroute fail here?
+    fn injected_unroutable(net: NetId) -> Result<(), RouteError> {
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::UnroutableNet) {
+            Err(RouteError::Unroutable { net })
+        } else {
+            Ok(())
         }
     }
 
     /// Re-routes one round's already-ripped victims, committing in
     /// victim order (see [`Router::route_all`] for the speculation
-    /// scheme and why it is deterministic).
-    fn reroute_victims(&mut self, victims: &[NetId]) {
+    /// scheme and why it is deterministic). `saved` holds each victim's
+    /// pre-rip route for failure isolation.
+    fn reroute_victims(
+        &mut self,
+        victims: &[NetId],
+        saved: &[Option<NetRoute>],
+    ) -> Result<(), RouteError> {
         let workers = gnnmls_par::resolve_threads(self.cfg.threads);
         if workers <= 1 || victims.len() < 2 {
-            for &net in victims {
-                let r = self.route_net(net, MlsOverride::UsePolicy, true);
-                self.routes[net.index()] = Some(r);
+            for (k, &net) in victims.iter().enumerate() {
+                let routed = Self::injected_unroutable(net)
+                    .and_then(|()| self.route_net(net, MlsOverride::UsePolicy, true));
+                match routed {
+                    Ok(r) => self.routes[net.index()] = Some(r),
+                    Err(e) => {
+                        self.isolate_failure(net, saved[k].clone(), e)?;
+                    }
+                }
             }
-            return;
+            return Ok(());
         }
 
-        // Speculative pass against the frozen (all-victims-ripped) state.
+        // Speculative pass against the frozen (all-victims-ripped)
+        // state. A worker panic is retried serially (bit-identical) and
+        // only surfaces as a typed error if it reproduces.
         let this: &Router<'_> = self;
-        let speculated = gnnmls_par::par_map_with(
+        let speculated = gnnmls_par::recovering_par_map_with(
             self.cfg.threads,
             victims.len(),
             || this.scratch(),
@@ -402,29 +504,64 @@ impl<'a> Router<'a> {
                 let r = this.compute_route(scratch, victims[i], MlsOverride::UsePolicy, None);
                 (r, scratch.footprint().to_vec())
             },
-        );
+        )
+        .map_err(|e| RouteError::Worker {
+            index: e.index,
+            message: e.message,
+        })?;
 
-        // Serial-order commit with footprint validation.
+        // Serial-order commit with footprint validation. The fault seam
+        // fires here (victim order), matching the serial path.
         let mut committed: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for (i, (route, footprint)) in speculated.into_iter().enumerate() {
             let net = victims[i];
-            let valid = footprint.iter().all(|n| !committed.contains(n));
-            let route = if valid {
-                self.apply_usage(&route.tree, 1);
-                route
-            } else {
-                self.route_net(net, MlsOverride::UsePolicy, true)
+            let resolved = Self::injected_unroutable(net).and_then(|()| match route {
+                Ok(route) => {
+                    let valid = footprint.iter().all(|n| !committed.contains(n));
+                    if valid {
+                        self.apply_usage(&route.tree, 1);
+                        Ok(route)
+                    } else {
+                        self.route_net(net, MlsOverride::UsePolicy, true)
+                    }
+                }
+                // Speculative failure: recompute in place against
+                // current state before giving up on the net.
+                Err(_) => self.route_net(net, MlsOverride::UsePolicy, true),
+            });
+            let route = match resolved {
+                Ok(r) => r,
+                Err(e) => self.isolate_failure(net, saved[i].clone(), e)?,
             };
             committed.extend(route.tree.nodes.iter().copied());
             self.routes[net.index()] = Some(route);
         }
+        Ok(())
     }
 
-    /// Re-routes one net with a forced MLS decision, committing the result.
-    pub fn commit_reroute(&mut self, net: NetId, ov: MlsOverride) {
+    /// Re-routes one net with a forced MLS decision, committing the
+    /// result. Returns `Ok(true)` when the reroute was applied and
+    /// `Ok(false)` when it failed and the previous route was restored
+    /// instead (per-net failure isolation, counted in the summary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] only when the reroute fails *and* the net
+    /// had no previous route to restore.
+    pub fn commit_reroute(&mut self, net: NetId, ov: MlsOverride) -> Result<bool, RouteError> {
+        let saved = self.routes[net.index()].clone();
         self.rip_up(net);
-        let r = self.route_net(net, ov, true);
-        self.routes[net.index()] = Some(r);
+        let routed = Self::injected_unroutable(net).and_then(|()| self.route_net(net, ov, true));
+        match routed {
+            Ok(r) => {
+                self.routes[net.index()] = Some(r);
+                Ok(true)
+            }
+            Err(e) => {
+                self.isolate_failure(net, saved, e)?;
+                Ok(false)
+            }
+        }
     }
 
     /// Detached what-if: the route this net would get under `ov`, leaving
@@ -437,7 +574,17 @@ impl<'a> Router<'a> {
     /// own committed usage is subtracted via a read-only overlay rather
     /// than mutate-and-restore, so the search sees the exact congestion
     /// numbers a detached re-route always saw.
-    pub fn what_if(&self, scratch: &mut RouteScratch, net: NetId, ov: MlsOverride) -> NetRoute {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] when the detached route cannot connect
+    /// every sink.
+    pub fn what_if(
+        &self,
+        scratch: &mut RouteScratch,
+        net: NetId,
+        ov: MlsOverride,
+    ) -> Result<NetRoute, RouteError> {
         let exclude = self.excluded_for(net);
         self.compute_route(scratch, net, ov, exclude.as_ref())
     }
@@ -467,17 +614,24 @@ impl<'a> Router<'a> {
 
     /// Snapshot of all routes plus summary metrics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called before [`Router::route_all`].
-    pub fn db(&self) -> RouteDb {
-        let nets: Vec<NetRoute> = self
-            .routes
-            .iter()
-            .map(|r| r.clone().expect("route_all must run before db()"))
-            .collect();
+    /// Returns [`RouteError::Incomplete`] if called before
+    /// [`Router::route_all`] has routed every net.
+    pub fn db(&self) -> Result<RouteDb, RouteError> {
+        let mut nets: Vec<NetRoute> = Vec::with_capacity(self.routes.len());
+        let mut missing = 0usize;
+        for r in &self.routes {
+            match r {
+                Some(r) => nets.push(r.clone()),
+                None => missing += 1,
+            }
+        }
+        if missing > 0 {
+            return Err(RouteError::Incomplete { missing });
+        }
         let summary = self.summary(&nets);
-        RouteDb { nets, summary }
+        Ok(RouteDb { nets, summary })
     }
 
     fn summary(&self, nets: &[NetRoute]) -> RouteSummary {
@@ -518,6 +672,9 @@ impl<'a> Router<'a> {
             } else {
                 pads as f64 / pad_cap as f64
             },
+            pattern_fallback_nets: nets.iter().filter(|r| r.pattern_sinks > 0).count(),
+            pattern_fallback_sinks: nets.iter().map(|r| r.pattern_sinks as usize).sum(),
+            isolated_failures: self.isolated_failures,
         }
     }
 
@@ -533,14 +690,20 @@ impl<'a> Router<'a> {
 
     /// Committing wrapper around [`Router::compute_route`] using the
     /// router's own scratch (the serial hot path).
-    fn route_net(&mut self, net: NetId, ov: MlsOverride, commit: bool) -> NetRoute {
+    fn route_net(
+        &mut self,
+        net: NetId,
+        ov: MlsOverride,
+        commit: bool,
+    ) -> Result<NetRoute, RouteError> {
         let mut scratch = std::mem::take(&mut self.scratch);
         let r = self.compute_route(&mut scratch, net, ov, None);
         self.scratch = scratch;
+        let r = r?;
         if commit {
             self.apply_usage(&r.tree, 1);
         }
-        r
+        Ok(r)
     }
 
     /// Routes one net against current committed usage (minus `exclude`,
@@ -553,7 +716,7 @@ impl<'a> Router<'a> {
         net: NetId,
         ov: MlsOverride,
         exclude: Option<&ExcludedUsage>,
-    ) -> NetRoute {
+    ) -> Result<NetRoute, RouteError> {
         scratch.begin_footprint();
         let driver = self.netlist.driver(net);
         let root = self.pin_node(driver);
@@ -577,17 +740,27 @@ impl<'a> Router<'a> {
             idx.iter().map(|&i| sinks[i].1).collect()
         };
 
+        let mut pattern_sinks = 0u32;
         for &target in &sink_order {
             if builder.contains(target) {
                 continue;
             }
-            let path = self.astar(scratch, net, ov, exclude, builder.grid_nodes(), target);
-            let path = path.unwrap_or_else(|| self.fallback_path(&builder, target, net, ov));
+            let path = match self.astar(scratch, net, ov, exclude, builder.grid_nodes(), target) {
+                Some(p) => p,
+                None => {
+                    // Budget exhausted: degrade maze → pattern and
+                    // record the downgrade on the route.
+                    pattern_sinks += 1;
+                    self.fallback_path(&builder, target)?
+                }
+            };
             builder.add_path(&path);
         }
         // Mark sinks in the netlist's sink order.
         for (_, n) in &mut sinks {
-            builder.mark_sink(*n);
+            if !builder.mark_sink(*n) {
+                return Err(RouteError::Unroutable { net });
+            }
         }
         // Restore netlist order for the elmore vector.
         let tree = {
@@ -606,7 +779,7 @@ impl<'a> Router<'a> {
             .collect();
         let sink_elmore_ps = tree.elmore_to_sinks_ps(&sink_caps);
         let total_cap_ff = tree.wire_cap_ff() + sink_caps.iter().sum::<f64>();
-        NetRoute {
+        Ok(NetRoute {
             net,
             wirelength_um: tree.wirelength_um(&self.grid),
             f2f_crossings: tree.f2f_crossings(),
@@ -614,8 +787,9 @@ impl<'a> Router<'a> {
             total_cap_ff,
             sink_elmore_ps,
             overflowed: false,
+            pattern_sinks,
             tree,
-        }
+        })
     }
 
     /// Multi-source A* from the tree to one sink.
@@ -629,6 +803,11 @@ impl<'a> Router<'a> {
         target: u32,
     ) -> Option<Vec<u32>> {
         scratch.ensure(self.grid.node_count());
+        // Injected-fault seam: pretend the budget is already exhausted,
+        // forcing the maze → pattern fallback for this sink.
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::RouteBudgetExhausted) {
+            return None;
+        }
         let (tx, ty, tz) = self.grid.coords(target);
         let h = |x: usize, y: usize, z: usize| -> f32 {
             (x.abs_diff(tx) + y.abs_diff(ty)) as f32 * self.min_wire_cost
@@ -733,10 +912,7 @@ impl<'a> Router<'a> {
         &self,
         builder: &RouteTreeBuilder<'_>,
         target: u32,
-        net: NetId,
-        ov: MlsOverride,
-    ) -> Vec<u32> {
-        let _ = (net, ov);
+    ) -> Result<Vec<u32>, RouteError> {
         let root = builder.grid_nodes()[0];
         let (x0, y0, z0) = self.grid.coords(root);
         let (x1, y1, z1) = self.grid.coords(target);
@@ -749,14 +925,15 @@ impl<'a> Router<'a> {
         } else {
             (zr0..=zr1).rev().collect()
         };
+        let no_layer = RouteError::NoPatternLayer { tier: from_tier };
         let hz = *zs
             .iter()
             .find(|&&z| self.grid.layers[z].dir == gnnmls_netlist::tech::RouteDir::Horizontal)
-            .expect("every stack has a horizontal layer");
+            .ok_or(no_layer.clone())?;
         let vz = *zs
             .iter()
             .find(|&&z| self.grid.layers[z].dir == gnnmls_netlist::tech::RouteDir::Vertical)
-            .expect("every stack has a vertical layer");
+            .ok_or(no_layer)?;
 
         let grid = &self.grid;
         let mut path = vec![root];
@@ -784,7 +961,7 @@ impl<'a> Router<'a> {
         }
         // Final via stack to the sink (crosses the bond for 3D nets).
         step_z(&mut path, &mut cur, z1);
-        path
+        Ok(path)
     }
 
     // ---- costs, capacity, access ----
@@ -851,7 +1028,11 @@ impl<'a> Router<'a> {
                 MlsPolicy::Disabled => z_tier == home,
                 MlsPolicy::PerNet(flags) => z_tier == home || flags[net.index()],
                 MlsPolicy::SotaRegionSharing { .. } => {
-                    let map = self.share.as_ref().expect("share map exists for SOTA");
+                    // Defensive: SOTA without a share map can share
+                    // nothing, which is the home-die-only rule.
+                    let Some(map) = self.share.as_ref() else {
+                        return z_tier == home;
+                    };
                     let donor_top = |tier: Tier| -> [usize; 2] {
                         let ll = self.grid.logic_layers;
                         match tier {
@@ -944,8 +1125,8 @@ pub fn route_design(
     cfg: RouteConfig,
 ) -> Result<(RouteDb, RoutingGrid), RouteError> {
     let mut router = Router::new(netlist, placement, tech, policy, cfg)?;
-    router.route_all();
-    let db = router.db();
+    router.route_all()?;
+    let db = router.db()?;
     Ok((db, router.grid))
 }
 
@@ -1053,8 +1234,8 @@ mod tests {
             RouteConfig::default(),
         )
         .unwrap();
-        router.route_all();
-        let before = router.db();
+        router.route_all().unwrap();
+        let before = router.db().unwrap();
         // What-if every 2D net with MLS allowed.
         let nets: Vec<NetId> = d
             .netlist
@@ -1066,7 +1247,7 @@ mod tests {
         for n in nets {
             let _ = router.what_if(&mut scratch, n, MlsOverride::Allow);
         }
-        let after = router.db();
+        let after = router.db().unwrap();
         assert_eq!(before.summary, after.summary);
         for (a, b) in before.nets.iter().zip(after.nets.iter()) {
             assert_eq!(a, b);
@@ -1086,16 +1267,19 @@ mod tests {
             RouteConfig::default(),
         )
         .unwrap();
-        router.route_all();
+        router.route_all().unwrap();
         // Find a 2D logic net that would cross under Allow.
         let mut scratch = router.scratch();
         let candidate = d.netlist.net_ids().find(|&n| {
             d.netlist.net_tier(n) == Some(Tier::Logic)
-                && router.what_if(&mut scratch, n, MlsOverride::Allow).is_mls
+                && router
+                    .what_if(&mut scratch, n, MlsOverride::Allow)
+                    .unwrap()
+                    .is_mls
         });
         if let Some(n) = candidate {
-            router.commit_reroute(n, MlsOverride::Allow);
-            assert!(router.db().route(n).is_mls);
+            assert!(router.commit_reroute(n, MlsOverride::Allow).unwrap());
+            assert!(router.db().unwrap().route(n).is_mls);
         }
     }
 
@@ -1125,7 +1309,7 @@ mod tests {
             },
         )
         .unwrap();
-        router.route_all();
+        router.route_all().unwrap();
         let mut scratch = router.scratch();
         let nets: Vec<NetId> = d.netlist.net_ids().take(40).collect();
         for net in nets {
@@ -1133,13 +1317,13 @@ mod tests {
                 if matches!(ov, MlsOverride::Deny) && d.netlist.net_tier(net).is_none() {
                     continue; // 3D nets cannot be confined to one die
                 }
-                let got = router.what_if(&mut scratch, net, ov);
+                let got = router.what_if(&mut scratch, net, ov).unwrap();
                 // Historical semantics: detach the net, re-route, restore.
                 let saved = router.routes[net.index()].take();
                 if let Some(r) = &saved {
                     router.apply_usage(&r.tree, -1);
                 }
-                let expected = router.route_net(net, ov, false);
+                let expected = router.route_net(net, ov, false).unwrap();
                 if let Some(r) = &saved {
                     router.apply_usage(&r.tree, 1);
                 }
@@ -1213,5 +1397,194 @@ mod tests {
             ),
             Err(RouteError::PlacementMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn db_before_routing_is_a_typed_error() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let router = Router::new(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            router.db(),
+            Err(RouteError::Incomplete { missing }) if missing == d.netlist.net_count()
+        ));
+    }
+
+    #[test]
+    fn tiny_expansion_budget_degrades_to_pattern_routes() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig {
+                max_expansions: 2,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            db.summary.pattern_fallback_sinks > 0,
+            "a 2-expansion budget must force pattern fallbacks"
+        );
+        assert!(db.summary.pattern_fallback_nets > 0);
+        // Every net still connects every sink.
+        for net in d.netlist.net_ids() {
+            assert_eq!(
+                db.route(net).tree.sink_node.len(),
+                d.netlist.sinks(net).len()
+            );
+        }
+    }
+
+    #[test]
+    fn injected_budget_exhaustion_is_reported_not_fatal() {
+        use gnnmls_faults::{install, FaultPlan, FaultSite};
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let guard = install(&FaultPlan::single(FaultSite::RouteBudgetExhausted, 5));
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        drop(guard);
+        assert!(
+            db.summary.pattern_fallback_sinks >= 1,
+            "injected exhaustion must surface as a recorded downgrade"
+        );
+    }
+
+    /// A deliberately congested design: 48 two-pin nets pinched through
+    /// the same pair of g-cells, far more demand than any layer stack
+    /// can carry, so rip-up rounds are guaranteed to find victims.
+    fn pinched_design() -> (gnnmls_netlist::Netlist, gnnmls_phys::Placement) {
+        use gnnmls_netlist::tech::TechNode;
+        use gnnmls_netlist::{CellLibrary, NetlistBuilder, Tier};
+        use gnnmls_phys::place::Point;
+        use gnnmls_phys::{Floorplan, Placement};
+
+        let lib = CellLibrary::for_node(&TechNode::n16());
+        let mut b = NetlistBuilder::new("pinch");
+        let mut locs = Vec::new();
+        for i in 0..48 {
+            let a = b
+                .add_cell(format!("a{i}"), lib.expect("PI"), Tier::Logic)
+                .unwrap();
+            let z = b
+                .add_cell(format!("z{i}"), lib.expect("PO"), Tier::Logic)
+                .unwrap();
+            let n = b.add_net(format!("n{i}")).unwrap();
+            b.connect_output(n, a, 0).unwrap();
+            b.connect_input(n, z, 0).unwrap();
+            locs.push(Point::new(2.0, 20.0));
+            locs.push(Point::new(38.0, 20.0));
+        }
+        let netlist = b.finish().unwrap();
+        let fp = Floorplan {
+            width_um: 40.0,
+            height_um: 40.0,
+        };
+        (netlist, Placement::from_locations(locs, fp))
+    }
+
+    #[test]
+    fn injected_unroutable_net_is_isolated_in_ripup() {
+        use gnnmls_faults::{install, FaultPlan, FaultSite};
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let (netlist, placement) = pinched_design();
+        // Every injected reroute failure must restore the victim's old
+        // route and be counted, not abort the round.
+        let guard = install(&FaultPlan::single(FaultSite::UnroutableNet, 3));
+        let (db, _) = route_design(
+            &netlist,
+            &placement,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig {
+                target_gcells: 64,
+                ripup_rounds: 2,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        drop(guard);
+        assert_eq!(
+            db.summary.isolated_failures, 3,
+            "all injected reroute failures must be isolated and counted"
+        );
+        for net in netlist.net_ids() {
+            assert_eq!(
+                db.route(net).tree.sink_node.len(),
+                netlist.sinks(net).len(),
+                "isolated nets keep their previous complete route"
+            );
+        }
+    }
+
+    #[test]
+    fn ripup_victims_survive_reroute_without_faults() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let (netlist, placement) = pinched_design();
+        let (db, _) = route_design(
+            &netlist,
+            &placement,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig {
+                target_gcells: 64,
+                ripup_rounds: 2,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(db.summary.isolated_failures, 0);
+        // Demand exceeds physical capacity, so overflow survives rip-up;
+        // what matters is that every net still connects.
+        assert!(db.summary.overflowed_nets > 0);
+        for net in netlist.net_ids() {
+            assert_eq!(db.route(net).tree.sink_node.len(), netlist.sinks(net).len());
+        }
+    }
+
+    #[test]
+    fn commit_reroute_isolates_injected_failure() {
+        use gnnmls_faults::{install, FaultPlan, FaultSite};
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let mut router = Router::new(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        router.route_all().unwrap();
+        let net = d.netlist.net_ids().next().unwrap();
+        let before = router.db().unwrap().route(net).clone();
+        let guard = install(&FaultPlan::single(FaultSite::UnroutableNet, 1));
+        let applied = router.commit_reroute(net, MlsOverride::Allow).unwrap();
+        drop(guard);
+        assert!(!applied, "injected failure must keep the old route");
+        let after = router.db().unwrap();
+        assert_eq!(&before, after.route(net));
+        assert_eq!(after.summary.isolated_failures, 1);
     }
 }

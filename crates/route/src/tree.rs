@@ -194,15 +194,18 @@ impl<'a> RouteTreeBuilder<'a> {
 
     /// Records a sink at a grid node already in the tree.
     ///
-    /// # Panics
-    ///
-    /// Panics if the node is not in the tree.
-    pub fn mark_sink(&mut self, grid_node: u32) {
-        let idx = *self
-            .index_of
-            .get(&grid_node)
-            .expect("sink node must be routed before marking");
-        self.tree.sink_node.push(idx);
+    /// Returns `false` (without recording anything) if the node was
+    /// never routed into the tree — the caller's signal that the net is
+    /// unroutable as built.
+    #[must_use]
+    pub fn mark_sink(&mut self, grid_node: u32) -> bool {
+        match self.index_of.get(&grid_node) {
+            Some(&idx) => {
+                self.tree.sink_node.push(idx);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Finalizes the tree.
@@ -257,7 +260,7 @@ mod tests {
         // Two M1 segments east.
         let p = vec![root, g.node(1, 0, 0), g.node(2, 0, 0)];
         b.add_path(&p);
-        b.mark_sink(g.node(2, 0, 0));
+        assert!(b.mark_sink(g.node(2, 0, 0)));
         let t = b.finish();
 
         let l = &g.layers[0];
@@ -281,8 +284,8 @@ mod tests {
         let mut b = RouteTreeBuilder::new(&g, &f2f, root);
         b.add_path(&[root, g.node(3, 2, 0), g.node(4, 2, 0)]);
         b.add_path(&[g.node(3, 2, 0), g.node(3, 2, 1), g.node(3, 3, 1)]);
-        b.mark_sink(g.node(4, 2, 0));
-        b.mark_sink(g.node(3, 3, 1));
+        assert!(b.mark_sink(g.node(4, 2, 0)));
+        assert!(b.mark_sink(g.node(3, 3, 1)));
         let t = b.finish();
         let d = t.elmore_to_sinks_ps(&[1.0, 1.0]);
         assert_eq!(d.len(), 2);
@@ -299,7 +302,7 @@ mod tests {
         let root = g.node(0, 0, bond_low);
         let mut b = RouteTreeBuilder::new(&g, &f2f, root);
         b.add_path(&[root, g.node(0, 0, bond_low + 1)]);
-        b.mark_sink(g.node(0, 0, bond_low + 1));
+        assert!(b.mark_sink(g.node(0, 0, bond_low + 1)));
         let t = b.finish();
         assert_eq!(t.f2f_crossings(), 1);
         assert!((t.wire_cap_ff() - f2f.c_ff).abs() < 1e-12);
@@ -317,8 +320,8 @@ mod tests {
         let f2f = F2fParams::default();
         let root = g.node(1, 1, 0);
         let mut b = RouteTreeBuilder::new(&g, &f2f, root);
-        b.mark_sink(root);
-        b.mark_sink(root);
+        assert!(b.mark_sink(root));
+        assert!(b.mark_sink(root));
         let t = b.finish();
         let d = t.elmore_to_sinks_ps(&[1.0, 2.0]);
         assert_eq!(d, vec![0.0, 0.0]);

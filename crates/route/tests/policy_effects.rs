@@ -109,13 +109,15 @@ fn what_if_deny_matches_disabled_for_2d_nets() {
         RouteConfig::default(),
     )
     .unwrap();
-    router.route_all();
+    router.route_all().unwrap();
     let mut scratch = router.scratch();
     for net in netlist.net_ids().take(100) {
         if netlist.net_tier(net).is_none() {
             continue;
         }
-        let denied = router.what_if(&mut scratch, net, gnnmls_route::router::MlsOverride::Deny);
+        let denied = router
+            .what_if(&mut scratch, net, gnnmls_route::router::MlsOverride::Deny)
+            .unwrap();
         assert!(!denied.is_mls, "deny must confine net {net}");
         assert_eq!(denied.f2f_crossings, 0);
     }

@@ -18,15 +18,55 @@
 //!   some of its nets ([`TimingPath::slack_with`]): the per-net
 //!   iterative-STA step that labels MLS decisions.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod path;
 pub mod report;
 
 pub use path::TimingPath;
 pub use report::TimingReport;
 
+use std::fmt;
+
 use gnnmls_netlist::graph::{CircuitDag, GraphError};
 use gnnmls_netlist::{CellClass, Netlist};
 use gnnmls_route::RouteDb;
+
+/// Typed STA failures: no flow stage downstream of routing should have
+/// to guard against a panic from the timer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaError {
+    /// The netlist graph could not be levelized (combinational loop).
+    Graph(GraphError),
+    /// The route DB does not cover every net of the netlist, so net
+    /// loads and Elmore delays would be silently wrong.
+    RouteCoverage {
+        /// Routes present in the DB.
+        have: usize,
+        /// Nets in the netlist.
+        need: usize,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::Graph(e) => write!(f, "timing graph: {e}"),
+            StaError::RouteCoverage { have, need } => {
+                write!(f, "route db covers {have} of {need} nets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
+impl From<GraphError> for StaError {
+    fn from(e: GraphError) -> Self {
+        StaError::Graph(e)
+    }
+}
 
 /// STA configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,21 +90,20 @@ impl StaConfig {
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::CombinationalLoop`] if the netlist is cyclic.
-///
-/// # Panics
-///
-/// Panics if `routes` does not cover every net of `netlist`.
+/// Returns [`StaError::Graph`] if the netlist is cyclic and
+/// [`StaError::RouteCoverage`] if `routes` does not cover every net of
+/// `netlist` (an incomplete routing must never produce a timing table).
 pub fn analyze(
     netlist: &Netlist,
     routes: &RouteDb,
     cfg: StaConfig,
-) -> Result<TimingReport, GraphError> {
-    assert_eq!(
-        routes.nets.len(),
-        netlist.net_count(),
-        "route db must cover every net"
-    );
+) -> Result<TimingReport, StaError> {
+    if routes.nets.len() != netlist.net_count() {
+        return Err(StaError::RouteCoverage {
+            have: routes.nets.len(),
+            need: netlist.net_count(),
+        });
+    }
     let dag = CircuitDag::build(netlist)?;
 
     let mut arrival = vec![0.0f64; netlist.pin_count()];
@@ -246,6 +285,7 @@ mod tests {
             total_cap_ff: cap,
             sink_elmore_ps: vec![0.0],
             overflowed: false,
+            pattern_sinks: 0,
         };
         let inv_t = lib.expect("INV");
         let po_t = lib.expect("PO");
@@ -276,15 +316,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "route db must cover")]
-    fn incomplete_route_db_panics() {
+    fn incomplete_route_db_is_a_typed_error() {
         let tech = TechConfig::heterogeneous_16_28(6, 6);
         let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
         let db = RouteDb {
             nets: vec![],
             summary: Default::default(),
         };
-        let _ = analyze(&d.netlist, &db, StaConfig::from_freq_mhz(1000.0));
+        let err = analyze(&d.netlist, &db, StaConfig::from_freq_mhz(1000.0)).unwrap_err();
+        assert_eq!(
+            err,
+            StaError::RouteCoverage {
+                have: 0,
+                need: d.netlist.net_count()
+            }
+        );
+        assert!(err.to_string().contains("covers 0 of"));
     }
 
     #[test]
@@ -332,6 +379,7 @@ mod tests {
             total_cap_ff: 1.0,
             sink_elmore_ps: vec![0.0; n.sinks(net).len()],
             overflowed: false,
+            pattern_sinks: 0,
         };
         let db = RouteDb {
             nets: n.net_ids().map(mk).collect(),
@@ -383,6 +431,7 @@ mod tests {
                 total_cap_ff: 1.0,
                 sink_elmore_ps: vec![0.0, 0.0],
                 overflowed: false,
+                pattern_sinks: 0,
             }],
             summary: RouteSummary::default(),
         };

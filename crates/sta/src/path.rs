@@ -39,19 +39,26 @@ pub struct TimingPath {
 
 impl TimingPath {
     /// Extracts the worst path into `endpoint` by walking the report's
-    /// worst-predecessor chain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `endpoint` is not an endpoint recorded in the report.
-    pub fn extract(netlist: &Netlist, report: &TimingReport, endpoint: PinId) -> Self {
+    /// worst-predecessor chain, or `None` if `endpoint` is not an
+    /// endpoint recorded in the report.
+    pub fn extract(netlist: &Netlist, report: &TimingReport, endpoint: PinId) -> Option<Self> {
         let slack = report
             .endpoint_slacks()
             .iter()
             .find(|&&(p, _)| p == endpoint)
-            .map(|&(_, s)| s)
-            .expect("pin must be a reported endpoint");
+            .map(|&(_, s)| s)?;
+        Some(Self::extract_with_slack(netlist, report, endpoint, slack))
+    }
 
+    /// [`TimingPath::extract`] for an `(endpoint, slack)` pair already
+    /// known to come from the report (e.g.
+    /// [`TimingReport::worst_endpoints`]), so extraction cannot fail.
+    fn extract_with_slack(
+        netlist: &Netlist,
+        report: &TimingReport,
+        endpoint: PinId,
+        slack: f64,
+    ) -> Self {
         // Walk back: input pin -> its driver output pin (worst_pred), then
         // output pin -> worst input pin of its cell (worst_pred), until a
         // launch output (pred == MAX).
@@ -76,9 +83,13 @@ impl TimingPath {
             if k == 0 || cells.last() != Some(&pin.cell) {
                 cells.push(pin.cell);
             }
-            // Output -> input arcs carry a net.
+            // Output -> input arcs carry a net; the walk only reaches an
+            // output pin through a net arc, so it is always connected.
             if k + 1 < pins.len() && netlist.pin(p).dir == gnnmls_netlist::PinDir::Output {
-                nets.push(pin.net.expect("driving pin on a path is connected"));
+                let Some(net) = pin.net else {
+                    unreachable!("driving pin on a path is connected");
+                };
+                nets.push(net);
             }
         }
 
@@ -99,7 +110,10 @@ impl TimingPath {
         self.cells.len()
     }
 
-    /// Path delay under baseline routes with optional substitutions, ps.
+    /// Path delay under baseline routes with optional substitutions, ps,
+    /// or `None` if the path disagrees with the netlist (e.g. a
+    /// deserialized path from a different design): a mismatched path
+    /// must never yield a silently wrong delay.
     ///
     /// `subs` maps a net to a candidate route (e.g. a what-if MLS re-route
     /// from [`gnnmls_route::Router::what_if`]); all other nets use `routes`.
@@ -108,9 +122,11 @@ impl TimingPath {
         netlist: &Netlist,
         routes: &RouteDb,
         subs: &HashMap<NetId, &NetRoute>,
-    ) -> f64 {
-        let route_of = |net: NetId| -> &NetRoute {
-            subs.get(&net).copied().unwrap_or_else(|| routes.route(net))
+    ) -> Option<f64> {
+        let route_of = |net: NetId| -> Option<&NetRoute> {
+            subs.get(&net)
+                .copied()
+                .or_else(|| routes.nets.get(net.index()))
         };
         let mut delay = 0.0;
         // Pins alternate output/input starting with the launch output.
@@ -118,31 +134,29 @@ impl TimingPath {
         while k + 1 < self.pins.len() {
             let out = self.pins[k];
             let sink = self.pins[k + 1];
-            let net = netlist.pin(out).net.expect("arc net");
-            let r = route_of(net);
+            let net = netlist.pin(out).net?;
+            let r = route_of(net)?;
             // Cell stage driving this net.
             delay += stage_delay_ps(netlist, netlist.pin(out).cell, r.total_cap_ff);
             // Wire arc to the sink.
-            let sink_idx = netlist
-                .sinks(net)
-                .iter()
-                .position(|&p| p == sink)
-                .expect("sink on its own net");
-            delay += r.sink_elmore_ps[sink_idx];
+            let sink_idx = netlist.sinks(net).iter().position(|&p| p == sink)?;
+            delay += *r.sink_elmore_ps.get(sink_idx)?;
             k += 2;
         }
-        delay
+        Some(delay)
     }
 
     /// Path slack with substitute routes, ps (eq. (1):
-    /// `slack_opt = T − setup − delay(δ)`).
+    /// `slack_opt = T − setup − delay(δ)`), or `None` if the path
+    /// disagrees with the netlist or routes (see
+    /// [`TimingPath::delay_with`]).
     pub fn slack_with(
         &self,
         netlist: &Netlist,
         routes: &RouteDb,
         subs: &HashMap<NetId, &NetRoute>,
-    ) -> f64 {
-        self.clock_period_ps - self.setup_ps - self.delay_with(netlist, routes, subs)
+    ) -> Option<f64> {
+        Some(self.clock_period_ps - self.setup_ps - self.delay_with(netlist, routes, subs)?)
     }
 }
 
@@ -166,9 +180,14 @@ pub fn worst_paths_par(
     threads: usize,
 ) -> Vec<TimingPath> {
     let endpoints = report.worst_endpoints(k);
-    gnnmls_par::par_map(threads, &endpoints, |&(pin, _)| {
-        TimingPath::extract(netlist, report, pin)
-    })
+    let extract =
+        |&(pin, slack): &(PinId, f64)| TimingPath::extract_with_slack(netlist, report, pin, slack);
+    // A worker panic is retried serially; if even that fails, fall back
+    // to the plain serial loop (a panic there is a genuine bug).
+    match gnnmls_par::recovering_par_map(threads, &endpoints, extract) {
+        Ok(v) => v,
+        Err(_) => endpoints.iter().map(extract).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +239,7 @@ mod tests {
     fn recomputed_delay_matches_reported_slack() {
         let (netlist, db, report) = setup();
         for p in worst_paths(&netlist, &report, 10) {
-            let slack = p.slack_with(&netlist, &db, &HashMap::new());
+            let slack = p.slack_with(&netlist, &db, &HashMap::new()).unwrap();
             assert!(
                 (slack - p.slack_ps).abs() < 1e-6,
                 "path recompute {slack} vs reported {}",
@@ -242,7 +261,7 @@ mod tests {
         }
         let mut subs: HashMap<NetId, &NetRoute> = HashMap::new();
         subs.insert(net, &slow);
-        let s = p.slack_with(&netlist, &db, &subs);
+        let s = p.slack_with(&netlist, &db, &subs).unwrap();
         assert!(s < p.slack_ps, "slower net must reduce slack");
     }
 
@@ -257,11 +276,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "reported endpoint")]
-    fn extracting_a_non_endpoint_panics() {
+    fn extracting_a_non_endpoint_returns_none() {
         let (netlist, _, report) = setup();
         // Pin 0 of cell 0 is a PI output, not an endpoint.
         let pin = netlist.cell(gnnmls_netlist::CellId::new(0)).pins[0];
-        let _ = TimingPath::extract(&netlist, &report, pin);
+        assert!(TimingPath::extract(&netlist, &report, pin).is_none());
+        // A real endpoint extracts, and matches the worst-paths result.
+        let (ep, _) = report.worst_endpoints(1)[0];
+        let p = TimingPath::extract(&netlist, &report, ep).unwrap();
+        assert_eq!(p, worst_paths(&netlist, &report, 1)[0]);
+    }
+
+    #[test]
+    fn mismatched_path_yields_none_not_a_wrong_delay() {
+        let (netlist, db, report) = setup();
+        let mut p = worst_paths(&netlist, &report, 1).remove(0);
+        // Corrupt the pin chain the way a checkpoint from a different
+        // design would: the delay must refuse, not fabricate a number.
+        p.pins = vec![p.pins[0], p.pins[0]];
+        assert!(p.delay_with(&netlist, &db, &HashMap::new()).is_none());
     }
 }

@@ -32,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MlsPolicy::Disabled,
         cfg.route.clone(),
     )?;
-    router.route_all();
-    let routes = router.db();
+    router.route_all()?;
+    let routes = router.db()?;
     let timing = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0))?;
     println!(
         "baseline: WNS {:.1} ps, {} violating endpoints",
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let samples = extract_path_samples(&netlist, &placement, &tech, &timing, 50);
     let grid = router.grid().clone();
-    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
+    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid)?;
     if let (Some(best), Some(worst)) = (impacts.first(), impacts.last()) {
         println!(
             "single-net MLS: best {} {:+.1} ps ({} -> {}), worst {} {:+.1} ps",

@@ -123,8 +123,8 @@ fn pretrained_checkpoint_skips_training_and_still_applies_mls() {
         cfg.route.clone(),
     )
     .unwrap();
-    router.route_all();
-    let routes = router.db();
+    router.route_all().unwrap();
+    let routes = router.db().unwrap();
     let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
     let mut samples = extract_path_samples(&netlist, &placement, &d.tech, &rep, 60);
     label_paths(
@@ -133,14 +133,15 @@ fn pretrained_checkpoint_skips_training_and_still_applies_mls() {
         &router,
         &routes,
         &OracleConfig::default(),
-    );
+    )
+    .unwrap();
     let mut model = GnnMls::new(ModelConfig {
         pretrain_epochs: 2,
         finetune_epochs: 8,
         ..ModelConfig::default()
     });
-    model.pretrain(&samples);
-    model.finetune(&samples);
+    model.pretrain(&samples).unwrap();
+    model.finetune(&samples).unwrap();
 
     let mut reuse_cfg = FlowConfig::fast_test(2500.0);
     reuse_cfg.pretrained = Some(model.to_checkpoint());

@@ -31,8 +31,8 @@ fn dataset_for(cfg_m: &MaeriConfig, paths: usize) -> (Vec<PathSample>, Vec<PathS
         cfg.route.clone(),
     )
     .unwrap();
-    router.route_all();
-    let routes = router.db();
+    router.route_all().unwrap();
+    let routes = router.db().unwrap();
     let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
     let mut samples = extract_path_samples(&netlist, &placement, &tech, &rep, paths);
     label_paths(
@@ -41,7 +41,8 @@ fn dataset_for(cfg_m: &MaeriConfig, paths: usize) -> (Vec<PathSample>, Vec<PathS
         &router,
         &routes,
         &OracleConfig::default(),
-    );
+    )
+    .unwrap();
     // Interleaved split so train and eval share the slack distribution
     // (positives concentrate on the worst paths).
     let mut train = Vec::new();
@@ -77,9 +78,9 @@ fn trained_model_finds_positives_majority_never_can() {
         finetune_epochs: 25,
         ..ModelConfig::default()
     });
-    model.pretrain(&train);
-    model.finetune(&train);
-    let m = model.evaluate(&eval);
+    model.pretrain(&train).unwrap();
+    model.finetune(&train).unwrap();
+    let m = model.evaluate(&eval).unwrap();
     // The majority class is almost always "no MLS", whose F1 on the
     // positive class is 0 — the model must do real work instead:
     // reasonable accuracy *and* non-trivial positive-class F1/recall.
@@ -102,9 +103,9 @@ fn decisions_are_deterministic_and_eligible_only() {
             finetune_epochs: 10,
             ..ModelConfig::default()
         });
-        model.pretrain(&train);
-        model.finetune(&train);
-        model.decide(&train)
+        model.pretrain(&train).unwrap();
+        model.finetune(&train).unwrap();
+        model.decide(&train).unwrap()
     };
     let a = run();
     let b = run();
@@ -132,9 +133,9 @@ fn dgi_pretraining_helps_or_at_least_does_not_hurt_much() {
             finetune_epochs: 20,
             ..ModelConfig::default()
         });
-        model.pretrain(&train);
-        model.finetune(&train);
-        model.evaluate(&eval).accuracy()
+        model.pretrain(&train).unwrap();
+        model.finetune(&train).unwrap();
+        model.evaluate(&eval).unwrap().accuracy()
     };
     let with = acc(true);
     let without = acc(false);
@@ -158,9 +159,9 @@ fn gcn_ablation_trains_on_real_data() {
         finetune_epochs: 15,
         ..ModelConfig::default()
     });
-    model.pretrain(&train);
-    model.finetune(&train);
-    let m = model.evaluate(&eval);
+    model.pretrain(&train).unwrap();
+    model.finetune(&train).unwrap();
+    let m = model.evaluate(&eval).unwrap();
     assert!(m.accuracy() > 0.4, "gcn accuracy {:.3}", m.accuracy());
 }
 
@@ -180,16 +181,16 @@ fn model_transfers_across_design_sizes() {
         finetune_epochs: 20,
         ..ModelConfig::default()
     });
-    model.pretrain(&joint);
-    model.finetune(&joint);
-    let m = model.evaluate(&eval_b);
+    model.pretrain(&joint).unwrap();
+    model.finetune(&joint).unwrap();
+    let m = model.evaluate(&eval_b).unwrap();
     assert!(
         m.accuracy() > 0.55,
         "cross-design accuracy {:.3}",
         m.accuracy()
     );
     // Decisions on the unseen design are non-degenerate.
-    let decided = model.decide(&eval_b);
+    let decided = model.decide(&eval_b).unwrap();
     let eligible: usize = eval_b
         .iter()
         .map(|s| s.eligible.iter().filter(|&&e| e).count())
@@ -207,11 +208,14 @@ fn checkpointed_model_decides_identically_on_real_data() {
         finetune_epochs: 10,
         ..ModelConfig::default()
     });
-    model.pretrain(&train);
-    model.finetune(&train);
+    model.pretrain(&train).unwrap();
+    model.finetune(&train).unwrap();
     let restored = GnnMls::from_checkpoint(model.to_checkpoint()).unwrap();
-    assert_eq!(model.decide(&eval), restored.decide(&eval));
-    let a = model.evaluate(&eval);
-    let b = restored.evaluate(&eval);
+    assert_eq!(
+        model.decide(&eval).unwrap(),
+        restored.decide(&eval).unwrap()
+    );
+    let a = model.evaluate(&eval).unwrap();
+    let b = restored.evaluate(&eval).unwrap();
     assert_eq!(a, b);
 }

@@ -69,12 +69,12 @@ fn single_net_mls_helps_some_nets_and_hurts_others() {
         c.route.clone(),
     )
     .unwrap();
-    router.route_all();
-    let routes = router.db();
+    router.route_all().unwrap();
+    let routes = router.db().unwrap();
     let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
     let samples = extract_path_samples(&netlist, &placement, &d.tech, &rep, 60);
     let grid = router.grid().clone();
-    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid);
+    let impacts = net_mls_impact(&samples, &netlist, &router, &routes, &grid).unwrap();
     assert!(impacts.len() > 10);
     let helped = impacts.iter().filter(|i| i.gain_ps() > 0.5).count();
     let hurt = impacts.iter().filter(|i| i.gain_ps() < -0.5).count();
@@ -97,8 +97,8 @@ fn whatif_mls_routes_borrow_idle_memory_metals() {
         c.route.clone(),
     )
     .unwrap();
-    router.route_all();
-    let routes = router.db();
+    router.route_all().unwrap();
+    let routes = router.db().unwrap();
     let rep = analyze(&netlist, &routes, StaConfig::from_freq_mhz(2500.0)).unwrap();
     let samples = extract_path_samples(&netlist, &placement, &d.tech, &rep, 30);
     let grid = router.grid().clone();
@@ -112,7 +112,9 @@ fn whatif_mls_routes_borrow_idle_memory_metals() {
             if !s.eligible[i] || seen.contains_key(&net) {
                 continue;
             }
-            let cand = router.what_if(&mut scratch, net, MlsOverride::Allow);
+            let cand = router
+                .what_if(&mut scratch, net, MlsOverride::Allow)
+                .unwrap();
             if cand.is_mls {
                 crossed += 1;
                 let (_, mem_mask) = cand.tree.used_layers(&grid);

@@ -218,3 +218,92 @@ fn mls_permissions_are_respected_exactly() {
         assert!(allowed.contains(&r.net), "unauthorized MLS net {}", r.net);
     }
 }
+
+/// Any single-byte corruption of a stage checkpoint is detected as
+/// [`CheckpointError::Corrupt`] — the envelope's checksum covers the
+/// payload and the header fields are validated, so no flip can slip
+/// through as a plausible checkpoint (and none may panic).
+#[test]
+fn checkpoint_bit_flips_always_surface_as_corrupt() {
+    use gnn_mls::checkpoint::{decode_stage, encode_stage};
+    use gnn_mls::{CheckpointError, GnnMls, ModelCheckpoint, ModelConfig};
+
+    let cp = GnnMls::new(ModelConfig::default()).to_checkpoint();
+    let clean = encode_stage("model", &cp).unwrap();
+    // Clean bytes round-trip bit-identically.
+    let decoded: ModelCheckpoint = decode_stage("model", &clean).unwrap();
+    assert_eq!(encode_stage("model", &decoded).unwrap(), clean);
+
+    let mut draw = StdRng::seed_from_u64(0xFA07);
+    for case in 0..64 {
+        let pos = draw.gen_range(0usize..clean.len());
+        let bit = draw.gen_range(0u32..8);
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 1u8 << bit;
+        let ctx = format!("case {case}: flipped bit {bit} of byte {pos}");
+        match decode_stage::<ModelCheckpoint>("model", &bytes) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            Err(other) => panic!("{ctx}: expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("{ctx}: corrupted envelope decoded successfully"),
+        }
+    }
+}
+
+/// Any truncation of a stage checkpoint — header, mid-payload, or to
+/// nothing — is detected as [`CheckpointError::Corrupt`], never a panic
+/// and never a silently-short decode.
+#[test]
+fn checkpoint_truncations_always_surface_as_corrupt() {
+    use gnn_mls::checkpoint::{decode_stage, encode_stage};
+    use gnn_mls::{CheckpointError, GnnMls, ModelCheckpoint, ModelConfig};
+
+    let cp = GnnMls::new(ModelConfig::default()).to_checkpoint();
+    let clean = encode_stage("model", &cp).unwrap();
+
+    let mut draw = StdRng::seed_from_u64(0x7C07);
+    let mut cuts: Vec<usize> = (0..48)
+        .map(|_| draw.gen_range(0usize..clean.len()))
+        .collect();
+    cuts.extend([0, 1, clean.len() - 1]);
+    for cut in cuts {
+        match decode_stage::<ModelCheckpoint>("model", &clean[..cut]) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            Err(other) => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("cut at {cut}: truncated envelope decoded successfully"),
+        }
+    }
+}
+
+/// Stage checkpoints survive a disk round trip bit-identically:
+/// save → load → save reproduces the exact same file bytes, and a
+/// damaged file on disk loads as a typed error.
+#[test]
+fn stage_checkpoints_round_trip_bit_identically_on_disk() {
+    use gnn_mls::checkpoint::{load_stage, save_stage, stage_path};
+    use gnn_mls::{CheckpointError, GnnMls, ModelCheckpoint, ModelConfig};
+    use std::path::PathBuf;
+
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("prop-roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cp = GnnMls::new(ModelConfig::default()).to_checkpoint();
+    save_stage(&dir, "model", &cp).unwrap();
+    let bytes1 = std::fs::read(stage_path(&dir, "model")).unwrap();
+
+    let loaded: ModelCheckpoint = load_stage(&dir, "model").unwrap().unwrap();
+    let dir2 = dir.join("again");
+    save_stage(&dir2, "model", &loaded).unwrap();
+    let bytes2 = std::fs::read(stage_path(&dir2, "model")).unwrap();
+    assert_eq!(bytes1, bytes2, "save -> load -> save must be bit-identical");
+
+    // A missing stage is Ok(None); a damaged file is a typed error.
+    assert!(load_stage::<ModelCheckpoint>(&dir, "missing")
+        .unwrap()
+        .is_none());
+    let mut bad = bytes1.clone();
+    bad[bytes1.len() / 2] ^= 0x10;
+    std::fs::write(stage_path(&dir, "model"), &bad).unwrap();
+    assert!(matches!(
+        load_stage::<ModelCheckpoint>(&dir, "model"),
+        Err(CheckpointError::Corrupt(_))
+    ));
+}
