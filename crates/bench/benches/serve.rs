@@ -1,0 +1,205 @@
+//! Cold-start vs warm-daemon what-if latency, and batched vs unbatched
+//! inference throughput, for `gnnmls-serve`.
+//!
+//! The daemon exists because the cold start (generate, place, train,
+//! route, analyze) dwarfs the marginal cost of a what-if query. This
+//! bench keeps that claim honest: it measures the cold path (fresh
+//! [`DesignSession::build`] plus the first query) against the warm path
+//! (a TCP round-trip to an already-loaded daemon), asserts the warm
+//! answer is bit-identical to the cold one and **at least 10× faster**,
+//! and measures the micro-batching win (one batched forward pass
+//! serving B requests vs B solo forward passes — also bit-identical).
+//! Results land in `BENCH_serve.json` at the repository root.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+
+use gnn_mls::flow::FlowPolicy;
+use gnn_mls::session::{DesignSession, SessionSpec};
+use gnnmls_serve::protocol::ResponseKind;
+use gnnmls_serve::{Client, ServeConfig, Server};
+
+const NET: u32 = 0;
+/// Requests coalesced into one forward pass by the batching benchmark.
+const BATCH: usize = 8;
+/// Paths per inference request.
+const PATHS: usize = 16;
+
+/// What lands in `BENCH_serve.json`.
+#[derive(Serialize)]
+struct ServeBenchReport {
+    design: String,
+    /// Fresh session build + first what-if, in milliseconds.
+    cold_ms: f64,
+    /// One TCP round-trip what-if against the warm daemon, in ms.
+    warm_ms: f64,
+    /// cold / warm; the acceptance bar is >= 10.
+    cold_over_warm: f64,
+    /// Warm answers match the cold session bit-for-bit (asserted).
+    warm_bit_identical: bool,
+    batch: usize,
+    paths: usize,
+    /// B solo forward passes, in milliseconds.
+    unbatched_ms: f64,
+    /// One batched forward pass serving all B requests, in ms.
+    batched_ms: f64,
+    /// unbatched / batched throughput gain for the same answers.
+    batch_speedup: f64,
+    /// Batched answers match unbatched bit-for-bit (asserted).
+    batch_bit_identical: bool,
+    smoke_mode: bool,
+}
+
+/// Minimum wall time of `iters` runs of `f`.
+fn min_wall<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
+    let iters = if smoke { 3 } else { 20 };
+    let spec = SessionSpec::fast("maeri16");
+
+    // --- Cold path: what a one-shot CLI invocation pays. -------------
+    let t0 = Instant::now();
+    let cold_session = DesignSession::build(&spec).unwrap();
+    let cold_answer = cold_session.what_if(NET, true, None).unwrap();
+    let cold = t0.elapsed();
+
+    // --- Warm path: the same query as a daemon round-trip. -----------
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Prime the daemon's cache so every timed round-trip is warm.
+    let primed = client.what_if(&spec, NET, true, None).unwrap();
+    assert_eq!(primed.kind, ResponseKind::Ok);
+    assert_eq!(
+        primed.what_if.as_ref(),
+        Some(&cold_answer),
+        "warm daemon answer must be bit-identical to the cold session"
+    );
+    let warm = min_wall(iters, || {
+        let resp = client.what_if(&spec, NET, true, None).unwrap();
+        assert_eq!(resp.kind, ResponseKind::Ok);
+    });
+    let cold_over_warm = cold.as_secs_f64() / warm.as_secs_f64().max(1e-12);
+    assert!(
+        cold_over_warm >= 10.0,
+        "warm what-if must be >= 10x faster than cold start \
+         (cold {:.1} ms, warm {:.3} ms)",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+    );
+    server.shutdown();
+
+    // --- Batched vs unbatched inference (session level, no socket, so
+    // the comparison isolates the forward-pass coalescing itself). ----
+    let gnn_spec = spec.clone().with_policy(FlowPolicy::GnnMls);
+    let session = DesignSession::build(&gnn_spec).unwrap();
+    let model = session.model().expect("GnnMls session carries a model");
+    let k = PATHS.min(session.samples().len());
+
+    let solo = session.infer(k).unwrap();
+    let probs = model.predict_paths(&session.samples()[..k]).unwrap();
+    for _ in 0..BATCH {
+        assert_eq!(
+            session.infer_from_probs(k, &probs),
+            solo,
+            "a batched inference answer must match the unbatched one"
+        );
+    }
+    let unbatched = min_wall(iters, || {
+        for _ in 0..BATCH {
+            session.infer(k).unwrap();
+        }
+    });
+    let batched = min_wall(iters, || {
+        let probs = model.predict_paths(&session.samples()[..k]).unwrap();
+        for _ in 0..BATCH {
+            session.infer_from_probs(k, &probs);
+        }
+    });
+
+    let report = ServeBenchReport {
+        design: "MAERI 16PE (fast)".into(),
+        cold_ms: cold.as_secs_f64() * 1e3,
+        warm_ms: warm.as_secs_f64() * 1e3,
+        cold_over_warm,
+        warm_bit_identical: true,
+        batch: BATCH,
+        paths: k,
+        unbatched_ms: unbatched.as_secs_f64() * 1e3,
+        batched_ms: batched.as_secs_f64() * 1e3,
+        batch_speedup: unbatched.as_secs_f64() / batched.as_secs_f64().max(1e-12),
+        batch_bit_identical: true,
+        smoke_mode: smoke,
+    };
+    // Bench binaries run with the package dir as cwd; anchor the output
+    // at the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out, &json) {
+                eprintln!("warning: could not write {out}: {e}");
+            } else {
+                println!(
+                    "cold {:.1} ms, warm {:.3} ms ({:.0}x); batch x{} {:.2} -> {:.2} ms \
+                     -> BENCH_serve.json",
+                    report.cold_ms,
+                    report.warm_ms,
+                    report.cold_over_warm,
+                    BATCH,
+                    report.unbatched_ms,
+                    report.batched_ms,
+                );
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize serve bench report: {e}"),
+    }
+
+    // Standard criterion entries for trend tracking.
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut g = c.benchmark_group("serve");
+    g.bench_function("warm_what_if_roundtrip", |b| {
+        b.iter(|| client.what_if(&spec, NET, true, None).unwrap().kind)
+    });
+    g.bench_function("infer_unbatched_x8", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                session.infer(k).unwrap();
+            }
+        })
+    });
+    g.bench_function("infer_batched_x8", |b| {
+        b.iter(|| {
+            let probs = model.predict_paths(&session.samples()[..k]).unwrap();
+            for _ in 0..BATCH {
+                session.infer_from_probs(k, &probs);
+            }
+        })
+    });
+    g.finish();
+    server.shutdown();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+}
+
+criterion_group! {
+    name = serve;
+    config = config();
+    targets = bench_serve
+}
+criterion_main!(serve);

@@ -16,8 +16,14 @@
 //! The envelope is a single header line followed by the JSON payload:
 //!
 //! ```text
-//! GNNMLS-CKPT v1 <stage> <fnv1a64-hex> <payload-len>\n{...json...}
+//! GNNMLS-CKPT v1 <stage> <format-version> <fnv1a64-hex> <payload-len>\n{...json...}
 //! ```
+//!
+//! The format-version field (ahead of the checksum) lets both `--resume`
+//! and the serve session cache reject envelopes written by an
+//! incompatible build with a typed [`CheckpointError::Version`] instead
+//! of a confusing decode failure. Version-0 files (the original
+//! four-field header without the version) are still read.
 
 use std::fmt;
 use std::fs;
@@ -32,6 +38,10 @@ use crate::model::{GnnMls, ModelConfig};
 
 /// Magic prefix of the stage-checkpoint envelope.
 pub const STAGE_MAGIC: &str = "GNNMLS-CKPT v1";
+
+/// Format version written by this build. Version 0 is the original
+/// envelope without a version field; readers accept `0..=` this value.
+pub const STAGE_FORMAT_VERSION: u32 = 1;
 
 /// A serializable snapshot of a trained model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -60,6 +70,14 @@ pub enum CheckpointError {
     /// The stage envelope failed validation (bad magic, wrong stage
     /// name, truncated payload, or checksum mismatch).
     Corrupt(String),
+    /// The envelope is well-formed but written by an incompatible
+    /// format version newer than this build understands.
+    Version {
+        /// Format version declared by the file.
+        found: u32,
+        /// Newest format version this build reads.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -74,6 +92,11 @@ impl fmt::Display for CheckpointError {
                 )
             }
             CheckpointError::Corrupt(why) => write!(f, "checkpoint corrupt: {why}"),
+            CheckpointError::Version { found, supported } => write!(
+                f,
+                "checkpoint format version {found} is newer than this \
+                 build supports (max {supported})"
+            ),
         }
     }
 }
@@ -93,7 +116,8 @@ impl From<serde_json::Error> for CheckpointError {
 
 /// FNV-1a 64-bit — tiny, dependency-free, and plenty to catch the
 /// torn/truncated/bit-flipped writes stage checkpoints must survive.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Also used as the serve session-cache key hash.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -110,7 +134,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 pub fn encode_stage<T: Serialize>(stage: &str, value: &T) -> Result<Vec<u8>, CheckpointError> {
     let json = serde_json::to_string(value)?;
     let mut out = format!(
-        "{STAGE_MAGIC} {stage} {:016x} {}\n",
+        "{STAGE_MAGIC} {stage} {STAGE_FORMAT_VERSION} {:016x} {}\n",
         fnv1a64(json.as_bytes()),
         json.len()
     )
@@ -124,8 +148,10 @@ pub fn encode_stage<T: Serialize>(stage: &str, value: &T) -> Result<Vec<u8>, Che
 /// # Errors
 ///
 /// Returns [`CheckpointError::Corrupt`] for any framing problem (bad
-/// magic, wrong stage, truncated payload, checksum mismatch) and
-/// [`CheckpointError::Json`] if the verified payload does not parse.
+/// magic, wrong stage, truncated payload, checksum mismatch),
+/// [`CheckpointError::Version`] for a well-formed envelope from a newer
+/// format, and [`CheckpointError::Json`] if the verified payload does
+/// not parse.
 pub fn decode_stage<T: Deserialize>(stage: &str, bytes: &[u8]) -> Result<T, CheckpointError> {
     let corrupt = |why: &str| CheckpointError::Corrupt(format!("stage `{stage}`: {why}"));
     let nl = bytes
@@ -136,9 +162,26 @@ pub fn decode_stage<T: Deserialize>(stage: &str, bytes: &[u8]) -> Result<T, Chec
     let rest = header
         .strip_prefix(STAGE_MAGIC)
         .ok_or_else(|| corrupt("bad magic"))?;
-    let mut fields = rest.split_whitespace();
-    let (name, sum, len) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
-        (Some(n), Some(s), Some(l), None) => (n, s, l),
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // Three fields (name, sum, len) is the original version-0 header;
+    // four or more carries the format version ahead of the checksum. A
+    // newer version may extend the header, so the version is checked
+    // before the field count.
+    let (name, sum, len) = match fields.as_slice() {
+        [n, s, l] => (*n, *s, *l),
+        [n, ver, tail @ ..] if !tail.is_empty() => {
+            let ver: u32 = ver.parse().map_err(|_| corrupt("bad version field"))?;
+            if ver > STAGE_FORMAT_VERSION {
+                return Err(CheckpointError::Version {
+                    found: ver,
+                    supported: STAGE_FORMAT_VERSION,
+                });
+            }
+            match tail {
+                [s, l] => (*n, *s, *l),
+                _ => return Err(corrupt("malformed header")),
+            }
+        }
         _ => return Err(corrupt("malformed header")),
     };
     if name != stage {
@@ -416,6 +459,63 @@ mod tests {
             decode_stage::<Vec<u32>>("report", &bytes),
             Err(CheckpointError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn version_zero_envelopes_still_decode() {
+        // A file written before the version field existed: four-field
+        // header `<magic> <stage> <sum> <len>`.
+        let v = vec![9u32, 8, 7];
+        let json = serde_json::to_string(&v).unwrap();
+        let mut legacy = format!(
+            "{STAGE_MAGIC} routes {:016x} {}\n",
+            super::fnv1a64(json.as_bytes()),
+            json.len()
+        )
+        .into_bytes();
+        legacy.extend_from_slice(json.as_bytes());
+        let back: Vec<u32> = decode_stage("routes", &legacy).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn future_format_version_is_a_typed_error() {
+        let v = vec![1u32];
+        let json = serde_json::to_string(&v).unwrap();
+        let mut future = format!(
+            "{STAGE_MAGIC} routes 2 {:016x} {} extra-field\n",
+            super::fnv1a64(json.as_bytes()),
+            json.len()
+        )
+        .into_bytes();
+        future.extend_from_slice(json.as_bytes());
+        match decode_stage::<Vec<u32>>("routes", &future) {
+            Err(CheckpointError::Version { found, supported }) => {
+                assert_eq!(found, 2);
+                assert_eq!(supported, STAGE_FORMAT_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+        let msg = CheckpointError::Version {
+            found: 2,
+            supported: STAGE_FORMAT_VERSION,
+        }
+        .to_string();
+        assert!(msg.contains("version 2"), "{msg}");
+    }
+
+    #[test]
+    fn current_envelopes_carry_the_version_field() {
+        let bytes = encode_stage("routes", &vec![1u32]).unwrap();
+        let header =
+            std::str::from_utf8(&bytes[..bytes.iter().position(|&b| b == b'\n').unwrap()]).unwrap();
+        let fields: Vec<&str> = header
+            .strip_prefix(STAGE_MAGIC)
+            .unwrap()
+            .split_whitespace()
+            .collect();
+        assert_eq!(fields.len(), 4, "stage, version, checksum, length");
+        assert_eq!(fields[1], STAGE_FORMAT_VERSION.to_string());
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl FlowConfig {
     }
 
     /// The routing config with the flow-level thread knob applied.
-    fn route_cfg(&self) -> RouteConfig {
+    pub(crate) fn route_cfg(&self) -> RouteConfig {
         RouteConfig {
             threads: self.threads,
             ..self.route.clone()
@@ -283,18 +283,18 @@ pub fn prepare(
 /// The resumable result of the GNN-MLS learning stage (stage name
 /// `decisions-<policy>` in the resume directory).
 #[derive(Clone, Debug, Serialize, Deserialize)]
-struct DecisionsCheckpoint {
+pub(crate) struct DecisionsCheckpoint {
     /// Nets selected for MLS (empty under the heuristic fallback).
-    selected: Vec<NetId>,
+    pub(crate) selected: Vec<NetId>,
     /// Training diagnostics (`None` under the heuristic fallback).
-    train: Option<TrainSummary>,
+    pub(crate) train: Option<TrainSummary>,
     /// Learning wall time, s.
-    runtime_s: Option<f64>,
+    pub(crate) runtime_s: Option<f64>,
     /// The model or its checkpoint was unusable and the flow degraded
     /// to the heuristic (SOTA) policy.
-    model_fallback: bool,
+    pub(crate) model_fallback: bool,
     /// Training epochs retried after a divergence rollback.
-    training_retries: u32,
+    pub(crate) training_retries: u32,
 }
 
 /// Loads `stage` from the resume directory if configured and present,
@@ -537,6 +537,19 @@ fn learn_decisions(
     cfg: &FlowConfig,
     sta_cfg: StaConfig,
 ) -> Result<DecisionsCheckpoint, FlowError> {
+    learn_decisions_with_model(netlist, placement, tech, cfg, sta_cfg).map(|(d, _)| d)
+}
+
+/// [`learn_decisions`] keeping the trained (or restored) model, so a
+/// warm serve session can answer inference requests without retraining.
+/// The model is `None` under the heuristic fallback.
+pub(crate) fn learn_decisions_with_model(
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: &gnnmls_netlist::TechConfig,
+    cfg: &FlowConfig,
+    sta_cfg: StaConfig,
+) -> Result<(DecisionsCheckpoint, Option<GnnMls>), FlowError> {
     let fallback = |retries: u32| DecisionsCheckpoint {
         selected: Vec::new(),
         train: None,
@@ -563,26 +576,30 @@ fn learn_decisions(
     // A pre-trained checkpoint skips the oracle and training entirely;
     // an unusable one falls back to the heuristic policy.
     if let Some(cp) = &cfg.pretrained {
-        let selected = GnnMls::from_checkpoint(cp.clone())
+        let restored = GnnMls::from_checkpoint(cp.clone())
             .map_err(|e| e.to_string())
             .and_then(|mut model| {
                 model.set_threads(cfg.threads);
-                model.decide(&infer).map_err(|e| e.to_string())
+                let selected = model.decide(&infer).map_err(|e| e.to_string())?;
+                Ok((selected, model))
             });
-        return Ok(match selected {
-            Ok(selected) => DecisionsCheckpoint {
-                selected,
-                train: Some(TrainSummary::default()),
-                runtime_s: None,
-                model_fallback: false,
-                training_retries: 0,
-            },
+        return Ok(match restored {
+            Ok((selected, model)) => (
+                DecisionsCheckpoint {
+                    selected,
+                    train: Some(TrainSummary::default()),
+                    runtime_s: None,
+                    model_fallback: false,
+                    training_retries: 0,
+                },
+                Some(model),
+            ),
             Err(e) => {
                 eprintln!(
                     "gnn-mls: pretrained model unusable ({e}); \
                      falling back to the heuristic MLS policy"
                 );
-                fallback(0)
+                (fallback(0), None)
             }
         });
     }
@@ -611,7 +628,7 @@ fn learn_decisions(
                 "gnn-mls: training failed ({e}); \
                  falling back to the heuristic MLS policy"
             );
-            return Ok(fallback(model.divergence_retries()));
+            return Ok((fallback(model.divergence_retries()), None));
         }
         Err(e) => return Err(FlowError::Model(e)),
     };
@@ -643,18 +660,22 @@ fn learn_decisions(
     }
     let mut selected: Vec<NetId> = selected.into_iter().collect();
     selected.sort();
-    Ok(DecisionsCheckpoint {
-        selected,
-        train: Some(TrainSummary {
-            oracle: stats,
-            pretrain_loss,
-            train_metrics,
-            eval_metrics,
-        }),
-        runtime_s: None,
-        model_fallback: false,
-        training_retries: model.divergence_retries(),
-    })
+    let retries = model.divergence_retries();
+    Ok((
+        DecisionsCheckpoint {
+            selected,
+            train: Some(TrainSummary {
+                oracle: stats,
+                pretrain_loss,
+                train_metrics,
+                eval_metrics,
+            }),
+            runtime_s: None,
+            model_fallback: false,
+            training_retries: retries,
+        },
+        Some(model),
+    ))
 }
 
 /// Sizes the PDN per tier to the IR budget; returns the memory-die

@@ -51,6 +51,7 @@ pub mod model;
 pub mod oracle;
 pub mod paths;
 pub mod report;
+pub mod session;
 
 pub use checkpoint::{CheckpointError, ModelCheckpoint};
 pub use features::{node_features, FeatureScaler, FEATURE_DIM};
@@ -59,3 +60,4 @@ pub use model::{GnnMls, ModelConfig};
 pub use oracle::{label_paths, net_mls_impact, NetImpact, OracleConfig};
 pub use paths::{extract_path_samples, PathSample};
 pub use report::FlowReport;
+pub use session::{DesignSession, SessionError, SessionSpec};

@@ -456,6 +456,38 @@ impl GnnMls {
             .collect())
     }
 
+    /// Batched forward pass: per-node MLS probabilities for every
+    /// sample, fanned once across the `gnnmls-par` pool and returned in
+    /// input order.
+    ///
+    /// This is the serve daemon's micro-batching entry point: coalescing
+    /// K queued inference requests into one `predict_paths` call costs
+    /// one fork-join instead of K, and because the map is ordered the
+    /// results are bit-identical to K separate [`GnnMls::predict_path`]
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotTrained`] if the scaler has not been fit
+    /// (train or restore a checkpoint first).
+    pub fn predict_paths(&self, samples: &[PathSample]) -> Result<Vec<Vec<f32>>, ModelError> {
+        if self.scaler.is_none() {
+            return Err(ModelError::NotTrained);
+        }
+        let predict_one = |s: &PathSample| {
+            let Ok(probs) = self.predict_path(s) else {
+                unreachable!("scaler checked above");
+            };
+            probs
+        };
+        // A worker panic is retried serially; if even that fails, fall
+        // back to the plain serial loop (a panic there is a real bug).
+        match gnnmls_par::recovering_par_map(self.threads, samples, predict_one) {
+            Ok(v) => Ok(v),
+            Err(_) => Ok(samples.iter().map(predict_one).collect()),
+        }
+    }
+
     /// Evaluates classification metrics against oracle labels.
     ///
     /// # Errors
@@ -694,6 +726,28 @@ mod tests {
         for s in &samples {
             assert!(!decided.contains(&s.nets[0]), "ineligible net selected");
         }
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample_calls() {
+        let samples = synthetic_samples(20, 9);
+        let mut model = GnnMls::new(ModelConfig {
+            pretrain_epochs: 2,
+            finetune_epochs: 10,
+            ..ModelConfig::default()
+        });
+        assert!(matches!(
+            model.predict_paths(&samples),
+            Err(ModelError::NotTrained)
+        ));
+        model.pretrain(&samples).unwrap();
+        model.finetune(&samples).unwrap();
+        let batched = model.predict_paths(&samples).unwrap();
+        let single: Vec<Vec<f32>> = samples
+            .iter()
+            .map(|s| model.predict_path(s).unwrap())
+            .collect();
+        assert_eq!(batched, single, "micro-batching must not change bits");
     }
 
     #[test]

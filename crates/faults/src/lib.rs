@@ -34,10 +34,16 @@ pub enum FaultSite {
     IrNonConvergence,
     /// Panic inside a `gnnmls-par` worker.
     WorkerPanic,
+    /// Flip a byte in a serve wire frame as it is written to a socket.
+    FrameCorrupt,
+    /// Stall a serve connection mid-frame (slow or wedged client).
+    SlowClientStall,
+    /// Force the serve job queue to report itself full.
+    QueueOverflow,
 }
 
 /// All sites, in the order used by seed-driven plans.
-pub const ALL_SITES: [FaultSite; 7] = [
+pub const ALL_SITES: [FaultSite; 10] = [
     FaultSite::CheckpointCorrupt,
     FaultSite::CheckpointTruncate,
     FaultSite::UnroutableNet,
@@ -45,6 +51,9 @@ pub const ALL_SITES: [FaultSite; 7] = [
     FaultSite::NanGradient,
     FaultSite::IrNonConvergence,
     FaultSite::WorkerPanic,
+    FaultSite::FrameCorrupt,
+    FaultSite::SlowClientStall,
+    FaultSite::QueueOverflow,
 ];
 
 impl FaultSite {
@@ -57,6 +66,9 @@ impl FaultSite {
             FaultSite::NanGradient => 4,
             FaultSite::IrNonConvergence => 5,
             FaultSite::WorkerPanic => 6,
+            FaultSite::FrameCorrupt => 7,
+            FaultSite::SlowClientStall => 8,
+            FaultSite::QueueOverflow => 9,
         }
     }
 
@@ -69,6 +81,9 @@ impl FaultSite {
             "nan-gradient" => Some(FaultSite::NanGradient),
             "ir-nonconvergence" => Some(FaultSite::IrNonConvergence),
             "worker-panic" => Some(FaultSite::WorkerPanic),
+            "frame-corrupt" => Some(FaultSite::FrameCorrupt),
+            "slow-client" => Some(FaultSite::SlowClientStall),
+            "queue-overflow" => Some(FaultSite::QueueOverflow),
             _ => None,
         }
     }
@@ -84,6 +99,9 @@ impl fmt::Display for FaultSite {
             FaultSite::NanGradient => "nan-gradient",
             FaultSite::IrNonConvergence => "ir-nonconvergence",
             FaultSite::WorkerPanic => "worker-panic",
+            FaultSite::FrameCorrupt => "frame-corrupt",
+            FaultSite::SlowClientStall => "slow-client",
+            FaultSite::QueueOverflow => "queue-overflow",
         };
         f.write_str(s)
     }
@@ -190,6 +208,9 @@ impl FaultPlan {
 /// Fast armed check + per-site remaining-shot counters.
 static ARMED: AtomicBool = AtomicBool::new(false);
 static REMAINING: [AtomicU32; ALL_SITES.len()] = [
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),

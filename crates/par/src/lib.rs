@@ -32,31 +32,69 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// `GNNMLS_THREADS` is set but not a positive integer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadsEnvError {
+    /// The raw value of the variable.
+    pub value: String,
+}
+
+impl std::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed GNNMLS_THREADS={:?}: want a positive integer",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ThreadsEnvError {}
+
+/// Reads the `GNNMLS_THREADS` env override with a typed error.
+///
+/// Returns `Ok(None)` when the variable is unset or empty, `Ok(Some(n))`
+/// for a positive integer, and [`ThreadsEnvError`] for anything else.
+/// Entry points (the `gnnmls` CLI, the serve daemon) call this at
+/// startup so a typo'd value is rejected up front instead of silently
+/// running on all cores.
+pub fn env_threads() -> Result<Option<usize>, ThreadsEnvError> {
+    match std::env::var("GNNMLS_THREADS") {
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return Ok(None);
+            }
+            match trimmed.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(ThreadsEnvError { value: v }),
+            }
+        }
+        Err(_) => Ok(None),
+    }
+}
+
 /// Resolves a `threads` knob value: `0` means "all cores".
 ///
 /// When the knob is `0`, the `GNNMLS_THREADS` environment variable (if
 /// set to a positive integer) overrides the core count. CI uses this to
 /// run the whole suite in forced-serial and default-parallel modes
 /// without touching any config; results are bit-identical either way.
-/// A malformed value is ignored, but gets a one-line stderr warning
-/// (once per process) so a CI misconfiguration is visible.
+/// Deep in the library a malformed value falls back to all cores with a
+/// one-line stderr warning (once per process); entry points reject it
+/// up front via [`env_threads`].
 pub fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
-        match std::env::var("GNNMLS_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n > 0 => n,
-                _ => {
-                    static WARN: Once = Once::new();
-                    WARN.call_once(|| {
-                        eprintln!(
-                            "gnnmls-par: ignoring malformed GNNMLS_THREADS={v:?} \
-                             (want a positive integer); using all cores"
-                        );
-                    });
-                    available_parallelism()
-                }
-            },
-            Err(_) => available_parallelism(),
+        match env_threads() {
+            Ok(Some(n)) => n,
+            Ok(None) => available_parallelism(),
+            Err(e) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!("gnnmls-par: {e}; using all cores");
+                });
+                available_parallelism()
+            }
         }
     } else {
         threads
@@ -309,6 +347,150 @@ where
     recovering_par_map_with(threads, items.len(), || (), |(), i| f(&items[i]))
 }
 
+/// Bounded multi-producer/multi-consumer job queue with explicit
+/// backpressure, built on `Mutex` + `Condvar` (no external deps).
+///
+/// Producers use [`BoundedQueue::try_push`], which **never blocks**: a
+/// full queue returns [`PushError::Full`] so the caller can shed load
+/// (the serve daemon turns this into a typed `Busy` response).
+/// Consumers use [`BoundedQueue::pop`], which blocks until a job
+/// arrives or the queue is closed and drained. [`BoundedQueue::close`]
+/// wakes all consumers; pending jobs are still handed out so a close is
+/// a drain, not an abort.
+///
+/// The `gnnmls-faults` `QueueOverflow` seam fires inside `try_push`, so
+/// tests can force the full path deterministically regardless of
+/// timing.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, Mutex, PoisonError};
+
+    use gnnmls_faults::{fire, FaultSite};
+
+    /// Why a `try_push` was refused.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum PushError {
+        /// The queue holds `capacity` jobs; shed load.
+        Full,
+        /// The queue was closed; no new jobs are accepted.
+        Closed,
+    }
+
+    impl std::fmt::Display for PushError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                PushError::Full => f.write_str("queue full"),
+                PushError::Closed => f.write_str("queue closed"),
+            }
+        }
+    }
+
+    impl std::error::Error for PushError {}
+
+    struct Inner<T> {
+        jobs: VecDeque<T>,
+        closed: bool,
+    }
+
+    /// The bounded MPMC queue. Share via `Arc`.
+    pub struct BoundedQueue<T> {
+        capacity: usize,
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    impl<T> BoundedQueue<T> {
+        /// A queue holding at most `capacity` jobs (min 1).
+        pub fn new(capacity: usize) -> Self {
+            Self {
+                capacity: capacity.max(1),
+                inner: Mutex::new(Inner {
+                    jobs: VecDeque::new(),
+                    closed: false,
+                }),
+                ready: Condvar::new(),
+            }
+        }
+
+        /// Maximum number of queued jobs.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Current queue depth (racy; for stats only).
+        pub fn len(&self) -> usize {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .jobs
+                .len()
+        }
+
+        /// Whether the queue is currently empty (racy; for stats only).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Enqueues a job without blocking; a full or closed queue
+        /// refuses with a typed error and returns the job to the caller.
+        pub fn try_push(&self, job: T) -> Result<(), (T, PushError)> {
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            if inner.closed {
+                return Err((job, PushError::Closed));
+            }
+            if inner.jobs.len() >= self.capacity || fire(FaultSite::QueueOverflow) {
+                return Err((job, PushError::Full));
+            }
+            inner.jobs.push_back(job);
+            drop(inner);
+            self.ready.notify_one();
+            Ok(())
+        }
+
+        /// Blocks until a job is available or the queue is closed and
+        /// drained (`None`).
+        pub fn pop(&self) -> Option<T> {
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = inner.jobs.pop_front() {
+                    return Some(job);
+                }
+                if inner.closed {
+                    return None;
+                }
+                inner = self
+                    .ready
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Drains every currently queued job without blocking. Used by
+        /// batching consumers to coalesce queued work into one pass.
+        pub fn drain(&self) -> Vec<T> {
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.jobs.drain(..).collect()
+        }
+
+        /// Closes the queue: new pushes fail, consumers drain what is
+        /// left and then see `None`.
+        pub fn close(&self) {
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.closed = true;
+            drop(inner);
+            self.ready.notify_all();
+        }
+
+        /// Whether [`close`](Self::close) was called.
+        pub fn is_closed(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .closed
+        }
+    }
+}
+
 struct SlotWriter<R>(*mut Option<R>);
 
 // SAFETY: workers write disjoint slots (see try_par_map_with) and the
@@ -420,6 +602,112 @@ mod tests {
         assert_eq!(got, (1..=20).collect::<Vec<_>>());
         assert_eq!(recovered_panics(), before + 1);
         drop(guard);
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_and_drain() {
+        let q = queue::BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err((job, queue::PushError::Full)) => assert_eq!(job, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.drain(), vec![2, 3]);
+        q.close();
+        match q.try_push(4) {
+            Err((4, queue::PushError::Closed)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bounded_queue_threaded_handoff() {
+        use std::sync::Arc;
+        let q = Arc::new(queue::BoundedQueue::new(8));
+        let n = 200usize;
+        let producers = 4;
+        let consumers = 3;
+        let mut seen = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in 0..consumers {
+                let q = Arc::clone(&q);
+                handles.push((
+                    c,
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(v) = q.pop() {
+                            got.push(v);
+                        }
+                        got
+                    }),
+                ));
+            }
+            scope.spawn(|| {
+                std::thread::scope(|inner| {
+                    for p in 0..producers {
+                        let q = &q;
+                        inner.spawn(move || {
+                            for i in 0..n / producers {
+                                let v = p * (n / producers) + i;
+                                loop {
+                                    match q.try_push(v) {
+                                        Ok(()) => break,
+                                        Err((_, queue::PushError::Full)) => {
+                                            std::thread::yield_now()
+                                        }
+                                        Err((_, queue::PushError::Closed)) => {
+                                            panic!("closed early")
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                q.close();
+            });
+            for (_, h) in handles {
+                seen.extend(h.join().expect("consumer"));
+            }
+        });
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..n).collect::<Vec<_>>(),
+            "no lost or duplicated jobs"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_fault_forces_full() {
+        let plan = gnnmls_faults::FaultPlan::single(gnnmls_faults::FaultSite::QueueOverflow, 1);
+        let guard = gnnmls_faults::install(&plan);
+        let q = queue::BoundedQueue::new(16);
+        match q.try_push(7) {
+            Err((7, queue::PushError::Full)) => {}
+            other => panic!("expected injected Full, got {other:?}"),
+        }
+        assert!(q.try_push(7).is_ok(), "one shot only");
+        drop(guard);
+    }
+
+    #[test]
+    fn env_threads_is_typed() {
+        // Do not mutate the process env here (tests run threaded); just
+        // check the unset/ok contract holds for whatever CI exports.
+        match env_threads() {
+            Ok(None) | Ok(Some(_)) => {}
+            Err(e) => panic!("CI exported a malformed GNNMLS_THREADS: {e}"),
+        }
+        let err = ThreadsEnvError {
+            value: "abc".into(),
+        };
+        assert!(err.to_string().contains("abc"));
     }
 
     #[test]

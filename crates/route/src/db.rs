@@ -59,7 +59,7 @@ pub struct RouteSummary {
 }
 
 /// All routed nets of a design.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RouteDb {
     /// One entry per net, indexed by [`NetId`].
     pub nets: Vec<NetRoute>,

@@ -370,6 +370,50 @@ impl<'a> Router<'a> {
         self.share.as_ref()
     }
 
+    /// Current congestion scale (doubles each executed rip-up round).
+    ///
+    /// What-if costs depend on this, so a warm session that restores a
+    /// routed DB must also restore the scale to reproduce the original
+    /// router's what-if results bit-for-bit.
+    #[inline]
+    pub fn congestion_scale(&self) -> f64 {
+        self.congestion_scale
+    }
+
+    /// Rebuilds committed routing state from a saved [`RouteDb`]
+    /// without running any search: every net's tree is re-applied to
+    /// the usage maps and `congestion_scale` is restored. After this,
+    /// [`Router::what_if`] answers are bit-identical to the router that
+    /// produced the DB — this is the warm-session restore path, orders
+    /// of magnitude cheaper than [`Router::route_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Incomplete`] if the DB does not cover
+    /// every net of the design.
+    pub fn restore_routes(
+        &mut self,
+        db: &RouteDb,
+        congestion_scale: f64,
+    ) -> Result<(), RouteError> {
+        if db.nets.len() != self.netlist.net_count() {
+            return Err(RouteError::Incomplete {
+                missing: self.netlist.net_count().abs_diff(db.nets.len()),
+            });
+        }
+        self.usage_h.iter_mut().for_each(|u| *u = 0);
+        self.usage_v.iter_mut().for_each(|u| *u = 0);
+        self.usage_f2f.iter_mut().for_each(|u| *u = 0);
+        self.routes.iter_mut().for_each(|r| *r = None);
+        for route in &db.nets {
+            self.apply_usage(&route.tree, 1);
+            self.routes[route.net.index()] = Some(route.clone());
+        }
+        self.congestion_scale = congestion_scale;
+        self.isolated_failures = db.summary.isolated_failures;
+        Ok(())
+    }
+
     /// Routes every net, then runs the configured rip-up rounds.
     ///
     /// Rip-up rounds re-route their victims concurrently when
@@ -585,8 +629,29 @@ impl<'a> Router<'a> {
         net: NetId,
         ov: MlsOverride,
     ) -> Result<NetRoute, RouteError> {
+        self.what_if_budgeted(scratch, net, ov, self.cfg.max_expansions)
+    }
+
+    /// [`Router::what_if`] with a per-call A* expansion budget.
+    ///
+    /// The serve daemon maps a request deadline onto `max_expansions`,
+    /// so a late request degrades to the pattern fallback (or a typed
+    /// error) instead of holding a worker. A budget equal to
+    /// [`RouteConfig::max_expansions`] is exactly [`Router::what_if`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] when the detached route cannot connect
+    /// every sink.
+    pub fn what_if_budgeted(
+        &self,
+        scratch: &mut RouteScratch,
+        net: NetId,
+        ov: MlsOverride,
+        max_expansions: usize,
+    ) -> Result<NetRoute, RouteError> {
         let exclude = self.excluded_for(net);
-        self.compute_route(scratch, net, ov, exclude.as_ref())
+        self.compute_route_budgeted(scratch, net, ov, exclude.as_ref(), max_expansions)
     }
 
     /// Usage overlay subtracting `net`'s committed tree, if any.
@@ -717,6 +782,19 @@ impl<'a> Router<'a> {
         ov: MlsOverride,
         exclude: Option<&ExcludedUsage>,
     ) -> Result<NetRoute, RouteError> {
+        self.compute_route_budgeted(scratch, net, ov, exclude, self.cfg.max_expansions)
+    }
+
+    /// [`Router::compute_route`] with an explicit A* expansion budget
+    /// (the deadline hook used by [`Router::what_if_budgeted`]).
+    fn compute_route_budgeted(
+        &self,
+        scratch: &mut RouteScratch,
+        net: NetId,
+        ov: MlsOverride,
+        exclude: Option<&ExcludedUsage>,
+        max_expansions: usize,
+    ) -> Result<NetRoute, RouteError> {
         scratch.begin_footprint();
         let driver = self.netlist.driver(net);
         let root = self.pin_node(driver);
@@ -745,7 +823,15 @@ impl<'a> Router<'a> {
             if builder.contains(target) {
                 continue;
             }
-            let path = match self.astar(scratch, net, ov, exclude, builder.grid_nodes(), target) {
+            let path = match self.astar(
+                scratch,
+                net,
+                ov,
+                exclude,
+                builder.grid_nodes(),
+                target,
+                max_expansions,
+            ) {
                 Some(p) => p,
                 None => {
                     // Budget exhausted: degrade maze → pattern and
@@ -793,6 +879,7 @@ impl<'a> Router<'a> {
     }
 
     /// Multi-source A* from the tree to one sink.
+    #[allow(clippy::too_many_arguments)]
     fn astar(
         &self,
         scratch: &mut RouteScratch,
@@ -801,6 +888,7 @@ impl<'a> Router<'a> {
         exclude: Option<&ExcludedUsage>,
         sources: &[u32],
         target: u32,
+        max_expansions: usize,
     ) -> Option<Vec<u32>> {
         scratch.ensure(self.grid.node_count());
         // Injected-fault seam: pretend the budget is already exhausted,
@@ -833,7 +921,7 @@ impl<'a> Router<'a> {
                 return Some(self.backtrack(scratch, node));
             }
             expansions += 1;
-            if expansions > self.cfg.max_expansions {
+            if expansions > max_expansions {
                 return None;
             }
             let (x, y, z) = self.grid.coords(node);
@@ -1252,6 +1340,89 @@ mod tests {
         for (a, b) in before.nets.iter().zip(after.nets.iter()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn restored_router_answers_what_if_bit_identically() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let cfg = RouteConfig {
+            target_gcells: 24,
+            ..RouteConfig::default()
+        };
+        let mut cold =
+            Router::new(&d.netlist, &p, &tech, MlsPolicy::Disabled, cfg.clone()).unwrap();
+        cold.route_all().unwrap();
+        let db = cold.db().unwrap();
+        let scale = cold.congestion_scale();
+
+        let mut warm = Router::new(&d.netlist, &p, &tech, MlsPolicy::Disabled, cfg).unwrap();
+        warm.restore_routes(&db, scale).unwrap();
+        assert_eq!(warm.congestion_scale(), scale);
+        assert_eq!(warm.db().unwrap(), db, "restored DB is byte-identical");
+
+        let nets: Vec<NetId> = d
+            .netlist
+            .net_ids()
+            .filter(|&n| d.netlist.net_tier(n).is_some())
+            .take(40)
+            .collect();
+        let mut sc = cold.scratch();
+        let mut sw = warm.scratch();
+        for n in nets {
+            let a = cold.what_if(&mut sc, n, MlsOverride::Allow);
+            let b = warm.what_if(&mut sw, n, MlsOverride::Allow);
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "what-if diverged on {n}"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("what-if outcome diverged on {n}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_what_if_degrades_not_hangs() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let mut router = Router::new(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig {
+                target_gcells: 24,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        router.route_all().unwrap();
+        let net = d
+            .netlist
+            .net_ids()
+            .find(|&n| d.netlist.net_tier(n).is_some())
+            .unwrap();
+        let mut scratch = router.scratch();
+        // Full budget matches plain what_if bit-for-bit.
+        let full = router
+            .what_if(&mut scratch, net, MlsOverride::Deny)
+            .unwrap();
+        let budgeted = router
+            .what_if_budgeted(
+                &mut scratch,
+                net,
+                MlsOverride::Deny,
+                router.config().max_expansions,
+            )
+            .unwrap();
+        assert_eq!(full, budgeted);
+        // A starved budget degrades to the pattern fallback instead of
+        // searching forever.
+        let starved = router
+            .what_if_budgeted(&mut scratch, net, MlsOverride::Deny, 1)
+            .unwrap();
+        assert!(starved.pattern_sinks > 0, "starved budget must fall back");
     }
 
     #[test]

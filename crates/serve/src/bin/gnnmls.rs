@@ -1,0 +1,405 @@
+//! `gnnmls` — command-line front end to the GNN-MLS flow and daemon.
+//!
+//! ```sh
+//! gnnmls flow --design maeri128 --tech hetero --policy gnn-mls --freq 2500 \
+//!        [--dft net|wire] [--json report.json] [--save-model model.json] \
+//!        [--load-model model.json] [--verilog netlist.v]
+//! gnnmls serve  [--addr 127.0.0.1:7117] [--queue N] [--workers N] [--cache N]
+//! gnnmls client <whatif|infer|stats|flow|shutdown> [--addr ...] [--design ...]
+//! gnnmls designs      # list available designs
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace is dependency-minimal).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use gnn_mls::flow::{run_flow, FlowConfig, FlowPolicy};
+use gnn_mls::session::{build_design, build_tech, SessionSpec, DESIGNS};
+use gnn_mls::GnnMls;
+use gnnmls_dft::DftMode;
+use gnnmls_netlist::verilog::write_verilog;
+use gnnmls_serve::protocol::{Response, ResponseKind};
+use gnnmls_serve::{Client, ServeConfig, Server};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+fn usage() -> &'static str {
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>]\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\n"
+}
+
+fn main() -> ExitCode {
+    // Armed only when GNNMLS_FAULTS is set; the guard must outlive the run.
+    let _faults = gnnmls_faults::install_from_env();
+    // Reject a malformed GNNMLS_THREADS up front with a typed message
+    // instead of silently running on all cores.
+    if let Err(e) = gnnmls_par::env_threads() {
+        eprintln!("gnnmls: {e}");
+        return ExitCode::FAILURE;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("designs") => {
+            for (name, desc) in DESIGNS {
+                println!("{name:10} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("flow") => run_flow_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
+        _ => {
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs (plus bare flags listed in `flags`).
+fn parse_opts<'a>(
+    args: &'a [String],
+    keys: &[&str],
+    flags: &[&str],
+) -> Result<(HashMap<&'a str, &'a str>, Vec<&'a str>), String> {
+    let mut opts = HashMap::new();
+    let mut seen_flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        if flags.contains(&key) {
+            seen_flags.push(key);
+            continue;
+        }
+        if !keys.contains(&key) {
+            return Err(format!("unknown option --{key}"));
+        }
+        let Some(v) = it.next() else {
+            return Err(format!("missing value for --{key}"));
+        };
+        opts.insert(key, v.as_str());
+    }
+    Ok((opts, seen_flags))
+}
+
+/// Builds a [`SessionSpec`] from the shared spec flags.
+fn spec_from_opts(opts: &HashMap<&str, &str>, fast: bool) -> Result<SessionSpec, String> {
+    let design = opts.get("design").copied().unwrap_or("maeri16");
+    let mut spec = SessionSpec::new(design);
+    spec.fast = fast;
+    if let Some(tech) = opts.get("tech") {
+        match *tech {
+            "hetero" | "homo" => spec.tech = (*tech).to_string(),
+            other => return Err(format!("unknown tech `{other}` (hetero|homo)")),
+        }
+    }
+    if let Some(policy) = opts.get("policy") {
+        spec.policy = match *policy {
+            "no-mls" => FlowPolicy::NoMls,
+            "sota" => FlowPolicy::Sota,
+            "gnn-mls" => FlowPolicy::GnnMls,
+            other => return Err(format!("unknown policy `{other}` (no-mls|sota|gnn-mls)")),
+        };
+    }
+    if let Some(freq) = opts.get("freq") {
+        match freq.parse::<f64>() {
+            Ok(f) if f > 0.0 => spec.target_freq_mhz = f,
+            _ => return Err("--freq must be a positive number (MHz)".to_string()),
+        }
+    }
+    Ok(spec)
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let (opts, _) = match parse_opts(
+        args,
+        &["addr", "queue", "workers", "cache", "checkpoint"],
+        &[],
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = ServeConfig {
+        addr: opts
+            .get("addr")
+            .copied()
+            .unwrap_or(DEFAULT_ADDR)
+            .to_string(),
+        ..ServeConfig::default()
+    };
+    for (key, slot) in [
+        ("queue", &mut cfg.queue_capacity),
+        ("workers", &mut cfg.workers),
+        ("cache", &mut cfg.cache_capacity),
+    ] {
+        if let Some(v) = opts.get(key) {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => *slot = n,
+                _ => {
+                    eprintln!("--{key} must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(dir) = opts.get("checkpoint") {
+        cfg.checkpoint_dir = Some(std::path::PathBuf::from(dir));
+    }
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gnnmls serve: could not bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("gnnmls-serve listening on {}", server.local_addr());
+    let stats = server.wait();
+    eprintln!(
+        "gnnmls-serve drained: {} served, {} busy, {} errors, {} cache hits / {} misses",
+        stats.served, stats.busy, stats.errors, stats.cache_hits, stats.cache_misses
+    );
+    match serde_json::to_string_pretty(&stats) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("could not serialize final stats: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_response(resp: &Response) -> ExitCode {
+    match serde_json::to_string_pretty(resp) {
+        // Tolerate a closed stdout (e.g. `gnnmls client stats | head`).
+        Ok(json) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{json}");
+        }
+        Err(e) => {
+            eprintln!("could not serialize response: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match resp.kind {
+        ResponseKind::Ok => ExitCode::SUCCESS,
+        ResponseKind::Busy | ResponseKind::Error => ExitCode::FAILURE,
+    }
+}
+
+fn client_cmd(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first().map(String::as_str) else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let (opts, flags) = match parse_opts(
+        &args[1..],
+        &[
+            "addr", "design", "tech", "policy", "freq", "net", "budget", "paths",
+        ],
+        &["fast", "no-mls"],
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match spec_from_opts(&opts, flags.contains(&"fast")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = opts.get("addr").copied().unwrap_or(DEFAULT_ADDR);
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gnnmls client: could not connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match verb {
+        "whatif" => {
+            let net = match opts.get("net").map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => n,
+                _ => {
+                    eprintln!("whatif requires --net <id>");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let budget = match opts.get("budget").map(|v| v.parse::<u64>()) {
+                None => None,
+                Some(Ok(b)) => Some(b),
+                Some(Err(_)) => {
+                    eprintln!("--budget must be an integer expansion count");
+                    return ExitCode::FAILURE;
+                }
+            };
+            client.what_if(&spec, net, !flags.contains(&"no-mls"), budget)
+        }
+        "infer" => {
+            let paths = match opts.get("paths").map(|v| v.parse::<u64>()) {
+                None => None,
+                Some(Ok(k)) => Some(k),
+                Some(Err(_)) => {
+                    eprintln!("--paths must be an integer");
+                    return ExitCode::FAILURE;
+                }
+            };
+            client.infer(&spec, paths)
+        }
+        "stats" => client.stats(&spec),
+        "flow" => client.run_flow(&spec),
+        "shutdown" => client.shutdown(),
+        other => {
+            eprintln!("unknown client verb `{other}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(resp) => print_response(&resp),
+        Err(e) => {
+            eprintln!("gnnmls client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_flow_cmd(args: &[String]) -> ExitCode {
+    let mut opts: HashMap<&str, &str> = HashMap::new();
+    let mut fast = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--fast" {
+            fast = true;
+            continue;
+        }
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument `{a}`\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let Some(v) = it.next() else {
+            eprintln!("missing value for --{key}");
+            return ExitCode::FAILURE;
+        };
+        opts.insert(
+            match key {
+                "design" | "tech" | "policy" | "freq" | "dft" | "json" | "verilog"
+                | "save-model" | "load-model" | "resume" => key,
+                other => {
+                    eprintln!("unknown option --{other}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            v,
+        );
+    }
+
+    let design_name = opts.get("design").copied().unwrap_or("maeri16");
+    let is_a7 = design_name == "a7";
+    let Some(tech) = build_tech(opts.get("tech").copied().unwrap_or("hetero"), design_name) else {
+        eprintln!(
+            "unknown tech `{}` (hetero|homo)",
+            opts.get("tech").copied().unwrap_or("hetero")
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some(design) = build_design(design_name, &tech) else {
+        eprintln!("unknown design `{design_name}`; see `gnnmls designs`");
+        return ExitCode::FAILURE;
+    };
+
+    let policy = match opts.get("policy").copied().unwrap_or("gnn-mls") {
+        "no-mls" => FlowPolicy::NoMls,
+        "sota" => FlowPolicy::Sota,
+        "gnn-mls" => FlowPolicy::GnnMls,
+        other => {
+            eprintln!("unknown policy `{other}` (no-mls|sota|gnn-mls)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let freq: f64 = match opts
+        .get("freq")
+        .copied()
+        .unwrap_or(if is_a7 { "2000" } else { "2500" })
+        .parse()
+    {
+        Ok(f) if f > 0.0 => f,
+        _ => {
+            eprintln!("--freq must be a positive number (MHz)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = if fast {
+        FlowConfig::fast_test(freq)
+    } else {
+        FlowConfig::new(freq)
+    };
+    match opts.get("dft").copied() {
+        None => {}
+        Some("net") => cfg.dft = Some(DftMode::NetBased),
+        Some("wire") => cfg.dft = Some(DftMode::WireBased),
+        Some(other) => {
+            eprintln!("unknown dft mode `{other}` (net|wire)");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = opts.get("save-model") {
+        cfg.save_model = Some(std::path::PathBuf::from(path));
+    }
+    if let Some(dir) = opts.get("resume") {
+        cfg.resume = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(path) = opts.get("load-model") {
+        match GnnMls::load_json(path) {
+            Ok(m) => cfg.pretrained = Some(m.to_checkpoint()),
+            Err(e) => {
+                eprintln!("could not load model from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = opts.get("verilog") {
+        if let Err(e) = std::fs::write(path, write_verilog(&design.netlist)) {
+            eprintln!("could not write verilog to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("netlist written to {path}");
+    }
+
+    eprintln!(
+        "running {} [{}] @ {freq} MHz ({})...",
+        design.netlist.name(),
+        policy.name(),
+        tech.name
+    );
+    let report = match run_flow(&design, &cfg, policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flow failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+
+    if let Some(path) = opts.get("json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, s) {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("report written to {path}");
+            }
+            Err(e) => eprintln!("serialize failed: {e}"),
+        }
+    }
+    if let Some(path) = opts.get("save-model") {
+        eprintln!("trained model checkpointed to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! Blocking client for the serve wire protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gnn_mls::session::SessionSpec;
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+
+/// One connection to a `gnnmls-serve` daemon. Requests are synchronous:
+/// each call writes one frame and blocks for the matching response.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error when the daemon is unreachable.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream, next_id: 1 })
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends a request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] when either direction of the exchange
+    /// fails.
+    pub fn request(&mut self, req: &Request) -> Result<Response, FrameError> {
+        write_frame(&mut self.stream, req)?;
+        read_frame(&mut self.stream)
+    }
+
+    /// What-if routes `net` of `spec` with MLS forced on or off,
+    /// optionally under an A* expansion budget (the request deadline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn what_if(
+        &mut self,
+        spec: &SessionSpec,
+        net: u32,
+        allow_mls: bool,
+        deadline_expansions: Option<u64>,
+    ) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::what_if(
+            id,
+            spec.clone(),
+            net,
+            allow_mls,
+            deadline_expansions,
+        ))
+    }
+
+    /// Runs MLS inference over the worst `paths` paths of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn infer(
+        &mut self,
+        spec: &SessionSpec,
+        paths: Option<u64>,
+    ) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::infer(id, spec.clone(), paths))
+    }
+
+    /// Fetches server stats (plus session stats for `spec` if cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn stats(&mut self, spec: &SessionSpec) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::stats(id, spec.clone()))
+    }
+
+    /// Runs the full flow for `spec` on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn run_flow(&mut self, spec: &SessionSpec) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::run_flow(id, spec.clone()))
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn shutdown(&mut self) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::shutdown(id))
+    }
+}

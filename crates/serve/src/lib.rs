@@ -1,0 +1,33 @@
+//! **gnnmls-serve** — a batched, backpressured what-if/inference daemon
+//! with a warm design cache.
+//!
+//! The GNN-MLS flow's expensive part is the cold start: generate,
+//! place, (train,) route, and analyze a design before the first what-if
+//! or inference query can be answered. This crate keeps that state
+//! **warm** in a long-lived daemon:
+//!
+//! - [`protocol`] — length-prefixed JSON frames with typed errors for
+//!   every malformed/truncated/oversized/stalled case;
+//! - [`server`] — acceptor + bounded job queue (explicit `Busy`
+//!   backpressure, never unbounded growth) + worker pool with inference
+//!   micro-batching + LRU session cache + graceful drain-on-shutdown;
+//! - [`client`] — a small blocking client the `gnnmls client` CLI and
+//!   the tests use.
+//!
+//! Determinism contract: a warm answer is bit-identical to the one-shot
+//! CLI computing the same query, and a micro-batched inference response
+//! is bit-identical to the unbatched one (asserted in the tests).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{
+    read_frame, read_frame_idle, write_frame, FrameError, Request, RequestKind, Response,
+    ResponseKind, ServerStats, MAX_FRAME,
+};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,533 @@
+//! The serve wire protocol: length-prefixed JSON frames.
+//!
+//! Every message on the socket is one **frame**: a 4-byte big-endian
+//! payload length followed by exactly that many bytes of UTF-8 JSON.
+//! Frames larger than [`MAX_FRAME`] are refused in both directions with
+//! a typed [`FrameError::TooLarge`] — a misbehaving peer can make the
+//! server drop its connection, never allocate without bound.
+//!
+//! Reading is defensive by construction: a clean EOF at a frame
+//! boundary is [`FrameError::Closed`], an EOF inside a frame is
+//! [`FrameError::Truncated`], a read timeout inside a frame is
+//! [`FrameError::Stalled`], and any payload that is not valid JSON for
+//! the expected schema is [`FrameError::Malformed`]. None of these
+//! panic or wedge the reader.
+//!
+//! The [`gnnmls_faults::FaultSite::FrameCorrupt`] seam flips a byte in
+//! an outgoing payload, so tests can drive the malformed-frame path
+//! deterministically from either end of the socket.
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use gnn_mls::session::{InferResult, SessionSpec, SessionStats, WhatIfResult};
+
+/// Maximum frame payload size (8 MiB) accepted on read or write.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Default number of worst paths an `InferMls` request covers when the
+/// request leaves `paths` unset.
+pub const DEFAULT_INFER_PATHS: u64 = 32;
+
+/// Errors raised encoding, transporting, or decoding a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The frame payload exceeds [`MAX_FRAME`].
+    TooLarge {
+        /// Declared or attempted payload length.
+        len: usize,
+        /// The limit it exceeded.
+        max: usize,
+    },
+    /// The payload is not UTF-8 JSON matching the expected schema.
+    Malformed(String),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// The peer closed the connection in the middle of a frame.
+    Truncated,
+    /// The peer stopped sending in the middle of a frame (read timeout).
+    Stalled,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Truncated => f.write_str("connection closed mid-frame"),
+            FrameError::Stalled => f.write_str("connection stalled mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// What a [`Request`] asks the daemon to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Detached what-if route of one net under an MLS override.
+    WhatIf,
+    /// MLS inference over the session's worst timing paths.
+    InferMls,
+    /// Full flow run for the spec (place, learn, route, STA, report).
+    RunFlow,
+    /// Server + (cached) session statistics.
+    Stats,
+    /// Graceful drain: flush in-flight work, then exit.
+    Shutdown,
+}
+
+/// One request frame. Every field key is always present on the wire
+/// (the in-repo serde requires it); fields a kind does not use are
+/// `null`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Caller-chosen id, echoed verbatim in the [`Response`].
+    pub id: u64,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Which warm session to do it against.
+    pub spec: SessionSpec,
+    /// `WhatIf`: the net to query.
+    pub net: Option<u32>,
+    /// `WhatIf`: force MLS on (`true`, default) or off.
+    pub allow_mls: Option<bool>,
+    /// `WhatIf`: per-request deadline as an A* expansion budget; a
+    /// starved budget degrades to pattern routes instead of hanging.
+    pub deadline_expansions: Option<u64>,
+    /// `InferMls`: how many worst paths to cover (default
+    /// [`DEFAULT_INFER_PATHS`]).
+    pub paths: Option<u64>,
+}
+
+impl Request {
+    fn bare(id: u64, kind: RequestKind, spec: SessionSpec) -> Self {
+        Self {
+            id,
+            kind,
+            spec,
+            net: None,
+            allow_mls: None,
+            deadline_expansions: None,
+            paths: None,
+        }
+    }
+
+    /// A `WhatIf` request.
+    pub fn what_if(
+        id: u64,
+        spec: SessionSpec,
+        net: u32,
+        allow_mls: bool,
+        deadline_expansions: Option<u64>,
+    ) -> Self {
+        Self {
+            net: Some(net),
+            allow_mls: Some(allow_mls),
+            deadline_expansions,
+            ..Self::bare(id, RequestKind::WhatIf, spec)
+        }
+    }
+
+    /// An `InferMls` request.
+    pub fn infer(id: u64, spec: SessionSpec, paths: Option<u64>) -> Self {
+        Self {
+            paths,
+            ..Self::bare(id, RequestKind::InferMls, spec)
+        }
+    }
+
+    /// A `RunFlow` request.
+    pub fn run_flow(id: u64, spec: SessionSpec) -> Self {
+        Self::bare(id, RequestKind::RunFlow, spec)
+    }
+
+    /// A `Stats` request (session stats are reported for `spec` when it
+    /// is cached).
+    pub fn stats(id: u64, spec: SessionSpec) -> Self {
+        Self::bare(id, RequestKind::Stats, spec)
+    }
+
+    /// A `Shutdown` request; the spec is ignored.
+    pub fn shutdown(id: u64) -> Self {
+        Self::bare(id, RequestKind::Shutdown, SessionSpec::new("maeri16"))
+    }
+}
+
+/// How a [`Response`] ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResponseKind {
+    /// The request was served; the matching payload field is set.
+    Ok,
+    /// The job queue was full; the request was shed. Retry later.
+    Busy,
+    /// The request failed; `error` explains why.
+    Error,
+}
+
+/// Server-side counters, included in every `Stats` response and in the
+/// final drain checkpoint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests answered (any kind, including errors).
+    pub served: u64,
+    /// Requests shed with `Busy` because the queue was full.
+    pub busy: u64,
+    /// Requests answered with `Error`.
+    pub errors: u64,
+    /// Queries answered from an already-warm session.
+    pub cache_hits: u64,
+    /// Queries that had to cold-build a session.
+    pub cache_misses: u64,
+    /// Sessions evicted to respect the cache capacity.
+    pub cache_evictions: u64,
+    /// Sessions currently held warm.
+    pub cached_sessions: u64,
+    /// Inference requests answered from a coalesced (size > 1) forward
+    /// pass.
+    pub batched_inferences: u64,
+    /// Largest inference micro-batch coalesced so far.
+    pub max_batch: u64,
+    /// Stats of the requested spec's session, when it is cached.
+    pub session: Option<SessionStats>,
+}
+
+/// One response frame; `id` echoes the request. Exactly one payload
+/// field is set for `Ok`, none for `Busy`, and `error` for `Error`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of [`Request::id`] (0 when the request could not be parsed).
+    pub id: u64,
+    /// Outcome.
+    pub kind: ResponseKind,
+    /// `WhatIf` payload.
+    pub what_if: Option<WhatIfResult>,
+    /// `InferMls` payload.
+    pub infer: Option<InferResult>,
+    /// `Stats` payload.
+    pub stats: Option<ServerStats>,
+    /// `RunFlow` payload: the pretty-printed `FlowReport` JSON.
+    pub report_json: Option<String>,
+    /// `Error` payload.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// An `Ok` response with no payload yet.
+    pub fn ok(id: u64) -> Self {
+        Self {
+            id,
+            kind: ResponseKind::Ok,
+            what_if: None,
+            infer: None,
+            stats: None,
+            report_json: None,
+            error: None,
+        }
+    }
+
+    /// A `Busy` response (queue full; retry later).
+    pub fn busy(id: u64) -> Self {
+        Self {
+            kind: ResponseKind::Busy,
+            ..Self::ok(id)
+        }
+    }
+
+    /// An `Error` response.
+    pub fn error(id: u64, why: impl fmt::Display) -> Self {
+        Self {
+            kind: ResponseKind::Error,
+            error: Some(why.to_string()),
+            ..Self::ok(id)
+        }
+    }
+
+    /// Attaches a what-if payload.
+    pub fn with_what_if(mut self, w: WhatIfResult) -> Self {
+        self.what_if = Some(w);
+        self
+    }
+
+    /// Attaches an inference payload.
+    pub fn with_infer(mut self, i: InferResult) -> Self {
+        self.infer = Some(i);
+        self
+    }
+
+    /// Attaches a stats payload.
+    pub fn with_stats(mut self, s: ServerStats) -> Self {
+        self.stats = Some(s);
+        self
+    }
+
+    /// Attaches a flow-report payload.
+    pub fn with_report(mut self, json: String) -> Self {
+        self.report_json = Some(json);
+        self
+    }
+}
+
+/// Writes one frame.
+///
+/// The [`gnnmls_faults::FaultSite::FrameCorrupt`] seam flips a byte of
+/// the payload after the length is computed, so the peer sees a
+/// well-framed but malformed message.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the encoded payload exceeds
+/// [`MAX_FRAME`], [`FrameError::Io`] on socket failure.
+pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(msg).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    let mut payload = json.into_bytes();
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::TooLarge {
+            len: payload.len(),
+            max: MAX_FRAME,
+        });
+    }
+    if gnnmls_faults::fire(gnnmls_faults::FaultSite::FrameCorrupt) {
+        if let Some(b) = payload.first_mut() {
+            // '{' ^ 0x20 == '[': still a frame, no longer the schema.
+            *b ^= 0x20;
+        }
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Reads one frame, tolerating idle timeouts between frames.
+///
+/// `keep_going` is consulted whenever the reader times out with **no**
+/// bytes of the next frame read yet; returning `false` yields
+/// `Ok(None)` (the server uses this to notice shutdown while a
+/// connection idles). A timeout *inside* a frame is a
+/// [`FrameError::Stalled`] — a slow or wedged peer cannot pin the
+/// reader forever.
+///
+/// # Errors
+///
+/// See [`FrameError`]; every failure mode is typed, none panic.
+pub fn read_frame_idle<T, R, F>(r: &mut R, keep_going: F) -> Result<Option<T>, FrameError>
+where
+    T: Deserialize,
+    R: Read,
+    F: Fn() -> bool,
+{
+    let mut head = [0u8; 4];
+    let mut got = 0usize;
+    while got < head.len() {
+        if got == 0 && !keep_going() {
+            return Ok(None);
+        }
+        match r.read(&mut head[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if got > 0 {
+                    return Err(FrameError::Stalled);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(head) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => return Err(FrameError::Stalled),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let json =
+        std::str::from_utf8(&payload).map_err(|_| FrameError::Malformed("not utf-8".into()))?;
+    match serde_json::from_str(json) {
+        Ok(v) => Ok(Some(v)),
+        Err(e) => Err(FrameError::Malformed(e.to_string())),
+    }
+}
+
+/// Reads one frame, blocking until it arrives or the stream fails.
+///
+/// # Errors
+///
+/// See [`FrameError`].
+pub fn read_frame<T: Deserialize, R: Read>(r: &mut R) -> Result<T, FrameError> {
+    match read_frame_idle(r, || true)? {
+        Some(v) => Ok(v),
+        // Unreachable with `keep_going` always true; typed for safety.
+        None => Err(FrameError::Closed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SessionSpec {
+        SessionSpec::fast("maeri16")
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let req = Request::what_if(7, spec(), 42, true, Some(1000));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req).unwrap();
+        let back: Request = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(req, back);
+
+        let resp = Response::error(7, "nope");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &resp).unwrap();
+        let back: Response = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn busy_and_payload_builders() {
+        let b = Response::busy(3);
+        assert_eq!(b.kind, ResponseKind::Busy);
+        assert_eq!(b.id, 3);
+        let r = Request::shutdown(1);
+        assert_eq!(r.kind, RequestKind::Shutdown);
+        let r = Request::infer(2, spec(), None);
+        assert!(r.paths.is_none());
+        let r = Request::stats(4, spec());
+        assert_eq!(r.kind, RequestKind::Stats);
+        let r = Request::run_flow(5, spec());
+        assert_eq!(r.kind, RequestKind::RunFlow);
+    }
+
+    #[test]
+    fn empty_stream_is_closed_partial_header_is_truncated() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame::<Request, _>(&mut { empty }),
+            Err(FrameError::Closed)
+        ));
+        let partial: &[u8] = &[0, 0];
+        assert!(matches!(
+            read_frame::<Request, _>(&mut { partial }),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_typed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::stats(1, spec())).unwrap();
+        for cut in 5..wire.len() {
+            let mut short = &wire[..cut];
+            assert!(
+                matches!(
+                    read_frame::<Request, _>(&mut short),
+                    Err(FrameError::Truncated)
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_both_ways() {
+        // Read side: a header that declares more than MAX_FRAME.
+        let mut wire = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(b"xx");
+        assert!(matches!(
+            read_frame::<Request, _>(&mut wire.as_slice()),
+            Err(FrameError::TooLarge { .. })
+        ));
+        // Write side: a payload that would exceed MAX_FRAME.
+        let huge = "x".repeat(MAX_FRAME + 1);
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &huge),
+            Err(FrameError::TooLarge { .. })
+        ));
+        assert!(sink.is_empty(), "nothing written for a refused frame");
+    }
+
+    #[test]
+    fn garbage_json_is_malformed_not_a_panic() {
+        for payload in [&b"not json at all"[..], b"[1,2,3]", b"{\"id\":true}"] {
+            let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+            wire.extend_from_slice(payload);
+            assert!(matches!(
+                read_frame::<Request, _>(&mut wire.as_slice()),
+                Err(FrameError::Malformed(_))
+            ));
+        }
+        // Invalid UTF-8 as well.
+        let mut wire = 2u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            read_frame::<Response, _>(&mut wire.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_corrupt_fault_yields_malformed() {
+        let plan = gnnmls_faults::FaultPlan::single(gnnmls_faults::FaultSite::FrameCorrupt, 1);
+        let guard = gnnmls_faults::install(&plan);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::stats(9, spec())).unwrap();
+        assert!(matches!(
+            read_frame::<Request, _>(&mut wire.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+        // One shot only: the next frame is clean.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::stats(10, spec())).unwrap();
+        let back: Request = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(back.id, 10);
+        drop(guard);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FrameError::Stalled.to_string().contains("stalled"));
+        assert!(FrameError::Truncated.to_string().contains("mid-frame"));
+        let e = FrameError::TooLarge { len: 9, max: 8 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,588 @@
+//! The serve daemon: acceptor, bounded job queue, worker pool, and the
+//! warm session cache.
+//!
+//! One thread accepts connections; each connection gets a reader thread
+//! that parses frames and pushes jobs onto a
+//! [`gnnmls_par::queue::BoundedQueue`]. The push **never blocks**: a
+//! full queue sheds the request with a typed `Busy` response, so memory
+//! use is bounded no matter how many clients pile on. A small worker
+//! pool pops jobs; when a worker picks up an `InferMls` job it drains
+//! whatever else is queued and coalesces the inference requests that
+//! share a session into **one** batched model forward pass
+//! ([`gnn_mls::GnnMls::predict_paths`]), splitting the probabilities
+//! back per request — bit-identical to serving them one by one.
+//!
+//! Sessions are cached warm in an LRU keyed by
+//! [`SessionSpec::cache_key`]; a hit answers a what-if with a usage-map
+//! restore plus one detached search instead of a full place + route +
+//! train, which is the ≥10× the bench records. Builds are serialized by
+//! a dedicated lock so a thundering herd on a cold spec builds once.
+//!
+//! Shutdown (a client `Shutdown` frame or [`Server::shutdown`]) is a
+//! drain, not an abort: the queue closes, workers finish every queued
+//! job, every in-flight response is flushed, and the final
+//! [`ServerStats`] are written as a versioned stage-checkpoint envelope
+//! when a checkpoint directory is configured.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gnn_mls::checkpoint::save_stage;
+use gnn_mls::session::{run_flow_for_spec, DesignSession, SessionError, SessionSpec};
+use gnnmls_faults::{fire, FaultSite};
+use gnnmls_par::queue::{BoundedQueue, PushError};
+
+use crate::protocol::{
+    read_frame_idle, write_frame, FrameError, Request, RequestKind, Response, ResponseKind,
+    ServerStats, DEFAULT_INFER_PATHS,
+};
+
+/// Stage name of the final drain checkpoint envelope.
+pub const STATS_STAGE: &str = "serve-stats";
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Job-queue capacity; pushes beyond it are shed as `Busy`.
+    pub queue_capacity: usize,
+    /// Worker threads popping the queue.
+    pub workers: usize,
+    /// Warm sessions kept before LRU eviction.
+    pub cache_capacity: usize,
+    /// Socket read timeout; an idle timeout re-checks shutdown, a
+    /// mid-frame timeout is a typed stall.
+    pub read_timeout_ms: u64,
+    /// Where the final [`ServerStats`] envelope is written on drain.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 64,
+            workers: 2,
+            cache_capacity: 4,
+            read_timeout_ms: 100,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// LRU cache of warm sessions keyed by [`SessionSpec::cache_key`].
+struct SessionCache {
+    capacity: usize,
+    map: HashMap<u64, Arc<DesignSession>>,
+    order: VecDeque<u64>,
+}
+
+impl SessionCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<DesignSession>> {
+        let s = Arc::clone(self.map.get(&key)?);
+        self.touch(key);
+        Some(s)
+    }
+
+    /// Like `get` but without refreshing recency (stats peeking).
+    fn peek(&self, key: u64) -> Option<Arc<DesignSession>> {
+        self.map.get(&key).map(Arc::clone)
+    }
+
+    /// Inserts, returning how many sessions were evicted.
+    fn insert(&mut self, key: u64, session: Arc<DesignSession>) -> u64 {
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) {
+            while self.map.len() >= self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.map.remove(&old);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.map.insert(key, session);
+        self.touch(key);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    batched_inferences: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<SessionCache>,
+    /// Serializes cold builds so a thundering herd builds once.
+    build_lock: Mutex<()>,
+    counters: Counters,
+    running: AtomicBool,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Warm lookup or serialized cold build of the session for `spec`.
+    fn session(&self, spec: &SessionSpec) -> Result<Arc<DesignSession>, SessionError> {
+        let key = spec.cache_key();
+        if let Some(s) = lock(&self.cache).get(key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
+            return Ok(s);
+        }
+        let _build = lock(&self.build_lock);
+        if let Some(s) = lock(&self.cache).get(key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
+            return Ok(s);
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::SeqCst);
+        let built = Arc::new(DesignSession::build(spec)?);
+        let evicted = lock(&self.cache).insert(key, Arc::clone(&built));
+        self.counters
+            .cache_evictions
+            .fetch_add(evicted, Ordering::SeqCst);
+        Ok(built)
+    }
+
+    fn server_stats(&self, session_key: Option<u64>) -> ServerStats {
+        let c = &self.counters;
+        let cache = lock(&self.cache);
+        ServerStats {
+            served: c.served.load(Ordering::SeqCst),
+            busy: c.busy.load(Ordering::SeqCst),
+            errors: c.errors.load(Ordering::SeqCst),
+            cache_hits: c.cache_hits.load(Ordering::SeqCst),
+            cache_misses: c.cache_misses.load(Ordering::SeqCst),
+            cache_evictions: c.cache_evictions.load(Ordering::SeqCst),
+            cached_sessions: cache.len() as u64,
+            batched_inferences: c.batched_inferences.load(Ordering::SeqCst),
+            max_batch: c.max_batch.load(Ordering::SeqCst),
+            session: session_key.and_then(|k| cache.peek(k)).map(|s| s.stats()),
+        }
+    }
+
+    fn respond(&self, job: Job, resp: Response) {
+        if resp.kind == ResponseKind::Error {
+            self.counters.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        self.counters.served.fetch_add(1, Ordering::SeqCst);
+        // A vanished client is not a server problem.
+        let _ = job.reply.send(resp);
+    }
+
+    fn what_if_response(&self, req: &Request) -> Response {
+        let Some(net) = req.net else {
+            return Response::error(req.id, "what-if request is missing `net`");
+        };
+        let session = match self.session(&req.spec) {
+            Ok(s) => s,
+            Err(e) => return Response::error(req.id, e),
+        };
+        let budget = req.deadline_expansions.map(|e| e as usize);
+        match session.what_if(net, req.allow_mls.unwrap_or(true), budget) {
+            Ok(w) => Response::ok(req.id).with_what_if(w),
+            Err(e) => Response::error(req.id, e),
+        }
+    }
+
+    /// Serves a group of `InferMls` jobs that share one spec with a
+    /// single batched forward pass.
+    fn infer_group(&self, group: Vec<Job>) {
+        let Some(first) = group.first() else { return };
+        let n = group.len() as u64;
+        self.counters.max_batch.fetch_max(n, Ordering::SeqCst);
+        if n > 1 {
+            self.counters
+                .batched_inferences
+                .fetch_add(n, Ordering::SeqCst);
+        }
+        let session = match self.session(&first.req.spec) {
+            Ok(s) => s,
+            Err(e) => {
+                let why = e.to_string();
+                for job in group {
+                    let id = job.req.id;
+                    self.respond(job, Response::error(id, &why));
+                }
+                return;
+            }
+        };
+        let ks: Vec<usize> = group
+            .iter()
+            .map(|j| {
+                (j.req.paths.unwrap_or(DEFAULT_INFER_PATHS) as usize).min(session.samples().len())
+            })
+            .collect();
+        let kmax = ks.iter().copied().max().unwrap_or(0);
+        let Some(model) = session.model() else {
+            for job in group {
+                let id = job.req.id;
+                self.respond(job, Response::error(id, SessionError::NoModel));
+            }
+            return;
+        };
+        // One forward pass covers the longest request; shorter requests
+        // reuse its probability prefix — identical to solo calls because
+        // predictions are per-sample.
+        let probs = match model.predict_paths(&session.samples()[..kmax]) {
+            Ok(p) => p,
+            Err(e) => {
+                let why = e.to_string();
+                for job in group {
+                    let id = job.req.id;
+                    self.respond(job, Response::error(id, &why));
+                }
+                return;
+            }
+        };
+        for (job, k) in group.into_iter().zip(ks) {
+            let result = session.infer_from_probs(k, &probs);
+            let id = job.req.id;
+            self.respond(job, Response::ok(id).with_infer(result));
+        }
+    }
+
+    fn handle(&self, job: Job) {
+        let req = &job.req;
+        let resp = match req.kind {
+            RequestKind::WhatIf => self.what_if_response(req),
+            RequestKind::InferMls => {
+                // Jobs normally reach inference via the batch path; a
+                // stray single is just a batch of one.
+                return self.infer_group(vec![job]);
+            }
+            RequestKind::RunFlow => match run_flow_for_spec(&req.spec) {
+                Ok(report) => match serde_json::to_string_pretty(&report) {
+                    Ok(json) => Response::ok(req.id).with_report(json),
+                    Err(e) => Response::error(req.id, e),
+                },
+                Err(e) => Response::error(req.id, e),
+            },
+            RequestKind::Stats => {
+                let stats = self.server_stats(Some(req.spec.cache_key()));
+                Response::ok(req.id).with_stats(stats)
+            }
+            // Shutdown is answered at the connection; never queued.
+            RequestKind::Shutdown => Response::ok(req.id),
+        };
+        self.respond(job, resp);
+    }
+
+    fn handle_batch(&self, jobs: Vec<Job>) {
+        let mut groups: HashMap<u64, Vec<Job>> = HashMap::new();
+        let mut rest = Vec::new();
+        for job in jobs {
+            if job.req.kind == RequestKind::InferMls {
+                groups
+                    .entry(job.req.spec.cache_key())
+                    .or_default()
+                    .push(job);
+            } else {
+                rest.push(job);
+            }
+        }
+        for (_, group) in groups {
+            self.infer_group(group);
+        }
+        for job in rest {
+            self.handle(job);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        if job.req.kind == RequestKind::InferMls {
+            // Micro-batch: coalesce whatever queued up behind this job.
+            let mut jobs = vec![job];
+            jobs.extend(shared.queue.drain());
+            shared.handle_batch(jobs);
+        } else {
+            shared.handle(job);
+        }
+    }
+}
+
+fn conn_loop(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    let _ = stream.set_nodelay(true);
+    loop {
+        // Deterministic stall seam: treat this connection as a wedged
+        // client without waiting out a real socket timeout.
+        if fire(FaultSite::SlowClientStall) {
+            let _ = write_frame(&mut stream, &Response::error(0, FrameError::Stalled));
+            return;
+        }
+        let req: Request =
+            match read_frame_idle(&mut stream, || shared.running.load(Ordering::SeqCst)) {
+                Ok(Some(req)) => req,
+                Ok(None) | Err(FrameError::Closed) => return,
+                Err(e @ FrameError::Malformed(_)) => {
+                    // The length prefix already consumed the bad payload,
+                    // so the stream is still frame-aligned: answer with a
+                    // typed error and keep serving this client.
+                    if write_frame(&mut stream, &Response::error(0, e)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    // Oversized, truncated, stalled, or broken: the
+                    // stream cannot be trusted to be frame-aligned any
+                    // more. One best-effort typed error, then close.
+                    let _ = write_frame(&mut stream, &Response::error(0, e));
+                    return;
+                }
+            };
+        if req.kind == RequestKind::Shutdown {
+            let _ = write_frame(&mut stream, &Response::ok(req.id));
+            shared.begin_shutdown();
+            return;
+        }
+        let id = req.id;
+        let (tx, rx) = mpsc::channel();
+        match shared.queue.try_push(Job { req, reply: tx }) {
+            Ok(()) => {
+                let resp = rx
+                    .recv()
+                    .unwrap_or_else(|_| Response::error(id, "server dropped the job"));
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            Err((_, PushError::Full)) => {
+                shared.counters.busy.fetch_add(1, Ordering::SeqCst);
+                if write_frame(&mut stream, &Response::busy(id)).is_err() {
+                    return;
+                }
+            }
+            Err((_, PushError::Closed)) => {
+                let _ = write_frame(&mut stream, &Response::error(id, "server is shutting down"));
+                return;
+            }
+        }
+    }
+}
+
+/// A running daemon; dropping it drains gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    final_stats: Option<ServerStats>,
+}
+
+impl Server {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            cache: Mutex::new(SessionCache::new(cfg.cache_capacity)),
+            build_lock: Mutex::new(()),
+            counters: Counters::default(),
+            running: AtomicBool::new(true),
+            cfg,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if !accept_shared.running.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = std::thread::spawn(move || conn_loop(&conn_shared, stream));
+                lock(&accept_conns).push(handle);
+            }
+        });
+
+        let workers = (0..workers)
+            .map(|_| {
+                let worker_shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&worker_shared))
+            })
+            .collect();
+
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+            final_stats: None,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether the daemon is still accepting work.
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Current counters (no session payload).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.server_stats(None)
+    }
+
+    /// Blocks until a client `Shutdown` request arrives, then drains and
+    /// returns the final stats.
+    pub fn wait(mut self) -> ServerStats {
+        while self.is_running() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.drain()
+    }
+
+    /// Initiates shutdown locally, drains, and returns the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.begin_shutdown();
+        self.drain()
+    }
+
+    fn drain(&mut self) -> ServerStats {
+        self.shared.begin_shutdown();
+        // Unblock the acceptor's blocking accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Workers exit once the closed queue is empty — every queued job
+        // still gets its response (drain, not abort).
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let conn_handles: Vec<_> = lock(&self.conns).drain(..).collect();
+        for conn in conn_handles {
+            let _ = conn.join();
+        }
+        let stats = self.shared.server_stats(None);
+        if let Some(dir) = &self.shared.cfg.checkpoint_dir {
+            if let Err(e) = save_stage(dir, STATS_STAGE, &stats) {
+                eprintln!("gnnmls-serve: could not write final stats checkpoint: {e}");
+            }
+        }
+        self.final_stats = Some(stats.clone());
+        stats
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.final_stats.is_none() {
+            self.drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_session() -> Arc<DesignSession> {
+        // Building real sessions is covered by integration tests; the
+        // LRU logic only needs distinct Arc identities.
+        static SESSION: Mutex<Option<Arc<DesignSession>>> = Mutex::new(None);
+        let mut slot = lock(&SESSION);
+        if slot.is_none() {
+            *slot = Some(Arc::new(
+                DesignSession::build(&SessionSpec::fast("maeri16")).unwrap(),
+            ));
+        }
+        Arc::clone(slot.as_ref().unwrap())
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest_and_counts() {
+        let s = dummy_session();
+        let mut cache = SessionCache::new(2);
+        assert_eq!(cache.insert(1, Arc::clone(&s)), 0);
+        assert_eq!(cache.insert(2, Arc::clone(&s)), 0);
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.insert(3, Arc::clone(&s)), 1);
+        assert!(cache.peek(2).is_none(), "2 was least-recently used");
+        assert!(cache.peek(1).is_some());
+        assert!(cache.peek(3).is_some());
+        assert_eq!(cache.len(), 2);
+        // Reinserting an existing key never evicts.
+        assert_eq!(cache.insert(1, Arc::clone(&s)), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_holds_one() {
+        let s = dummy_session();
+        let mut cache = SessionCache::new(0);
+        assert_eq!(cache.insert(1, Arc::clone(&s)), 0);
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.insert(2, s), 1);
+        assert!(cache.peek(1).is_none());
+    }
+}
