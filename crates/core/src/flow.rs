@@ -196,6 +196,16 @@ pub enum FlowError {
     InconsistentPath,
     /// A worker panic that reproduced on the serial retry.
     Par(gnnmls_par::ParError),
+    /// The invariant auditor found a stage output violating the
+    /// contracts downstream stages assume (see [`crate::audit`]).
+    AuditFailed {
+        /// Which stage's output failed the audit.
+        stage: String,
+        /// How many invariants were violated (capped at a screenful).
+        violations: usize,
+        /// The first violation, rendered.
+        first: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -212,6 +222,14 @@ impl fmt::Display for FlowError {
                 write!(f, "path sample disagrees with the design's routes")
             }
             FlowError::Par(e) => write!(f, "parallel fan-out: {e}"),
+            FlowError::AuditFailed {
+                stage,
+                violations,
+                first,
+            } => write!(
+                f,
+                "audit failed after stage `{stage}`: {violations} violation(s), first: {first}"
+            ),
         }
     }
 }
@@ -341,6 +359,9 @@ pub fn run_flow(
     let report_stage = format!("report-{slug}");
     if let Some(dir) = &cfg.resume {
         if let Some(report) = load_stage::<FlowReport>(dir, &report_stage)? {
+            // A resumed report skips every recomputation below, so prove
+            // the envelope describes *this* run before trusting it.
+            crate::audit::check_report(&report, design.netlist.name(), policy)?;
             return Ok(report);
         }
     }
@@ -409,6 +430,16 @@ pub fn run_flow(
         cfg.route_cfg().pdn_top_util_logic,
         cfg.route_cfg().pdn_top_util_memory,
     );
+    // Post-stage audit: whether the DB was just routed or resumed from
+    // a checkpoint, prove its invariants before STA consumes it.
+    crate::audit::check_routes(
+        &netlist,
+        &grid,
+        &route_policy,
+        &routes,
+        gnnmls_route::AuditMode::Full,
+        &format!("routes-{slug}"),
+    )?;
     let mut timing = analyze(&netlist, &routes, sta_cfg)?;
 
     // Optional MLS DFT ECO: logical coverage first (pre-ECO routes define
@@ -441,8 +472,21 @@ pub fn run_flow(
                 allowed.insert(child);
             }
             let post_policy = MlsPolicy::per_net_from(&netlist, allowed.iter().copied());
-            let (r2, _post_grid) =
-                route_design(&netlist, &placement, tech, post_policy, cfg.route_cfg())?;
+            let (r2, post_grid) = route_design(
+                &netlist,
+                &placement,
+                tech,
+                post_policy.clone(),
+                cfg.route_cfg(),
+            )?;
+            crate::audit::check_routes(
+                &netlist,
+                &post_grid,
+                &post_policy,
+                &r2,
+                gnnmls_route::AuditMode::Full,
+                "dft-reroute",
+            )?;
             routes = r2;
             timing = analyze(&netlist, &routes, sta_cfg)?;
         }

@@ -44,6 +44,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod audit;
 pub mod checkpoint;
 pub mod features;
 pub mod flow;
@@ -53,11 +54,13 @@ pub mod paths;
 pub mod report;
 pub mod session;
 
+pub use audit::{check_report, check_routes};
 pub use checkpoint::{CheckpointError, ModelCheckpoint};
 pub use features::{node_features, FeatureScaler, FEATURE_DIM};
 pub use flow::{run_flow, FlowConfig, FlowError, FlowPolicy};
+pub use gnnmls_route::{AuditMode, AuditViolation};
 pub use model::{GnnMls, ModelConfig};
 pub use oracle::{label_paths, net_mls_impact, NetImpact, OracleConfig};
 pub use paths::{extract_path_samples, PathSample};
 pub use report::FlowReport;
-pub use session::{DesignSession, SessionError, SessionSpec};
+pub use session::{DesignSession, SessionError, SessionSpec, ValidationError};

@@ -26,7 +26,7 @@ use gnnmls_netlist::generators::{
 use gnnmls_netlist::tech::TechConfig;
 use gnnmls_netlist::{NetId, Netlist};
 use gnnmls_phys::Placement;
-use gnnmls_route::{MlsOverride, MlsPolicy, RouteConfig, RouteDb, Router};
+use gnnmls_route::{AuditMode, MlsOverride, MlsPolicy, RouteConfig, RouteDb, Router, RoutingGrid};
 use gnnmls_sta::{analyze, StaConfig};
 
 use crate::checkpoint::fnv1a64;
@@ -68,6 +68,59 @@ pub fn build_tech(tech: &str, design: &str) -> Option<TechConfig> {
         _ => None,
     }
 }
+
+/// Upper bound on a plausible target frequency, MHz. Anything above
+/// this is a garbled request, not an aggressive design.
+pub const MAX_FREQ_MHZ: f64 = 100_000.0;
+
+/// Why a spec or request was refused at admission, before any build
+/// work (or queue slot) was spent on it. This is the typed taxonomy a
+/// serve client sees for a bad request: deterministic, permanent
+/// (retrying the same request cannot succeed), and never a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// The design name is not in [`DESIGNS`].
+    UnknownDesign(String),
+    /// The technology name is not `hetero` or `homo`.
+    UnknownTech(String),
+    /// The target frequency is not a finite positive number within
+    /// [`MAX_FREQ_MHZ`].
+    BadFrequency(f64),
+    /// A what-if request without a net id.
+    MissingNet,
+    /// A request deadline of zero expansions (nothing can route) or
+    /// beyond any configured budget.
+    BadDeadline(u64),
+    /// An inference path count of zero or beyond the server's limit.
+    BadPaths {
+        /// Requested count.
+        got: u64,
+        /// The server's limit.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownDesign(d) => write!(f, "unknown design `{d}`"),
+            ValidationError::UnknownTech(t) => write!(f, "unknown tech `{t}` (hetero|homo)"),
+            ValidationError::BadFrequency(v) => write!(
+                f,
+                "target frequency {v} MHz is not a finite positive value <= {MAX_FREQ_MHZ}"
+            ),
+            ValidationError::MissingNet => write!(f, "what-if request carries no net id"),
+            ValidationError::BadDeadline(d) => {
+                write!(f, "deadline of {d} expansions is outside 1..=10000000")
+            }
+            ValidationError::BadPaths { got, max } => {
+                write!(f, "paths {got} outside 1..={max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
 
 /// Everything that identifies a warm session: the same spec always
 /// builds the same session, so it doubles as the cache key.
@@ -113,6 +166,32 @@ impl SessionSpec {
         self
     }
 
+    /// Deep-validates the spec without doing any build work: the design
+    /// and tech names must resolve, and the frequency must be a sane
+    /// finite positive value. This is the admission check the serve
+    /// daemon runs *before* taking a queue slot or the build lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing [`ValidationError`].
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if !self.target_freq_mhz.is_finite()
+            || self.target_freq_mhz <= 0.0
+            || self.target_freq_mhz > MAX_FREQ_MHZ
+        {
+            return Err(ValidationError::BadFrequency(self.target_freq_mhz));
+        }
+        if build_tech(&self.tech, &self.design).is_none() {
+            return Err(ValidationError::UnknownTech(self.tech.clone()));
+        }
+        // Existence only — don't generate the design, just check the name
+        // (generation is the expensive part admission must not pay).
+        if !DESIGNS.iter().any(|&(name, _)| name == self.design) {
+            return Err(ValidationError::UnknownDesign(self.design.clone()));
+        }
+        Ok(())
+    }
+
     /// The flow configuration this spec builds with.
     pub fn flow_config(&self) -> FlowConfig {
         if self.fast {
@@ -153,6 +232,12 @@ pub enum SessionError {
     /// Inference was requested on a session without a trained model
     /// (only `GnnMls`-policy sessions carry one).
     NoModel,
+    /// The spec or request failed admission validation (permanent —
+    /// retrying the same request cannot succeed).
+    Invalid(ValidationError),
+    /// The `build-fail` fault seam fired (deterministic build bomb used
+    /// to exercise the serve quarantine circuit breaker).
+    InjectedBuildFailure,
     /// A flow stage failed while building or querying.
     Flow(FlowError),
 }
@@ -168,6 +253,10 @@ impl fmt::Display for SessionError {
             SessionError::NoModel => {
                 write!(f, "session has no trained model (policy is not gnn-mls)")
             }
+            SessionError::Invalid(e) => write!(f, "invalid request: {e}"),
+            SessionError::InjectedBuildFailure => {
+                write!(f, "session build failed (injected build-fail fault)")
+            }
             SessionError::Flow(e) => write!(f, "{e}"),
         }
     }
@@ -178,6 +267,17 @@ impl std::error::Error for SessionError {}
 impl From<FlowError> for SessionError {
     fn from(e: FlowError) -> Self {
         SessionError::Flow(e)
+    }
+}
+impl From<ValidationError> for SessionError {
+    fn from(e: ValidationError) -> Self {
+        // Keep the long-standing variants for the two name failures so
+        // callers matching on them keep working.
+        match e {
+            ValidationError::UnknownDesign(d) => SessionError::UnknownDesign(d),
+            ValidationError::UnknownTech(t) => SessionError::UnknownTech(t),
+            other => SessionError::Invalid(other),
+        }
     }
 }
 impl From<gnnmls_route::RouteError> for SessionError {
@@ -263,6 +363,7 @@ pub struct DesignSession {
     route_policy: MlsPolicy,
     route_cfg: RouteConfig,
     routes: RouteDb,
+    grid: RoutingGrid,
     congestion_scale: f64,
     timing: SessionTiming,
     samples: Vec<PathSample>,
@@ -280,6 +381,12 @@ impl DesignSession {
     /// stage.
     pub fn build(spec: &SessionSpec) -> Result<Self, SessionError> {
         let t0 = Instant::now();
+        spec.validate().map_err(SessionError::from)?;
+        // Fault seam: a spec that validates but whose build bombs —
+        // the input the quarantine circuit breaker exists for.
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::SessionBuildFail) {
+            return Err(SessionError::InjectedBuildFailure);
+        }
         let tech = build_tech(&spec.tech, &spec.design)
             .ok_or_else(|| SessionError::UnknownTech(spec.tech.clone()))?;
         let design = build_design(&spec.design, &tech)
@@ -314,7 +421,19 @@ impl DesignSession {
         router.route_all()?;
         let routes = router.db()?;
         let congestion_scale = router.congestion_scale();
+        let grid = router.grid().clone();
         drop(router);
+
+        // Prove the freshly routed DB before anything downstream —
+        // STA here, and every warm query later — consumes it.
+        crate::audit::check_routes(
+            &netlist,
+            &grid,
+            &route_policy,
+            &routes,
+            gnnmls_route::AuditMode::Full,
+            "session-build",
+        )?;
 
         let report = analyze(&netlist, &routes, sta_cfg)?;
         let timing = SessionTiming {
@@ -334,6 +453,7 @@ impl DesignSession {
             route_policy,
             route_cfg,
             routes,
+            grid,
             congestion_scale,
             timing,
             samples,
@@ -345,6 +465,27 @@ impl DesignSession {
     /// The spec this session was built from.
     pub fn spec(&self) -> &SessionSpec {
         &self.spec
+    }
+
+    /// Re-audits the session's route DB. [`AuditMode::Cheap`] is what
+    /// the serve daemon runs on every warm cache hit — O(nets) recount
+    /// consistency, no global usage replay — so a session corrupted in
+    /// memory surfaces as a typed error instead of a wrong answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Flow`] wrapping
+    /// [`FlowError::AuditFailed`] when an invariant is violated.
+    pub fn audit(&self, mode: AuditMode) -> Result<(), SessionError> {
+        crate::audit::check_routes(
+            &self.netlist,
+            &self.grid,
+            &self.route_policy,
+            &self.routes,
+            mode,
+            "warm-session",
+        )
+        .map_err(SessionError::Flow)
     }
 
     /// The inference path samples held warm (worst paths first).
@@ -498,6 +639,7 @@ impl DesignSession {
 ///
 /// Returns [`SessionError`] for unknown names or a failing flow.
 pub fn run_flow_for_spec(spec: &SessionSpec) -> Result<FlowReport, SessionError> {
+    spec.validate().map_err(SessionError::from)?;
     let tech = build_tech(&spec.tech, &spec.design)
         .ok_or_else(|| SessionError::UnknownTech(spec.tech.clone()))?;
     let design = build_design(&spec.design, &tech)
@@ -528,6 +670,64 @@ mod tests {
             DesignSession::build(&spec),
             Err(SessionError::UnknownTech(_))
         ));
+    }
+
+    #[test]
+    fn validation_catches_boundary_frequencies() {
+        for freq in [0.0, -5.0, f64::NAN, f64::INFINITY, MAX_FREQ_MHZ * 10.0] {
+            let mut spec = fast_spec();
+            spec.target_freq_mhz = freq;
+            assert!(
+                matches!(spec.validate(), Err(ValidationError::BadFrequency(_))),
+                "freq {freq} must be refused"
+            );
+            assert!(
+                matches!(
+                    DesignSession::build(&spec),
+                    Err(SessionError::Invalid(ValidationError::BadFrequency(_)))
+                ),
+                "build must refuse freq {freq} before any work"
+            );
+        }
+        fast_spec().validate().unwrap();
+        for (design, _) in DESIGNS {
+            SessionSpec::fast(design).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_build_failure_is_typed() {
+        let guard = gnnmls_faults::install(&gnnmls_faults::FaultPlan::single(
+            gnnmls_faults::FaultSite::SessionBuildFail,
+            1,
+        ));
+        assert!(matches!(
+            DesignSession::build(&fast_spec()),
+            Err(SessionError::InjectedBuildFailure)
+        ));
+        drop(guard);
+    }
+
+    #[test]
+    fn fresh_session_audits_clean_and_catches_corruption() {
+        let mut session = DesignSession::build(&fast_spec()).unwrap();
+        session.audit(AuditMode::Cheap).unwrap();
+        session.audit(AuditMode::Full).unwrap();
+        // Corrupt one edge count in memory: the cheap (warm-hit) audit
+        // must catch it.
+        let idx = session
+            .routes
+            .nets
+            .iter()
+            .position(|r| r.tree.nodes.len() > 1)
+            .unwrap();
+        session.routes.nets[idx].f2f_crossings += 1;
+        match session.audit(AuditMode::Cheap) {
+            Err(SessionError::Flow(FlowError::AuditFailed { stage, .. })) => {
+                assert_eq!(stage, "warm-session");
+            }
+            other => panic!("expected AuditFailed, got {other:?}"),
+        }
     }
 
     #[test]

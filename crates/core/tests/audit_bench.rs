@@ -1,0 +1,33 @@
+//! The invariant auditor must pass clean on the bench designs: a
+//! freshly built session (which already survived the Full post-build
+//! audit) re-audits clean in both modes, and its report envelope
+//! checks out against its own run.
+
+use gnn_mls::session::{DesignSession, SessionSpec, DESIGNS};
+use gnn_mls::AuditMode;
+
+fn audit_design(name: &str) {
+    let spec = SessionSpec::fast(name);
+    // `build` itself runs a Full audit post-route; re-run both modes on
+    // the warm session the way the serve daemon does on cache hits.
+    let session = DesignSession::build(&spec).unwrap_or_else(|e| panic!("{name}: build: {e}"));
+    session
+        .audit(AuditMode::Cheap)
+        .unwrap_or_else(|e| panic!("{name}: cheap audit: {e}"));
+    session
+        .audit(AuditMode::Full)
+        .unwrap_or_else(|e| panic!("{name}: full audit: {e}"));
+}
+
+#[test]
+fn auditor_is_clean_on_the_small_bench_designs() {
+    audit_design("maeri16");
+}
+
+#[test]
+#[ignore = "builds every bench design; run explicitly or via the CI soak job"]
+fn auditor_is_clean_on_every_bench_design() {
+    for (name, _) in DESIGNS {
+        audit_design(name);
+    }
+}

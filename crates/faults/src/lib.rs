@@ -40,10 +40,16 @@ pub enum FaultSite {
     SlowClientStall,
     /// Force the serve job queue to report itself full.
     QueueOverflow,
+    /// Bomb a `DesignSession` build with a typed failure (drives the
+    /// serve quarantine circuit breaker).
+    SessionBuildFail,
+    /// Corrupt one route-DB edge count as the DB is assembled (proves
+    /// the cross-stage invariant auditor fires).
+    RouteAuditCorrupt,
 }
 
 /// All sites, in the order used by seed-driven plans.
-pub const ALL_SITES: [FaultSite; 10] = [
+pub const ALL_SITES: [FaultSite; 12] = [
     FaultSite::CheckpointCorrupt,
     FaultSite::CheckpointTruncate,
     FaultSite::UnroutableNet,
@@ -54,6 +60,8 @@ pub const ALL_SITES: [FaultSite; 10] = [
     FaultSite::FrameCorrupt,
     FaultSite::SlowClientStall,
     FaultSite::QueueOverflow,
+    FaultSite::SessionBuildFail,
+    FaultSite::RouteAuditCorrupt,
 ];
 
 impl FaultSite {
@@ -69,6 +77,8 @@ impl FaultSite {
             FaultSite::FrameCorrupt => 7,
             FaultSite::SlowClientStall => 8,
             FaultSite::QueueOverflow => 9,
+            FaultSite::SessionBuildFail => 10,
+            FaultSite::RouteAuditCorrupt => 11,
         }
     }
 
@@ -84,6 +94,8 @@ impl FaultSite {
             "frame-corrupt" => Some(FaultSite::FrameCorrupt),
             "slow-client" => Some(FaultSite::SlowClientStall),
             "queue-overflow" => Some(FaultSite::QueueOverflow),
+            "build-fail" => Some(FaultSite::SessionBuildFail),
+            "audit-violation" => Some(FaultSite::RouteAuditCorrupt),
             _ => None,
         }
     }
@@ -102,6 +114,8 @@ impl fmt::Display for FaultSite {
             FaultSite::FrameCorrupt => "frame-corrupt",
             FaultSite::SlowClientStall => "slow-client",
             FaultSite::QueueOverflow => "queue-overflow",
+            FaultSite::SessionBuildFail => "build-fail",
+            FaultSite::RouteAuditCorrupt => "audit-violation",
         };
         f.write_str(s)
     }
@@ -218,6 +232,8 @@ static REMAINING: [AtomicU32; ALL_SITES.len()] = [
     AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
 ];
 
 fn install_lock() -> &'static Mutex<()> {
@@ -310,6 +326,15 @@ mod tests {
         assert_eq!(a.shots(FaultSite::WorkerPanic), 3);
         assert!(!a.is_empty());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn new_robustness_sites_are_registered() {
+        assert_eq!(ALL_SITES.len(), 12);
+        assert_eq!(ALL_SITES[10], FaultSite::SessionBuildFail);
+        assert_eq!(ALL_SITES[11], FaultSite::RouteAuditCorrupt);
+        assert_eq!(FaultSite::SessionBuildFail.to_string(), "build-fail");
+        assert_eq!(FaultSite::RouteAuditCorrupt.to_string(), "audit-violation");
     }
 
     #[test]

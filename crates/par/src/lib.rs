@@ -447,6 +447,22 @@ pub mod queue {
             Ok(())
         }
 
+        /// Re-enqueues a job at the *front* of the queue, bypassing the
+        /// capacity bound. For supervisors returning a job recovered
+        /// from a dead worker: the job was already admitted once, so it
+        /// must not be shed a second time. Fails only when the queue is
+        /// closed (the job belongs to the drain at that point).
+        pub fn requeue(&self, job: T) -> Result<(), (T, PushError)> {
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            if inner.closed {
+                return Err((job, PushError::Closed));
+            }
+            inner.jobs.push_front(job);
+            drop(inner);
+            self.ready.notify_one();
+            Ok(())
+        }
+
         /// Blocks until a job is available or the queue is closed and
         /// drained (`None`).
         pub fn pop(&self) -> Option<T> {
@@ -621,6 +637,27 @@ mod tests {
             Err((4, queue::PushError::Closed)) => {}
             other => panic!("expected Closed, got {other:?}"),
         }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_jumps_the_line() {
+        let q = queue::BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        // Full for new work, but a recovered job still goes back —
+        // at the front, so it is re-handled before later admissions.
+        assert!(matches!(q.try_push(3), Err((3, queue::PushError::Full))));
+        assert!(q.requeue(9).is_ok());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        match q.requeue(10) {
+            Err((10, queue::PushError::Closed)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
     }
 

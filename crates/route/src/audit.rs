@@ -1,0 +1,544 @@
+//! Route-DB invariant auditor.
+//!
+//! The router's output is consumed by STA, DFT, PDN, the oracle, and
+//! the serve daemon — none of which re-derive it. A corrupted or
+//! inconsistent [`RouteDb`] (bad checkpoint, bit-rot, a routing bug)
+//! would silently poison every downstream number. This module proves
+//! the DB against the invariants the router guarantees:
+//!
+//! - **Structure**: one entry per net in [`gnnmls_netlist::NetId`]
+//!   order; every tree is a well-formed arborescence (`parent[0] == 0`,
+//!   `parent[i] < i`), node ids fit the grid, consecutive parent/child
+//!   nodes are grid neighbors (a Manhattan step in-layer or a z±1 via),
+//!   sink records match the netlist's sink count.
+//! - **Edge bookkeeping**: per-net `f2f_crossings` and `wirelength_um`
+//!   equal a recount from the tree; `edge_f2f` flags mark exactly the
+//!   bond-crossing vias.
+//! - **MLS legality**: `is_mls` is exactly "single-die net occupying
+//!   the other die", and only where the [`MlsPolicy`] permits it
+//!   (never under `Disabled`, only flagged nets under `PerNet`).
+//! - **Capacity** ([`AuditMode::Full`] only): edge usage recomputed
+//!   from all trees never exceeds layer/F2F capacity except on nets
+//!   the router itself flagged `overflowed`; the summary's aggregates
+//!   (`f2f_pads`, counts, total wirelength) match the recount.
+//!
+//! [`AuditMode::Cheap`] skips the O(edges) usage recount and is meant
+//! to run on every serve warm cache hit; `Full` runs post-stage in the
+//! flow and after a session build.
+
+use std::fmt;
+
+use gnnmls_netlist::Netlist;
+
+use crate::db::RouteDb;
+use crate::grid::RoutingGrid;
+use crate::policy::MlsPolicy;
+use crate::tree::RouteTree;
+
+/// How much work the auditor does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Per-net structure + summary consistency, O(nets + tree nodes).
+    /// No global usage recount — safe to run on every warm cache hit.
+    Cheap,
+    /// Everything, including the O(edges) usage/capacity recount.
+    Full,
+}
+
+/// One violated invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditViolation {
+    /// Which invariant failed (stable, kebab-case).
+    pub check: &'static str,
+    /// The offending net's index, when the violation is per-net.
+    pub net: Option<u32>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.net {
+            Some(n) => write!(f, "{} (net {}): {}", self.check, n, self.detail),
+            None => write!(f, "{}: {}", self.check, self.detail),
+        }
+    }
+}
+
+/// Stop collecting after this many violations: a corrupt DB fails every
+/// net the same way, and one screenful is enough to diagnose it.
+const MAX_VIOLATIONS: usize = 64;
+
+struct Report {
+    violations: Vec<AuditViolation>,
+}
+
+impl Report {
+    fn push(&mut self, check: &'static str, net: Option<u32>, detail: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(AuditViolation { check, net, detail });
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.violations.len() >= MAX_VIOLATIONS
+    }
+}
+
+/// Audits `db` against `netlist`, `grid`, and the `policy` it was
+/// routed under. Returns every violated invariant (empty = clean),
+/// capped at a screenful.
+pub fn audit_route_db(
+    netlist: &Netlist,
+    grid: &RoutingGrid,
+    policy: &MlsPolicy,
+    db: &RouteDb,
+    mode: AuditMode,
+) -> Vec<AuditViolation> {
+    let mut rep = Report {
+        violations: Vec::new(),
+    };
+
+    if db.nets.len() != netlist.net_count() {
+        rep.push(
+            "net-count",
+            None,
+            format!(
+                "route DB has {} nets, netlist has {}",
+                db.nets.len(),
+                netlist.net_count()
+            ),
+        );
+        // Per-net checks index the netlist by position; bail here.
+        return rep.violations;
+    }
+
+    for (i, r) in db.nets.iter().enumerate() {
+        if rep.full() {
+            break;
+        }
+        let ni = i as u32;
+        if r.net.index() != i {
+            rep.push(
+                "net-order",
+                Some(ni),
+                format!("entry {} records net {}", i, r.net.index()),
+            );
+            continue;
+        }
+        if !tree_well_formed(&mut rep, ni, &r.tree, grid) {
+            continue;
+        }
+
+        let sinks = netlist.sinks(r.net).len();
+        if r.tree.sink_node.len() != sinks {
+            rep.push(
+                "sink-count",
+                Some(ni),
+                format!(
+                    "{} sink records for {} netlist sinks",
+                    r.tree.sink_node.len(),
+                    sinks
+                ),
+            );
+        }
+
+        let f2f = r.tree.f2f_crossings();
+        if r.f2f_crossings != f2f {
+            rep.push(
+                "f2f-recount",
+                Some(ni),
+                format!(
+                    "recorded {} F2F crossings, tree has {}",
+                    r.f2f_crossings, f2f
+                ),
+            );
+        }
+        let wl = r.tree.wirelength_um(grid);
+        if !close(r.wirelength_um, wl) {
+            rep.push(
+                "wirelength-recount",
+                Some(ni),
+                format!("recorded {} µm, tree measures {} µm", r.wirelength_um, wl),
+            );
+        }
+
+        // MLS legality: is_mls is exactly "2D net off its home die",
+        // and the policy must permit that net to leave home.
+        let home = netlist.net_tier(r.net);
+        let borrows = home.is_some_and(|h| r.tree.uses_other_tier(grid, h));
+        if r.is_mls != borrows {
+            rep.push(
+                "mls-flag",
+                Some(ni),
+                format!(
+                    "is_mls={} but tree borrows other die: {}",
+                    r.is_mls, borrows
+                ),
+            );
+        }
+        if borrows {
+            let permitted = match policy {
+                MlsPolicy::Disabled => false,
+                MlsPolicy::PerNet(flags) => flags.get(i).copied().unwrap_or(false),
+                // Region sharing is a per-g-cell grant; permission needs
+                // the share map, which the DB does not carry.
+                MlsPolicy::SotaRegionSharing { .. } => true,
+            };
+            if !permitted {
+                rep.push(
+                    "mls-policy",
+                    Some(ni),
+                    format!("net left its home die under {policy:?}"),
+                );
+            }
+        }
+    }
+
+    audit_summary(&mut rep, db);
+    if mode == AuditMode::Full {
+        audit_capacity(&mut rep, grid, db);
+    }
+    rep.violations
+}
+
+/// Tree structure: arborescence order, grid-neighbor edges, honest
+/// `edge_f2f` flags, in-range sink records. Returns false when the
+/// tree is too broken for the per-net recounts to be meaningful.
+fn tree_well_formed(rep: &mut Report, ni: u32, tree: &RouteTree, grid: &RoutingGrid) -> bool {
+    let n = tree.nodes.len();
+    if n == 0 {
+        rep.push("tree-empty", Some(ni), "no nodes".into());
+        return false;
+    }
+    if tree.parent.len() != n || tree.edge_f2f.len() != n {
+        rep.push(
+            "tree-shape",
+            Some(ni),
+            format!(
+                "{} nodes, {} parents, {} edge flags",
+                n,
+                tree.parent.len(),
+                tree.edge_f2f.len()
+            ),
+        );
+        return false;
+    }
+    if tree.parent[0] != 0 {
+        rep.push(
+            "tree-root",
+            Some(ni),
+            format!("root parent is {}", tree.parent[0]),
+        );
+        return false;
+    }
+    let node_count = grid.node_count() as u32;
+    for (i, &node) in tree.nodes.iter().enumerate() {
+        if node >= node_count {
+            rep.push(
+                "node-range",
+                Some(ni),
+                format!("node {node} outside grid of {node_count}"),
+            );
+            return false;
+        }
+        if i == 0 {
+            continue;
+        }
+        let p = tree.parent[i];
+        if p as usize >= i {
+            rep.push(
+                "tree-order",
+                Some(ni),
+                format!("node {i} has parent {p} (children must follow parents)"),
+            );
+            return false;
+        }
+        let (xa, ya, za) = grid.coords(tree.nodes[p as usize]);
+        let (xb, yb, zb) = grid.coords(node);
+        let in_layer = za == zb && xa.abs_diff(xb) + ya.abs_diff(yb) == 1;
+        let via = xa == xb && ya == yb && za.abs_diff(zb) == 1;
+        if !in_layer && !via {
+            rep.push(
+                "edge-neighbors",
+                Some(ni),
+                format!("({xa},{ya},{za}) -> ({xb},{yb},{zb}) is not a grid step"),
+            );
+            return false;
+        }
+        let crosses_bond = via && grid.is_f2f_via(za.min(zb));
+        if tree.edge_f2f[i] != crosses_bond {
+            rep.push(
+                "edge-f2f-flag",
+                Some(ni),
+                format!(
+                    "edge {i} flagged {}, crosses bond: {crosses_bond}",
+                    tree.edge_f2f[i]
+                ),
+            );
+            return false;
+        }
+    }
+    for &s in &tree.sink_node {
+        if s as usize >= n {
+            rep.push(
+                "sink-range",
+                Some(ni),
+                format!("sink record {s} outside tree of {n} nodes"),
+            );
+            return false;
+        }
+    }
+    true
+}
+
+/// Summary aggregates must equal a recount over the per-net records.
+fn audit_summary(rep: &mut Report, db: &RouteDb) {
+    let s = &db.summary;
+    let mls = db.nets.iter().filter(|r| r.is_mls).count();
+    if s.mls_net_count != mls {
+        rep.push(
+            "summary-mls",
+            None,
+            format!("summary says {} MLS nets, recount {}", s.mls_net_count, mls),
+        );
+    }
+    let over = db.nets.iter().filter(|r| r.overflowed).count();
+    if s.overflowed_nets != over {
+        rep.push(
+            "summary-overflow",
+            None,
+            format!(
+                "summary says {} overflowed, recount {}",
+                s.overflowed_nets, over
+            ),
+        );
+    }
+    let pat_nets = db.nets.iter().filter(|r| r.pattern_sinks > 0).count();
+    let pat_sinks: usize = db.nets.iter().map(|r| r.pattern_sinks as usize).sum();
+    if s.pattern_fallback_nets != pat_nets || s.pattern_fallback_sinks != pat_sinks {
+        rep.push(
+            "summary-pattern",
+            None,
+            format!(
+                "summary says {}/{} pattern nets/sinks, recount {}/{}",
+                s.pattern_fallback_nets, s.pattern_fallback_sinks, pat_nets, pat_sinks
+            ),
+        );
+    }
+    let wl_m: f64 = db.nets.iter().map(|r| r.wirelength_um).sum::<f64>() / 1.0e6;
+    if !close(s.total_wirelength_m, wl_m) {
+        rep.push(
+            "summary-wirelength",
+            None,
+            format!(
+                "summary says {} m, recount {} m",
+                s.total_wirelength_m, wl_m
+            ),
+        );
+    }
+}
+
+/// Recomputes edge usage from every tree (mirroring the router's
+/// `apply_usage` indexing) and checks capacity plus the summary's
+/// F2F pad count. Over-capacity edges are legal only on nets the
+/// router itself gave up on (`overflowed`).
+fn audit_capacity(rep: &mut Report, grid: &RoutingGrid, db: &RouteDb) {
+    let (nx, ny) = (grid.nx, grid.ny);
+    let per_layer = nx * ny;
+    let mut usage_h = vec![0u32; per_layer * grid.nz()];
+    let mut usage_v = vec![0u32; per_layer * grid.nz()];
+    let mut usage_f2f = vec![0u32; per_layer];
+    let edge_idx = |z: usize, x: usize, y: usize| (z * ny + y) * nx + x;
+
+    for r in &db.nets {
+        let tree = &r.tree;
+        for i in 1..tree.nodes.len() {
+            let (xa, ya, za) = grid.coords(tree.nodes[tree.parent[i] as usize]);
+            let (xb, yb, zb) = grid.coords(tree.nodes[i]);
+            if za == zb {
+                if ya == yb {
+                    usage_h[edge_idx(za, xa.min(xb), ya)] += 1;
+                } else {
+                    usage_v[edge_idx(za, xa, ya.min(yb))] += 1;
+                }
+            } else if grid.is_f2f_via(za.min(zb)) {
+                usage_f2f[ya * nx + xa] += 1;
+            }
+        }
+    }
+
+    let pads: u64 = usage_f2f.iter().map(|&u| u64::from(u)).sum();
+    if db.summary.f2f_pads as u64 != pads {
+        rep.push(
+            "summary-f2f-pads",
+            None,
+            format!(
+                "summary says {} F2F pads, recount {}",
+                db.summary.f2f_pads, pads
+            ),
+        );
+    }
+
+    // Every tree crossing an over-capacity edge must carry the router's
+    // own `overflowed` flag — an unflagged overflow means the usage the
+    // router accounted and the trees it stored have diverged.
+    for r in &db.nets {
+        if rep.full() {
+            return;
+        }
+        let tree = &r.tree;
+        let mut overflows = false;
+        for i in 1..tree.nodes.len() {
+            let (xa, ya, za) = grid.coords(tree.nodes[tree.parent[i] as usize]);
+            let (xb, yb, zb) = grid.coords(tree.nodes[i]);
+            if za == zb {
+                let cap = u32::from(grid.layers[za].capacity);
+                let u = if ya == yb {
+                    usage_h[edge_idx(za, xa.min(xb), ya)]
+                } else {
+                    usage_v[edge_idx(za, xa, ya.min(yb))]
+                };
+                if u > cap {
+                    overflows = true;
+                    break;
+                }
+            } else if grid.is_f2f_via(za.min(zb))
+                && usage_f2f[ya * nx + xa] > u32::from(grid.f2f_capacity)
+            {
+                overflows = true;
+                break;
+            }
+        }
+        if overflows && !r.overflowed {
+            rep.push(
+                "capacity",
+                Some(r.net.index() as u32),
+                "route crosses an over-capacity edge but is not flagged overflowed".into(),
+            );
+        }
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{route_design, RouteConfig};
+    use gnnmls_netlist::generators::{generate_maeri, MaeriConfig};
+    use gnnmls_netlist::tech::TechConfig;
+    use gnnmls_phys::{place, PlaceConfig};
+
+    fn routed() -> (gnnmls_netlist::Netlist, RoutingGrid, RouteDb) {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let design = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let placement = place(&design.netlist, &PlaceConfig::default()).unwrap();
+        let (db, grid) = route_design(
+            &design.netlist,
+            &placement,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig {
+                target_gcells: 24,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        (design.netlist, grid, db)
+    }
+
+    #[test]
+    fn clean_route_db_audits_clean() {
+        let (netlist, grid, db) = routed();
+        for mode in [AuditMode::Cheap, AuditMode::Full] {
+            let v = audit_route_db(&netlist, &grid, &MlsPolicy::Disabled, &db, mode);
+            assert!(v.is_empty(), "{mode:?} audit found: {v:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_edge_count_is_caught() {
+        let (netlist, grid, mut db) = routed();
+        let idx = db.nets.iter().position(|r| r.tree.nodes.len() > 1).unwrap();
+        db.nets[idx].f2f_crossings += 1;
+        let v = audit_route_db(&netlist, &grid, &MlsPolicy::Disabled, &db, AuditMode::Cheap);
+        assert!(
+            v.iter().any(|v| v.check == "f2f-recount"),
+            "corruption not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn mls_under_disabled_policy_is_a_violation() {
+        let (netlist, grid, mut db) = routed();
+        // Forge an MLS flag on a net that never left home: the flag
+        // recount catches it even without touching the tree.
+        let idx = db.nets.iter().position(|r| !r.is_mls).unwrap();
+        db.nets[idx].is_mls = true;
+        let v = audit_route_db(&netlist, &grid, &MlsPolicy::Disabled, &db, AuditMode::Cheap);
+        assert!(v.iter().any(|v| v.check == "mls-flag"), "{v:?}");
+        assert!(v.iter().any(|v| v.check == "summary-mls"), "{v:?}");
+    }
+
+    #[test]
+    fn truncated_db_is_caught() {
+        let (netlist, grid, mut db) = routed();
+        db.nets.pop();
+        let v = audit_route_db(&netlist, &grid, &MlsPolicy::Disabled, &db, AuditMode::Cheap);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "net-count");
+    }
+
+    #[test]
+    fn mangled_tree_structure_is_caught() {
+        let (netlist, grid, mut db) = routed();
+        let idx = db.nets.iter().position(|r| r.tree.nodes.len() > 2).unwrap();
+        // Teleport a node: the parent/child pair stops being neighbors.
+        let far = grid.node(grid.nx - 1, grid.ny - 1, 0);
+        let last = db.nets[idx].tree.nodes.len() - 1;
+        db.nets[idx].tree.nodes[last] = far;
+        let v = audit_route_db(&netlist, &grid, &MlsPolicy::Disabled, &db, AuditMode::Cheap);
+        assert!(
+            v.iter()
+                .any(|v| v.check == "edge-neighbors" || v.check == "edge-f2f-flag"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn injected_audit_violation_fault_corrupts_the_db() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let design = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let placement = place(&design.netlist, &PlaceConfig::default()).unwrap();
+        let guard = gnnmls_faults::install(&gnnmls_faults::FaultPlan::single(
+            gnnmls_faults::FaultSite::RouteAuditCorrupt,
+            1,
+        ));
+        let (db, grid) = route_design(
+            &design.netlist,
+            &placement,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig {
+                target_gcells: 24,
+                ..RouteConfig::default()
+            },
+        )
+        .unwrap();
+        drop(guard);
+        let v = audit_route_db(
+            &design.netlist,
+            &grid,
+            &MlsPolicy::Disabled,
+            &db,
+            AuditMode::Cheap,
+        );
+        assert!(
+            v.iter().any(|v| v.check == "f2f-recount"),
+            "injected corruption must be caught: {v:?}"
+        );
+    }
+}

@@ -38,6 +38,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod audit;
 pub mod db;
 pub mod grid;
 pub mod policy;
@@ -45,6 +46,7 @@ pub mod render;
 pub mod router;
 pub mod tree;
 
+pub use audit::{audit_route_db, AuditMode, AuditViolation};
 pub use db::{NetRoute, RouteDb, RouteSummary};
 pub use grid::{GridLayer, RoutingGrid};
 pub use policy::{MlsPolicy, SotaShareMap};

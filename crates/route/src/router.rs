@@ -695,6 +695,13 @@ impl<'a> Router<'a> {
         if missing > 0 {
             return Err(RouteError::Incomplete { missing });
         }
+        // Fault seam: silently corrupt one edge count in the snapshot —
+        // exactly the kind of bit-rot the invariant auditor must catch.
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::RouteAuditCorrupt) {
+            if let Some(r) = nets.iter_mut().find(|r| r.tree.nodes.len() > 1) {
+                r.f2f_crossings += 1;
+            }
+        }
         let summary = self.summary(&nets);
         Ok(RouteDb { nets, summary })
     }

@@ -1,0 +1,248 @@
+//! Admission control: deep request validation and a cost-budget meter.
+//!
+//! Every request is vetted **before** it takes a queue slot or the
+//! build lock:
+//!
+//! 1. [`validate_request`] deep-checks the [`SessionSpec`] (design and
+//!    tech must exist, the target frequency must be finite and within
+//!    bounds) and the per-kind parameters (a `WhatIf` needs a net and a
+//!    sane expansion budget, an `InferMls` a sane path count). Failures
+//!    are typed [`ValidationError`]s and surface on the wire as
+//!    `Rejected` — permanent, never worth retrying verbatim.
+//! 2. [`request_cost`] estimates how expensive serving the request will
+//!    be, in abstract cost units calibrated so a warm cache hit is 1.
+//!    The [`AdmissionMeter`] tracks the units currently in flight
+//!    against a configurable budget and sheds work (`Busy` on the
+//!    wire, counted separately as `shed`) when admitting more would
+//!    exceed it — with the carve-out that an idle server always admits
+//!    one request, however large, so a budget smaller than the biggest
+//!    legitimate job cannot starve it forever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gnn_mls::session::ValidationError;
+
+use crate::protocol::{Request, RequestKind};
+
+/// Upper bound accepted for `Request::deadline_expansions`.
+pub const MAX_DEADLINE_EXPANSIONS: u64 = 10_000_000;
+
+/// Upper bound accepted for `Request::paths`.
+pub const MAX_INFER_PATHS: u64 = 4_096;
+
+/// Deep-validates a request before admission.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] found; `Ok(())` means the
+/// request is structurally serviceable (it may still fail to build).
+pub fn validate_request(req: &Request) -> Result<(), ValidationError> {
+    // Health and Shutdown carry a dummy spec; nothing to validate.
+    if matches!(req.kind, RequestKind::Health | RequestKind::Shutdown) {
+        return Ok(());
+    }
+    req.spec.validate()?;
+    match req.kind {
+        RequestKind::WhatIf => {
+            if req.net.is_none() {
+                return Err(ValidationError::MissingNet);
+            }
+            if let Some(d) = req.deadline_expansions {
+                if d == 0 || d > MAX_DEADLINE_EXPANSIONS {
+                    return Err(ValidationError::BadDeadline(d));
+                }
+            }
+        }
+        RequestKind::InferMls => {
+            if let Some(p) = req.paths {
+                if p == 0 || p > MAX_INFER_PATHS {
+                    return Err(ValidationError::BadPaths {
+                        got: p,
+                        max: MAX_INFER_PATHS,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Estimates the cost of serving `req`, in abstract units.
+///
+/// A query against a warm session is 1 unit regardless of the spec —
+/// the expensive part already happened. A cold build scales with the
+/// design size, a full-quality (non-fast) flow is ~20x a fast one, a
+/// GNN-MLS policy adds oracle labeling and training on top, and a
+/// `RunFlow` runs the whole flow rather than stopping at the session.
+pub fn request_cost(req: &Request, warm: bool) -> u64 {
+    match req.kind {
+        // Answered inline or from counters; effectively free.
+        RequestKind::Stats | RequestKind::Health | RequestKind::Shutdown => return 0,
+        _ => {}
+    }
+    if warm && req.kind != RequestKind::RunFlow {
+        return 1;
+    }
+    let design: u64 = match req.spec.design.as_str() {
+        "maeri16" => 1,
+        "maeri128" => 8,
+        "a7" => 16,
+        // maeri256 and anything unknown (caught by validation anyway).
+        _ => 32,
+    };
+    let speed: u64 = if req.spec.fast { 1 } else { 20 };
+    let policy: u64 = match req.spec.policy {
+        gnn_mls::flow::FlowPolicy::GnnMls => 3,
+        _ => 1,
+    };
+    let kind: u64 = if req.kind == RequestKind::RunFlow {
+        2
+    } else {
+        1
+    };
+    design * speed * policy * kind
+}
+
+/// Tracks admission cost units in flight against a budget.
+///
+/// Lock-free: admission is a CAS loop over one counter. The meter
+/// always admits when nothing is in flight, so one oversized job can
+/// run alone rather than being unserviceable.
+#[derive(Debug)]
+pub struct AdmissionMeter {
+    in_flight: AtomicU64,
+    budget: u64,
+}
+
+impl AdmissionMeter {
+    /// A meter enforcing `budget` cost units in flight.
+    pub fn new(budget: u64) -> Self {
+        Self {
+            in_flight: AtomicU64::new(0),
+            budget,
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Cost units currently admitted.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Tries to admit `cost` units; `false` means shed the request.
+    pub fn try_admit(&self, cost: u64) -> bool {
+        self.in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                if cur == 0 || cur.saturating_add(cost) <= self.budget {
+                    Some(cur.saturating_add(cost))
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    /// Returns `cost` units to the budget.
+    pub fn release(&self, cost: u64) {
+        self.in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                Some(cur.saturating_sub(cost))
+            })
+            .ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_mls::session::SessionSpec;
+
+    #[test]
+    fn valid_requests_pass_invalid_are_typed() {
+        let spec = SessionSpec::fast("maeri16");
+        validate_request(&Request::what_if(1, spec.clone(), 0, true, Some(1000))).unwrap();
+        validate_request(&Request::infer(2, spec.clone(), Some(8))).unwrap();
+        validate_request(&Request::stats(3, spec.clone())).unwrap();
+        validate_request(&Request::health(4)).unwrap();
+
+        // Missing net on a what-if.
+        let mut r = Request::what_if(5, spec.clone(), 0, true, None);
+        r.net = None;
+        assert!(matches!(
+            validate_request(&r),
+            Err(ValidationError::MissingNet)
+        ));
+        // Deadline of zero and beyond the cap.
+        for d in [0, MAX_DEADLINE_EXPANSIONS + 1] {
+            let r = Request::what_if(6, spec.clone(), 0, true, Some(d));
+            assert!(matches!(
+                validate_request(&r),
+                Err(ValidationError::BadDeadline(_))
+            ));
+        }
+        // Path counts of zero and beyond the cap.
+        for p in [0, MAX_INFER_PATHS + 1] {
+            let r = Request::infer(7, spec.clone(), Some(p));
+            assert!(matches!(
+                validate_request(&r),
+                Err(ValidationError::BadPaths { .. })
+            ));
+        }
+        // Unknown design, bad frequency.
+        let r = Request::stats(8, SessionSpec::fast("nonesuch"));
+        assert!(matches!(
+            validate_request(&r),
+            Err(ValidationError::UnknownDesign(_))
+        ));
+        let mut bad = spec.clone();
+        bad.target_freq_mhz = f64::NAN;
+        assert!(matches!(
+            validate_request(&Request::stats(9, bad)),
+            Err(ValidationError::BadFrequency(_))
+        ));
+        // A shutdown spec is never validated.
+        validate_request(&Request::shutdown(10)).unwrap();
+    }
+
+    #[test]
+    fn costs_rank_sanely() {
+        let fast16 = Request::what_if(1, SessionSpec::fast("maeri16"), 0, true, None);
+        let full16 = Request::what_if(1, SessionSpec::new("maeri16"), 0, true, None);
+        let fast256 = Request::infer(1, SessionSpec::fast("maeri256"), None);
+        assert_eq!(request_cost(&fast16, false), 1);
+        assert!(request_cost(&full16, false) > request_cost(&fast16, false));
+        assert!(request_cost(&fast256, false) > request_cost(&fast16, false));
+        // Warm hits are unit cost no matter the spec.
+        assert_eq!(request_cost(&fast256, true), 1);
+        // Control-plane requests are free.
+        assert_eq!(request_cost(&Request::health(2), false), 0);
+        assert_eq!(
+            request_cost(&Request::stats(3, SessionSpec::fast("maeri256")), false),
+            0
+        );
+    }
+
+    #[test]
+    fn meter_sheds_over_budget_but_never_starves() {
+        let m = AdmissionMeter::new(10);
+        assert!(m.try_admit(6));
+        assert!(m.try_admit(4));
+        assert_eq!(m.in_flight(), 10);
+        assert!(!m.try_admit(1), "over budget must shed");
+        m.release(4);
+        assert!(m.try_admit(1));
+        m.release(6);
+        m.release(1);
+        assert_eq!(m.in_flight(), 0);
+        // An idle meter admits even a job larger than the whole budget.
+        assert!(m.try_admit(1_000));
+        assert!(!m.try_admit(1));
+        m.release(1_000);
+        assert_eq!(m.in_flight(), 0);
+    }
+}

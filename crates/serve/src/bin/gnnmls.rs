@@ -19,13 +19,13 @@ use gnn_mls::session::{build_design, build_tech, SessionSpec, DESIGNS};
 use gnn_mls::GnnMls;
 use gnnmls_dft::DftMode;
 use gnnmls_netlist::verilog::write_verilog;
-use gnnmls_serve::protocol::{Response, ResponseKind};
-use gnnmls_serve::{Client, ServeConfig, Server};
+use gnnmls_serve::protocol::{Request, Response, ResponseKind};
+use gnnmls_serve::{Client, RetryPolicy, ServeConfig, Server};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn usage() -> &'static str {
-    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>]\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\n"
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\n"
 }
 
 fn main() -> ExitCode {
@@ -114,7 +114,7 @@ fn spec_from_opts(opts: &HashMap<&str, &str>, fast: bool) -> Result<SessionSpec,
 fn serve_cmd(args: &[String]) -> ExitCode {
     let (opts, _) = match parse_opts(
         args,
-        &["addr", "queue", "workers", "cache", "checkpoint"],
+        &["addr", "queue", "workers", "cache", "checkpoint", "admit"],
         &[],
     ) {
         Ok(p) => p,
@@ -143,6 +143,15 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                     eprintln!("--{key} must be a positive integer");
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+    }
+    if let Some(v) = opts.get("admit") {
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => cfg.admission_budget = n,
+            _ => {
+                eprintln!("--admit must be a positive cost-unit count");
+                return ExitCode::FAILURE;
             }
         }
     }
@@ -183,7 +192,10 @@ fn print_response(resp: &Response) -> ExitCode {
     }
     match resp.kind {
         ResponseKind::Ok => ExitCode::SUCCESS,
-        ResponseKind::Busy | ResponseKind::Error => ExitCode::FAILURE,
+        ResponseKind::Busy
+        | ResponseKind::Rejected
+        | ResponseKind::Quarantined
+        | ResponseKind::Error => ExitCode::FAILURE,
     }
 }
 
@@ -195,7 +207,16 @@ fn client_cmd(args: &[String]) -> ExitCode {
     let (opts, flags) = match parse_opts(
         &args[1..],
         &[
-            "addr", "design", "tech", "policy", "freq", "net", "budget", "paths",
+            "addr",
+            "design",
+            "tech",
+            "policy",
+            "freq",
+            "net",
+            "budget",
+            "paths",
+            "retries",
+            "retry-seed",
         ],
         &["fast", "no-mls"],
     ) {
@@ -220,7 +241,26 @@ fn client_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match verb {
+    let mut retry = RetryPolicy::default();
+    if let Some(v) = opts.get("retries") {
+        match v.parse::<u32>() {
+            Ok(n) if n > 0 => retry.max_attempts = n,
+            _ => {
+                eprintln!("--retries must be a positive attempt count");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(v) = opts.get("retry-seed") {
+        match v.parse::<u64>() {
+            Ok(n) => retry.seed = n,
+            Err(_) => {
+                eprintln!("--retry-seed must be an integer");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let req = match verb {
         "whatif" => {
             let net = match opts.get("net").map(|v| v.parse::<u32>()) {
                 Some(Ok(n)) => n,
@@ -237,7 +277,7 @@ fn client_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            client.what_if(&spec, net, !flags.contains(&"no-mls"), budget)
+            Request::what_if(1, spec, net, !flags.contains(&"no-mls"), budget)
         }
         "infer" => {
             let paths = match opts.get("paths").map(|v| v.parse::<u64>()) {
@@ -248,17 +288,29 @@ fn client_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            client.infer(&spec, paths)
+            Request::infer(1, spec, paths)
         }
-        "stats" => client.stats(&spec),
-        "flow" => client.run_flow(&spec),
-        "shutdown" => client.shutdown(),
+        "stats" => Request::stats(1, spec),
+        "flow" => Request::run_flow(1, spec),
+        "health" => Request::health(1),
+        "shutdown" => Request::shutdown(1),
         other => {
             eprintln!("unknown client verb `{other}`\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
-    match result {
+    // Shutdown is not retried: resending it to a draining daemon only
+    // races the drain.
+    if verb == "shutdown" {
+        return match client.request(&req) {
+            Ok(resp) => print_response(&resp),
+            Err(e) => {
+                eprintln!("gnnmls client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match client.request_with_retry(&req, &retry) {
         Ok(resp) => print_response(&resp),
         Err(e) => {
             eprintln!("gnnmls client: {e}");

@@ -1,15 +1,108 @@
-//! Blocking client for the serve wire protocol.
+//! Blocking client for the serve wire protocol, with capped,
+//! seeded-jitter retries.
+//!
+//! A busy daemon sheds work with typed `Busy` responses and a wedged
+//! connection is closed with a typed stall notice; both are transient.
+//! [`Client::request_with_retry`] retries exactly those cases under a
+//! [`RetryPolicy`]: capped exponential backoff whose jitter comes from
+//! a deterministic seeded mixer, so two clients given different seeds
+//! desynchronize while every run of the same client is reproducible.
+//! When the attempts are exhausted it returns a typed
+//! [`ClientError::GaveUp`] carrying the attempt count — the caller
+//! always knows how hard it tried.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::fmt;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use gnn_mls::session::SessionSpec;
 
-use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, ResponseKind};
+
+/// Retry schedule for [`Client::request_with_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling.
+    pub max_delay_ms: u64,
+    /// Jitter seed; deterministic per (seed, attempt).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            seed: 0x00C0_FFEE,
+        }
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): capped
+    /// exponential, half fixed and half deterministic jitter.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .max(1)
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_delay_ms.max(1));
+        let jitter = splitmix64(self.seed ^ u64::from(attempt)) % (exp / 2 + 1);
+        (exp / 2 + jitter).min(self.max_delay_ms.max(1))
+    }
+}
+
+/// Errors from the retrying request path.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A non-retryable transport failure (e.g. the request itself could
+    /// not be encoded).
+    Frame(FrameError),
+    /// Every attempt was shed or stalled.
+    GaveUp {
+        /// Attempts made (== `RetryPolicy::max_attempts`).
+        attempts: u32,
+        /// What the final attempt saw.
+        last: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "client: {e}"),
+            ClientError::GaveUp { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
 
 /// One connection to a `gnnmls-serve` daemon. Requests are synchronous:
 /// each call writes one frame and blocks for the matching response.
 pub struct Client {
     stream: TcpStream,
+    peer: SocketAddr,
     next_id: u64,
 }
 
@@ -22,13 +115,29 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Self { stream, next_id: 1 })
+        let peer = stream.peer_addr()?;
+        Ok(Self {
+            stream,
+            peer,
+            next_id: 1,
+        })
     }
 
     fn take_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         id
+    }
+
+    /// Best-effort reconnect after the server closed this connection
+    /// (stall notice, truncated frame, broken pipe). A failure here is
+    /// fine: the next attempt's request will fail and consume one
+    /// retry.
+    fn reconnect(&mut self) {
+        if let Ok(stream) = TcpStream::connect(self.peer) {
+            let _ = stream.set_nodelay(true);
+            self.stream = stream;
+        }
     }
 
     /// Sends a request and blocks for its response.
@@ -40,6 +149,48 @@ impl Client {
     pub fn request(&mut self, req: &Request) -> Result<Response, FrameError> {
         write_frame(&mut self.stream, req)?;
         read_frame(&mut self.stream)
+    }
+
+    /// Sends a request, retrying transient failures under `policy`:
+    /// `Busy` responses (shed work), connection-level notices (the
+    /// server's stall/malformed reports carry id 0), and transport
+    /// errors (reconnecting first). Permanent outcomes — `Ok`,
+    /// `Rejected`, `Quarantined`, request-level `Error` — return
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::GaveUp`] when `policy.max_attempts` attempts were
+    /// all transient failures.
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt - 1)));
+            }
+            match self.request(req) {
+                Ok(resp) if resp.kind == ResponseKind::Busy => {
+                    last = "busy".to_string();
+                }
+                Ok(resp) if resp.kind == ResponseKind::Error && resp.id == 0 && req.id != 0 => {
+                    // Connection-level notice, not our answer; the
+                    // server may have closed the stream after it.
+                    last = resp.error.unwrap_or_else(|| "connection notice".into());
+                    self.reconnect();
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    last = e.to_string();
+                    self.reconnect();
+                }
+            }
+        }
+        Err(ClientError::GaveUp { attempts, last })
     }
 
     /// What-if routes `net` of `spec` with MLS forced on or off,
@@ -89,6 +240,17 @@ impl Client {
         self.request(&Request::stats(id, spec.clone()))
     }
 
+    /// Fetches the daemon's health (readiness, queue depth, quarantine
+    /// set, watchdog restarts); answered inline even under full load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn health(&mut self) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::health(id))
+    }
+
     /// Runs the full flow for `spec` on the daemon.
     ///
     /// # Errors
@@ -107,5 +269,42 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<Response, FrameError> {
         let id = self.take_id();
         self.request(&Request::shutdown(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            seed: 7,
+        };
+        let delays: Vec<u64> = (0..8).map(|a| p.delay_ms(a)).collect();
+        let again: Vec<u64> = (0..8).map(|a| p.delay_ms(a)).collect();
+        assert_eq!(delays, again, "same seed, same schedule");
+        for (a, &d) in delays.iter().enumerate() {
+            assert!(d <= 100, "attempt {a} exceeded the cap: {d}");
+            assert!(d >= 5, "attempt {a} below half the base: {d}");
+        }
+        // The fixed half grows until the cap kicks in.
+        assert!(delays[2] >= delays[0]);
+        // A different seed gives a different schedule somewhere.
+        let q = RetryPolicy { seed: 8, ..p };
+        assert!((0..8).any(|a| q.delay_ms(a) != delays[a as usize]));
+    }
+
+    #[test]
+    fn gave_up_displays_attempts() {
+        let e = ClientError::GaveUp {
+            attempts: 5,
+            last: "busy".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains("busy"), "{s}");
     }
 }

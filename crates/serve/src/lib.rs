@@ -8,11 +8,15 @@
 //!
 //! - [`protocol`] — length-prefixed JSON frames with typed errors for
 //!   every malformed/truncated/oversized/stalled case;
+//! - [`admission`] — deep request validation and a cost-budget meter
+//!   that reject or shed work *before* it takes a queue slot or the
+//!   build lock;
 //! - [`server`] — acceptor + bounded job queue (explicit `Busy`
 //!   backpressure, never unbounded growth) + worker pool with inference
-//!   micro-batching + LRU session cache + graceful drain-on-shutdown;
-//! - [`client`] — a small blocking client the `gnnmls client` CLI and
-//!   the tests use.
+//!   micro-batching + LRU session cache + quarantine circuit breaker +
+//!   worker watchdog + graceful drain-on-shutdown;
+//! - [`client`] — a small blocking client with capped, seeded-jitter
+//!   retries, used by the `gnnmls client` CLI and the tests.
 //!
 //! Determinism contract: a warm answer is bit-identical to the one-shot
 //! CLI computing the same query, and a micro-batched inference response
@@ -21,13 +25,15 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod admission;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use admission::{request_cost, validate_request, AdmissionMeter};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{
-    read_frame, read_frame_idle, write_frame, FrameError, Request, RequestKind, Response,
-    ResponseKind, ServerStats, MAX_FRAME,
+    read_frame, read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request,
+    RequestKind, Response, ResponseKind, ServerStats, MAX_FRAME,
 };
 pub use server::{ServeConfig, Server};

@@ -87,6 +87,10 @@ pub enum RequestKind {
     RunFlow,
     /// Server + (cached) session statistics.
     Stats,
+    /// Readiness, queue depth, quarantine set, watchdog restarts.
+    /// Answered at the connection (never queued), so it works even
+    /// when the job queue is full.
+    Health,
     /// Graceful drain: flush in-flight work, then exit.
     Shutdown,
 }
@@ -162,6 +166,11 @@ impl Request {
         Self::bare(id, RequestKind::Stats, spec)
     }
 
+    /// A `Health` request; the spec is ignored.
+    pub fn health(id: u64) -> Self {
+        Self::bare(id, RequestKind::Health, SessionSpec::new("maeri16"))
+    }
+
     /// A `Shutdown` request; the spec is ignored.
     pub fn shutdown(id: u64) -> Self {
         Self::bare(id, RequestKind::Shutdown, SessionSpec::new("maeri16"))
@@ -173,10 +182,53 @@ impl Request {
 pub enum ResponseKind {
     /// The request was served; the matching payload field is set.
     Ok,
-    /// The job queue was full; the request was shed. Retry later.
+    /// The job queue was full (or the admission budget exhausted); the
+    /// request was shed. Retry later.
     Busy,
+    /// The request failed admission validation. Permanent: retrying the
+    /// identical request cannot succeed; `error` explains why.
+    Rejected,
+    /// The spec's session build is circuit-broken after repeated
+    /// failures; `retry_after_ms` bounds the cooldown.
+    Quarantined,
     /// The request failed; `error` explains why.
     Error,
+}
+
+/// One quarantined session spec, as reported by a `Health` response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineInfo {
+    /// The spec's cache key ([`SessionSpec::cache_key`]).
+    pub key: u64,
+    /// Consecutive build failures recorded for the key.
+    pub strikes: u32,
+    /// Whether the circuit is currently open (requests refused).
+    pub open: bool,
+    /// Milliseconds until the circuit half-opens; 0 when `open` is
+    /// false.
+    pub remaining_ms: u64,
+}
+
+/// Payload of a `Health` response: liveness and supervision state,
+/// answered without taking a queue slot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthStatus {
+    /// `true` until shutdown begins.
+    pub ready: bool,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Queue capacity.
+    pub queue_capacity: u64,
+    /// Configured worker count.
+    pub workers: u64,
+    /// Times the watchdog respawned a dead worker thread.
+    pub watchdog_restarts: u64,
+    /// Admission cost units currently in flight.
+    pub admitted_cost: u64,
+    /// Configured admission budget (cost units).
+    pub admission_budget: u64,
+    /// Session specs currently tracked by the quarantine breaker.
+    pub quarantine: Vec<QuarantineInfo>,
 }
 
 /// Server-side counters, included in every `Stats` response and in the
@@ -185,10 +237,24 @@ pub enum ResponseKind {
 pub struct ServerStats {
     /// Requests answered (any kind, including errors).
     pub served: u64,
-    /// Requests shed with `Busy` because the queue was full.
+    /// Requests shed with `Busy` because the queue was full or the
+    /// admission budget was exhausted.
     pub busy: u64,
     /// Requests answered with `Error`.
     pub errors: u64,
+    /// Requests refused at admission with `Rejected` (invalid spec or
+    /// out-of-range parameters).
+    pub rejected: u64,
+    /// Requests refused with `Quarantined` (circuit-broken spec).
+    pub quarantined: u64,
+    /// `Busy` responses caused by the admission budget specifically
+    /// (a subset of `busy`).
+    pub shed: u64,
+    /// Worker threads respawned by the watchdog.
+    pub watchdog_restarts: u64,
+    /// Warm-hit audits that found an invariant violation (the session
+    /// is dropped from the cache and rebuilt).
+    pub audit_failures: u64,
     /// Queries answered from an already-warm session.
     pub cache_hits: u64,
     /// Queries that had to cold-build a session.
@@ -222,7 +288,11 @@ pub struct Response {
     pub stats: Option<ServerStats>,
     /// `RunFlow` payload: the pretty-printed `FlowReport` JSON.
     pub report_json: Option<String>,
-    /// `Error` payload.
+    /// `Health` payload.
+    pub health: Option<HealthStatus>,
+    /// `Quarantined`: milliseconds until the circuit half-opens.
+    pub retry_after_ms: Option<u64>,
+    /// `Error`, `Rejected`, and `Quarantined` payload.
     pub error: Option<String>,
 }
 
@@ -236,6 +306,8 @@ impl Response {
             infer: None,
             stats: None,
             report_json: None,
+            health: None,
+            retry_after_ms: None,
             error: None,
         }
     }
@@ -255,6 +327,32 @@ impl Response {
             error: Some(why.to_string()),
             ..Self::ok(id)
         }
+    }
+
+    /// A `Rejected` response (failed admission validation; permanent).
+    pub fn rejected(id: u64, why: impl fmt::Display) -> Self {
+        Self {
+            kind: ResponseKind::Rejected,
+            error: Some(why.to_string()),
+            ..Self::ok(id)
+        }
+    }
+
+    /// A `Quarantined` response (circuit-broken spec; retry after the
+    /// cooldown).
+    pub fn quarantined(id: u64, why: impl fmt::Display, retry_after_ms: u64) -> Self {
+        Self {
+            kind: ResponseKind::Quarantined,
+            error: Some(why.to_string()),
+            retry_after_ms: Some(retry_after_ms),
+            ..Self::ok(id)
+        }
+    }
+
+    /// Attaches a health payload.
+    pub fn with_health(mut self, h: HealthStatus) -> Self {
+        self.health = Some(h);
+        self
     }
 
     /// Attaches a what-if payload.
@@ -521,6 +619,47 @@ mod tests {
         let back: Request = read_frame(&mut wire.as_slice()).unwrap();
         assert_eq!(back.id, 10);
         drop(guard);
+    }
+
+    #[test]
+    fn robustness_builders_round_trip() {
+        let q = Response::quarantined(11, "circuit open", 1234);
+        assert_eq!(q.kind, ResponseKind::Quarantined);
+        assert_eq!(q.retry_after_ms, Some(1234));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &q).unwrap();
+        let back: Response = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(q, back);
+
+        let r = Response::rejected(12, "bad spec");
+        assert_eq!(r.kind, ResponseKind::Rejected);
+        assert!(r.error.unwrap().contains("bad spec"));
+
+        let h = Response::ok(13).with_health(HealthStatus {
+            ready: true,
+            queue_depth: 1,
+            queue_capacity: 64,
+            workers: 2,
+            watchdog_restarts: 3,
+            admitted_cost: 5,
+            admission_budget: 4096,
+            quarantine: vec![QuarantineInfo {
+                key: 7,
+                strikes: 3,
+                open: true,
+                remaining_ms: 500,
+            }],
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &h).unwrap();
+        let back: Response = read_frame(&mut wire.as_slice()).unwrap();
+        let hs = back.health.unwrap();
+        assert_eq!(hs.quarantine.len(), 1);
+        assert_eq!(hs.quarantine[0].key, 7);
+        assert_eq!(hs.watchdog_restarts, 3);
+
+        let req = Request::health(14);
+        assert_eq!(req.kind, RequestKind::Health);
     }
 
     #[test]

@@ -18,8 +18,26 @@
 //! train, which is the ≥10× the bench records. Builds are serialized by
 //! a dedicated lock so a thundering herd on a cold spec builds once.
 //!
+//! Admission control runs at the connection, **before** a request takes
+//! a queue slot or the build lock: deep validation rejects unserviceable
+//! requests with a typed `Rejected`, and an [`AdmissionMeter`] sheds
+//! work (`Busy`) when the estimated cost in flight would exceed the
+//! configured budget.
+//!
+//! The daemon self-heals two failure classes. A spec whose session
+//! build keeps failing is **quarantined**: after
+//! [`ServeConfig::quarantine_threshold`] consecutive failures the
+//! circuit opens and requests for that spec are refused with a typed
+//! `Quarantined` (and a `retry_after_ms`) until a seeded, capped
+//! exponential cooldown expires — a poisoned spec cannot grind the
+//! build lock. A **watchdog** thread polls the worker pool; a worker
+//! that died with the queue still open is respawned and its in-flight
+//! job requeued at the front, so one panic loses no request.
+//!
 //! Shutdown (a client `Shutdown` frame or [`Server::shutdown`]) is a
-//! drain, not an abort: the queue closes, workers finish every queued
+//! drain, not an abort: the queue closes, the watchdog stops **before**
+//! the workers are joined (an in-flight respawn or an open quarantine
+//! cooldown can never deadlock the drain), workers finish every queued
 //! job, every in-flight response is flushed, and the final
 //! [`ServerStats`] are written as a versioned stage-checkpoint envelope
 //! when a checkpoint directory is configured.
@@ -30,16 +48,18 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gnn_mls::checkpoint::save_stage;
 use gnn_mls::session::{run_flow_for_spec, DesignSession, SessionError, SessionSpec};
+use gnn_mls::AuditMode;
 use gnnmls_faults::{fire, FaultSite};
 use gnnmls_par::queue::{BoundedQueue, PushError};
 
+use crate::admission::{self, AdmissionMeter};
 use crate::protocol::{
-    read_frame_idle, write_frame, FrameError, Request, RequestKind, Response, ResponseKind,
-    ServerStats, DEFAULT_INFER_PATHS,
+    read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request, RequestKind,
+    Response, ResponseKind, ServerStats, DEFAULT_INFER_PATHS,
 };
 
 /// Stage name of the final drain checkpoint envelope.
@@ -62,6 +82,18 @@ pub struct ServeConfig {
     pub read_timeout_ms: u64,
     /// Where the final [`ServerStats`] envelope is written on drain.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Admission budget in cost units (see [`admission::request_cost`]);
+    /// requests whose estimated cost would push the in-flight total past
+    /// it are shed with `Busy`.
+    pub admission_budget: u64,
+    /// Consecutive session-build failures before a spec's circuit
+    /// opens.
+    pub quarantine_threshold: u32,
+    /// Base quarantine cooldown; doubles per extra strike (capped at
+    /// 16x) plus deterministic seeded jitter.
+    pub quarantine_cooldown_ms: u64,
+    /// Seed for the quarantine jitter (deterministic across runs).
+    pub quarantine_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -73,8 +105,21 @@ impl Default for ServeConfig {
             cache_capacity: 4,
             read_timeout_ms: 100,
             checkpoint_dir: None,
+            admission_budget: 4096,
+            quarantine_threshold: 3,
+            quarantine_cooldown_ms: 5_000,
+            quarantine_seed: 0x6d6c_735f_7365_7276,
         }
     }
+}
+
+/// `splitmix64` — the same deterministic mixer the fault planner uses,
+/// here for quarantine-cooldown jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -137,6 +182,14 @@ impl SessionCache {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Drops a session whose warm-hit audit failed.
+    fn remove(&mut self, key: u64) {
+        self.map.remove(&key);
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+    }
 }
 
 #[derive(Default)]
@@ -149,11 +202,33 @@ struct Counters {
     cache_evictions: AtomicU64,
     batched_inferences: AtomicU64,
     max_batch: AtomicU64,
+    rejected: AtomicU64,
+    quarantined: AtomicU64,
+    shed: AtomicU64,
+    watchdog_restarts: AtomicU64,
+    audit_failures: AtomicU64,
 }
 
 struct Job {
     req: Request,
     reply: mpsc::Sender<Response>,
+    /// Admission cost units held while this job is in flight; returned
+    /// to the meter when the response is sent.
+    cost: u64,
+}
+
+/// Circuit-breaker state for one spec key.
+struct QuarantineEntry {
+    strikes: u32,
+    open_until: Option<Instant>,
+}
+
+/// Outcome of a session lookup: the quarantine gate sits between the
+/// cache and the build.
+enum SessionGate {
+    Ready(Arc<DesignSession>),
+    Quarantined { strikes: u32, remaining_ms: u64 },
+    Failed(SessionError),
 }
 
 struct Shared {
@@ -164,6 +239,8 @@ struct Shared {
     build_lock: Mutex<()>,
     counters: Counters,
     running: AtomicBool,
+    meter: AdmissionMeter,
+    quarantine: Mutex<HashMap<u64, QuarantineEntry>>,
 }
 
 impl Shared {
@@ -172,25 +249,137 @@ impl Shared {
         self.queue.close();
     }
 
-    /// Warm lookup or serialized cold build of the session for `spec`.
-    fn session(&self, spec: &SessionSpec) -> Result<Arc<DesignSession>, SessionError> {
+    /// If `key`'s circuit is open, returns its strikes and the
+    /// remaining cooldown. When the cooldown has expired the circuit
+    /// half-opens: the call clears `open_until` and lets one probe
+    /// build through (a failure re-opens it for longer).
+    fn quarantine_remaining(&self, key: u64) -> Option<(u32, u64)> {
+        let mut q = lock(&self.quarantine);
+        let e = q.get_mut(&key)?;
+        let until = e.open_until?;
+        let now = Instant::now();
+        if now >= until {
+            e.open_until = None;
+            return None;
+        }
+        let ms = until.saturating_duration_since(now).as_millis() as u64;
+        Some((e.strikes, ms.max(1)))
+    }
+
+    /// Records a failed build; at the threshold the circuit opens with
+    /// a capped exponential cooldown plus deterministic seeded jitter.
+    fn record_build_failure(&self, key: u64) {
+        let mut q = lock(&self.quarantine);
+        let e = q.entry(key).or_insert(QuarantineEntry {
+            strikes: 0,
+            open_until: None,
+        });
+        e.strikes = e.strikes.saturating_add(1);
+        if e.strikes >= self.cfg.quarantine_threshold.max(1) {
+            let base = self.cfg.quarantine_cooldown_ms.max(1);
+            let exp = e
+                .strikes
+                .saturating_sub(self.cfg.quarantine_threshold.max(1))
+                .min(4);
+            let backoff = base.saturating_mul(1u64 << exp);
+            let jitter =
+                splitmix64(self.cfg.quarantine_seed ^ key ^ u64::from(e.strikes)) % (base / 4 + 1);
+            e.open_until = Some(Instant::now() + Duration::from_millis(backoff + jitter));
+        }
+    }
+
+    /// A successful build closes the circuit and forgets the strikes.
+    fn record_build_success(&self, key: u64) {
+        lock(&self.quarantine).remove(&key);
+    }
+
+    /// Warm lookup or serialized cold build of the session for `spec`,
+    /// gated by the quarantine breaker. Warm hits are re-audited in
+    /// cheap mode; a corrupted session is dropped from the cache and
+    /// the hit turns into a typed failure (the next request rebuilds).
+    fn session(&self, spec: &SessionSpec) -> SessionGate {
         let key = spec.cache_key();
         if let Some(s) = lock(&self.cache).get(key) {
             self.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
-            return Ok(s);
+            if let Err(e) = s.audit(AuditMode::Cheap) {
+                self.counters.audit_failures.fetch_add(1, Ordering::SeqCst);
+                lock(&self.cache).remove(key);
+                return SessionGate::Failed(e);
+            }
+            return SessionGate::Ready(s);
+        }
+        if let Some((strikes, remaining_ms)) = self.quarantine_remaining(key) {
+            return SessionGate::Quarantined {
+                strikes,
+                remaining_ms,
+            };
         }
         let _build = lock(&self.build_lock);
         if let Some(s) = lock(&self.cache).get(key) {
             self.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
-            return Ok(s);
+            return SessionGate::Ready(s);
+        }
+        // Re-check under the lock: the circuit may have opened while we
+        // waited behind the build that struck out.
+        if let Some((strikes, remaining_ms)) = self.quarantine_remaining(key) {
+            return SessionGate::Quarantined {
+                strikes,
+                remaining_ms,
+            };
         }
         self.counters.cache_misses.fetch_add(1, Ordering::SeqCst);
-        let built = Arc::new(DesignSession::build(spec)?);
-        let evicted = lock(&self.cache).insert(key, Arc::clone(&built));
-        self.counters
-            .cache_evictions
-            .fetch_add(evicted, Ordering::SeqCst);
-        Ok(built)
+        match DesignSession::build(spec) {
+            Ok(built) => {
+                self.record_build_success(key);
+                let built = Arc::new(built);
+                let evicted = lock(&self.cache).insert(key, Arc::clone(&built));
+                self.counters
+                    .cache_evictions
+                    .fetch_add(evicted, Ordering::SeqCst);
+                SessionGate::Ready(built)
+            }
+            Err(e) => {
+                self.record_build_failure(key);
+                SessionGate::Failed(e)
+            }
+        }
+    }
+
+    fn quarantined_response(id: u64, strikes: u32, remaining_ms: u64) -> Response {
+        Response::quarantined(
+            id,
+            format!("session build circuit-broken after {strikes} consecutive failures"),
+            remaining_ms,
+        )
+    }
+
+    fn health(&self) -> HealthStatus {
+        let now = Instant::now();
+        let mut quarantine: Vec<QuarantineInfo> = lock(&self.quarantine)
+            .iter()
+            .map(|(&key, e)| {
+                let remaining = e
+                    .open_until
+                    .map_or(0, |t| t.saturating_duration_since(now).as_millis() as u64);
+                QuarantineInfo {
+                    key,
+                    strikes: e.strikes,
+                    open: remaining > 0,
+                    remaining_ms: remaining,
+                }
+            })
+            .collect();
+        quarantine.sort_by_key(|q| q.key);
+        HealthStatus {
+            ready: self.running.load(Ordering::SeqCst),
+            queue_depth: self.queue.len() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            workers: self.cfg.workers.max(1) as u64,
+            watchdog_restarts: self.counters.watchdog_restarts.load(Ordering::SeqCst),
+            admitted_cost: self.meter.in_flight(),
+            admission_budget: self.meter.budget(),
+            quarantine,
+        }
     }
 
     fn server_stats(&self, session_key: Option<u64>) -> ServerStats {
@@ -206,15 +395,30 @@ impl Shared {
             cached_sessions: cache.len() as u64,
             batched_inferences: c.batched_inferences.load(Ordering::SeqCst),
             max_batch: c.max_batch.load(Ordering::SeqCst),
+            rejected: c.rejected.load(Ordering::SeqCst),
+            quarantined: c.quarantined.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
+            watchdog_restarts: c.watchdog_restarts.load(Ordering::SeqCst),
+            audit_failures: c.audit_failures.load(Ordering::SeqCst),
             session: session_key.and_then(|k| cache.peek(k)).map(|s| s.stats()),
         }
     }
 
     fn respond(&self, job: Job, resp: Response) {
-        if resp.kind == ResponseKind::Error {
-            self.counters.errors.fetch_add(1, Ordering::SeqCst);
+        match resp.kind {
+            ResponseKind::Error => {
+                self.counters.errors.fetch_add(1, Ordering::SeqCst);
+            }
+            ResponseKind::Quarantined => {
+                self.counters.quarantined.fetch_add(1, Ordering::SeqCst);
+            }
+            ResponseKind::Rejected => {
+                self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => {}
         }
         self.counters.served.fetch_add(1, Ordering::SeqCst);
+        self.meter.release(job.cost);
         // A vanished client is not a server problem.
         let _ = job.reply.send(resp);
     }
@@ -224,8 +428,12 @@ impl Shared {
             return Response::error(req.id, "what-if request is missing `net`");
         };
         let session = match self.session(&req.spec) {
-            Ok(s) => s,
-            Err(e) => return Response::error(req.id, e),
+            SessionGate::Ready(s) => s,
+            SessionGate::Quarantined {
+                strikes,
+                remaining_ms,
+            } => return Self::quarantined_response(req.id, strikes, remaining_ms),
+            SessionGate::Failed(e) => return Response::error(req.id, e),
         };
         let budget = req.deadline_expansions.map(|e| e as usize);
         match session.what_if(net, req.allow_mls.unwrap_or(true), budget) {
@@ -246,8 +454,18 @@ impl Shared {
                 .fetch_add(n, Ordering::SeqCst);
         }
         let session = match self.session(&first.req.spec) {
-            Ok(s) => s,
-            Err(e) => {
+            SessionGate::Ready(s) => s,
+            SessionGate::Quarantined {
+                strikes,
+                remaining_ms,
+            } => {
+                for job in group {
+                    let id = job.req.id;
+                    self.respond(job, Self::quarantined_response(id, strikes, remaining_ms));
+                }
+                return;
+            }
+            SessionGate::Failed(e) => {
                 let why = e.to_string();
                 for job in group {
                     let id = job.req.id;
@@ -311,7 +529,9 @@ impl Shared {
                 let stats = self.server_stats(Some(req.spec.cache_key()));
                 Response::ok(req.id).with_stats(stats)
             }
-            // Shutdown is answered at the connection; never queued.
+            // Health and Shutdown are answered at the connection;
+            // never queued.
+            RequestKind::Health => Response::ok(req.id).with_health(self.health()),
             RequestKind::Shutdown => Response::ok(req.id),
         };
         self.respond(job, resp);
@@ -339,8 +559,30 @@ impl Shared {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
+/// One worker's supervision slot: the watchdog reads `handle` to tell
+/// dead from alive and recovers `inflight` when a worker dies holding
+/// a job.
+#[derive(Default)]
+struct WorkerSlot {
+    handle: Mutex<Option<JoinHandle<()>>>,
+    inflight: Mutex<Option<Job>>,
+}
+
+fn worker_loop(shared: &Shared, slot: &WorkerSlot) {
+    loop {
+        let Some(job) = shared.queue.pop() else {
+            return;
+        };
+        // Park the job where the watchdog can see it, then take it
+        // back: a worker that dies in between leaves the job
+        // recoverable instead of lost.
+        *lock(&slot.inflight) = Some(job);
+        if fire(FaultSite::WorkerPanic) {
+            panic!("injected worker panic (gnnmls-faults)");
+        }
+        let Some(job) = lock(&slot.inflight).take() else {
+            continue;
+        };
         if job.req.kind == RequestKind::InferMls {
             // Micro-batch: coalesce whatever queued up behind this job.
             let mut jobs = vec![job];
@@ -349,6 +591,42 @@ fn worker_loop(shared: &Shared) {
         } else {
             shared.handle(job);
         }
+    }
+}
+
+/// Polls the worker pool; a worker that finished while the queue is
+/// still open can only have panicked (workers return only once the
+/// closed queue drains). Its in-flight job is requeued at the front and
+/// a fresh worker is spawned into the same slot. The loop exits as soon
+/// as shutdown begins, so the drain can join workers without racing a
+/// respawn.
+fn watchdog_loop(shared: &Arc<Shared>, slots: &Arc<Vec<WorkerSlot>>) {
+    while shared.running.load(Ordering::SeqCst) {
+        for (i, slot) in slots.iter().enumerate() {
+            let dead = lock(&slot.handle).as_ref().is_some_and(|h| h.is_finished());
+            if dead && !shared.queue.is_closed() {
+                if let Some(job) = lock(&slot.inflight).take() {
+                    if let Err((job, _)) = shared.queue.requeue(job) {
+                        // The queue closed under us: answer directly so
+                        // the client is not left hanging.
+                        let id = job.req.id;
+                        shared.respond(job, Response::error(id, "server is shutting down"));
+                    }
+                }
+                if let Some(h) = lock(&slot.handle).take() {
+                    let _ = h.join();
+                }
+                let ws = Arc::clone(shared);
+                let wslots = Arc::clone(slots);
+                let h = std::thread::spawn(move || worker_loop(&ws, &wslots[i]));
+                *lock(&slot.handle) = Some(h);
+                shared
+                    .counters
+                    .watchdog_restarts
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
@@ -390,24 +668,76 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
             shared.begin_shutdown();
             return;
         }
+        // Health is answered inline (never queued), so it works even
+        // when the queue is full or the workers are wedged.
+        if req.kind == RequestKind::Health {
+            let resp = Response::ok(req.id).with_health(shared.health());
+            if write_frame(&mut stream, &resp).is_err() {
+                return;
+            }
+            continue;
+        }
+        // Admission control: deep-validate before the request can cost
+        // a queue slot or the build lock. Rejections are permanent.
+        if let Err(e) = admission::validate_request(&req) {
+            shared.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            if write_frame(&mut stream, &Response::rejected(req.id, e)).is_err() {
+                return;
+            }
+            continue;
+        }
+        // Circuit breaker: refuse a quarantined spec up front instead
+        // of letting it queue up behind the build lock. (Re-checked in
+        // `Shared::session` for jobs already in flight.)
+        if matches!(req.kind, RequestKind::WhatIf | RequestKind::InferMls) {
+            if let Some((strikes, remaining_ms)) = shared.quarantine_remaining(req.spec.cache_key())
+            {
+                shared.counters.quarantined.fetch_add(1, Ordering::SeqCst);
+                let resp = Shared::quarantined_response(req.id, strikes, remaining_ms);
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        }
+        // Cost metering: shed when admitting would blow the budget.
+        let warm = lock(&shared.cache).peek(req.spec.cache_key()).is_some();
+        let cost = admission::request_cost(&req, warm);
+        if !shared.meter.try_admit(cost) {
+            shared.counters.busy.fetch_add(1, Ordering::SeqCst);
+            shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+            if write_frame(&mut stream, &Response::busy(req.id)).is_err() {
+                return;
+            }
+            continue;
+        }
         let id = req.id;
         let (tx, rx) = mpsc::channel();
-        match shared.queue.try_push(Job { req, reply: tx }) {
+        match shared.queue.try_push(Job {
+            req,
+            reply: tx,
+            cost,
+        }) {
             Ok(()) => {
-                let resp = rx
-                    .recv()
-                    .unwrap_or_else(|_| Response::error(id, "server dropped the job"));
+                let resp = rx.recv().unwrap_or_else(|_| {
+                    // The job died without an answer (worker lost mid
+                    // handling); its cost units were never returned.
+                    shared.meter.release(cost);
+                    Response::error(id, "server dropped the job")
+                });
                 if write_frame(&mut stream, &resp).is_err() {
                     return;
                 }
             }
-            Err((_, PushError::Full)) => {
+            Err((job, PushError::Full)) => {
+                shared.meter.release(job.cost);
                 shared.counters.busy.fetch_add(1, Ordering::SeqCst);
                 if write_frame(&mut stream, &Response::busy(id)).is_err() {
                     return;
                 }
             }
-            Err((_, PushError::Closed)) => {
+            Err((job, PushError::Closed)) => {
+                shared.meter.release(job.cost);
                 let _ = write_frame(&mut stream, &Response::error(id, "server is shutting down"));
                 return;
             }
@@ -420,7 +750,8 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    slots: Arc<Vec<WorkerSlot>>,
+    watchdog: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     final_stats: Option<ServerStats>,
 }
@@ -441,6 +772,8 @@ impl Server {
             build_lock: Mutex::new(()),
             counters: Counters::default(),
             running: AtomicBool::new(true),
+            meter: AdmissionMeter::new(cfg.admission_budget.max(1)),
+            quarantine: Mutex::new(HashMap::new()),
             cfg,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -459,18 +792,24 @@ impl Server {
             }
         });
 
-        let workers = (0..workers)
-            .map(|_| {
-                let worker_shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&worker_shared))
-            })
-            .collect();
+        let slots: Arc<Vec<WorkerSlot>> =
+            Arc::new((0..workers).map(|_| WorkerSlot::default()).collect());
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            let worker_slots = Arc::clone(&slots);
+            let handle = std::thread::spawn(move || worker_loop(&worker_shared, &worker_slots[i]));
+            *lock(&slots[i].handle) = Some(handle);
+        }
+        let dog_shared = Arc::clone(&shared);
+        let dog_slots = Arc::clone(&slots);
+        let watchdog = std::thread::spawn(move || watchdog_loop(&dog_shared, &dog_slots));
 
         Ok(Self {
             shared,
             local_addr,
             acceptor: Some(acceptor),
-            workers,
+            slots,
+            watchdog: Some(watchdog),
             conns,
             final_stats: None,
         })
@@ -513,10 +852,27 @@ impl Server {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Stop the watchdog BEFORE joining workers, so a respawn cannot
+        // race the joins below — shutdown during an in-flight respawn
+        // (or while a quarantine cooldown is pending) must never
+        // deadlock the drain.
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
         // Workers exit once the closed queue is empty — every queued job
         // still gets its response (drain, not abort).
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        for slot in self.slots.iter() {
+            let handle = lock(&slot.handle).take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+            // A job a dying worker parked after the watchdog stopped
+            // still gets a typed answer instead of a silent drop.
+            if let Some(job) = lock(&slot.inflight).take() {
+                let id = job.req.id;
+                self.shared
+                    .respond(job, Response::error(id, "server is shutting down"));
+            }
         }
         let conn_handles: Vec<_> = lock(&self.conns).drain(..).collect();
         for conn in conn_handles {
@@ -584,5 +940,79 @@ mod tests {
         assert!(cache.get(1).is_some());
         assert_eq!(cache.insert(2, s), 1);
         assert!(cache.peek(1).is_none());
+    }
+
+    #[test]
+    fn cache_remove_forgets_key_and_recency() {
+        let s = dummy_session();
+        let mut cache = SessionCache::new(2);
+        cache.insert(1, Arc::clone(&s));
+        cache.insert(2, Arc::clone(&s));
+        cache.remove(1);
+        assert!(cache.peek(1).is_none());
+        assert_eq!(cache.len(), 1);
+        // The removed key no longer occupies an order slot: inserting
+        // again evicts nothing.
+        assert_eq!(cache.insert(3, Arc::clone(&s)), 0);
+        assert_eq!(cache.insert(4, s), 1);
+    }
+
+    fn bare_shared(cfg: ServeConfig) -> Shared {
+        Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            cache: Mutex::new(SessionCache::new(cfg.cache_capacity)),
+            build_lock: Mutex::new(()),
+            counters: Counters::default(),
+            running: AtomicBool::new(true),
+            meter: AdmissionMeter::new(cfg.admission_budget),
+            quarantine: Mutex::new(HashMap::new()),
+            cfg,
+        }
+    }
+
+    #[test]
+    fn quarantine_opens_at_threshold_half_opens_after_cooldown() {
+        let cfg = ServeConfig {
+            quarantine_threshold: 2,
+            quarantine_cooldown_ms: 30,
+            ..Default::default()
+        };
+        let s = bare_shared(cfg);
+        assert!(s.quarantine_remaining(7).is_none());
+        s.record_build_failure(7);
+        assert!(
+            s.quarantine_remaining(7).is_none(),
+            "one strike must not open the circuit"
+        );
+        s.record_build_failure(7);
+        let (strikes, remaining) = s.quarantine_remaining(7).unwrap();
+        assert_eq!(strikes, 2);
+        assert!(remaining >= 1);
+        let h = s.health();
+        assert_eq!(h.quarantine.len(), 1);
+        assert!(h.quarantine[0].open);
+        assert_eq!(h.quarantine[0].key, 7);
+        // Cooldown (30ms base + at most 8ms jitter) expires: half-open.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            s.quarantine_remaining(7).is_none(),
+            "cooldown over: one probe may build"
+        );
+        // A failed probe re-opens the circuit; strikes keep counting.
+        s.record_build_failure(7);
+        let (strikes, _) = s.quarantine_remaining(7).unwrap();
+        assert_eq!(strikes, 3);
+        // Success closes it and forgets the history.
+        s.record_build_success(7);
+        assert!(s.quarantine_remaining(7).is_none());
+        assert!(s.health().quarantine.is_empty());
+    }
+
+    #[test]
+    fn quarantine_jitter_is_deterministic_per_seed() {
+        let a = splitmix64(42 ^ 7 ^ 3);
+        let b = splitmix64(42 ^ 7 ^ 3);
+        assert_eq!(a, b);
+        assert_ne!(splitmix64(42 ^ 7 ^ 3), splitmix64(43 ^ 7 ^ 3));
     }
 }

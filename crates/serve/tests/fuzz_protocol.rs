@@ -1,0 +1,139 @@
+//! Protocol fuzzing: arbitrary bytes and boundary-value specs pushed
+//! through the wire must always come back as typed errors — never a
+//! panic, never a wedged connection, never an untyped close without a
+//! best-effort notice.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use gnn_mls::session::SessionSpec;
+use gnnmls_serve::protocol::{read_frame, write_frame, Request, Response, ResponseKind};
+use gnnmls_serve::{Client, ServeConfig, Server};
+
+/// Deterministic byte source (splitmix64) so every failure reproduces.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn garbage(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (splitmix64(seed ^ i as u64) & 0xFF) as u8)
+        .collect()
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_or_wedge_the_server() {
+    let server = Server::start(ServeConfig {
+        read_timeout_ms: 50,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    for round in 0u64..24 {
+        let len = 1 + (splitmix64(round) % 300) as usize;
+        let payload = garbage(round.wrapping_mul(31) + 7, len);
+        let mut s = TcpStream::connect(addr).unwrap();
+        if round % 2 == 0 {
+            // Well-framed garbage: the stream stays frame-aligned, so
+            // the server must answer a typed Malformed notice and keep
+            // serving this very connection.
+            let mut buf = (len as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(&payload);
+            s.write_all(&buf).unwrap();
+            let resp: Response = read_frame(&mut s).unwrap();
+            assert_eq!(resp.kind, ResponseKind::Error, "round {round}");
+            assert_eq!(resp.id, 0, "connection-level notice carries id 0");
+            // The connection survived: a real request round-trips.
+            write_frame(&mut s, &Request::health(round + 1)).unwrap();
+            let resp: Response = read_frame(&mut s).unwrap();
+            assert_eq!(resp.id, round + 1, "round {round}: conn wedged");
+            assert_eq!(resp.kind, ResponseKind::Ok);
+        } else {
+            // Raw garbage: the first bytes parse as an arbitrary length
+            // prefix (possibly huge, possibly never satisfied). The
+            // server may close the connection — it must not crash and
+            // the close must not take the daemon down.
+            let _ = s.write_all(&payload);
+            let _ = s.read(&mut [0u8; 256]);
+        }
+    }
+
+    // The daemon survived the storm and still answers.
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.health().unwrap();
+    assert_eq!(resp.kind, ResponseKind::Ok);
+    assert!(resp.health.unwrap().ready);
+    server.shutdown();
+}
+
+#[test]
+fn boundary_value_specs_are_rejected_typed_and_never_wedge() {
+    let server = Server::start(ServeConfig {
+        read_timeout_ms: 50,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let good = SessionSpec::fast("maeri16");
+
+    let bad_freq = |f: f64| {
+        let mut s = good.clone();
+        s.target_freq_mhz = f;
+        s
+    };
+    let mut cases: Vec<(Request, &str)> = vec![
+        (Request::stats(1, SessionSpec::fast("nonesuch")), "design"),
+        (Request::stats(2, bad_freq(0.0)), "frequency"),
+        (Request::stats(3, bad_freq(-2500.0)), "frequency"),
+        (Request::stats(4, bad_freq(1e12)), "frequency"),
+        (
+            Request::what_if(6, good.clone(), 0, true, Some(0)),
+            "deadline",
+        ),
+        (
+            Request::what_if(7, good.clone(), 0, true, Some(u64::MAX)),
+            "deadline",
+        ),
+        (Request::infer(8, good.clone(), Some(0)), "paths"),
+        (Request::infer(9, good.clone(), Some(u64::MAX)), "paths"),
+    ];
+    {
+        let mut unknown_tech = good.clone();
+        unknown_tech.tech = "exotic".to_string();
+        cases.push((Request::stats(10, unknown_tech), "tech"));
+        let mut netless = Request::what_if(11, good.clone(), 0, true, None);
+        netless.net = None;
+        cases.push((netless, "net"));
+    }
+
+    let total = cases.len() as u64;
+    for (req, what) in &cases {
+        let resp = client.request(req).unwrap();
+        assert_eq!(
+            resp.kind,
+            ResponseKind::Rejected,
+            "case `{what}` (id {}) must be rejected: {resp:?}",
+            req.id
+        );
+        assert_eq!(resp.id, req.id, "rejection echoes the request id");
+        let why = resp.error.unwrap();
+        assert!(
+            why.to_lowercase().contains(what),
+            "case `{what}`: error `{why}` does not name the problem"
+        );
+    }
+
+    // All of it was refused before any build: the same connection still
+    // serves a valid request, and nothing was built or queued.
+    let resp = client.request(&Request::stats(99, good.clone())).unwrap();
+    assert_eq!(resp.kind, ResponseKind::Ok);
+    let stats = resp.stats.unwrap();
+    assert_eq!(stats.rejected, total);
+    assert_eq!(stats.cache_misses, 0, "rejected specs must never build");
+    assert_eq!(stats.errors, 0, "rejections are their own kind");
+    server.shutdown();
+}

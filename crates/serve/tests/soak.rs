@@ -1,0 +1,155 @@
+//! Fault-storm soak: the daemon must survive a seeded storm cycling
+//! every registered fault site for at least 60 seconds with zero
+//! crashes, every response typed, and a clean drain that writes a
+//! decodable final stats envelope.
+//!
+//! Long-running, so ignored by default; the CI soak job runs it with
+//! `cargo test -p gnnmls-serve --test soak -- --ignored`. Override the
+//! duration with `GNNMLS_SOAK_SECS` (seconds, default 60).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gnn_mls::checkpoint::load_stage;
+use gnn_mls::session::SessionSpec;
+use gnnmls_faults::{install, FaultPlan, ALL_SITES};
+use gnnmls_serve::client::{ClientError, RetryPolicy};
+use gnnmls_serve::protocol::ResponseKind;
+use gnnmls_serve::{Client, Request, ServeConfig, Server, ServerStats};
+
+fn spec() -> SessionSpec {
+    SessionSpec::fast("maeri16")
+}
+
+#[test]
+#[ignore = "long-running fault-storm soak; run explicitly or via the CI soak job"]
+fn fault_storm_soak_survives_every_site() {
+    let secs: u64 = std::env::var("GNNMLS_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let dir = std::env::temp_dir().join("gnnmls_serve_soak_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = Server::start(ServeConfig {
+        read_timeout_ms: 50,
+        workers: 2,
+        quarantine_threshold: 2,
+        quarantine_cooldown_ms: 500,
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let stop = AtomicBool::new(false);
+    let answered = AtomicU64::new(0);
+    let gave_up = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Storm driver: seeded plans cycling all registered sites, a
+        // fresh plan every 200ms so each site gets armed many times
+        // over the soak.
+        scope.spawn(|| {
+            let mut round = 0u64;
+            while Instant::now() < deadline {
+                let plan = FaultPlan::from_seed(round.wrapping_mul(0x9E37).wrapping_add(1));
+                let guard = install(&plan);
+                std::thread::sleep(Duration::from_millis(200));
+                drop(guard);
+                round += 1;
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        // Client hammers: every request kind, through the retrying
+        // path, reconnecting whenever a stall or corrupt frame kills
+        // the connection.
+        for c in 0..3u64 {
+            let stop = &stop;
+            let answered = &answered;
+            let gave_up = &gave_up;
+            scope.spawn(move || {
+                let policy = RetryPolicy {
+                    max_attempts: 4,
+                    base_delay_ms: 2,
+                    max_delay_ms: 25,
+                    seed: c + 1,
+                };
+                let mut i = c * 1_000_000;
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok(mut client) = Client::connect(addr) else {
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    };
+                    for _ in 0..16 {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        i += 1;
+                        let req = match i % 4 {
+                            0 => Request::what_if(
+                                i,
+                                spec(),
+                                (i % 48) as u32,
+                                true,
+                                Some(1 + i % 5_000),
+                            ),
+                            1 => Request::infer(i, spec(), Some(1 + i % 8)),
+                            2 => Request::stats(i, spec()),
+                            _ => Request::health(i),
+                        };
+                        match client.request_with_retry(&req, &policy) {
+                            Ok(resp) => {
+                                // Every answer is typed and matched.
+                                assert_eq!(resp.id, req.id, "mismatched response");
+                                assert!(matches!(
+                                    resp.kind,
+                                    ResponseKind::Ok
+                                        | ResponseKind::Error
+                                        | ResponseKind::Rejected
+                                        | ResponseKind::Quarantined
+                                ));
+                                answered.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(ClientError::GaveUp { .. }) => {
+                                gave_up.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(ClientError::Frame(_)) => break, // reconnect
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // The storm is over (all guards dropped): a clean drain must
+    // complete and checkpoint the final stats envelope.
+    let mut client = Client::connect(addr).expect("daemon alive after the storm");
+    let resp = client.shutdown().expect("shutdown answered");
+    assert_eq!(resp.kind, ResponseKind::Ok);
+    let stats = server.wait();
+
+    let from_disk: ServerStats = load_stage(&dir, gnnmls_serve::server::STATS_STAGE)
+        .expect("envelope decodes")
+        .expect("envelope exists");
+    assert_eq!(from_disk, stats);
+
+    let answered = answered.load(Ordering::SeqCst);
+    let gave_up = gave_up.load(Ordering::SeqCst);
+    assert!(answered > 0, "the soak must answer traffic");
+    println!(
+        "soak: {}s over {} sites — {answered} answered, {gave_up} gave up, \
+         {} served / {} busy / {} errors / {} rejected / {} quarantined / \
+         {} watchdog restarts / {} audit failures",
+        secs,
+        ALL_SITES.len(),
+        stats.served,
+        stats.busy,
+        stats.errors,
+        stats.rejected,
+        stats.quarantined,
+        stats.watchdog_restarts,
+        stats.audit_failures
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

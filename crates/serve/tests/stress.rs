@@ -9,6 +9,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use gnn_mls::checkpoint::load_stage;
 use gnn_mls::session::{DesignSession, SessionSpec};
 use gnnmls_faults::{install, FaultPlan, FaultSite};
+use gnnmls_serve::client::{ClientError, RetryPolicy};
 use gnnmls_serve::protocol::ResponseKind;
 use gnnmls_serve::{Client, ServeConfig, Server, ServerStats};
 
@@ -100,6 +101,56 @@ fn busy_exactly_when_queue_full() {
 
     let stats = client.stats(&spec()).unwrap().stats.unwrap();
     assert_eq!(stats.busy, SHED);
+    server.shutdown();
+}
+
+#[test]
+fn retry_rides_through_shed_requests_and_gives_up_typed() {
+    let _serial = serialize_tests();
+    let server = Server::start(ServeConfig {
+        read_timeout_ms: 50,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Three forced sheds, then room: the retrying client never surfaces
+    // a Busy — the fourth attempt lands.
+    let guard = install(&FaultPlan::single(FaultSite::QueueOverflow, 3));
+    let req = gnnmls_serve::Request::stats(77, spec());
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_delay_ms: 1,
+        max_delay_ms: 5,
+        seed: 1,
+    };
+    let resp = client.request_with_retry(&req, &policy).unwrap();
+    assert_eq!(resp.kind, ResponseKind::Ok);
+    assert_eq!(resp.id, 77);
+    drop(guard);
+
+    // More sheds than attempts: a typed GaveUp carrying the count, not
+    // a hang and not an untyped error.
+    let guard = install(&FaultPlan::single(FaultSite::QueueOverflow, 10));
+    let err = client
+        .request_with_retry(
+            &req,
+            &RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 1,
+                max_delay_ms: 2,
+                seed: 2,
+            },
+        )
+        .unwrap_err();
+    match err {
+        ClientError::GaveUp { attempts, last } => {
+            assert_eq!(attempts, 3);
+            assert!(last.contains("busy"), "{last}");
+        }
+        other => panic!("expected GaveUp, got {other:?}"),
+    }
+    drop(guard);
     server.shutdown();
 }
 
