@@ -19,7 +19,7 @@ use gnn_mls::model::{EncoderKind, GnnMls, ModelConfig};
 use gnn_mls::oracle::{label_paths, OracleConfig};
 use gnn_mls::paths::{extract_path_samples, PathSample};
 use gnnmls_bench::designs::bench_scale;
-use gnnmls_route::{route_design, MlsPolicy, RouteConfig, Router};
+use gnnmls_route::{route_design, MlsPolicy, Router};
 use gnnmls_sta::{analyze, StaConfig};
 
 /// Builds one real labeled dataset (train, eval) at bench scale.
@@ -158,10 +158,13 @@ fn bench_maze_budget(c: &mut Criterion) {
     let (netlist, placement) = prepare(&exp.design, &exp.cfg).unwrap();
     let mut g = c.benchmark_group("ablation_maze_budget");
     for (name, budget) in [("full_maze", 400_000usize), ("pattern_fallback", 50)] {
-        let cfg = RouteConfig {
-            max_expansions: budget,
-            ..exp.cfg.route.clone()
-        };
+        let cfg = exp
+            .cfg
+            .route
+            .to_builder()
+            .max_expansions(budget)
+            .build()
+            .unwrap();
         // Quality metric: overflow with and without real maze search.
         let (db, _) = route_design(
             &netlist,

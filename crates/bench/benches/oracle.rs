@@ -86,10 +86,7 @@ fn router_with_threads<'a>(s: &'a Scenario, threads: usize) -> Router<'a> {
         &s.placement,
         &s.tech,
         MlsPolicy::Disabled,
-        RouteConfig {
-            threads,
-            ..s.route_cfg.clone()
-        },
+        s.route_cfg.clone().with_threads(threads),
     )
     .unwrap();
     router.route_all().unwrap();

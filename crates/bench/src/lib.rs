@@ -12,6 +12,12 @@
 //! - [`paper`] — the paper's published values (Tables I, III–VI, Fig. 2).
 //! - [`render`] — table rendering, shape checks, and JSON output.
 
+// Library code writes progress/tables through explicit (error-tolerant)
+// `writeln!` handles, never bare prints; the regenerator binaries are
+// the only place `println!` lives.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(test, allow(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod designs;
 pub mod paper;
 pub mod render;

@@ -1,6 +1,7 @@
 //! Table rendering, shape checks, and JSON result dumps.
 
 use std::fs;
+use std::io::Write;
 use std::path::PathBuf;
 
 use serde::Serialize;
@@ -101,7 +102,9 @@ pub fn check(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> 
         pass,
         detail: detail.into(),
     };
-    println!(
+    // Tolerate a closed stdout (e.g. `table4 | head`).
+    let _ = writeln!(
+        std::io::stdout(),
         "  [{}] {} — {}",
         if c.pass { "PASS" } else { "MISS" },
         c.name,
@@ -113,7 +116,11 @@ pub fn check(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> 
 /// Summarizes a slice of checks (returns the pass count).
 pub fn summarize(checks: &[ShapeCheck]) -> usize {
     let pass = checks.iter().filter(|c| c.pass).count();
-    println!("shape checks: {pass}/{} pass", checks.len());
+    let _ = writeln!(
+        std::io::stdout(),
+        "shape checks: {pass}/{} pass",
+        checks.len()
+    );
     pass
 }
 
@@ -125,12 +132,21 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
         match serde_json::to_string_pretty(value) {
             Ok(s) => {
                 if let Err(e) = fs::write(&path, s) {
-                    eprintln!("warning: could not write {}: {e}", path.display());
+                    let _ = writeln!(
+                        std::io::stderr(),
+                        "warning: could not write {}: {e}",
+                        path.display()
+                    );
                 } else {
-                    println!("results written to {}", path.display());
+                    let _ = writeln!(std::io::stdout(), "results written to {}", path.display());
                 }
             }
-            Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+            Err(e) => {
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "warning: could not serialize {name}: {e}"
+                );
+            }
         }
     }
 }

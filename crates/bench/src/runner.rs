@@ -9,9 +9,16 @@ use crate::render::{check, Comparison, ShapeCheck};
 
 /// Runs all three policies on an experiment, printing progress.
 pub fn run_three(exp: &Experiment) -> [FlowReport; 3] {
+    use std::io::Write;
     let mut out = Vec::with_capacity(3);
     for policy in [FlowPolicy::NoMls, FlowPolicy::Sota, FlowPolicy::GnnMls] {
-        eprintln!("running {} [{}] ...", exp.name, policy.name());
+        // Tolerate a closed stderr (e.g. piped regenerator runs).
+        let _ = writeln!(
+            std::io::stderr(),
+            "running {} [{}] ...",
+            exp.name,
+            policy.name()
+        );
         let r = run_flow(&exp.design, &exp.cfg, policy).expect("flow succeeds");
         out.push(r);
     }

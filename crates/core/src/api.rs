@@ -1,0 +1,169 @@
+//! The unified front door for the GNN-MLS stack.
+//!
+//! Every consumer — the CLI, the `gnnmls-serve` daemon, and library
+//! users — reaches the flow and warm-session machinery through the same
+//! three entry points:
+//!
+//! - [`run_flow`] — one-shot flow for a validated [`SessionSpec`];
+//! - [`build_session`] + [`query`] — warm-session build and the single
+//!   query dispatcher ([`Query`] → [`QueryAnswer`]) that what-if,
+//!   inference, and stats requests all funnel through;
+//! - [`metrics`] — the process-wide observability registry rendered as
+//!   Prometheus-style text (what the serve `Metrics` request returns).
+//!
+//! Keeping one dispatch point means the serve handler, the CLI
+//! subcommands, and tests cannot drift apart in how they validate,
+//! build, or answer — they are the same code path. The older scattered
+//! entry points ([`crate::session::run_flow_for_spec`]) remain as
+//! `#[deprecated]` shims over this module.
+
+use crate::report::FlowReport;
+use crate::session::{
+    build_design, build_tech, DesignSession, InferResult, SessionError, SessionSpec, SessionStats,
+    WhatIfResult,
+};
+
+/// A query against a warm [`DesignSession`]: the request shapes shared
+/// by the serve wire protocol, the CLI client, and library callers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// Route `net` detached with MLS forced on/off, optionally under a
+    /// reduced A* expansion budget (a request deadline).
+    WhatIf {
+        /// The net to query.
+        net: u32,
+        /// Force MLS on (`true`) or off (`false`).
+        allow_mls: bool,
+        /// Optional expansion budget (clamped to the session's).
+        max_expansions: Option<usize>,
+    },
+    /// MLS inference over the session's worst `paths` warm samples.
+    Infer {
+        /// How many worst paths to infer over.
+        paths: usize,
+    },
+    /// The session's stats snapshot.
+    Stats,
+}
+
+/// The answer to a [`Query`], one variant per request shape.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryAnswer {
+    /// Answer to [`Query::WhatIf`].
+    WhatIf(WhatIfResult),
+    /// Answer to [`Query::Infer`].
+    Infer(InferResult),
+    /// Answer to [`Query::Stats`].
+    Stats(SessionStats),
+}
+
+/// One-shot flow run for a spec: validates, builds the named design,
+/// and delegates to [`crate::flow::run_flow`].
+///
+/// # Errors
+///
+/// Returns [`SessionError`] for a spec that fails admission validation
+/// or a failing flow stage.
+pub fn run_flow(spec: &SessionSpec) -> Result<FlowReport, SessionError> {
+    spec.validate().map_err(SessionError::from)?;
+    let tech = build_tech(&spec.tech, &spec.design)
+        .ok_or_else(|| SessionError::UnknownTech(spec.tech.clone()))?;
+    let design = build_design(&spec.design, &tech)
+        .ok_or_else(|| SessionError::UnknownDesign(spec.design.clone()))?;
+    let cfg = spec.flow_config();
+    Ok(crate::flow::run_flow(&design, &cfg, spec.policy)?)
+}
+
+/// Cold-builds a warm session for a spec (the expensive step the serve
+/// daemon caches behind its build lock).
+///
+/// # Errors
+///
+/// Returns [`SessionError`] for unknown names or a failing flow stage.
+pub fn build_session(spec: &SessionSpec) -> Result<DesignSession, SessionError> {
+    DesignSession::build(spec)
+}
+
+/// Answers one [`Query`] against a warm session — the single dispatch
+/// point the serve handler and the CLI both use.
+///
+/// # Errors
+///
+/// Returns the [`SessionError`] of the underlying session method
+/// (unknown net, no model, failed detached route).
+pub fn query(session: &DesignSession, q: &Query) -> Result<QueryAnswer, SessionError> {
+    match q {
+        Query::WhatIf {
+            net,
+            allow_mls,
+            max_expansions,
+        } => session
+            .what_if(*net, *allow_mls, *max_expansions)
+            .map(QueryAnswer::WhatIf),
+        Query::Infer { paths } => session.infer(*paths).map(QueryAnswer::Infer),
+        Query::Stats => Ok(QueryAnswer::Stats(session.stats())),
+    }
+}
+
+/// Renders the process-wide metrics registry as Prometheus-style text
+/// exposition — counters, gauges, and histograms from every crate in
+/// the stack (router search effort, rip-up convergence, serve queue and
+/// cache behavior, recovered panics, fault activations).
+pub fn metrics() -> String {
+    gnnmls_obs::render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_validates_before_work() {
+        let mut spec = SessionSpec::fast("maeri16");
+        spec.design = "nope".into();
+        assert!(matches!(
+            run_flow(&spec),
+            Err(SessionError::UnknownDesign(_))
+        ));
+        assert!(matches!(
+            build_session(&spec),
+            Err(SessionError::UnknownDesign(_))
+        ));
+    }
+
+    #[test]
+    fn query_dispatch_matches_direct_calls() {
+        let session = build_session(&SessionSpec::fast("maeri16")).unwrap();
+        let direct = session.stats();
+        match query(&session, &Query::Stats).unwrap() {
+            QueryAnswer::Stats(s) => assert_eq!(s, direct),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        let q = Query::WhatIf {
+            net: 0,
+            allow_mls: true,
+            max_expansions: None,
+        };
+        match (query(&session, &q), session.what_if(0, true, None)) {
+            (Ok(QueryAnswer::WhatIf(a)), Ok(b)) => assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("facade diverged from direct call: {a:?} vs {b:?}"),
+        }
+        // No-model sessions refuse inference through the facade too.
+        assert!(matches!(
+            query(&session, &Query::Infer { paths: 5 }),
+            Err(SessionError::NoModel)
+        ));
+    }
+
+    #[test]
+    fn metrics_exposition_is_parsable() {
+        let text = metrics();
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "unparsable line: {line}"
+            );
+        }
+    }
+}

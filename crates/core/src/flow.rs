@@ -60,7 +60,14 @@ impl FlowPolicy {
 }
 
 /// Flow configuration.
+///
+/// Construct through [`FlowConfig::new`] / [`FlowConfig::fast_test`] /
+/// [`FlowConfig::builder`]; the struct is `#[non_exhaustive]` so fields
+/// can grow without breaking downstream crates. To derive a modified
+/// copy, mutate the public fields or go through
+/// [`FlowConfig::to_builder`].
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct FlowConfig {
     /// Target clock frequency, MHz.
     pub target_freq_mhz: f64,
@@ -164,12 +171,134 @@ impl FlowConfig {
         self
     }
 
+    /// A checked builder seeded with the paper-like defaults at
+    /// `target_freq_mhz`. Prefer this over mutating public fields when
+    /// the values come from user input: [`FlowConfigBuilder::build`]
+    /// validates every knob and returns a typed
+    /// [`crate::session::ValidationError`] instead of letting a garbage
+    /// config reach the middle of the flow.
+    pub fn builder(target_freq_mhz: f64) -> FlowConfigBuilder {
+        FlowConfigBuilder {
+            cfg: Self::new(target_freq_mhz),
+        }
+    }
+
+    /// Re-opens this config as a builder — the supported way to derive
+    /// a modified copy now that the struct is `#[non_exhaustive]`.
+    pub fn to_builder(&self) -> FlowConfigBuilder {
+        FlowConfigBuilder { cfg: self.clone() }
+    }
+
     /// The routing config with the flow-level thread knob applied.
     pub(crate) fn route_cfg(&self) -> RouteConfig {
-        RouteConfig {
-            threads: self.threads,
-            ..self.route.clone()
+        self.route.clone().with_threads(self.threads)
+    }
+}
+
+macro_rules! flow_builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+/// Checked builder for [`FlowConfig`] (see [`FlowConfig::builder`]).
+#[derive(Clone, Debug)]
+pub struct FlowConfigBuilder {
+    cfg: FlowConfig,
+}
+
+impl FlowConfigBuilder {
+    flow_builder_setters! {
+        /// Target clock frequency, MHz.
+        target_freq_mhz: f64,
+        /// Placement knobs.
+        place: PlaceConfig,
+        /// Routing knobs (validated again at [`FlowConfigBuilder::build`]).
+        route: RouteConfig,
+        /// Model hyperparameters.
+        model: ModelConfig,
+        /// Oracle labeling threshold.
+        oracle: OracleConfig,
+        /// Paths labeled for fine-tuning.
+        train_paths: usize,
+        /// Extra labeled paths held out for evaluation metrics.
+        eval_paths: usize,
+        /// Paths used for DGI pretraining and decision inference.
+        inference_paths: usize,
+        /// MLS DFT strategy to insert post-route (`None` = skip DFT).
+        dft: Option<DftMode>,
+        /// PDN stripe pitch, µm.
+        pdn_pitch_um: f64,
+        /// IR-drop budget as % of the lowest VDD.
+        ir_budget_pct: f64,
+        /// Switching activity for the power model.
+        activity: f64,
+        /// Insert level shifters on 3D nets of heterogeneous stacks.
+        level_shifters: bool,
+        /// Repeater insertion parameters.
+        repeaters: RepeaterConfig,
+        /// Pre-trained model checkpoint (skips oracle + training).
+        pretrained: Option<ModelCheckpoint>,
+        /// Save the trained model as a JSON checkpoint after training.
+        save_model: Option<std::path::PathBuf>,
+        /// Run the PDN/IR analysis.
+        analyze_pdn: bool,
+        /// Stage-checkpoint directory for resumable flows.
+        resume: Option<PathBuf>,
+        /// Worker threads (`0` = all cores, `1` = serial).
+        threads: usize,
+    }
+
+    /// Validates every knob and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::session::ValidationError::BadFrequency`] for an
+    /// unusable target frequency and
+    /// [`crate::session::ValidationError::BadConfig`] for any other
+    /// out-of-domain field (including the nested [`RouteConfig`], which
+    /// is re-checked through its own builder).
+    pub fn build(self) -> Result<FlowConfig, crate::session::ValidationError> {
+        use crate::session::ValidationError;
+        let c = self.cfg;
+        if !c.target_freq_mhz.is_finite()
+            || c.target_freq_mhz <= 0.0
+            || c.target_freq_mhz > crate::session::MAX_FREQ_MHZ
+        {
+            return Err(ValidationError::BadFrequency(c.target_freq_mhz));
         }
+        let bad = |field: &'static str, got: String, want: &'static str| {
+            Err(ValidationError::BadConfig { field, got, want })
+        };
+        if c.inference_paths == 0 {
+            return bad("inference_paths", "0".to_string(), ">= 1");
+        }
+        if !(c.pdn_pitch_um.is_finite() && c.pdn_pitch_um > 0.0) {
+            return bad("pdn_pitch_um", c.pdn_pitch_um.to_string(), "finite > 0");
+        }
+        if !(c.ir_budget_pct.is_finite() && c.ir_budget_pct > 0.0) {
+            return bad("ir_budget_pct", c.ir_budget_pct.to_string(), "finite > 0");
+        }
+        if !(c.activity.is_finite() && (0.0..=1.0).contains(&c.activity)) {
+            return bad("activity", c.activity.to_string(), "finite in [0, 1]");
+        }
+        // The nested routing config has its own checked builder; a flow
+        // config is only as valid as the route config it carries.
+        if let Err(e) = c.route.to_builder().build() {
+            return Err(ValidationError::BadConfig {
+                field: e.field,
+                got: e.got,
+                want: e.want,
+            });
+        }
+        Ok(c)
     }
 }
 
@@ -324,12 +453,26 @@ where
 {
     if let Some(dir) = &cfg.resume {
         if let Some(v) = load_stage(dir, stage)? {
+            gnnmls_obs::event(
+                "checkpoint",
+                &[
+                    ("stage", gnnmls_obs::FieldValue::from(stage.to_string())),
+                    ("action", gnnmls_obs::FieldValue::Str("resume".to_string())),
+                ],
+            );
             return Ok(v);
         }
     }
     let v = compute()?;
     if let Some(dir) = &cfg.resume {
         save_stage(dir, stage, &v)?;
+        gnnmls_obs::event(
+            "checkpoint",
+            &[
+                ("stage", gnnmls_obs::FieldValue::from(stage.to_string())),
+                ("action", gnnmls_obs::FieldValue::Str("save".to_string())),
+            ],
+        );
     }
     Ok(v)
 }
@@ -368,20 +511,36 @@ pub fn run_flow(
     let panics0 = gnnmls_par::recovered_panics();
     let mut degradation = DegradationSummary::default();
 
+    gnnmls_obs::counter_add("gnnmls_flow_runs_total", &[("policy", policy.name())], 1);
+    let mut flow_span = gnnmls_obs::span("flow");
+    flow_span.field_str("design", design.netlist.name());
+    flow_span.field_str("policy", policy.name());
+
     let tech = &design.tech;
     let sta_cfg = StaConfig::from_freq_mhz(cfg.target_freq_mhz);
     let mut netlist = design.netlist.clone();
-    let mut placement = place(&netlist, &cfg.place)?;
+    let mut placement = {
+        let _s = gnnmls_obs::span("place");
+        place(&netlist, &cfg.place)?
+    };
 
     // Level shifters on 3D signals (heterogeneous stacks).
-    let ls = if cfg.level_shifters {
-        insert_level_shifters(&mut netlist, &mut placement, tech)?
-    } else {
-        Default::default()
+    let ls = {
+        let mut s = gnnmls_obs::span("level_shifters");
+        let ls = if cfg.level_shifters {
+            insert_level_shifters(&mut netlist, &mut placement, tech)?
+        } else {
+            Default::default()
+        };
+        s.field_u64("inserted", ls.count as u64);
+        ls
     };
     // Physical synthesis: break over-long wires with repeaters (keep in
     // sync with [`prepare`]).
-    insert_repeaters(&mut netlist, &mut placement, tech, &cfg.repeaters)?;
+    {
+        let _s = gnnmls_obs::span("repeaters");
+        insert_repeaters(&mut netlist, &mut placement, tech, &cfg.repeaters)?;
+    }
 
     // Resolve the routing policy; GNN-MLS trains its decisions first
     // (or resumes them from the checkpointed stage).
@@ -391,6 +550,7 @@ pub fn run_flow(
         FlowPolicy::NoMls => MlsPolicy::Disabled,
         FlowPolicy::Sota => MlsPolicy::sota(),
         FlowPolicy::GnnMls => {
+            let mut s = gnnmls_obs::span("decisions");
             let decisions = resume_or(cfg, &format!("decisions-{slug}"), || {
                 let t0 = Instant::now();
                 let mut d = learn_decisions(&netlist, &placement, tech, cfg, sta_cfg)?;
@@ -401,8 +561,11 @@ pub fn run_flow(
             train_summary = decisions.train;
             degradation.model_fallback = decisions.model_fallback;
             degradation.training_retries = decisions.training_retries;
+            s.field_u64("selected", decisions.selected.len() as u64);
+            s.field_bool("model_fallback", decisions.model_fallback);
+            s.field_u64("training_retries", u64::from(decisions.training_retries));
             if decisions.model_fallback {
-                eprintln!("gnn-mls: using heuristic MLS policy (model fallback)");
+                gnnmls_obs::warn("gnn-mls", "using heuristic MLS policy (model fallback)");
                 MlsPolicy::sota()
             } else {
                 MlsPolicy::per_net_from(&netlist, decisions.selected)
@@ -413,34 +576,52 @@ pub fn run_flow(
     // Targeted routing + STA. The grid is a deterministic function of
     // the placement and config, so a resumed route DB rebuilds it
     // without re-routing.
-    let mut routes: RouteDb = resume_or(cfg, &format!("routes-{slug}"), || {
-        let (db, _) = route_design(
-            &netlist,
-            &placement,
+    let (mut routes, grid) = {
+        let mut s = gnnmls_obs::span("route");
+        let routes: RouteDb = resume_or(cfg, &format!("routes-{slug}"), || {
+            let (db, _) = route_design(
+                &netlist,
+                &placement,
+                tech,
+                route_policy.clone(),
+                cfg.route_cfg(),
+            )?;
+            Ok(db)
+        })?;
+        let grid = RoutingGrid::build(
+            placement.floorplan(),
             tech,
-            route_policy.clone(),
-            cfg.route_cfg(),
-        )?;
-        Ok(db)
-    })?;
-    let grid = RoutingGrid::build(
-        placement.floorplan(),
-        tech,
-        cfg.route_cfg().target_gcells,
-        cfg.route_cfg().pdn_top_util_logic,
-        cfg.route_cfg().pdn_top_util_memory,
-    );
+            cfg.route_cfg().target_gcells,
+            cfg.route_cfg().pdn_top_util_logic,
+            cfg.route_cfg().pdn_top_util_memory,
+        );
+        s.field_u64("mls_nets", routes.summary.mls_net_count as u64);
+        s.field_u64(
+            "pattern_fallback_sinks",
+            routes.summary.pattern_fallback_sinks as u64,
+        );
+        (routes, grid)
+    };
     // Post-stage audit: whether the DB was just routed or resumed from
     // a checkpoint, prove its invariants before STA consumes it.
-    crate::audit::check_routes(
-        &netlist,
-        &grid,
-        &route_policy,
-        &routes,
-        gnnmls_route::AuditMode::Full,
-        &format!("routes-{slug}"),
-    )?;
-    let mut timing = analyze(&netlist, &routes, sta_cfg)?;
+    {
+        let _s = gnnmls_obs::span("audit_routes");
+        crate::audit::check_routes(
+            &netlist,
+            &grid,
+            &route_policy,
+            &routes,
+            gnnmls_route::AuditMode::Full,
+            &format!("routes-{slug}"),
+        )?;
+    }
+    let mut timing = {
+        let mut s = gnnmls_obs::span("sta");
+        let timing = analyze(&netlist, &routes, sta_cfg)?;
+        s.field_u64("endpoints", timing.endpoint_count() as u64);
+        s.field_u64("violating", timing.violating_endpoints() as u64);
+        timing
+    };
 
     // Optional MLS DFT ECO: logical coverage first (pre-ECO routes define
     // the opens), then the physical insertion + re-route + re-STA.
@@ -448,7 +629,9 @@ pub fn run_flow(
     let mut faults = None;
     let mut dft_cells = 0;
     if let Some(mode) = cfg.dft {
+        let mut dft_span = gnnmls_obs::span("dft_eco");
         let rec = insert_mls_dft(&mut netlist, &mut placement, &routes, &grid, tech, mode)?;
+        dft_span.field_u64("added_cells", rec.added_cells.len() as u64);
         dft_cells = rec.added_cells.len();
         if !rec.added_cells.is_empty() {
             // Preserve MLS permission for the split nets and their
@@ -501,23 +684,29 @@ pub fn run_flow(
     }
 
     // Power.
-    let power = PowerReport::compute(
-        &netlist,
-        &routes,
-        tech,
-        &PowerConfig {
-            activity: cfg.activity,
-            freq_mhz: cfg.target_freq_mhz,
-        },
-    );
+    let power = {
+        let _s = gnnmls_obs::span("power");
+        PowerReport::compute(
+            &netlist,
+            &routes,
+            tech,
+            &PowerConfig {
+                activity: cfg.activity,
+                freq_mhz: cfg.target_freq_mhz,
+            },
+        )
+    };
 
     // PDN + IR.
     let (ir_drop_pct, pdn) = if cfg.analyze_pdn {
+        let mut s = gnnmls_obs::span("pdn");
         let (spec, worst, converged) = pdn_for_design(&netlist, &placement, tech, &power, cfg);
+        s.field_bool("converged", converged);
         if !converged {
-            eprintln!(
-                "gnn-mls: IR solve hit its iteration cap without converging; \
-                 reported drop may be optimistic"
+            gnnmls_obs::warn(
+                "gnn-mls",
+                "IR solve hit its iteration cap without converging; \
+                 reported drop may be optimistic",
             );
             degradation.ir_nonconverged = true;
         }
@@ -530,6 +719,23 @@ pub fn run_flow(
     degradation.pattern_fallback_sinks = routes.summary.pattern_fallback_sinks;
     degradation.isolated_route_failures = routes.summary.isolated_failures;
     degradation.recovered_worker_panics = gnnmls_par::recovered_panics() - panics0;
+
+    // The flow span carries every graceful-degradation flag, so a trace
+    // alone answers "did this run cut any corners?".
+    flow_span.field_bool("model_fallback", degradation.model_fallback);
+    flow_span.field_bool("ir_nonconverged", degradation.ir_nonconverged);
+    flow_span.field_u64(
+        "pattern_fallback_nets",
+        degradation.pattern_fallback_nets as u64,
+    );
+    flow_span.field_u64(
+        "isolated_route_failures",
+        degradation.isolated_route_failures as u64,
+    );
+    flow_span.field_u64(
+        "recovered_worker_panics",
+        degradation.recovered_worker_panics as u64,
+    );
 
     let fp: &Floorplan = placement.floorplan();
     let report = FlowReport {
@@ -563,6 +769,13 @@ pub fn run_flow(
     };
     if let Some(dir) = &cfg.resume {
         save_stage(dir, &report_stage, &report)?;
+        gnnmls_obs::event(
+            "checkpoint",
+            &[
+                ("stage", gnnmls_obs::FieldValue::from(report_stage)),
+                ("action", gnnmls_obs::FieldValue::Str("save".to_string())),
+            ],
+        );
     }
     Ok(report)
 }
@@ -639,9 +852,12 @@ pub(crate) fn learn_decisions_with_model(
                 Some(model),
             ),
             Err(e) => {
-                eprintln!(
-                    "gnn-mls: pretrained model unusable ({e}); \
-                     falling back to the heuristic MLS policy"
+                gnnmls_obs::warn(
+                    "gnn-mls",
+                    &format!(
+                        "pretrained model unusable ({e}); \
+                         falling back to the heuristic MLS policy"
+                    ),
                 );
                 (fallback(0), None)
             }
@@ -668,9 +884,12 @@ pub(crate) fn learn_decisions_with_model(
         // Divergence past the retry budget is recoverable: route with
         // the heuristic policy instead. Anything else is a caller bug.
         Err(e @ ModelError::Diverged { .. }) => {
-            eprintln!(
-                "gnn-mls: training failed ({e}); \
-                 falling back to the heuristic MLS policy"
+            gnnmls_obs::warn(
+                "gnn-mls",
+                &format!(
+                    "training failed ({e}); \
+                     falling back to the heuristic MLS policy"
+                ),
             );
             return Ok((fallback(model.divergence_retries()), None));
         }

@@ -40,10 +40,22 @@
 //! ```
 
 // The flow hot path must degrade or return typed errors, never panic;
-// tests may still unwrap freely.
+// tests may still unwrap freely. Diagnostics go through gnnmls-obs
+// (structured warn events + counters), never straight to the process
+// streams.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
-#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stdout,
+        clippy::print_stderr
+    )
+)]
 
+pub mod api;
 pub mod audit;
 pub mod checkpoint;
 pub mod features;
@@ -54,10 +66,11 @@ pub mod paths;
 pub mod report;
 pub mod session;
 
+pub use api::{Query, QueryAnswer};
 pub use audit::{check_report, check_routes};
 pub use checkpoint::{CheckpointError, ModelCheckpoint};
 pub use features::{node_features, FeatureScaler, FEATURE_DIM};
-pub use flow::{run_flow, FlowConfig, FlowError, FlowPolicy};
+pub use flow::{run_flow, FlowConfig, FlowConfigBuilder, FlowError, FlowPolicy};
 pub use gnnmls_route::{AuditMode, AuditViolation};
 pub use model::{GnnMls, ModelConfig};
 pub use oracle::{label_paths, net_mls_impact, NetImpact, OracleConfig};

@@ -313,9 +313,12 @@ impl GnnMls {
                 lr *= 0.5;
                 adam = Adam::new(lr);
                 let _ = self.enc_params.restore(snapshot);
-                eprintln!(
-                    "gnn-mls: pretrain epoch {epoch} diverged; retrying from last good epoch \
-                     at lr {lr:e}"
+                gnnmls_obs::warn(
+                    "gnn-mls",
+                    &format!(
+                        "pretrain epoch {epoch} diverged; retrying from last good epoch \
+                         at lr {lr:e}"
+                    ),
                 );
                 continue;
             }
@@ -423,9 +426,12 @@ impl GnnMls {
                 enc_adam = Adam::new(enc_lr);
                 let _ = self.head_params.restore(head_snap);
                 let _ = self.enc_params.restore(enc_snap);
-                eprintln!(
-                    "gnn-mls: finetune epoch {epoch} diverged; retrying from last good epoch \
-                     at lr {head_lr:e}"
+                gnnmls_obs::warn(
+                    "gnn-mls",
+                    &format!(
+                        "finetune epoch {epoch} diverged; retrying from last good epoch \
+                         at lr {head_lr:e}"
+                    ),
                 );
                 continue;
             }

@@ -366,10 +366,7 @@ mod tests {
                 &placement,
                 &tech,
                 MlsPolicy::Disabled,
-                RouteConfig {
-                    threads,
-                    ..RouteConfig::default()
-                },
+                RouteConfig::default().with_threads(threads),
             )
             .unwrap();
             router.route_all().unwrap();

@@ -98,6 +98,17 @@ pub enum ValidationError {
         /// The server's limit.
         max: u64,
     },
+    /// A config-builder field outside its valid domain (see
+    /// [`crate::flow::FlowConfigBuilder::build`] and the route/serve
+    /// builders, which all funnel here).
+    BadConfig {
+        /// The offending field.
+        field: &'static str,
+        /// The value as given.
+        got: String,
+        /// What the field requires.
+        want: &'static str,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -115,6 +126,9 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::BadPaths { got, max } => {
                 write!(f, "paths {got} outside 1..={max}")
+            }
+            ValidationError::BadConfig { field, got, want } => {
+                write!(f, "config field `{field}` = {got} (want {want})")
             }
         }
     }
@@ -632,20 +646,14 @@ impl DesignSession {
     }
 }
 
-/// One-shot flow run for a spec (the serve `RunFlow` request): builds
-/// the design and delegates to [`crate::flow::run_flow`].
+/// One-shot flow run for a spec (the serve `RunFlow` request).
 ///
 /// # Errors
 ///
 /// Returns [`SessionError`] for unknown names or a failing flow.
+#[deprecated(since = "0.1.0", note = "use `gnn_mls::api::run_flow` instead")]
 pub fn run_flow_for_spec(spec: &SessionSpec) -> Result<FlowReport, SessionError> {
-    spec.validate().map_err(SessionError::from)?;
-    let tech = build_tech(&spec.tech, &spec.design)
-        .ok_or_else(|| SessionError::UnknownTech(spec.tech.clone()))?;
-    let design = build_design(&spec.design, &tech)
-        .ok_or_else(|| SessionError::UnknownDesign(spec.design.clone()))?;
-    let cfg = spec.flow_config();
-    Ok(crate::flow::run_flow(&design, &cfg, spec.policy)?)
+    crate::api::run_flow(spec)
 }
 
 #[cfg(test)]

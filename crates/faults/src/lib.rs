@@ -13,6 +13,11 @@
 //! derive the site set from a splitmix64 stream so a single integer
 //! reproduces an injected-fault run exactly.
 
+// Diagnostics flow through gnnmls-obs, never straight to the
+// process streams.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(test, allow(clippy::print_stdout, clippy::print_stderr))]
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
@@ -184,22 +189,24 @@ impl FaultPlan {
         for part in raw.split(',') {
             let part = part.trim();
             let (name, shots) = match part.split_once(':') {
-                Some((n, s)) => {
-                    match s.trim().parse::<u32>() {
-                        Ok(k) => (n.trim(), k),
-                        Err(_) => {
-                            eprintln!("gnnmls-faults: ignoring GNNMLS_FAULTS entry {part:?} (bad shot count)");
-                            return None;
-                        }
+                Some((n, s)) => match s.trim().parse::<u32>() {
+                    Ok(k) => (n.trim(), k),
+                    Err(_) => {
+                        gnnmls_obs::warn(
+                            "gnnmls-faults",
+                            &format!("ignoring GNNMLS_FAULTS entry {part:?} (bad shot count)"),
+                        );
+                        return None;
                     }
-                }
+                },
                 None => (part, 1),
             };
             match FaultSite::from_name(name) {
                 Some(site) => p.shots[site.index()] += shots,
                 None => {
-                    eprintln!(
-                        "gnnmls-faults: ignoring GNNMLS_FAULTS entry {part:?} (unknown site)"
+                    gnnmls_obs::warn(
+                        "gnnmls-faults",
+                        &format!("ignoring GNNMLS_FAULTS entry {part:?} (unknown site)"),
                     );
                     return None;
                 }
@@ -279,15 +286,25 @@ pub fn install_from_env() -> Option<FaultGuard> {
 
 /// Should a fault fire at this seam? Consumes one shot when it does.
 ///
-/// With nothing installed this is one relaxed atomic load.
+/// With nothing installed this is one relaxed atomic load. An actual
+/// activation (rare by construction) is counted into the
+/// `gnnmls_faults_fired_total{site=...}` metric and, when a trace sink
+/// is installed, emitted as a `fault` event.
 #[inline]
 pub fn fire(site: FaultSite) -> bool {
     if !ARMED.load(Ordering::Relaxed) {
         return false;
     }
     let slot = &REMAINING[site.index()];
-    slot.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-        .is_ok()
+    let fired = slot
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .is_ok();
+    if fired {
+        let name = site.to_string();
+        gnnmls_obs::counter_add("gnnmls_faults_fired_total", &[("site", &name)], 1);
+        gnnmls_obs::event("fault", &[("site", gnnmls_obs::FieldValue::Str(name))]);
+    }
+    fired
 }
 
 #[cfg(test)]
@@ -335,6 +352,23 @@ mod tests {
         assert_eq!(ALL_SITES[11], FaultSite::RouteAuditCorrupt);
         assert_eq!(FaultSite::SessionBuildFail.to_string(), "build-fail");
         assert_eq!(FaultSite::RouteAuditCorrupt.to_string(), "audit-violation");
+    }
+
+    #[test]
+    fn activations_are_counted_events() {
+        let site = FaultSite::FrameCorrupt;
+        let labels = [("site", "frame-corrupt")];
+        let before = gnnmls_obs::dyn_counter_value("gnnmls_faults_fired_total", &labels);
+        let guard = install(&FaultPlan::single(site, 2));
+        assert!(fire(site));
+        assert!(fire(site));
+        assert!(!fire(site), "shots exhausted");
+        drop(guard);
+        assert_eq!(
+            gnnmls_obs::dyn_counter_value("gnnmls_faults_fired_total", &labels),
+            before + 2,
+            "only actual activations are counted"
+        );
     }
 
     #[test]

@@ -108,11 +108,11 @@ fn injected_unroutable_nets_are_isolated_per_net() {
         &placement,
         &tech,
         MlsPolicy::Disabled,
-        RouteConfig {
-            target_gcells: 64,
-            ripup_rounds: 2,
-            ..RouteConfig::default()
-        },
+        RouteConfig::builder()
+            .target_gcells(64)
+            .ripup_rounds(2)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     drop(guard);

@@ -30,6 +30,10 @@
 //! # }
 //! ```
 
+// Library diagnostics go through `gnnmls_obs::warn`, never raw prints.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(test, allow(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod cell;
 pub mod generators;
 pub mod graph;

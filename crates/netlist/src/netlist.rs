@@ -653,9 +653,10 @@ impl NetlistBuilder {
                 _ => return Err(NetlistError::NoDriver(id)),
             }
             if net.pins.len() < 2 {
-                if std::env::var("GNNMLS_DEBUG_VALIDATE").is_ok() {
-                    eprintln!("sinkless net: {} ({})", net.name, id);
-                }
+                gnnmls_obs::warn(
+                    "gnnmls-netlist",
+                    &format!("sinkless net: {} ({})", net.name, id),
+                );
                 return Err(NetlistError::NoSinks(id));
             }
         }

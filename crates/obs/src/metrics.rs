@@ -1,0 +1,453 @@
+//! Counters, gauges, and fixed-bucket histograms behind a
+//! lock-free-ish registry.
+//!
+//! Static metrics are declared as `static` items with `const`
+//! constructors, cost one relaxed atomic RMW per update, and register
+//! themselves with the global exposition registry on first touch (an
+//! `AtomicBool` guard, so the registry mutex is taken once per metric
+//! per process, never on the hot path).
+//!
+//! Labeled families (per-layer overflow, per-tier MLS borrows, per-site
+//! fault activations) are dynamic: a mutex-guarded map keyed by
+//! `(name, labels)`. They are updated at summary time or on rare
+//! events, never inside routing inner loops.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Maximum number of finite bucket bounds a [`Histogram`] may declare
+/// (one more bucket, `+Inf`, is implicit).
+pub const MAX_HISTOGRAM_BOUNDS: usize = 15;
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Declares a counter; `name` should follow Prometheus conventions
+    /// (`snake_case`, `_total` suffix).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&'static self, n: u64) {
+        self.touch();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Registers the counter with the exposition (at value 0) without
+    /// incrementing it, so rarely-firing metrics are visible — and
+    /// readable as "zero events" — from process start.
+    pub fn register(&'static self) {
+        self.touch();
+    }
+
+    /// Adds 1.
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn touch(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            register(MetricRef::Counter(self));
+        }
+    }
+}
+
+/// A gauge: a value that can go up and down.
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicI64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Declares a gauge.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            value: AtomicI64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&'static self, v: i64) {
+        self.touch();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&'static self, delta: i64) {
+        self.touch();
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Registers the gauge with the exposition without setting it.
+    pub fn register(&'static self) {
+        self.touch();
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn touch(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            register(MetricRef::Gauge(self));
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// Bounds are inclusive upper edges (`v <= bound` lands in that
+/// bucket); anything above the last bound lands in the implicit `+Inf`
+/// bucket. The exposition renders cumulative bucket counts the way
+/// Prometheus expects.
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    bounds: &'static [u64],
+    buckets: [AtomicU64; MAX_HISTOGRAM_BOUNDS + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Declares a histogram with the given inclusive upper bounds,
+    /// which must be strictly increasing and at most
+    /// [`MAX_HISTOGRAM_BOUNDS`] long (checked at compile time — the
+    /// constructor is `const` and panics in const evaluation on a bad
+    /// bound list).
+    pub const fn new(name: &'static str, help: &'static str, bounds: &'static [u64]) -> Self {
+        assert!(bounds.len() <= MAX_HISTOGRAM_BOUNDS, "too many bounds");
+        let mut i = 1;
+        while i < bounds.len() {
+            assert!(bounds[i - 1] < bounds[i], "bounds must strictly increase");
+            i += 1;
+        }
+        Self {
+            name,
+            help,
+            bounds,
+            buckets: [const { AtomicU64::new(0) }; MAX_HISTOGRAM_BOUNDS + 1],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&'static self, v: u64) {
+        self.touch();
+        let idx = match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => i,
+            None => self.bounds.len(),
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers the histogram with the exposition without recording
+    /// an observation.
+    pub fn register(&'static self) {
+        self.touch();
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-cumulative count in bucket `i` (`bounds.len()` = `+Inf`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// The declared bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn touch(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            register(MetricRef::Histogram(self));
+        }
+    }
+}
+
+/// A registered static metric.
+#[derive(Clone, Copy)]
+pub(crate) enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl MetricRef {
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            MetricRef::Counter(c) => c.name,
+            MetricRef::Gauge(g) => g.name,
+            MetricRef::Histogram(h) => h.name,
+        }
+    }
+
+    pub(crate) fn help(&self) -> &'static str {
+        match self {
+            MetricRef::Counter(c) => c.help,
+            MetricRef::Gauge(g) => g.help,
+            MetricRef::Histogram(h) => h.help,
+        }
+    }
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+fn register(m: MetricRef) {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(m);
+}
+
+pub(crate) fn registry_snapshot() -> Vec<MetricRef> {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// One labeled dynamic metric cell.
+#[derive(Clone)]
+pub(crate) enum DynMetric {
+    Counter(u64),
+    Histogram {
+        bounds: Vec<u64>,
+        buckets: Vec<u64>,
+        sum: u64,
+        count: u64,
+    },
+}
+
+pub(crate) type DynKey = (String, Vec<(String, String)>);
+
+static DYNAMIC: Mutex<BTreeMap<DynKey, DynMetric>> = Mutex::new(BTreeMap::new());
+
+fn dyn_key(name: &str, labels: &[(&str, &str)]) -> DynKey {
+    (
+        name.to_string(),
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    )
+}
+
+/// Adds `n` to the labeled counter `name{labels}` (created on first
+/// touch). For rare events and summary-time accounting, not hot loops.
+pub fn counter_add(name: &str, labels: &[(&str, &str)], n: u64) {
+    let mut map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    match map
+        .entry(dyn_key(name, labels))
+        .or_insert(DynMetric::Counter(0))
+    {
+        DynMetric::Counter(v) => *v += n,
+        // A histogram already owns this key; keep it rather than panic.
+        DynMetric::Histogram { .. } => {}
+    }
+}
+
+/// Records `v` into the labeled histogram `name{labels}` with the given
+/// inclusive upper `bounds` (fixed on first touch).
+pub fn observe(name: &str, labels: &[(&str, &str)], bounds: &[u64], v: u64) {
+    let mut map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    let cell = map
+        .entry(dyn_key(name, labels))
+        .or_insert_with(|| DynMetric::Histogram {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        });
+    if let DynMetric::Histogram {
+        bounds,
+        buckets,
+        sum,
+        count,
+    } = cell
+    {
+        let idx = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+        buckets[idx] += 1;
+        *sum += v;
+        *count += 1;
+    }
+}
+
+/// Creates the labeled histogram `name{labels}` with the given bounds
+/// but records nothing, so the series is visible (all-zero) before its
+/// first real observation.
+pub fn register_histogram(name: &str, labels: &[(&str, &str)], bounds: &[u64]) {
+    let mut map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    map.entry(dyn_key(name, labels))
+        .or_insert_with(|| DynMetric::Histogram {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        });
+}
+
+/// Current value of a labeled counter (0 when never touched).
+pub fn dyn_counter_value(name: &str, labels: &[(&str, &str)]) -> u64 {
+    let map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    match map.get(&dyn_key(name, labels)) {
+        Some(DynMetric::Counter(v)) => *v,
+        _ => 0,
+    }
+}
+
+/// Observation count of a labeled histogram (0 when never touched).
+pub fn dyn_histogram_count(name: &str, labels: &[(&str, &str)]) -> u64 {
+    let map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    match map.get(&dyn_key(name, labels)) {
+        Some(DynMetric::Histogram { count, .. }) => *count,
+        _ => 0,
+    }
+}
+
+pub(crate) fn dynamic_snapshot() -> BTreeMap<DynKey, DynMetric> {
+    DYNAMIC
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static T_COUNTER: Counter = Counter::new("obs_test_counter_total", "test counter");
+    static T_GAUGE: Gauge = Gauge::new("obs_test_gauge", "test gauge");
+    static T_HIST: Histogram = Histogram::new("obs_test_hist", "test histogram", &[1, 2, 4, 8, 16]);
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let before = T_COUNTER.get();
+        T_COUNTER.inc();
+        T_COUNTER.add(4);
+        assert_eq!(T_COUNTER.get(), before + 5);
+        T_GAUGE.set(7);
+        T_GAUGE.add(-3);
+        assert_eq!(T_GAUGE.get(), 4);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        static H: Histogram = Histogram::new("obs_test_bounds", "bounds", &[10, 20, 30]);
+        // Exactly on a bound lands in that bucket; one past it spills
+        // into the next; far past everything lands in +Inf.
+        H.observe(10);
+        H.observe(11);
+        H.observe(20);
+        H.observe(21);
+        H.observe(30);
+        H.observe(31);
+        H.observe(1_000_000);
+        assert_eq!(H.bucket_count(0), 1, "<=10");
+        assert_eq!(H.bucket_count(1), 2, "<=20");
+        assert_eq!(H.bucket_count(2), 2, "<=30");
+        assert_eq!(H.bucket_count(3), 2, "+Inf");
+        assert_eq!(H.count(), 7);
+        assert_eq!(H.sum(), 10 + 11 + 20 + 21 + 30 + 31 + 1_000_000);
+    }
+
+    #[test]
+    fn histogram_zero_and_first_bound() {
+        static H: Histogram = Histogram::new("obs_test_zero", "zero edge", &[0, 5]);
+        H.observe(0);
+        H.observe(1);
+        H.observe(5);
+        H.observe(6);
+        assert_eq!(H.bucket_count(0), 1, "<=0");
+        assert_eq!(H.bucket_count(1), 2, "<=5");
+        assert_eq!(H.bucket_count(2), 1, "+Inf");
+    }
+
+    #[test]
+    fn touched_metrics_appear_once_in_registry() {
+        T_HIST.observe(3);
+        T_HIST.observe(3);
+        let names: Vec<&str> = registry_snapshot().iter().map(|m| m.name()).collect();
+        let hits = names.iter().filter(|n| **n == "obs_test_hist").count();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn labeled_metrics_accumulate_per_label() {
+        let l0 = [("layer", "M1")];
+        let l1 = [("layer", "M2")];
+        let before0 = dyn_counter_value("obs_test_labeled_total", &l0);
+        counter_add("obs_test_labeled_total", &l0, 2);
+        counter_add("obs_test_labeled_total", &l1, 5);
+        counter_add("obs_test_labeled_total", &l0, 1);
+        assert_eq!(
+            dyn_counter_value("obs_test_labeled_total", &l0),
+            before0 + 3
+        );
+        assert!(dyn_counter_value("obs_test_labeled_total", &l1) >= 5);
+
+        let before = dyn_histogram_count("obs_test_labeled_hist", &l0);
+        observe("obs_test_labeled_hist", &l0, &[1, 2], 1);
+        observe("obs_test_labeled_hist", &l0, &[1, 2], 9);
+        assert_eq!(
+            dyn_histogram_count("obs_test_labeled_hist", &l0),
+            before + 2
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Prometheus-style text exposition of every touched metric.
+
+use std::fmt::Write;
+
+use crate::metrics::{dynamic_snapshot, registry_snapshot, DynMetric, MetricRef};
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(s, "{k}=\"{escaped}\"");
+    }
+    s.push('}');
+    s
+}
+
+fn label_block_with(labels: &[(String, String)], extra_k: &str, extra_v: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push((extra_k.to_string(), extra_v.to_string()));
+    label_block(&all)
+}
+
+/// Renders every metric touched so far as Prometheus-style text:
+/// `# HELP` / `# TYPE` headers followed by sample lines, sorted by
+/// metric name so the output is stable across runs.
+pub fn render() -> String {
+    let mut out = String::new();
+
+    let mut statics = registry_snapshot();
+    statics.sort_by_key(|m| m.name());
+    for m in &statics {
+        let _ = writeln!(out, "# HELP {} {}", m.name(), m.help());
+        match m {
+            MetricRef::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {} counter", c.name());
+                let _ = writeln!(out, "{} {}", c.name(), c.get());
+            }
+            MetricRef::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {} gauge", g.name());
+                let _ = writeln!(out, "{} {}", g.name(), g.get());
+            }
+            MetricRef::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {} histogram", h.name());
+                let mut cum = 0u64;
+                for (i, b) in h.bounds().iter().enumerate() {
+                    cum += h.bucket_count(i);
+                    let _ = writeln!(out, "{}_bucket{{le=\"{b}\"}} {cum}", h.name());
+                }
+                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name(), h.count());
+                let _ = writeln!(out, "{}_sum {}", h.name(), h.sum());
+                let _ = writeln!(out, "{}_count {}", h.name(), h.count());
+            }
+        }
+    }
+
+    // Dynamic labeled families: the BTreeMap iterates sorted by
+    // (name, labels); emit one TYPE header per name group.
+    let dynamic = dynamic_snapshot();
+    let mut last_name: Option<String> = None;
+    for ((name, labels), metric) in &dynamic {
+        let new_group = last_name.as_deref() != Some(name.as_str());
+        match metric {
+            DynMetric::Counter(v) => {
+                if new_group {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                }
+                let _ = writeln!(out, "{name}{} {v}", label_block(labels));
+            }
+            DynMetric::Histogram {
+                bounds,
+                buckets,
+                sum,
+                count,
+            } => {
+                if new_group {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                }
+                let mut cum = 0u64;
+                for (i, b) in bounds.iter().enumerate() {
+                    cum += buckets[i];
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        label_block_with(labels, "le", &b.to_string())
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {count}",
+                    label_block_with(labels, "le", "+Inf")
+                );
+                let _ = writeln!(out, "{name}_sum{} {sum}", label_block(labels));
+                let _ = writeln!(out, "{name}_count{} {count}", label_block(labels));
+            }
+        }
+        last_name = Some(name.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter_add, observe, Counter, Histogram};
+
+    static R_COUNTER: Counter = Counter::new("obs_render_counter_total", "render test");
+    static R_HIST: Histogram = Histogram::new("obs_render_hist", "render hist", &[5, 10]);
+
+    #[test]
+    fn exposition_contains_touched_metrics() {
+        R_COUNTER.add(3);
+        R_HIST.observe(4);
+        R_HIST.observe(7);
+        R_HIST.observe(99);
+        counter_add("obs_render_labeled_total", &[("tier", "t16")], 2);
+        observe("obs_render_labeled_hist", &[("layer", "M3")], &[1, 8], 6);
+
+        let text = render();
+        assert!(text.contains("# TYPE obs_render_counter_total counter"));
+        assert!(
+            text.contains("obs_render_counter_total 3")
+                || text.contains("obs_render_counter_total ")
+        );
+        assert!(text.contains("# TYPE obs_render_hist histogram"));
+        assert!(text.contains("obs_render_hist_bucket{le=\"5\"} 1"));
+        assert!(text.contains("obs_render_hist_bucket{le=\"10\"} 2"));
+        assert!(text.contains("obs_render_hist_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("obs_render_hist_count 3"));
+        assert!(text.contains("obs_render_labeled_total{tier=\"t16\"} 2"));
+        assert!(text.contains("obs_render_labeled_hist_bucket{layer=\"M3\",le=\"8\"} 1"));
+        assert!(text.contains("obs_render_labeled_hist_count{layer=\"M3\"} 1"));
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_parsable() {
+        R_COUNTER.inc();
+        let text = render();
+        let mut names: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                names.push(parts.next().unwrap());
+                let ty = parts.next().unwrap();
+                assert!(matches!(ty, "counter" | "gauge" | "histogram"));
+            } else if !line.starts_with('#') {
+                // Sample line: name[{labels}] value
+                let (series, value) = line.rsplit_once(' ').unwrap();
+                assert!(!series.is_empty());
+                assert!(
+                    value.parse::<i64>().is_ok() || value.parse::<f64>().is_ok(),
+                    "unparsable value in {line:?}"
+                );
+            }
+        }
+    }
+}

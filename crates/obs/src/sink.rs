@@ -1,0 +1,199 @@
+//! Trace sinks: where emitted JSONL records go.
+//!
+//! Exactly one sink is installed at a time. The emission hot-path gate
+//! is a single relaxed atomic ([`enabled`]); when it reads `false`,
+//! spans are inert (no clock read, no allocation) — the pattern the
+//! `gnnmls-faults` crate uses for its `ARMED` flag, benched by the
+//! `obs-overhead` bench.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Environment variable naming the JSONL trace file.
+pub const TRACE_ENV: &str = "GNNMLS_TRACE";
+
+/// A destination for emitted JSONL records.
+pub trait Sink: Send + Sync {
+    /// Receives one complete JSON object (no trailing newline).
+    fn emit(&self, line: &str);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+
+/// Whether a sink is installed. One relaxed load; callers use this to
+/// skip building records entirely.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-wide trace destination and enables
+/// emission. Replaces any previous sink.
+pub fn install(sink: Arc<dyn Sink>) {
+    *SINK.lock().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables emission and drops the installed sink.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *SINK.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+pub(crate) fn emit_line(line: &str) {
+    let sink = SINK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_ref()
+        .cloned();
+    if let Some(s) = sink {
+        s.emit(line);
+    }
+}
+
+/// Reads [`TRACE_ENV`] and, when set and non-empty, installs a
+/// [`JsonlSink`] appending to that path.
+///
+/// Returns `Ok(true)` when a sink was installed, `Ok(false)` when the
+/// variable is unset or empty.
+///
+/// # Errors
+///
+/// Propagates the I/O error when the trace file cannot be opened.
+pub fn init_from_env() -> std::io::Result<bool> {
+    match std::env::var(TRACE_ENV) {
+        Ok(path) if !path.trim().is_empty() => {
+            install(Arc::new(JsonlSink::append(path.trim())?));
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Appends one JSON object per line to a file.
+pub struct JsonlSink {
+    file: Mutex<File>,
+}
+
+impl JsonlSink {
+    /// Opens (creating if needed) `path` for append.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open error.
+    pub fn append<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, line: &str) {
+        let mut f = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        // Trace records are best-effort; a full disk must not take the
+        // flow down with it.
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Captures records in memory; the sink tests and the determinism
+/// suite read them back.
+#[derive(Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every record captured so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Drains and returns the captured records.
+    pub fn take(&self) -> Vec<String> {
+        std::mem::take(&mut *self.lines.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(line.to_string());
+    }
+}
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serialized install for tests: holds a process-global lock while the
+/// sink is active so concurrently running tests cannot interleave their
+/// records, and uninstalls on drop.
+pub struct SinkGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        uninstall();
+    }
+}
+
+/// Installs `sink` under the test serialization lock; dropping the
+/// guard uninstalls it. Use in tests instead of [`install`].
+pub fn install_guarded(sink: Arc<dyn Sink>) -> SinkGuard {
+    let lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    install(sink);
+    SinkGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_uninstall_toggles_enabled() {
+        let mem = Arc::new(MemorySink::new());
+        let guard = install_guarded(mem.clone());
+        assert!(enabled());
+        emit_line("{\"t\":1}");
+        drop(guard);
+        assert!(!enabled());
+        emit_line("{\"t\":2}");
+        assert_eq!(mem.lines(), vec!["{\"t\":1}".to_string()]);
+    }
+
+    #[test]
+    fn jsonl_sink_appends_lines() {
+        let path =
+            std::env::temp_dir().join(format!("gnnmls-obs-sink-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.emit("{\"a\":1}");
+            sink.emit("{\"b\":2}");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -19,6 +19,11 @@
 //! a worker panic (deterministic, since results are ordered) and
 //! counts the recovery in a process-global tally the flow report reads.
 
+// Diagnostics flow through gnnmls-obs, never straight to the
+// process streams.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(test, allow(clippy::print_stdout, clippy::print_stderr))]
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Mutex, Once, PoisonError};
@@ -91,7 +96,7 @@ pub fn resolve_threads(threads: usize) -> usize {
             Err(e) => {
                 static WARN: Once = Once::new();
                 WARN.call_once(|| {
-                    eprintln!("gnnmls-par: {e}; using all cores");
+                    gnnmls_obs::warn("gnnmls-par", &format!("{e}; using all cores"));
                 });
                 available_parallelism()
             }
@@ -137,6 +142,12 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// to report recovered degradations; injected faults are serialized by
 /// the `gnnmls-faults` guard, so the delta is deterministic.
 static RECOVERED: AtomicU32 = AtomicU32::new(0);
+
+/// Same tally, exposed in the metrics exposition.
+static RECOVERED_PANICS_TOTAL: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_par_recovered_panics_total",
+    "worker panics recovered by serial retry",
+);
 
 /// Total worker panics recovered by `recovering_*` maps so far.
 pub fn recovered_panics() -> u32 {
@@ -330,7 +341,8 @@ where
     match try_par_map_with(threads, n, &make_scratch, &f) {
         Ok(v) => Ok(v),
         Err(e) => {
-            eprintln!("gnnmls-par: {e}; retrying serially");
+            gnnmls_obs::warn("gnnmls-par", &format!("{e}; retrying serially"));
+            RECOVERED_PANICS_TOTAL.inc();
             RECOVERED.fetch_add(1, Ordering::SeqCst);
             try_par_map_with(1, n, &make_scratch, &f)
         }

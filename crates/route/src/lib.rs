@@ -34,9 +34,19 @@
 //!   sites (Figure 9(b–c)-style views).
 
 // Library code must surface typed errors, not panic, on the flow's hot
-// path; tests may still unwrap freely.
+// path; tests may still unwrap freely. Diagnostics flow through
+// gnnmls-obs, never straight to the process streams.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
-#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stdout,
+        clippy::print_stderr
+    )
+)]
 
 pub mod audit;
 pub mod db;
@@ -51,5 +61,8 @@ pub use db::{NetRoute, RouteDb, RouteSummary};
 pub use grid::{GridLayer, RoutingGrid};
 pub use policy::{MlsPolicy, SotaShareMap};
 pub use render::{congestion_svg, mls_pad_map, usage_map};
-pub use router::{route_design, MlsOverride, RouteConfig, RouteError, RouteScratch, Router};
+pub use router::{
+    route_design, MlsOverride, RouteConfig, RouteConfigBuilder, RouteConfigError, RouteError,
+    RouteScratch, Router,
+};
 pub use tree::RouteTree;

@@ -27,8 +27,41 @@ use crate::grid::RoutingGrid;
 use crate::policy::{MlsPolicy, SotaShareMap};
 use crate::tree::{RouteTree, RouteTreeBuilder};
 
+// ---- observability ----
+
+static ASTAR_SEARCHES: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_route_astar_searches_total",
+    "multi-source A* searches started",
+);
+static ASTAR_EXPANSIONS: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_route_astar_expansions_total",
+    "A* node expansions across all searches",
+);
+static PATTERN_FALLBACK_SINKS: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_route_pattern_fallback_sinks_total",
+    "sinks downgraded from maze to pattern routing",
+);
+static RIPUP_ROUNDS: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_route_ripup_rounds_total",
+    "rip-up-and-reroute rounds executed",
+);
+static RIPUP_VICTIMS: gnnmls_obs::Histogram = gnnmls_obs::Histogram::new(
+    "gnnmls_route_ripup_victims",
+    "overflowing nets ripped per rip-up round (convergence profile)",
+    &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096],
+);
+
+/// Bounds for the per-layer g-cell overflow histograms (tracks past
+/// capacity on one g-cell edge).
+const OVERFLOW_BOUNDS: [u64; 7] = [1, 2, 3, 4, 6, 8, 16];
+
 /// Router parameters.
+///
+/// Construct via [`RouteConfig::builder`] (fields are non-exhaustive;
+/// struct-literal construction is reserved to this crate so knobs can
+/// be added without breaking downstream code).
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct RouteConfig {
     /// Desired g-cells across the die width.
     pub target_gcells: usize,
@@ -70,6 +103,140 @@ impl Default for RouteConfig {
             max_expansions: 400_000,
             threads: 0,
         }
+    }
+}
+
+impl RouteConfig {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> RouteConfigBuilder {
+        RouteConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// A builder seeded with this config's current values (the
+    /// non-exhaustive replacement for functional-update syntax).
+    pub fn to_builder(&self) -> RouteConfigBuilder {
+        RouteConfigBuilder { cfg: self.clone() }
+    }
+
+    /// This config with the thread knob replaced (validation-free: any
+    /// `threads` value is legal, `0` meaning "all cores").
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// A [`RouteConfig`] field rejected by [`RouteConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteConfigError {
+    /// The offending field.
+    pub field: &'static str,
+    /// The value as given.
+    pub got: String,
+    /// What the field requires.
+    pub want: &'static str,
+}
+
+impl fmt::Display for RouteConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid RouteConfig.{}: got {}, want {}",
+            self.field, self.got, self.want
+        )
+    }
+}
+
+impl std::error::Error for RouteConfigError {}
+
+/// Builder for [`RouteConfig`]; validation happens once, at
+/// [`RouteConfigBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct RouteConfigBuilder {
+    cfg: RouteConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, v: $ty) -> Self {
+                self.cfg.$name = v;
+                self
+            }
+        )*
+    };
+}
+
+impl RouteConfigBuilder {
+    builder_setters! {
+        /// Desired g-cells across the die width (>= 2).
+        target_gcells: usize,
+        /// PDN fraction of the logic die's top metal (in `[0, 1)`).
+        pdn_top_util_logic: f64,
+        /// PDN fraction of the memory die's top metal (in `[0, 1)`).
+        pdn_top_util_memory: f64,
+        /// Via cost (finite, >= 0).
+        via_cost: f64,
+        /// F2F bond crossing cost (finite, >= 0).
+        f2f_cost: f64,
+        /// Congestion multiplier strength (finite, >= 0).
+        congestion_weight: f64,
+        /// Overflow penalty per unit past capacity (finite, >= 0).
+        overflow_penalty: f64,
+        /// Rip-up-and-reroute rounds.
+        ripup_rounds: usize,
+        /// A* expansion budget per sink (> 0).
+        max_expansions: usize,
+        /// Worker threads (`0` = all cores).
+        threads: usize,
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RouteConfigError`] naming the first offending field.
+    pub fn build(self) -> Result<RouteConfig, RouteConfigError> {
+        let c = &self.cfg;
+        let bad = |field: &'static str, got: String, want: &'static str| RouteConfigError {
+            field,
+            got,
+            want,
+        };
+        if c.target_gcells < 2 {
+            return Err(bad(
+                "target_gcells",
+                c.target_gcells.to_string(),
+                "at least 2",
+            ));
+        }
+        for (field, v) in [
+            ("pdn_top_util_logic", c.pdn_top_util_logic),
+            ("pdn_top_util_memory", c.pdn_top_util_memory),
+        ] {
+            if !v.is_finite() || !(0.0..1.0).contains(&v) {
+                return Err(bad(field, format!("{v}"), "a fraction in [0, 1)"));
+            }
+        }
+        for (field, v) in [
+            ("via_cost", c.via_cost),
+            ("f2f_cost", c.f2f_cost),
+            ("congestion_weight", c.congestion_weight),
+            ("overflow_penalty", c.overflow_penalty),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(bad(field, format!("{v}"), "finite and non-negative"));
+            }
+        }
+        if c.max_expansions == 0 {
+            return Err(bad("max_expansions", "0".into(), "a positive budget"));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -437,6 +604,16 @@ impl<'a> Router<'a> {
     /// Returns [`RouteError`] when a net cannot be routed at all (no
     /// previous route to fall back to).
     pub fn route_all(&mut self) -> Result<(), RouteError> {
+        // Register the conditional families up front: a clean design
+        // that never overflows or rips up still exposes them (at zero),
+        // so dashboards can tell "no rip-ups" from "not instrumented".
+        ASTAR_SEARCHES.register();
+        ASTAR_EXPANSIONS.register();
+        PATTERN_FALLBACK_SINKS.register();
+        RIPUP_ROUNDS.register();
+        RIPUP_VICTIMS.register();
+        let mut route_span = gnnmls_obs::span("route_all");
+        route_span.field_u64("nets", self.routes.len() as u64);
         let mut order: Vec<NetId> = self.netlist.net_ids().collect();
         order.sort_by(|&a, &b| {
             net_hpwl_um(self.netlist, self.placement, a)
@@ -447,7 +624,8 @@ impl<'a> Router<'a> {
             let r = self.route_net(net, MlsOverride::UsePolicy, true)?;
             self.routes[net.index()] = Some(r);
         }
-        for _ in 0..self.cfg.ripup_rounds {
+        let mut rounds_run = 0u64;
+        for round in 0..self.cfg.ripup_rounds {
             self.congestion_scale *= 2.0;
             let victims: Vec<NetId> = order
                 .iter()
@@ -461,6 +639,16 @@ impl<'a> Router<'a> {
             if victims.is_empty() {
                 break;
             }
+            rounds_run += 1;
+            RIPUP_ROUNDS.inc();
+            RIPUP_VICTIMS.observe(victims.len() as u64);
+            gnnmls_obs::event(
+                "ripup_round",
+                &[
+                    ("round", gnnmls_obs::FieldValue::U64(round as u64)),
+                    ("victims", gnnmls_obs::FieldValue::U64(victims.len() as u64)),
+                ],
+            );
             // Keep the old routes so a failing reroute can be isolated.
             let saved: Vec<Option<NetRoute>> = victims
                 .iter()
@@ -480,6 +668,8 @@ impl<'a> Router<'a> {
                 r.overflowed = of;
             }
         }
+        route_span.field_u64("ripup_rounds", rounds_run);
+        route_span.field_u64("isolated_failures", self.isolated_failures as u64);
         Ok(())
     }
 
@@ -712,16 +902,40 @@ impl<'a> Router<'a> {
         let mut layer_utilization = Vec::with_capacity(self.grid.nz());
         for (z, layer) in self.grid.layers.iter().enumerate() {
             let (mut used, mut cap) = (0u64, 0u64);
+            let layer_label = format!("{}-M{}", layer.tier, layer.metal);
+            gnnmls_obs::register_histogram(
+                "gnnmls_route_gcell_overflow",
+                &[("layer", &layer_label)],
+                &OVERFLOW_BOUNDS,
+            );
             for y in 0..ny {
                 for x in 0..nx {
                     let idx = (z * ny + y) * nx + x;
                     if x + 1 < nx {
                         used += u64::from(self.usage_h[idx]);
                         cap += u64::from(layer.capacity);
+                        let of = self.usage_h[idx].saturating_sub(layer.capacity);
+                        if of > 0 {
+                            gnnmls_obs::observe(
+                                "gnnmls_route_gcell_overflow",
+                                &[("layer", &layer_label)],
+                                &OVERFLOW_BOUNDS,
+                                u64::from(of),
+                            );
+                        }
                     }
                     if y + 1 < ny {
                         used += u64::from(self.usage_v[idx]);
                         cap += u64::from(layer.capacity);
+                        let of = self.usage_v[idx].saturating_sub(layer.capacity);
+                        if of > 0 {
+                            gnnmls_obs::observe(
+                                "gnnmls_route_gcell_overflow",
+                                &[("layer", &layer_label)],
+                                &OVERFLOW_BOUNDS,
+                                u64::from(of),
+                            );
+                        }
                     }
                 }
             }
@@ -730,6 +944,19 @@ impl<'a> Router<'a> {
             } else {
                 used as f64 / cap as f64
             });
+        }
+        // MLS borrow decisions, counted per home tier.
+        for tier in ["logic", "memory"] {
+            gnnmls_obs::counter_add("gnnmls_route_mls_borrow_total", &[("tier", tier)], 0);
+        }
+        for r in nets.iter().filter(|r| r.is_mls) {
+            if let Some(home) = self.home[r.net.index()] {
+                let tier = match home {
+                    Tier::Logic => "logic",
+                    Tier::Memory => "memory",
+                };
+                gnnmls_obs::counter_add("gnnmls_route_mls_borrow_total", &[("tier", tier)], 1);
+            }
         }
         let pads: u64 = self.usage_f2f.iter().map(|&u| u64::from(u)).sum();
         let pad_cap = (nx * ny) as u64 * u64::from(self.grid.f2f_capacity);
@@ -844,6 +1071,7 @@ impl<'a> Router<'a> {
                     // Budget exhausted: degrade maze → pattern and
                     // record the downgrade on the route.
                     pattern_sinks += 1;
+                    PATTERN_FALLBACK_SINKS.inc();
                     self.fallback_path(&builder, target)?
                 }
             };
@@ -919,16 +1147,22 @@ impl<'a> Router<'a> {
             });
         }
 
+        // Expansions accumulate in a local and flush to the obs counter
+        // once per search — the hot loop never touches shared state.
+        ASTAR_SEARCHES.inc();
         let mut expansions = 0usize;
+        let flush = |expansions: usize| ASTAR_EXPANSIONS.add(expansions as u64);
         while let Some(HeapEntry { g, node, .. }) = heap.pop() {
             if g > scratch.dist[node as usize] + 1e-6 && scratch.seen(node) {
                 continue;
             }
             if node == target {
+                flush(expansions);
                 return Some(self.backtrack(scratch, node));
             }
             expansions += 1;
             if expansions > max_expansions {
+                flush(expansions);
                 return None;
             }
             let (x, y, z) = self.grid.coords(node);
@@ -988,6 +1222,7 @@ impl<'a> Router<'a> {
                 consider(x, y, z - 1, c, scratch, &mut heap);
             }
         }
+        flush(expansions);
         None
     }
 
@@ -1764,5 +1999,76 @@ mod tests {
         let after = router.db().unwrap();
         assert_eq!(&before, after.route(net));
         assert_eq!(after.summary.isolated_failures, 1);
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        // Defaults pass validation and equal Default.
+        assert_eq!(
+            RouteConfig::builder().build().unwrap(),
+            RouteConfig::default()
+        );
+        // Setters land on the right fields.
+        let cfg = RouteConfig::builder()
+            .target_gcells(24)
+            .ripup_rounds(3)
+            .max_expansions(1000)
+            .threads(2)
+            .via_cost(2.5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.target_gcells, 24);
+        assert_eq!(cfg.ripup_rounds, 3);
+        assert_eq!(cfg.max_expansions, 1000);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.via_cost, 2.5);
+        // to_builder reproduces the source config.
+        assert_eq!(cfg.to_builder().build().unwrap(), cfg);
+        assert_eq!(cfg.clone().with_threads(7).threads, 7);
+        // Each invalid field is named in the error.
+        let cases: [(RouteConfigBuilder, &str); 5] = [
+            (RouteConfig::builder().target_gcells(1), "target_gcells"),
+            (
+                RouteConfig::builder().pdn_top_util_logic(1.0),
+                "pdn_top_util_logic",
+            ),
+            (
+                RouteConfig::builder().pdn_top_util_memory(-0.1),
+                "pdn_top_util_memory",
+            ),
+            (RouteConfig::builder().via_cost(f64::NAN), "via_cost"),
+            (RouteConfig::builder().max_expansions(0), "max_expansions"),
+        ];
+        for (builder, field) in cases {
+            let err = builder.build().unwrap_err();
+            assert_eq!(err.field, field);
+            assert!(err.to_string().contains(field));
+        }
+    }
+
+    #[test]
+    fn routing_records_expansion_metrics() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_maeri(&MaeriConfig::pe16_bw4(), &tech).unwrap();
+        let p = place(&d.netlist, &PlaceConfig::default()).unwrap();
+        let searches_before = super::ASTAR_SEARCHES.get();
+        let expansions_before = super::ASTAR_EXPANSIONS.get();
+        let (db, _) = route_design(
+            &d.netlist,
+            &p,
+            &tech,
+            MlsPolicy::Disabled,
+            RouteConfig::default(),
+        )
+        .unwrap();
+        assert!(!db.nets.is_empty());
+        assert!(
+            super::ASTAR_SEARCHES.get() > searches_before,
+            "routing must count searches"
+        );
+        assert!(
+            super::ASTAR_EXPANSIONS.get() > expansions_before,
+            "routing must count expansions"
+        );
     }
 }

@@ -18,10 +18,10 @@ fn setup() -> (gnnmls_netlist::Netlist, gnnmls_phys::Placement, TechConfig) {
 #[test]
 fn starved_expansion_budget_still_routes_everything() {
     let (netlist, placement, tech) = setup();
-    let cfg = RouteConfig {
-        max_expansions: 10, // force the pattern-route fallback everywhere
-        ..RouteConfig::default()
-    };
+    let cfg = RouteConfig::builder()
+        .max_expansions(10) // force the pattern-route fallback everywhere
+        .build()
+        .unwrap();
     let (db, _) = route_design(&netlist, &placement, &tech, MlsPolicy::Disabled, cfg).unwrap();
     for net in netlist.net_ids() {
         assert_eq!(
@@ -47,11 +47,11 @@ fn starved_expansion_budget_still_routes_everything() {
 fn ripup_rounds_do_not_increase_overflow() {
     let (netlist, placement, tech) = setup();
     let run = |rounds: usize| {
-        let cfg = RouteConfig {
-            ripup_rounds: rounds,
-            target_gcells: 16, // tight grid: provoke congestion
-            ..RouteConfig::default()
-        };
+        let cfg = RouteConfig::builder()
+            .ripup_rounds(rounds)
+            .target_gcells(16) // tight grid: provoke congestion
+            .build()
+            .unwrap();
         route_design(&netlist, &placement, &tech, MlsPolicy::Disabled, cfg)
             .unwrap()
             .0

@@ -20,17 +20,23 @@ use gnn_mls::GnnMls;
 use gnnmls_dft::DftMode;
 use gnnmls_netlist::verilog::write_verilog;
 use gnnmls_serve::protocol::{Request, Response, ResponseKind};
-use gnnmls_serve::{Client, RetryPolicy, ServeConfig, Server};
+use gnnmls_serve::{Client, RetryPolicy, ServeConfig, ServeConfigBuilder, Server};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn usage() -> &'static str {
-    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\n"
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
 }
 
 fn main() -> ExitCode {
     // Armed only when GNNMLS_FAULTS is set; the guard must outlive the run.
     let _faults = gnnmls_faults::install_from_env();
+    // Armed only when GNNMLS_TRACE is set: every span/event/metric from
+    // this process appends to that JSONL file.
+    if let Err(e) = gnnmls_obs::init_from_env() {
+        eprintln!("gnnmls: could not open {} sink: {e}", gnnmls_obs::TRACE_ENV);
+        return ExitCode::FAILURE;
+    }
     // Reject a malformed GNNMLS_THREADS up front with a typed message
     // instead of silently running on all cores.
     if let Err(e) = gnnmls_par::env_threads() {
@@ -123,22 +129,23 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut cfg = ServeConfig {
-        addr: opts
-            .get("addr")
+    let mut builder = ServeConfig::builder().addr(
+        opts.get("addr")
             .copied()
             .unwrap_or(DEFAULT_ADDR)
             .to_string(),
-        ..ServeConfig::default()
-    };
-    for (key, slot) in [
-        ("queue", &mut cfg.queue_capacity),
-        ("workers", &mut cfg.workers),
-        ("cache", &mut cfg.cache_capacity),
+    );
+    for (key, set) in [
+        (
+            "queue",
+            (|b: ServeConfigBuilder, n| b.queue_capacity(n)) as fn(ServeConfigBuilder, usize) -> _,
+        ),
+        ("workers", |b, n| b.workers(n)),
+        ("cache", |b, n| b.cache_capacity(n)),
     ] {
         if let Some(v) = opts.get(key) {
             match v.parse::<usize>() {
-                Ok(n) if n > 0 => *slot = n,
+                Ok(n) if n > 0 => builder = set(builder, n),
                 _ => {
                     eprintln!("--{key} must be a positive integer");
                     return ExitCode::FAILURE;
@@ -148,7 +155,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     }
     if let Some(v) = opts.get("admit") {
         match v.parse::<u64>() {
-            Ok(n) if n > 0 => cfg.admission_budget = n,
+            Ok(n) if n > 0 => builder = builder.admission_budget(n),
             _ => {
                 eprintln!("--admit must be a positive cost-unit count");
                 return ExitCode::FAILURE;
@@ -156,8 +163,15 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         }
     }
     if let Some(dir) = opts.get("checkpoint") {
-        cfg.checkpoint_dir = Some(std::path::PathBuf::from(dir));
+        builder = builder.checkpoint_dir(Some(std::path::PathBuf::from(dir)));
     }
+    let cfg = match builder.build() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("gnnmls serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -293,6 +307,7 @@ fn client_cmd(args: &[String]) -> ExitCode {
         "stats" => Request::stats(1, spec),
         "flow" => Request::run_flow(1, spec),
         "health" => Request::health(1),
+        "metrics" => Request::metrics(1),
         "shutdown" => Request::shutdown(1),
         other => {
             eprintln!("unknown client verb `{other}`\n{}", usage());
@@ -311,6 +326,14 @@ fn client_cmd(args: &[String]) -> ExitCode {
         };
     }
     match client.request_with_retry(&req, &retry) {
+        // Metrics prints the exposition text raw so the output pipes
+        // straight into a Prometheus-style scraper.
+        Ok(resp) if verb == "metrics" && resp.kind == ResponseKind::Ok => {
+            use std::io::Write;
+            let text = resp.metrics.unwrap_or_default();
+            let _ = write!(std::io::stdout(), "{text}");
+            ExitCode::SUCCESS
+        }
         Ok(resp) => print_response(&resp),
         Err(e) => {
             eprintln!("gnnmls client: {e}");

@@ -251,6 +251,17 @@ impl Client {
         self.request(&Request::health(id))
     }
 
+    /// Fetches the daemon's metrics registry as Prometheus-style text
+    /// exposition; answered inline even under full load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn metrics(&mut self) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::metrics(id))
+    }
+
     /// Runs the full flow for `spec` on the daemon.
     ///
     /// # Errors

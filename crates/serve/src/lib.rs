@@ -22,8 +22,19 @@
 //! CLI computing the same query, and a micro-batched inference response
 //! is bit-identical to the unbatched one (asserted in the tests).
 
+// Library code surfaces typed errors and obs events, never panics or
+// raw prints (the CLI binary is the only place that talks to stdout).
 #![deny(clippy::unwrap_used, clippy::expect_used)]
-#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stdout,
+        clippy::print_stderr
+    )
+)]
 
 pub mod admission;
 pub mod client;
@@ -34,6 +45,6 @@ pub use admission::{request_cost, validate_request, AdmissionMeter};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{
     read_frame, read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request,
-    RequestKind, Response, ResponseKind, ServerStats, MAX_FRAME,
+    RequestKind, Response, ResponseKind, ServerStats, MAX_FRAME, PROTOCOL_VERSION,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, ServeConfigBuilder, ServeOpts, Server};

@@ -1,9 +1,14 @@
-//! The serve wire protocol: length-prefixed JSON frames.
+//! The serve wire protocol: versioned, length-prefixed JSON frames.
 //!
-//! Every message on the socket is one **frame**: a 4-byte big-endian
-//! payload length followed by exactly that many bytes of UTF-8 JSON.
-//! Frames larger than [`MAX_FRAME`] are refused in both directions with
-//! a typed [`FrameError::TooLarge`] — a misbehaving peer can make the
+//! Every message on the socket is one **frame**: a 1-byte protocol
+//! version ([`PROTOCOL_VERSION`]), a 4-byte big-endian payload length,
+//! then exactly that many bytes of UTF-8 JSON (see `docs/PROTOCOL.md`).
+//! A frame carrying any other version is refused with a typed
+//! [`FrameError::VersionMismatch`] before the payload is read, so an
+//! old client talking to a new daemon (or vice versa) gets a precise
+//! diagnosis instead of a JSON parse error. Frames larger than
+//! [`MAX_FRAME`] are refused in both directions with a typed
+//! [`FrameError::TooLarge`] — a misbehaving peer can make the
 //! server drop its connection, never allocate without bound.
 //!
 //! Reading is defensive by construction: a clean EOF at a frame
@@ -26,6 +31,12 @@ use gnn_mls::session::{InferResult, SessionSpec, SessionStats, WhatIfResult};
 
 /// Maximum frame payload size (8 MiB) accepted on read or write.
 pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// The wire protocol version this build speaks, written as the first
+/// byte of every frame. Version 2 added the version byte itself and the
+/// `Metrics` request; version 1 frames (which started directly with the
+/// length) are refused with [`FrameError::VersionMismatch`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Default number of worst paths an `InferMls` request covers when the
 /// request leaves `paths` unset.
@@ -51,6 +62,15 @@ pub enum FrameError {
     Truncated,
     /// The peer stopped sending in the middle of a frame (read timeout).
     Stalled,
+    /// The frame header carries a protocol version this build does not
+    /// speak. Permanent for the connection: the peer must upgrade (or
+    /// the operator downgrade), so no payload bytes are read.
+    VersionMismatch {
+        /// The version byte the peer sent.
+        got: u8,
+        /// The version this build speaks ([`PROTOCOL_VERSION`]).
+        want: u8,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -64,6 +84,12 @@ impl fmt::Display for FrameError {
             FrameError::Closed => f.write_str("connection closed"),
             FrameError::Truncated => f.write_str("connection closed mid-frame"),
             FrameError::Stalled => f.write_str("connection stalled mid-frame"),
+            FrameError::VersionMismatch { got, want } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {got}, this build wants {want}"
+                )
+            }
         }
     }
 }
@@ -91,6 +117,11 @@ pub enum RequestKind {
     /// Answered at the connection (never queued), so it works even
     /// when the job queue is full.
     Health,
+    /// The process-wide observability registry rendered as
+    /// Prometheus-style text exposition. Answered at the connection
+    /// like `Health` (never queued) — scraping must work even when the
+    /// daemon is saturated.
+    Metrics,
     /// Graceful drain: flush in-flight work, then exit.
     Shutdown,
 }
@@ -169,6 +200,11 @@ impl Request {
     /// A `Health` request; the spec is ignored.
     pub fn health(id: u64) -> Self {
         Self::bare(id, RequestKind::Health, SessionSpec::new("maeri16"))
+    }
+
+    /// A `Metrics` request; the spec is ignored.
+    pub fn metrics(id: u64) -> Self {
+        Self::bare(id, RequestKind::Metrics, SessionSpec::new("maeri16"))
     }
 
     /// A `Shutdown` request; the spec is ignored.
@@ -290,6 +326,8 @@ pub struct Response {
     pub report_json: Option<String>,
     /// `Health` payload.
     pub health: Option<HealthStatus>,
+    /// `Metrics` payload: Prometheus-style text exposition.
+    pub metrics: Option<String>,
     /// `Quarantined`: milliseconds until the circuit half-opens.
     pub retry_after_ms: Option<u64>,
     /// `Error`, `Rejected`, and `Quarantined` payload.
@@ -307,6 +345,7 @@ impl Response {
             stats: None,
             report_json: None,
             health: None,
+            metrics: None,
             retry_after_ms: None,
             error: None,
         }
@@ -352,6 +391,12 @@ impl Response {
     /// Attaches a health payload.
     pub fn with_health(mut self, h: HealthStatus) -> Self {
         self.health = Some(h);
+        self
+    }
+
+    /// Attaches a metrics-exposition payload.
+    pub fn with_metrics(mut self, text: String) -> Self {
+        self.metrics = Some(text);
         self
     }
 
@@ -406,6 +451,7 @@ pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> Result<(), Fra
         }
     }
     let len = payload.len() as u32;
+    w.write_all(&[PROTOCOL_VERSION])?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(&payload)?;
     w.flush()?;
@@ -434,7 +480,7 @@ where
     R: Read,
     F: Fn() -> bool,
 {
-    let mut head = [0u8; 4];
+    let mut head = [0u8; 5];
     let mut got = 0usize;
     while got < head.len() {
         if got == 0 && !keep_going() {
@@ -457,8 +503,16 @@ where
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(FrameError::Io(e)),
         }
+        // Refuse a foreign version as soon as the first byte lands —
+        // before the length, long before any payload allocation.
+        if got >= 1 && head[0] != PROTOCOL_VERSION {
+            return Err(FrameError::VersionMismatch {
+                got: head[0],
+                want: PROTOCOL_VERSION,
+            });
+        }
     }
-    let len = u32::from_be_bytes(head) as usize;
+    let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
     if len > MAX_FRAME {
         return Err(FrameError::TooLarge {
             len,
@@ -542,10 +596,35 @@ mod tests {
             read_frame::<Request, _>(&mut { empty }),
             Err(FrameError::Closed)
         ));
-        let partial: &[u8] = &[0, 0];
+        let partial: &[u8] = &[PROTOCOL_VERSION, 0];
         assert!(matches!(
             read_frame::<Request, _>(&mut { partial }),
             Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn foreign_version_is_refused_before_the_payload() {
+        // A well-formed frame re-stamped with the wrong version byte.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::stats(1, spec())).unwrap();
+        for bad in [0u8, 1, PROTOCOL_VERSION + 1, 0xff] {
+            let mut reframed = wire.clone();
+            reframed[0] = bad;
+            match read_frame::<Request, _>(&mut reframed.as_slice()) {
+                Err(FrameError::VersionMismatch { got, want }) => {
+                    assert_eq!(got, bad);
+                    assert_eq!(want, PROTOCOL_VERSION);
+                }
+                other => panic!("version {bad} must be refused, got {other:?}"),
+            }
+        }
+        // A bare v1-style frame (length first, no version byte) is also
+        // a mismatch: its first byte is a length MSB, never 2.
+        let v1 = 10u32.to_be_bytes().to_vec();
+        assert!(matches!(
+            read_frame::<Request, _>(&mut v1.as_slice()),
+            Err(FrameError::VersionMismatch { got: 0, .. })
         ));
     }
 
@@ -568,7 +647,8 @@ mod tests {
     #[test]
     fn oversized_frames_are_refused_both_ways() {
         // Read side: a header that declares more than MAX_FRAME.
-        let mut wire = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        let mut wire = vec![PROTOCOL_VERSION];
+        wire.extend_from_slice(&((MAX_FRAME + 1) as u32).to_be_bytes());
         wire.extend_from_slice(b"xx");
         assert!(matches!(
             read_frame::<Request, _>(&mut wire.as_slice()),
@@ -587,7 +667,8 @@ mod tests {
     #[test]
     fn garbage_json_is_malformed_not_a_panic() {
         for payload in [&b"not json at all"[..], b"[1,2,3]", b"{\"id\":true}"] {
-            let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+            let mut wire = vec![PROTOCOL_VERSION];
+            wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
             wire.extend_from_slice(payload);
             assert!(matches!(
                 read_frame::<Request, _>(&mut wire.as_slice()),
@@ -595,7 +676,8 @@ mod tests {
             ));
         }
         // Invalid UTF-8 as well.
-        let mut wire = 2u32.to_be_bytes().to_vec();
+        let mut wire = vec![PROTOCOL_VERSION];
+        wire.extend_from_slice(&2u32.to_be_bytes());
         wire.extend_from_slice(&[0xff, 0xfe]);
         assert!(matches!(
             read_frame::<Response, _>(&mut wire.as_slice()),
@@ -660,6 +742,14 @@ mod tests {
 
         let req = Request::health(14);
         assert_eq!(req.kind, RequestKind::Health);
+
+        let req = Request::metrics(15);
+        assert_eq!(req.kind, RequestKind::Metrics);
+        let m = Response::ok(15).with_metrics("# HELP x y\nx 1\n".to_string());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &m).unwrap();
+        let back: Response = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(back.metrics.as_deref(), Some("# HELP x y\nx 1\n"));
     }
 
     #[test]

@@ -51,9 +51,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gnn_mls::checkpoint::save_stage;
-use gnn_mls::session::{run_flow_for_spec, DesignSession, SessionError, SessionSpec};
+use gnn_mls::session::{DesignSession, SessionError, SessionSpec, ValidationError};
 use gnn_mls::AuditMode;
 use gnnmls_faults::{fire, FaultSite};
+use gnnmls_obs::FieldValue;
 use gnnmls_par::queue::{BoundedQueue, PushError};
 
 use crate::admission::{self, AdmissionMeter};
@@ -65,8 +66,33 @@ use crate::protocol::{
 /// Stage name of the final drain checkpoint envelope.
 pub const STATS_STAGE: &str = "serve-stats";
 
+/// Static serve metrics (always accumulating; see `gnnmls-obs`).
+static REQUESTS: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_serve_requests_total",
+    "requests answered by the daemon, any kind and outcome",
+);
+static CACHE_HITS: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_serve_cache_hits_total",
+    "queries answered from an already-warm session",
+);
+static CACHE_MISSES: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_serve_cache_misses_total",
+    "queries that had to cold-build a session",
+);
+static BATCH_SIZE: gnnmls_obs::Histogram = gnnmls_obs::Histogram::new(
+    "gnnmls_serve_infer_batch_size",
+    "inference requests coalesced into one model forward pass",
+    &[1, 2, 4, 8, 16, 32, 64],
+);
+
 /// Daemon configuration.
+///
+/// Construct with [`ServeConfig::default`] and mutate the public
+/// fields, or go through [`ServeConfig::builder`] for validation; the
+/// struct is `#[non_exhaustive]` so fields can grow without breaking
+/// downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Bind address; `127.0.0.1:0` picks a free port (see
     /// [`Server::local_addr`]).
@@ -113,6 +139,104 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// A checked builder seeded with the defaults;
+    /// [`ServeConfigBuilder::build`] validates every knob.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Re-opens this config as a builder — the supported way to derive
+    /// a modified copy now that the struct is `#[non_exhaustive]`.
+    pub fn to_builder(&self) -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// The daemon options, by the name the CLI and docs use.
+pub type ServeOpts = ServeConfig;
+
+macro_rules! serve_builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+/// Checked builder for [`ServeConfig`] (see [`ServeConfig::builder`]).
+#[derive(Clone, Debug)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    serve_builder_setters! {
+        /// Bind address (`127.0.0.1:0` picks a free port).
+        addr: String,
+        /// Job-queue capacity; pushes beyond it are shed as `Busy`.
+        queue_capacity: usize,
+        /// Worker threads popping the queue.
+        workers: usize,
+        /// Warm sessions kept before LRU eviction.
+        cache_capacity: usize,
+        /// Socket read timeout, ms.
+        read_timeout_ms: u64,
+        /// Where the final stats envelope is written on drain.
+        checkpoint_dir: Option<PathBuf>,
+        /// Admission budget in cost units.
+        admission_budget: u64,
+        /// Consecutive build failures before a spec's circuit opens.
+        quarantine_threshold: u32,
+        /// Base quarantine cooldown, ms.
+        quarantine_cooldown_ms: u64,
+        /// Seed for the quarantine jitter.
+        quarantine_seed: u64,
+    }
+
+    /// Validates every knob and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::BadConfig`] naming the first field
+    /// outside its domain.
+    pub fn build(self) -> Result<ServeConfig, ValidationError> {
+        let c = self.cfg;
+        let bad = |field: &'static str, got: String, want: &'static str| {
+            Err(ValidationError::BadConfig { field, got, want })
+        };
+        if c.addr.is_empty() {
+            return bad("addr", "\"\"".to_string(), "a bind address");
+        }
+        if c.queue_capacity == 0 {
+            return bad("queue_capacity", "0".to_string(), ">= 1");
+        }
+        if c.workers == 0 {
+            return bad("workers", "0".to_string(), ">= 1");
+        }
+        if c.read_timeout_ms == 0 {
+            return bad("read_timeout_ms", "0".to_string(), ">= 1");
+        }
+        if c.admission_budget == 0 {
+            return bad("admission_budget", "0".to_string(), ">= 1");
+        }
+        if c.quarantine_threshold == 0 {
+            return bad("quarantine_threshold", "0".to_string(), ">= 1");
+        }
+        if c.quarantine_cooldown_ms == 0 {
+            return bad("quarantine_cooldown_ms", "0".to_string(), ">= 1");
+        }
+        Ok(c)
+    }
+}
+
 /// `splitmix64` — the same deterministic mixer the fault planner uses,
 /// here for quarantine-cooldown jitter.
 fn splitmix64(x: u64) -> u64 {
@@ -124,6 +248,36 @@ fn splitmix64(x: u64) -> u64 {
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stable label for a request kind in metrics and trace events.
+fn kind_name(kind: RequestKind) -> &'static str {
+    match kind {
+        RequestKind::WhatIf => "what_if",
+        RequestKind::InferMls => "infer_mls",
+        RequestKind::RunFlow => "run_flow",
+        RequestKind::Stats => "stats",
+        RequestKind::Health => "health",
+        RequestKind::Metrics => "metrics",
+        RequestKind::Shutdown => "shutdown",
+    }
+}
+
+/// Stable label for a response outcome in metrics and trace events.
+fn outcome_name(kind: ResponseKind) -> &'static str {
+    match kind {
+        ResponseKind::Ok => "ok",
+        ResponseKind::Busy => "busy",
+        ResponseKind::Rejected => "rejected",
+        ResponseKind::Quarantined => "quarantined",
+        ResponseKind::Error => "error",
+    }
+}
+
+/// Counts one admission verdict taken at the connection, before a job
+/// reaches the queue.
+fn count_admission(verdict: &'static str) {
+    gnnmls_obs::counter_add("gnnmls_serve_admission_total", &[("verdict", verdict)], 1);
 }
 
 /// LRU cache of warm sessions keyed by [`SessionSpec::cache_key`].
@@ -215,6 +369,10 @@ struct Job {
     /// Admission cost units held while this job is in flight; returned
     /// to the meter when the response is sent.
     cost: u64,
+    /// When the job entered the queue. Only ever *emitted* (as the
+    /// queue-wait field of the request trace event), never recorded in
+    /// a metric value — see the obs determinism contract.
+    enqueued_at: Instant,
 }
 
 /// Circuit-breaker state for one spec key.
@@ -301,6 +459,7 @@ impl Shared {
         let key = spec.cache_key();
         if let Some(s) = lock(&self.cache).get(key) {
             self.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
+            CACHE_HITS.inc();
             if let Err(e) = s.audit(AuditMode::Cheap) {
                 self.counters.audit_failures.fetch_add(1, Ordering::SeqCst);
                 lock(&self.cache).remove(key);
@@ -317,6 +476,7 @@ impl Shared {
         let _build = lock(&self.build_lock);
         if let Some(s) = lock(&self.cache).get(key) {
             self.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
+            CACHE_HITS.inc();
             return SessionGate::Ready(s);
         }
         // Re-check under the lock: the circuit may have opened while we
@@ -328,8 +488,12 @@ impl Shared {
             };
         }
         self.counters.cache_misses.fetch_add(1, Ordering::SeqCst);
-        match DesignSession::build(spec) {
+        CACHE_MISSES.inc();
+        let mut build_span = gnnmls_obs::span("session_build");
+        build_span.field_str("design", &spec.design);
+        match gnn_mls::api::build_session(spec) {
             Ok(built) => {
+                build_span.field_bool("ok", true);
                 self.record_build_success(key);
                 let built = Arc::new(built);
                 let evicted = lock(&self.cache).insert(key, Arc::clone(&built));
@@ -339,6 +503,7 @@ impl Shared {
                 SessionGate::Ready(built)
             }
             Err(e) => {
+                build_span.field_bool("ok", false);
                 self.record_build_failure(key);
                 SessionGate::Failed(e)
             }
@@ -418,6 +583,25 @@ impl Shared {
             _ => {}
         }
         self.counters.served.fetch_add(1, Ordering::SeqCst);
+        REQUESTS.inc();
+        let outcome = outcome_name(resp.kind);
+        gnnmls_obs::counter_add("gnnmls_serve_responses_total", &[("outcome", outcome)], 1);
+        // Request-lifecycle trace: the wall-clock durations live only in
+        // this emitted event, never in a metric a caller reads back.
+        if gnnmls_obs::enabled() {
+            gnnmls_obs::event(
+                "request",
+                &[
+                    ("id", FieldValue::U64(job.req.id)),
+                    ("kind", FieldValue::Str(kind_name(job.req.kind).to_string())),
+                    ("outcome", FieldValue::Str(outcome.to_string())),
+                    (
+                        "total_us",
+                        FieldValue::U64(job.enqueued_at.elapsed().as_micros() as u64),
+                    ),
+                ],
+            );
+        }
         self.meter.release(job.cost);
         // A vanished client is not a server problem.
         let _ = job.reply.send(resp);
@@ -448,6 +632,7 @@ impl Shared {
         let Some(first) = group.first() else { return };
         let n = group.len() as u64;
         self.counters.max_batch.fetch_max(n, Ordering::SeqCst);
+        BATCH_SIZE.observe(n);
         if n > 1 {
             self.counters
                 .batched_inferences
@@ -511,6 +696,19 @@ impl Shared {
 
     fn handle(&self, job: Job) {
         let req = &job.req;
+        if gnnmls_obs::enabled() {
+            gnnmls_obs::event(
+                "job_start",
+                &[
+                    ("id", FieldValue::U64(req.id)),
+                    ("kind", FieldValue::Str(kind_name(req.kind).to_string())),
+                    (
+                        "queue_wait_us",
+                        FieldValue::U64(job.enqueued_at.elapsed().as_micros() as u64),
+                    ),
+                ],
+            );
+        }
         let resp = match req.kind {
             RequestKind::WhatIf => self.what_if_response(req),
             RequestKind::InferMls => {
@@ -518,7 +716,7 @@ impl Shared {
                 // stray single is just a batch of one.
                 return self.infer_group(vec![job]);
             }
-            RequestKind::RunFlow => match run_flow_for_spec(&req.spec) {
+            RequestKind::RunFlow => match gnn_mls::api::run_flow(&req.spec) {
                 Ok(report) => match serde_json::to_string_pretty(&report) {
                     Ok(json) => Response::ok(req.id).with_report(json),
                     Err(e) => Response::error(req.id, e),
@@ -529,9 +727,10 @@ impl Shared {
                 let stats = self.server_stats(Some(req.spec.cache_key()));
                 Response::ok(req.id).with_stats(stats)
             }
-            // Health and Shutdown are answered at the connection;
-            // never queued.
+            // Health, Metrics, and Shutdown are answered at the
+            // connection; never queued.
             RequestKind::Health => Response::ok(req.id).with_health(self.health()),
+            RequestKind::Metrics => Response::ok(req.id).with_metrics(gnn_mls::api::metrics()),
             RequestKind::Shutdown => Response::ok(req.id),
         };
         self.respond(job, resp);
@@ -668,10 +867,18 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
             shared.begin_shutdown();
             return;
         }
-        // Health is answered inline (never queued), so it works even
-        // when the queue is full or the workers are wedged.
+        // Health and Metrics are answered inline (never queued), so
+        // they work even when the queue is full or the workers are
+        // wedged — a scraper can always see a saturated daemon.
         if req.kind == RequestKind::Health {
             let resp = Response::ok(req.id).with_health(shared.health());
+            if write_frame(&mut stream, &resp).is_err() {
+                return;
+            }
+            continue;
+        }
+        if req.kind == RequestKind::Metrics {
+            let resp = Response::ok(req.id).with_metrics(gnn_mls::api::metrics());
             if write_frame(&mut stream, &resp).is_err() {
                 return;
             }
@@ -681,6 +888,7 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
         // a queue slot or the build lock. Rejections are permanent.
         if let Err(e) = admission::validate_request(&req) {
             shared.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            count_admission("rejected");
             if write_frame(&mut stream, &Response::rejected(req.id, e)).is_err() {
                 return;
             }
@@ -693,6 +901,7 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
             if let Some((strikes, remaining_ms)) = shared.quarantine_remaining(req.spec.cache_key())
             {
                 shared.counters.quarantined.fetch_add(1, Ordering::SeqCst);
+                count_admission("quarantined");
                 let resp = Shared::quarantined_response(req.id, strikes, remaining_ms);
                 if write_frame(&mut stream, &resp).is_err() {
                     return;
@@ -706,6 +915,7 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
         if !shared.meter.try_admit(cost) {
             shared.counters.busy.fetch_add(1, Ordering::SeqCst);
             shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+            count_admission("shed");
             if write_frame(&mut stream, &Response::busy(req.id)).is_err() {
                 return;
             }
@@ -717,8 +927,10 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
             req,
             reply: tx,
             cost,
+            enqueued_at: Instant::now(),
         }) {
             Ok(()) => {
+                count_admission("admitted");
                 let resp = rx.recv().unwrap_or_else(|_| {
                     // The job died without an answer (worker lost mid
                     // handling); its cost units were never returned.
@@ -732,6 +944,7 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
             Err((job, PushError::Full)) => {
                 shared.meter.release(job.cost);
                 shared.counters.busy.fetch_add(1, Ordering::SeqCst);
+                count_admission("busy");
                 if write_frame(&mut stream, &Response::busy(id)).is_err() {
                     return;
                 }
@@ -881,7 +1094,10 @@ impl Server {
         let stats = self.shared.server_stats(None);
         if let Some(dir) = &self.shared.cfg.checkpoint_dir {
             if let Err(e) = save_stage(dir, STATS_STAGE, &stats) {
-                eprintln!("gnnmls-serve: could not write final stats checkpoint: {e}");
+                gnnmls_obs::warn(
+                    "gnnmls-serve",
+                    &format!("could not write final stats checkpoint: {e}"),
+                );
             }
         }
         self.final_stats = Some(stats.clone());

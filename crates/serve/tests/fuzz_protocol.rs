@@ -7,7 +7,9 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 
 use gnn_mls::session::SessionSpec;
-use gnnmls_serve::protocol::{read_frame, write_frame, Request, Response, ResponseKind};
+use gnnmls_serve::protocol::{
+    read_frame, write_frame, Request, Response, ResponseKind, PROTOCOL_VERSION,
+};
 use gnnmls_serve::{Client, ServeConfig, Server};
 
 /// Deterministic byte source (splitmix64) so every failure reproduces.
@@ -26,11 +28,8 @@ fn garbage(seed: u64, len: usize) -> Vec<u8> {
 
 #[test]
 fn arbitrary_bytes_never_panic_or_wedge_the_server() {
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
-    .unwrap();
+    let server =
+        Server::start(ServeConfig::builder().read_timeout_ms(50).build().unwrap()).unwrap();
     let addr = server.local_addr();
 
     for round in 0u64..24 {
@@ -41,7 +40,8 @@ fn arbitrary_bytes_never_panic_or_wedge_the_server() {
             // Well-framed garbage: the stream stays frame-aligned, so
             // the server must answer a typed Malformed notice and keep
             // serving this very connection.
-            let mut buf = (len as u32).to_be_bytes().to_vec();
+            let mut buf = vec![PROTOCOL_VERSION];
+            buf.extend_from_slice(&(len as u32).to_be_bytes());
             buf.extend_from_slice(&payload);
             s.write_all(&buf).unwrap();
             let resp: Response = read_frame(&mut s).unwrap();
@@ -53,10 +53,11 @@ fn arbitrary_bytes_never_panic_or_wedge_the_server() {
             assert_eq!(resp.id, round + 1, "round {round}: conn wedged");
             assert_eq!(resp.kind, ResponseKind::Ok);
         } else {
-            // Raw garbage: the first bytes parse as an arbitrary length
-            // prefix (possibly huge, possibly never satisfied). The
-            // server may close the connection — it must not crash and
-            // the close must not take the daemon down.
+            // Raw garbage: the first byte is an arbitrary protocol
+            // version and the next four an arbitrary length prefix
+            // (possibly huge, possibly never satisfied). The server may
+            // close the connection — it must not crash and the close
+            // must not take the daemon down.
             let _ = s.write_all(&payload);
             let _ = s.read(&mut [0u8; 256]);
         }
@@ -72,11 +73,8 @@ fn arbitrary_bytes_never_panic_or_wedge_the_server() {
 
 #[test]
 fn boundary_value_specs_are_rejected_typed_and_never_wedge() {
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
-    .unwrap();
+    let server =
+        Server::start(ServeConfig::builder().read_timeout_ms(50).build().unwrap()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
     let good = SessionSpec::fast("maeri16");
 

@@ -31,14 +31,16 @@ fn fault_storm_soak_survives_every_site() {
     let dir = std::env::temp_dir().join("gnnmls_serve_soak_test");
     let _ = std::fs::remove_dir_all(&dir);
 
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        workers: 2,
-        quarantine_threshold: 2,
-        quarantine_cooldown_ms: 500,
-        checkpoint_dir: Some(dir.clone()),
-        ..ServeConfig::default()
-    })
+    let server = Server::start(
+        ServeConfig::builder()
+            .read_timeout_ms(50)
+            .workers(2)
+            .quarantine_threshold(2)
+            .quarantine_cooldown_ms(500)
+            .checkpoint_dir(Some(dir.clone()))
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let addr = server.local_addr();
     let deadline = Instant::now() + Duration::from_secs(secs);

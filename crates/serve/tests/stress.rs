@@ -29,12 +29,14 @@ fn stress_no_lost_or_duplicated_responses() {
     let _serial = serialize_tests();
     const CLIENTS: u64 = 6;
     const REQUESTS: u64 = 20;
-    let server = Server::start(ServeConfig {
-        queue_capacity: 8,
-        workers: 4,
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
+    let server = Server::start(
+        ServeConfig::builder()
+            .queue_capacity(8)
+            .workers(4)
+            .read_timeout_ms(50)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let addr = server.local_addr();
 
@@ -75,11 +77,8 @@ fn stress_no_lost_or_duplicated_responses() {
 fn busy_exactly_when_queue_full() {
     let _serial = serialize_tests();
     const SHED: u64 = 3;
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
-    .unwrap();
+    let server =
+        Server::start(ServeConfig::builder().read_timeout_ms(50).build().unwrap()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 
     // The QueueOverflow seam forces try_push to report a full queue for
@@ -107,11 +106,8 @@ fn busy_exactly_when_queue_full() {
 #[test]
 fn retry_rides_through_shed_requests_and_gives_up_typed() {
     let _serial = serialize_tests();
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
-    .unwrap();
+    let server =
+        Server::start(ServeConfig::builder().read_timeout_ms(50).build().unwrap()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 
     // Three forced sheds, then room: the retrying client never surfaces
@@ -162,11 +158,8 @@ fn warm_what_if_matches_single_shot_run() {
     // against a freshly started daemon computes, minus the socket.
     let oneshot = DesignSession::build(&spec).unwrap();
 
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
-    .unwrap();
+    let server =
+        Server::start(ServeConfig::builder().read_timeout_ms(50).build().unwrap()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 
     let mut compared = 0u64;
@@ -205,11 +198,8 @@ fn warm_what_if_matches_single_shot_run() {
 fn deadline_budget_degrades_over_the_wire() {
     let _serial = serialize_tests();
     let spec = spec();
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
-    .unwrap();
+    let server =
+        Server::start(ServeConfig::builder().read_timeout_ms(50).build().unwrap()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
     // Find a routable net, then starve its budget: the answer must
     // degrade to pattern routes (pattern_sinks > 0), not hang or error.
@@ -234,11 +224,13 @@ fn shutdown_drains_and_checkpoints_final_stats() {
     let _serial = serialize_tests();
     let dir = std::env::temp_dir().join("gnnmls_serve_drain_test");
     let _ = std::fs::remove_dir_all(&dir);
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        checkpoint_dir: Some(dir.clone()),
-        ..ServeConfig::default()
-    })
+    let server = Server::start(
+        ServeConfig::builder()
+            .read_timeout_ms(50)
+            .checkpoint_dir(Some(dir.clone()))
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
     assert_eq!(client.stats(&spec()).unwrap().kind, ResponseKind::Ok);

@@ -26,12 +26,14 @@ fn spec() -> SessionSpec {
 #[test]
 fn quarantine_prevents_rebuilding_a_poisoned_spec_until_cooldown() {
     let _serial = serialize_tests();
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        quarantine_threshold: 2,
-        quarantine_cooldown_ms: 400,
-        ..ServeConfig::default()
-    })
+    let server = Server::start(
+        ServeConfig::builder()
+            .read_timeout_ms(50)
+            .quarantine_threshold(2)
+            .quarantine_cooldown_ms(400)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 
@@ -86,11 +88,13 @@ fn quarantine_prevents_rebuilding_a_poisoned_spec_until_cooldown() {
 #[test]
 fn watchdog_respawns_a_dead_worker_without_losing_the_job() {
     let _serial = serialize_tests();
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        workers: 1,
-        ..ServeConfig::default()
-    })
+    let server = Server::start(
+        ServeConfig::builder()
+            .read_timeout_ms(50)
+            .workers(1)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 
@@ -122,12 +126,14 @@ fn shutdown_during_quarantine_cooldown_drains_promptly() {
     let _serial = serialize_tests();
     // A cooldown far longer than the test: if the drain ever waited on
     // quarantine state, this would hang.
-    let server = Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        quarantine_threshold: 1,
-        quarantine_cooldown_ms: 600_000,
-        ..ServeConfig::default()
-    })
+    let server = Server::start(
+        ServeConfig::builder()
+            .read_timeout_ms(50)
+            .quarantine_threshold(1)
+            .quarantine_cooldown_ms(600_000)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 

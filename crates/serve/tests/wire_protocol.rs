@@ -9,7 +9,9 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use gnn_mls::session::SessionSpec;
 use gnnmls_faults::{install, FaultPlan, FaultSite};
-use gnnmls_serve::protocol::{read_frame, write_frame, Request, Response, ResponseKind, MAX_FRAME};
+use gnnmls_serve::protocol::{
+    read_frame, write_frame, Request, Response, ResponseKind, MAX_FRAME, PROTOCOL_VERSION,
+};
 use gnnmls_serve::{Client, ServeConfig, Server};
 
 /// Fault shots are process-global, so a concurrent test's connection
@@ -20,11 +22,8 @@ fn serialize_tests() -> MutexGuard<'static, ()> {
 }
 
 fn test_server() -> Server {
-    Server::start(ServeConfig {
-        read_timeout_ms: 50,
-        ..ServeConfig::default()
-    })
-    .expect("bind 127.0.0.1:0")
+    Server::start(ServeConfig::builder().read_timeout_ms(50).build().unwrap())
+        .expect("bind 127.0.0.1:0")
 }
 
 fn spec() -> SessionSpec {
@@ -48,6 +47,7 @@ fn malformed_frame_gets_typed_error_and_connection_survives() {
 
     // A well-framed payload that is not a Request.
     let payload = b"this is not json";
+    raw.write_all(&[PROTOCOL_VERSION]).unwrap();
     raw.write_all(&(payload.len() as u32).to_be_bytes())
         .unwrap();
     raw.write_all(payload).unwrap();
@@ -73,6 +73,7 @@ fn oversized_frame_is_refused_and_connection_closed() {
     let _serial = serialize_tests();
     let server = test_server();
     let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&[PROTOCOL_VERSION]).unwrap();
     raw.write_all(&((MAX_FRAME + 1) as u32).to_be_bytes())
         .unwrap();
     raw.flush().unwrap();
@@ -95,10 +96,52 @@ fn mid_frame_disconnect_does_not_wedge_the_server() {
     {
         let mut raw = TcpStream::connect(server.local_addr()).unwrap();
         // Promise 4096 bytes, send 10, vanish.
+        raw.write_all(&[PROTOCOL_VERSION]).unwrap();
         raw.write_all(&4096u32.to_be_bytes()).unwrap();
         raw.write_all(b"0123456789").unwrap();
         raw.flush().unwrap();
     } // dropped here
+    assert_server_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_round_trips_as_parsable_exposition() {
+    let _serial = serialize_tests();
+    let server = test_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Exercise the request path first so the counters are warm: the
+    // first what-if is a cache miss (cold build), the second a hit.
+    assert_eq!(client.stats(&spec()).unwrap().kind, ResponseKind::Ok);
+    for _ in 0..2 {
+        let r = client.what_if(&spec(), 0, true, None).unwrap();
+        assert_eq!(r.kind, ResponseKind::Ok);
+    }
+
+    let resp = client.metrics().unwrap();
+    assert_eq!(resp.kind, ResponseKind::Ok);
+    let text = resp.metrics.expect("metrics response carries exposition");
+    // Prometheus-style text: every non-comment line is `name{labels} value`.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (name, value) = line.rsplit_once(' ').expect("name-value split");
+        assert!(
+            name.starts_with("gnnmls_"),
+            "unexpected metric family: {line}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+    }
+    for family in [
+        "gnnmls_serve_requests_total",
+        "gnnmls_serve_responses_total",
+        "gnnmls_serve_cache_hits_total",
+        "gnnmls_serve_cache_misses_total",
+        "gnnmls_serve_admission_total",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
     assert_server_alive(&server);
     server.shutdown();
 }
@@ -161,6 +204,7 @@ fn abuse_in_parallel_never_wedges() {
                         1 => {
                             // Garbage frame.
                             let mut raw = TcpStream::connect(addr).unwrap();
+                            raw.write_all(&[PROTOCOL_VERSION]).unwrap();
                             raw.write_all(&3u32.to_be_bytes()).unwrap();
                             raw.write_all(b"???").unwrap();
                             raw.flush().unwrap();
@@ -170,6 +214,7 @@ fn abuse_in_parallel_never_wedges() {
                         _ => {
                             // Mid-frame disconnect.
                             let mut raw = TcpStream::connect(addr).unwrap();
+                            raw.write_all(&[PROTOCOL_VERSION]).unwrap();
                             raw.write_all(&64u32.to_be_bytes()).unwrap();
                             raw.write_all(b"partial").unwrap();
                             raw.flush().unwrap();

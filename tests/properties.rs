@@ -24,10 +24,10 @@ use gnnmls_sta::{analyze, StaConfig};
 const CASES: usize = 8;
 
 fn small_route_cfg() -> RouteConfig {
-    RouteConfig {
-        target_gcells: 16,
-        ..RouteConfig::default()
-    }
+    RouteConfig::builder()
+        .target_gcells(16)
+        .build()
+        .expect("valid test config")
 }
 
 /// Every generated design validates, levelizes, and has sane stats.
