@@ -10,7 +10,8 @@
 //!
 //! and asserts the labels are bit-identical either way (tracing is a
 //! pure observer). Wall times and the enabled-over-disabled delta land
-//! in `BENCH_obs.json` at the repository root. With `--test` (the CI
+//! in `target/bench/BENCH_obs.json` (the committed root-level ledger
+//! only behind `--commit-baseline`). With `--test` (the CI
 //! smoke mode) everything runs with fewer iterations, so the identity
 //! checks and the JSON schema still get exercised; the <5 % budget is
 //! asserted only in full runs where the timing is trustworthy.
@@ -148,21 +149,18 @@ fn bench_obs(c: &mut Criterion) {
         );
     }
 
-    // Bench binaries run with the package dir as cwd; anchor the output
-    // at the workspace root.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(out, &json) {
-                eprintln!("warning: could not write {out}: {e}");
-            } else {
-                println!(
-                    "disabled {:.1} ms, enabled {:.1} ms ({:+.2}%) -> BENCH_obs.json",
-                    report.disabled_ms, report.enabled_ms, report.delta_pct
-                );
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize obs bench report: {e}"),
+    // Bench binaries run with the package dir as cwd; anchor at the
+    // workspace root. Output lands under target/bench/ unless
+    // --commit-baseline asks for the committed root-level ledger.
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    if let Some(out) = gnnmls_bench::render::write_bench_json(root, "BENCH_obs.json", &report) {
+        println!(
+            "disabled {:.1} ms, enabled {:.1} ms ({:+.2}%) -> {}",
+            report.disabled_ms,
+            report.enabled_ms,
+            report.delta_pct,
+            out.display(),
+        );
     }
 
     // Standard criterion entries for trend tracking.

@@ -5,7 +5,8 @@
 //! parallel refactor honest twice over: it asserts the parallel run is
 //! bit-identical to serial (same labels, same `OracleStats`, same
 //! `RouteDb` summary) and records both wall times plus the measured
-//! speedup into `BENCH_oracle.json` at the repository root. With
+//! speedup into `target/bench/BENCH_oracle.json` (the committed
+//! root-level ledger only behind `--commit-baseline`). With
 //! `--test` (the CI smoke mode) everything runs once, untimed-ish, so
 //! the identity checks and the JSON schema still get exercised.
 
@@ -163,21 +164,18 @@ fn bench_oracle(c: &mut Criterion) {
         bit_identical: true,
         smoke_mode: smoke,
     };
-    // Bench binaries run with the package dir as cwd; anchor the output
-    // at the workspace root.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oracle.json");
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(out, &json) {
-                eprintln!("warning: could not write {out}: {e}");
-            } else {
-                println!(
-                    "serial {:.1} ms, parallel {:.1} ms on {} core(s) -> BENCH_oracle.json",
-                    report.serial_ms, report.parallel_ms, report.cores
-                );
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize oracle bench report: {e}"),
+    // Bench binaries run with the package dir as cwd; anchor at the
+    // workspace root. Output lands under target/bench/ unless
+    // --commit-baseline asks for the committed root-level ledger.
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    if let Some(out) = gnnmls_bench::render::write_bench_json(root, "BENCH_oracle.json", &report) {
+        println!(
+            "serial {:.1} ms, parallel {:.1} ms on {} core(s) -> {}",
+            report.serial_ms,
+            report.parallel_ms,
+            report.cores,
+            out.display(),
+        );
     }
 
     // Standard criterion entries for trend tracking.

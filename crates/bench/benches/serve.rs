@@ -9,7 +9,8 @@
 //! answer is bit-identical to the cold one and **at least 10× faster**,
 //! and measures the micro-batching win (one batched forward pass
 //! serving B requests vs B solo forward passes — also bit-identical).
-//! Results land in `BENCH_serve.json` at the repository root.
+//! Results land in `target/bench/BENCH_serve.json` (the committed
+//! root-level ledger only behind `--commit-baseline`).
 
 use std::time::{Duration, Instant};
 
@@ -141,27 +142,21 @@ fn bench_serve(c: &mut Criterion) {
         batch_bit_identical: true,
         smoke_mode: smoke,
     };
-    // Bench binaries run with the package dir as cwd; anchor the output
-    // at the workspace root.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(out, &json) {
-                eprintln!("warning: could not write {out}: {e}");
-            } else {
-                println!(
-                    "cold {:.1} ms, warm {:.3} ms ({:.0}x); batch x{} {:.2} -> {:.2} ms \
-                     -> BENCH_serve.json",
-                    report.cold_ms,
-                    report.warm_ms,
-                    report.cold_over_warm,
-                    BATCH,
-                    report.unbatched_ms,
-                    report.batched_ms,
-                );
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize serve bench report: {e}"),
+    // Bench binaries run with the package dir as cwd; anchor at the
+    // workspace root. Output lands under target/bench/ unless
+    // --commit-baseline asks for the committed root-level ledger.
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    if let Some(out) = gnnmls_bench::render::write_bench_json(root, "BENCH_serve.json", &report) {
+        println!(
+            "cold {:.1} ms, warm {:.3} ms ({:.0}x); batch x{} {:.2} -> {:.2} ms -> {}",
+            report.cold_ms,
+            report.warm_ms,
+            report.cold_over_warm,
+            BATCH,
+            report.unbatched_ms,
+            report.batched_ms,
+            out.display(),
+        );
     }
 
     // Standard criterion entries for trend tracking.

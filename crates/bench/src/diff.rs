@@ -1,0 +1,462 @@
+//! The PPA regression gate: compares a fresh [`SuiteReport`] against a
+//! committed baseline with per-metric tolerances.
+//!
+//! QoR metrics are deterministic under a fixed seed, so the gate is
+//! strict: integer counts (F2F pads, MLS nets, violating paths, …)
+//! must match exactly, float metrics within a tiny relative tolerance
+//! (libm differences across platforms). Directional metrics that move
+//! the *good* way are reported as improvements (pass with a note, so a
+//! genuinely better result still prompts a baseline refresh); anything
+//! else outside tolerance is a regression. Wall-clock is advisory and
+//! never gates — it is machine-local by construction.
+//!
+//! A scenario or metric present in the baseline but missing from the
+//! fresh run fails (losing coverage is a regression); new scenarios or
+//! metrics in the fresh run are notes (the baseline just needs a
+//! refresh to start tracking them).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::suite::SuiteReport;
+
+/// Relative tolerance for float QoR metrics (absorbs libm rounding
+/// differences across platforms, nothing more).
+pub const FLOAT_REL_TOL: f64 = 1e-6;
+
+/// Which way a metric is allowed to drift without being a regression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is better (WNS, coverage, MLS gain).
+    HigherIsBetter,
+    /// Smaller is better (wirelength, power, IR drop).
+    LowerIsBetter,
+    /// Any drift beyond tolerance is a regression (counts, unknown
+    /// metrics).
+    Exact,
+}
+
+/// How one metric is compared.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricPolicy {
+    /// Improvement direction.
+    pub direction: Direction,
+    /// Relative tolerance under which a drift is noise.
+    pub rel_tol: f64,
+    /// Advisory metrics never fail the gate.
+    pub advisory: bool,
+}
+
+/// The comparison policy for a metric name. Unknown metrics are exact
+/// with the float tolerance — the safe default for anything a future
+/// suite adds.
+pub fn policy_for(metric: &str) -> MetricPolicy {
+    let exact_count = MetricPolicy {
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        advisory: false,
+    };
+    let float = |direction| MetricPolicy {
+        direction,
+        rel_tol: FLOAT_REL_TOL,
+        advisory: false,
+    };
+    match metric {
+        "wall_clock_s" => MetricPolicy {
+            direction: Direction::LowerIsBetter,
+            rel_tol: FLOAT_REL_TOL,
+            advisory: true,
+        },
+        "f2f_pads" | "mls_nets" | "violating_paths" | "endpoints" | "dft_cells" => exact_count,
+        "wns_ps" | "tns_ns" | "eff_freq_mhz" | "test_coverage_pct" | "mls_wl_gain_pct"
+        | "mls_wns_gain_ps" => float(Direction::HigherIsBetter),
+        "wirelength_m" | "power_mw" | "ir_drop_pct" => float(Direction::LowerIsBetter),
+        _ => float(Direction::Exact),
+    }
+}
+
+/// The verdict on one (scenario, metric) cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Within tolerance.
+    Unchanged,
+    /// Outside tolerance, moved the good way (pass, noted so the
+    /// baseline gets refreshed).
+    Improved,
+    /// Outside tolerance the wrong way, or drift on an exact metric
+    /// (fails the gate).
+    Regressed,
+    /// Present in the baseline, absent from the fresh run (fails —
+    /// lost coverage).
+    MissingInFresh,
+    /// Absent from the baseline, present in the fresh run (note only).
+    NewInFresh,
+    /// Advisory drift (wall-clock); never fails.
+    Advisory,
+}
+
+impl DiffStatus {
+    /// Whether this status fails the gate.
+    pub fn is_failure(self) -> bool {
+        matches!(self, DiffStatus::Regressed | DiffStatus::MissingInFresh)
+    }
+
+    /// Short tag for rendering.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DiffStatus::Unchanged => "ok",
+            DiffStatus::Improved => "IMPROVED",
+            DiffStatus::Regressed => "REGRESSED",
+            DiffStatus::MissingInFresh => "MISSING",
+            DiffStatus::NewInFresh => "new",
+            DiffStatus::Advisory => "advisory",
+        }
+    }
+}
+
+/// One comparison entry. `metric` is `"*"` for whole-scenario entries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// Scenario name.
+    pub scenario: String,
+    /// Metric name, or `"*"` for a whole scenario appearing/vanishing.
+    pub metric: String,
+    /// Baseline value, when present.
+    pub baseline: Option<f64>,
+    /// Fresh value, when present.
+    pub fresh: Option<f64>,
+    /// The verdict.
+    pub status: DiffStatus,
+}
+
+/// The full gate result.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiffReport {
+    /// Every compared cell, in (scenario, metric) order. `Unchanged`
+    /// entries are elided; only drifts and coverage changes appear.
+    pub entries: Vec<DiffEntry>,
+    /// Cells compared in total (including unchanged ones).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Number of gate-failing entries.
+    pub fn regressions(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.status.is_failure())
+            .count()
+    }
+
+    /// `true` when the gate passes (no regressions, no lost coverage).
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_v = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.6}"));
+        for e in &self.entries {
+            writeln!(
+                f,
+                "[{}] {} / {}: baseline {} -> fresh {}",
+                e.status.tag(),
+                e.scenario,
+                e.metric,
+                fmt_v(e.baseline),
+                fmt_v(e.fresh),
+            )?;
+        }
+        let fails = self.regressions();
+        write!(
+            f,
+            "bench diff: {} cells compared, {} drifted, {} regression{}",
+            self.compared,
+            self.entries.len(),
+            fails,
+            if fails == 1 { "" } else { "s" }
+        )
+    }
+}
+
+fn compare_metric(scenario: &str, metric: &str, b: f64, fr: f64) -> DiffEntry {
+    let policy = policy_for(metric);
+    let scale = b.abs().max(fr.abs());
+    let within = if policy.rel_tol == 0.0 {
+        b == fr
+    } else {
+        (fr - b).abs() <= policy.rel_tol * scale.max(1e-12)
+    };
+    let status = if within {
+        DiffStatus::Unchanged
+    } else if policy.advisory {
+        DiffStatus::Advisory
+    } else {
+        let improved = match policy.direction {
+            Direction::HigherIsBetter => fr > b,
+            Direction::LowerIsBetter => fr < b,
+            Direction::Exact => false,
+        };
+        if improved {
+            DiffStatus::Improved
+        } else {
+            DiffStatus::Regressed
+        }
+    };
+    DiffEntry {
+        scenario: scenario.to_string(),
+        metric: metric.to_string(),
+        baseline: Some(b),
+        fresh: Some(fr),
+        status,
+    }
+}
+
+/// Diffs a fresh suite run against the committed baseline.
+///
+/// A schema-version mismatch is reported as a single failing entry
+/// (the ledgers are not comparable) instead of a misleading per-metric
+/// storm.
+pub fn diff_reports(baseline: &SuiteReport, fresh: &SuiteReport) -> DiffReport {
+    let mut out = DiffReport::default();
+    if baseline.schema_version != fresh.schema_version {
+        out.entries.push(DiffEntry {
+            scenario: "*".into(),
+            metric: "schema_version".into(),
+            baseline: Some(baseline.schema_version as f64),
+            fresh: Some(fresh.schema_version as f64),
+            status: DiffStatus::Regressed,
+        });
+        out.compared = 1;
+        return out;
+    }
+    let fresh_by_name = |name: &str| fresh.scenarios.iter().find(|s| s.name == name);
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for bs in &baseline.scenarios {
+        seen.insert(bs.name.as_str());
+        let Some(fs) = fresh_by_name(&bs.name) else {
+            out.entries.push(DiffEntry {
+                scenario: bs.name.clone(),
+                metric: "*".into(),
+                baseline: None,
+                fresh: None,
+                status: DiffStatus::MissingInFresh,
+            });
+            out.compared += 1;
+            continue;
+        };
+        for (metric, &b) in &bs.metrics {
+            out.compared += 1;
+            match fs.metrics.get(metric) {
+                Some(&fr) => {
+                    let entry = compare_metric(&bs.name, metric, b, fr);
+                    if entry.status != DiffStatus::Unchanged {
+                        out.entries.push(entry);
+                    }
+                }
+                None => out.entries.push(DiffEntry {
+                    scenario: bs.name.clone(),
+                    metric: metric.clone(),
+                    baseline: Some(b),
+                    fresh: None,
+                    status: DiffStatus::MissingInFresh,
+                }),
+            }
+        }
+        // Wall-clock: always compared, never gates.
+        out.compared += 1;
+        let entry = compare_metric(&bs.name, "wall_clock_s", bs.wall_clock_s, fs.wall_clock_s);
+        if entry.status != DiffStatus::Unchanged {
+            out.entries.push(entry);
+        }
+        for (metric, &fr) in &fs.metrics {
+            if !bs.metrics.contains_key(metric) {
+                out.compared += 1;
+                out.entries.push(DiffEntry {
+                    scenario: bs.name.clone(),
+                    metric: metric.clone(),
+                    baseline: None,
+                    fresh: Some(fr),
+                    status: DiffStatus::NewInFresh,
+                });
+            }
+        }
+    }
+    for fs in &fresh.scenarios {
+        if !seen.contains(fs.name.as_str()) {
+            out.compared += 1;
+            out.entries.push(DiffEntry {
+                scenario: fs.name.clone(),
+                metric: "*".into(),
+                baseline: None,
+                fresh: None,
+                status: DiffStatus::NewInFresh,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{ScenarioResult, SuiteReport, SUITE_SCHEMA_VERSION};
+    use std::collections::BTreeMap;
+
+    fn scenario(name: &str, metrics: &[(&str, f64)]) -> ScenarioResult {
+        ScenarioResult {
+            name: name.into(),
+            design: "maeri16".into(),
+            tech: "hetero".into(),
+            policy: "no-mls".into(),
+            metrics: metrics
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect::<BTreeMap<_, _>>(),
+            wall_clock_s: 10.0,
+        }
+    }
+
+    fn report(scenarios: Vec<ScenarioResult>) -> SuiteReport {
+        SuiteReport {
+            schema_version: SUITE_SCHEMA_VERSION,
+            manifest_version: 1,
+            profile: "ci".into(),
+            scenarios,
+        }
+    }
+
+    fn entry_status(d: &DiffReport, scenario: &str, metric: &str) -> Option<DiffStatus> {
+        d.entries
+            .iter()
+            .find(|e| e.scenario == scenario && e.metric == metric)
+            .map(|e| e.status)
+    }
+
+    #[test]
+    fn identical_reports_pass_clean() {
+        let b = report(vec![scenario(
+            "s",
+            &[("wns_ps", -12.0), ("f2f_pads", 40.0)],
+        )]);
+        let d = diff_reports(&b, &b.clone());
+        assert!(d.passed());
+        assert!(d.entries.is_empty(), "{d}");
+        assert_eq!(d.compared, 3); // two metrics + wall-clock
+    }
+
+    #[test]
+    fn wrong_direction_drift_is_a_regression() {
+        let b = report(vec![scenario("s", &[("wns_ps", -12.0)])]);
+        let f = report(vec![scenario("s", &[("wns_ps", -30.0)])]);
+        let d = diff_reports(&b, &f);
+        assert!(!d.passed());
+        assert_eq!(entry_status(&d, "s", "wns_ps"), Some(DiffStatus::Regressed));
+    }
+
+    #[test]
+    fn good_direction_drift_is_an_improvement_and_passes() {
+        let b = report(vec![scenario(
+            "s",
+            &[("wns_ps", -12.0), ("wirelength_m", 2.0)],
+        )]);
+        let f = report(vec![scenario(
+            "s",
+            &[("wns_ps", -5.0), ("wirelength_m", 1.8)],
+        )]);
+        let d = diff_reports(&b, &f);
+        assert!(d.passed(), "{d}");
+        assert_eq!(entry_status(&d, "s", "wns_ps"), Some(DiffStatus::Improved));
+        assert_eq!(
+            entry_status(&d, "s", "wirelength_m"),
+            Some(DiffStatus::Improved)
+        );
+    }
+
+    #[test]
+    fn exact_counts_regress_in_both_directions() {
+        let b = report(vec![scenario("s", &[("f2f_pads", 40.0)])]);
+        for fresh_pads in [39.0, 41.0] {
+            let f = report(vec![scenario("s", &[("f2f_pads", fresh_pads)])]);
+            let d = diff_reports(&b, &f);
+            assert!(!d.passed(), "pads {fresh_pads} must gate");
+            assert_eq!(
+                entry_status(&d, "s", "f2f_pads"),
+                Some(DiffStatus::Regressed)
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_float_noise_is_within_tolerance() {
+        let b = report(vec![scenario("s", &[("wirelength_m", 2.0)])]);
+        let f = report(vec![scenario("s", &[("wirelength_m", 2.0 * (1.0 + 1e-9))])]);
+        assert!(diff_reports(&b, &f).passed());
+    }
+
+    #[test]
+    fn missing_metric_fails_new_metric_notes() {
+        let b = report(vec![scenario("s", &[("wns_ps", -1.0), ("power_mw", 9.0)])]);
+        let f = report(vec![scenario(
+            "s",
+            &[("wns_ps", -1.0), ("ir_drop_pct", 5.0)],
+        )]);
+        let d = diff_reports(&b, &f);
+        assert!(!d.passed());
+        assert_eq!(
+            entry_status(&d, "s", "power_mw"),
+            Some(DiffStatus::MissingInFresh)
+        );
+        assert_eq!(
+            entry_status(&d, "s", "ir_drop_pct"),
+            Some(DiffStatus::NewInFresh)
+        );
+    }
+
+    #[test]
+    fn missing_scenario_fails_new_scenario_notes() {
+        let b = report(vec![scenario("old", &[("wns_ps", -1.0)])]);
+        let f = report(vec![scenario("new", &[("wns_ps", -1.0)])]);
+        let d = diff_reports(&b, &f);
+        assert!(!d.passed());
+        assert_eq!(
+            entry_status(&d, "old", "*"),
+            Some(DiffStatus::MissingInFresh)
+        );
+        assert_eq!(entry_status(&d, "new", "*"), Some(DiffStatus::NewInFresh));
+    }
+
+    #[test]
+    fn wall_clock_drift_is_advisory_only() {
+        let b = report(vec![scenario("s", &[("wns_ps", -1.0)])]);
+        let mut f = b.clone();
+        f.scenarios[0].wall_clock_s = 500.0;
+        let d = diff_reports(&b, &f);
+        assert!(d.passed(), "{d}");
+        assert_eq!(
+            entry_status(&d, "s", "wall_clock_s"),
+            Some(DiffStatus::Advisory)
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_single_failure() {
+        let b = report(vec![scenario("s", &[("wns_ps", -1.0)])]);
+        let mut f = b.clone();
+        f.schema_version += 1;
+        let d = diff_reports(&b, &f);
+        assert!(!d.passed());
+        assert_eq!(d.entries.len(), 1);
+        assert_eq!(d.entries[0].metric, "schema_version");
+    }
+
+    #[test]
+    fn render_mentions_the_verdict() {
+        let b = report(vec![scenario("s", &[("wns_ps", -12.0)])]);
+        let f = report(vec![scenario("s", &[("wns_ps", -30.0)])]);
+        let text = diff_reports(&b, &f).to_string();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("1 regression"), "{text}");
+    }
+}

@@ -19,10 +19,17 @@
 #![cfg_attr(test, allow(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod designs;
+pub mod diff;
 pub mod paper;
 pub mod render;
 pub mod runner;
+pub mod suite;
 
 pub use designs::Experiment;
+pub use diff::{diff_reports, policy_for, DiffReport, DiffStatus};
 pub use render::{check, write_json, Comparison, ShapeCheck};
 pub use runner::{metric_of, policy_comparison, run_three, shape_checks};
+pub use suite::{
+    load_manifest, load_report, parse_manifest, run_suite, write_report, Scenario, SuiteError,
+    SuiteManifest, SuiteReport, SUITE_SCHEMA_VERSION,
+};

@@ -151,6 +151,68 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// `true` when the process was launched with `--commit-baseline` — the
+/// explicit opt-in for updating committed `BENCH_*.json` ledgers. The
+/// criterion shim passes unknown flags through, so bench binaries can
+/// read it straight off the command line.
+pub fn commit_baseline_requested() -> bool {
+    std::env::args().any(|a| a == "--commit-baseline")
+}
+
+/// Where a bench ledger goes: `<root>/target/bench/<file>` by default
+/// (machine-local numbers never dirty the checkout), the workspace root
+/// — the committed location — only behind `--commit-baseline`.
+pub fn bench_output_path(workspace_root: &std::path::Path, file: &str) -> PathBuf {
+    if commit_baseline_requested() {
+        workspace_root.join(file)
+    } else {
+        workspace_root.join("target").join("bench").join(file)
+    }
+}
+
+/// Writes a machine-readable bench ledger to [`bench_output_path`],
+/// creating directories as needed. Returns the path written, `None` on
+/// any (warned, non-fatal) failure — benches must not panic over a
+/// read-only checkout.
+pub fn write_bench_json<T: Serialize>(
+    workspace_root: &std::path::Path,
+    file: &str,
+    value: &T,
+) -> Option<PathBuf> {
+    let path = bench_output_path(workspace_root, file);
+    let json = match serde_json::to_string_pretty(value) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = writeln!(
+                std::io::stderr(),
+                "warning: could not serialize {file}: {e}"
+            );
+            return None;
+        }
+    };
+    if let Some(dir) = path.parent() {
+        if let Err(e) = fs::create_dir_all(dir) {
+            let _ = writeln!(
+                std::io::stderr(),
+                "warning: could not create {}: {e}",
+                dir.display()
+            );
+            return None;
+        }
+    }
+    match fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            let _ = writeln!(
+                std::io::stderr(),
+                "warning: could not write {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
 /// Renders an ASCII heat map (used for the Figure 9 IR-drop map).
 pub fn ascii_heatmap(values: &[f64], nx: usize, ny: usize, title: &str) -> String {
     const SHADES: &[u8] = b" .:-=+*#%@";
@@ -198,6 +260,15 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[1].len(), 2);
         assert!(lines[0].contains("max 1.000"));
+    }
+
+    #[test]
+    fn default_bench_output_stays_under_target() {
+        // The test binary is never launched with --commit-baseline, so
+        // the default (non-committing) path must be under target/bench.
+        assert!(!commit_baseline_requested());
+        let p = bench_output_path(std::path::Path::new("/ws"), "BENCH_x.json");
+        assert_eq!(p, PathBuf::from("/ws/target/bench/BENCH_x.json"));
     }
 
     #[test]

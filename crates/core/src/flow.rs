@@ -745,6 +745,7 @@ pub fn run_flow(
         target_freq_mhz: cfg.target_freq_mhz,
         fp_mm2: fp.area_mm2(),
         wirelength_m: routes.summary.total_wirelength_m,
+        f2f_pads: routes.summary.f2f_pads,
         wns_ps: timing.wns_ps(),
         tns_ns: timing.tns_ns(),
         violating_paths: timing.violating_endpoints(),

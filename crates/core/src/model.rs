@@ -38,7 +38,7 @@ pub enum ModelError {
     /// A supervised stage was handed samples without oracle labels.
     MissingLabels,
     /// Training produced non-finite losses or parameters and could not
-    /// recover within [`MAX_DIVERGENCE_RETRIES`] LR-backoff retries.
+    /// recover within `MAX_DIVERGENCE_RETRIES` LR-backoff retries.
     Diverged {
         /// Which stage diverged (`"pretrain"` or `"finetune"`).
         stage: &'static str,
@@ -261,7 +261,7 @@ impl GnnMls {
     /// A non-finite epoch (NaN loss or parameters — including the
     /// `gnnmls-faults` `NanGradient` seam) is rolled back to the last
     /// good epoch and retried with the learning rate halved, up to
-    /// [`MAX_DIVERGENCE_RETRIES`] times.
+    /// `MAX_DIVERGENCE_RETRIES` times.
     ///
     /// # Errors
     ///

@@ -115,6 +115,8 @@ pub struct FlowReport {
     pub fp_mm2: f64,
     /// Total routed wirelength, m.
     pub wirelength_m: f64,
+    /// F2F bond pads consumed by signal routing.
+    pub f2f_pads: usize,
     /// Worst negative slack, ps.
     pub wns_ps: f64,
     /// Total negative slack, ns.
@@ -183,8 +185,8 @@ impl fmt::Display for FlowReport {
         )?;
         writeln!(
             f,
-            "  MLS nets {} | power {:.1} mW | eff freq {:.0} MHz",
-            self.mls_nets, self.power_mw, self.eff_freq_mhz
+            "  MLS nets {} | F2F pads {} | power {:.1} mW | eff freq {:.0} MHz",
+            self.mls_nets, self.f2f_pads, self.power_mw, self.eff_freq_mhz
         )?;
         if let Some(ir) = self.ir_drop_pct {
             let pdn = self.pdn.unwrap_or_default();
@@ -243,6 +245,7 @@ mod tests {
             target_freq_mhz: 2500.0,
             fp_mm2: 0.38,
             wirelength_m: 5.16,
+            f2f_pads: 812,
             wns_ps: -23.0,
             tns_ns: -11.0,
             violating_paths: 2800,
@@ -278,6 +281,7 @@ mod tests {
             "GNN-MLS",
             "WNS -23.0",
             "MLS nets 2370",
+            "F2F pads 812",
             "IR 9.40%",
             "coverage 98.38%",
             "train:",

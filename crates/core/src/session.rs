@@ -21,7 +21,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use gnnmls_netlist::generators::{
-    generate_a7, generate_maeri, A7Config, GeneratedDesign, MaeriConfig,
+    generate_a7, generate_maeri, generate_noc, A7Config, GeneratedDesign, MaeriConfig, NocConfig,
 };
 use gnnmls_netlist::tech::TechConfig;
 use gnnmls_netlist::{NetId, Netlist};
@@ -38,9 +38,19 @@ use crate::report::FlowReport;
 /// The named designs the CLI and the serve daemon can build.
 pub const DESIGNS: &[(&str, &str)] = &[
     ("maeri16", "MAERI 16PE 4BW (Table III scale)"),
+    ("maeri64", "MAERI 64PE 16BW (suite mid-scale)"),
     ("maeri128", "MAERI 128PE 32BW (Table IV)"),
     ("maeri256", "MAERI 256PE 64BW (Table V)"),
     ("a7", "Cortex-A7-style dual-core (Tables IV/V)"),
+    (
+        "a7mini",
+        "Cortex-A7-style single core, reduced stages (suite scale)",
+    ),
+    ("noc4x4", "4x4 mesh NoC with registered links (suite scale)"),
+    (
+        "noc8x8",
+        "8x8 mesh NoC with registered links (suite full scale)",
+    ),
 ];
 
 /// Builds a named design against a technology; `None` for an unknown
@@ -48,9 +58,13 @@ pub const DESIGNS: &[(&str, &str)] = &[
 pub fn build_design(name: &str, tech: &TechConfig) -> Option<GeneratedDesign> {
     let d = match name {
         "maeri16" => generate_maeri(&MaeriConfig::pe16_bw4(), tech),
+        "maeri64" => generate_maeri(&MaeriConfig::new(64, 16), tech),
         "maeri128" => generate_maeri(&MaeriConfig::pe128_bw32(), tech),
         "maeri256" => generate_maeri(&MaeriConfig::pe256_bw64(), tech),
         "a7" => generate_a7(&A7Config::dual_core(), tech),
+        "a7mini" => generate_a7(&A7Config::new(1).with_gates_per_stage(300), tech),
+        "noc4x4" => generate_noc(&NocConfig::mesh4x4(), tech),
+        "noc8x8" => generate_noc(&NocConfig::mesh8x8(), tech),
         _ => return None,
     };
     // Generators are infallible for the known configs above.
@@ -58,10 +72,10 @@ pub fn build_design(name: &str, tech: &TechConfig) -> Option<GeneratedDesign> {
 }
 
 /// Resolves a technology name (`hetero` | `homo`) for a design; `None`
-/// for an unknown name. The a7 design uses 8 metal layers per die, the
-/// MAERI designs 6 (matching the paper's stacks).
+/// for an unknown name. The a7 designs use 8 metal layers per die, the
+/// MAERI and NoC designs 6 (matching the paper's stacks).
 pub fn build_tech(tech: &str, design: &str) -> Option<TechConfig> {
-    let layers = if design == "a7" { 8 } else { 6 };
+    let layers = if design.starts_with("a7") { 8 } else { 6 };
     match tech {
         "hetero" => Some(TechConfig::heterogeneous_16_28(layers, layers)),
         "homo" => Some(TechConfig::homogeneous_28_28(layers, layers)),
@@ -156,7 +170,11 @@ impl SessionSpec {
     /// Paper-scale spec for a named design (hetero stack, No-MLS
     /// policy, default frequency).
     pub fn new(design: &str) -> Self {
-        let freq = if design == "a7" { 2000.0 } else { 2500.0 };
+        let freq = if design.starts_with("a7") {
+            2000.0
+        } else {
+            2500.0
+        };
         Self {
             design: design.to_string(),
             tech: "hetero".to_string(),

@@ -10,8 +10,11 @@
 //!   cloud (after Kwon et al., MAERI, ASPLOS'18).
 //! - [`a7`] — in-order 5-stage pipelines with forwarding, register files,
 //!   L1 I/D cache macros and a shared L2 on the memory die.
+//! - [`noc`] — a 2D mesh NoC with register-pipelined inter-router links
+//!   and memory-die injection/ejection buffers (the benchmark suite's
+//!   interconnect-dominated design family).
 //! - [`cloud`] — the shared random-logic-cone builder (Rent's-rule-flavored
-//!   locality) both generators use for combinational clusters.
+//!   locality) all generators use for combinational clusters.
 //!
 //! All generators are deterministic functions of their config (including
 //! the seed), so every experiment in the workspace is reproducible.
@@ -20,11 +23,13 @@ pub mod a7;
 pub mod buffering;
 pub mod cloud;
 pub mod maeri;
+pub mod noc;
 
 pub use a7::{generate_a7, A7Config};
 pub use buffering::limit_fanout;
 pub use cloud::{build_cloud, sink_into_registers, CloudSpec};
 pub use maeri::{generate_maeri, MaeriConfig};
+pub use noc::{generate_noc, NocConfig};
 
 use crate::netlist::Netlist;
 use crate::tech::TechConfig;

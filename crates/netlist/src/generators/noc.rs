@@ -1,0 +1,388 @@
+//! Network-on-chip mesh generator.
+//!
+//! A 2D mesh of wormhole-style routers on the logic die, with the
+//! injection/ejection buffering on the memory die — the mixed-node NoC
+//! fabric the benchmark suite uses as its third design family (the
+//! MAERI and A7 generators cover accelerator and CPU structure; this
+//! covers interconnect-dominated logic where most nets are short router
+//! hops but every node owns two 3D buffer links).
+//!
+//! Structure per router `(r, c)`:
+//!
+//! - an **injection buffer**: an SRAM macro on the memory tier fed by
+//!   the global stream PIs, producing the local input flit;
+//! - four **output links** (N/E/S/W where a neighbor exists): per-bit
+//!   MUX2 trees selecting among the neighbors' incoming flits and the
+//!   local flit, registered at the source (source-synchronous link
+//!   pipelining), so every inter-router net is a register-to-register
+//!   hop;
+//! - an **ejection port**: a MUX2 tree over the incoming flits,
+//!   registered, draining into an SRAM on the memory tier whose outputs
+//!   feed primary outputs.
+//!
+//! Switch select lines come from a shared random control cloud (route
+//! compute + arbitration stand-in), exactly like the MAERI control
+//! cloud. The generator is a deterministic function of its config.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cell::CellLibrary;
+use crate::ids::{CellId, NetId, Tier};
+use crate::netlist::{NetlistBuilder, NetlistError};
+use crate::tech::TechConfig;
+
+use super::cloud::{build_cloud, sink_into_outputs, sink_into_registers, CloudSpec};
+use super::GeneratedDesign;
+
+/// Configuration of a mesh NoC.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NocConfig {
+    /// Mesh rows (clamped to >= 2).
+    pub rows: usize,
+    /// Mesh columns (clamped to >= 2).
+    pub cols: usize,
+    /// Flit width in bits (1..=8; SRAM macros expose 8 data pins).
+    pub flit_width: usize,
+    /// RNG seed for the control cloud.
+    pub seed: u64,
+}
+
+impl NocConfig {
+    /// A `rows` x `cols` mesh with 8-bit flits, seed 0.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            flit_width: 8,
+            seed: 0,
+        }
+    }
+
+    /// The suite's CI-scale mesh.
+    pub fn mesh4x4() -> Self {
+        Self::new(4, 4)
+    }
+
+    /// The suite's full-scale mesh.
+    pub fn mesh8x8() -> Self {
+        Self::new(8, 8)
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the flit width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8.
+    pub fn with_flit_width(mut self, bits: usize) -> Self {
+        assert!((1..=8).contains(&bits), "flit width must be 1..=8 bits");
+        self.flit_width = bits;
+        self
+    }
+
+    fn normalized(&self) -> (usize, usize) {
+        (self.rows.max(2), self.cols.max(2))
+    }
+}
+
+/// The four mesh directions, in the fixed order links are built.
+const DIRS: [(isize, isize, &str); 4] = [(-1, 0, "n"), (0, 1, "e"), (1, 0, "s"), (0, -1, "w")];
+
+struct NocBuilder<'a> {
+    b: NetlistBuilder,
+    logic_lib: &'a CellLibrary,
+    mem_lib: &'a CellLibrary,
+    width: usize,
+    ctrl: Vec<NetId>,
+    ctrl_cursor: usize,
+}
+
+impl<'a> NocBuilder<'a> {
+    fn next_ctrl(&mut self) -> NetId {
+        let n = self.ctrl[self.ctrl_cursor % self.ctrl.len()];
+        self.ctrl_cursor += 1;
+        n
+    }
+
+    /// Adds a bus of `n` primary inputs, returning their nets.
+    fn pi_bus(&mut self, prefix: &str, n: usize) -> Result<Vec<NetId>, NetlistError> {
+        let pi = self.logic_lib.expect("PI");
+        let mut nets = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = self
+                .b
+                .add_cell(format!("{prefix}_pi{i}"), pi, Tier::Logic)?;
+            let net = self.b.add_net(format!("{prefix}_in{i}"))?;
+            self.b.connect_output(net, c, 0)?;
+            nets.push(net);
+        }
+        Ok(nets)
+    }
+
+    /// Adds an SRAM macro on the memory tier wired to up to 8 input
+    /// nets; returns `width` output nets.
+    fn sram(&mut self, name: &str, inputs: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+        let tpl = self.mem_lib.expect("SRAM");
+        let c = self.b.add_cell(name.to_string(), tpl, Tier::Memory)?;
+        for (k, &n) in inputs.iter().take(8).enumerate() {
+            self.b.connect_input(n, c, k as u8)?;
+        }
+        let mut outs = Vec::with_capacity(self.width);
+        for w in 0..self.width {
+            let net = self.b.add_net(format!("{name}_q{w}"))?;
+            self.b.connect_output(net, c, w as u8)?;
+            outs.push(net);
+        }
+        Ok(outs)
+    }
+
+    /// A bank of `width` DFFs with outputs connected now and D inputs
+    /// connected later (phase B), so registered links can be declared
+    /// before the crossbars that drive them exist.
+    fn link_regs(&mut self, prefix: &str) -> Result<(Vec<CellId>, Vec<NetId>), NetlistError> {
+        let dff = self.logic_lib.expect("DFF");
+        let mut cells = Vec::with_capacity(self.width);
+        let mut q = Vec::with_capacity(self.width);
+        for w in 0..self.width {
+            let ff = self
+                .b
+                .add_cell(format!("{prefix}_ff{w}"), dff, Tier::Logic)?;
+            let net = self.b.add_net(format!("{prefix}_q{w}"))?;
+            self.b.connect_output(net, ff, 0)?;
+            cells.push(ff);
+            q.push(net);
+        }
+        Ok((cells, q))
+    }
+
+    /// A per-bit MUX2 reduction over `words` (a crossbar output port):
+    /// selects fold left-to-right, selects drawn from the control cloud.
+    /// Returns the selected word.
+    fn mux_tree(&mut self, prefix: &str, words: &[&[NetId]]) -> Result<Vec<NetId>, NetlistError> {
+        assert!(!words.is_empty(), "mux tree needs at least one word");
+        let mux = self.logic_lib.expect("MUX2");
+        let mut acc: Vec<NetId> = words[0].to_vec();
+        for (i, word) in words.iter().enumerate().skip(1) {
+            let mut next = Vec::with_capacity(self.width);
+            for w in 0..self.width {
+                let sel = self.next_ctrl();
+                let c = self
+                    .b
+                    .add_cell(format!("{prefix}_m{i}_{w}"), mux, Tier::Logic)?;
+                self.b.connect_input(acc[w], c, 0)?;
+                self.b.connect_input(word[w % word.len()], c, 1)?;
+                self.b.connect_input(sel, c, 2)?;
+                let net = self.b.add_net(format!("{prefix}_m{i}_o{w}"))?;
+                self.b.connect_output(net, c, 0)?;
+                next.push(net);
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+}
+
+/// Generates a mesh NoC netlist.
+///
+/// Routers, crossbars, link registers, and the stream PIs live on the
+/// logic die; the injection/ejection buffers on the memory die, so
+/// every node owns 3D nets in both directions.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] (internal name collisions would be a
+/// bug; validation failures cannot occur for well-formed configs).
+pub fn generate_noc(cfg: &NocConfig, tech: &TechConfig) -> Result<GeneratedDesign, NetlistError> {
+    let (rows, cols) = cfg.normalized();
+    let width = cfg.flit_width;
+    let logic_lib = CellLibrary::for_node(&tech.logic_node);
+    let mem_lib = CellLibrary::for_node(&tech.memory_node);
+    let name = format!("noc{rows}x{cols}_mesh");
+
+    let mut m = NocBuilder {
+        b: NetlistBuilder::new(&name),
+        logic_lib: &logic_lib,
+        mem_lib: &mem_lib,
+        width,
+        ctrl: Vec::new(),
+        ctrl_cursor: 0,
+    };
+
+    // --- Control cloud: route-compute + arbitration stand-in. Select
+    // lines launch from registers, like synthesized switch allocators.
+    let cfg_in = m.pi_bus("cfg", 8)?;
+    let ctrl_gates = (rows * cols * 24).max(64);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let ctrl_out = build_cloud(
+        &mut m.b,
+        &logic_lib,
+        Tier::Logic,
+        "ctrl",
+        &cfg_in,
+        &CloudSpec::new(ctrl_gates),
+        &mut rng,
+    )?;
+    m.ctrl = sink_into_registers(&mut m.b, &logic_lib, Tier::Logic, "ctrlr", &ctrl_out)?;
+
+    // --- Injection buffers: one SRAM per node, fed by the stream PIs.
+    let stream = m.pi_bus("inj", width.min(8))?;
+    let nodes = rows * cols;
+    let mut local_in: Vec<Vec<NetId>> = Vec::with_capacity(nodes);
+    for n in 0..nodes {
+        local_in.push(m.sram(&format!("inj{n}"), &stream)?);
+    }
+
+    // --- Phase A: declare every existing link's output register bank
+    // (Q nets now, D inputs in phase B), so crossbars can reference
+    // neighbor link words before those crossbars are built.
+    let idx = |r: usize, c: usize| r * cols + c;
+    let in_mesh =
+        |r: isize, c: isize| r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols;
+    // link_q[node][dir] = Q word of the link leaving `node` toward DIRS[dir].
+    let mut link_cells: Vec<[Option<Vec<CellId>>; 4]> = Vec::with_capacity(nodes);
+    let mut link_q: Vec<[Option<Vec<NetId>>; 4]> = Vec::with_capacity(nodes);
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut cells: [Option<Vec<CellId>>; 4] = [None, None, None, None];
+            let mut qs: [Option<Vec<NetId>>; 4] = [None, None, None, None];
+            for (d, (dr, dc, dn)) in DIRS.iter().enumerate() {
+                if in_mesh(r as isize + dr, c as isize + dc) {
+                    let (cell, q) = m.link_regs(&format!("r{r}_{c}_{dn}"))?;
+                    cells[d] = Some(cell);
+                    qs[d] = Some(q);
+                }
+            }
+            link_cells.push(cells);
+            link_q.push(qs);
+        }
+    }
+
+    // --- Phase B: crossbars. Each output link forwards the flits
+    // arriving from the *other* directions plus the local injection;
+    // the ejection port folds every arriving flit.
+    let dff_d_pin = 0u8;
+    for r in 0..rows {
+        for c in 0..cols {
+            let n = idx(r, c);
+            // Incoming words: neighbor's link register aimed at us.
+            let mut incoming: Vec<(usize, Vec<NetId>)> = Vec::new(); // (src dir, word)
+            for (d, (dr, dc, _)) in DIRS.iter().enumerate() {
+                let (nr, nc) = (r as isize + dr, c as isize + dc);
+                if in_mesh(nr, nc) {
+                    // The neighbor's link toward us is the opposite dir.
+                    let q = link_q[idx(nr as usize, nc as usize)][(d + 2) % 4].clone();
+                    if let Some(q) = q {
+                        incoming.push((d, q));
+                    }
+                }
+            }
+            // Output links: fold incoming (minus the u-turn) + local.
+            for (d, (dr, dc, dn)) in DIRS.iter().enumerate() {
+                if !in_mesh(r as isize + dr, c as isize + dc) {
+                    continue;
+                }
+                let words: Vec<&[NetId]> = incoming
+                    .iter()
+                    .filter(|(src, _)| *src != d)
+                    .map(|(_, w)| w.as_slice())
+                    .chain(std::iter::once(local_in[n].as_slice()))
+                    .collect();
+                let xbar = m.mux_tree(&format!("r{r}_{c}_{dn}x"), &words)?;
+                let cells = link_cells[n][d].clone().unwrap_or_default();
+                for (w, ff) in cells.iter().enumerate() {
+                    m.b.connect_input(xbar[w], *ff, dff_d_pin)?;
+                }
+            }
+            // Ejection: fold every incoming word (the local word already
+            // feeds the output crossbars), register, drain to an SRAM.
+            let ej_words: Vec<&[NetId]> = if incoming.is_empty() {
+                vec![local_in[n].as_slice()]
+            } else {
+                incoming.iter().map(|(_, w)| w.as_slice()).collect()
+            };
+            let ej = m.mux_tree(&format!("r{r}_{c}_ej"), &ej_words)?;
+            let ej_q = sink_into_registers(
+                &mut m.b,
+                &logic_lib,
+                Tier::Logic,
+                &format!("r{r}_{c}_ejr"),
+                &ej,
+            )?;
+            let out = m.sram(&format!("ej{n}"), &ej_q)?;
+            sink_into_outputs(&mut m.b, &logic_lib, Tier::Logic, &format!("eo{n}"), &out)?;
+        }
+    }
+
+    // --- Drain unconsumed control selects (small meshes need fewer
+    // selects than the cloud produced).
+    if m.ctrl_cursor < m.ctrl.len() {
+        let unused: Vec<NetId> = m.ctrl[m.ctrl_cursor..].to_vec();
+        sink_into_outputs(&mut m.b, &logic_lib, Tier::Logic, "ctrl_unused", &unused)?;
+    }
+
+    let mut netlist = m.b.finish()?;
+    super::buffering::limit_fanout(&mut netlist, tech, 10)?;
+    Ok(GeneratedDesign {
+        netlist,
+        tech: tech.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CircuitDag;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn noc4x4_builds_and_validates() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_noc(&NocConfig::mesh4x4(), &tech).unwrap();
+        let s = NetlistStats::compute(&d.netlist);
+        assert!(s.cells > 1000, "4x4 mesh has thousands of cells: {s}");
+        // One injection + one ejection macro per node.
+        assert!(s.macros >= 2 * 16, "2 SRAMs per node: {s}");
+        assert!(s.registers > 100, "registered links: {s}");
+        assert!(s.nets_3d > 0, "buffers must cross tiers");
+        assert!(s.logic_2d_nets > 0);
+    }
+
+    #[test]
+    fn noc_is_acyclic_despite_mesh_loops() {
+        // The mesh's physical loops must all be cut by link registers.
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let d = generate_noc(&NocConfig::mesh4x4(), &tech).unwrap();
+        let dag = CircuitDag::build(&d.netlist).unwrap();
+        assert!(dag.depth() > 4, "control cloud gives multi-level logic");
+    }
+
+    #[test]
+    fn noc_scales_with_mesh_size() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let small = generate_noc(&NocConfig::new(2, 2), &tech).unwrap();
+        let big = generate_noc(&NocConfig::new(4, 4), &tech).unwrap();
+        assert!(big.netlist.cell_count() > 2 * small.netlist.cell_count());
+    }
+
+    #[test]
+    fn noc_is_deterministic_and_seed_sensitive() {
+        let tech = TechConfig::heterogeneous_16_28(6, 6);
+        let a = generate_noc(&NocConfig::new(3, 3).with_seed(5), &tech).unwrap();
+        let b = generate_noc(&NocConfig::new(3, 3).with_seed(5), &tech).unwrap();
+        assert_eq!(a.netlist.content_hash(), b.netlist.content_hash());
+        let c = generate_noc(&NocConfig::new(3, 3).with_seed(6), &tech).unwrap();
+        assert_ne!(a.netlist.content_hash(), c.netlist.content_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "flit width")]
+    fn oversized_flit_width_panics() {
+        let _ = NocConfig::new(4, 4).with_flit_width(9);
+    }
+}

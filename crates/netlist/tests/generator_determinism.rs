@@ -1,0 +1,171 @@
+//! Property test: every benchmark generator is a deterministic function
+//! of its config — the foundation the suite regression gate stands on.
+//!
+//! For each generator family the same spec must produce a byte-identical
+//! netlist (checked via [`Netlist::content_hash`], which folds every
+//! cell, template, tier, and pin-exact net into an FNV-1a digest):
+//!
+//! - across repeated sequential generation,
+//! - across concurrent generation from many threads (generators take no
+//!   thread-count knob, so spawning them concurrently is the adversarial
+//!   schedule: any hidden global/state dependence would diverge here),
+//! - and across `GNNMLS_THREADS`-style environments (nothing in a
+//!   generator may read ambient parallelism).
+//!
+//! Different seeds must diverge — a constant hash would pass the
+//! identity checks trivially.
+
+use gnnmls_netlist::generators::{
+    generate_a7, generate_maeri, generate_noc, A7Config, MaeriConfig, NocConfig,
+};
+use gnnmls_netlist::tech::TechConfig;
+
+/// One generator family: builds a netlist hash for (variant, seed).
+/// Variant 0/1 are two design sizes; seeds re-seed variant 0.
+fn family_hash(family: &str, variant: usize, seed: u64) -> u64 {
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let netlist = match (family, variant) {
+        ("maeri", 0) => {
+            generate_maeri(&MaeriConfig::new(16, 4).with_seed(seed), &tech)
+                .unwrap()
+                .netlist
+        }
+        ("maeri", _) => {
+            generate_maeri(&MaeriConfig::new(64, 16).with_seed(seed), &tech)
+                .unwrap()
+                .netlist
+        }
+        ("a7", 0) => {
+            generate_a7(
+                &A7Config::new(1).with_gates_per_stage(64).with_seed(seed),
+                &tech,
+            )
+            .unwrap()
+            .netlist
+        }
+        ("a7", _) => {
+            generate_a7(
+                &A7Config::new(2).with_gates_per_stage(64).with_seed(seed),
+                &tech,
+            )
+            .unwrap()
+            .netlist
+        }
+        ("noc", 0) => {
+            generate_noc(&NocConfig::new(3, 3).with_seed(seed), &tech)
+                .unwrap()
+                .netlist
+        }
+        ("noc", _) => {
+            generate_noc(&NocConfig::mesh4x4().with_seed(seed), &tech)
+                .unwrap()
+                .netlist
+        }
+        other => panic!("unknown family {other:?}"),
+    };
+    netlist.content_hash()
+}
+
+const FAMILIES: &[&str] = &["maeri", "a7", "noc"];
+
+#[test]
+fn generators_are_deterministic_sequentially_and_across_seeds() {
+    for &family in FAMILIES {
+        for variant in [0usize, 1] {
+            for seed in [1u64, 7, 42] {
+                let a = family_hash(family, variant, seed);
+                let b = family_hash(family, variant, seed);
+                assert_eq!(a, b, "{family}/{variant} seed {seed} must be stable");
+            }
+        }
+        // Seed sensitivity: a constant hash must not sneak through.
+        let h1 = family_hash(family, 0, 1);
+        let h2 = family_hash(family, 0, 2);
+        assert_ne!(h1, h2, "{family} must depend on its seed");
+        // Variants are genuinely different designs.
+        assert_ne!(
+            family_hash(family, 0, 1),
+            family_hash(family, 1, 1),
+            "{family} variants must differ"
+        );
+    }
+}
+
+#[test]
+fn generators_are_deterministic_under_concurrency() {
+    // Generate each family from many threads at once. Every thread must
+    // see the exact same netlist: a generator with any hidden shared
+    // state (thread-id salting, a racy global counter, iteration over an
+    // unordered map) diverges under this schedule.
+    const THREADS: usize = 8;
+    for &family in FAMILIES {
+        let reference = family_hash(family, 0, 42);
+        let hashes: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| s.spawn(move || family_hash(family, 0, 42)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, h) in hashes.iter().enumerate() {
+            assert_eq!(
+                *h, reference,
+                "{family}: thread {i} produced a different netlist"
+            );
+        }
+    }
+}
+
+#[test]
+fn content_hash_sees_structural_edits() {
+    // The property tests above are only as strong as the hash: prove it
+    // notices a renamed cell, a re-tiered cell, and a rewired sink.
+    use gnnmls_netlist::cell::CellLibrary;
+    use gnnmls_netlist::{NetlistBuilder, Tier};
+
+    let tech = TechConfig::heterogeneous_16_28(6, 6);
+    let lib = CellLibrary::for_node(&tech.logic_node);
+
+    // inv_name: rename one cell. sink_tier: move the sink cell's die.
+    // fanout: drive one vs two sinks from the same net.
+    let build = |inv_name: &str, sink_tier: Tier, fanout: usize| {
+        let mut b = NetlistBuilder::new("hash_probe");
+        let pi = lib.expect("PI");
+        let inv = lib.expect("INV");
+        let po = lib.expect("PO");
+        let src = b.add_cell("src", pi, Tier::Logic).unwrap();
+        let i0 = b.add_cell(inv_name, inv, sink_tier).unwrap();
+        let i1 = b.add_cell("i1", inv, Tier::Logic).unwrap();
+        let n_in = b.add_net("n_in").unwrap();
+        b.connect_output(n_in, src, 0).unwrap();
+        b.connect_input(n_in, i0, 0).unwrap();
+        if fanout > 1 {
+            b.connect_input(n_in, i1, 0).unwrap();
+        }
+        let n0 = b.add_net("n0").unwrap();
+        b.connect_output(n0, i0, 0).unwrap();
+        let p0 = b.add_cell("p0", po, Tier::Logic).unwrap();
+        b.connect_input(n0, p0, 0).unwrap();
+        let n1 = b.add_net("n1").unwrap();
+        b.connect_output(n1, i1, 0).unwrap();
+        let p1 = b.add_cell("p1", po, Tier::Logic).unwrap();
+        b.connect_input(n1, p1, 0).unwrap();
+        if fanout <= 1 {
+            // Keep i1 driven so the netlist stays valid either way.
+            let n2 = b.add_net("n2").unwrap();
+            let src2 = b.add_cell("src2", pi, Tier::Logic).unwrap();
+            b.connect_output(n2, src2, 0).unwrap();
+            b.connect_input(n2, i1, 0).unwrap();
+        }
+        b.finish().unwrap().content_hash()
+    };
+
+    let h0 = build("i0", Tier::Logic, 2);
+    assert_eq!(h0, build("i0", Tier::Logic, 2), "hash must be stable");
+    assert_ne!(h0, build("i0x", Tier::Logic, 2), "rename must change hash");
+    assert_ne!(
+        h0,
+        build("i0", Tier::Memory, 2),
+        "tier flip must change hash"
+    );
+    assert_ne!(h0, build("i0", Tier::Logic, 1), "rewiring must change hash");
+}

@@ -53,8 +53,8 @@ mod sink;
 mod span;
 
 pub use metrics::{
-    counter_add, dyn_counter_value, dyn_histogram_count, observe, register_histogram, Counter,
-    Gauge, Histogram, MAX_HISTOGRAM_BOUNDS,
+    counter_add, dyn_counter_value, dyn_gauge_value, dyn_histogram_count, gauge_add, gauge_set,
+    observe, register_histogram, Counter, Gauge, Histogram, MAX_HISTOGRAM_BOUNDS,
 };
 pub use render::render;
 pub use sink::{

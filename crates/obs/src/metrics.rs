@@ -267,6 +267,7 @@ pub(crate) fn registry_snapshot() -> Vec<MetricRef> {
 #[derive(Clone)]
 pub(crate) enum DynMetric {
     Counter(u64),
+    Gauge(i64),
     Histogram {
         bounds: Vec<u64>,
         buckets: Vec<u64>,
@@ -298,8 +299,44 @@ pub fn counter_add(name: &str, labels: &[(&str, &str)], n: u64) {
         .or_insert(DynMetric::Counter(0))
     {
         DynMetric::Counter(v) => *v += n,
-        // A histogram already owns this key; keep it rather than panic.
-        DynMetric::Histogram { .. } => {}
+        // Another metric kind already owns this key; keep it rather
+        // than panic.
+        DynMetric::Gauge(_) | DynMetric::Histogram { .. } => {}
+    }
+}
+
+/// Sets the labeled gauge `name{labels}` to `v` (created on first
+/// touch). For suite-level summaries (e.g. per-scenario QoR), not hot
+/// loops.
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], v: i64) {
+    let mut map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    match map
+        .entry(dyn_key(name, labels))
+        .or_insert(DynMetric::Gauge(0))
+    {
+        DynMetric::Gauge(g) => *g = v,
+        DynMetric::Counter(_) | DynMetric::Histogram { .. } => {}
+    }
+}
+
+/// Adds `delta` (may be negative) to the labeled gauge `name{labels}`.
+pub fn gauge_add(name: &str, labels: &[(&str, &str)], delta: i64) {
+    let mut map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    match map
+        .entry(dyn_key(name, labels))
+        .or_insert(DynMetric::Gauge(0))
+    {
+        DynMetric::Gauge(g) => *g += delta,
+        DynMetric::Counter(_) | DynMetric::Histogram { .. } => {}
+    }
+}
+
+/// Current value of a labeled gauge (0 when never touched).
+pub fn dyn_gauge_value(name: &str, labels: &[(&str, &str)]) -> i64 {
+    let map = DYNAMIC.lock().unwrap_or_else(PoisonError::into_inner);
+    match map.get(&dyn_key(name, labels)) {
+        Some(DynMetric::Gauge(v)) => *v,
+        _ => 0,
     }
 }
 
@@ -449,5 +486,35 @@ mod tests {
             dyn_histogram_count("obs_test_labeled_hist", &l0),
             before + 2
         );
+    }
+
+    #[test]
+    fn labeled_gauges_set_add_and_read_per_label() {
+        let l0 = [("design", "maeri16"), ("metric", "wns_ps")];
+        let l1 = [("design", "noc4x4"), ("metric", "wns_ps")];
+        gauge_set("obs_test_labeled_gauge", &l0, -23);
+        gauge_set("obs_test_labeled_gauge", &l1, 4);
+        assert_eq!(dyn_gauge_value("obs_test_labeled_gauge", &l0), -23);
+        assert_eq!(dyn_gauge_value("obs_test_labeled_gauge", &l1), 4);
+        // set overwrites, add accumulates (and may go negative).
+        gauge_set("obs_test_labeled_gauge", &l0, 10);
+        gauge_add("obs_test_labeled_gauge", &l0, -15);
+        assert_eq!(dyn_gauge_value("obs_test_labeled_gauge", &l0), -5);
+        // Untouched series read as zero.
+        assert_eq!(
+            dyn_gauge_value("obs_test_labeled_gauge", &[("design", "none")]),
+            0
+        );
+    }
+
+    #[test]
+    fn gauge_key_collisions_keep_the_first_kind() {
+        let l = [("site", "x")];
+        counter_add("obs_test_kind_clash_total", &l, 3);
+        // A gauge write to a counter-owned key must not clobber it.
+        gauge_set("obs_test_kind_clash_total", &l, 99);
+        gauge_add("obs_test_kind_clash_total", &l, 1);
+        assert_eq!(dyn_counter_value("obs_test_kind_clash_total", &l), 3);
+        assert_eq!(dyn_gauge_value("obs_test_kind_clash_total", &l), 0);
     }
 }

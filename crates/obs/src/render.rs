@@ -72,6 +72,12 @@ pub fn render() -> String {
                 }
                 let _ = writeln!(out, "{name}{} {v}", label_block(labels));
             }
+            DynMetric::Gauge(v) => {
+                if new_group {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                }
+                let _ = writeln!(out, "{name}{} {v}", label_block(labels));
+            }
             DynMetric::Histogram {
                 bounds,
                 buckets,
@@ -107,7 +113,7 @@ pub fn render() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{counter_add, observe, Counter, Histogram};
+    use crate::metrics::{counter_add, gauge_set, observe, Counter, Histogram};
 
     static R_COUNTER: Counter = Counter::new("obs_render_counter_total", "render test");
     static R_HIST: Histogram = Histogram::new("obs_render_hist", "render hist", &[5, 10]);
@@ -119,6 +125,7 @@ mod tests {
         R_HIST.observe(7);
         R_HIST.observe(99);
         counter_add("obs_render_labeled_total", &[("tier", "t16")], 2);
+        gauge_set("obs_render_labeled_gauge", &[("design", "noc4x4")], -12);
         observe("obs_render_labeled_hist", &[("layer", "M3")], &[1, 8], 6);
 
         let text = render();
@@ -133,6 +140,8 @@ mod tests {
         assert!(text.contains("obs_render_hist_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("obs_render_hist_count 3"));
         assert!(text.contains("obs_render_labeled_total{tier=\"t16\"} 2"));
+        assert!(text.contains("# TYPE obs_render_labeled_gauge gauge"));
+        assert!(text.contains("obs_render_labeled_gauge{design=\"noc4x4\"} -12"));
         assert!(text.contains("obs_render_labeled_hist_bucket{layer=\"M3\",le=\"8\"} 1"));
         assert!(text.contains("obs_render_labeled_hist_count{layer=\"M3\"} 1"));
     }

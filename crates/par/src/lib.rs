@@ -362,11 +362,11 @@ where
 /// Bounded multi-producer/multi-consumer job queue with explicit
 /// backpressure, built on `Mutex` + `Condvar` (no external deps).
 ///
-/// Producers use [`BoundedQueue::try_push`], which **never blocks**: a
-/// full queue returns [`PushError::Full`] so the caller can shed load
+/// Producers use [`BoundedQueue::try_push`](queue::BoundedQueue::try_push), which **never blocks**: a
+/// full queue returns [`PushError::Full`](queue::PushError::Full) so the caller can shed load
 /// (the serve daemon turns this into a typed `Busy` response).
-/// Consumers use [`BoundedQueue::pop`], which blocks until a job
-/// arrives or the queue is closed and drained. [`BoundedQueue::close`]
+/// Consumers use [`BoundedQueue::pop`](queue::BoundedQueue::pop), which blocks until a job
+/// arrives or the queue is closed and drained. [`BoundedQueue::close`](queue::BoundedQueue::close)
 /// wakes all consumers; pending jobs are still handed out so a close is
 /// a drain, not an abort.
 ///

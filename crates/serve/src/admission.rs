@@ -3,7 +3,7 @@
 //! Every request is vetted **before** it takes a queue slot or the
 //! build lock:
 //!
-//! 1. [`validate_request`] deep-checks the [`SessionSpec`] (design and
+//! 1. [`validate_request`] deep-checks the [`SessionSpec`](gnn_mls::session::SessionSpec) (design and
 //!    tech must exist, the target frequency must be finite and within
 //!    bounds) and the per-kind parameters (a `WhatIf` needs a net and a
 //!    sane expansion budget, an `InferMls` a sane path count). Failures

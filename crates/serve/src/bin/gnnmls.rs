@@ -6,6 +6,9 @@
 //!        [--load-model model.json] [--verilog netlist.v]
 //! gnnmls serve  [--addr 127.0.0.1:7117] [--queue N] [--workers N] [--cache N]
 //! gnnmls client <whatif|infer|stats|flow|shutdown> [--addr ...] [--design ...]
+//! gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]
+//!                    [--out target/bench/BENCH_suite.json] [--commit-baseline]
+//! gnnmls bench diff  [--baseline bench/baseline.json] [--fresh target/bench/BENCH_suite.json]
 //! gnnmls designs      # list available designs
 //! ```
 //!
@@ -25,7 +28,7 @@ use gnnmls_serve::{Client, RetryPolicy, ServeConfig, ServeConfigBuilder, Server}
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn usage() -> &'static str {
-    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]\n                     [--out target/bench/BENCH_suite.json] [--commit-baseline]\n  gnnmls bench diff  [--baseline bench/baseline.json]\n                     [--fresh target/bench/BENCH_suite.json]\n                     [--perturb <scenario>:<metric>:<delta>]   # gate self-test\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
 }
 
 fn main() -> ExitCode {
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
         Some("flow") => run_flow_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
+        Some("bench") => bench_cmd(&args[1..]),
         _ => {
             eprint!("{}", usage());
             ExitCode::FAILURE
@@ -342,6 +346,141 @@ fn client_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// Default output path for a fresh suite run — under `target/` so local
+/// runs never dirty the committed ledger; `--commit-baseline` is the
+/// only way to update `bench/baseline.json`.
+const SUITE_FRESH_PATH: &str = "target/bench/BENCH_suite.json";
+/// The committed regression baseline `bench diff` gates against.
+const SUITE_BASELINE_PATH: &str = "bench/baseline.json";
+/// The committed scenario manifest.
+const SUITE_MANIFEST_PATH: &str = "bench/suite.toml";
+
+fn bench_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("suite") => bench_suite_cmd(&args[1..]),
+        Some("diff") => bench_diff_cmd(&args[1..]),
+        other => {
+            eprintln!(
+                "unknown bench verb `{}` (suite|diff)\n{}",
+                other.unwrap_or(""),
+                usage()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_suite_cmd(args: &[String]) -> ExitCode {
+    let (opts, flags) =
+        match parse_opts(args, &["manifest", "profile", "out"], &["commit-baseline"]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+    let manifest_path = opts.get("manifest").copied().unwrap_or(SUITE_MANIFEST_PATH);
+    let profile = opts.get("profile").copied().unwrap_or("ci");
+    let out = opts.get("out").copied().unwrap_or(SUITE_FRESH_PATH);
+    let manifest = match gnnmls_bench::load_manifest(std::path::Path::new(manifest_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("gnnmls bench suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match gnnmls_bench::run_suite(&manifest, profile) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gnnmls bench suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for s in &report.scenarios {
+        let wns = s.metrics.get("wns_ps").copied().unwrap_or(f64::NAN);
+        let wl = s.metrics.get("wirelength_m").copied().unwrap_or(f64::NAN);
+        let f2f = s.metrics.get("f2f_pads").copied().unwrap_or(f64::NAN);
+        println!(
+            "{:24} {:8} {:8} WNS {wns:9.1} ps  WL {wl:7.3} m  F2F {f2f:6.0}  ({:.1}s)",
+            s.name, s.design, s.policy, s.wall_clock_s
+        );
+    }
+    let mut targets = vec![std::path::PathBuf::from(out)];
+    if flags.contains(&"commit-baseline") {
+        targets.push(std::path::PathBuf::from(SUITE_BASELINE_PATH));
+    }
+    for path in targets {
+        if let Err(e) = gnnmls_bench::write_report(&report, &path) {
+            eprintln!("gnnmls bench suite: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("suite ledger written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_diff_cmd(args: &[String]) -> ExitCode {
+    let (opts, _) = match parse_opts(args, &["baseline", "fresh", "perturb"], &[]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_path = opts.get("baseline").copied().unwrap_or(SUITE_BASELINE_PATH);
+    let fresh_path = opts.get("fresh").copied().unwrap_or(SUITE_FRESH_PATH);
+    let baseline = match gnnmls_bench::load_report(std::path::Path::new(baseline_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gnnmls bench diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut fresh = match gnnmls_bench::load_report(std::path::Path::new(fresh_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gnnmls bench diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Gate self-test: inject a known QoR drift into the fresh report and
+    // prove the diff catches it (used by CI to keep the gate honest).
+    if let Some(spec) = opts.get("perturb") {
+        let parts: Vec<&str> = spec.splitn(3, ':').collect();
+        let (scenario, metric, delta) = match parts.as_slice() {
+            [s, m, d] => match d.parse::<f64>() {
+                Ok(delta) => (*s, *m, delta),
+                Err(_) => {
+                    eprintln!("--perturb delta must be a number (got `{spec}`)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => {
+                eprintln!("--perturb wants <scenario>:<metric>:<delta> (got `{spec}`)");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(v) = fresh
+            .scenarios
+            .iter_mut()
+            .find(|s| s.name == scenario)
+            .and_then(|s| s.metrics.get_mut(metric))
+        else {
+            eprintln!("--perturb target `{scenario}:{metric}` not in the fresh report");
+            return ExitCode::FAILURE;
+        };
+        *v += delta;
+        eprintln!("perturbed {scenario}:{metric} by {delta:+}");
+    }
+    let diff = gnnmls_bench::diff_reports(&baseline, &fresh);
+    println!("{diff}");
+    if diff.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_flow_cmd(args: &[String]) -> ExitCode {
     let mut opts: HashMap<&str, &str> = HashMap::new();
     let mut fast = false;
@@ -373,7 +512,7 @@ fn run_flow_cmd(args: &[String]) -> ExitCode {
     }
 
     let design_name = opts.get("design").copied().unwrap_or("maeri16");
-    let is_a7 = design_name == "a7";
+    let is_a7 = design_name.starts_with("a7");
     let Some(tech) = build_tech(opts.get("tech").copied().unwrap_or("hetero"), design_name) else {
         eprintln!(
             "unknown tech `{}` (hetero|homo)",
