@@ -51,10 +51,19 @@ pub enum FaultSite {
     /// Corrupt one route-DB edge count as the DB is assembled (proves
     /// the cross-stage invariant auditor fires).
     RouteAuditCorrupt,
+    /// Crash the backend shard a cluster front is about to forward to
+    /// (a managed child is killed; an external shard is marked dead).
+    ShardCrash,
+    /// Make a forwarded cluster request appear over-deadline: the shard
+    /// never answers within the forward timeout.
+    ShardStall,
+    /// Tear the front↔shard connection mid-exchange (reset after the
+    /// request frame is written, before the response is read).
+    ConnReset,
 }
 
 /// All sites, in the order used by seed-driven plans.
-pub const ALL_SITES: [FaultSite; 12] = [
+pub const ALL_SITES: [FaultSite; 15] = [
     FaultSite::CheckpointCorrupt,
     FaultSite::CheckpointTruncate,
     FaultSite::UnroutableNet,
@@ -67,6 +76,9 @@ pub const ALL_SITES: [FaultSite; 12] = [
     FaultSite::QueueOverflow,
     FaultSite::SessionBuildFail,
     FaultSite::RouteAuditCorrupt,
+    FaultSite::ShardCrash,
+    FaultSite::ShardStall,
+    FaultSite::ConnReset,
 ];
 
 impl FaultSite {
@@ -84,6 +96,9 @@ impl FaultSite {
             FaultSite::QueueOverflow => 9,
             FaultSite::SessionBuildFail => 10,
             FaultSite::RouteAuditCorrupt => 11,
+            FaultSite::ShardCrash => 12,
+            FaultSite::ShardStall => 13,
+            FaultSite::ConnReset => 14,
         }
     }
 
@@ -101,6 +116,9 @@ impl FaultSite {
             "queue-overflow" => Some(FaultSite::QueueOverflow),
             "build-fail" => Some(FaultSite::SessionBuildFail),
             "audit-violation" => Some(FaultSite::RouteAuditCorrupt),
+            "shard-crash" => Some(FaultSite::ShardCrash),
+            "shard-stall" => Some(FaultSite::ShardStall),
+            "conn-reset" => Some(FaultSite::ConnReset),
             _ => None,
         }
     }
@@ -121,6 +139,9 @@ impl fmt::Display for FaultSite {
             FaultSite::QueueOverflow => "queue-overflow",
             FaultSite::SessionBuildFail => "build-fail",
             FaultSite::RouteAuditCorrupt => "audit-violation",
+            FaultSite::ShardCrash => "shard-crash",
+            FaultSite::ShardStall => "shard-stall",
+            FaultSite::ConnReset => "conn-reset",
         };
         f.write_str(s)
     }
@@ -241,6 +262,9 @@ static REMAINING: [AtomicU32; ALL_SITES.len()] = [
     AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
 ];
 
 fn install_lock() -> &'static Mutex<()> {
@@ -347,11 +371,25 @@ mod tests {
 
     #[test]
     fn new_robustness_sites_are_registered() {
-        assert_eq!(ALL_SITES.len(), 12);
+        assert_eq!(ALL_SITES.len(), 15);
         assert_eq!(ALL_SITES[10], FaultSite::SessionBuildFail);
         assert_eq!(ALL_SITES[11], FaultSite::RouteAuditCorrupt);
         assert_eq!(FaultSite::SessionBuildFail.to_string(), "build-fail");
         assert_eq!(FaultSite::RouteAuditCorrupt.to_string(), "audit-violation");
+    }
+
+    #[test]
+    fn cluster_sites_are_registered() {
+        assert_eq!(ALL_SITES[12], FaultSite::ShardCrash);
+        assert_eq!(ALL_SITES[13], FaultSite::ShardStall);
+        assert_eq!(ALL_SITES[14], FaultSite::ConnReset);
+        assert_eq!(FaultSite::ShardCrash.to_string(), "shard-crash");
+        assert_eq!(FaultSite::ShardStall.to_string(), "shard-stall");
+        assert_eq!(FaultSite::ConnReset.to_string(), "conn-reset");
+        assert_eq!(
+            FaultSite::from_name("conn-reset"),
+            Some(FaultSite::ConnReset)
+        );
     }
 
     #[test]

@@ -370,6 +370,59 @@ where
 /// wakes all consumers; pending jobs are still handed out so a close is
 /// a drain, not an abort.
 ///
+/// Deterministic pseudo-randomness shared across the workspace.
+///
+/// Several subsystems (serve quarantine cooldowns, client retry
+/// jitter, the cluster ring and load generator) need cheap, seedable,
+/// reproducible randomness. They all use the same splitmix64 mixer so
+/// a single `u64` seed reproduces a schedule exactly; this module is
+/// the one copy of it.
+pub mod rng {
+    /// One splitmix64 mixing step: a high-quality 64-bit finalizer.
+    /// Deterministic, stateless, and cheap — feed it any counter or
+    /// hash to get a well-spread value.
+    #[inline]
+    pub fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A tiny seeded stream built on [`splitmix64`]: each `next()`
+    /// advances the state by the golden-gamma constant and mixes it.
+    /// Two streams with the same seed produce the same sequence.
+    #[derive(Clone, Debug)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Starts a stream at the given seed.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next 64-bit value in the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `0..bound` (`0` when `bound == 0`).
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+}
+
 /// The `gnnmls-faults` `QueueOverflow` seam fires inside `try_push`, so
 /// tests can force the full path deterministically regardless of
 /// timing.

@@ -22,13 +22,17 @@ use gnn_mls::session::{build_design, build_tech, SessionSpec, DESIGNS};
 use gnn_mls::GnnMls;
 use gnnmls_dft::DftMode;
 use gnnmls_netlist::verilog::write_verilog;
+use gnnmls_serve::cluster::{ClusterConfig, ClusterFront, ShardBackendSpec, ShardSpawnSpec};
 use gnnmls_serve::protocol::{Request, Response, ResponseKind};
-use gnnmls_serve::{Client, RetryPolicy, ServeConfig, ServeConfigBuilder, Server};
+use gnnmls_serve::{
+    run_cluster_bench, Client, ClusterBenchConfig, RetryPolicy, ServeConfig, ServeConfigBuilder,
+    Server,
+};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn usage() -> &'static str {
-    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]\n                     [--out target/bench/BENCH_suite.json] [--commit-baseline]\n  gnnmls bench diff  [--baseline bench/baseline.json]\n                     [--fresh target/bench/BENCH_suite.json]\n                     [--perturb <scenario>:<metric>:<delta>]   # gate self-test\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls serve --cluster [--shards <n>] [--addr 127.0.0.1:7117]\n               [--queue <jobs>] [--workers <n>] [--cache <sessions>]\n               [--admit <cost units>] [--checkpoint <dir>]\n               # spawns <n> shard daemons, routes v2 frames by spec hash,\n               # fails over through per-shard circuit breakers\n  gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]\n                     [--out target/bench/BENCH_suite.json] [--commit-baseline]\n  gnnmls bench diff  [--baseline bench/baseline.json]\n                     [--fresh target/bench/BENCH_suite.json]\n                     [--perturb <scenario>:<metric>:<delta>]   # gate self-test\n  gnnmls bench cluster [--shards <n>] [--clients <n>] [--requests <n>]\n                       [--seed <n>] [--no-kill]\n                       # mixed whatif/infer load with a kill-one-shard\n                       # schedule; writes target/bench/BENCH_cluster.json\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
 }
 
 fn main() -> ExitCode {
@@ -122,10 +126,18 @@ fn spec_from_opts(opts: &HashMap<&str, &str>, fast: bool) -> Result<SessionSpec,
 }
 
 fn serve_cmd(args: &[String]) -> ExitCode {
-    let (opts, _) = match parse_opts(
+    let (opts, flags) = match parse_opts(
         args,
-        &["addr", "queue", "workers", "cache", "checkpoint", "admit"],
-        &[],
+        &[
+            "addr",
+            "queue",
+            "workers",
+            "cache",
+            "checkpoint",
+            "admit",
+            "shards",
+        ],
+        &["cluster"],
     ) {
         Ok(p) => p,
         Err(e) => {
@@ -133,6 +145,13 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if flags.contains(&"cluster") {
+        return serve_cluster_cmd(&opts);
+    }
+    if opts.contains_key("shards") {
+        eprintln!("--shards only applies with --cluster");
+        return ExitCode::FAILURE;
+    }
     let mut builder = ServeConfig::builder().addr(
         opts.get("addr")
             .copied()
@@ -192,6 +211,89 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     match serde_json::to_string_pretty(&stats) {
         Ok(json) => println!("{json}"),
         Err(e) => eprintln!("could not serialize final stats: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `gnnmls serve --cluster`: spawn `--shards` copies of this binary as
+/// backend daemons (forwarding the serve knobs), route by spec hash,
+/// and print the merged stats envelope after drain.
+fn serve_cluster_cmd(opts: &HashMap<&str, &str>) -> ExitCode {
+    let shards = match opts.get("shards").map(|v| v.parse::<usize>()) {
+        None => 3,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("--shards must be a positive shard count");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Serve knobs are forwarded verbatim to every shard; each shard
+    // validates them itself at startup.
+    let mut shard_args = vec!["serve".to_string()];
+    for key in ["queue", "workers", "cache", "admit"] {
+        if let Some(v) = opts.get(key) {
+            shard_args.push(format!("--{key}"));
+            shard_args.push((*v).to_string());
+        }
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gnnmls serve --cluster: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ClusterConfig {
+        addr: opts
+            .get("addr")
+            .copied()
+            .unwrap_or(DEFAULT_ADDR)
+            .to_string(),
+        checkpoint_dir: opts.get("checkpoint").map(std::path::PathBuf::from),
+        ..ClusterConfig::default()
+    };
+    let backends = (0..shards)
+        .map(|_| {
+            ShardBackendSpec::Spawn(ShardSpawnSpec {
+                exe: exe.clone(),
+                args: shard_args.clone(),
+            })
+        })
+        .collect();
+    let front = match ClusterFront::start(cfg, backends) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gnnmls serve --cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("gnnmls-cluster front listening on {}", front.local_addr());
+    for ((id, addr), pid) in front
+        .shard_addrs()
+        .iter()
+        .enumerate()
+        .zip(front.shard_pids())
+    {
+        match pid {
+            Some(pid) => eprintln!("  shard {id}: {addr} (pid {pid})"),
+            None => eprintln!("  shard {id}: {addr}"),
+        }
+    }
+    let stats = front.wait();
+    eprintln!(
+        "gnnmls-cluster drained: {} requests, {} ok, {} failovers ({} cold), \
+         {} lost after retry, {} shard crashes / {} respawns",
+        stats.requests,
+        stats.relayed_ok,
+        stats.failovers,
+        stats.failover_cold,
+        stats.lost_after_retry,
+        stats.shard_crashes,
+        stats.shard_respawns
+    );
+    match serde_json::to_string_pretty(&stats) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("could not serialize final cluster stats: {e}"),
     }
     ExitCode::SUCCESS
 }
@@ -359,9 +461,10 @@ fn bench_cmd(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("suite") => bench_suite_cmd(&args[1..]),
         Some("diff") => bench_diff_cmd(&args[1..]),
+        Some("cluster") => bench_cluster_cmd(&args[1..]),
         other => {
             eprintln!(
-                "unknown bench verb `{}` (suite|diff)\n{}",
+                "unknown bench verb `{}` (suite|diff|cluster)\n{}",
                 other.unwrap_or(""),
                 usage()
             );
@@ -415,6 +518,97 @@ fn bench_suite_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("suite ledger written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `gnnmls bench cluster`: spawn a front + shards, drive mixed load
+/// with a kill-one-shard-mid-run schedule, and write the latency /
+/// failover ledger to `target/bench/BENCH_cluster.json`.
+fn bench_cluster_cmd(args: &[String]) -> ExitCode {
+    let (opts, flags) = match parse_opts(
+        args,
+        &["shards", "clients", "requests", "specs", "seed"],
+        &["no-kill"],
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = ClusterBenchConfig::default();
+    for (key, slot) in [
+        ("shards", &mut cfg.shards as &mut usize),
+        ("clients", &mut cfg.clients),
+        ("requests", &mut cfg.requests),
+        ("specs", &mut cfg.specs),
+    ] {
+        if let Some(v) = opts.get(key) {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => *slot = n,
+                _ => {
+                    eprintln!("--{key} must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(v) = opts.get("seed") {
+        match v.parse::<u64>() {
+            Ok(n) => cfg.seed = n,
+            Err(_) => {
+                eprintln!("--seed must be an integer");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    cfg.kill_mid_run = !flags.contains(&"no-kill");
+    cfg.shard_exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gnnmls bench cluster: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run_cluster_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gnnmls bench cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cluster bench: {} shards, {} clients, {} requests  p50 {:.1} ms  p99 {:.1} ms",
+        report.shards, report.clients, report.requests, report.p50_ms, report.p99_ms
+    );
+    println!(
+        "  ok {}  shed {}  errored {}  shed-rate {:.3}  failovers {} ({} cold)  \
+         respawns {}  lost-after-retry {}",
+        report.ok,
+        report.shed,
+        report.errored,
+        report.shed_rate,
+        report.failovers,
+        report.failover_cold,
+        report.shard_respawns,
+        report.lost_after_retry
+    );
+    for s in &report.per_shard {
+        println!(
+            "  shard {}: served {}  hit-rate {:.3}  crashes {}  respawns {}",
+            s.id, s.served, s.hit_rate, s.crashes, s.respawns
+        );
+    }
+    eprintln!("cluster ledger written to target/bench/BENCH_cluster.json");
+    // The run is a robustness gate, not just a ledger: a request lost
+    // after exhausting retries fails the command.
+    if report.lost_after_retry > 0 {
+        eprintln!(
+            "gnnmls bench cluster: {} request(s) lost after retry",
+            report.lost_after_retry
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

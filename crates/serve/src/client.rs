@@ -7,15 +7,19 @@
 //! [`RetryPolicy`]: capped exponential backoff whose jitter comes from
 //! a deterministic seeded mixer, so two clients given different seeds
 //! desynchronize while every run of the same client is reproducible.
-//! When the attempts are exhausted it returns a typed
-//! [`ClientError::GaveUp`] carrying the attempt count — the caller
-//! always knows how hard it tried.
+//! `Quarantined` responses are also retried, honoring the server's
+//! `retry_after_ms` hint as the backoff floor — the client never probes
+//! an open circuit earlier than the server asked it to. When the
+//! attempts are exhausted it returns a typed [`ClientError::GaveUp`]
+//! carrying the attempt count — the caller always knows how hard it
+//! tried.
 
 use std::fmt;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use gnn_mls::session::SessionSpec;
+use gnnmls_par::rng::splitmix64;
 
 use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, ResponseKind};
 
@@ -43,13 +47,6 @@ impl Default for RetryPolicy {
     }
 }
 
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl RetryPolicy {
     /// The backoff before retry number `attempt` (0-based): capped
     /// exponential, half fixed and half deterministic jitter.
@@ -61,6 +58,15 @@ impl RetryPolicy {
             .min(self.max_delay_ms.max(1));
         let jitter = splitmix64(self.seed ^ u64::from(attempt)) % (exp / 2 + 1);
         (exp / 2 + jitter).min(self.max_delay_ms.max(1))
+    }
+
+    /// [`delay_ms`](Self::delay_ms) with a server-imposed floor: a
+    /// `Quarantined` response carries `retry_after_ms` (how long the
+    /// circuit stays open), and probing earlier is pointless, so the
+    /// floor wins over the jittered schedule — even over
+    /// `max_delay_ms`.
+    pub fn delay_with_floor(&self, attempt: u32, floor_ms: Option<u64>) -> u64 {
+        self.delay_ms(attempt).max(floor_ms.unwrap_or(0))
     }
 }
 
@@ -152,11 +158,16 @@ impl Client {
     }
 
     /// Sends a request, retrying transient failures under `policy`:
-    /// `Busy` responses (shed work), connection-level notices (the
-    /// server's stall/malformed reports carry id 0), and transport
-    /// errors (reconnecting first). Permanent outcomes — `Ok`,
-    /// `Rejected`, `Quarantined`, request-level `Error` — return
-    /// immediately.
+    /// `Busy` responses (shed work), `Quarantined` responses (the spec's
+    /// circuit is open — the backoff floor is the server's
+    /// `retry_after_ms` hint, so the next attempt lands after the
+    /// cooldown's half-open probe window starts), connection-level
+    /// notices (the server's stall/malformed reports carry id 0), and
+    /// transport errors (reconnecting first). Permanent outcomes —
+    /// `Ok`, `Rejected`, request-level `Error` — return immediately. A
+    /// still-quarantined final attempt returns that `Quarantined`
+    /// response rather than `GaveUp`, so the caller keeps the typed
+    /// verdict and its `retry_after_ms`.
     ///
     /// # Errors
     ///
@@ -169,13 +180,23 @@ impl Client {
     ) -> Result<Response, ClientError> {
         let attempts = policy.max_attempts.max(1);
         let mut last = String::new();
+        let mut floor_ms: Option<u64> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt - 1)));
+                std::thread::sleep(Duration::from_millis(
+                    policy.delay_with_floor(attempt - 1, floor_ms.take()),
+                ));
             }
             match self.request(req) {
                 Ok(resp) if resp.kind == ResponseKind::Busy => {
                     last = "busy".to_string();
+                }
+                Ok(resp) if resp.kind == ResponseKind::Quarantined => {
+                    if attempt + 1 == attempts {
+                        return Ok(resp);
+                    }
+                    floor_ms = resp.retry_after_ms;
+                    last = "quarantined".to_string();
                 }
                 Ok(resp) if resp.kind == ResponseKind::Error && resp.id == 0 && req.id != 0 => {
                     // Connection-level notice, not our answer; the
@@ -307,6 +328,31 @@ mod tests {
         // A different seed gives a different schedule somewhere.
         let q = RetryPolicy { seed: 8, ..p };
         assert!((0..8).any(|a| q.delay_ms(a) != delays[a as usize]));
+    }
+
+    #[test]
+    fn retry_after_floor_overrides_the_jittered_schedule() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            seed: 7,
+        };
+        for attempt in 0..5 {
+            // No floor (or a floor of zero) degrades to the plain
+            // schedule.
+            assert_eq!(p.delay_with_floor(attempt, None), p.delay_ms(attempt));
+            assert_eq!(p.delay_with_floor(attempt, Some(0)), p.delay_ms(attempt));
+            // A quarantine cooldown longer than the cap wins outright:
+            // probing an open circuit early is wasted work.
+            assert_eq!(p.delay_with_floor(attempt, Some(5_000)), 5_000);
+            // A floor below the scheduled delay never shortens it.
+            assert!(p.delay_with_floor(attempt, Some(1)) >= p.delay_ms(attempt));
+        }
+        // Deterministic: same policy + floor, same schedule.
+        let a: Vec<u64> = (0..5).map(|n| p.delay_with_floor(n, Some(40))).collect();
+        let b: Vec<u64> = (0..5).map(|n| p.delay_with_floor(n, Some(40))).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,1249 @@
+//! The `gnnmls serve --cluster` front tier: sharded warm-session
+//! serving with health-checked failover.
+//!
+//! One daemon tops out at one box, and a single process death loses
+//! every warm [`DesignSession`](gnn_mls::session::DesignSession). The
+//! cluster front fixes both: it speaks the existing v2 wire protocol
+//! natively, routes every request by
+//! [`SessionSpec::cache_key`](gnn_mls::session::SessionSpec::cache_key)
+//! through a consistent-hash [`HashRing`], and forwards the request
+//! payload unchanged to the owning backend shard — so each design
+//! builds warm exactly once cluster-wide and a cluster answer is
+//! bit-identical to the single-daemon answer for the same request.
+//!
+//! Robustness model, in order of engagement:
+//!
+//! - **Supervision.** Shards the front spawned are reaped and respawned
+//!   when they die (`kill -9` included); every shard, spawned or
+//!   external, is health-probed on an interval via the PR 4 `Health`
+//!   request.
+//! - **Circuit breakers.** Consecutive probe or forward failures open a
+//!   per-shard breaker with a capped exponential + seeded-jitter
+//!   cooldown; an open breaker routes the shard's keys to their
+//!   deterministic secondary. On cooldown expiry the breaker
+//!   half-opens: one request (or probe) goes through, a success closes
+//!   it, a failure re-opens it for longer.
+//! - **Failover.** A request whose target is dead, quarantined, or
+//!   over-deadline retries against the ring's secondary shard for that
+//!   key. The secondary cold-builds the session; that is accepted and
+//!   counted (`failover_cold`) — availability beats warmth.
+//! - **Bounded retry.** The front retries with the same capped
+//!   seeded-jitter backoff the client uses, honoring a shard's
+//!   `retry_after_ms` as the backoff floor when the next attempt would
+//!   hit the same shard. A request that exhausts every attempt gets a
+//!   typed error and is counted in `lost_after_retry` — the number the
+//!   cluster bench requires to be zero.
+//! - **Graceful drain.** Shutdown stops accepting (new connections get
+//!   a typed `Rejected` immediately), lets in-flight requests finish,
+//!   collects each shard's final [`ServerStats`], shuts the shards
+//!   down, and writes one versioned [`ClusterStats`] envelope as the
+//!   `cluster-stats` checkpoint stage.
+//!
+//! Every failure path is deterministically testable through three
+//! `gnnmls-faults` sites: `shard-crash` (the routed-to shard dies right
+//! before the forward), `shard-stall` (the forward never completes
+//! inside the deadline), and `conn-reset` (the front↔shard connection
+//! tears after the request frame is written).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gnn_mls::checkpoint::save_stage;
+use gnnmls_faults::{fire, FaultSite};
+use gnnmls_par::rng::splitmix64;
+use serde::{Deserialize, Serialize};
+
+use crate::client::RetryPolicy;
+use crate::protocol::{
+    read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request, RequestKind,
+    Response, ResponseKind, ServerStats,
+};
+use crate::ring::HashRing;
+
+/// Stage name of the merged drain checkpoint envelope.
+pub const CLUSTER_STATS_STAGE: &str = "cluster-stats";
+
+/// Schema version of [`ClusterStats`].
+pub const CLUSTER_STATS_SCHEMA: u32 = 1;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Front-tier configuration. Defaults are production-ish; tests tighten
+/// the timing knobs.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Front bind address (`:0` picks a port).
+    pub addr: String,
+    /// Idle read-timeout slice for client connections, ms.
+    pub read_timeout_ms: u64,
+    /// Health-probe interval per shard, ms.
+    pub probe_interval_ms: u64,
+    /// Connect/read timeout for one health probe, ms.
+    pub probe_timeout_ms: u64,
+    /// Consecutive failures that open a shard's breaker.
+    pub breaker_threshold: u32,
+    /// Base breaker cooldown, ms (doubles per re-open, capped).
+    pub breaker_cooldown_ms: u64,
+    /// Per-attempt deadline for a forwarded request, ms. Generous by
+    /// default: a cold paper-scale session build is slow and must not
+    /// read as a stall.
+    pub forward_timeout_ms: u64,
+    /// Total forward attempts per request (first try included).
+    pub retries: u32,
+    /// Base front-retry backoff, ms.
+    pub retry_base_ms: u64,
+    /// Front-retry backoff ceiling, ms.
+    pub retry_max_ms: u64,
+    /// Seed for breaker-cooldown and retry jitter.
+    pub seed: u64,
+    /// How long to wait for a spawned shard to become healthy, ms.
+    pub spawn_ready_timeout_ms: u64,
+    /// How long the drain waits for a shard process to exit before
+    /// killing it, ms.
+    pub shard_exit_timeout_ms: u64,
+    /// Where the final [`ClusterStats`] envelope is written.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            read_timeout_ms: 250,
+            probe_interval_ms: 200,
+            probe_timeout_ms: 2_000,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 500,
+            forward_timeout_ms: 120_000,
+            retries: 4,
+            retry_base_ms: 10,
+            retry_max_ms: 500,
+            seed: 0x0C10_57E4,
+            spawn_ready_timeout_ms: 60_000,
+            shard_exit_timeout_ms: 10_000,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// How to (re)spawn one managed shard process.
+#[derive(Clone, Debug)]
+pub struct ShardSpawnSpec {
+    /// The `gnnmls` binary.
+    pub exe: PathBuf,
+    /// Arguments ahead of the `--addr` pair (e.g. `["serve",
+    /// "--queue", "64"]`).
+    pub args: Vec<String>,
+}
+
+/// One backend shard the front should route to.
+#[derive(Clone, Debug)]
+pub enum ShardBackendSpec {
+    /// An already-running daemon the front probes and routes to but
+    /// does not supervise (used by the in-process tests).
+    External(SocketAddr),
+    /// A daemon the front spawns on a free port, supervises, and
+    /// respawns on death.
+    Spawn(ShardSpawnSpec),
+}
+
+/// Per-shard circuit breaker. Counts consecutive failures (probes and
+/// forwards both); at the threshold the circuit opens for a capped
+/// exponential cooldown with deterministic seeded jitter. Expiry
+/// half-opens it: the next attempt goes through, and its outcome
+/// closes or re-opens the circuit.
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive: u32,
+    open_until: Option<Instant>,
+    opens: u32,
+}
+
+struct ShardState {
+    id: u16,
+    addr: SocketAddr,
+    spawn: Option<ShardSpawnSpec>,
+    child: Mutex<Option<Child>>,
+    breaker: Mutex<Breaker>,
+    crashes: AtomicU64,
+    respawns: AtomicU64,
+    breaker_opens: AtomicU64,
+}
+
+#[derive(Default)]
+struct ClusterCounters {
+    requests: AtomicU64,
+    relayed_ok: AtomicU64,
+    relayed_busy: AtomicU64,
+    relayed_rejected: AtomicU64,
+    relayed_quarantined: AtomicU64,
+    relayed_errors: AtomicU64,
+    failovers: AtomicU64,
+    failover_cold: AtomicU64,
+    lost_after_retry: AtomicU64,
+    shard_crashes: AtomicU64,
+    shard_respawns: AtomicU64,
+    probe_failures: AtomicU64,
+}
+
+/// Final per-shard accounting inside [`ClusterStats`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Ring id of the shard.
+    pub id: u32,
+    /// Address the shard served on.
+    pub addr: String,
+    /// Times the shard's breaker opened.
+    pub breaker_opens: u64,
+    /// Child deaths observed (managed shards only).
+    pub crashes: u64,
+    /// Respawns performed (managed shards only).
+    pub respawns: u64,
+    /// The shard's own final stats, collected during the drain.
+    /// `None` when the shard was unreachable at drain time.
+    pub stats: Option<ServerStats>,
+}
+
+/// The merged, versioned drain envelope: front-tier accounting plus
+/// every shard's final [`ServerStats`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Envelope schema version ([`CLUSTER_STATS_SCHEMA`]).
+    pub schema_version: u32,
+    /// Client requests the front routed (Health/Metrics/Shutdown
+    /// answered inline are not counted).
+    pub requests: u64,
+    /// Relayed responses by kind.
+    pub relayed_ok: u64,
+    /// Relayed `Busy` responses.
+    pub relayed_busy: u64,
+    /// Relayed `Rejected` responses.
+    pub relayed_rejected: u64,
+    /// Relayed `Quarantined` responses.
+    pub relayed_quarantined: u64,
+    /// Relayed request-level `Error` responses.
+    pub relayed_errors: u64,
+    /// Requests answered by a shard other than their ring primary.
+    pub failovers: u64,
+    /// Failovers that were answered `Ok` — the secondary accepted the
+    /// work (cold build and all).
+    pub failover_cold: u64,
+    /// Requests that exhausted every forward attempt without any typed
+    /// shard answer. The cluster bench requires this to be zero.
+    pub lost_after_retry: u64,
+    /// Managed-shard deaths observed.
+    pub shard_crashes: u64,
+    /// Managed-shard respawns performed.
+    pub shard_respawns: u64,
+    /// Health probes that failed.
+    pub probe_failures: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+}
+
+struct ClusterShared {
+    cfg: ClusterConfig,
+    ring: HashRing,
+    shards: Vec<ShardState>,
+    running: AtomicBool,
+    accept_stop: AtomicBool,
+    counters: ClusterCounters,
+}
+
+/// Reasons a request is routed away from its primary, as the
+/// `gnnmls_cluster_failovers_total{reason=...}` label.
+const REASON_BREAKER: &str = "breaker";
+const REASON_QUARANTINED: &str = "quarantined";
+const REASON_STALL: &str = "stall";
+const REASON_CONN: &str = "conn";
+
+impl ClusterShared {
+    fn begin_shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+    }
+
+    fn shard(&self, id: u16) -> &ShardState {
+        &self.shards[usize::from(id)]
+    }
+
+    /// Whether the shard's breaker currently refuses traffic. An
+    /// expired cooldown half-opens the breaker (clears `open_until`)
+    /// and lets the caller through as the probe.
+    fn breaker_open(&self, id: u16) -> bool {
+        let mut b = lock(&self.shard(id).breaker);
+        match b.open_until {
+            Some(until) if Instant::now() < until => true,
+            Some(_) => {
+                b.open_until = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Remaining cooldown for an open breaker, ms (0 when closed).
+    fn breaker_remaining_ms(&self, id: u16) -> u64 {
+        let b = lock(&self.shard(id).breaker);
+        match b.open_until {
+            Some(until) => until.saturating_duration_since(Instant::now()).as_millis() as u64,
+            None => 0,
+        }
+    }
+
+    fn record_shard_failure(&self, id: u16) {
+        let shard = self.shard(id);
+        let mut b = lock(&shard.breaker);
+        b.consecutive = b.consecutive.saturating_add(1);
+        if b.consecutive >= self.cfg.breaker_threshold && b.open_until.is_none() {
+            let base = self
+                .cfg
+                .breaker_cooldown_ms
+                .max(1)
+                .saturating_mul(1u64 << b.opens.min(6))
+                .min(30_000);
+            let jitter =
+                splitmix64(self.cfg.seed ^ u64::from(id) ^ u64::from(b.opens)) % (base / 4 + 1);
+            b.open_until = Some(Instant::now() + Duration::from_millis(base + jitter));
+            b.opens = b.opens.saturating_add(1);
+            shard.breaker_opens.fetch_add(1, Ordering::SeqCst);
+            gnnmls_obs::event(
+                "cluster_breaker_open",
+                &[
+                    ("shard", gnnmls_obs::FieldValue::U64(u64::from(id))),
+                    ("cooldown_ms", gnnmls_obs::FieldValue::U64(base + jitter)),
+                ],
+            );
+        }
+    }
+
+    fn record_shard_success(&self, id: u16) {
+        let mut b = lock(&self.shard(id).breaker);
+        b.consecutive = 0;
+        b.open_until = None;
+        b.opens = 0;
+    }
+
+    /// The `shard-crash` seam and the supervisor's reaction to a real
+    /// child death: kill a managed child (external shards are only
+    /// marked), force the breaker open so routing fails over at once,
+    /// and count the crash.
+    fn crash_shard(&self, id: u16) {
+        let shard = self.shard(id);
+        if let Some(child) = lock(&shard.child).as_mut() {
+            let _ = child.kill();
+        }
+        {
+            let mut b = lock(&shard.breaker);
+            b.consecutive = b.consecutive.max(self.cfg.breaker_threshold);
+            if b.open_until.is_none() {
+                b.open_until =
+                    Some(Instant::now() + Duration::from_millis(self.cfg.breaker_cooldown_ms));
+                b.opens = b.opens.saturating_add(1);
+                shard.breaker_opens.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        shard.crashes.fetch_add(1, Ordering::SeqCst);
+        self.counters.shard_crashes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Front-level health: shard breakers mapped into the same
+    /// `QuarantineInfo` shape the single daemon reports, so existing
+    /// tooling reads cluster health unchanged.
+    fn health(&self) -> HealthStatus {
+        let mut quarantine = Vec::new();
+        let mut healthy = 0u64;
+        for shard in &self.shards {
+            let remaining = self.breaker_remaining_ms(shard.id);
+            let strikes = lock(&shard.breaker).consecutive;
+            if remaining > 0 {
+                quarantine.push(QuarantineInfo {
+                    key: u64::from(shard.id),
+                    strikes,
+                    open: true,
+                    remaining_ms: remaining,
+                });
+            } else {
+                healthy += 1;
+            }
+        }
+        HealthStatus {
+            ready: self.running.load(Ordering::SeqCst),
+            queue_depth: 0,
+            queue_capacity: 0,
+            workers: healthy,
+            watchdog_restarts: self.counters.shard_respawns.load(Ordering::SeqCst),
+            admitted_cost: 0,
+            admission_budget: 0,
+            quarantine,
+        }
+    }
+
+    fn stats_snapshot(&self, shards: Vec<ShardStats>) -> ClusterStats {
+        let c = &self.counters;
+        ClusterStats {
+            schema_version: CLUSTER_STATS_SCHEMA,
+            requests: c.requests.load(Ordering::SeqCst),
+            relayed_ok: c.relayed_ok.load(Ordering::SeqCst),
+            relayed_busy: c.relayed_busy.load(Ordering::SeqCst),
+            relayed_rejected: c.relayed_rejected.load(Ordering::SeqCst),
+            relayed_quarantined: c.relayed_quarantined.load(Ordering::SeqCst),
+            relayed_errors: c.relayed_errors.load(Ordering::SeqCst),
+            failovers: c.failovers.load(Ordering::SeqCst),
+            failover_cold: c.failover_cold.load(Ordering::SeqCst),
+            lost_after_retry: c.lost_after_retry.load(Ordering::SeqCst),
+            shard_crashes: c.shard_crashes.load(Ordering::SeqCst),
+            shard_respawns: c.shard_respawns.load(Ordering::SeqCst),
+            probe_failures: c.probe_failures.load(Ordering::SeqCst),
+            shards,
+        }
+    }
+}
+
+/// Reads one response with an absolute deadline. The socket carries a
+/// short read-timeout slice; the closure turns "still nothing at the
+/// deadline" into a typed stall instead of blocking forever.
+fn read_response_deadline(
+    stream: &mut TcpStream,
+    deadline: Instant,
+) -> Result<Response, FrameError> {
+    match read_frame_idle(stream, || Instant::now() < deadline)? {
+        Some(resp) => Ok(resp),
+        None => Err(FrameError::Stalled),
+    }
+}
+
+/// One health probe against a shard. `Ok` only when the daemon answers
+/// a `Health` request with `ready`.
+fn probe_health(addr: SocketAddr, timeout: Duration) -> bool {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(timeout));
+    if write_frame(&mut stream, &Request::health(0)).is_err() {
+        return false;
+    }
+    match read_response_deadline(&mut stream, Instant::now() + timeout) {
+        Ok(resp) => resp.kind == ResponseKind::Ok && resp.health.map(|h| h.ready).unwrap_or(false),
+        Err(_) => false,
+    }
+}
+
+fn spawn_shard(spawn: &ShardSpawnSpec, addr: SocketAddr) -> std::io::Result<Child> {
+    Command::new(&spawn.exe)
+        .args(&spawn.args)
+        .arg("--addr")
+        .arg(addr.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+/// The supervisor: reaps and respawns dead managed children, probes
+/// every shard's health, and feeds the per-shard breakers.
+fn prober_loop(shared: &Arc<ClusterShared>) {
+    while shared.running.load(Ordering::SeqCst) {
+        for shard in &shared.shards {
+            if !shared.running.load(Ordering::SeqCst) {
+                return;
+            }
+            // Reap + respawn a dead managed child.
+            if let Some(spawn) = &shard.spawn {
+                let mut child = lock(&shard.child);
+                let dead = match child.as_mut() {
+                    Some(c) => matches!(c.try_wait(), Ok(Some(_))),
+                    None => true,
+                };
+                if dead {
+                    if child.take().is_some() {
+                        // Died since we last looked (the crash_shard
+                        // seam counts its own kills).
+                        shard.crashes.fetch_add(1, Ordering::SeqCst);
+                        shared.counters.shard_crashes.fetch_add(1, Ordering::SeqCst);
+                    }
+                    match spawn_shard(spawn, shard.addr) {
+                        Ok(c) => {
+                            *child = Some(c);
+                            shard.respawns.fetch_add(1, Ordering::SeqCst);
+                            shared
+                                .counters
+                                .shard_respawns
+                                .fetch_add(1, Ordering::SeqCst);
+                            gnnmls_obs::event(
+                                "cluster_shard_respawn",
+                                &[("shard", gnnmls_obs::FieldValue::U64(u64::from(shard.id)))],
+                            );
+                        }
+                        Err(e) => gnnmls_obs::warn(
+                            "gnnmls-cluster",
+                            &format!("could not respawn shard {}: {e}", shard.id),
+                        ),
+                    }
+                }
+            }
+            // Health probe; outcome feeds the breaker either way.
+            let t0 = Instant::now();
+            let ok = probe_health(
+                shard.addr,
+                Duration::from_millis(shared.cfg.probe_timeout_ms.max(1)),
+            );
+            let shard_label = shard.id.to_string();
+            gnnmls_obs::observe(
+                "gnnmls_cluster_probe_ms",
+                &[("shard", &shard_label)],
+                &[1, 5, 25, 100, 500, 2_000],
+                t0.elapsed().as_millis() as u64,
+            );
+            if ok {
+                shared.record_shard_success(shard.id);
+            } else {
+                shared
+                    .counters
+                    .probe_failures
+                    .fetch_add(1, Ordering::SeqCst);
+                shared.record_shard_failure(shard.id);
+            }
+        }
+        // Sleep in slices so a drain is never stuck behind a full
+        // probe interval.
+        let deadline = Instant::now() + Duration::from_millis(shared.cfg.probe_interval_ms.max(1));
+        while shared.running.load(Ordering::SeqCst) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Per-connection cache of backend streams. Any non-clean exchange
+/// drops the stream: a desynchronized backend connection would pair
+/// the next request with a stale response.
+struct BackendConns {
+    streams: HashMap<u16, TcpStream>,
+}
+
+impl BackendConns {
+    fn new() -> Self {
+        Self {
+            streams: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, shard: &ShardState, timeout: Duration) -> Option<&mut TcpStream> {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.streams.entry(shard.id) {
+            let stream = TcpStream::connect_timeout(&shard.addr, timeout).ok()?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+            let _ = stream.set_write_timeout(Some(timeout));
+            slot.insert(stream);
+        }
+        self.streams.get_mut(&shard.id)
+    }
+
+    fn drop_conn(&mut self, id: u16) {
+        self.streams.remove(&id);
+    }
+}
+
+/// One forward attempt against one shard. `Err` means the shard gave
+/// no usable answer (connect/write/read failure, stall, torn
+/// connection, or an injected fault); the caller records the breaker
+/// failure and decides where the next attempt goes.
+fn forward_once(
+    shared: &ClusterShared,
+    conns: &mut BackendConns,
+    target: u16,
+    req: &Request,
+) -> Result<Response, FrameError> {
+    let shard = shared.shard(target);
+    let connect_timeout = Duration::from_millis(shared.cfg.probe_timeout_ms.max(1));
+    let Some(stream) = conns.get(shard, connect_timeout) else {
+        return Err(FrameError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            format!("shard {target} unreachable"),
+        )));
+    };
+    if let Err(e) = write_frame(stream, req) {
+        conns.drop_conn(target);
+        return Err(e);
+    }
+    // Deterministic seam: the connection tears right after the request
+    // frame went out — the shard may or may not have processed it, the
+    // front never sees the answer.
+    if fire(FaultSite::ConnReset) {
+        if let Some(s) = conns.streams.get(&target) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        conns.drop_conn(target);
+        return Err(FrameError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "injected front\u{2194}shard connection reset",
+        )));
+    }
+    // Deterministic seam: the shard holds the answer past the forward
+    // deadline. The stream is desynchronized (the real answer is still
+    // coming), so it must be dropped.
+    if fire(FaultSite::ShardStall) {
+        conns.drop_conn(target);
+        return Err(FrameError::Stalled);
+    }
+    let deadline = Instant::now() + Duration::from_millis(shared.cfg.forward_timeout_ms.max(1));
+    match read_response_deadline(stream, deadline) {
+        Ok(resp) => Ok(resp),
+        Err(e) => {
+            conns.drop_conn(target);
+            Err(e)
+        }
+    }
+}
+
+fn count_failover_reason(reason: &str) {
+    gnnmls_obs::counter_add("gnnmls_cluster_failovers_total", &[("reason", reason)], 1);
+}
+
+/// Routes one request: primary first, deterministic secondary on
+/// failure, bounded seeded-jitter retries, `retry_after_ms` honored as
+/// the backoff floor when re-attempting the same shard.
+fn route_and_forward(shared: &ClusterShared, conns: &mut BackendConns, req: &Request) -> Response {
+    shared.counters.requests.fetch_add(1, Ordering::SeqCst);
+    let key = req.spec.cache_key();
+    let Some(primary) = shared.ring.primary(key) else {
+        return Response::error(req.id, "cluster has no shards");
+    };
+    let secondary = shared.ring.secondary(key);
+    let other = |s: u16| {
+        if s == primary {
+            secondary
+        } else {
+            Some(primary)
+        }
+    };
+    let policy = RetryPolicy {
+        max_attempts: shared.cfg.retries.max(1),
+        base_delay_ms: shared.cfg.retry_base_ms,
+        max_delay_ms: shared.cfg.retry_max_ms,
+        seed: shared.cfg.seed ^ key,
+    };
+    let attempts = policy.max_attempts;
+    let mut prefer = primary;
+    let mut floor_ms: Option<u64> = None;
+    let mut last = String::from("no attempt made");
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(
+                policy.delay_with_floor(attempt - 1, floor_ms.take()),
+            ));
+        }
+        let mut target = prefer;
+        // Breaker pre-check: an open target routes to the other shard
+        // when that one is closed; both open falls through to the
+        // preferred target as the half-open probe.
+        if shared.breaker_open(target) {
+            if let Some(alt) = other(target) {
+                if !shared.breaker_open(alt) {
+                    if target == primary {
+                        count_failover_reason(REASON_BREAKER);
+                    }
+                    target = alt;
+                }
+            }
+        }
+        // Deterministic seam: the shard we are about to use crashes
+        // now. The forward below fails and the failover path takes
+        // over.
+        if fire(FaultSite::ShardCrash) {
+            shared.crash_shard(target);
+        }
+        match forward_once(shared, conns, target, req) {
+            Ok(resp) if resp.id == req.id => {
+                // Any well-formed answer proves the shard alive.
+                shared.record_shard_success(target);
+                match resp.kind {
+                    ResponseKind::Busy => {
+                        // Alive but loaded: back off, same target.
+                        last = "busy".into();
+                        prefer = target;
+                    }
+                    ResponseKind::Quarantined if attempt + 1 < attempts => {
+                        // The spec's circuit is open on this shard. The
+                        // secondary has its own (cold) session state,
+                        // so fail over when we can; otherwise wait out
+                        // the shard's own retry_after_ms.
+                        last = "quarantined".into();
+                        match other(target) {
+                            Some(alt) if target == primary => {
+                                count_failover_reason(REASON_QUARANTINED);
+                                prefer = alt;
+                            }
+                            _ => {
+                                floor_ms = resp.retry_after_ms;
+                                prefer = target;
+                            }
+                        }
+                    }
+                    _ => return relay(shared, resp, target, primary),
+                }
+            }
+            Ok(notice) => {
+                // A connection-level notice (id 0: the shard is
+                // draining or flagged the stream); the stream may be
+                // closed behind it.
+                last = notice.error.unwrap_or_else(|| "connection notice".into());
+                conns.drop_conn(target);
+                shared.record_shard_failure(target);
+                if let Some(alt) = other(target) {
+                    if target == primary {
+                        count_failover_reason(REASON_CONN);
+                    }
+                    prefer = alt;
+                }
+            }
+            Err(e) => {
+                last = e.to_string();
+                shared.record_shard_failure(target);
+                let reason = match e {
+                    FrameError::Stalled => REASON_STALL,
+                    _ => REASON_CONN,
+                };
+                if let Some(alt) = other(target) {
+                    if target == primary {
+                        count_failover_reason(reason);
+                    }
+                    prefer = alt;
+                }
+            }
+        }
+    }
+    shared
+        .counters
+        .lost_after_retry
+        .fetch_add(1, Ordering::SeqCst);
+    gnnmls_obs::counter_add(
+        "gnnmls_cluster_requests_total",
+        &[("shard", "none"), ("outcome", "lost")],
+        1,
+    );
+    Response::error(
+        req.id,
+        format!("cluster: request not served after {attempts} attempts; last: {last}"),
+    )
+}
+
+/// Final accounting for a relayed response: per-kind counters, the
+/// per-shard outcome series, and the failover bookkeeping (a request
+/// answered off its primary failed over; an `Ok` off-primary answer is
+/// an accepted cold build).
+fn relay(shared: &ClusterShared, resp: Response, answered_by: u16, primary: u16) -> Response {
+    let c = &shared.counters;
+    let outcome = match resp.kind {
+        ResponseKind::Ok => {
+            c.relayed_ok.fetch_add(1, Ordering::SeqCst);
+            "ok"
+        }
+        ResponseKind::Busy => {
+            c.relayed_busy.fetch_add(1, Ordering::SeqCst);
+            "busy"
+        }
+        ResponseKind::Rejected => {
+            c.relayed_rejected.fetch_add(1, Ordering::SeqCst);
+            "rejected"
+        }
+        ResponseKind::Quarantined => {
+            c.relayed_quarantined.fetch_add(1, Ordering::SeqCst);
+            "quarantined"
+        }
+        ResponseKind::Error => {
+            c.relayed_errors.fetch_add(1, Ordering::SeqCst);
+            "error"
+        }
+    };
+    if answered_by != primary {
+        c.failovers.fetch_add(1, Ordering::SeqCst);
+        if resp.kind == ResponseKind::Ok {
+            c.failover_cold.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let shard_label = answered_by.to_string();
+    gnnmls_obs::counter_add(
+        "gnnmls_cluster_requests_total",
+        &[("shard", &shard_label), ("outcome", outcome)],
+        1,
+    );
+    resp
+}
+
+fn front_conn_loop(shared: &Arc<ClusterShared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    let _ = stream.set_nodelay(true);
+    let mut conns = BackendConns::new();
+    loop {
+        let req: Request =
+            match read_frame_idle(&mut stream, || shared.running.load(Ordering::SeqCst)) {
+                Ok(Some(req)) => req,
+                Ok(None) | Err(FrameError::Closed) => return,
+                Err(e @ FrameError::Malformed(_)) => {
+                    // Frame-aligned despite the bad payload: typed
+                    // error, keep the connection.
+                    if write_frame(&mut stream, &Response::error(0, e)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    let _ = write_frame(&mut stream, &Response::error(0, e));
+                    return;
+                }
+            };
+        // Shutdown / Health / Metrics are front-level; everything else
+        // routes to a shard.
+        if req.kind == RequestKind::Shutdown {
+            let _ = write_frame(&mut stream, &Response::ok(req.id));
+            shared.begin_shutdown();
+            return;
+        }
+        if req.kind == RequestKind::Health {
+            let resp = Response::ok(req.id).with_health(shared.health());
+            if write_frame(&mut stream, &resp).is_err() {
+                return;
+            }
+            continue;
+        }
+        if req.kind == RequestKind::Metrics {
+            let resp = Response::ok(req.id).with_metrics(gnn_mls::api::metrics());
+            if write_frame(&mut stream, &resp).is_err() {
+                return;
+            }
+            continue;
+        }
+        let resp = route_and_forward(shared, &mut conns, &req);
+        if write_frame(&mut stream, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// Picks a free TCP port on the loopback interface.
+fn free_loopback_addr() -> std::io::Result<SocketAddr> {
+    let probe = TcpListener::bind("127.0.0.1:0")?;
+    probe.local_addr()
+}
+
+/// A running cluster front; dropping it drains gracefully.
+pub struct ClusterFront {
+    shared: Arc<ClusterShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    final_stats: Option<ClusterStats>,
+}
+
+impl ClusterFront {
+    /// Spawns/attaches the backends, waits for every spawned shard to
+    /// become healthy, binds the front, and starts routing.
+    ///
+    /// # Errors
+    ///
+    /// Bind/spawn failures, or a spawned shard that never became
+    /// healthy inside `spawn_ready_timeout_ms`.
+    pub fn start(cfg: ClusterConfig, backends: Vec<ShardBackendSpec>) -> std::io::Result<Self> {
+        if backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a cluster needs at least one shard",
+            ));
+        }
+        // Spawn all children first so their cold starts overlap, then
+        // wait for readiness.
+        let mut shards = Vec::with_capacity(backends.len());
+        let mut spawned = Vec::new();
+        for (i, backend) in backends.into_iter().enumerate() {
+            let id = i as u16;
+            match backend {
+                ShardBackendSpec::External(addr) => shards.push(ShardState {
+                    id,
+                    addr,
+                    spawn: None,
+                    child: Mutex::new(None),
+                    breaker: Mutex::new(Breaker::default()),
+                    crashes: AtomicU64::new(0),
+                    respawns: AtomicU64::new(0),
+                    breaker_opens: AtomicU64::new(0),
+                }),
+                ShardBackendSpec::Spawn(spawn) => {
+                    let addr = free_loopback_addr()?;
+                    let child = spawn_shard(&spawn, addr)?;
+                    spawned.push(id);
+                    shards.push(ShardState {
+                        id,
+                        addr,
+                        spawn: Some(spawn),
+                        child: Mutex::new(Some(child)),
+                        breaker: Mutex::new(Breaker::default()),
+                        crashes: AtomicU64::new(0),
+                        respawns: AtomicU64::new(0),
+                        breaker_opens: AtomicU64::new(0),
+                    });
+                }
+            }
+        }
+        let ready_deadline =
+            Instant::now() + Duration::from_millis(cfg.spawn_ready_timeout_ms.max(1));
+        for &id in &spawned {
+            let shard = &shards[usize::from(id)];
+            loop {
+                if probe_health(
+                    shard.addr,
+                    Duration::from_millis(cfg.probe_timeout_ms.max(1)),
+                ) {
+                    break;
+                }
+                if Instant::now() >= ready_deadline {
+                    // Best-effort teardown of what we already spawned.
+                    for s in &shards {
+                        if let Some(c) = lock(&s.child).as_mut() {
+                            let _ = c.kill();
+                        }
+                    }
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("shard {id} at {} never became healthy", shard.addr),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let ring = HashRing::new(shards.iter().map(|s| s.id));
+        let shared = Arc::new(ClusterShared {
+            cfg,
+            ring,
+            shards,
+            running: AtomicBool::new(true),
+            accept_stop: AtomicBool::new(false),
+            counters: ClusterCounters::default(),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                if !accept_shared.running.load(Ordering::SeqCst) {
+                    // Draining: typed refusal instead of a hang. Read
+                    // the client's first frame (bounded) before
+                    // refusing, so the close never races the client's
+                    // own write into a reset that discards the refusal.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
+                    let deadline = Instant::now() + Duration::from_millis(500);
+                    let _ =
+                        read_frame_idle::<Request, _, _>(&mut stream, || Instant::now() < deadline);
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::rejected(0, "cluster front is draining; connection refused"),
+                    );
+                    continue;
+                }
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = std::thread::spawn(move || front_conn_loop(&conn_shared, stream));
+                lock(&accept_conns).push(handle);
+            }
+        });
+
+        let prober_shared = Arc::clone(&shared);
+        let prober = std::thread::spawn(move || prober_loop(&prober_shared));
+
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            prober: Some(prober),
+            conns,
+            final_stats: None,
+        })
+    }
+
+    /// The front's bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The backend shard addresses, in ring-id order.
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.shared.shards.iter().map(|s| s.addr).collect()
+    }
+
+    /// OS pids of the managed shard children (empty entries for
+    /// external shards).
+    pub fn shard_pids(&self) -> Vec<Option<u32>> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| lock(&s.child).as_ref().map(Child::id))
+            .collect()
+    }
+
+    /// Whether the front is still accepting work.
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// The ring primary for a session cache key (`None` only on an
+    /// impossible empty ring). Used by the load generator and tests to
+    /// pick a meaningful kill victim.
+    pub fn primary_shard(&self, key: u64) -> Option<u16> {
+        self.shared.ring.primary(key)
+    }
+
+    /// The ring's deterministic failover target for a key.
+    pub fn secondary_shard(&self, key: u64) -> Option<u16> {
+        self.shared.ring.secondary(key)
+    }
+
+    /// Chaos hook: `kill -9` a managed shard child and let the
+    /// supervisor *discover* the death (nothing else is touched — no
+    /// breaker, no counters — exactly as if the process crashed on its
+    /// own). Returns `false` for external or unknown shards.
+    pub fn kill_shard(&self, id: u16) -> bool {
+        let Some(shard) = self.shared.shards.get(usize::from(id)) else {
+            return false;
+        };
+        match lock(&shard.child).as_mut() {
+            Some(child) => child.kill().is_ok(),
+            None => false,
+        }
+    }
+
+    /// Current front counters (per-shard final stats not yet
+    /// collected).
+    pub fn stats(&self) -> ClusterStats {
+        self.shared.stats_snapshot(Vec::new())
+    }
+
+    /// Blocks until a client `Shutdown` arrives, then drains.
+    pub fn wait(mut self) -> ClusterStats {
+        while self.is_running() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.drain()
+    }
+
+    /// Initiates shutdown locally, drains, and returns the merged
+    /// stats.
+    pub fn shutdown(mut self) -> ClusterStats {
+        self.shared.begin_shutdown();
+        self.drain()
+    }
+
+    fn drain(&mut self) -> ClusterStats {
+        self.shared.begin_shutdown();
+        // Stop the supervisor first: a respawn racing the shard
+        // shutdowns below would resurrect a shard we just drained.
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+        // The acceptor keeps refusing new connections (typed) while
+        // in-flight connections finish; then it exits and the
+        // connection list is stable.
+        self.shared.accept_stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conn_handles: Vec<_> = lock(&self.conns).drain(..).collect();
+        for conn in conn_handles {
+            let _ = conn.join();
+        }
+        // Collect every shard's final stats, then drain the shards
+        // themselves.
+        let probe_timeout = Duration::from_millis(self.shared.cfg.probe_timeout_ms.max(1));
+        let mut per_shard = Vec::with_capacity(self.shared.shards.len());
+        for shard in &self.shared.shards {
+            let stats = shard_final_stats(shard.addr, probe_timeout);
+            per_shard.push(ShardStats {
+                id: u32::from(shard.id),
+                addr: shard.addr.to_string(),
+                breaker_opens: shard.breaker_opens.load(Ordering::SeqCst),
+                crashes: shard.crashes.load(Ordering::SeqCst),
+                respawns: shard.respawns.load(Ordering::SeqCst),
+                stats,
+            });
+        }
+        for shard in &self.shared.shards {
+            if let Ok(mut stream) = TcpStream::connect_timeout(&shard.addr, probe_timeout) {
+                let _ = stream.set_write_timeout(Some(probe_timeout));
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                if write_frame(&mut stream, &Request::shutdown(1)).is_ok() {
+                    let _ = read_response_deadline(&mut stream, Instant::now() + probe_timeout);
+                }
+            }
+            // Wait for a managed child to exit; kill it if it will not.
+            if let Some(mut child) = lock(&shard.child).take() {
+                let deadline = Instant::now()
+                    + Duration::from_millis(self.shared.cfg.shard_exit_timeout_ms.max(1));
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() >= deadline => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        let stats = self.shared.stats_snapshot(per_shard);
+        if let Some(dir) = &self.shared.cfg.checkpoint_dir {
+            if let Err(e) = save_stage(dir, CLUSTER_STATS_STAGE, &stats) {
+                gnnmls_obs::warn(
+                    "gnnmls-cluster",
+                    &format!("could not write cluster-stats envelope: {e}"),
+                );
+            }
+        }
+        self.final_stats = Some(stats.clone());
+        stats
+    }
+}
+
+impl Drop for ClusterFront {
+    fn drop(&mut self) {
+        if self.final_stats.is_none() {
+            let _ = self.drain();
+        }
+    }
+}
+
+/// Asks a shard for its final [`ServerStats`] (any valid spec works;
+/// the per-session payload is ignored here).
+fn shard_final_stats(addr: SocketAddr, timeout: Duration) -> Option<ServerStats> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let spec = gnn_mls::session::SessionSpec::fast("maeri16");
+    write_frame(&mut stream, &Request::stats(1, spec)).ok()?;
+    let resp = read_response_deadline(&mut stream, Instant::now() + timeout).ok()?;
+    resp.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_with(cfg: ClusterConfig, n: u16) -> ClusterShared {
+        let shards = (0..n)
+            .map(|id| ShardState {
+                id,
+                addr: "127.0.0.1:1".parse().unwrap(),
+                spawn: None,
+                child: Mutex::new(None),
+                breaker: Mutex::new(Breaker::default()),
+                crashes: AtomicU64::new(0),
+                respawns: AtomicU64::new(0),
+                breaker_opens: AtomicU64::new(0),
+            })
+            .collect();
+        ClusterShared {
+            ring: HashRing::new(0..n),
+            cfg,
+            shards,
+            running: AtomicBool::new(true),
+            accept_stop: AtomicBool::new(false),
+            counters: ClusterCounters::default(),
+        }
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_half_opens_after_cooldown() {
+        let cfg = ClusterConfig {
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 30,
+            ..Default::default()
+        };
+        let s = shared_with(cfg, 2);
+        assert!(!s.breaker_open(0));
+        s.record_shard_failure(0);
+        assert!(!s.breaker_open(0), "one strike must not open the breaker");
+        s.record_shard_failure(0);
+        assert!(s.breaker_open(0));
+        assert!(s.breaker_remaining_ms(0) >= 1);
+        assert!(!s.breaker_open(1), "breakers are per shard");
+        // Cooldown (30ms base + at most 8ms jitter) expires: half-open.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!s.breaker_open(0), "cooldown over: one probe may pass");
+        // A failed probe re-opens immediately (consecutive persists).
+        s.record_shard_failure(0);
+        assert!(s.breaker_open(0));
+        // Success closes it and forgets the history.
+        s.record_shard_success(0);
+        assert!(!s.breaker_open(0));
+        assert_eq!(lock(&s.shard(0).breaker).opens, 0);
+    }
+
+    #[test]
+    fn crash_marks_breaker_open_and_counts() {
+        let s = shared_with(ClusterConfig::default(), 2);
+        s.crash_shard(1);
+        assert!(s.breaker_open(1));
+        assert_eq!(s.counters.shard_crashes.load(Ordering::SeqCst), 1);
+        assert_eq!(s.shard(1).crashes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn health_maps_open_breakers_to_quarantine_entries() {
+        let cfg = ClusterConfig {
+            breaker_threshold: 1,
+            breaker_cooldown_ms: 10_000,
+            ..Default::default()
+        };
+        let s = shared_with(cfg, 3);
+        s.record_shard_failure(2);
+        let h = s.health();
+        assert!(h.ready);
+        assert_eq!(h.workers, 2, "two shards still healthy");
+        assert_eq!(h.quarantine.len(), 1);
+        assert_eq!(h.quarantine[0].key, 2);
+        assert!(h.quarantine[0].open);
+        assert!(h.quarantine[0].remaining_ms > 0);
+    }
+
+    #[test]
+    fn cluster_stats_round_trip_the_envelope_schema() {
+        let s = shared_with(ClusterConfig::default(), 1);
+        s.counters.requests.store(7, Ordering::SeqCst);
+        s.counters.failovers.store(2, Ordering::SeqCst);
+        let stats = s.stats_snapshot(vec![ShardStats {
+            id: 0,
+            addr: "127.0.0.1:7201".into(),
+            breaker_opens: 1,
+            crashes: 1,
+            respawns: 1,
+            stats: None,
+        }]);
+        assert_eq!(stats.schema_version, CLUSTER_STATS_SCHEMA);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ClusterStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -16,7 +16,16 @@
 //!   micro-batching + LRU session cache + quarantine circuit breaker +
 //!   worker watchdog + graceful drain-on-shutdown;
 //! - [`client`] — a small blocking client with capped, seeded-jitter
-//!   retries, used by the `gnnmls client` CLI and the tests.
+//!   retries, used by the `gnnmls client` CLI and the tests;
+//! - [`ring`] — the consistent-hash ring that maps a `SessionSpec` to
+//!   its primary (and deterministic secondary) backend shard;
+//! - [`cluster`] — the `gnnmls serve --cluster` front tier: spawns and
+//!   health-probes backend shards, routes v2 frames by spec, fails over
+//!   through per-shard circuit breakers, and merges drain stats into
+//!   one versioned `cluster-stats` envelope;
+//! - [`loadgen`] — the `gnnmls bench cluster` load generator (mixed
+//!   whatif/infer traffic with a kill-one-shard schedule, writing
+//!   `BENCH_cluster.json`).
 //!
 //! Determinism contract: a warm answer is bit-identical to the one-shot
 //! CLI computing the same query, and a micro-batched inference response
@@ -38,13 +47,19 @@
 
 pub mod admission;
 pub mod client;
+pub mod cluster;
+pub mod loadgen;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 
 pub use admission::{request_cost, validate_request, AdmissionMeter};
 pub use client::{Client, ClientError, RetryPolicy};
+pub use cluster::{ClusterConfig, ClusterFront, ClusterStats, ShardStats, CLUSTER_STATS_STAGE};
+pub use loadgen::{run_cluster_bench, ClusterBenchConfig, ClusterBenchReport};
 pub use protocol::{
     read_frame, read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request,
     RequestKind, Response, ResponseKind, ServerStats, MAX_FRAME, PROTOCOL_VERSION,
 };
+pub use ring::HashRing;
 pub use server::{ServeConfig, ServeConfigBuilder, ServeOpts, Server};

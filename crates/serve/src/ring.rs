@@ -1,0 +1,174 @@
+//! Consistent-hash ring mapping session cache keys to backend shards.
+//!
+//! The cluster front routes every request by its
+//! [`SessionSpec::cache_key`](gnn_mls::session::SessionSpec::cache_key),
+//! so one design always lands on one shard and builds warm exactly once
+//! cluster-wide. The ring uses virtual nodes: each shard owns
+//! [`DEFAULT_VNODES`] points placed by the shared splitmix64 mixer, so
+//! the point set — and therefore the whole routing table — is a pure
+//! function of the shard ids. Two independent fronts given the same
+//! shard set route identically, and removing a shard moves **only** the
+//! keys that shard owned (every other key's clockwise successor is
+//! unchanged); both properties are asserted by the property tests.
+//!
+//! Failover is deterministic too: [`HashRing::secondary`] walks
+//! clockwise from the key to the first point owned by a *different*
+//! shard, so "the secondary for key K" is a stable fact of the
+//! topology, not a per-request coin flip. A failed-over key therefore
+//! warms exactly one extra shard, not a random scatter of them.
+
+use gnnmls_par::rng::splitmix64;
+
+/// Virtual nodes per shard. High enough that a 6-shard ring balances
+/// within the ±20% the property tests assert; low enough that the
+/// point table stays a few KiB.
+pub const DEFAULT_VNODES: usize = 256;
+
+/// A consistent-hash ring over shard ids.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; binary-searched per lookup.
+    points: Vec<(u64, u16)>,
+    /// Distinct member shards, sorted.
+    shards: Vec<u16>,
+    vnodes: usize,
+}
+
+/// The ring point for one (shard, replica) pair: a pure function of
+/// both, so membership changes never move surviving points.
+fn vnode_point(shard: u16, replica: usize) -> u64 {
+    splitmix64((u64::from(shard) << 32) ^ (replica as u64))
+}
+
+impl HashRing {
+    /// Builds a ring over `shards` with [`DEFAULT_VNODES`] points each.
+    /// Duplicate ids are ignored.
+    pub fn new(shards: impl IntoIterator<Item = u16>) -> Self {
+        Self::with_vnodes(shards, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-node count (min 1).
+    pub fn with_vnodes(shards: impl IntoIterator<Item = u16>, vnodes: usize) -> Self {
+        let mut ring = Self {
+            points: Vec::new(),
+            shards: Vec::new(),
+            vnodes: vnodes.max(1),
+        };
+        for s in shards {
+            ring.add(s);
+        }
+        ring
+    }
+
+    /// Adds a shard (no-op if already a member).
+    pub fn add(&mut self, shard: u16) {
+        if self.shards.contains(&shard) {
+            return;
+        }
+        self.shards.push(shard);
+        self.shards.sort_unstable();
+        for replica in 0..self.vnodes {
+            self.points.push((vnode_point(shard, replica), shard));
+        }
+        // Ties between shards at one point are broken by shard id so
+        // the table is independent of insertion order.
+        self.points.sort_unstable();
+    }
+
+    /// Removes a shard (no-op if not a member). Only the removed
+    /// shard's points leave the table, so only its keys remap.
+    pub fn remove(&mut self, shard: u16) {
+        self.shards.retain(|&s| s != shard);
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Member shards, sorted.
+    pub fn shards(&self) -> &[u16] {
+        &self.shards
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Index of the first ring point at or clockwise of the key's spot.
+    fn successor(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let spot = splitmix64(key);
+        let idx = self.points.partition_point(|&(p, _)| p < spot);
+        Some(idx % self.points.len())
+    }
+
+    /// The shard owning `key`: the first point clockwise of the key's
+    /// (re-mixed) position. `None` on an empty ring.
+    pub fn primary(&self, key: u64) -> Option<u16> {
+        self.successor(key).map(|i| self.points[i].1)
+    }
+
+    /// The deterministic failover target for `key`: the first point
+    /// clockwise owned by a different shard than the primary. `None`
+    /// when the ring has fewer than two shards.
+    pub fn secondary(&self, key: u64) -> Option<u16> {
+        let start = self.successor(key)?;
+        let primary = self.points[start].1;
+        let n = self.points.len();
+        for step in 1..n {
+            let (_, shard) = self.points[(start + step) % n];
+            if shard != primary {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::new([]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.primary(42), None);
+        assert_eq!(ring.secondary(42), None);
+    }
+
+    #[test]
+    fn single_shard_owns_everything_with_no_secondary() {
+        let ring = HashRing::new([3]);
+        for key in 0..64u64 {
+            assert_eq!(ring.primary(key), Some(3));
+            assert_eq!(ring.secondary(key), None);
+        }
+    }
+
+    #[test]
+    fn membership_is_insertion_order_independent() {
+        let a = HashRing::new([0, 1, 2, 3]);
+        let b = HashRing::new([3, 1, 0, 2]);
+        for key in 0..512u64 {
+            assert_eq!(a.primary(key), b.primary(key));
+            assert_eq!(a.secondary(key), b.secondary(key));
+        }
+    }
+
+    #[test]
+    fn secondary_differs_from_primary_and_is_stable() {
+        let ring = HashRing::new(0..6);
+        for key in 0..512u64 {
+            let p = ring.primary(key).unwrap();
+            let s = ring.secondary(key).unwrap();
+            assert_ne!(p, s, "key {key}: secondary must be a different shard");
+            assert_eq!(ring.secondary(key), Some(s), "stable per key");
+        }
+    }
+}

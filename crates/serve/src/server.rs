@@ -40,7 +40,10 @@
 //! cooldown can never deadlock the drain), workers finish every queued
 //! job, every in-flight response is flushed, and the final
 //! [`ServerStats`] are written as a versioned stage-checkpoint envelope
-//! when a checkpoint directory is configured.
+//! when a checkpoint directory is configured. While the drain runs the
+//! acceptor answers new connections with a typed `Rejected` refusal
+//! (instead of letting them hang until the stall timeout), so a
+//! `gnnmls client metrics` against a draining daemon fails fast.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -237,14 +240,10 @@ impl ServeConfigBuilder {
     }
 }
 
-/// `splitmix64` — the same deterministic mixer the fault planner uses,
-/// here for quarantine-cooldown jitter.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// `splitmix64` — the same deterministic mixer the fault planner uses,
+// here for quarantine-cooldown jitter. One shared copy lives in
+// `gnnmls_par::rng`.
+use gnnmls_par::rng::splitmix64;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -397,6 +396,11 @@ struct Shared {
     build_lock: Mutex<()>,
     counters: Counters,
     running: AtomicBool,
+    /// Set only at the very end of a drain: tells the acceptor to exit.
+    /// Between `begin_shutdown` and this flag the acceptor stays alive
+    /// to refuse new connections with a typed `Rejected` response
+    /// instead of letting them hang until the stall timeout.
+    accept_stop: AtomicBool,
     meter: AdmissionMeter,
     quarantine: Mutex<HashMap<u64, QuarantineEntry>>,
 }
@@ -985,6 +989,7 @@ impl Server {
             build_lock: Mutex::new(()),
             counters: Counters::default(),
             running: AtomicBool::new(true),
+            accept_stop: AtomicBool::new(false),
             meter: AdmissionMeter::new(cfg.admission_budget.max(1)),
             quarantine: Mutex::new(HashMap::new()),
             cfg,
@@ -995,10 +1000,31 @@ impl Server {
         let accept_conns = Arc::clone(&conns);
         let acceptor = std::thread::spawn(move || {
             for stream in listener.incoming() {
-                if !accept_shared.running.load(Ordering::SeqCst) {
+                if accept_shared.accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let Ok(mut stream) = stream else { continue };
+                if !accept_shared.running.load(Ordering::SeqCst) {
+                    // Draining: answer with a typed refusal instead of
+                    // leaving the connection to hang until the stall
+                    // timeout. The (bounded) read of the client's first
+                    // frame comes first — refuse-then-close while the
+                    // client is still writing would race a TCP reset
+                    // that discards the refusal before the client reads
+                    // it. The bounded timeouts keep a wedged client
+                    // from stalling the drain itself.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
+                    let deadline = Instant::now() + Duration::from_millis(500);
+                    let _ =
+                        read_frame_idle::<Request, _, _>(&mut stream, || Instant::now() < deadline);
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::rejected(0, "server is draining; connection refused"),
+                    );
+                    gnnmls_obs::counter_add("gnnmls_serve_drain_refused_total", &[], 1);
+                    continue;
+                }
                 let conn_shared = Arc::clone(&accept_shared);
                 let handle = std::thread::spawn(move || conn_loop(&conn_shared, stream));
                 lock(&accept_conns).push(handle);
@@ -1058,13 +1084,16 @@ impl Server {
         self.drain()
     }
 
+    /// Flips the daemon into draining mode without blocking: new work
+    /// is refused (new connections get a typed `Rejected` immediately),
+    /// queued jobs still complete. Call [`shutdown`](Self::shutdown) or
+    /// drop the server to finish the drain and collect final stats.
+    pub fn initiate_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
     fn drain(&mut self) -> ServerStats {
         self.shared.begin_shutdown();
-        // Unblock the acceptor's blocking accept.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
         // Stop the watchdog BEFORE joining workers, so a respawn cannot
         // race the joins below — shutdown during an in-flight respawn
         // (or while a quarantine cooldown is pending) must never
@@ -1073,7 +1102,9 @@ impl Server {
             let _ = watchdog.join();
         }
         // Workers exit once the closed queue is empty — every queued job
-        // still gets its response (drain, not abort).
+        // still gets its response (drain, not abort). The acceptor stays
+        // alive through this phase so late-arriving connections get a
+        // typed drain refusal instead of hanging.
         for slot in self.slots.iter() {
             let handle = lock(&slot.handle).take();
             if let Some(handle) = handle {
@@ -1086,6 +1117,14 @@ impl Server {
                 self.shared
                     .respond(job, Response::error(id, "server is shutting down"));
             }
+        }
+        // Now stop the acceptor; joining it first makes the connection
+        // list stable before the joins below.
+        self.shared.accept_stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
         }
         let conn_handles: Vec<_> = lock(&self.conns).drain(..).collect();
         for conn in conn_handles {
@@ -1180,6 +1219,7 @@ mod tests {
             build_lock: Mutex::new(()),
             counters: Counters::default(),
             running: AtomicBool::new(true),
+            accept_stop: AtomicBool::new(false),
             meter: AdmissionMeter::new(cfg.admission_budget),
             quarantine: Mutex::new(HashMap::new()),
             cfg,
