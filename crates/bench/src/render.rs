@@ -1,6 +1,5 @@
 //! Table rendering, shape checks, and JSON result dumps.
 
-use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -126,27 +125,17 @@ pub fn summarize(checks: &[ShapeCheck]) -> usize {
 
 /// Writes a JSON result blob under `target/experiments/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("target/experiments");
-    if fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("{name}.json"));
-        match serde_json::to_string_pretty(value) {
-            Ok(s) => {
-                if let Err(e) = fs::write(&path, s) {
-                    let _ = writeln!(
-                        std::io::stderr(),
-                        "warning: could not write {}: {e}",
-                        path.display()
-                    );
-                } else {
-                    let _ = writeln!(std::io::stdout(), "results written to {}", path.display());
-                }
-            }
-            Err(e) => {
-                let _ = writeln!(
-                    std::io::stderr(),
-                    "warning: could not serialize {name}: {e}"
-                );
-            }
+    let path = PathBuf::from("target/experiments").join(format!("{name}.json"));
+    match gnn_mls::checkpoint::write_json_file(&path, value) {
+        Ok(()) => {
+            let _ = writeln!(std::io::stdout(), "results written to {}", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(
+                std::io::stderr(),
+                "warning: could not write {}: {e}",
+                path.display()
+            );
         }
     }
 }
@@ -180,27 +169,7 @@ pub fn write_bench_json<T: Serialize>(
     value: &T,
 ) -> Option<PathBuf> {
     let path = bench_output_path(workspace_root, file);
-    let json = match serde_json::to_string_pretty(value) {
-        Ok(s) => s,
-        Err(e) => {
-            let _ = writeln!(
-                std::io::stderr(),
-                "warning: could not serialize {file}: {e}"
-            );
-            return None;
-        }
-    };
-    if let Some(dir) = path.parent() {
-        if let Err(e) = fs::create_dir_all(dir) {
-            let _ = writeln!(
-                std::io::stderr(),
-                "warning: could not create {}: {e}",
-                dir.display()
-            );
-            return None;
-        }
-    }
-    match fs::write(&path, json) {
+    match gnn_mls::checkpoint::write_json_file(&path, value) {
         Ok(()) => Some(path),
         Err(e) => {
             let _ = writeln!(

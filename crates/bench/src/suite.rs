@@ -580,11 +580,7 @@ pub fn load_report(path: &std::path::Path) -> Result<SuiteReport, SuiteError> {
 ///
 /// Returns [`SuiteError::Io`] on any filesystem failure.
 pub fn write_report(report: &SuiteReport, path: &std::path::Path) -> Result<(), SuiteError> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| SuiteError::Io(format!("cannot create {}: {e}", dir.display())))?;
-    }
-    std::fs::write(path, report_to_json(report))
+    gnn_mls::checkpoint::write_json_file(path, report)
         .map_err(|e| SuiteError::Io(format!("cannot write {}: {e}", path.display())))
 }
 

@@ -43,6 +43,122 @@ pub const STAGE_MAGIC: &str = "GNNMLS-CKPT v1";
 /// envelope without a version field; readers accept `0..=` this value.
 pub const STAGE_FORMAT_VERSION: u32 = 1;
 
+/// Stage name of a versioned model-zoo checkpoint envelope.
+pub const ZOO_MODEL_STAGE: &str = "model-zoo";
+
+/// A semver-ish model version: versions within one family order by
+/// `(major, minor, patch)`; the serve tier reports the active version
+/// per family in its metrics.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ModelVersion {
+    /// Incompatible retrain (new architecture or feature schema).
+    pub major: u32,
+    /// Corpus growth or re-finetune, same architecture.
+    pub minor: u32,
+    /// Metadata-only or re-export.
+    pub patch: u32,
+}
+
+impl ModelVersion {
+    /// Builds a version literal.
+    pub const fn new(major: u32, minor: u32, patch: u32) -> Self {
+        Self {
+            major,
+            minor,
+            patch,
+        }
+    }
+
+    /// Parses `major.minor.patch`; `None` on anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut it = s.split('.');
+        let major = it.next()?.parse().ok()?;
+        let minor = it.next()?.parse().ok()?;
+        let patch = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            major,
+            minor,
+            patch,
+        })
+    }
+}
+
+impl fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+/// The `model-zoo` checkpoint payload: a trained model plus the
+/// provenance the registry needs — which family it serves, its version,
+/// and the content hashes of every corpus design it saw. Written and
+/// read through the same checksummed stage envelope as every other
+/// checkpoint ([`ZOO_MODEL_STAGE`]), so corruption is a typed refusal.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ZooModelCheckpoint {
+    /// Design family this model serves (see
+    /// [`crate::session::FAMILIES`]).
+    pub family: String,
+    /// Version of this model within its family.
+    pub version: ModelVersion,
+    /// Sorted [`gnnmls_netlist::Netlist::content_hash`] of every design
+    /// variant in the training corpus (pretrain + finetune).
+    pub corpus_hashes: Vec<u64>,
+    /// DGI-pretrain epochs the corpus driver ran.
+    pub pretrain_epochs: usize,
+    /// Fine-tune epochs the family driver ran.
+    pub finetune_epochs: usize,
+    /// The trained weights + config + scaler.
+    pub model: ModelCheckpoint,
+}
+
+impl ZooModelCheckpoint {
+    /// Saves the checkpoint at `path` in the [`ZOO_MODEL_STAGE`]
+    /// envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on IO or serialization failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        fs::write(path, encode_stage(ZOO_MODEL_STAGE, self)?)?;
+        Ok(())
+    }
+
+    /// Loads and envelope-validates a checkpoint from `path`.
+    ///
+    /// The [`gnnmls_faults::FaultSite::ModelSwapCorrupt`] seam damages
+    /// the bytes between the read and the envelope check (one shot
+    /// bit-flips, a second in the same plan truncates), standing in for
+    /// a torn download or a bad disk serving a `LoadModel` swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] for a damaged envelope and
+    /// [`CheckpointError::Io`]/[`CheckpointError::Json`] for filesystem
+    /// or payload problems.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let mut bytes = fs::read(path)?;
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::ModelSwapCorrupt) {
+            if gnnmls_faults::fire(gnnmls_faults::FaultSite::ModelSwapCorrupt) {
+                bytes.truncate(bytes.len() / 2);
+            } else if let Some(mid) = bytes.len().checked_sub(1).map(|n| n / 2) {
+                bytes[mid] ^= 0x04;
+            }
+        }
+        decode_stage(ZOO_MODEL_STAGE, &bytes)
+    }
+}
+
 /// A serializable snapshot of a trained model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ModelCheckpoint {
@@ -116,14 +232,54 @@ impl From<serde_json::Error> for CheckpointError {
 
 /// FNV-1a 64-bit — tiny, dependency-free, and plenty to catch the
 /// torn/truncated/bit-flipped writes stage checkpoints must survive.
-/// Also used as the serve session-cache key hash.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Also used as the serve session-cache key hash and the model-zoo
+/// manifest integrity hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Writes `value` as pretty-printed JSON to `path`, creating parent
+/// directories as needed. The one JSON-manifest writer behind the bench
+/// ledgers, the suite report, and the model-zoo `MANIFEST.json` —
+/// callers that must not fail (benches on a read-only checkout) wrap it
+/// in their own warn-and-continue.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Json`] if serialization fails and
+/// [`CheckpointError::Io`] on any filesystem failure.
+pub fn write_json_file<T: Serialize>(path: &Path, value: &T) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string_pretty(value)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// [`save_stage`], but a write failure is reported as a structured
+/// `gnnmls-obs` warning instead of an error — the shape every drain
+/// path (serve-stats, cluster-stats) wants: final stats are best-effort
+/// and must never turn a clean shutdown into a failure.
+pub fn save_stage_logged<T: Serialize>(
+    dir: &Path,
+    stage: &str,
+    value: &T,
+    component: &'static str,
+) {
+    if let Err(e) = save_stage(dir, stage, value) {
+        gnnmls_obs::warn(
+            component,
+            &format!("could not write final `{stage}` checkpoint: {e}"),
+        );
+    }
 }
 
 /// Serializes `value` into the checksummed stage envelope.
@@ -525,6 +681,82 @@ mod tests {
         save_stage(&dir, "labels", &vec![7u32; 9]).unwrap();
         let back: Vec<u32> = load_stage(&dir, "labels").unwrap().unwrap();
         assert_eq!(back, vec![7u32; 9]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_version_parses_orders_and_displays() {
+        let v = ModelVersion::parse("1.2.3").unwrap();
+        assert_eq!(v, ModelVersion::new(1, 2, 3));
+        assert_eq!(v.to_string(), "1.2.3");
+        assert!(ModelVersion::new(1, 10, 0) > v);
+        assert!(ModelVersion::new(2, 0, 0) > ModelVersion::new(1, 99, 99));
+        for bad in ["", "1", "1.2", "1.2.3.4", "a.b.c", "1.2.-3"] {
+            assert!(ModelVersion::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn zoo_checkpoint_roundtrips_and_detects_damage() {
+        let dir = std::env::temp_dir().join("gnnmls_zoo_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cp = ZooModelCheckpoint {
+            family: "maeri".into(),
+            version: ModelVersion::new(1, 0, 0),
+            corpus_hashes: vec![7, 11, 13],
+            pretrain_epochs: 2,
+            finetune_epochs: 5,
+            model: GnnMls::new(ModelConfig::default()).to_checkpoint(),
+        };
+        let path = dir.join("maeri-1.0.0.ckpt");
+        cp.save(&path).unwrap();
+        let back = ZooModelCheckpoint::load(&path).unwrap();
+        assert_eq!(back.family, "maeri");
+        assert_eq!(back.version, cp.version);
+        assert_eq!(back.corpus_hashes, cp.corpus_hashes);
+        // A flipped byte is a typed corruption, never silent data.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ZooModelCheckpoint::load(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // A model-stage envelope is not a zoo envelope.
+        let model = GnnMls::new(ModelConfig::default());
+        model.save_json(&path).unwrap();
+        assert!(matches!(
+            ZooModelCheckpoint::load(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_json_file_creates_parents_and_roundtrips() {
+        let dir = std::env::temp_dir().join("gnnmls_write_json_file_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("nested").join("manifest.json");
+        write_json_file(&path, &vec![1u32, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<u32> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        // Pretty output, not the compact encoding.
+        assert!(text.contains('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_stage_logged_writes_and_never_fails() {
+        let dir = std::env::temp_dir().join("gnnmls_stage_logged_test");
+        std::fs::remove_dir_all(&dir).ok();
+        save_stage_logged(&dir, "stats", &vec![4u32], "test");
+        let back: Vec<u32> = load_stage(&dir, "stats").unwrap().unwrap();
+        assert_eq!(back, vec![4]);
+        // A doomed write (dir path is a file) only warns.
+        let file = dir.join("stats.ckpt");
+        save_stage_logged(&file, "stats", &vec![4u32], "test");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -189,8 +189,10 @@ impl FlowConfig {
         FlowConfigBuilder { cfg: self.clone() }
     }
 
-    /// The routing config with the flow-level thread knob applied.
-    pub(crate) fn route_cfg(&self) -> RouteConfig {
+    /// The routing config with the flow-level thread knob applied (the
+    /// config every router the flow — or the zoo corpus builder —
+    /// constructs must use).
+    pub fn route_cfg(&self) -> RouteConfig {
         self.route.clone().with_threads(self.threads)
     }
 }

@@ -68,7 +68,7 @@ pub mod session;
 
 pub use api::{Query, QueryAnswer};
 pub use audit::{check_report, check_routes};
-pub use checkpoint::{CheckpointError, ModelCheckpoint};
+pub use checkpoint::{CheckpointError, ModelCheckpoint, ModelVersion, ZooModelCheckpoint};
 pub use features::{node_features, FeatureScaler, FEATURE_DIM};
 pub use flow::{run_flow, FlowConfig, FlowConfigBuilder, FlowError, FlowPolicy};
 pub use gnnmls_route::{AuditMode, AuditViolation};
@@ -76,4 +76,6 @@ pub use model::{GnnMls, ModelConfig};
 pub use oracle::{label_paths, net_mls_impact, NetImpact, OracleConfig};
 pub use paths::{extract_path_samples, PathSample};
 pub use report::FlowReport;
-pub use session::{DesignSession, SessionError, SessionSpec, ValidationError};
+pub use session::{
+    design_family, DesignSession, SessionError, SessionSpec, ValidationError, FAMILIES,
+};

@@ -71,6 +71,24 @@ pub fn build_design(name: &str, tech: &TechConfig) -> Option<GeneratedDesign> {
     d.ok()
 }
 
+/// The design families the model zoo trains and serves per-family
+/// models for. Every name in [`DESIGNS`] maps to exactly one family.
+pub const FAMILIES: &[&str] = &["maeri", "a7", "noc"];
+
+/// Maps a design name onto its zoo family (`maeri16` → `maeri`,
+/// `a7mini` → `a7`, `noc8x8` → `noc`); `None` for an unknown design.
+pub fn design_family(design: &str) -> Option<&'static str> {
+    if !DESIGNS.iter().any(|&(name, _)| name == design) {
+        return None;
+    }
+    FAMILIES
+        .iter()
+        .copied()
+        .filter(|fam| design.starts_with(fam))
+        // `a7` vs a hypothetical `a` prefix: the longest match wins.
+        .max_by_key(|fam| fam.len())
+}
+
 /// Resolves a technology name (`hetero` | `homo`) for a design; `None`
 /// for an unknown name. The a7 designs use 8 metal layers per die, the
 /// MAERI and NoC designs 6 (matching the paper's stacks).
@@ -123,6 +141,15 @@ pub enum ValidationError {
         /// What the field requires.
         want: &'static str,
     },
+    /// A `LoadModel` checkpoint refused before it could reach any
+    /// session: corrupt envelope, wrong architecture, or a family tag
+    /// that does not match the targeted design family.
+    BadModel {
+        /// The family the request targeted.
+        family: String,
+        /// Why the checkpoint was refused.
+        why: String,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -143,6 +170,9 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::BadConfig { field, got, want } => {
                 write!(f, "config field `{field}` = {got} (want {want})")
+            }
+            ValidationError::BadModel { family, why } => {
+                write!(f, "model checkpoint refused for family `{family}`: {why}")
             }
         }
     }
@@ -610,6 +640,23 @@ impl DesignSession {
         Ok(self.infer_from_probs(k, &probs))
     }
 
+    /// [`DesignSession::infer`], but through an externally supplied
+    /// model instead of the session's own — the hot-swap path: a zoo
+    /// model loaded after this session was built answers over the
+    /// session's warm samples without rebuilding or mutating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Flow`] if the model rejects the samples
+    /// (e.g. it was never trained).
+    pub fn infer_with_model(&self, model: &GnnMls, k: usize) -> Result<InferResult, SessionError> {
+        let k = k.min(self.samples.len());
+        let probs = model
+            .predict_paths(&self.samples[..k])
+            .map_err(FlowError::Model)?;
+        Ok(self.infer_from_probs(k, &probs))
+    }
+
     /// Aggregates precomputed per-node probabilities for the worst `k`
     /// samples into an [`InferResult`] — the same rule as
     /// [`GnnMls::decide`] (max probability per net over eligible nodes
@@ -719,6 +766,33 @@ mod tests {
         for (design, _) in DESIGNS {
             SessionSpec::fast(design).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn every_design_maps_to_exactly_one_family() {
+        for (design, _) in DESIGNS {
+            let fam = design_family(design)
+                .unwrap_or_else(|| panic!("design `{design}` must belong to a family"));
+            assert!(FAMILIES.contains(&fam));
+            assert!(design.starts_with(fam));
+        }
+        assert_eq!(design_family("maeri256"), Some("maeri"));
+        assert_eq!(design_family("a7mini"), Some("a7"));
+        assert_eq!(design_family("noc8x8"), Some("noc"));
+        assert_eq!(design_family("nope"), None);
+    }
+
+    #[test]
+    fn bad_model_validation_error_displays_family_and_reason() {
+        let e = ValidationError::BadModel {
+            family: "maeri".into(),
+            why: "checksum mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("maeri") && msg.contains("checksum mismatch"),
+            "{msg}"
+        );
     }
 
     #[test]

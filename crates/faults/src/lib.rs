@@ -60,10 +60,15 @@ pub enum FaultSite {
     /// Tear the front↔shard connection mid-exchange (reset after the
     /// request frame is written, before the response is read).
     ConnReset,
+    /// Damage a model-zoo checkpoint on its way into a `LoadModel`
+    /// swap (bit-flip or truncation after the read, before the envelope
+    /// check) — the swap must refuse with a typed error, never poison
+    /// the model registry or the session cache.
+    ModelSwapCorrupt,
 }
 
 /// All sites, in the order used by seed-driven plans.
-pub const ALL_SITES: [FaultSite; 15] = [
+pub const ALL_SITES: [FaultSite; 16] = [
     FaultSite::CheckpointCorrupt,
     FaultSite::CheckpointTruncate,
     FaultSite::UnroutableNet,
@@ -79,6 +84,7 @@ pub const ALL_SITES: [FaultSite; 15] = [
     FaultSite::ShardCrash,
     FaultSite::ShardStall,
     FaultSite::ConnReset,
+    FaultSite::ModelSwapCorrupt,
 ];
 
 impl FaultSite {
@@ -99,6 +105,7 @@ impl FaultSite {
             FaultSite::ShardCrash => 12,
             FaultSite::ShardStall => 13,
             FaultSite::ConnReset => 14,
+            FaultSite::ModelSwapCorrupt => 15,
         }
     }
 
@@ -119,6 +126,7 @@ impl FaultSite {
             "shard-crash" => Some(FaultSite::ShardCrash),
             "shard-stall" => Some(FaultSite::ShardStall),
             "conn-reset" => Some(FaultSite::ConnReset),
+            "model-swap-corrupt" => Some(FaultSite::ModelSwapCorrupt),
             _ => None,
         }
     }
@@ -142,6 +150,7 @@ impl fmt::Display for FaultSite {
             FaultSite::ShardCrash => "shard-crash",
             FaultSite::ShardStall => "shard-stall",
             FaultSite::ConnReset => "conn-reset",
+            FaultSite::ModelSwapCorrupt => "model-swap-corrupt",
         };
         f.write_str(s)
     }
@@ -265,6 +274,7 @@ static REMAINING: [AtomicU32; ALL_SITES.len()] = [
     AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),
+    AtomicU32::new(0),
 ];
 
 fn install_lock() -> &'static Mutex<()> {
@@ -371,7 +381,7 @@ mod tests {
 
     #[test]
     fn new_robustness_sites_are_registered() {
-        assert_eq!(ALL_SITES.len(), 15);
+        assert_eq!(ALL_SITES.len(), 16);
         assert_eq!(ALL_SITES[10], FaultSite::SessionBuildFail);
         assert_eq!(ALL_SITES[11], FaultSite::RouteAuditCorrupt);
         assert_eq!(FaultSite::SessionBuildFail.to_string(), "build-fail");
@@ -390,6 +400,25 @@ mod tests {
             FaultSite::from_name("conn-reset"),
             Some(FaultSite::ConnReset)
         );
+    }
+
+    #[test]
+    fn model_swap_site_is_registered() {
+        assert_eq!(ALL_SITES[15], FaultSite::ModelSwapCorrupt);
+        assert_eq!(
+            FaultSite::ModelSwapCorrupt.to_string(),
+            "model-swap-corrupt"
+        );
+        assert_eq!(
+            FaultSite::from_name("model-swap-corrupt"),
+            Some(FaultSite::ModelSwapCorrupt)
+        );
+        // Appending the 16th site must not reshuffle seeded plans for
+        // the first 15 (CI storms pin their seeds).
+        let p = FaultPlan::from_seed(42);
+        for site in ALL_SITES {
+            assert!(p.shots(site) <= 2);
+        }
     }
 
     #[test]

@@ -261,3 +261,54 @@ fn kill_after_any_stage_resumes_bit_identical() {
 fn comparable_json(r: &FlowReport) -> String {
     serde_json::to_string(&r.comparable()).unwrap()
 }
+
+/// The model-swap seam: a zoo checkpoint damaged between the read and
+/// the envelope check (one shot bit-flips, two shots truncate) must
+/// surface as a typed [`CheckpointError`], and the very next load of
+/// the untouched file must recover — the artifact on disk is never
+/// harmed by the injected read-side damage.
+#[test]
+fn model_swap_corruption_surfaces_typed_error_then_recovers() {
+    use gnn_mls::checkpoint::{ModelVersion, ZooModelCheckpoint};
+    use gnn_mls::{GnnMls, ModelConfig};
+
+    let dir = scratch_dir("model-swap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("maeri-v1.0.0.ckpt");
+    ZooModelCheckpoint {
+        family: "maeri".to_string(),
+        version: ModelVersion::new(1, 0, 0),
+        corpus_hashes: vec![42],
+        pretrain_epochs: 1,
+        finetune_epochs: 1,
+        model: GnnMls::new(ModelConfig::default()).to_checkpoint(),
+    }
+    .save(&path)
+    .unwrap();
+
+    // One shot: the first load sees a bit-flip and must refuse with the
+    // envelope's checksum error; the second load recovers.
+    let guard = install(&FaultPlan::single(FaultSite::ModelSwapCorrupt, 1));
+    let flipped = ZooModelCheckpoint::load(&path);
+    let recovered = ZooModelCheckpoint::load(&path);
+    drop(guard);
+    match flipped {
+        Err(CheckpointError::Corrupt(_)) => {}
+        other => panic!("bit-flip must surface as Corrupt, got {other:?}"),
+    }
+    let recovered = recovered.unwrap();
+    assert_eq!(recovered.family, "maeri");
+    assert_eq!(recovered.version, ModelVersion::new(1, 0, 0));
+
+    // Two shots: the first load sees a truncation instead; still a
+    // typed refusal, still recoverable once the shots are spent.
+    let guard = install(&FaultPlan::single(FaultSite::ModelSwapCorrupt, 2));
+    let truncated = ZooModelCheckpoint::load(&path);
+    let recovered = ZooModelCheckpoint::load(&path);
+    drop(guard);
+    match truncated {
+        Err(CheckpointError::Corrupt(_)) => {}
+        other => panic!("truncation must surface as Corrupt, got {other:?}"),
+    }
+    assert_eq!(recovered.unwrap().family, "maeri");
+}

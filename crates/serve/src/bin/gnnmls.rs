@@ -17,22 +17,24 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use gnn_mls::checkpoint::ModelVersion;
 use gnn_mls::flow::{run_flow, FlowConfig, FlowPolicy};
 use gnn_mls::session::{build_design, build_tech, SessionSpec, DESIGNS};
-use gnn_mls::GnnMls;
+use gnn_mls::{GnnMls, ModelConfig};
 use gnnmls_dft::DftMode;
 use gnnmls_netlist::verilog::write_verilog;
 use gnnmls_serve::cluster::{ClusterConfig, ClusterFront, ShardBackendSpec, ShardSpawnSpec};
 use gnnmls_serve::protocol::{Request, Response, ResponseKind};
 use gnnmls_serve::{
-    run_cluster_bench, Client, ClusterBenchConfig, RetryPolicy, ServeConfig, ServeConfigBuilder,
-    Server,
+    run_cluster_bench, run_zoo_bench, Client, ClusterBenchConfig, RetryPolicy, ServeConfig,
+    ServeConfigBuilder, Server, ZooBenchConfig,
 };
+use gnnmls_zoo::{CorpusConfig, Registry};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn usage() -> &'static str {
-    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls serve --cluster [--shards <n>] [--addr 127.0.0.1:7117]\n               [--queue <jobs>] [--workers <n>] [--cache <sessions>]\n               [--admit <cost units>] [--checkpoint <dir>]\n               # spawns <n> shard daemons, routes v2 frames by spec hash,\n               # fails over through per-shard circuit breakers\n  gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]\n                     [--out target/bench/BENCH_suite.json] [--commit-baseline]\n  gnnmls bench diff  [--baseline bench/baseline.json]\n                     [--fresh target/bench/BENCH_suite.json]\n                     [--perturb <scenario>:<metric>:<delta>]   # gate self-test\n  gnnmls bench cluster [--shards <n>] [--clients <n>] [--requests <n>]\n                       [--seed <n>] [--no-kill]\n                       # mixed whatif/infer load with a kill-one-shard\n                       # schedule; writes target/bench/BENCH_cluster.json\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls serve --cluster [--shards <n>] [--addr 127.0.0.1:7117]\n               [--queue <jobs>] [--workers <n>] [--cache <sessions>]\n               [--admit <cost units>] [--checkpoint <dir>]\n               # spawns <n> shard daemons, routes v2 frames by spec hash,\n               # fails over through per-shard circuit breakers\n  gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]\n                     [--out target/bench/BENCH_suite.json] [--commit-baseline]\n  gnnmls bench diff  [--baseline bench/baseline.json]\n                     [--fresh target/bench/BENCH_suite.json]\n                     [--perturb <scenario>:<metric>:<delta>]   # gate self-test\n  gnnmls bench cluster [--shards <n>] [--clients <n>] [--requests <n>]\n                       [--seed <n>] [--no-kill]\n                       # mixed whatif/infer load with a kill-one-shard\n                       # schedule; writes target/bench/BENCH_cluster.json\n  gnnmls bench zoo [--swap-iters <n>] [--target-accuracy <frac>] [--max-epochs <n>]\n                   # pretrain-vs-scratch convergence + warm-swap latency;\n                   # writes target/bench/BENCH_zoo.json\n  gnnmls model train   [--corpus tiny|full] [--dir zoo] [--threads <n>]\n                       # build the cross-design corpus, DGI-pretrain once,\n                       # fine-tune per family, publish versioned checkpoints\n  gnnmls model list    [--dir zoo]\n  gnnmls model inspect --family <f> [--version <x.y.z>] [--dir zoo]\n  gnnmls model verify  [--dir zoo]    # re-hash every checkpoint vs the manifest\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client load-model [--addr <addr>] --model <checkpoint.ckpt>\n                       # hot-swap the checkpoint's family on a live daemon\n                       # (broadcasts to every shard through a cluster front)\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
 }
 
 fn main() -> ExitCode {
@@ -62,6 +64,7 @@ fn main() -> ExitCode {
         Some("serve") => serve_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
+        Some("model") => model_cmd(&args[1..]),
         _ => {
             eprint!("{}", usage());
             ExitCode::FAILURE
@@ -335,6 +338,7 @@ fn client_cmd(args: &[String]) -> ExitCode {
             "net",
             "budget",
             "paths",
+            "model",
             "retries",
             "retry-seed",
         ],
@@ -414,6 +418,13 @@ fn client_cmd(args: &[String]) -> ExitCode {
         "flow" => Request::run_flow(1, spec),
         "health" => Request::health(1),
         "metrics" => Request::metrics(1),
+        "load-model" => {
+            let Some(path) = opts.get("model") else {
+                eprintln!("load-model requires --model <checkpoint.ckpt>");
+                return ExitCode::FAILURE;
+            };
+            Request::load_model(1, *path)
+        }
         "shutdown" => Request::shutdown(1),
         other => {
             eprintln!("unknown client verb `{other}`\n{}", usage());
@@ -462,9 +473,10 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         Some("suite") => bench_suite_cmd(&args[1..]),
         Some("diff") => bench_diff_cmd(&args[1..]),
         Some("cluster") => bench_cluster_cmd(&args[1..]),
+        Some("zoo") => bench_zoo_cmd(&args[1..]),
         other => {
             eprintln!(
-                "unknown bench verb `{}` (suite|diff|cluster)\n{}",
+                "unknown bench verb `{}` (suite|diff|cluster|zoo)\n{}",
                 other.unwrap_or(""),
                 usage()
             );
@@ -611,6 +623,270 @@ fn bench_cluster_cmd(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `gnnmls bench zoo`: pretrain-vs-scratch convergence probe plus
+/// warm-swap latency against a freshly booted daemon; writes
+/// `target/bench/BENCH_zoo.json`.
+fn bench_zoo_cmd(args: &[String]) -> ExitCode {
+    let (opts, _) = match parse_opts(
+        args,
+        &["swap-iters", "target-accuracy", "max-epochs", "threads"],
+        &[],
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = ZooBenchConfig::default();
+    for (key, slot) in [
+        ("swap-iters", &mut cfg.swap_iters as &mut usize),
+        ("max-epochs", &mut cfg.max_epochs),
+        ("threads", &mut cfg.threads),
+    ] {
+        if let Some(v) = opts.get(key) {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 || key == "threads" => *slot = n,
+                _ => {
+                    eprintln!("--{key} must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(v) = opts.get("target-accuracy") {
+        match v.parse::<f64>() {
+            Ok(f) if f > 0.0 && f <= 1.0 => cfg.target_accuracy = f,
+            _ => {
+                eprintln!("--target-accuracy must be in (0, 1]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = match run_zoo_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gnnmls bench zoo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "zoo bench: {} designs / {} samples, families {:?}, DGI loss {:.4}",
+        report.corpus_designs, report.corpus_samples, report.families, report.pretrain_loss
+    );
+    println!(
+        "  to {:.0}% accuracy: scratch {} epochs (acc {:.3}, converged {})  \
+         pretrained {} epochs (acc {:.3}, converged {})",
+        report.target_accuracy * 100.0,
+        report.scratch.epochs,
+        report.scratch.accuracy,
+        report.scratch.converged,
+        report.pretrained.epochs,
+        report.pretrained.accuracy,
+        report.pretrained.converged
+    );
+    println!(
+        "  warm swap over {} iters: p50 {} us  max {} us",
+        report.swap_iters, report.swap_p50_us, report.swap_max_us
+    );
+    eprintln!("zoo ledger written to target/bench/BENCH_zoo.json");
+    ExitCode::SUCCESS
+}
+
+/// Default on-disk model registry directory.
+const ZOO_DIR: &str = "zoo";
+
+fn model_cmd(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first().map(String::as_str) else {
+        eprintln!(
+            "model wants a verb (train|list|inspect|verify)\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let (opts, _) = match parse_opts(
+        &args[1..],
+        &["corpus", "dir", "threads", "family", "version"],
+        &[],
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = Registry::open(opts.get("dir").copied().unwrap_or(ZOO_DIR));
+    match verb {
+        "train" => model_train_cmd(&registry, &opts),
+        "list" => model_list_cmd(&registry),
+        "inspect" => model_inspect_cmd(&registry, &opts),
+        "verify" => model_verify_cmd(&registry),
+        other => {
+            eprintln!("unknown model verb `{other}` (train|list|inspect|verify)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `gnnmls model train`: sweep the seeded generators into a corpus,
+/// DGI-pretrain across every design, fine-tune per family, and publish
+/// each model at the registry's next version.
+fn model_train_cmd(registry: &Registry, opts: &HashMap<&str, &str>) -> ExitCode {
+    let mut corpus_cfg = match opts.get("corpus").copied().unwrap_or("tiny") {
+        "tiny" => CorpusConfig::tiny(),
+        "full" => CorpusConfig::full(),
+        other => {
+            eprintln!("unknown corpus `{other}` (tiny|full)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(v) = opts.get("threads") {
+        match v.parse::<usize>() {
+            Ok(n) => corpus_cfg.threads = n,
+            Err(_) => {
+                eprintln!("--threads must be an integer (0 = auto)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "building corpus: families {:?}, {} seed(s) x {} variant(s)...",
+        corpus_cfg.families,
+        corpus_cfg.seeds.len(),
+        corpus_cfg.variants_per_family
+    );
+    let corpus = match gnnmls_zoo::build_corpus(&corpus_cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gnnmls model train: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "corpus: {} designs, {} unlabeled samples; pretraining...",
+        corpus.designs.len(),
+        corpus.len()
+    );
+    let models = match gnnmls_zoo::train_zoo(&corpus, &ModelConfig::default(), corpus_cfg.threads) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("gnnmls model train: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for fam in &models {
+        let version = match registry.next_version(&fam.family) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("gnnmls model train: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match registry.publish(&fam.to_zoo_checkpoint(version)) {
+            Ok(entry) => println!(
+                "{:6} v{}  {} params  f1 {:.3}  -> {}",
+                entry.family,
+                entry.version,
+                entry.parameter_count,
+                fam.metrics.f1(),
+                registry.entry_path(&entry).display()
+            ),
+            Err(e) => {
+                eprintln!("gnnmls model train: publish {}: {e}", fam.family);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn model_list_cmd(registry: &Registry) -> ExitCode {
+    let manifest = match registry.manifest() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("gnnmls model list: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if manifest.entries.is_empty() {
+        eprintln!("no models published under {}", registry.dir().display());
+        return ExitCode::SUCCESS;
+    }
+    for e in &manifest.entries {
+        println!(
+            "{:6} v{:8} {:10} params  {} corpus design(s)  {}",
+            e.family, e.version, e.parameter_count, e.corpus_designs, e.file
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn model_inspect_cmd(registry: &Registry, opts: &HashMap<&str, &str>) -> ExitCode {
+    let Some(family) = opts.get("family") else {
+        eprintln!("model inspect requires --family <f>");
+        return ExitCode::FAILURE;
+    };
+    let version = match opts.get("version") {
+        None => None,
+        Some(v) => match ModelVersion::parse(v) {
+            Some(v) => Some(v),
+            None => {
+                eprintln!("--version wants <major>.<minor>.<patch>");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let cp = match registry.load(family, version) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("gnnmls model inspect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("family:           {}", cp.family);
+    println!("version:          {}", cp.version);
+    println!("pretrain epochs:  {}", cp.pretrain_epochs);
+    println!("finetune epochs:  {}", cp.finetune_epochs);
+    println!("corpus designs:   {}", cp.corpus_hashes.len());
+    for h in &cp.corpus_hashes {
+        println!("  content hash:   {h:016x}");
+    }
+    match GnnMls::from_checkpoint(cp.model) {
+        Ok(model) => {
+            println!("parameters:       {}", model.parameter_count());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gnnmls model inspect: checkpoint does not restore: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn model_verify_cmd(registry: &Registry) -> ExitCode {
+    let report = match registry.verify() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gnnmls model verify: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "checked {} checkpoint(s) under {}",
+        report.checked,
+        registry.dir().display()
+    );
+    if report.ok() {
+        println!("all checkpoints match the manifest");
+        ExitCode::SUCCESS
+    } else {
+        for p in &report.problems {
+            eprintln!("  PROBLEM: {p}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn bench_diff_cmd(args: &[String]) -> ExitCode {

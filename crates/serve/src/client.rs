@@ -293,6 +293,19 @@ impl Client {
         self.request(&Request::run_flow(id, spec.clone()))
     }
 
+    /// Hot-swaps the model for the family of the checkpoint at `path`
+    /// (a `gnnmls model train` artifact); answered inline even under
+    /// full load. Against a cluster front this broadcasts to every
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on a transport failure.
+    pub fn load_model(&mut self, path: impl Into<String>) -> Result<Response, FrameError> {
+        let id = self.take_id();
+        self.request(&Request::load_model(id, path))
+    }
+
     /// Asks the daemon to drain and exit.
     ///
     /// # Errors

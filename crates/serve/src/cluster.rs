@@ -54,7 +54,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gnn_mls::checkpoint::save_stage;
+use gnn_mls::checkpoint::save_stage_logged;
 use gnnmls_faults::{fire, FaultSite};
 use gnnmls_par::rng::splitmix64;
 use serde::{Deserialize, Serialize};
@@ -780,6 +780,70 @@ fn relay(shared: &ClusterShared, resp: Response, answered_by: u16, primary: u16)
     resp
 }
 
+/// Broadcasts a `LoadModel` to every shard and merges the answers: the
+/// roll is `Ok` only when every shard that answered swapped
+/// successfully (the first refusal is relayed verbatim, annotated with
+/// the shard id). Shards that are unreachable — dead, mid-respawn —
+/// are skipped and counted; a respawned shard comes back on its
+/// built-in models until the next broadcast, which is exactly what its
+/// empty state serves anyway.
+fn broadcast_load_model(
+    shared: &ClusterShared,
+    conns: &mut BackendConns,
+    req: &Request,
+) -> Response {
+    let mut swapped: Option<Response> = None;
+    let mut unreachable = 0u64;
+    for shard in &shared.shards {
+        match forward_once(shared, conns, shard.id, req) {
+            Ok(resp) if resp.id == req.id => {
+                shared.record_shard_success(shard.id);
+                if resp.kind == ResponseKind::Ok {
+                    if swapped.is_none() {
+                        swapped = Some(resp);
+                    }
+                } else {
+                    gnnmls_obs::counter_add(
+                        "gnnmls_cluster_model_swaps_total",
+                        &[("outcome", "refused")],
+                        1,
+                    );
+                    let why = resp.error.clone().unwrap_or_else(|| "unknown".into());
+                    return Response {
+                        error: Some(format!("shard {} refused the model swap: {why}", shard.id)),
+                        ..resp
+                    };
+                }
+            }
+            Ok(_) | Err(_) => {
+                conns.drop_conn(shard.id);
+                shared.record_shard_failure(shard.id);
+                unreachable += 1;
+            }
+        }
+    }
+    match swapped {
+        Some(resp) => {
+            gnnmls_obs::counter_add("gnnmls_cluster_model_swaps_total", &[("outcome", "ok")], 1);
+            if unreachable > 0 {
+                gnnmls_obs::warn(
+                    "gnnmls-cluster",
+                    &format!("model swap skipped {unreachable} unreachable shard(s)"),
+                );
+            }
+            resp
+        }
+        None => {
+            gnnmls_obs::counter_add(
+                "gnnmls_cluster_model_swaps_total",
+                &[("outcome", "unreachable")],
+                1,
+            );
+            Response::error(req.id, "model swap reached no shard")
+        }
+    }
+}
+
 fn front_conn_loop(shared: &Arc<ClusterShared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(
         shared.cfg.read_timeout_ms.max(1),
@@ -820,6 +884,14 @@ fn front_conn_loop(shared: &Arc<ClusterShared>, mut stream: TcpStream) {
         }
         if req.kind == RequestKind::Metrics {
             let resp = Response::ok(req.id).with_metrics(gnn_mls::api::metrics());
+            if write_frame(&mut stream, &resp).is_err() {
+                return;
+            }
+            continue;
+        }
+        // A model roll must land on every shard, not one ring target.
+        if req.kind == RequestKind::LoadModel {
+            let resp = broadcast_load_model(shared, &mut conns, &req);
             if write_frame(&mut stream, &resp).is_err() {
                 return;
             }
@@ -1114,12 +1186,7 @@ impl ClusterFront {
         }
         let stats = self.shared.stats_snapshot(per_shard);
         if let Some(dir) = &self.shared.cfg.checkpoint_dir {
-            if let Err(e) = save_stage(dir, CLUSTER_STATS_STAGE, &stats) {
-                gnnmls_obs::warn(
-                    "gnnmls-cluster",
-                    &format!("could not write cluster-stats envelope: {e}"),
-                );
-            }
+            save_stage_logged(dir, CLUSTER_STATS_STAGE, &stats, "gnnmls-cluster");
         }
         self.final_stats = Some(stats.clone());
         stats

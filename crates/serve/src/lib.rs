@@ -52,6 +52,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod ring;
 pub mod server;
+pub mod zoobench;
 
 pub use admission::{request_cost, validate_request, AdmissionMeter};
 pub use client::{Client, ClientError, RetryPolicy};
@@ -63,3 +64,4 @@ pub use protocol::{
 };
 pub use ring::HashRing;
 pub use server::{ServeConfig, ServeConfigBuilder, ServeOpts, Server};
+pub use zoobench::{run_zoo_bench, ZooBenchConfig, ZooBenchReport};

@@ -122,6 +122,14 @@ pub enum RequestKind {
     /// like `Health` (never queued) — scraping must work even when the
     /// daemon is saturated.
     Metrics,
+    /// Hot-swap a zoo model checkpoint into the family it names
+    /// (`model_path` points at a [`gnn_mls::ZooModelCheckpoint`] file).
+    /// Answered at the connection like `Health` — an operator must be
+    /// able to roll a model while the daemon is saturated. In-flight
+    /// requests finish on the weights they started with; a corrupt or
+    /// mismatched checkpoint is `Rejected` and the serving model is
+    /// untouched.
+    LoadModel,
     /// Graceful drain: flush in-flight work, then exit.
     Shutdown,
 }
@@ -147,6 +155,9 @@ pub struct Request {
     /// `InferMls`: how many worst paths to cover (default
     /// [`DEFAULT_INFER_PATHS`]).
     pub paths: Option<u64>,
+    /// `LoadModel`: path (on the daemon's filesystem) of the zoo model
+    /// checkpoint to swap in.
+    pub model_path: Option<String>,
 }
 
 impl Request {
@@ -159,6 +170,7 @@ impl Request {
             allow_mls: None,
             deadline_expansions: None,
             paths: None,
+            model_path: None,
         }
     }
 
@@ -205,6 +217,15 @@ impl Request {
     /// A `Metrics` request; the spec is ignored.
     pub fn metrics(id: u64) -> Self {
         Self::bare(id, RequestKind::Metrics, SessionSpec::new("maeri16"))
+    }
+
+    /// A `LoadModel` request; the spec is ignored (the checkpoint
+    /// itself names the family it serves).
+    pub fn load_model(id: u64, model_path: impl Into<String>) -> Self {
+        Self {
+            model_path: Some(model_path.into()),
+            ..Self::bare(id, RequestKind::LoadModel, SessionSpec::new("maeri16"))
+        }
     }
 
     /// A `Shutdown` request; the spec is ignored.
@@ -308,6 +329,21 @@ pub struct ServerStats {
     pub session: Option<SessionStats>,
 }
 
+/// Payload of an `Ok` response to a `LoadModel` request: what is now
+/// serving the family.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelSwapResult {
+    /// Family the new model serves.
+    pub family: String,
+    /// Version of the new model (`major.minor.patch`).
+    pub version: String,
+    /// Trainable parameters in the new model.
+    pub parameter_count: u64,
+    /// Version the swap replaced: a previous zoo version, or `None`
+    /// when the family was still on its built-in per-session models.
+    pub replaced: Option<String>,
+}
+
 /// One response frame; `id` echoes the request. Exactly one payload
 /// field is set for `Ok`, none for `Busy`, and `error` for `Error`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -328,6 +364,13 @@ pub struct Response {
     pub health: Option<HealthStatus>,
     /// `Metrics` payload: Prometheus-style text exposition.
     pub metrics: Option<String>,
+    /// `LoadModel` payload.
+    pub model_swap: Option<ModelSwapResult>,
+    /// Which model answered an `InferMls` request: a zoo version string
+    /// for a hot-swapped family, `"builtin"` for the session's own
+    /// trained model. Lets a client prove an in-flight request finished
+    /// on the weights it started with across a swap.
+    pub model_version: Option<String>,
     /// `Quarantined`: milliseconds until the circuit half-opens.
     pub retry_after_ms: Option<u64>,
     /// `Error`, `Rejected`, and `Quarantined` payload.
@@ -346,6 +389,8 @@ impl Response {
             report_json: None,
             health: None,
             metrics: None,
+            model_swap: None,
+            model_version: None,
             retry_after_ms: None,
             error: None,
         }
@@ -421,6 +466,18 @@ impl Response {
     /// Attaches a flow-report payload.
     pub fn with_report(mut self, json: String) -> Self {
         self.report_json = Some(json);
+        self
+    }
+
+    /// Attaches a model-swap payload.
+    pub fn with_model_swap(mut self, m: ModelSwapResult) -> Self {
+        self.model_swap = Some(m);
+        self
+    }
+
+    /// Stamps which model version produced this response.
+    pub fn with_model_version(mut self, version: impl Into<String>) -> Self {
+        self.model_version = Some(version.into());
         self
     }
 }
@@ -750,6 +807,34 @@ mod tests {
         write_frame(&mut wire, &m).unwrap();
         let back: Response = read_frame(&mut wire.as_slice()).unwrap();
         assert_eq!(back.metrics.as_deref(), Some("# HELP x y\nx 1\n"));
+    }
+
+    #[test]
+    fn load_model_round_trips() {
+        let req = Request::load_model(21, "/zoo/maeri-v1.0.0.ckpt");
+        assert_eq!(req.kind, RequestKind::LoadModel);
+        assert_eq!(req.model_path.as_deref(), Some("/zoo/maeri-v1.0.0.ckpt"));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req).unwrap();
+        let back: Request = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(req, back);
+
+        let resp = Response::ok(21)
+            .with_model_swap(ModelSwapResult {
+                family: "maeri".to_string(),
+                version: "1.0.0".to_string(),
+                parameter_count: 12345,
+                replaced: None,
+            })
+            .with_model_version("1.0.0");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &resp).unwrap();
+        let back: Response = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(resp, back);
+        let swap = back.model_swap.unwrap();
+        assert_eq!(swap.family, "maeri");
+        assert!(swap.replaced.is_none());
+        assert_eq!(back.model_version.as_deref(), Some("1.0.0"));
     }
 
     #[test]

@@ -53,7 +53,7 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gnn_mls::checkpoint::save_stage;
+use gnn_mls::checkpoint::save_stage_logged;
 use gnn_mls::session::{DesignSession, SessionError, SessionSpec, ValidationError};
 use gnn_mls::AuditMode;
 use gnnmls_faults::{fire, FaultSite};
@@ -62,8 +62,8 @@ use gnnmls_par::queue::{BoundedQueue, PushError};
 
 use crate::admission::{self, AdmissionMeter};
 use crate::protocol::{
-    read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request, RequestKind,
-    Response, ResponseKind, ServerStats, DEFAULT_INFER_PATHS,
+    read_frame_idle, write_frame, FrameError, HealthStatus, ModelSwapResult, QuarantineInfo,
+    Request, RequestKind, Response, ResponseKind, ServerStats, DEFAULT_INFER_PATHS,
 };
 
 /// Stage name of the final drain checkpoint envelope.
@@ -258,6 +258,7 @@ fn kind_name(kind: RequestKind) -> &'static str {
         RequestKind::Stats => "stats",
         RequestKind::Health => "health",
         RequestKind::Metrics => "metrics",
+        RequestKind::LoadModel => "load_model",
         RequestKind::Shutdown => "shutdown",
     }
 }
@@ -380,6 +381,16 @@ struct QuarantineEntry {
     open_until: Option<Instant>,
 }
 
+/// A hot-swapped zoo model serving one design family. Swaps replace
+/// the `Arc` in [`Shared::models`] atomically; requests that already
+/// cloned the old `Arc` finish on the weights they started with.
+struct ZooModel {
+    /// Version string (`major.minor.patch`) stamped into responses.
+    version: String,
+    /// The restored model.
+    model: gnn_mls::GnnMls,
+}
+
 /// Outcome of a session lookup: the quarantine gate sits between the
 /// cache and the build.
 enum SessionGate {
@@ -403,6 +414,9 @@ struct Shared {
     accept_stop: AtomicBool,
     meter: AdmissionMeter,
     quarantine: Mutex<HashMap<u64, QuarantineEntry>>,
+    /// Hot-swapped zoo models, one slot per design family. Empty slots
+    /// fall back to each session's built-in trained model.
+    models: Mutex<HashMap<&'static str, Arc<ZooModel>>>,
 }
 
 impl Shared {
@@ -514,6 +528,89 @@ impl Shared {
         }
     }
 
+    /// The zoo model currently serving `design`'s family, if one was
+    /// swapped in. Cloning the `Arc` pins the weights for the caller:
+    /// a concurrent swap replaces the slot without touching in-flight
+    /// work.
+    fn zoo_model(&self, design: &str) -> Option<Arc<ZooModel>> {
+        let family = gnn_mls::design_family(design)?;
+        lock(&self.models).get(family).cloned()
+    }
+
+    /// Validates and atomically swaps in the checkpoint at `path_str`.
+    /// Nothing is replaced unless the file's envelope verifies, its
+    /// family is known, and its weights restore — a bad artifact leaves
+    /// the serving model untouched.
+    fn swap_model(&self, path_str: &str) -> Result<ModelSwapResult, ValidationError> {
+        let cp =
+            gnn_mls::ZooModelCheckpoint::load(std::path::Path::new(path_str)).map_err(|e| {
+                ValidationError::BadModel {
+                    family: "unknown".to_string(),
+                    why: format!("checkpoint {path_str} does not load: {e}"),
+                }
+            })?;
+        let Some(family) = gnn_mls::FAMILIES.iter().copied().find(|f| *f == cp.family) else {
+            return Err(ValidationError::BadModel {
+                family: cp.family,
+                why: format!(
+                    "not a served family (expected one of {})",
+                    gnn_mls::FAMILIES.join(", ")
+                ),
+            });
+        };
+        let version = cp.version.to_string();
+        let model =
+            gnn_mls::GnnMls::from_checkpoint(cp.model).map_err(|e| ValidationError::BadModel {
+                family: family.to_string(),
+                why: format!("weights do not restore: {e}"),
+            })?;
+        let parameter_count = model.parameter_count() as u64;
+        let replaced = lock(&self.models)
+            .insert(
+                family,
+                Arc::new(ZooModel {
+                    version: version.clone(),
+                    model,
+                }),
+            )
+            .map(|old| old.version.clone());
+        gnnmls_obs::counter_add(
+            "gnnmls_model_swaps_total",
+            &[("family", family), ("version", &version)],
+            1,
+        );
+        Ok(ModelSwapResult {
+            family: family.to_string(),
+            version,
+            parameter_count,
+            replaced,
+        })
+    }
+
+    /// Answers a `LoadModel` request. A refused swap takes a
+    /// quarantine strike keyed by the path (not any session spec), so
+    /// an operator hammering a broken artifact trips the breaker
+    /// without poisoning the session cache.
+    fn load_model_response(&self, req: &Request) -> Response {
+        let Some(path_str) = req.model_path.as_deref() else {
+            self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            return Response::rejected(req.id, "load-model request is missing `model_path`");
+        };
+        match self.swap_model(path_str) {
+            Ok(swap) => {
+                let version = swap.version.clone();
+                Response::ok(req.id)
+                    .with_model_swap(swap)
+                    .with_model_version(version)
+            }
+            Err(e) => {
+                self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+                self.record_build_failure(gnn_mls::checkpoint::fnv1a64(path_str.as_bytes()));
+                Response::rejected(req.id, e)
+            }
+        }
+    }
+
     fn quarantined_response(id: u64, strikes: u32, remaining_ms: u64) -> Response {
         Response::quarantined(
             id,
@@ -590,6 +687,16 @@ impl Shared {
         REQUESTS.inc();
         let outcome = outcome_name(resp.kind);
         gnnmls_obs::counter_add("gnnmls_serve_responses_total", &[("outcome", outcome)], 1);
+        // Same funnel, split by serving model: over any window the
+        // per-version counts sum to `gnnmls_serve_responses_total`.
+        gnnmls_obs::counter_add(
+            "gnnmls_serve_responses_by_model_total",
+            &[(
+                "version",
+                resp.model_version.as_deref().unwrap_or("builtin"),
+            )],
+            1,
+        );
         // Request-lifecycle trace: the wall-clock durations live only in
         // this emitted event, never in a metric a caller reads back.
         if gnnmls_obs::enabled() {
@@ -670,12 +777,23 @@ impl Shared {
             })
             .collect();
         let kmax = ks.iter().copied().max().unwrap_or(0);
-        let Some(model) = session.model() else {
-            for job in group {
-                let id = job.req.id;
-                self.respond(job, Response::error(id, SessionError::NoModel));
-            }
-            return;
+        // A hot-swapped zoo model overrides the session's built-in one.
+        // The `Arc` cloned here outlives any concurrent swap: this
+        // whole group finishes on the weights it started with.
+        let zoo = self.zoo_model(&first.req.spec.design);
+        let version: &str = zoo.as_ref().map_or("builtin", |z| z.version.as_str());
+        let model = match &zoo {
+            Some(z) => &z.model,
+            None => match session.model() {
+                Some(m) => m,
+                None => {
+                    for job in group {
+                        let id = job.req.id;
+                        self.respond(job, Response::error(id, SessionError::NoModel));
+                    }
+                    return;
+                }
+            },
         };
         // One forward pass covers the longest request; shorter requests
         // reuse its probability prefix — identical to solo calls because
@@ -694,7 +812,12 @@ impl Shared {
         for (job, k) in group.into_iter().zip(ks) {
             let result = session.infer_from_probs(k, &probs);
             let id = job.req.id;
-            self.respond(job, Response::ok(id).with_infer(result));
+            self.respond(
+                job,
+                Response::ok(id)
+                    .with_infer(result)
+                    .with_model_version(version),
+            );
         }
     }
 
@@ -731,10 +854,11 @@ impl Shared {
                 let stats = self.server_stats(Some(req.spec.cache_key()));
                 Response::ok(req.id).with_stats(stats)
             }
-            // Health, Metrics, and Shutdown are answered at the
-            // connection; never queued.
+            // Health, Metrics, LoadModel, and Shutdown are answered at
+            // the connection; never queued.
             RequestKind::Health => Response::ok(req.id).with_health(self.health()),
             RequestKind::Metrics => Response::ok(req.id).with_metrics(gnn_mls::api::metrics()),
+            RequestKind::LoadModel => self.load_model_response(req),
             RequestKind::Shutdown => Response::ok(req.id),
         };
         self.respond(job, resp);
@@ -888,6 +1012,16 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
             }
             continue;
         }
+        // LoadModel is answered inline too: an operator must be able to
+        // roll a model while the queue is full. The swap itself is a
+        // checkpoint read + restore — bounded work, no session build.
+        if req.kind == RequestKind::LoadModel {
+            let resp = shared.load_model_response(&req);
+            if write_frame(&mut stream, &resp).is_err() {
+                return;
+            }
+            continue;
+        }
         // Admission control: deep-validate before the request can cost
         // a queue slot or the build lock. Rejections are permanent.
         if let Err(e) = admission::validate_request(&req) {
@@ -992,6 +1126,7 @@ impl Server {
             accept_stop: AtomicBool::new(false),
             meter: AdmissionMeter::new(cfg.admission_budget.max(1)),
             quarantine: Mutex::new(HashMap::new()),
+            models: Mutex::new(HashMap::new()),
             cfg,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -1132,12 +1267,7 @@ impl Server {
         }
         let stats = self.shared.server_stats(None);
         if let Some(dir) = &self.shared.cfg.checkpoint_dir {
-            if let Err(e) = save_stage(dir, STATS_STAGE, &stats) {
-                gnnmls_obs::warn(
-                    "gnnmls-serve",
-                    &format!("could not write final stats checkpoint: {e}"),
-                );
-            }
+            save_stage_logged(dir, STATS_STAGE, &stats, "gnnmls-serve");
         }
         self.final_stats = Some(stats.clone());
         stats
@@ -1222,6 +1352,7 @@ mod tests {
             accept_stop: AtomicBool::new(false),
             meter: AdmissionMeter::new(cfg.admission_budget),
             quarantine: Mutex::new(HashMap::new()),
+            models: Mutex::new(HashMap::new()),
             cfg,
         }
     }

@@ -233,6 +233,67 @@ fn drain_checkpoints_the_merged_envelope() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A `LoadModel` through the front is a broadcast: every live shard
+/// swaps, a dead shard is skipped without failing the roll, and a
+/// shard's typed refusal (damaged artifact) is relayed naming the
+/// shard instead of being half-applied silently.
+#[test]
+fn load_model_broadcasts_to_every_shard_and_relays_refusals() {
+    let _serial = serialize_tests();
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cluster-swap");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_path = dir.join("maeri-v2.0.0.ckpt");
+    gnn_mls::checkpoint::ZooModelCheckpoint {
+        family: "maeri".to_string(),
+        version: gnn_mls::checkpoint::ModelVersion::new(2, 0, 0),
+        corpus_hashes: vec![7],
+        pretrain_epochs: 1,
+        finetune_epochs: 1,
+        model: gnn_mls::GnnMls::new(gnn_mls::ModelConfig::default()).to_checkpoint(),
+    }
+    .save(&ckpt_path)
+    .unwrap();
+
+    let (mut servers, front) = start_cluster(3, fast_cfg());
+    let mut client = Client::connect(front.local_addr()).unwrap();
+
+    // All three shards up: the broadcast lands everywhere and answers
+    // with the swap payload.
+    let resp = client.load_model(ckpt_path.to_string_lossy()).unwrap();
+    assert_eq!(resp.kind, ResponseKind::Ok, "{:?}", resp.error);
+    let payload = resp.model_swap.expect("swap payload");
+    assert_eq!(payload.family, "maeri");
+    assert_eq!(payload.version, "2.0.0");
+
+    // Kill one shard: the roll still succeeds across the survivors.
+    servers[1].take().unwrap().shutdown();
+    let resp = client.load_model(ckpt_path.to_string_lossy()).unwrap();
+    assert_eq!(
+        resp.kind,
+        ResponseKind::Ok,
+        "dead shard must be skipped, not fail the roll: {:?}",
+        resp.error
+    );
+
+    // Damage the artifact: the shards refuse, and the front relays the
+    // first refusal naming the shard.
+    let mut bytes = std::fs::read(&ckpt_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&ckpt_path, &bytes).unwrap();
+    let resp = client.load_model(ckpt_path.to_string_lossy()).unwrap();
+    assert_eq!(resp.kind, ResponseKind::Rejected, "{resp:?}");
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("shard"),
+        "refusal must name the shard: {:?}",
+        resp.error
+    );
+
+    drop(client);
+    teardown(servers, front);
+}
+
 #[test]
 fn metrics_against_a_draining_server_is_refused_immediately() {
     let _serial = serialize_tests();

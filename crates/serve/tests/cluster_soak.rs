@@ -1,26 +1,72 @@
 //! Cluster chaos soak: a front over three *spawned* shard daemons
 //! survives ~60 seconds of mixed traffic with seeded shard kills —
 //! every kill is discovered by the prober, failed over, and respawned;
-//! zero requests are lost after retry; and a respawned shard serves
-//! warm cache hits again once traffic returns to it.
+//! zero requests are lost after retry; a `LoadModel` broadcast rolled
+//! mid-storm lands without dropping traffic (inference before the roll
+//! answers on the built-in weights, after it on the zoo version, and
+//! never on anything else); per-version response counters on every
+//! shard sum to that shard's total responses; and a respawned shard
+//! serves warm cache hits again once traffic returns to it.
 //!
 //! Long-running and process-spawning, so ignored by default; the CI
 //! soak job runs it with
 //! `cargo test --release -p gnnmls-serve --test cluster_soak -- --ignored`.
 //! Override the duration with `GNNMLS_SOAK_SECS` (seconds, default 60).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use gnn_mls::checkpoint::ModelVersion;
 use gnn_mls::flow::FlowPolicy;
 use gnn_mls::session::SessionSpec;
+use gnn_mls::ModelConfig;
 use gnnmls_par::rng::SplitMix64;
 use gnnmls_serve::client::RetryPolicy;
 use gnnmls_serve::cluster::{ClusterConfig, ClusterFront, ShardBackendSpec, ShardSpawnSpec};
 use gnnmls_serve::protocol::ResponseKind;
 use gnnmls_serve::{Client, ClientError};
+use gnnmls_zoo::{build_corpus, train_zoo, CorpusConfig, Registry};
 
 const SHARDS: usize = 3;
+/// Version the mid-storm roll publishes and swaps in.
+const ROLLED_VERSION: &str = "1.0.0";
+
+/// Trains a real maeri zoo model on a one-design corpus and publishes
+/// it under the target tmpdir, returning the checkpoint path.
+fn publish_roll_artifact() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("soak-zoo");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus_cfg = CorpusConfig {
+        families: vec!["maeri".to_string()],
+        ..CorpusConfig::tiny()
+    };
+    let corpus = build_corpus(&corpus_cfg).unwrap();
+    let model_cfg = ModelConfig {
+        pretrain_epochs: 2,
+        finetune_epochs: 8,
+        ..ModelConfig::default()
+    };
+    let models = train_zoo(&corpus, &model_cfg, 0).unwrap();
+    let registry = Registry::open(&dir);
+    let entry = registry
+        .publish(&models[0].to_zoo_checkpoint(ModelVersion::new(1, 0, 0)))
+        .unwrap();
+    registry.entry_path(&entry)
+}
+
+/// Sums every sample of counter family `name` (labeled or not) in a
+/// Prometheus-style text exposition.
+fn counter_sum(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
+}
 
 /// Spec variant `i`, gnn-mls policy so the inference share of the mix
 /// is answerable. Distinct frequencies spread the ring.
@@ -38,6 +84,7 @@ fn chaos_soak_loses_nothing_and_recovers_warm() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(60);
+    let roll_path = publish_roll_artifact();
     let exe = std::path::PathBuf::from(env!("CARGO_BIN_EXE_gnnmls"));
     let backends = (0..SHARDS)
         .map(|_| {
@@ -61,8 +108,40 @@ fn chaos_soak_loses_nothing_and_recovers_warm() {
     let stop = AtomicBool::new(false);
     let answered = AtomicU64::new(0);
     let gave_up = AtomicU64::new(0);
+    let builtin_served = AtomicU64::new(0);
+    let zoo_served = AtomicU64::new(0);
+    let roll_done = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
+        // Mid-storm model roll: once traffic is flowing, broadcast a
+        // `LoadModel` through the front. Shard kills may race it, so
+        // retry until the broadcast lands; the roll must succeed well
+        // before the storm ends.
+        {
+            let roll_done = &roll_done;
+            let roll_path = &roll_path;
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_secs((secs / 3).max(2)));
+                for _ in 0..40 {
+                    let Ok(mut client) = Client::connect(addr) else {
+                        std::thread::sleep(Duration::from_millis(250));
+                        continue;
+                    };
+                    match client.load_model(roll_path.to_string_lossy()) {
+                        Ok(resp) if resp.kind == ResponseKind::Ok => {
+                            let swap = resp.model_swap.expect("swap payload");
+                            assert_eq!(swap.family, "maeri");
+                            assert_eq!(swap.version, ROLLED_VERSION);
+                            roll_done.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                        // Shard mid-kill or transport hiccup: go again.
+                        Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(250)),
+                    }
+                }
+                panic!("the mid-storm model roll never landed");
+            });
+        }
         // Chaos driver: a seeded kill every ~5s, any shard fair game.
         // The prober must notice, fail traffic over, and respawn.
         scope.spawn(|| {
@@ -88,6 +167,8 @@ fn chaos_soak_loses_nothing_and_recovers_warm() {
             let stop = &stop;
             let answered = &answered;
             let gave_up = &gave_up;
+            let builtin_served = &builtin_served;
+            let zoo_served = &zoo_served;
             scope.spawn(move || {
                 let policy = RetryPolicy {
                     max_attempts: 8,
@@ -124,6 +205,22 @@ fn chaos_soak_loses_nothing_and_recovers_warm() {
                                         | ResponseKind::Rejected
                                         | ResponseKind::Quarantined
                                 ));
+                                // Every answered inference names the
+                                // weights it ran on: the session's
+                                // built-in model or the rolled zoo
+                                // version — never anything else, even
+                                // across the swap.
+                                if resp.kind == ResponseKind::Ok && resp.infer.is_some() {
+                                    match resp.model_version.as_deref() {
+                                        Some("builtin") => {
+                                            builtin_served.fetch_add(1, Ordering::SeqCst);
+                                        }
+                                        Some(ROLLED_VERSION) => {
+                                            zoo_served.fetch_add(1, Ordering::SeqCst);
+                                        }
+                                        other => panic!("unexpected model version {other:?}"),
+                                    }
+                                }
                                 answered.fetch_add(1, Ordering::SeqCst);
                             }
                             Err(ClientError::GaveUp { .. }) => {
@@ -166,6 +263,39 @@ fn chaos_soak_loses_nothing_and_recovers_warm() {
         stats.cache_hits >= 1,
         "the owning shard must serve warm again after respawn: {stats:?}"
     );
+
+    // The roll landed, traffic answered on both sides of it, and no
+    // response ever named a third set of weights (asserted inline).
+    assert!(
+        roll_done.load(Ordering::SeqCst),
+        "the mid-storm model roll must have succeeded"
+    );
+    assert!(
+        builtin_served.load(Ordering::SeqCst) > 0,
+        "inference before the roll must answer on the built-in weights"
+    );
+    assert!(
+        zoo_served.load(Ordering::SeqCst) > 0,
+        "inference after the roll must answer on the zoo version"
+    );
+
+    // Per-version accounting: on every shard, the responses-by-model
+    // counter family sums to exactly the shard's total responses — the
+    // swap never leaks a response outside the versioned ledger.
+    for (id, shard_addr) in front.shard_addrs().iter().enumerate() {
+        let mut shard_client = Client::connect(shard_addr).expect("shard reachable");
+        let text = shard_client
+            .metrics()
+            .expect("shard metrics")
+            .metrics
+            .expect("exposition text");
+        let total = counter_sum(&text, "gnnmls_serve_responses_total");
+        let by_model = counter_sum(&text, "gnnmls_serve_responses_by_model_total");
+        assert_eq!(
+            by_model, total,
+            "shard {id}: per-version response counters must sum to the total"
+        );
+    }
 
     let cluster = front.shutdown();
     let answered = answered.load(Ordering::SeqCst);

@@ -1,0 +1,305 @@
+//! Versioned on-disk model registry.
+//!
+//! A registry directory holds one `.ckpt` file per published
+//! family+version (the [`ZooModelCheckpoint`] envelope) plus a
+//! `MANIFEST.json` index. Every manifest entry records the FNV-1a hash
+//! of the exact file bytes it indexed, so [`Registry::load`] and
+//! [`Registry::verify`] catch swapped, truncated, or bit-rotted
+//! checkpoints before they reach a serving model — the same
+//! integrity-first posture as the stage-checkpoint envelope itself.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use gnn_mls::checkpoint::{fnv1a64, write_json_file, ModelVersion, ZooModelCheckpoint};
+use gnn_mls::model::GnnMls;
+
+use crate::ZooError;
+
+/// The manifest file name inside a registry directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Manifest schema version this code reads and writes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// One published model in the manifest.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Zoo family the model serves.
+    pub family: String,
+    /// Model version within the family.
+    pub version: ModelVersion,
+    /// Checkpoint file name, relative to the registry directory.
+    pub file: String,
+    /// FNV-1a 64 hash of the checkpoint file's exact bytes.
+    pub file_hash: u64,
+    /// Trainable parameters in the model.
+    pub parameter_count: u64,
+    /// Designs in the training corpus (length of the checkpoint's
+    /// `corpus_hashes`).
+    pub corpus_designs: u64,
+}
+
+/// The `MANIFEST.json` payload: schema version plus entries sorted by
+/// family then version.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ZooManifest {
+    /// Schema version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Published models.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// What [`Registry::verify`] found.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Entries checked.
+    pub checked: usize,
+    /// Human-readable integrity problems (empty when healthy).
+    pub problems: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when every entry checked out.
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// A model registry rooted at a directory.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    dir: PathBuf,
+}
+
+impl Registry {
+    /// Opens (without touching the filesystem) a registry at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Absolute path of an entry's checkpoint file.
+    pub fn entry_path(&self, entry: &ManifestEntry) -> PathBuf {
+        self.dir.join(&entry.file)
+    }
+
+    /// Reads the manifest; a missing file is an empty registry, a
+    /// malformed or wrong-schema file is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Registry`] for unreadable or wrong-schema
+    /// manifests.
+    pub fn manifest(&self) -> Result<ZooManifest, ZooError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(ZooManifest {
+                    schema_version: MANIFEST_SCHEMA_VERSION,
+                    entries: Vec::new(),
+                })
+            }
+            Err(e) => {
+                return Err(ZooError::Registry(format!(
+                    "cannot read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let manifest: ZooManifest = serde_json::from_str(&text)
+            .map_err(|e| ZooError::Registry(format!("malformed {}: {e}", path.display())))?;
+        if manifest.schema_version != MANIFEST_SCHEMA_VERSION {
+            return Err(ZooError::Registry(format!(
+                "manifest schema {} unsupported (expected {MANIFEST_SCHEMA_VERSION})",
+                manifest.schema_version
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// The next version to publish for a family: `1.0.0` for the first
+    /// model, otherwise the latest version with the minor bumped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Registry`] if the manifest is unreadable.
+    pub fn next_version(&self, family: &str) -> Result<ModelVersion, ZooError> {
+        Ok(match self.latest(family)? {
+            Some(entry) => ModelVersion::new(entry.version.major, entry.version.minor + 1, 0),
+            None => ModelVersion::new(1, 0, 0),
+        })
+    }
+
+    /// The highest published version of a family, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Registry`] if the manifest is unreadable.
+    pub fn latest(&self, family: &str) -> Result<Option<ManifestEntry>, ZooError> {
+        Ok(self
+            .manifest()?
+            .entries
+            .into_iter()
+            .filter(|e| e.family == family)
+            .max_by_key(|e| e.version))
+    }
+
+    /// Finds one entry: the exact version when given, else the latest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Registry`] when nothing matches.
+    pub fn entry(
+        &self,
+        family: &str,
+        version: Option<ModelVersion>,
+    ) -> Result<ManifestEntry, ZooError> {
+        let found = match version {
+            Some(v) => self
+                .manifest()?
+                .entries
+                .into_iter()
+                .find(|e| e.family == family && e.version == v),
+            None => self.latest(family)?,
+        };
+        found.ok_or_else(|| {
+            ZooError::Registry(match version {
+                Some(v) => format!("no model {family} v{v} in {}", self.dir.display()),
+                None => format!("no model for family {family} in {}", self.dir.display()),
+            })
+        })
+    }
+
+    /// Publishes a checkpoint: validates the weights restore, writes
+    /// `<family>-v<version>.ckpt`, and rewrites the manifest (replacing
+    /// any entry with the same family+version).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Checkpoint`] when the model does not restore
+    /// or the file cannot be written, [`ZooError::Registry`] for
+    /// manifest problems.
+    pub fn publish(&self, cp: &ZooModelCheckpoint) -> Result<ManifestEntry, ZooError> {
+        // A checkpoint that cannot restore must never be indexed.
+        let model = GnnMls::from_checkpoint(cp.model.clone())?;
+        let file = format!("{}-v{}.ckpt", cp.family, cp.version);
+        let path = self.dir.join(&file);
+        cp.save(&path)?;
+        let bytes = fs::read(&path)
+            .map_err(|e| ZooError::Registry(format!("cannot re-read {}: {e}", path.display())))?;
+        let entry = ManifestEntry {
+            family: cp.family.clone(),
+            version: cp.version,
+            file,
+            file_hash: fnv1a64(&bytes),
+            parameter_count: model.parameter_count() as u64,
+            corpus_designs: cp.corpus_hashes.len() as u64,
+        };
+        let mut manifest = self.manifest()?;
+        manifest
+            .entries
+            .retain(|e| !(e.family == entry.family && e.version == entry.version));
+        manifest.entries.push(entry.clone());
+        manifest
+            .entries
+            .sort_by(|a, b| (&a.family, a.version).cmp(&(&b.family, b.version)));
+        manifest.schema_version = MANIFEST_SCHEMA_VERSION;
+        write_json_file(&self.dir.join(MANIFEST_FILE), &manifest)?;
+        gnnmls_obs::counter_add(
+            "gnnmls_zoo_models_published_total",
+            &[("family", cp.family.as_str())],
+            1,
+        );
+        Ok(entry)
+    }
+
+    /// Loads a published model with full integrity checking: the file's
+    /// bytes must hash to the manifest's record, the envelope must
+    /// validate, and the payload's family/version must match the entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Registry`] for index or integrity
+    /// mismatches, [`ZooError::Checkpoint`] for a damaged envelope.
+    pub fn load(
+        &self,
+        family: &str,
+        version: Option<ModelVersion>,
+    ) -> Result<ZooModelCheckpoint, ZooError> {
+        let entry = self.entry(family, version)?;
+        let path = self.entry_path(&entry);
+        let bytes = fs::read(&path)
+            .map_err(|e| ZooError::Registry(format!("cannot read {}: {e}", path.display())))?;
+        if fnv1a64(&bytes) != entry.file_hash {
+            return Err(ZooError::Registry(format!(
+                "{} does not match its manifest hash (swapped or damaged file)",
+                path.display()
+            )));
+        }
+        let cp = ZooModelCheckpoint::load(&path)?;
+        if cp.family != entry.family || cp.version != entry.version {
+            return Err(ZooError::Registry(format!(
+                "{} claims {} v{} but the manifest indexed {} v{}",
+                path.display(),
+                cp.family,
+                cp.version,
+                entry.family,
+                entry.version
+            )));
+        }
+        Ok(cp)
+    }
+
+    /// Re-checks every manifest entry: file present, bytes hash to the
+    /// indexed value, envelope decodes, payload family/version match.
+    /// Collects problems instead of failing fast so one bad file does
+    /// not hide another.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Registry`] only when the manifest itself is
+    /// unreadable; per-entry damage lands in the report.
+    pub fn verify(&self) -> Result<VerifyReport, ZooError> {
+        let manifest = self.manifest()?;
+        let mut report = VerifyReport::default();
+        for entry in &manifest.entries {
+            report.checked += 1;
+            let tag = format!("{} v{} ({})", entry.family, entry.version, entry.file);
+            let path = self.entry_path(entry);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.problems.push(format!("{tag}: cannot read: {e}"));
+                    continue;
+                }
+            };
+            if fnv1a64(&bytes) != entry.file_hash {
+                report
+                    .problems
+                    .push(format!("{tag}: file hash mismatch (swapped or damaged)"));
+                continue;
+            }
+            match ZooModelCheckpoint::load(&path) {
+                Ok(cp) if cp.family != entry.family || cp.version != entry.version => {
+                    report.problems.push(format!(
+                        "{tag}: payload is {} v{}, not what the manifest indexed",
+                        cp.family, cp.version
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) => report
+                    .problems
+                    .push(format!("{tag}: envelope invalid: {e}")),
+            }
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-corpus pretraining and per-family fine-tuning.
+//!
+//! The zoo trains the DGI encoder **once** on every unlabeled sample in
+//! the corpus, snapshots it, then fine-tunes a fresh copy per family on
+//! that family's oracle labels. The snapshot-and-clone goes through
+//! [`GnnMls::to_checkpoint`] / [`GnnMls::from_checkpoint`], so the
+//! shared pretrained weights each family starts from are exactly the
+//! bytes a checkpoint would hold — restoring a published model can
+//! never diverge from the in-memory one.
+
+use gnn_mls::checkpoint::{ModelCheckpoint, ModelVersion, ZooModelCheckpoint};
+use gnn_mls::model::GnnMls;
+use gnn_mls::paths::PathSample;
+use gnn_mls::ModelConfig;
+use gnnmls_nn::Classification;
+
+use crate::corpus::Corpus;
+use crate::ZooError;
+
+/// One family's trained model plus its training provenance.
+pub struct FamilyModel {
+    /// Zoo family this model serves.
+    pub family: String,
+    /// The fine-tuned model.
+    pub model: GnnMls,
+    /// Final DGI pretraining loss (shared across families).
+    pub pretrain_loss: f32,
+    /// DGI epochs run on the cross-design corpus.
+    pub pretrain_epochs: usize,
+    /// Fine-tune epochs run on this family's labels.
+    pub finetune_epochs: usize,
+    /// Training-set confusion matrix after fine-tuning.
+    pub metrics: Classification,
+    /// Sorted content hashes of every corpus design (the pretraining
+    /// set spans all families, so provenance names them all).
+    pub corpus_hashes: Vec<u64>,
+}
+
+impl FamilyModel {
+    /// Packages the model as a versioned zoo checkpoint.
+    pub fn to_zoo_checkpoint(&self, version: ModelVersion) -> ZooModelCheckpoint {
+        ZooModelCheckpoint {
+            family: self.family.clone(),
+            version,
+            corpus_hashes: self.corpus_hashes.clone(),
+            pretrain_epochs: self.pretrain_epochs,
+            finetune_epochs: self.finetune_epochs,
+            model: self.model.to_checkpoint(),
+        }
+    }
+}
+
+/// Trains the zoo: one cross-corpus DGI pretrain, then a per-family
+/// fine-tune of a pretrained copy on each family's labeled samples.
+/// Families with no labels are skipped. Deterministic for a given
+/// corpus + config at every `threads` value.
+///
+/// # Errors
+///
+/// Returns [`ZooError::EmptyCorpus`] for a corpus with no samples and
+/// [`ZooError::Model`] / [`ZooError::Checkpoint`] on training or
+/// snapshot failure.
+pub fn train_zoo(
+    corpus: &Corpus,
+    model_cfg: &ModelConfig,
+    threads: usize,
+) -> Result<Vec<FamilyModel>, ZooError> {
+    if corpus.is_empty() {
+        return Err(ZooError::EmptyCorpus);
+    }
+    let unlabeled = corpus.unlabeled();
+    let mut base = GnnMls::new(model_cfg.clone());
+    base.set_threads(threads);
+    let pretrain_loss = base.pretrain(&unlabeled)?;
+    let snapshot = base.to_checkpoint();
+    let corpus_hashes = corpus.all_hashes();
+
+    let mut out = Vec::new();
+    for family in corpus.families() {
+        let labeled = corpus.labeled(&family);
+        if labeled.is_empty() {
+            gnnmls_obs::warn(
+                "gnnmls-zoo",
+                &format!("family {family} has no labeled samples; skipping fine-tune"),
+            );
+            continue;
+        }
+        let mut model = GnnMls::from_checkpoint(snapshot.clone())?;
+        model.set_threads(threads);
+        let metrics = model.finetune(&labeled)?;
+        gnnmls_obs::counter_add(
+            "gnnmls_zoo_models_trained_total",
+            &[("family", family.as_str())],
+            1,
+        );
+        out.push(FamilyModel {
+            family,
+            model,
+            pretrain_loss,
+            pretrain_epochs: model_cfg.pretrain_epochs,
+            finetune_epochs: model_cfg.finetune_epochs,
+            metrics,
+            corpus_hashes: corpus_hashes.clone(),
+        });
+    }
+    if out.is_empty() {
+        return Err(ZooError::EmptyCorpus);
+    }
+    Ok(out)
+}
+
+/// The outcome of a convergence probe (see [`epochs_to_converge`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergenceRun {
+    /// Fine-tune epochs consumed.
+    pub epochs: usize,
+    /// Hold-out accuracy after the last chunk.
+    pub accuracy: f64,
+    /// True when `accuracy >= target` within the budget.
+    pub converged: bool,
+}
+
+/// Measures how many fine-tune epochs a model needs to reach
+/// `target_accuracy` on `eval` — the pretrain-vs-scratch benchmark
+/// probe. Fine-tunes in chunks of the model's configured
+/// `finetune_epochs` (set it to 1 for per-epoch resolution), evaluating
+/// after each chunk, up to `max_epochs`.
+///
+/// Pass `pretrained: Some(..)` to start from a DGI snapshot, `None` for
+/// a from-scratch baseline with the same `cfg`.
+///
+/// # Errors
+///
+/// Returns [`ZooError::Model`] / [`ZooError::Checkpoint`] on a
+/// training, evaluation, or restore failure.
+pub fn epochs_to_converge(
+    cfg: &ModelConfig,
+    pretrained: Option<&ModelCheckpoint>,
+    train: &[PathSample],
+    eval: &[PathSample],
+    target_accuracy: f64,
+    max_epochs: usize,
+    threads: usize,
+) -> Result<ConvergenceRun, ZooError> {
+    let mut model = match pretrained {
+        Some(snapshot) => GnnMls::from_checkpoint(snapshot.clone())?,
+        None => GnnMls::new(cfg.clone()),
+    };
+    model.set_threads(threads);
+    let chunk = model.config().finetune_epochs.max(1);
+    let mut epochs = 0usize;
+    let mut accuracy = 0.0f64;
+    while epochs < max_epochs {
+        model.finetune(train)?;
+        epochs += chunk;
+        accuracy = model.evaluate(eval)?.accuracy();
+        if accuracy >= target_accuracy {
+            return Ok(ConvergenceRun {
+                epochs,
+                accuracy,
+                converged: true,
+            });
+        }
+    }
+    Ok(ConvergenceRun {
+        epochs,
+        accuracy,
+        converged: false,
+    })
+}
