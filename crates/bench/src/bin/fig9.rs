@@ -76,11 +76,24 @@ fn run(exp: &Experiment, spec: PdnSpec) -> Fig9Result {
     let dir = std::path::PathBuf::from("target/experiments");
     if std::fs::create_dir_all(&dir).is_ok() {
         let tag = exp.name.replace([' ', '(', ')'], "_");
+        // Artifacts are best-effort (a read-only checkout must not fail
+        // the figure), but a refused write is warned, never swallowed.
+        let dump = |path: std::path::PathBuf, bytes: &[u8]| {
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("fig9: could not write {}: {e}", path.display());
+            }
+        };
         for tier in Tier::BOTH {
             let svg = gnnmls_route::congestion_svg(&db, &grid, tier);
-            let _ = std::fs::write(dir.join(format!("fig9_{tag}_{tier}_usage.svg")), svg);
+            dump(
+                dir.join(format!("fig9_{tag}_{tier}_usage.svg")),
+                svg.as_bytes(),
+            );
         }
-        let _ = std::fs::write(dir.join(format!("fig9_{tag}_ir.svg")), worst.to_svg());
+        dump(
+            dir.join(format!("fig9_{tag}_ir.svg")),
+            worst.to_svg().as_bytes(),
+        );
         println!("layout SVGs written under target/experiments/ (fig9_{tag}_*.svg)");
     }
     println!(

@@ -35,6 +35,7 @@ use gnnmls_nn::Tensor;
 
 use crate::features::FeatureScaler;
 use crate::model::{GnnMls, ModelConfig};
+use crate::store::{durable_read, durable_write, StorageError};
 
 /// Magic prefix of the stage-checkpoint envelope.
 pub const STAGE_MAGIC: &str = "GNNMLS-CKPT v1";
@@ -125,12 +126,7 @@ impl ZooModelCheckpoint {
     ///
     /// Returns [`CheckpointError`] on IO or serialization failure.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir)?;
-            }
-        }
-        fs::write(path, encode_stage(ZOO_MODEL_STAGE, self)?)?;
+        durable_write(path, &encode_stage(ZOO_MODEL_STAGE, self)?)?;
         Ok(())
     }
 
@@ -147,7 +143,7 @@ impl ZooModelCheckpoint {
     /// [`CheckpointError::Io`]/[`CheckpointError::Json`] for filesystem
     /// or payload problems.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let mut bytes = fs::read(path)?;
+        let mut bytes = durable_read(path)?;
         if gnnmls_faults::fire(gnnmls_faults::FaultSite::ModelSwapCorrupt) {
             if gnnmls_faults::fire(gnnmls_faults::FaultSite::ModelSwapCorrupt) {
                 bytes.truncate(bytes.len() / 2);
@@ -194,6 +190,9 @@ pub enum CheckpointError {
         /// Newest format version this build reads.
         supported: u32,
     },
+    /// The durable-storage layer refused the write or read (disk full,
+    /// torn write, orphaned temp file — see [`StorageError`]).
+    Storage(StorageError),
 }
 
 impl fmt::Display for CheckpointError {
@@ -213,6 +212,7 @@ impl fmt::Display for CheckpointError {
                 "checkpoint format version {found} is newer than this \
                  build supports (max {supported})"
             ),
+            CheckpointError::Storage(e) => write!(f, "checkpoint storage: {e}"),
         }
     }
 }
@@ -222,6 +222,17 @@ impl std::error::Error for CheckpointError {}
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+impl From<StorageError> for CheckpointError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            // Plain IO keeps its historical variant so callers that
+            // branch on `ErrorKind` (missing file → start fresh) still
+            // see the underlying error.
+            StorageError::Io { error, .. } => CheckpointError::Io(error),
+            other => CheckpointError::Storage(other),
+        }
     }
 }
 impl From<serde_json::Error> for CheckpointError {
@@ -247,20 +258,19 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// directories as needed. The one JSON-manifest writer behind the bench
 /// ledgers, the suite report, and the model-zoo `MANIFEST.json` —
 /// callers that must not fail (benches on a read-only checkout) wrap it
-/// in their own warn-and-continue.
+/// in their own warn-and-continue. The bytes go through
+/// [`crate::store::durable_write`], so a crash mid-write leaves the
+/// complete old ledger, never a torn one.
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError::Json`] if serialization fails and
-/// [`CheckpointError::Io`] on any filesystem failure.
+/// Returns [`CheckpointError::Json`] if serialization fails,
+/// [`CheckpointError::Io`] on plain filesystem failure, and
+/// [`CheckpointError::Storage`] when the durable-write protocol was cut
+/// short (disk full, torn write, crash before rename).
 pub fn write_json_file<T: Serialize>(path: &Path, value: &T) -> Result<(), CheckpointError> {
     let json = serde_json::to_string_pretty(value)?;
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            fs::create_dir_all(dir)?;
-        }
-    }
-    fs::write(path, json)?;
+    durable_write(path, json.as_bytes())?;
     Ok(())
 }
 
@@ -359,23 +369,114 @@ pub fn decode_stage<T: Deserialize>(stage: &str, bytes: &[u8]) -> Result<T, Chec
     Ok(serde_json::from_str(json)?)
 }
 
+/// What [`inspect_envelope`] concluded about one artifact's bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvelopeStatus {
+    /// A complete, checksum-verified envelope.
+    Valid {
+        /// Stage name the header declares.
+        stage: String,
+        /// Format version the header declares (0 for legacy headers).
+        version: u32,
+    },
+    /// Well-formed, but written by a newer format than this build.
+    FutureVersion {
+        /// Version the file declares.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The framing parsed but the payload does not hash to the header's
+    /// checksum (bit rot or a swapped payload).
+    ChecksumMismatch,
+    /// The framing itself is damaged: missing or truncated header,
+    /// non-UTF-8, bad magic, or a payload shorter/longer than declared
+    /// — the residue of a torn write.
+    Malformed(String),
+}
+
+/// Stage-agnostic envelope triage for `fsck`: unlike [`decode_stage`]
+/// it does not know (or care) which stage the file *should* hold and
+/// never deserializes the payload — it only answers "is this artifact
+/// intact, and which stage/version does it claim?".
+pub fn inspect_envelope(bytes: &[u8]) -> EnvelopeStatus {
+    let bad = |why: &str| EnvelopeStatus::Malformed(why.to_string());
+    let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
+        return bad("missing header line");
+    };
+    let Ok(header) = std::str::from_utf8(&bytes[..nl]) else {
+        return bad("header is not utf-8");
+    };
+    let Some(rest) = header.strip_prefix(STAGE_MAGIC) else {
+        return bad("bad magic");
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // Same header grammar as `decode_stage`: three fields is the
+    // legacy version-0 header, four or more carries the version —
+    // checked before the field count so a longer future header still
+    // classifies as FutureVersion, not Malformed.
+    let (version, sum, len) = match fields.as_slice() {
+        [_, s, l] => (0u32, *s, *l),
+        [_, ver, tail @ ..] if !tail.is_empty() => {
+            let Ok(ver) = ver.parse::<u32>() else {
+                return bad("bad version field");
+            };
+            if ver > STAGE_FORMAT_VERSION {
+                return EnvelopeStatus::FutureVersion {
+                    found: ver,
+                    supported: STAGE_FORMAT_VERSION,
+                };
+            }
+            match tail {
+                [s, l] => (ver, *s, *l),
+                _ => return bad("malformed header"),
+            }
+        }
+        _ => return bad("malformed header"),
+    };
+    let Ok(sum) = u64::from_str_radix(sum, 16) else {
+        return bad("bad checksum field");
+    };
+    let Ok(len) = len.parse::<usize>() else {
+        return bad("bad length field");
+    };
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return EnvelopeStatus::Malformed(format!(
+            "payload is {} bytes, header says {len}",
+            payload.len()
+        ));
+    }
+    if fnv1a64(payload) != sum {
+        return EnvelopeStatus::ChecksumMismatch;
+    }
+    EnvelopeStatus::Valid {
+        stage: fields[0].to_string(),
+        version,
+    }
+}
+
 /// Path of a stage checkpoint inside a resume directory.
 pub fn stage_path(dir: &Path, stage: &str) -> std::path::PathBuf {
     dir.join(format!("{stage}.ckpt"))
 }
 
 /// Writes `value` as the checkpoint of `stage` under `dir` (created if
-/// missing). The write goes through a temp file + rename so a crash
-/// mid-write leaves either the old checkpoint or a detectably-partial
-/// temp file — never a plausible half-written checkpoint.
+/// missing). The write goes through [`crate::store::durable_write`]
+/// (tmp in the same dir → write → fsync → atomic rename → fsync parent)
+/// so a crash at any point leaves either the complete old checkpoint or
+/// the complete new one — never a plausible half-written checkpoint.
 ///
 /// The `gnnmls-faults` seams [`gnnmls_faults::FaultSite::CheckpointCorrupt`]
 /// and [`gnnmls_faults::FaultSite::CheckpointTruncate`] damage the bytes
-/// on their way to disk, which the next [`load_stage`] must detect.
+/// on their way to disk, which the next [`load_stage`] must detect; the
+/// four disk seams (`disk-full`, `torn-write`, `rename-crash`,
+/// `read-eio`) fire inside the durable-write protocol itself.
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError`] on IO or serialization failure.
+/// Returns [`CheckpointError`] on IO, storage-protocol, or
+/// serialization failure.
 pub fn save_stage<T: Serialize>(dir: &Path, stage: &str, value: &T) -> Result<(), CheckpointError> {
     fs::create_dir_all(dir)?;
     let mut bytes = encode_stage(stage, value)?;
@@ -387,10 +488,7 @@ pub fn save_stage<T: Serialize>(dir: &Path, stage: &str, value: &T) -> Result<()
     if gnnmls_faults::fire(gnnmls_faults::FaultSite::CheckpointTruncate) {
         bytes.truncate(bytes.len() / 2);
     }
-    let path = stage_path(dir, stage);
-    let tmp = dir.join(format!("{stage}.ckpt.tmp"));
-    fs::write(&tmp, &bytes)?;
-    fs::rename(&tmp, &path)?;
+    durable_write(&stage_path(dir, stage), &bytes)?;
     Ok(())
 }
 
@@ -404,10 +502,12 @@ pub fn save_stage<T: Serialize>(dir: &Path, stage: &str, value: &T) -> Result<()
 /// filesystem problems.
 pub fn load_stage<T: Deserialize>(dir: &Path, stage: &str) -> Result<Option<T>, CheckpointError> {
     let path = stage_path(dir, stage);
-    let bytes = match fs::read(&path) {
+    let bytes = match durable_read(&path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(CheckpointError::Io(e)),
+        Err(StorageError::Io { error, .. }) if error.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(None)
+        }
+        Err(e) => return Err(e.into()),
     };
     decode_stage(stage, &bytes).map(Some)
 }
@@ -446,7 +546,7 @@ impl GnnMls {
     /// Returns [`CheckpointError`] on IO or serialization failure.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let bytes = encode_stage("model", &self.to_checkpoint())?;
-        fs::write(path, bytes)?;
+        durable_write(path.as_ref(), &bytes)?;
         Ok(())
     }
 
@@ -458,7 +558,7 @@ impl GnnMls {
     /// Returns [`CheckpointError`] on IO, corruption, parse, or shape
     /// mismatch.
     pub fn load_json(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
-        let bytes = fs::read(path)?;
+        let bytes = durable_read(path.as_ref())?;
         let cp: ModelCheckpoint = if bytes.starts_with(STAGE_MAGIC.as_bytes()) {
             decode_stage("model", &bytes)?
         } else {
@@ -776,6 +876,83 @@ mod tests {
                 "{site} must be caught by the envelope"
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        // Pinned against independent FNV-1a 64 implementations: the
+        // hash is load-bearing for every on-disk envelope, so a silent
+        // change here would orphan every existing checkpoint.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(fnv1a64(b"hello world"), 0x779a_65e7_023c_d2e7);
+        assert_eq!(fnv1a64(STAGE_MAGIC.as_bytes()), 0x98c7_15c2_b3f8_6f2a);
+    }
+
+    #[test]
+    fn inspect_envelope_classifies_every_damage_class() {
+        let bytes = encode_stage("routes", &vec![1u32, 2, 3]).unwrap();
+        assert_eq!(
+            inspect_envelope(&bytes),
+            EnvelopeStatus::Valid {
+                stage: "routes".into(),
+                version: STAGE_FORMAT_VERSION,
+            }
+        );
+        // Truncation is framing damage.
+        let cut = &bytes[..bytes.len() - 2];
+        assert!(matches!(
+            inspect_envelope(cut),
+            EnvelopeStatus::Malformed(_)
+        ));
+        // A flipped payload byte with intact framing is a checksum
+        // mismatch, distinct from torn.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert_eq!(inspect_envelope(&flipped), EnvelopeStatus::ChecksumMismatch);
+        // Garbage is malformed.
+        assert!(matches!(
+            inspect_envelope(b"not an envelope at all\n{}"),
+            EnvelopeStatus::Malformed(_)
+        ));
+        // A future version is typed, never a panic or a decode attempt.
+        let future = format!("{STAGE_MAGIC} routes 99 0123 7 who knows\npayload");
+        assert_eq!(
+            inspect_envelope(future.as_bytes()),
+            EnvelopeStatus::FutureVersion {
+                found: 99,
+                supported: STAGE_FORMAT_VERSION,
+            }
+        );
+        // Legacy version-0 headers classify as valid version 0.
+        let v = vec![9u32];
+        let json = serde_json::to_string(&v).unwrap();
+        let mut legacy = format!(
+            "{STAGE_MAGIC} routes {:016x} {}\n",
+            fnv1a64(json.as_bytes()),
+            json.len()
+        )
+        .into_bytes();
+        legacy.extend_from_slice(json.as_bytes());
+        assert_eq!(
+            inspect_envelope(&legacy),
+            EnvelopeStatus::Valid {
+                stage: "routes".into(),
+                version: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn save_stage_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join("gnnmls_stage_durable_test");
+        std::fs::remove_dir_all(&dir).ok();
+        save_stage(&dir, "labels", &vec![1u32]).unwrap();
+        assert!(stage_path(&dir, "labels").exists());
+        assert!(!dir.join("labels.ckpt.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -503,6 +503,27 @@ pub fn run_flow(
     };
     let report_stage = format!("report-{slug}");
     if let Some(dir) = &cfg.resume {
+        // Fsck the resume directory before trusting anything in it: a
+        // crash mid-checkpoint leaves orphan tmps or torn envelopes,
+        // and the right response is to quarantine them and recompute
+        // the stage — degrade to last-good state, not fail the run.
+        let scrub = crate::store::scrub_dir(dir).map_err(CheckpointError::from)?;
+        if !scrub.clean() {
+            gnnmls_obs::event(
+                "checkpoint",
+                &[
+                    (
+                        "action",
+                        gnnmls_obs::FieldValue::Str("scrub-repair".to_string()),
+                    ),
+                    ("repaired", gnnmls_obs::FieldValue::from(scrub.repaired)),
+                    (
+                        "unrepairable",
+                        gnnmls_obs::FieldValue::from(scrub.unrepairable),
+                    ),
+                ],
+            );
+        }
         if let Some(report) = load_stage::<FlowReport>(dir, &report_stage)? {
             // A resumed report skips every recomputation below, so prove
             // the envelope describes *this* run before trusting it.

@@ -65,6 +65,7 @@ pub mod oracle;
 pub mod paths;
 pub mod report;
 pub mod session;
+pub mod store;
 
 pub use api::{Query, QueryAnswer};
 pub use audit::{check_report, check_routes};
@@ -78,4 +79,8 @@ pub use paths::{extract_path_samples, PathSample};
 pub use report::FlowReport;
 pub use session::{
     design_family, DesignSession, SessionError, SessionSpec, ValidationError, FAMILIES,
+};
+pub use store::{
+    durable_read, durable_write, scrub_dir, ArtifactClass, DurableFile, RepairAction, ScrubFinding,
+    ScrubReport, StorageError, FSCK_SCHEMA_VERSION,
 };

@@ -1,0 +1,727 @@
+//! Crash-consistent durable storage.
+//!
+//! Every persistent artifact the flow writes — stage checkpoints, zoo
+//! registry files, bench ledgers, drain-stats envelopes — funnels
+//! through [`durable_write`], which follows the classic
+//! crash-consistency protocol:
+//!
+//! 1. write the full payload to a temp file **in the same directory**
+//!    (`<file>.tmp`, so the rename below cannot cross filesystems);
+//! 2. `fsync` the temp file (the bytes are on the platter before any
+//!    name points at them);
+//! 3. atomically `rename` the temp file over the destination;
+//! 4. `fsync` the parent directory (the rename itself is durable).
+//!
+//! A crash at any point leaves either the complete old file or the
+//! complete new file — never a torn hybrid. What a crash *can* leave is
+//! an orphaned `*.tmp` beside the intact destination; [`scrub_dir`]
+//! (and the `gnnmls fsck` CLI verb on top of it) cleans those up,
+//! quarantines detectably-damaged artifacts to `*.damaged`, and emits a
+//! versioned [`ScrubReport`].
+//!
+//! Failures are a typed [`StorageError`] taxonomy, and four
+//! deterministic `gnnmls-faults` seams ([`gnnmls_faults::FaultSite::DiskFull`],
+//! [`gnnmls_faults::FaultSite::TornWrite`],
+//! [`gnnmls_faults::FaultSite::RenameCrash`],
+//! [`gnnmls_faults::FaultSite::ReadEio`]) simulate the disk misbehaving
+//! at each protocol step so the recovery path is tested, not assumed.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{inspect_envelope, EnvelopeStatus};
+
+/// Schema version of the [`ScrubReport`] JSON emitted by `gnnmls fsck`.
+pub const FSCK_SCHEMA_VERSION: u32 = 1;
+
+/// Suffix of the in-same-directory temp file a durable write stages
+/// its bytes in before the atomic rename.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Suffix damaged artifacts are quarantined under by [`scrub_dir`].
+pub const DAMAGED_SUFFIX: &str = ".damaged";
+
+/// Typed failures of the durable-storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The device ran out of space mid-write (real ENOSPC, or the
+    /// `disk-full` fault seam); the destination file is untouched.
+    DiskFull {
+        /// Destination the write was headed for.
+        path: PathBuf,
+    },
+    /// Any other filesystem failure.
+    Io {
+        /// File the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A write was cut short (simulated power loss): only a truncated
+    /// temp file survives; the destination file is untouched.
+    TornWrite {
+        /// Destination the write was headed for.
+        path: PathBuf,
+    },
+    /// The write crashed between fsync(tmp) and the rename: the
+    /// complete new bytes sit orphaned in `<path>.tmp` beside the
+    /// intact old file.
+    OrphanTmp {
+        /// Destination the write was headed for.
+        path: PathBuf,
+    },
+    /// An artifact's bytes no longer match their recorded checksum.
+    HashMismatch {
+        /// The damaged file.
+        path: PathBuf,
+    },
+    /// An artifact declares a format version newer than this build.
+    UnknownVersion {
+        /// The future-format file.
+        path: PathBuf,
+        /// Version the file declares.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DiskFull { path } => {
+                write!(f, "disk full writing {}", path.display())
+            }
+            StorageError::Io { path, error } => {
+                write!(f, "storage io on {}: {error}", path.display())
+            }
+            StorageError::TornWrite { path } => {
+                write!(f, "torn write to {} (truncated temp file)", path.display())
+            }
+            StorageError::OrphanTmp { path } => write!(
+                f,
+                "write to {} crashed before rename (orphan temp file)",
+                path.display()
+            ),
+            StorageError::HashMismatch { path } => {
+                write!(f, "{} does not match its checksum", path.display())
+            }
+            StorageError::UnknownVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{} declares format version {found}, newer than this \
+                 build supports (max {supported})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// ENOSPC on every unix libc.
+#[cfg(unix)]
+const ENOSPC: i32 = 28;
+
+fn io_err(path: &Path, error: std::io::Error) -> StorageError {
+    #[cfg(unix)]
+    if error.raw_os_error() == Some(ENOSPC) {
+        return StorageError::DiskFull {
+            path: path.to_path_buf(),
+        };
+    }
+    StorageError::Io {
+        path: path.to_path_buf(),
+        error,
+    }
+}
+
+/// The temp-file path a durable write of `path` stages into:
+/// `<path>.tmp`, always in the same directory as `path`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(TMP_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// The quarantine path [`scrub_dir`] moves a damaged `path` to:
+/// `<path>.damaged`.
+pub fn damaged_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(DAMAGED_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// A crash-consistent writer for one destination file.
+///
+/// [`DurableFile::write`] runs the full tmp → write → fsync → rename →
+/// fsync(dir) protocol; the free function [`durable_write`] is the
+/// one-shot convenience most callers use.
+#[derive(Clone, Debug)]
+pub struct DurableFile {
+    path: PathBuf,
+}
+
+impl DurableFile {
+    /// A writer targeting `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The destination file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically and durably replaces the destination with `bytes`.
+    ///
+    /// Parent directories are created as needed. On any error the
+    /// destination file still holds its complete previous contents
+    /// (or is still absent); at worst a `*.tmp` file is left beside it
+    /// for [`scrub_dir`] to collect.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StorageError`] variant matching the failed
+    /// protocol step; real ENOSPC maps to [`StorageError::DiskFull`].
+    pub fn write(&self, bytes: &[u8]) -> Result<(), StorageError> {
+        let path = &self.path;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| io_err(path, e))?;
+            }
+        }
+        let tmp = tmp_path(path);
+        // Fault seams model the disk failing at each protocol step.
+        // Each leaves exactly the residue a real crash would: a partial
+        // or complete tmp file, and an untouched destination.
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::DiskFull) {
+            let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+            return Err(StorageError::DiskFull { path: path.clone() });
+        }
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::TornWrite) {
+            let _ = fs::write(&tmp, &bytes[..bytes.len() * 2 / 3]);
+            return Err(StorageError::TornWrite { path: path.clone() });
+        }
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        if gnnmls_faults::fire(gnnmls_faults::FaultSite::RenameCrash) {
+            // The new bytes are complete and fsynced but never renamed:
+            // a valid orphan beside the intact old file.
+            return Err(StorageError::OrphanTmp { path: path.clone() });
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+        sync_parent_dir(path)?;
+        Ok(())
+    }
+}
+
+/// Makes the rename itself durable by fsyncing the parent directory
+/// (on unix; elsewhere the rename is as durable as the platform makes
+/// it).
+fn sync_parent_dir(path: &Path) -> Result<(), StorageError> {
+    #[cfg(unix)]
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        let d = fs::File::open(dir).map_err(|e| io_err(dir, e))?;
+        d.sync_all().map_err(|e| io_err(dir, e))?;
+    }
+    Ok(())
+}
+
+/// One-shot crash-consistent write: see [`DurableFile::write`].
+///
+/// # Errors
+///
+/// Returns [`StorageError`] on any protocol-step failure.
+pub fn durable_write(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    DurableFile::new(path).write(bytes)
+}
+
+/// Reads a persistent artifact back, with the
+/// [`gnnmls_faults::FaultSite::ReadEio`] seam standing in for a
+/// transient device error (the on-disk bytes are untouched; a retry
+/// succeeds).
+///
+/// # Errors
+///
+/// Returns [`StorageError::Io`] for any read failure, including the
+/// injected EIO.
+pub fn durable_read(path: &Path) -> Result<Vec<u8>, StorageError> {
+    if gnnmls_faults::fire(gnnmls_faults::FaultSite::ReadEio) {
+        return Err(StorageError::Io {
+            path: path.to_path_buf(),
+            error: std::io::Error::from_raw_os_error(5),
+        });
+    }
+    fs::read(path).map_err(|e| io_err(path, e))
+}
+
+/// What [`scrub_dir`] decided one artifact is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactClass {
+    /// Intact: envelope (or JSON) validates.
+    Valid,
+    /// A `*.tmp` file left by a crashed durable write.
+    OrphanTmp,
+    /// Framing damage: truncated payload, malformed or non-UTF-8
+    /// header — the shape a torn write leaves.
+    Torn,
+    /// Well-formed framing but the payload no longer matches its
+    /// checksum (bit rot or a swapped file).
+    HashMismatch,
+    /// A well-formed envelope from a format version newer than this
+    /// build; left intact for the newer build that wrote it.
+    UnknownVersion,
+}
+
+impl fmt::Display for ArtifactClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArtifactClass::Valid => "valid",
+            ArtifactClass::OrphanTmp => "orphan-tmp",
+            ArtifactClass::Torn => "torn",
+            ArtifactClass::HashMismatch => "hash-mismatch",
+            ArtifactClass::UnknownVersion => "unknown-version",
+        })
+    }
+}
+
+/// What [`scrub_dir`] (or `Registry::scrub`) did about a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairAction {
+    /// Nothing needed (valid) or nothing safe to do (unknown-version
+    /// files are left for the newer build that wrote them).
+    None,
+    /// Deleted an orphan temp file (the destination holds the complete
+    /// old state).
+    DeletedTmp,
+    /// Renamed the damaged file to `*.damaged` so readers see a clean
+    /// absence instead of garbage.
+    Quarantined,
+    /// Dropped a registry manifest entry so `latest()` falls back to
+    /// the previous good version.
+    RolledBack,
+    /// Indexed a complete, valid checkpoint the manifest had not yet
+    /// recorded (crash landed after the data write, before the index
+    /// write).
+    Adopted,
+    /// Rewrote a damaged or stale `MANIFEST.json` from the surviving
+    /// valid checkpoints.
+    RebuiltManifest,
+    /// A repair was attempted and itself failed; the artifact is left
+    /// as found.
+    Failed,
+}
+
+impl fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RepairAction::None => "none",
+            RepairAction::DeletedTmp => "deleted-tmp",
+            RepairAction::Quarantined => "quarantined",
+            RepairAction::RolledBack => "rolled-back",
+            RepairAction::Adopted => "adopted",
+            RepairAction::RebuiltManifest => "rebuilt-manifest",
+            RepairAction::Failed => "repair-failed",
+        })
+    }
+}
+
+/// One artifact's scrub verdict.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScrubFinding {
+    /// File name relative to the scrubbed directory.
+    pub file: String,
+    /// What the artifact is.
+    pub class: ArtifactClass,
+    /// What was done about it.
+    pub action: RepairAction,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The versioned report `gnnmls fsck` emits: every anomalous artifact,
+/// plus counts. Valid artifacts are counted but not listed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// [`FSCK_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Directory scrubbed.
+    pub dir: String,
+    /// Artifacts examined (valid ones included).
+    pub scanned: u64,
+    /// Artifacts that validated clean.
+    pub valid: u64,
+    /// Anomalies repaired (tmp deleted, quarantined, rolled back,
+    /// adopted, manifest rebuilt).
+    pub repaired: u64,
+    /// Anomalies a repair attempt could not fix, left as found.
+    pub unrepairable: u64,
+    /// Every non-valid artifact, in directory order.
+    pub findings: Vec<ScrubFinding>,
+}
+
+impl ScrubReport {
+    /// A fresh report for `dir`.
+    pub fn new(dir: &Path) -> Self {
+        Self {
+            schema_version: FSCK_SCHEMA_VERSION,
+            dir: dir.display().to_string(),
+            scanned: 0,
+            valid: 0,
+            repaired: 0,
+            unrepairable: 0,
+            findings: Vec::new(),
+        }
+    }
+
+    /// True when nothing needed repair.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// True when every anomaly found was repaired (the directory is in
+    /// a consistent state, even if degraded).
+    pub fn consistent(&self) -> bool {
+        self.unrepairable == 0
+    }
+
+    /// Records a finding and bumps the matching counters.
+    pub fn push(
+        &mut self,
+        file: String,
+        class: ArtifactClass,
+        action: RepairAction,
+        detail: String,
+    ) {
+        match action {
+            RepairAction::Failed => self.unrepairable += 1,
+            RepairAction::None => {}
+            _ => self.repaired += 1,
+        }
+        self.findings.push(ScrubFinding {
+            file,
+            class,
+            action,
+            detail,
+        });
+    }
+
+    /// Folds another report (e.g. a per-subdir pass) into this one.
+    pub fn merge(&mut self, other: ScrubReport) {
+        self.scanned += other.scanned;
+        self.valid += other.valid;
+        self.repaired += other.repaired;
+        self.unrepairable += other.unrepairable;
+        self.findings.extend(other.findings);
+    }
+}
+
+/// Quarantines `path` to `<path>.damaged`, recording the outcome in
+/// `report`.
+pub(crate) fn quarantine(
+    report: &mut ScrubReport,
+    path: &Path,
+    name: &str,
+    class: ArtifactClass,
+    detail: String,
+) {
+    let dest = damaged_path(path);
+    match fs::rename(path, &dest) {
+        Ok(()) => report.push(name.to_string(), class, RepairAction::Quarantined, detail),
+        Err(e) => report.push(
+            name.to_string(),
+            class,
+            RepairAction::Failed,
+            format!("{detail}; quarantine failed: {e}"),
+        ),
+    }
+}
+
+/// Classifies one envelope (`*.ckpt`) file's bytes.
+pub fn classify_envelope(bytes: &[u8]) -> (ArtifactClass, String) {
+    match inspect_envelope(bytes) {
+        EnvelopeStatus::Valid { stage, version } => (
+            ArtifactClass::Valid,
+            format!("stage `{stage}` format v{version}"),
+        ),
+        EnvelopeStatus::FutureVersion { found, supported } => (
+            ArtifactClass::UnknownVersion,
+            format!("format v{found}, newer than supported v{supported}"),
+        ),
+        EnvelopeStatus::ChecksumMismatch => (
+            ArtifactClass::HashMismatch,
+            "payload does not match its checksum".to_string(),
+        ),
+        EnvelopeStatus::Malformed(why) => (ArtifactClass::Torn, why),
+    }
+}
+
+/// Scans `dir` (non-recursively) and repairs what the rules allow:
+///
+/// - `*.tmp` — orphan of a crashed durable write; **deleted** (the
+///   destination holds the complete old state; a flow rerun recreates
+///   the new one deterministically).
+/// - `*.ckpt` — envelope-checked; torn or hash-mismatched files are
+///   **quarantined** to `*.damaged`, future-version files are left
+///   intact and reported.
+/// - `*.json` — must parse as JSON; damaged ones are **quarantined**.
+/// - `*.damaged` — already quarantined, skipped.
+/// - anything else — not a storage artifact, skipped.
+///
+/// A missing directory is an empty (clean) report. The scan is in
+/// sorted name order so reports are deterministic.
+///
+/// # Errors
+///
+/// Returns [`StorageError::Io`] only if the directory itself cannot be
+/// listed; per-file damage lands in the report.
+pub fn scrub_dir(dir: &Path) -> Result<ScrubReport, StorageError> {
+    let mut report = ScrubReport::new(dir);
+    let entries = match fs::read_dir(dir) {
+        Ok(it) => it,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    for name in names {
+        let path = dir.join(&name);
+        if name.ends_with(DAMAGED_SUFFIX) {
+            continue;
+        }
+        if name.ends_with(TMP_SUFFIX) {
+            report.scanned += 1;
+            match fs::remove_file(&path) {
+                Ok(()) => report.push(
+                    name,
+                    ArtifactClass::OrphanTmp,
+                    RepairAction::DeletedTmp,
+                    "orphan temp file from a crashed write".to_string(),
+                ),
+                Err(e) => report.push(
+                    name,
+                    ArtifactClass::OrphanTmp,
+                    RepairAction::Failed,
+                    format!("orphan temp file; delete failed: {e}"),
+                ),
+            }
+            continue;
+        }
+        if name.ends_with(".ckpt") {
+            report.scanned += 1;
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.push(
+                        name,
+                        ArtifactClass::Torn,
+                        RepairAction::Failed,
+                        format!("cannot read: {e}"),
+                    );
+                    continue;
+                }
+            };
+            let (class, detail) = classify_envelope(&bytes);
+            match class {
+                ArtifactClass::Valid => report.valid += 1,
+                ArtifactClass::UnknownVersion => {
+                    report.push(name, class, RepairAction::None, detail)
+                }
+                _ => quarantine(&mut report, &path, &name, class, detail),
+            }
+            continue;
+        }
+        if name.ends_with(".json") {
+            report.scanned += 1;
+            let ok = fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| serde_json::from_str::<serde_json::Value>(&t).ok())
+                .is_some();
+            if ok {
+                report.valid += 1;
+            } else {
+                quarantine(
+                    &mut report,
+                    &path,
+                    &name,
+                    ArtifactClass::Torn,
+                    "not valid JSON".to_string(),
+                );
+            }
+        }
+    }
+    if !report.clean() {
+        gnnmls_obs::warn(
+            "store",
+            &format!(
+                "scrub of {} repaired {} artifact(s), {} unrepairable",
+                dir.display(),
+                report.repaired,
+                report.unrepairable
+            ),
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmls_faults::{install, FaultPlan, FaultSite};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gnnmls_store_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_write_replaces_and_leaves_no_tmp() {
+        let dir = scratch("basic");
+        let path = dir.join("a.json");
+        durable_write(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":1}");
+        durable_write(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":2}");
+        assert!(!tmp_path(&path).exists());
+    }
+
+    #[test]
+    fn durable_write_creates_parents() {
+        let dir = scratch("parents");
+        let path = dir.join("x").join("y").join("z.ckpt");
+        durable_write(&path, b"data").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"data");
+    }
+
+    #[test]
+    fn disk_full_seam_leaves_old_state_and_partial_tmp() {
+        let dir = scratch("diskfull");
+        let path = dir.join("f.json");
+        durable_write(&path, b"old-contents").unwrap();
+        let _g = install(&FaultPlan::single(FaultSite::DiskFull, 1));
+        match durable_write(&path, b"new-contents-longer") {
+            Err(StorageError::DiskFull { .. }) => {}
+            other => panic!("expected DiskFull, got {other:?}"),
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"old-contents");
+        let tmp = fs::read(tmp_path(&path)).unwrap();
+        assert!(tmp.len() < b"new-contents-longer".len());
+    }
+
+    #[test]
+    fn torn_write_seam_leaves_old_state_and_truncated_tmp() {
+        let dir = scratch("torn");
+        let path = dir.join("f.json");
+        durable_write(&path, b"old-contents").unwrap();
+        let _g = install(&FaultPlan::single(FaultSite::TornWrite, 1));
+        match durable_write(&path, b"the-new-contents") {
+            Err(StorageError::TornWrite { .. }) => {}
+            other => panic!("expected TornWrite, got {other:?}"),
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"old-contents");
+        assert!(tmp_path(&path).exists());
+    }
+
+    #[test]
+    fn rename_crash_seam_orphans_complete_new_bytes() {
+        let dir = scratch("renamecrash");
+        let path = dir.join("f.json");
+        durable_write(&path, b"old-contents").unwrap();
+        let _g = install(&FaultPlan::single(FaultSite::RenameCrash, 1));
+        match durable_write(&path, b"new-contents") {
+            Err(StorageError::OrphanTmp { .. }) => {}
+            other => panic!("expected OrphanTmp, got {other:?}"),
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"old-contents");
+        assert_eq!(fs::read(tmp_path(&path)).unwrap(), b"new-contents");
+    }
+
+    #[test]
+    fn read_eio_seam_is_typed_and_transient() {
+        let dir = scratch("eio");
+        let path = dir.join("f.json");
+        durable_write(&path, b"payload").unwrap();
+        let g = install(&FaultPlan::single(FaultSite::ReadEio, 1));
+        assert!(matches!(durable_read(&path), Err(StorageError::Io { .. })));
+        // The shot is consumed; a retry sees the untouched bytes.
+        assert_eq!(durable_read(&path).unwrap(), b"payload");
+        drop(g);
+    }
+
+    #[test]
+    fn scrub_deletes_orphan_tmps_and_quarantines_damage() {
+        let dir = scratch("scrub");
+        durable_write(&dir.join("good.json"), b"{\"ok\":true}").unwrap();
+        fs::write(dir.join("stale.ckpt.tmp"), b"partial").unwrap();
+        fs::write(dir.join("bad.json"), b"{not json").unwrap();
+        let report = scrub_dir(&dir).unwrap();
+        assert_eq!(report.schema_version, FSCK_SCHEMA_VERSION);
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.repaired, 2);
+        assert_eq!(report.unrepairable, 0);
+        assert!(!dir.join("stale.ckpt.tmp").exists());
+        assert!(!dir.join("bad.json").exists());
+        assert!(dir.join("bad.json.damaged").exists());
+        // A second pass is clean: scrub is idempotent.
+        let again = scrub_dir(&dir).unwrap();
+        assert!(again.clean(), "{:?}", again.findings);
+    }
+
+    #[test]
+    fn scrub_of_missing_dir_is_clean() {
+        let dir = scratch("missing");
+        fs::remove_dir_all(&dir).unwrap();
+        let report = scrub_dir(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.scanned, 0);
+    }
+
+    #[test]
+    fn scrub_report_roundtrips_as_json() {
+        let dir = scratch("reportjson");
+        fs::write(dir.join("junk.ckpt"), b"not an envelope").unwrap();
+        let report = scrub_dir(&dir).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ScrubReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, report.schema_version);
+        assert_eq!(back.findings.len(), report.findings.len());
+        assert_eq!(back.findings[0].class, ArtifactClass::Torn);
+        assert_eq!(back.findings[0].action, RepairAction::Quarantined);
+    }
+
+    #[test]
+    fn storage_errors_display() {
+        let e = StorageError::DiskFull {
+            path: PathBuf::from("/x/y"),
+        };
+        assert!(e.to_string().contains("disk full"));
+        let e = StorageError::UnknownVersion {
+            path: PathBuf::from("/x/y"),
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+    }
+}

@@ -65,10 +65,23 @@ pub enum FaultSite {
     /// check) — the swap must refuse with a typed error, never poison
     /// the model registry or the session cache.
     ModelSwapCorrupt,
+    /// ENOSPC mid-write inside a durable write: half the payload lands
+    /// in the temp file, then the device refuses — the destination must
+    /// stay the complete old state.
+    DiskFull,
+    /// Power cut mid-write: a truncated temp file is all that survives
+    /// the crash; the destination must stay the complete old state.
+    TornWrite,
+    /// Crash between fsync(tmp) and the atomic rename: the complete new
+    /// bytes are orphaned in a temp file beside the intact old file.
+    RenameCrash,
+    /// Transient I/O error (EIO) reading a persistent artifact back —
+    /// must surface typed and leave the on-disk bytes untouched.
+    ReadEio,
 }
 
 /// All sites, in the order used by seed-driven plans.
-pub const ALL_SITES: [FaultSite; 16] = [
+pub const ALL_SITES: [FaultSite; 20] = [
     FaultSite::CheckpointCorrupt,
     FaultSite::CheckpointTruncate,
     FaultSite::UnroutableNet,
@@ -85,6 +98,10 @@ pub const ALL_SITES: [FaultSite; 16] = [
     FaultSite::ShardStall,
     FaultSite::ConnReset,
     FaultSite::ModelSwapCorrupt,
+    FaultSite::DiskFull,
+    FaultSite::TornWrite,
+    FaultSite::RenameCrash,
+    FaultSite::ReadEio,
 ];
 
 impl FaultSite {
@@ -106,6 +123,10 @@ impl FaultSite {
             FaultSite::ShardStall => 13,
             FaultSite::ConnReset => 14,
             FaultSite::ModelSwapCorrupt => 15,
+            FaultSite::DiskFull => 16,
+            FaultSite::TornWrite => 17,
+            FaultSite::RenameCrash => 18,
+            FaultSite::ReadEio => 19,
         }
     }
 
@@ -127,6 +148,10 @@ impl FaultSite {
             "shard-stall" => Some(FaultSite::ShardStall),
             "conn-reset" => Some(FaultSite::ConnReset),
             "model-swap-corrupt" => Some(FaultSite::ModelSwapCorrupt),
+            "disk-full" => Some(FaultSite::DiskFull),
+            "torn-write" => Some(FaultSite::TornWrite),
+            "rename-crash" => Some(FaultSite::RenameCrash),
+            "read-eio" => Some(FaultSite::ReadEio),
             _ => None,
         }
     }
@@ -151,6 +176,10 @@ impl fmt::Display for FaultSite {
             FaultSite::ShardStall => "shard-stall",
             FaultSite::ConnReset => "conn-reset",
             FaultSite::ModelSwapCorrupt => "model-swap-corrupt",
+            FaultSite::DiskFull => "disk-full",
+            FaultSite::TornWrite => "torn-write",
+            FaultSite::RenameCrash => "rename-crash",
+            FaultSite::ReadEio => "read-eio",
         };
         f.write_str(s)
     }
@@ -275,6 +304,10 @@ static REMAINING: [AtomicU32; ALL_SITES.len()] = [
     AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
 ];
 
 fn install_lock() -> &'static Mutex<()> {
@@ -381,7 +414,7 @@ mod tests {
 
     #[test]
     fn new_robustness_sites_are_registered() {
-        assert_eq!(ALL_SITES.len(), 16);
+        assert_eq!(ALL_SITES.len(), 20);
         assert_eq!(ALL_SITES[10], FaultSite::SessionBuildFail);
         assert_eq!(ALL_SITES[11], FaultSite::RouteAuditCorrupt);
         assert_eq!(FaultSite::SessionBuildFail.to_string(), "build-fail");
@@ -419,6 +452,29 @@ mod tests {
         for site in ALL_SITES {
             assert!(p.shots(site) <= 2);
         }
+    }
+
+    #[test]
+    fn disk_sites_are_registered() {
+        assert_eq!(ALL_SITES[16], FaultSite::DiskFull);
+        assert_eq!(ALL_SITES[17], FaultSite::TornWrite);
+        assert_eq!(ALL_SITES[18], FaultSite::RenameCrash);
+        assert_eq!(ALL_SITES[19], FaultSite::ReadEio);
+        for (site, name) in [
+            (FaultSite::DiskFull, "disk-full"),
+            (FaultSite::TornWrite, "torn-write"),
+            (FaultSite::RenameCrash, "rename-crash"),
+            (FaultSite::ReadEio, "read-eio"),
+        ] {
+            assert_eq!(site.to_string(), name);
+            assert_eq!(FaultSite::from_name(name), Some(site));
+        }
+        // The splitmix64 stream is consumed per-slot in site order, so
+        // appending the four disk seams leaves every pinned seed's
+        // schedule for the first 16 sites untouched.
+        let p = FaultPlan::from_seed(42);
+        assert_eq!(p.shots(FaultSite::CheckpointCorrupt), 1);
+        assert_eq!(p.shots(FaultSite::ModelSwapCorrupt), 2);
     }
 
     #[test]

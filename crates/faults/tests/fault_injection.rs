@@ -35,35 +35,101 @@ fn scratch_dir(tag: &str) -> PathBuf {
 }
 
 #[test]
-fn corrupted_stage_checkpoint_surfaces_typed_error_on_resume() {
+fn corrupted_stage_checkpoint_is_scrubbed_and_recomputed_on_resume() {
+    // A clean reference run (no resume dir) to compare the degraded
+    // resume against.
     let d = design();
+    let reference = run_flow(&d, &fast_cfg(), FlowPolicy::NoMls).unwrap();
+
     let mut cfg = fast_cfg();
-    cfg.resume = Some(scratch_dir("corrupt"));
+    let dir = scratch_dir("corrupt");
+    cfg.resume = Some(dir.clone());
     // NoMls writes exactly two stages (routes, report); corrupt both so
-    // the resumed run must detect the damage on its very first load.
+    // the resumed run faces damage on its very first load.
     let guard = install(&FaultPlan::single(FaultSite::CheckpointCorrupt, 2));
     let first = run_flow(&d, &cfg, FlowPolicy::NoMls);
     assert!(first.is_ok(), "the corrupting run itself must succeed");
     let resumed = run_flow(&d, &cfg, FlowPolicy::NoMls);
     drop(guard);
-    match resumed {
-        Err(FlowError::Checkpoint(CheckpointError::Corrupt(_))) => {}
-        other => panic!("corruption must surface as FlowError::Checkpoint, got {other:?}"),
-    }
+    // The resume scrub quarantines the damaged checkpoints and the run
+    // degrades to recomputation — same result as a clean run, never a
+    // torn read, never an opaque failure.
+    let resumed = resumed.expect("resume must degrade to recompute, not fail");
+    assert_eq!(comparable_json(&resumed), comparable_json(&reference));
+    let damaged: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".damaged"))
+        .collect();
+    assert!(
+        !damaged.is_empty(),
+        "scrub must quarantine the corrupt checkpoints"
+    );
 }
 
 #[test]
-fn truncated_stage_checkpoint_surfaces_typed_error_on_resume() {
+fn truncated_stage_checkpoint_is_scrubbed_and_recomputed_on_resume() {
     let d = design();
+    let reference = run_flow(&d, &fast_cfg(), FlowPolicy::NoMls).unwrap();
+
     let mut cfg = fast_cfg();
-    cfg.resume = Some(scratch_dir("truncate"));
+    let dir = scratch_dir("truncate");
+    cfg.resume = Some(dir.clone());
     let guard = install(&FaultPlan::single(FaultSite::CheckpointTruncate, 2));
     assert!(run_flow(&d, &cfg, FlowPolicy::NoMls).is_ok());
     let resumed = run_flow(&d, &cfg, FlowPolicy::NoMls);
     drop(guard);
-    match resumed {
-        Err(FlowError::Checkpoint(CheckpointError::Corrupt(_))) => {}
-        other => panic!("truncation must surface as FlowError::Checkpoint, got {other:?}"),
+    let resumed = resumed.expect("resume must degrade to recompute, not fail");
+    assert_eq!(comparable_json(&resumed), comparable_json(&reference));
+    // A third run resumes from the recomputed (clean) checkpoints
+    // without touching the quarantine files.
+    let third = run_flow(&d, &cfg, FlowPolicy::NoMls).unwrap();
+    assert_eq!(comparable_json(&third), comparable_json(&reference));
+}
+
+/// A write cut short by the disk (ENOSPC / power loss / crash before
+/// rename) fails the writing run with a typed storage error, and the
+/// next `--resume` lands on a complete state: scrub removes the
+/// residue, the flow recomputes, and the report matches a clean run
+/// bit-for-bit.
+#[test]
+fn disk_seam_crash_then_resume_is_bit_identical() {
+    let d = design();
+    let reference = run_flow(&d, &fast_cfg(), FlowPolicy::NoMls).unwrap();
+    for site in [
+        FaultSite::DiskFull,
+        FaultSite::TornWrite,
+        FaultSite::RenameCrash,
+    ] {
+        let mut cfg = fast_cfg();
+        let dir = scratch_dir(&format!("disk-{site}"));
+        cfg.resume = Some(dir.clone());
+        let guard = install(&FaultPlan::single(site, 1));
+        let crashed = run_flow(&d, &cfg, FlowPolicy::NoMls);
+        drop(guard);
+        match crashed {
+            Err(FlowError::Checkpoint(CheckpointError::Storage(_))) => {}
+            other => panic!("{site}: expected a typed storage error, got {other:?}"),
+        }
+        let resumed = run_flow(&d, &cfg, FlowPolicy::NoMls)
+            .unwrap_or_else(|e| panic!("{site}: resume after crash failed: {e}"));
+        assert_eq!(
+            comparable_json(&resumed),
+            comparable_json(&reference),
+            "{site}: resumed report drifted from the clean run"
+        );
+        // The read-side seam on the same directory: one EIO is typed,
+        // the retry resumes from the intact checkpoints.
+        let guard = install(&FaultPlan::single(FaultSite::ReadEio, 1));
+        let eio = run_flow(&d, &cfg, FlowPolicy::NoMls);
+        drop(guard);
+        assert!(
+            matches!(eio, Err(FlowError::Checkpoint(CheckpointError::Io(_)))),
+            "{site}: injected EIO must surface typed"
+        );
+        let retried = run_flow(&d, &cfg, FlowPolicy::NoMls).unwrap();
+        assert_eq!(comparable_json(&retried), comparable_json(&reference));
     }
 }
 

@@ -34,7 +34,7 @@ use gnnmls_zoo::{CorpusConfig, Registry};
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn usage() -> &'static str {
-    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls serve --cluster [--shards <n>] [--addr 127.0.0.1:7117]\n               [--queue <jobs>] [--workers <n>] [--cache <sessions>]\n               [--admit <cost units>] [--checkpoint <dir>]\n               # spawns <n> shard daemons, routes v2 frames by spec hash,\n               # fails over through per-shard circuit breakers\n  gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]\n                     [--out target/bench/BENCH_suite.json] [--commit-baseline]\n  gnnmls bench diff  [--baseline bench/baseline.json]\n                     [--fresh target/bench/BENCH_suite.json]\n                     [--perturb <scenario>:<metric>:<delta>]   # gate self-test\n  gnnmls bench cluster [--shards <n>] [--clients <n>] [--requests <n>]\n                       [--seed <n>] [--no-kill]\n                       # mixed whatif/infer load with a kill-one-shard\n                       # schedule; writes target/bench/BENCH_cluster.json\n  gnnmls bench zoo [--swap-iters <n>] [--target-accuracy <frac>] [--max-epochs <n>]\n                   # pretrain-vs-scratch convergence + warm-swap latency;\n                   # writes target/bench/BENCH_zoo.json\n  gnnmls model train   [--corpus tiny|full] [--dir zoo] [--threads <n>]\n                       # build the cross-design corpus, DGI-pretrain once,\n                       # fine-tune per family, publish versioned checkpoints\n  gnnmls model list    [--dir zoo]\n  gnnmls model inspect --family <f> [--version <x.y.z>] [--dir zoo]\n  gnnmls model verify  [--dir zoo]    # re-hash every checkpoint vs the manifest\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client load-model [--addr <addr>] --model <checkpoint.ckpt>\n                       # hot-swap the checkpoint's family on a live daemon\n                       # (broadcasts to every shard through a cluster front)\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
+    "usage:\n  gnnmls flow --design <name> [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--dft net|wire] [--json <path>] [--verilog <path>]\n              [--save-model <path>] [--load-model <path>] [--resume <dir>] [--fast]\n  gnnmls serve [--addr 127.0.0.1:7117] [--queue <jobs>] [--workers <n>]\n               [--cache <sessions>] [--checkpoint <dir>] [--admit <cost units>]\n  gnnmls serve --cluster [--shards <n>] [--addr 127.0.0.1:7117]\n               [--queue <jobs>] [--workers <n>] [--cache <sessions>]\n               [--admit <cost units>] [--checkpoint <dir>]\n               # spawns <n> shard daemons, routes v2 frames by spec hash,\n               # fails over through per-shard circuit breakers\n  gnnmls bench suite [--manifest bench/suite.toml] [--profile ci]\n                     [--out target/bench/BENCH_suite.json] [--commit-baseline]\n  gnnmls bench diff  [--baseline bench/baseline.json]\n                     [--fresh target/bench/BENCH_suite.json]\n                     [--perturb <scenario>:<metric>:<delta>]   # gate self-test\n  gnnmls bench cluster [--shards <n>] [--clients <n>] [--requests <n>]\n                       [--seed <n>] [--no-kill]\n                       # mixed whatif/infer load with a kill-one-shard\n                       # schedule; writes target/bench/BENCH_cluster.json\n  gnnmls bench zoo [--swap-iters <n>] [--target-accuracy <frac>] [--max-epochs <n>]\n                   # pretrain-vs-scratch convergence + warm-swap latency;\n                   # writes target/bench/BENCH_zoo.json\n  gnnmls model train   [--corpus tiny|full] [--dir zoo] [--threads <n>]\n                       # build the cross-design corpus, DGI-pretrain once,\n                       # fine-tune per family, publish versioned checkpoints\n  gnnmls model list    [--dir zoo]\n  gnnmls model inspect --family <f> [--version <x.y.z>] [--dir zoo]\n  gnnmls model verify  [--dir zoo]    # re-hash every checkpoint vs the manifest\n  gnnmls fsck <dir> [--json <path>]   # crash-recovery scrub of a checkpoint,\n                       # registry, or ledger directory: deletes orphan *.tmp,\n                       # quarantines torn/hash-mismatched files to *.damaged,\n                       # rolls the zoo manifest back to last-good; exits\n                       # nonzero only when damage was unrepairable\n  gnnmls client whatif   [--addr <addr>] <spec flags> --net <id> [--no-mls] [--budget <expansions>]\n  gnnmls client infer    [--addr <addr>] <spec flags> [--paths <k>]\n  gnnmls client stats    [--addr <addr>] [<spec flags>]\n  gnnmls client flow     [--addr <addr>] <spec flags>\n  gnnmls client health   [--addr <addr>]\n  gnnmls client metrics  [--addr <addr>]\n  gnnmls client load-model [--addr <addr>] --model <checkpoint.ckpt>\n                       # hot-swap the checkpoint's family on a live daemon\n                       # (broadcasts to every shard through a cluster front)\n  gnnmls client shutdown [--addr <addr>]\n  gnnmls designs\n\n<spec flags>: [--design <name>] [--tech hetero|homo] [--policy no-mls|sota|gnn-mls]\n              [--freq <MHz>] [--fast]\nclient flags: [--retries <n>] [--retry-seed <n>] retry shed/stalled requests\n              with capped exponential backoff and deterministic jitter\n\nGNNMLS_THREADS=<n> caps worker-thread fan-out. Precedence: an explicit\nnon-zero FlowConfig::threads (or RouteConfig::threads) knob wins; when\nthe knob is 0 (auto, the default everywhere), GNNMLS_THREADS overrides\nthe all-cores default. A non-numeric value is rejected at startup.\nGNNMLS_FAULTS=<site:shots,...|seed:N> arms the deterministic fault harness.\nGNNMLS_TRACE=<path> appends structured spans/events/metrics as JSONL;\n`gnnmls client metrics` scrapes a live daemon's registry as text exposition.\n"
 }
 
 fn main() -> ExitCode {
@@ -65,6 +65,7 @@ fn main() -> ExitCode {
         Some("client") => client_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
         Some("model") => model_cmd(&args[1..]),
+        Some("fsck") => fsck_cmd(&args[1..]),
         _ => {
             eprint!("{}", usage());
             ExitCode::FAILURE
@@ -889,6 +890,68 @@ fn model_verify_cmd(registry: &Registry) -> ExitCode {
     }
 }
 
+fn fsck_cmd(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: gnnmls fsck <dir> [--json <path>]");
+        return ExitCode::FAILURE;
+    };
+    let (opts, _) = match parse_opts(&args[1..], &["json"], &[]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\nusage: gnnmls fsck <dir> [--json <path>]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = std::path::Path::new(dir);
+    // A directory that carries (or carried) a zoo manifest gets the
+    // registry-aware scrub — rollback to last-good, orphan adoption,
+    // manifest rebuild. Anything else (resume dirs, bench ledgers,
+    // drain-stats dirs) gets the generic artifact scrub.
+    let manifest = path.join(gnnmls_zoo::MANIFEST_FILE);
+    let registry_mode = manifest.exists()
+        || gnn_mls::store::damaged_path(&manifest).exists()
+        || gnn_mls::store::tmp_path(&manifest).exists();
+    let report = if registry_mode {
+        match Registry::open_unscrubbed(path).scrub() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("gnnmls fsck: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match gnn_mls::store::scrub_dir(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("gnnmls fsck: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!(
+        "fsck {}: {} artifact(s) scanned, {} valid, {} repaired, {} unrepairable",
+        report.dir, report.scanned, report.valid, report.repaired, report.unrepairable
+    );
+    for f in &report.findings {
+        println!(
+            "  {:<16} {:<16} {}  ({})",
+            f.class, f.action, f.file, f.detail
+        );
+    }
+    if let Some(out) = opts.get("json") {
+        if let Err(e) = gnn_mls::checkpoint::write_json_file(std::path::Path::new(out), &report) {
+            eprintln!("gnnmls fsck: could not write report to {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fsck report written to {out}");
+    }
+    if report.consistent() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn bench_diff_cmd(args: &[String]) -> ExitCode {
     let (opts, _) = match parse_opts(args, &["baseline", "fresh", "perturb"], &[]) {
         Ok(p) => p,
@@ -1048,7 +1111,10 @@ fn run_flow_cmd(args: &[String]) -> ExitCode {
     }
 
     if let Some(path) = opts.get("verilog") {
-        if let Err(e) = std::fs::write(path, write_verilog(&design.netlist)) {
+        let verilog = write_verilog(&design.netlist);
+        if let Err(e) =
+            gnn_mls::store::durable_write(std::path::Path::new(path), verilog.as_bytes())
+        {
             eprintln!("could not write verilog to {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -1073,7 +1139,9 @@ fn run_flow_cmd(args: &[String]) -> ExitCode {
     if let Some(path) = opts.get("json") {
         match serde_json::to_string_pretty(&report) {
             Ok(s) => {
-                if let Err(e) = std::fs::write(path, s) {
+                if let Err(e) =
+                    gnn_mls::store::durable_write(std::path::Path::new(path), s.as_bytes())
+                {
                     eprintln!("could not write {path}: {e}");
                     return ExitCode::FAILURE;
                 }

@@ -17,15 +17,17 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use gnn_mls::checkpoint::ModelVersion;
+use gnn_mls::checkpoint::{load_stage, save_stage, ModelVersion};
 use gnn_mls::flow::FlowPolicy;
 use gnn_mls::session::SessionSpec;
+use gnn_mls::store::scrub_dir;
 use gnn_mls::ModelConfig;
+use gnnmls_faults::{install, FaultPlan, FaultSite};
 use gnnmls_par::rng::SplitMix64;
 use gnnmls_serve::client::RetryPolicy;
 use gnnmls_serve::cluster::{ClusterConfig, ClusterFront, ShardBackendSpec, ShardSpawnSpec};
 use gnnmls_serve::protocol::ResponseKind;
-use gnnmls_serve::{Client, ClientError};
+use gnnmls_serve::{Client, ClientError, ClusterStats, CLUSTER_STATS_STAGE};
 use gnnmls_zoo::{build_corpus, train_zoo, CorpusConfig, Registry};
 
 const SHARDS: usize = 3;
@@ -94,12 +96,16 @@ fn chaos_soak_loses_nothing_and_recovers_warm() {
             })
         })
         .collect();
+    let ckpt_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("soak-ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
     let cfg = ClusterConfig {
         probe_interval_ms: 100,
         breaker_cooldown_ms: 300,
         retries: 6,
         retry_base_ms: 10,
         retry_max_ms: 300,
+        checkpoint_dir: Some(ckpt_dir.clone()),
         ..ClusterConfig::default()
     };
     let front = ClusterFront::start(cfg, backends).expect("cluster starts");
@@ -297,7 +303,41 @@ fn chaos_soak_loses_nothing_and_recovers_warm() {
         );
     }
 
+    // Kill-9-mid-envelope-write round: the drain's final stats envelope
+    // crashes between fsync and rename — exactly the residue a kill -9
+    // at that instant leaves (complete, fsynced tmp; untouched dest).
+    // The drain itself must survive (the write is logged, not fatal),
+    // fsck must delete the orphan, and a restart rewriting the envelope
+    // from the returned stats must leave the directory fsck-clean.
+    let seam = install(&FaultPlan::single(FaultSite::RenameCrash, 1));
     let cluster = front.shutdown();
+    drop(seam);
+    assert!(
+        ckpt_dir.join("cluster-stats.ckpt.tmp").exists(),
+        "the crashed envelope write must leave its orphan tmp behind"
+    );
+    assert!(
+        !ckpt_dir.join("cluster-stats.ckpt").exists(),
+        "the crashed rename must not have landed"
+    );
+    let fsck = scrub_dir(&ckpt_dir).expect("fsck scans the checkpoint dir");
+    assert!(
+        fsck.consistent() && fsck.repaired >= 1,
+        "fsck must repair the crash residue: {:?}",
+        fsck.findings
+    );
+    assert!(!ckpt_dir.join("cluster-stats.ckpt.tmp").exists());
+    save_stage(&ckpt_dir, CLUSTER_STATS_STAGE, &cluster)
+        .expect("a restarted front rewrites the envelope durably");
+    let replayed: ClusterStats = load_stage(&ckpt_dir, CLUSTER_STATS_STAGE)
+        .expect("envelope decodes")
+        .expect("envelope present");
+    assert_eq!(replayed.schema_version, cluster.schema_version);
+    assert!(
+        scrub_dir(&ckpt_dir).expect("rescan").clean(),
+        "the rewritten checkpoint dir must be fsck-clean"
+    );
+
     let answered = answered.load(Ordering::SeqCst);
     let gave_up = gave_up.load(Ordering::SeqCst);
     assert!(answered > 0, "the soak must answer traffic");

@@ -13,8 +13,14 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use gnn_mls::checkpoint::{fnv1a64, write_json_file, ModelVersion, ZooModelCheckpoint};
+use gnn_mls::checkpoint::{
+    decode_stage, fnv1a64, write_json_file, ModelVersion, ZooModelCheckpoint, ZOO_MODEL_STAGE,
+};
 use gnn_mls::model::GnnMls;
+use gnn_mls::store::{
+    classify_envelope, damaged_path, ArtifactClass, RepairAction, ScrubReport, DAMAGED_SUFFIX,
+    TMP_SUFFIX,
+};
 
 use crate::ZooError;
 
@@ -72,12 +78,38 @@ impl VerifyReport {
 #[derive(Clone, Debug)]
 pub struct Registry {
     dir: PathBuf,
+    last_scrub: Option<ScrubReport>,
 }
 
 impl Registry {
-    /// Opens (without touching the filesystem) a registry at `dir`.
+    /// Opens a registry at `dir`, running [`Registry::scrub`] first so
+    /// crash residue (orphan tmps, torn checkpoints, a damaged
+    /// manifest) is repaired and the registry degrades to its last-good
+    /// state instead of failing later reads. The scrub is best-effort:
+    /// a scrub error is logged, never propagated, and the report (when
+    /// one was produced) is available from [`Registry::last_scrub`].
     pub fn open(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        let mut reg = Self::open_unscrubbed(dir);
+        match reg.scrub() {
+            Ok(report) => reg.last_scrub = Some(report),
+            Err(e) => gnnmls_obs::warn("zoo", &format!("registry scrub failed: {e}")),
+        }
+        reg
+    }
+
+    /// Opens a registry without the automatic scrub — for `fsck`
+    /// (which wants to run and report the scrub itself) and for tests
+    /// that seed damage deliberately.
+    pub fn open_unscrubbed(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            last_scrub: None,
+        }
+    }
+
+    /// The report of the scrub [`Registry::open`] ran, if any.
+    pub fn last_scrub(&self) -> Option<&ScrubReport> {
+        self.last_scrub.as_ref()
     }
 
     /// The registry directory.
@@ -299,6 +331,354 @@ impl Registry {
                     .problems
                     .push(format!("{tag}: envelope invalid: {e}")),
             }
+        }
+        Ok(report)
+    }
+
+    /// Crash-recovery scrub of the registry directory, by rule:
+    ///
+    /// - an orphan `*.ckpt.tmp` whose destination is **missing** and
+    ///   whose bytes are a complete valid envelope is a publish that
+    ///   crashed between fsync and rename — the rename is **completed**
+    ///   (roll forward); any other tmp is **deleted** (the destination
+    ///   holds the complete old state);
+    /// - a damaged or wrong-schema `MANIFEST.json` is quarantined and
+    ///   **rebuilt** from the surviving valid checkpoints;
+    /// - a manifest entry whose file is missing, hash-mismatched, torn,
+    ///   or undecodable is **rolled back**: the damaged file (if any) is
+    ///   quarantined to `*.damaged` and the entry dropped, so
+    ///   [`Registry::latest`] falls back to the previous good version;
+    /// - a valid unindexed `model-zoo` checkpoint (publish crashed
+    ///   between the data write and the index write) is **adopted**
+    ///   into the manifest;
+    /// - a future-format checkpoint is left intact and reported —
+    ///   loading it stays a typed version error, never a panic.
+    ///
+    /// The manifest rewrite goes through the same durable-write path as
+    /// publish, so a crash during recovery is itself recoverable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZooError::Registry`] only when the directory itself
+    /// cannot be listed; per-file damage lands in the report.
+    pub fn scrub(&self) -> Result<ScrubReport, ZooError> {
+        let mut report = ScrubReport::new(&self.dir);
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(it) => it,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => {
+                return Err(ZooError::Registry(format!(
+                    "cannot list {}: {e}",
+                    self.dir.display()
+                )))
+            }
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+
+        // Pass 1: orphan temp files. A complete valid envelope whose
+        // destination is missing is an interrupted rename — finish it.
+        let mut ckpt_names: Vec<String> = names
+            .iter()
+            .filter(|n| n.ends_with(".ckpt"))
+            .cloned()
+            .collect();
+        for name in names.iter().filter(|n| n.ends_with(TMP_SUFFIX)) {
+            report.scanned += 1;
+            let path = self.dir.join(name);
+            let dest_name = name.trim_end_matches(TMP_SUFFIX);
+            let dest = self.dir.join(dest_name);
+            let complete = dest_name.ends_with(".ckpt")
+                && !dest.exists()
+                && fs::read(&path)
+                    .map(|b| matches!(classify_envelope(&b).0, ArtifactClass::Valid))
+                    .unwrap_or(false);
+            if complete {
+                match fs::rename(&path, &dest) {
+                    Ok(()) => {
+                        ckpt_names.push(dest_name.to_string());
+                        report.push(
+                            name.clone(),
+                            ArtifactClass::OrphanTmp,
+                            RepairAction::Adopted,
+                            "complete orphan; interrupted rename finished".to_string(),
+                        );
+                    }
+                    Err(e) => report.push(
+                        name.clone(),
+                        ArtifactClass::OrphanTmp,
+                        RepairAction::Failed,
+                        format!("complete orphan; rename failed: {e}"),
+                    ),
+                }
+            } else {
+                match fs::remove_file(&path) {
+                    Ok(()) => report.push(
+                        name.clone(),
+                        ArtifactClass::OrphanTmp,
+                        RepairAction::DeletedTmp,
+                        "orphan temp file from a crashed write".to_string(),
+                    ),
+                    Err(e) => report.push(
+                        name.clone(),
+                        ArtifactClass::OrphanTmp,
+                        RepairAction::Failed,
+                        format!("orphan temp file; delete failed: {e}"),
+                    ),
+                }
+            }
+        }
+
+        // Pass 2: the manifest itself.
+        let manifest_path = self.dir.join(MANIFEST_FILE);
+        let mut manifest_damaged = false;
+        let mut manifest = if names.iter().any(|n| n == MANIFEST_FILE) {
+            report.scanned += 1;
+            let parsed = fs::read_to_string(&manifest_path)
+                .ok()
+                .and_then(|t| serde_json::from_str::<ZooManifest>(&t).ok())
+                .filter(|m| m.schema_version == MANIFEST_SCHEMA_VERSION);
+            match parsed {
+                Some(m) => {
+                    report.valid += 1;
+                    m
+                }
+                None => {
+                    manifest_damaged = true;
+                    match fs::rename(&manifest_path, damaged_path(&manifest_path)) {
+                        Ok(()) => report.push(
+                            MANIFEST_FILE.to_string(),
+                            ArtifactClass::Torn,
+                            RepairAction::Quarantined,
+                            "unreadable or wrong-schema manifest".to_string(),
+                        ),
+                        Err(e) => report.push(
+                            MANIFEST_FILE.to_string(),
+                            ArtifactClass::Torn,
+                            RepairAction::Failed,
+                            format!("unreadable manifest; quarantine failed: {e}"),
+                        ),
+                    }
+                    ZooManifest {
+                        schema_version: MANIFEST_SCHEMA_VERSION,
+                        entries: Vec::new(),
+                    }
+                }
+            }
+        } else {
+            ZooManifest {
+                schema_version: MANIFEST_SCHEMA_VERSION,
+                entries: Vec::new(),
+            }
+        };
+        let mut changed = manifest_damaged;
+
+        // Pass 3: every indexed entry must check out, or it is rolled
+        // back (file quarantined, entry dropped) so `latest()` falls to
+        // the previous good version.
+        let mut kept: Vec<ManifestEntry> = Vec::new();
+        for entry in std::mem::take(&mut manifest.entries) {
+            let path = self.dir.join(&entry.file);
+            report.scanned += 1;
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    changed = true;
+                    report.push(
+                        entry.file.clone(),
+                        ArtifactClass::Torn,
+                        RepairAction::RolledBack,
+                        format!(
+                            "indexed {} v{} is missing; entry dropped",
+                            entry.family, entry.version
+                        ),
+                    );
+                    continue;
+                }
+                Err(e) => {
+                    report.push(
+                        entry.file.clone(),
+                        ArtifactClass::Torn,
+                        RepairAction::Failed,
+                        format!("cannot read: {e}"),
+                    );
+                    kept.push(entry);
+                    continue;
+                }
+            };
+            let (class, detail) = classify_envelope(&bytes);
+            let intact = match class {
+                ArtifactClass::UnknownVersion => {
+                    // Future-format file: intact data from a newer
+                    // build. Keep the entry; loading it is a typed
+                    // version error.
+                    report.push(entry.file.clone(), class, RepairAction::None, detail);
+                    kept.push(entry);
+                    continue;
+                }
+                ArtifactClass::Valid if fnv1a64(&bytes) != entry.file_hash => Some((
+                    ArtifactClass::HashMismatch,
+                    "file does not match its \
+                         manifest hash (swapped file)"
+                        .to_string(),
+                )),
+                ArtifactClass::Valid => {
+                    match decode_stage::<ZooModelCheckpoint>(ZOO_MODEL_STAGE, &bytes) {
+                        Ok(cp) if cp.family == entry.family && cp.version == entry.version => None,
+                        Ok(cp) => Some((
+                            ArtifactClass::HashMismatch,
+                            format!(
+                                "payload is {} v{}, not what the manifest \
+                                 indexed",
+                                cp.family, cp.version
+                            ),
+                        )),
+                        Err(e) => Some((ArtifactClass::Torn, format!("payload invalid: {e}"))),
+                    }
+                }
+                _ => Some((class, detail)),
+            };
+            match intact {
+                None => {
+                    report.valid += 1;
+                    kept.push(entry);
+                }
+                Some((class, detail)) => {
+                    changed = true;
+                    let tag = format!("{detail}; {} v{} rolled back", entry.family, entry.version);
+                    match fs::rename(&path, damaged_path(&path)) {
+                        Ok(()) => {
+                            report.push(entry.file.clone(), class, RepairAction::RolledBack, tag)
+                        }
+                        Err(e) => report.push(
+                            entry.file.clone(),
+                            class,
+                            RepairAction::Failed,
+                            format!("{tag}; quarantine failed: {e}"),
+                        ),
+                    }
+                }
+            }
+        }
+        manifest.entries = kept;
+
+        // Pass 4: adopt complete valid checkpoints the manifest never
+        // indexed (publish crashed between data write and index write).
+        for name in &ckpt_names {
+            if name.ends_with(DAMAGED_SUFFIX)
+                || manifest.entries.iter().any(|e| &e.file == name)
+                || report.findings.iter().any(|f| &f.file == name)
+            {
+                continue;
+            }
+            let path = self.dir.join(name);
+            report.scanned += 1;
+            let Ok(bytes) = fs::read(&path) else {
+                report.push(
+                    name.clone(),
+                    ArtifactClass::Torn,
+                    RepairAction::Failed,
+                    "cannot read unindexed checkpoint".to_string(),
+                );
+                continue;
+            };
+            let (class, detail) = classify_envelope(&bytes);
+            match class {
+                ArtifactClass::Valid => {
+                    let adopted = decode_stage::<ZooModelCheckpoint>(ZOO_MODEL_STAGE, &bytes)
+                        .ok()
+                        .and_then(|cp| {
+                            let model = GnnMls::from_checkpoint(cp.model.clone()).ok()?;
+                            Some(ManifestEntry {
+                                family: cp.family.clone(),
+                                version: cp.version,
+                                file: name.clone(),
+                                file_hash: fnv1a64(&bytes),
+                                parameter_count: model.parameter_count() as u64,
+                                corpus_designs: cp.corpus_hashes.len() as u64,
+                            })
+                        });
+                    match adopted {
+                        Some(entry) => {
+                            changed = true;
+                            let tag = format!(
+                                "{} v{} adopted into manifest",
+                                entry.family, entry.version
+                            );
+                            manifest.entries.push(entry);
+                            report.push(
+                                name.clone(),
+                                ArtifactClass::Valid,
+                                RepairAction::Adopted,
+                                tag,
+                            );
+                        }
+                        // A valid envelope of some other stage is not a
+                        // registry artifact; leave it alone.
+                        None => report.valid += 1,
+                    }
+                }
+                ArtifactClass::UnknownVersion => {
+                    report.push(name.clone(), class, RepairAction::None, detail)
+                }
+                _ => {
+                    changed = true;
+                    match fs::rename(&path, damaged_path(&path)) {
+                        Ok(()) => {
+                            report.push(name.clone(), class, RepairAction::Quarantined, detail)
+                        }
+                        Err(e) => report.push(
+                            name.clone(),
+                            class,
+                            RepairAction::Failed,
+                            format!("{detail}; quarantine failed: {e}"),
+                        ),
+                    }
+                }
+            }
+        }
+
+        // Pass 5: persist the repaired index through the same durable
+        // path publish uses, so a crash during recovery is itself
+        // recoverable.
+        if changed {
+            manifest
+                .entries
+                .sort_by(|a, b| (&a.family, a.version).cmp(&(&b.family, b.version)));
+            manifest.schema_version = MANIFEST_SCHEMA_VERSION;
+            match write_json_file(&manifest_path, &manifest) {
+                Ok(()) => {
+                    if manifest_damaged {
+                        report.push(
+                            MANIFEST_FILE.to_string(),
+                            ArtifactClass::Torn,
+                            RepairAction::RebuiltManifest,
+                            format!("rebuilt from {} surviving entries", manifest.entries.len()),
+                        );
+                    }
+                }
+                Err(e) => report.push(
+                    MANIFEST_FILE.to_string(),
+                    ArtifactClass::Torn,
+                    RepairAction::Failed,
+                    format!("could not rewrite manifest: {e}"),
+                ),
+            }
+        }
+        if !report.clean() {
+            gnnmls_obs::warn(
+                "zoo",
+                &format!(
+                    "registry scrub of {} repaired {} artifact(s), {} unrepairable",
+                    self.dir.display(),
+                    report.repaired,
+                    report.unrepairable
+                ),
+            );
         }
         Ok(report)
     }
