@@ -14,8 +14,8 @@
 //! Keeping one dispatch point means the serve handler, the CLI
 //! subcommands, and tests cannot drift apart in how they validate,
 //! build, or answer — they are the same code path. The older scattered
-//! entry points ([`crate::session::run_flow_for_spec`]) remain as
-//! `#[deprecated]` shims over this module.
+//! entry points that predated it have been removed; this module is the
+//! only way in.
 
 use crate::report::FlowReport;
 use crate::session::{

@@ -33,7 +33,6 @@ use crate::checkpoint::fnv1a64;
 use crate::flow::{learn_decisions_with_model, prepare, FlowConfig, FlowError, FlowPolicy};
 use crate::model::GnnMls;
 use crate::paths::{extract_path_samples_par, PathSample};
-use crate::report::FlowReport;
 
 /// The named designs the CLI and the serve daemon can build.
 pub const DESIGNS: &[(&str, &str)] = &[
@@ -709,16 +708,6 @@ impl DesignSession {
             build_seconds: self.build_seconds,
         }
     }
-}
-
-/// One-shot flow run for a spec (the serve `RunFlow` request).
-///
-/// # Errors
-///
-/// Returns [`SessionError`] for unknown names or a failing flow.
-#[deprecated(since = "0.1.0", note = "use `gnn_mls::api::run_flow` instead")]
-pub fn run_flow_for_spec(spec: &SessionSpec) -> Result<FlowReport, SessionError> {
-    crate::api::run_flow(spec)
 }
 
 #[cfg(test)]

@@ -1,0 +1,256 @@
+//! Nonblocking connection establishment and fd-limit plumbing.
+//!
+//! The cluster front multiplexes backend forwards on the same loop as
+//! client connections, so it must never block in `connect(2)`. On
+//! Linux this module opens the socket raw (`SOCK_NONBLOCK`), issues the
+//! connect, and hands back a `std::net::TcpStream` mid-handshake —
+//! `EINPROGRESS` is success here; the loop learns the outcome from the
+//! first writability event via [`connect_outcome`]. Other Unixes fall
+//! back to a brief blocking connect (loopback resolves immediately),
+//! keeping the crate portable without a full sockaddr layer per OS.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// Starts a TCP connect without blocking. The returned stream is
+/// nonblocking and may still be mid-handshake: register it for
+/// *writable* interest and call [`connect_outcome`] on the first
+/// writability (or hangup) event.
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+    imp::connect_nonblocking(addr)
+}
+
+/// Resolves the outcome of a nonblocking connect once the socket
+/// reported writable: `Ok(())` means connected, `Err` carries the
+/// typed OS error (e.g. `ConnectionRefused`).
+pub fn connect_outcome(stream: &TcpStream) -> io::Result<()> {
+    // SO_ERROR is surfaced by std as take_error(); a clean handshake
+    // leaves it empty.
+    match stream.take_error()? {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Raises the process soft `RLIMIT_NOFILE` toward `want` (capped at
+/// the hard limit). Returns the resulting soft limit. The 10k+
+/// concurrent-connection soak needs this; normal serving does not.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    imp::raise_nofile_limit(want)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::{FromRawFd, RawFd};
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_NONBLOCK: i32 = 0o4000; // O_NONBLOCK
+    const SOCK_CLOEXEC: i32 = 0o2000000; // O_CLOEXEC
+    const EINPROGRESS: i32 = 115;
+    const RLIMIT_NOFILE: i32 = 7;
+
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16, // network byte order
+        sin_addr: u32, // network byte order
+        sin_zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct SockAddrIn6 {
+        sin6_family: u16,
+        sin6_port: u16, // network byte order
+        sin6_flowinfo: u32,
+        sin6_addr: [u8; 16],
+        sin6_scope_id: u32,
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    pub(super) fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+        let domain = match addr {
+            SocketAddr::V4(_) => AF_INET,
+            SocketAddr::V6(_) => AF_INET6,
+        };
+        // SAFETY: plain syscall.
+        let fd: RawFd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let rc = match addr {
+            SocketAddr::V4(v4) => {
+                let sa = SockAddrIn {
+                    sin_family: AF_INET as u16,
+                    sin_port: v4.port().to_be(),
+                    sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                    sin_zero: [0; 8],
+                };
+                // SAFETY: `sa` is a valid sockaddr_in for the call's
+                // duration and the length matches.
+                unsafe {
+                    connect(
+                        fd,
+                        (&sa as *const SockAddrIn).cast(),
+                        std::mem::size_of::<SockAddrIn>() as u32,
+                    )
+                }
+            }
+            SocketAddr::V6(v6) => {
+                let sa = SockAddrIn6 {
+                    sin6_family: AF_INET6 as u16,
+                    sin6_port: v6.port().to_be(),
+                    sin6_flowinfo: v6.flowinfo(),
+                    sin6_addr: v6.ip().octets(),
+                    sin6_scope_id: v6.scope_id(),
+                };
+                // SAFETY: as above, for sockaddr_in6.
+                unsafe {
+                    connect(
+                        fd,
+                        (&sa as *const SockAddrIn6).cast(),
+                        std::mem::size_of::<SockAddrIn6>() as u32,
+                    )
+                }
+            }
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() != Some(EINPROGRESS) {
+                // SAFETY: fd came from socket() above and escapes nowhere.
+                unsafe { close(fd) };
+                return Err(err);
+            }
+        }
+        // SAFETY: we own this freshly created fd.
+        Ok(unsafe { TcpStream::from_raw_fd(fd) })
+    }
+
+    pub(super) fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let mut lim = RLimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: lim is a valid out-pointer.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.rlim_cur >= want {
+            return Ok(lim.rlim_cur);
+        }
+        let target = want.min(lim.rlim_max);
+        let new = RLimit {
+            rlim_cur: target,
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: new is a valid in-pointer.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &new) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(target)
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    pub(super) fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+        // Portable fallback: a brief blocking connect, then nonblocking
+        // mode. Loopback (the only deployment this fallback serves)
+        // resolves the handshake immediately.
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(250))?;
+        stream.set_nonblocking(true)?;
+        Ok(stream)
+    }
+
+    pub(super) fn raise_nofile_limit(_want: u64) -> io::Result<u64> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "RLIMIT_NOFILE raising is implemented on Linux only",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::{Interest, Poller};
+    use std::net::TcpListener;
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn nonblocking_connect_completes_against_a_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = connect_nonblocking(addr).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(stream.as_raw_fd(), 1, Interest::WRITABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        connect_outcome(&stream).expect("handshake succeeded");
+        // The accept side sees it too.
+        listener.accept().expect("accepted");
+    }
+
+    #[test]
+    fn refused_connect_surfaces_a_typed_error() {
+        // Bind-then-drop guarantees an unused port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        match connect_nonblocking(addr) {
+            // Immediate refusal at connect() time is legal...
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused),
+            Ok(stream) => {
+                // ...but loopback usually reports it on writability.
+                let mut poller = Poller::new().unwrap();
+                poller
+                    .register(stream.as_raw_fd(), 1, Interest::WRITABLE)
+                    .unwrap();
+                let mut events = Vec::new();
+                poller
+                    .wait(&mut events, Some(Duration::from_secs(5)))
+                    .unwrap();
+                let err = connect_outcome(&stream).unwrap_err();
+                assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn nofile_limit_reports_a_sane_value() {
+        let got = raise_nofile_limit(1024).unwrap();
+        assert!(got >= 1024 || got > 0);
+        // Idempotent: asking again never lowers it.
+        let again = raise_nofile_limit(1024).unwrap();
+        assert!(again >= got.min(1024));
+    }
+}

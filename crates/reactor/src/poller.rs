@@ -1,0 +1,552 @@
+//! Level-triggered readiness polling: `epoll` on Linux, `poll(2)` on
+//! other Unixes.
+//!
+//! Both backends speak through raw `extern "C"` declarations against
+//! the libc `std` already links — no external crate. Level-triggered
+//! semantics were chosen deliberately: a connection whose buffered data
+//! was not fully drained (read budgets cap per-wakeup work for
+//! fairness) is simply reported readable again on the next wait, so
+//! the loop never needs edge-triggered re-arm bookkeeping.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What a registration wants to hear about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event, translated out of the OS representation.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Data (or a hangup) can be read without blocking.
+    pub readable: bool,
+    /// The socket can accept more bytes without blocking.
+    pub writable: bool,
+    /// Error or hangup condition; the owner should tear down.
+    pub hangup: bool,
+}
+
+/// Caps one `wait` batch; level-triggered readiness re-reports anything
+/// that did not fit.
+const MAX_EVENTS: usize = 1024;
+
+/// Rounds a timeout up to whole milliseconds for the C APIs, clamping
+/// into the `i32` range (`None` blocks forever).
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if d > Duration::from_millis(ms as u64) {
+                // Round a sub-millisecond remainder up so timers never
+                // fire early.
+                (ms as i64).saturating_add(1).min(i32::MAX as i64) as i32
+            } else {
+                (ms as i64).min(i32::MAX as i64) as i32
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw epoll bindings (Linux).
+
+    use super::{timeout_ms, Event, Interest, MAX_EVENTS};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // The kernel ABI packs `epoll_event` on x86-64 only.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000; // O_CLOEXEC
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub(super) struct Backend {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; MAX_EVENTS],
+            })
+        }
+
+        fn ctl(&mut self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; DEL ignores the pointer.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub(super) fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::READABLE)
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let n = loop {
+                // SAFETY: the buffer holds MAX_EVENTS initialized slots.
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout_ms(timeout),
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // EINTR: retry with the same timeout; the loop's timer
+                // wheel re-derives deadlines each iteration anyway.
+            };
+            for raw in &self.buf[..n] {
+                let bits = raw.events;
+                events.push(Event {
+                    token: raw.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: closing the fd we created.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! Portable `poll(2)` fallback for non-Linux Unixes.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    fn mask(interest: Interest) -> i16 {
+        let mut m = 0;
+        if interest.readable {
+            m |= POLLIN;
+        }
+        if interest.writable {
+            m |= POLLOUT;
+        }
+        m
+    }
+
+    pub(super) struct Backend {
+        fds: Vec<PollFd>,
+        tokens: Vec<u64>,
+        index: HashMap<RawFd, usize>,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Self> {
+            Ok(Self {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+                index: HashMap::new(),
+            })
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            if self.index.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.index.insert(fd, self.fds.len());
+            self.fds.push(PollFd {
+                fd,
+                events: mask(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        pub(super) fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let Some(&i) = self.index.get(&fd) else {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            };
+            self.fds[i].events = mask(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let Some(i) = self.index.remove(&fd) else {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            };
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            if i < self.fds.len() {
+                self.index.insert(self.fds[i].fd, i);
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            for f in &mut self.fds {
+                f.revents = 0;
+            }
+            let n = loop {
+                // SAFETY: the fds buffer is valid for the call.
+                let rc = unsafe {
+                    poll(
+                        self.fds.as_mut_ptr(),
+                        self.fds.len() as u64,
+                        timeout_ms(timeout),
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n > 0 {
+                for (f, &token) in self.fds.iter().zip(&self.tokens) {
+                    if f.revents == 0 {
+                        continue;
+                    }
+                    events.push(Event {
+                        token,
+                        readable: f.revents & (POLLIN | POLLHUP) != 0,
+                        writable: f.revents & POLLOUT != 0,
+                        hangup: f.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// Readiness poller: register fds with a `u64` token, wait for events.
+///
+/// One instance belongs to exactly one loop thread; it is not `Sync`
+/// and never needs to be — cross-thread wakeups go through [`crate::Waker`].
+pub struct Poller {
+    backend: sys::Backend,
+    registered: HashMap<RawFd, u64>,
+}
+
+impl Poller {
+    /// Creates a poller (an epoll instance on Linux).
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            backend: sys::Backend::new()?,
+            registered: HashMap::new(),
+        })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.backend.register(fd, token, interest)?;
+        self.registered.insert(fd, token);
+        Ok(())
+    }
+
+    /// Changes the interest (and/or token) of a registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.backend.modify(fd, token, interest)?;
+        self.registered.insert(fd, token);
+        Ok(())
+    }
+
+    /// Removes `fd` from the poller. Call *before* closing the fd.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.registered.remove(&fd);
+        self.backend.deregister(fd)
+    }
+
+    /// Number of currently registered fds.
+    pub fn registered(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Waits up to `timeout` (forever when `None`) and appends ready
+    /// events to `events` (which is **not** cleared here). Returns the
+    /// number of fds that reported readiness; `0` means the timeout
+    /// elapsed.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        self.backend.wait(events, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_fires_and_clears() {
+        let (mut a, mut b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "nothing readable yet");
+
+        b.write_all(b"x").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Level-triggered: still readable until drained.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let mut buf = [0u8; 8];
+        let _ = a.read(&mut buf).unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained fd no longer readable");
+    }
+
+    #[test]
+    fn writable_interest_and_modify() {
+        let (a, _b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 3, Interest::WRITABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        // Drop write interest: an idle socket reports nothing.
+        poller.modify(a.as_raw_fd(), 3, Interest::READABLE).unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn hangup_reports_readable_for_eof_drain() {
+        let (a, b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 9, Interest::READABLE)
+            .unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 9).unwrap();
+        assert!(ev.readable, "hangup must be observable as readable EOF");
+    }
+
+    #[test]
+    fn deregister_silences_the_fd() {
+        let (a, mut b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        poller.deregister(a.as_raw_fd()).unwrap();
+        b.write_all(b"y").unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fd must not report");
+        assert_eq!(poller.registered(), 0);
+    }
+
+    #[test]
+    fn timeout_rounds_up_not_down() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(200))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(5))), 5);
+        let mut poller = Poller::new().unwrap();
+        let t0 = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(15)))
+            .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(14));
+    }
+}

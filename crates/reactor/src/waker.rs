@@ -1,0 +1,130 @@
+//! Cross-thread wakeups via a self-pipe (a nonblocking socketpair).
+//!
+//! Worker threads finish jobs behind the bounded queue; the loop owns
+//! every socket. The handoff is a shared completion queue plus this
+//! waker: the worker pushes its response and writes one byte into the
+//! pipe, the loop's poller reports the read end readable, drains it,
+//! and flushes the completions. A full pipe is fine — `WouldBlock`
+//! means a wakeup is already pending, which is all a wakeup means.
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+/// The sending half. Clone it (cheaply, via [`Waker::try_clone`]) or
+/// share one behind an `Arc`; `wake` takes `&self`.
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Signals the loop. Never blocks; an already-pending wakeup is
+    /// collapsed into one.
+    pub fn wake(&self) {
+        match (&self.tx).write(&[1u8]) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {} // already pending
+            Err(_) => {}                                          // loop is gone; nothing to wake
+        }
+    }
+
+    /// An independent handle to the same pipe.
+    pub fn try_clone(&self) -> io::Result<Waker> {
+        Ok(Waker {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+/// The receiving half, registered with the loop's poller.
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+impl WakeReceiver {
+    /// The fd to register for readable interest.
+    pub fn raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Drains all pending wakeup bytes (coalescing any number of
+    /// `wake` calls into this one readiness event).
+    pub fn drain(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match self.rx.read(&mut buf) {
+                Ok(0) => break, // every sender hung up
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+}
+
+/// Creates a connected, nonblocking waker pair.
+pub fn wake_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::{Interest, Poller};
+    use std::time::Duration;
+
+    #[test]
+    fn wake_is_visible_to_the_poller_and_drains() {
+        let (waker, mut rx) = wake_pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(rx.raw_fd(), 1, Interest::READABLE).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no wakeup pending");
+
+        // Many wakes from another thread coalesce into one readiness.
+        let w2 = waker.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for _ in 0..1000 {
+                w2.wake();
+            }
+        })
+        .join()
+        .unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        rx.drain();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained pipe is quiet");
+
+        // A wake after the drain is seen again.
+        waker.wake();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+    }
+
+    #[test]
+    fn wake_never_blocks_even_when_pipe_is_full() {
+        let (waker, _rx) = wake_pair().unwrap();
+        // Way beyond any socket buffer: must return promptly every time.
+        for _ in 0..200_000 {
+            waker.wake();
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Unified serving facade: one typed error taxonomy and a typed client.
+//!
+//! The wire protocol answers every request with a [`Response`] whose
+//! [`ResponseKind`] mixes five outcomes — the real answer, two flavors
+//! of shed work (`Busy`, `Quarantined`), an admission refusal
+//! (`Rejected`), and request- or connection-level errors — and callers
+//! historically pattern-matched that mix by hand at every site.
+//! [`classify`] folds the non-`Ok` outcomes into one [`ServeError`]
+//! taxonomy with `retry_after_ms` first-class, so retry loops ask
+//! [`ServeError::is_transient`] instead of re-deriving the rules, and
+//! [`Client`] wraps the blocking client with per-request-kind methods
+//! that return the typed payload (a [`WhatIfResult`], a
+//! [`HealthStatus`], …) instead of a raw envelope.
+//!
+//! The mapping from wire kinds to this taxonomy is documented in
+//! `docs/PROTOCOL.md`; the raw-envelope client remains available as
+//! [`crate::client::Client`] for callers that forward wire JSON
+//! verbatim (the CLI does).
+
+use std::fmt;
+use std::net::ToSocketAddrs;
+
+use gnn_mls::session::{InferResult, SessionSpec, WhatIfResult};
+
+use crate::client::{Client as WireClient, ClientError, RetryPolicy};
+use crate::protocol::{
+    FrameError, HealthStatus, ModelSwapResult, Request, Response, ResponseKind, ServerStats,
+};
+
+/// Every way a serving request can fail, unified across the daemon and
+/// the cluster front.
+///
+/// The first three variants are typed forms of the wire's shed/refusal
+/// kinds; `Notice` and `Transport` are connection-level; `GaveUp` is
+/// the client-side verdict after a retry budget is exhausted. Backoff
+/// hints ride along: [`ServeError::retry_after_ms`] surfaces the
+/// server's cooldown floor for any variant that carries one.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server shed the request (queue full / admission budget
+    /// exhausted); transient — retry after backoff.
+    Busy {
+        /// Server-suggested backoff floor, when it sent one.
+        retry_after_ms: Option<u64>,
+    },
+    /// The spec's quarantine circuit is open; transient, but probing
+    /// before `retry_after_ms` elapses is wasted work.
+    Quarantined {
+        /// The server's explanation (strike count, cooldown).
+        why: String,
+        /// How long the circuit stays open.
+        retry_after_ms: Option<u64>,
+    },
+    /// Admission control refused the request outright (malformed or
+    /// over-budget); permanent — retrying the same request is futile.
+    Rejected {
+        /// The server's refusal reason.
+        why: String,
+    },
+    /// The request itself failed on the server (flow error, unknown
+    /// model, …); permanent.
+    Request {
+        /// The server's error text.
+        why: String,
+    },
+    /// A connection-level notice (id 0): the server reported a stall or
+    /// malformed frame and may have closed the stream. Transient after
+    /// a reconnect.
+    Notice {
+        /// The notice text.
+        why: String,
+    },
+    /// The transport failed (socket error, truncated or malformed
+    /// frame, protocol version mismatch).
+    Transport(FrameError),
+    /// Every attempt in the retry budget was transient.
+    GaveUp {
+        /// Attempts made.
+        attempts: u32,
+        /// What the final attempt saw.
+        last: String,
+    },
+}
+
+impl ServeError {
+    /// Whether retrying (possibly after reconnect and backoff) can
+    /// succeed: `Busy`, `Quarantined`, `Notice`, and `Transport` are
+    /// transient; `Rejected`, `Request`, and `GaveUp` are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Busy { .. }
+                | ServeError::Quarantined { .. }
+                | ServeError::Notice { .. }
+                | ServeError::Transport(_)
+        )
+    }
+
+    /// The server's backoff floor, when this outcome carries one. A
+    /// retry loop should not probe again before this elapses.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::Busy { retry_after_ms }
+            | ServeError::Quarantined { retry_after_ms, .. } => *retry_after_ms,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { retry_after_ms } => match retry_after_ms {
+                Some(ms) => write!(f, "server busy; retry after {ms}ms"),
+                None => f.write_str("server busy"),
+            },
+            ServeError::Quarantined {
+                why,
+                retry_after_ms,
+            } => match retry_after_ms {
+                Some(ms) => write!(f, "quarantined: {why} (retry after {ms}ms)"),
+                None => write!(f, "quarantined: {why}"),
+            },
+            ServeError::Rejected { why } => write!(f, "rejected: {why}"),
+            ServeError::Request { why } => write!(f, "request failed: {why}"),
+            ServeError::Notice { why } => write!(f, "connection notice: {why}"),
+            ServeError::Transport(e) => write!(f, "transport: {e}"),
+            ServeError::GaveUp { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Transport(e)
+    }
+}
+
+impl From<ClientError> for ServeError {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Frame(e) => ServeError::Transport(e),
+            ClientError::GaveUp { attempts, last } => ServeError::GaveUp { attempts, last },
+        }
+    }
+}
+
+/// Folds a response envelope into the [`ServeError`] taxonomy:
+/// `None` for a real answer, `Some` for every other outcome.
+/// `request_id` distinguishes a request-level `Error` from a
+/// connection-level notice (the server reports stalls and malformed
+/// frames with id 0, which can never match a real request id).
+pub fn classify(resp: &Response, request_id: u64) -> Option<ServeError> {
+    let why = |fallback: &str| resp.error.clone().unwrap_or_else(|| fallback.to_string());
+    match resp.kind {
+        ResponseKind::Ok => None,
+        ResponseKind::Busy => Some(ServeError::Busy {
+            retry_after_ms: resp.retry_after_ms,
+        }),
+        ResponseKind::Quarantined => Some(ServeError::Quarantined {
+            why: why("quarantined"),
+            retry_after_ms: resp.retry_after_ms,
+        }),
+        ResponseKind::Rejected => Some(ServeError::Rejected {
+            why: why("rejected"),
+        }),
+        ResponseKind::Error if resp.id == 0 && request_id != 0 => Some(ServeError::Notice {
+            why: why("connection notice"),
+        }),
+        ResponseKind::Error => Some(ServeError::Request {
+            why: why("unspecified error"),
+        }),
+    }
+}
+
+/// An MLS inference answer with the model version that produced it.
+#[derive(Clone, Debug)]
+pub struct Inference {
+    /// The per-path sharing verdicts and projected QoR delta.
+    pub result: InferResult,
+    /// Which model-zoo version answered, when the server reports it.
+    pub model_version: Option<String>,
+}
+
+/// Typed client for the serving plane: one connection, per-request-kind
+/// methods, retries built in.
+///
+/// Every method sends one request under the configured [`RetryPolicy`]
+/// (transient outcomes are retried with capped jittered backoff,
+/// honoring `retry_after_ms` floors) and returns either the typed
+/// payload or a [`ServeError`]. Works identically against a single
+/// daemon and a cluster front — the taxonomy is the same on both.
+pub struct Client {
+    inner: WireClient,
+    policy: RetryPolicy,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects with the default [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the server is unreachable.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        let inner =
+            WireClient::connect(addr).map_err(|e| ServeError::Transport(FrameError::Io(e)))?;
+        Ok(Self {
+            inner,
+            policy: RetryPolicy::default(),
+            next_id: 1,
+        })
+    }
+
+    /// Replaces the retry policy (builder-style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// One request under the retry policy, classified: a real answer
+    /// comes back `Ok`, everything else as a typed [`ServeError`]. A
+    /// still-quarantined final attempt surfaces as
+    /// [`ServeError::Quarantined`] with its `retry_after_ms` intact.
+    fn exchange(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let resp = self.inner.request_with_retry(req, &self.policy)?;
+        match classify(&resp, req.id) {
+            None => Ok(resp),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// What-if routes `net` of `spec` with MLS forced on or off,
+    /// optionally under an A* expansion budget.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; `Rejected` when the request fails admission.
+    pub fn what_if(
+        &mut self,
+        spec: &SessionSpec,
+        net: u32,
+        allow_mls: bool,
+        deadline_expansions: Option<u64>,
+    ) -> Result<WhatIfResult, ServeError> {
+        let id = self.take_id();
+        let resp = self.exchange(&Request::what_if(
+            id,
+            spec.clone(),
+            net,
+            allow_mls,
+            deadline_expansions,
+        ))?;
+        payload(resp.what_if, "what_if")
+    }
+
+    /// Runs MLS inference over the worst `paths` paths of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn infer(
+        &mut self,
+        spec: &SessionSpec,
+        paths: Option<u64>,
+    ) -> Result<Inference, ServeError> {
+        let id = self.take_id();
+        let resp = self.exchange(&Request::infer(id, spec.clone(), paths))?;
+        let model_version = resp.model_version.clone();
+        Ok(Inference {
+            result: payload(resp.infer, "infer")?,
+            model_version,
+        })
+    }
+
+    /// Runs the full flow for `spec` on the server; returns the flow
+    /// report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn run_flow(&mut self, spec: &SessionSpec) -> Result<String, ServeError> {
+        let id = self.take_id();
+        let resp = self.exchange(&Request::run_flow(id, spec.clone()))?;
+        payload(resp.report_json, "run_flow report")
+    }
+
+    /// Fetches server stats (plus session stats for `spec` if cached).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn stats(&mut self, spec: &SessionSpec) -> Result<ServerStats, ServeError> {
+        let id = self.take_id();
+        let resp = self.exchange(&Request::stats(id, spec.clone()))?;
+        payload(resp.stats, "stats")
+    }
+
+    /// Fetches the server's health verdict; answered inline even under
+    /// full load.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn health(&mut self) -> Result<HealthStatus, ServeError> {
+        let id = self.take_id();
+        let resp = self.exchange(&Request::health(id))?;
+        payload(resp.health, "health")
+    }
+
+    /// Fetches the metrics registry as Prometheus-style text
+    /// exposition; answered inline even under full load.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let id = self.take_id();
+        let resp = self.exchange(&Request::metrics(id))?;
+        payload(resp.metrics, "metrics")
+    }
+
+    /// Hot-swaps the model for the family of the checkpoint at `path`.
+    /// Against a cluster front this broadcasts to every shard.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; `Request` when a shard refuses the swap.
+    pub fn load_model(&mut self, path: impl Into<String>) -> Result<ModelSwapResult, ServeError> {
+        let id = self.take_id();
+        let resp = self.exchange(&Request::load_model(id, path))?;
+        payload(resp.model_swap, "model swap")
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        let id = self.take_id();
+        self.exchange(&Request::shutdown(id))?;
+        Ok(())
+    }
+}
+
+fn payload<T>(field: Option<T>, what: &str) -> Result<T, ServeError> {
+    field.ok_or_else(|| ServeError::Request {
+        why: format!("ok response missing {what} payload"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_every_kind() {
+        let ok = Response::ok(3);
+        assert!(classify(&ok, 3).is_none());
+
+        let busy = Response {
+            retry_after_ms: Some(25),
+            ..Response::busy(4)
+        };
+        match classify(&busy, 4) {
+            Some(ServeError::Busy { retry_after_ms }) => assert_eq!(retry_after_ms, Some(25)),
+            other => panic!("busy misclassified: {other:?}"),
+        }
+
+        let quar = Response::quarantined(5, "strike 3", 1_500);
+        match classify(&quar, 5) {
+            Some(ServeError::Quarantined {
+                why,
+                retry_after_ms,
+            }) => {
+                assert!(why.contains("strike 3"));
+                assert_eq!(retry_after_ms, Some(1_500));
+            }
+            other => panic!("quarantined misclassified: {other:?}"),
+        }
+
+        let rej = Response::rejected(6, "cost over budget");
+        match classify(&rej, 6) {
+            Some(ServeError::Rejected { why }) => assert!(why.contains("cost")),
+            other => panic!("rejected misclassified: {other:?}"),
+        }
+
+        let err = Response::error(7, "flow failed");
+        match classify(&err, 7) {
+            Some(ServeError::Request { why }) => assert!(why.contains("flow failed")),
+            other => panic!("error misclassified: {other:?}"),
+        }
+
+        // Id 0 against a nonzero request id is a connection notice.
+        let notice = Response::error(0, "connection stalled mid-frame");
+        match classify(&notice, 7) {
+            Some(ServeError::Notice { why }) => assert!(why.contains("stalled")),
+            other => panic!("notice misclassified: {other:?}"),
+        }
+        // ... but a request sent with id 0 owns its id-0 error.
+        match classify(&notice, 0) {
+            Some(ServeError::Request { .. }) => {}
+            other => panic!("id-0 request misclassified: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transience_and_backoff_hints() {
+        let busy = ServeError::Busy {
+            retry_after_ms: Some(10),
+        };
+        let quar = ServeError::Quarantined {
+            why: "open".into(),
+            retry_after_ms: Some(2_000),
+        };
+        let rej = ServeError::Rejected { why: "no".into() };
+        let req = ServeError::Request { why: "bad".into() };
+        let notice = ServeError::Notice {
+            why: "stall".into(),
+        };
+        let frame = ServeError::Transport(FrameError::Closed);
+        let gave = ServeError::GaveUp {
+            attempts: 5,
+            last: "busy".into(),
+        };
+        assert!(busy.is_transient() && quar.is_transient());
+        assert!(notice.is_transient() && frame.is_transient());
+        assert!(!rej.is_transient() && !req.is_transient() && !gave.is_transient());
+        assert_eq!(busy.retry_after_ms(), Some(10));
+        assert_eq!(quar.retry_after_ms(), Some(2_000));
+        assert_eq!(rej.retry_after_ms(), None);
+        assert_eq!(frame.retry_after_ms(), None);
+    }
+
+    #[test]
+    fn display_is_specific() {
+        let s = ServeError::Quarantined {
+            why: "3 strikes".into(),
+            retry_after_ms: Some(750),
+        }
+        .to_string();
+        assert!(s.contains("3 strikes") && s.contains("750"), "{s}");
+        let s = ServeError::GaveUp {
+            attempts: 4,
+            last: "busy".into(),
+        }
+        .to_string();
+        assert!(s.contains('4') && s.contains("busy"), "{s}");
+        let s = ServeError::Transport(FrameError::Closed).to_string();
+        assert!(s.contains("connection closed"), "{s}");
+    }
+}

@@ -21,7 +21,8 @@ use std::time::Duration;
 use gnn_mls::session::SessionSpec;
 use gnnmls_par::rng::splitmix64;
 
-use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, ResponseKind};
+use crate::api::{classify, ServeError};
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
 
 /// Retry schedule for [`Client::request_with_retry`].
 #[derive(Clone, Debug)]
@@ -157,7 +158,8 @@ impl Client {
         read_frame(&mut self.stream)
     }
 
-    /// Sends a request, retrying transient failures under `policy`:
+    /// Sends a request, retrying transient failures under `policy`.
+    /// Outcomes are classified by [`crate::api::classify`]:
     /// `Busy` responses (shed work), `Quarantined` responses (the spec's
     /// circuit is open — the backoff floor is the server's
     /// `retry_after_ms` hint, so the next attempt lands after the
@@ -188,23 +190,30 @@ impl Client {
                 ));
             }
             match self.request(req) {
-                Ok(resp) if resp.kind == ResponseKind::Busy => {
-                    last = "busy".to_string();
-                }
-                Ok(resp) if resp.kind == ResponseKind::Quarantined => {
-                    if attempt + 1 == attempts {
-                        return Ok(resp);
+                // The taxonomy decides, not ad-hoc kind matching:
+                // transient verdicts loop, everything else returns the
+                // envelope for the caller to interpret.
+                Ok(resp) => match classify(&resp, req.id) {
+                    Some(ServeError::Busy { .. }) => {
+                        last = "busy".to_string();
                     }
-                    floor_ms = resp.retry_after_ms;
-                    last = "quarantined".to_string();
-                }
-                Ok(resp) if resp.kind == ResponseKind::Error && resp.id == 0 && req.id != 0 => {
-                    // Connection-level notice, not our answer; the
-                    // server may have closed the stream after it.
-                    last = resp.error.unwrap_or_else(|| "connection notice".into());
-                    self.reconnect();
-                }
-                Ok(resp) => return Ok(resp),
+                    Some(ServeError::Quarantined { retry_after_ms, .. }) => {
+                        if attempt + 1 == attempts {
+                            return Ok(resp);
+                        }
+                        floor_ms = retry_after_ms;
+                        last = "quarantined".to_string();
+                    }
+                    Some(ServeError::Notice { why }) => {
+                        // Not our answer; the server may have closed
+                        // the stream after it.
+                        last = why;
+                        self.reconnect();
+                    }
+                    // `Ok`, `Rejected`, and request-level `Error` are
+                    // final answers here.
+                    _ => return Ok(resp),
+                },
                 Err(e) => {
                     last = e.to_string();
                     self.reconnect();

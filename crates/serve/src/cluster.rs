@@ -11,6 +11,17 @@
 //! builds warm exactly once cluster-wide and a cluster answer is
 //! bit-identical to the single-daemon answer for the same request.
 //!
+//! The I/O plane is one readiness-driven reactor thread (the same
+//! `gnnmls-reactor` loop the single daemon runs): client connections
+//! and backend shard connections are multiplexed on one poller, each
+//! forward is a nonblocking session with its own timer-wheel deadline,
+//! and retries are timer events rather than sleeping threads. A shard
+//! dying mid-forward surfaces as a typed failover reason on the loop —
+//! never a thread blocked in `read(2)`. Because one backend connection
+//! carries many concurrent forwards and a reactor shard answers out of
+//! order, the front rewrites request ids to unique forward ids on the
+//! wire and restores the client's id on relay.
+//!
 //! Robustness model, in order of engagement:
 //!
 //! - **Supervision.** Shards the front spawned are reaped and respawned
@@ -34,7 +45,7 @@
 //!   typed error and is counted in `lost_after_retry` — the number the
 //!   cluster bench requires to be zero.
 //! - **Graceful drain.** Shutdown stops accepting (new connections get
-//!   a typed `Rejected` immediately), lets in-flight requests finish,
+//!   a typed `Rejected` immediately), lets in-flight forwards finish,
 //!   collects each shard's final [`ServerStats`], shuts the shards
 //!   down, and writes one versioned [`ClusterStats`] envelope as the
 //!   `cluster-stats` checkpoint stage.
@@ -45,8 +56,10 @@
 //! inside the deadline), and `conn-reset` (the front↔shard connection
 //! tears after the request frame is written).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -55,16 +68,23 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gnn_mls::checkpoint::save_stage_logged;
+use gnn_mls::session::ValidationError;
 use gnnmls_faults::{fire, FaultSite};
 use gnnmls_par::rng::splitmix64;
+use gnnmls_reactor::net::{connect_nonblocking, connect_outcome};
+use gnnmls_reactor::{
+    wake_pair, FrameDecoder, Interest, Poller, TimerWheel, WakeReceiver, WriteQueue,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::client::RetryPolicy;
 use crate::protocol::{
-    read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request, RequestKind,
-    Response, ResponseKind, ServerStats,
+    decode_payload, encode_msg, read_frame_idle, write_frame, FrameError, HealthStatus,
+    QuarantineInfo, Request, RequestKind, Response, ResponseKind, ServerStats, MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 use crate::ring::HashRing;
+use crate::server::Completions;
 
 /// Stage name of the merged drain checkpoint envelope.
 pub const CLUSTER_STATS_STAGE: &str = "cluster-stats";
@@ -77,12 +97,14 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Front-tier configuration. Defaults are production-ish; tests tighten
-/// the timing knobs.
+/// the timing knobs. Construct directly or go through
+/// [`ClusterConfig::builder`] for validation.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Front bind address (`:0` picks a port).
     pub addr: String,
-    /// Idle read-timeout slice for client connections, ms.
+    /// Mid-frame stall timeout for client connections, ms (an idle
+    /// connection between frames never times out).
     pub read_timeout_ms: u64,
     /// Health-probe interval per shard, ms.
     pub probe_interval_ms: u64,
@@ -109,6 +131,13 @@ pub struct ClusterConfig {
     /// How long the drain waits for a shard process to exit before
     /// killing it, ms.
     pub shard_exit_timeout_ms: u64,
+    /// Client connections the reactor keeps open at once; one beyond
+    /// the cap is answered with a typed `Busy` and closed.
+    pub max_connections: usize,
+    /// Bytes read from one connection per readiness event — the
+    /// fairness cap that stops a firehose client from starving the
+    /// loop.
+    pub read_budget: usize,
     /// Where the final [`ClusterStats`] envelope is written.
     pub checkpoint_dir: Option<PathBuf>,
 }
@@ -129,8 +158,131 @@ impl Default for ClusterConfig {
             seed: 0x0C10_57E4,
             spawn_ready_timeout_ms: 60_000,
             shard_exit_timeout_ms: 10_000,
+            max_connections: 16_384,
+            read_budget: 64 * 1024,
             checkpoint_dir: None,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// A checked builder seeded with the defaults;
+    /// [`ClusterConfigBuilder::build`] validates every knob.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Re-opens this config as a builder to derive a validated copy.
+    pub fn to_builder(&self) -> ClusterConfigBuilder {
+        ClusterConfigBuilder { cfg: self.clone() }
+    }
+}
+
+macro_rules! cluster_builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+/// Checked builder for [`ClusterConfig`] (see [`ClusterConfig::builder`]).
+#[derive(Clone, Debug)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    cluster_builder_setters! {
+        /// Front bind address (`:0` picks a port).
+        addr: String,
+        /// Mid-frame stall timeout for client connections, ms.
+        read_timeout_ms: u64,
+        /// Health-probe interval per shard, ms.
+        probe_interval_ms: u64,
+        /// Connect/read timeout for one health probe, ms.
+        probe_timeout_ms: u64,
+        /// Consecutive failures that open a shard's breaker.
+        breaker_threshold: u32,
+        /// Base breaker cooldown, ms.
+        breaker_cooldown_ms: u64,
+        /// Per-attempt forward deadline, ms.
+        forward_timeout_ms: u64,
+        /// Total forward attempts per request.
+        retries: u32,
+        /// Base front-retry backoff, ms.
+        retry_base_ms: u64,
+        /// Front-retry backoff ceiling, ms.
+        retry_max_ms: u64,
+        /// Seed for breaker-cooldown and retry jitter.
+        seed: u64,
+        /// Spawned-shard readiness timeout, ms.
+        spawn_ready_timeout_ms: u64,
+        /// Drain wait for shard process exit, ms.
+        shard_exit_timeout_ms: u64,
+        /// Concurrent client-connection cap.
+        max_connections: usize,
+        /// Bytes read per connection per readiness event.
+        read_budget: usize,
+        /// Where the final stats envelope is written on drain.
+        checkpoint_dir: Option<PathBuf>,
+    }
+
+    /// Validates every knob and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::BadConfig`] naming the first field
+    /// outside its domain.
+    pub fn build(self) -> Result<ClusterConfig, ValidationError> {
+        let c = self.cfg;
+        let bad = |field: &'static str, got: String, want: &'static str| {
+            Err(ValidationError::BadConfig { field, got, want })
+        };
+        if c.addr.is_empty() {
+            return bad("addr", "\"\"".to_string(), "a bind address");
+        }
+        if c.read_timeout_ms == 0 {
+            return bad("read_timeout_ms", "0".to_string(), ">= 1");
+        }
+        if c.probe_interval_ms == 0 {
+            return bad("probe_interval_ms", "0".to_string(), ">= 1");
+        }
+        if c.probe_timeout_ms == 0 {
+            return bad("probe_timeout_ms", "0".to_string(), ">= 1");
+        }
+        if c.breaker_threshold == 0 {
+            return bad("breaker_threshold", "0".to_string(), ">= 1");
+        }
+        if c.breaker_cooldown_ms == 0 {
+            return bad("breaker_cooldown_ms", "0".to_string(), ">= 1");
+        }
+        if c.forward_timeout_ms == 0 {
+            return bad("forward_timeout_ms", "0".to_string(), ">= 1");
+        }
+        if c.retries == 0 {
+            return bad("retries", "0".to_string(), ">= 1");
+        }
+        if c.spawn_ready_timeout_ms == 0 {
+            return bad("spawn_ready_timeout_ms", "0".to_string(), ">= 1");
+        }
+        if c.shard_exit_timeout_ms == 0 {
+            return bad("shard_exit_timeout_ms", "0".to_string(), ">= 1");
+        }
+        if c.max_connections == 0 {
+            return bad("max_connections", "0".to_string(), ">= 1");
+        }
+        if c.read_budget == 0 {
+            return bad("read_budget", "0".to_string(), ">= 1");
+        }
+        Ok(c)
     }
 }
 
@@ -255,6 +407,9 @@ struct ClusterShared {
     shards: Vec<ShardState>,
     running: AtomicBool,
     accept_stop: AtomicBool,
+    /// `LoadModel` broadcasts running on helper threads; the drain
+    /// waits for them so a roll in flight still gets its answer.
+    inflight_broadcasts: AtomicU64,
     counters: ClusterCounters,
 }
 
@@ -523,218 +678,8 @@ fn prober_loop(shared: &Arc<ClusterShared>) {
     }
 }
 
-/// Per-connection cache of backend streams. Any non-clean exchange
-/// drops the stream: a desynchronized backend connection would pair
-/// the next request with a stale response.
-struct BackendConns {
-    streams: HashMap<u16, TcpStream>,
-}
-
-impl BackendConns {
-    fn new() -> Self {
-        Self {
-            streams: HashMap::new(),
-        }
-    }
-
-    fn get(&mut self, shard: &ShardState, timeout: Duration) -> Option<&mut TcpStream> {
-        if let std::collections::hash_map::Entry::Vacant(slot) = self.streams.entry(shard.id) {
-            let stream = TcpStream::connect_timeout(&shard.addr, timeout).ok()?;
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-            let _ = stream.set_write_timeout(Some(timeout));
-            slot.insert(stream);
-        }
-        self.streams.get_mut(&shard.id)
-    }
-
-    fn drop_conn(&mut self, id: u16) {
-        self.streams.remove(&id);
-    }
-}
-
-/// One forward attempt against one shard. `Err` means the shard gave
-/// no usable answer (connect/write/read failure, stall, torn
-/// connection, or an injected fault); the caller records the breaker
-/// failure and decides where the next attempt goes.
-fn forward_once(
-    shared: &ClusterShared,
-    conns: &mut BackendConns,
-    target: u16,
-    req: &Request,
-) -> Result<Response, FrameError> {
-    let shard = shared.shard(target);
-    let connect_timeout = Duration::from_millis(shared.cfg.probe_timeout_ms.max(1));
-    let Some(stream) = conns.get(shard, connect_timeout) else {
-        return Err(FrameError::Io(std::io::Error::new(
-            std::io::ErrorKind::ConnectionRefused,
-            format!("shard {target} unreachable"),
-        )));
-    };
-    if let Err(e) = write_frame(stream, req) {
-        conns.drop_conn(target);
-        return Err(e);
-    }
-    // Deterministic seam: the connection tears right after the request
-    // frame went out — the shard may or may not have processed it, the
-    // front never sees the answer.
-    if fire(FaultSite::ConnReset) {
-        if let Some(s) = conns.streams.get(&target) {
-            let _ = s.shutdown(std::net::Shutdown::Both);
-        }
-        conns.drop_conn(target);
-        return Err(FrameError::Io(std::io::Error::new(
-            std::io::ErrorKind::ConnectionReset,
-            "injected front\u{2194}shard connection reset",
-        )));
-    }
-    // Deterministic seam: the shard holds the answer past the forward
-    // deadline. The stream is desynchronized (the real answer is still
-    // coming), so it must be dropped.
-    if fire(FaultSite::ShardStall) {
-        conns.drop_conn(target);
-        return Err(FrameError::Stalled);
-    }
-    let deadline = Instant::now() + Duration::from_millis(shared.cfg.forward_timeout_ms.max(1));
-    match read_response_deadline(stream, deadline) {
-        Ok(resp) => Ok(resp),
-        Err(e) => {
-            conns.drop_conn(target);
-            Err(e)
-        }
-    }
-}
-
 fn count_failover_reason(reason: &str) {
     gnnmls_obs::counter_add("gnnmls_cluster_failovers_total", &[("reason", reason)], 1);
-}
-
-/// Routes one request: primary first, deterministic secondary on
-/// failure, bounded seeded-jitter retries, `retry_after_ms` honored as
-/// the backoff floor when re-attempting the same shard.
-fn route_and_forward(shared: &ClusterShared, conns: &mut BackendConns, req: &Request) -> Response {
-    shared.counters.requests.fetch_add(1, Ordering::SeqCst);
-    let key = req.spec.cache_key();
-    let Some(primary) = shared.ring.primary(key) else {
-        return Response::error(req.id, "cluster has no shards");
-    };
-    let secondary = shared.ring.secondary(key);
-    let other = |s: u16| {
-        if s == primary {
-            secondary
-        } else {
-            Some(primary)
-        }
-    };
-    let policy = RetryPolicy {
-        max_attempts: shared.cfg.retries.max(1),
-        base_delay_ms: shared.cfg.retry_base_ms,
-        max_delay_ms: shared.cfg.retry_max_ms,
-        seed: shared.cfg.seed ^ key,
-    };
-    let attempts = policy.max_attempts;
-    let mut prefer = primary;
-    let mut floor_ms: Option<u64> = None;
-    let mut last = String::from("no attempt made");
-    for attempt in 0..attempts {
-        if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(
-                policy.delay_with_floor(attempt - 1, floor_ms.take()),
-            ));
-        }
-        let mut target = prefer;
-        // Breaker pre-check: an open target routes to the other shard
-        // when that one is closed; both open falls through to the
-        // preferred target as the half-open probe.
-        if shared.breaker_open(target) {
-            if let Some(alt) = other(target) {
-                if !shared.breaker_open(alt) {
-                    if target == primary {
-                        count_failover_reason(REASON_BREAKER);
-                    }
-                    target = alt;
-                }
-            }
-        }
-        // Deterministic seam: the shard we are about to use crashes
-        // now. The forward below fails and the failover path takes
-        // over.
-        if fire(FaultSite::ShardCrash) {
-            shared.crash_shard(target);
-        }
-        match forward_once(shared, conns, target, req) {
-            Ok(resp) if resp.id == req.id => {
-                // Any well-formed answer proves the shard alive.
-                shared.record_shard_success(target);
-                match resp.kind {
-                    ResponseKind::Busy => {
-                        // Alive but loaded: back off, same target.
-                        last = "busy".into();
-                        prefer = target;
-                    }
-                    ResponseKind::Quarantined if attempt + 1 < attempts => {
-                        // The spec's circuit is open on this shard. The
-                        // secondary has its own (cold) session state,
-                        // so fail over when we can; otherwise wait out
-                        // the shard's own retry_after_ms.
-                        last = "quarantined".into();
-                        match other(target) {
-                            Some(alt) if target == primary => {
-                                count_failover_reason(REASON_QUARANTINED);
-                                prefer = alt;
-                            }
-                            _ => {
-                                floor_ms = resp.retry_after_ms;
-                                prefer = target;
-                            }
-                        }
-                    }
-                    _ => return relay(shared, resp, target, primary),
-                }
-            }
-            Ok(notice) => {
-                // A connection-level notice (id 0: the shard is
-                // draining or flagged the stream); the stream may be
-                // closed behind it.
-                last = notice.error.unwrap_or_else(|| "connection notice".into());
-                conns.drop_conn(target);
-                shared.record_shard_failure(target);
-                if let Some(alt) = other(target) {
-                    if target == primary {
-                        count_failover_reason(REASON_CONN);
-                    }
-                    prefer = alt;
-                }
-            }
-            Err(e) => {
-                last = e.to_string();
-                shared.record_shard_failure(target);
-                let reason = match e {
-                    FrameError::Stalled => REASON_STALL,
-                    _ => REASON_CONN,
-                };
-                if let Some(alt) = other(target) {
-                    if target == primary {
-                        count_failover_reason(reason);
-                    }
-                    prefer = alt;
-                }
-            }
-        }
-    }
-    shared
-        .counters
-        .lost_after_retry
-        .fetch_add(1, Ordering::SeqCst);
-    gnnmls_obs::counter_add(
-        "gnnmls_cluster_requests_total",
-        &[("shard", "none"), ("outcome", "lost")],
-        1,
-    );
-    Response::error(
-        req.id,
-        format!("cluster: request not served after {attempts} attempts; last: {last}"),
-    )
 }
 
 /// Final accounting for a relayed response: per-kind counters, the
@@ -780,6 +725,30 @@ fn relay(shared: &ClusterShared, resp: Response, answered_by: u16, primary: u16)
     resp
 }
 
+/// One blocking request/response exchange on a fresh connection, used
+/// only by the `LoadModel` broadcast helper threads — the hot forward
+/// path lives on the reactor.
+fn broadcast_exchange(
+    shared: &ClusterShared,
+    target: u16,
+    req: &Request,
+) -> Result<Response, FrameError> {
+    let addr = shared.shard(target).addr;
+    let connect_timeout = Duration::from_millis(shared.cfg.probe_timeout_ms.max(1));
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout).map_err(|_| {
+        FrameError::Io(std::io::Error::new(
+            ErrorKind::ConnectionRefused,
+            format!("shard {target} unreachable"),
+        ))
+    })?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(connect_timeout));
+    write_frame(&mut stream, req)?;
+    let deadline = Instant::now() + Duration::from_millis(shared.cfg.forward_timeout_ms.max(1));
+    read_response_deadline(&mut stream, deadline)
+}
+
 /// Broadcasts a `LoadModel` to every shard and merges the answers: the
 /// roll is `Ok` only when every shard that answered swapped
 /// successfully (the first refusal is relayed verbatim, annotated with
@@ -787,15 +756,11 @@ fn relay(shared: &ClusterShared, resp: Response, answered_by: u16, primary: u16)
 /// are skipped and counted; a respawned shard comes back on its
 /// built-in models until the next broadcast, which is exactly what its
 /// empty state serves anyway.
-fn broadcast_load_model(
-    shared: &ClusterShared,
-    conns: &mut BackendConns,
-    req: &Request,
-) -> Response {
+fn broadcast_load_model(shared: &ClusterShared, req: &Request) -> Response {
     let mut swapped: Option<Response> = None;
     let mut unreachable = 0u64;
     for shard in &shared.shards {
-        match forward_once(shared, conns, shard.id, req) {
+        match broadcast_exchange(shared, shard.id, req) {
             Ok(resp) if resp.id == req.id => {
                 shared.record_shard_success(shard.id);
                 if resp.kind == ResponseKind::Ok {
@@ -816,7 +781,6 @@ fn broadcast_load_model(
                 }
             }
             Ok(_) | Err(_) => {
-                conns.drop_conn(shard.id);
                 shared.record_shard_failure(shard.id);
                 unreachable += 1;
             }
@@ -844,62 +808,1012 @@ fn broadcast_load_model(
     }
 }
 
-fn front_conn_loop(shared: &Arc<ClusterShared>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(
-        shared.cfg.read_timeout_ms.max(1),
-    )));
-    let _ = stream.set_nodelay(true);
-    let mut conns = BackendConns::new();
-    loop {
-        let req: Request =
-            match read_frame_idle(&mut stream, || shared.running.load(Ordering::SeqCst)) {
-                Ok(Some(req)) => req,
-                Ok(None) | Err(FrameError::Closed) => return,
-                Err(e @ FrameError::Malformed(_)) => {
-                    // Frame-aligned despite the bad payload: typed
-                    // error, keep the connection.
-                    if write_frame(&mut stream, &Response::error(0, e)).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                Err(e) => {
-                    let _ = write_frame(&mut stream, &Response::error(0, e));
+/// Timer-key namespace tags (high byte) so one wheel serves every
+/// purpose without collisions: connection tokens and forward ids both
+/// stay below 2^56.
+const TAG_MASK: u64 = !((1u64 << 56) - 1);
+/// A client connection stalled mid-frame.
+const TAG_STALL: u64 = 1 << 56;
+/// A connection accepted during the drain owes its typed refusal.
+const TAG_REFUSE: u64 = 2 << 56;
+/// A forward's backoff expired: run the next attempt.
+const TAG_RETRY: u64 = 3 << 56;
+/// A forward attempt's per-attempt deadline expired.
+const TAG_DEADLINE: u64 = 4 << 56;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Write backpressure: reading from a client pauses while its unsent
+/// responses exceed this many bytes (the peer is not draining).
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// How long a connection accepted during a drain may idle before the
+/// typed refusal goes out even without a request frame.
+const DRAIN_REFUSE_MS: u64 = 500;
+
+/// How long the drain waits for in-flight forwards and broadcasts
+/// before abandoning them.
+const DRAIN_FORWARD_GRACE_MS: u64 = 30_000;
+
+/// One client connection's state on the front reactor.
+struct FrontConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    writes: WriteQueue,
+    interest: Interest,
+    /// Forwards (and broadcasts) running on behalf of this connection,
+    /// not yet answered.
+    inflight: usize,
+    /// Accepted while draining: the first frame (or a timer) gets a
+    /// typed refusal and nothing is served.
+    refusing: bool,
+    /// Stop serving; close once the write queue drains and no forward
+    /// is in flight.
+    closing: bool,
+}
+
+impl FrontConn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            decoder: FrameDecoder::new(PROTOCOL_VERSION, MAX_FRAME),
+            writes: WriteQueue::new(),
+            interest: Interest::READABLE,
+            inflight: 0,
+            refusing: false,
+            closing: false,
+        }
+    }
+}
+
+/// One nonblocking backend connection, multiplexing every concurrent
+/// forward to its shard. The reactor shard answers out of order, so
+/// responses are matched back to forwards by the rewritten wire id in
+/// `pending`.
+struct BackendConn {
+    stream: TcpStream,
+    shard: u16,
+    decoder: FrameDecoder,
+    writes: WriteQueue,
+    interest: Interest,
+    /// Still mid nonblocking `connect(2)`: the first writability event
+    /// resolves the handshake outcome.
+    connecting: bool,
+    /// Forward ids written to this connection and not yet answered. A
+    /// torn connection fails them all over; an id no longer here is a
+    /// late answer and is dropped.
+    pending: HashSet<u64>,
+}
+
+/// One routed client request in flight: which client asked, where it
+/// is being tried, and the retry budget — the reactor rendering of the
+/// old per-thread `route_and_forward` loop state.
+struct Forward {
+    orig_id: u64,
+    client: u64,
+    req: Request,
+    primary: u16,
+    secondary: Option<u16>,
+    /// Attempts finished (failed or retried) so far.
+    attempt: u32,
+    attempts: u32,
+    /// Where the next attempt should go.
+    prefer: u16,
+    /// Where the current attempt went.
+    target: u16,
+    /// A shard's `retry_after_ms`, honored as the next backoff floor.
+    floor_ms: Option<u64>,
+    /// Last failure, quoted in the give-up error.
+    last: String,
+    policy: RetryPolicy,
+}
+
+/// The front's readiness-driven I/O plane: one thread owning every
+/// client socket, every backend socket, every forward deadline and
+/// retry timer.
+struct FrontReactor {
+    shared: Arc<ClusterShared>,
+    completions: Arc<Completions>,
+    listener: TcpListener,
+    poller: Poller,
+    timers: TimerWheel,
+    wake_rx: WakeReceiver,
+    clients: HashMap<u64, FrontConn>,
+    backends: HashMap<u64, BackendConn>,
+    /// Live backend connection per shard id.
+    by_shard: HashMap<u16, u64>,
+    forwards: HashMap<u64, Forward>,
+    /// Shared token namespace for client and backend sockets.
+    next_token: u64,
+    /// Wire ids for forwards; 0 is reserved for connection notices.
+    next_fwd: u64,
+}
+
+impl FrontReactor {
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        let mut fired: Vec<u64> = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            if self.shared.accept_stop.load(Ordering::SeqCst) {
+                // Let in-flight forwards and broadcasts finish (the
+                // drain contract), but never wait forever on a wedged
+                // shard.
+                let dl = *drain_deadline.get_or_insert_with(|| {
+                    Instant::now() + Duration::from_millis(DRAIN_FORWARD_GRACE_MS)
+                });
+                let idle = self.forwards.is_empty()
+                    && self.shared.inflight_broadcasts.load(Ordering::SeqCst) == 0;
+                if idle || Instant::now() >= dl {
+                    self.final_flush();
                     return;
                 }
+            }
+            // Cap the sleep so a lost wakeup can only ever delay — not
+            // deadlock — a drain.
+            let timeout = self
+                .timers
+                .next_deadline()
+                .map_or(Duration::from_millis(500), |dl| {
+                    dl.saturating_duration_since(Instant::now())
+                })
+                .min(Duration::from_millis(500));
+            events.clear();
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            for ev in &events {
+                let (token, readable, writable, hangup) =
+                    (ev.token, ev.readable, ev.writable, ev.hangup);
+                match token {
+                    TOKEN_LISTENER => self.on_accept(),
+                    TOKEN_WAKER => {
+                        self.wake_rx.drain();
+                        self.deliver_completions();
+                    }
+                    _ if self.backends.contains_key(&token) => {
+                        self.on_backend_event(token, readable, writable, hangup);
+                    }
+                    _ => self.on_client_event(token, readable, writable, hangup),
+                }
+            }
+            fired.clear();
+            self.timers.pop_expired(Instant::now(), &mut fired);
+            for &key in &fired {
+                self.on_timer(key);
+            }
+        }
+    }
+
+    fn on_accept(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
             };
-        // Shutdown / Health / Metrics are front-level; everything else
-        // routes to a shard.
-        if req.kind == RequestKind::Shutdown {
-            let _ = write_frame(&mut stream, &Response::ok(req.id));
-            shared.begin_shutdown();
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            let mut conn = FrontConn::new(stream);
+            if self
+                .poller
+                .register(conn.stream.as_raw_fd(), token, Interest::READABLE)
+                .is_err()
+            {
+                continue;
+            }
+            if !self.shared.running.load(Ordering::SeqCst) {
+                // Draining: wait (bounded) for the client's first frame
+                // and answer it with a typed refusal — refusing before
+                // the client writes would race a TCP reset that
+                // discards the refusal before the client reads it.
+                conn.refusing = true;
+                self.clients.insert(token, conn);
+                self.timers
+                    .schedule_after(TAG_REFUSE | token, Duration::from_millis(DRAIN_REFUSE_MS));
+                continue;
+            }
+            if self.clients.len() >= self.shared.cfg.max_connections.max(1) {
+                gnnmls_obs::counter_add("gnnmls_cluster_conn_limited_total", &[], 1);
+                conn.closing = true;
+                self.clients.insert(token, conn);
+                self.send_client(token, &Response::busy(0));
+                continue;
+            }
+            self.clients.insert(token, conn);
+        }
+    }
+
+    /// Answers with a typed stall notice and closes — the reactor's
+    /// rendering of the old mid-frame read timeout.
+    fn stall_out(&mut self, token: u64) {
+        if let Some(conn) = self.clients.get_mut(&token) {
+            conn.closing = true;
+        }
+        self.send_client(token, &Response::error(0, FrameError::Stalled));
+    }
+
+    /// Encodes and queues one response on a client, then flushes as
+    /// much as the socket accepts. A gone connection swallows the
+    /// response.
+    fn send_client(&mut self, token: u64, resp: &Response) {
+        let Some(conn) = self.clients.get_mut(&token) else {
+            return;
+        };
+        match encode_msg(resp) {
+            Ok(frame) => conn.writes.push(frame),
+            Err(_) => {
+                self.close_client(token);
+                return;
+            }
+        }
+        self.flush_client(token);
+    }
+
+    fn flush_client(&mut self, token: u64) {
+        let flushed = {
+            let Some(conn) = self.clients.get_mut(&token) else {
+                return;
+            };
+            conn.writes.flush_to(&mut conn.stream)
+        };
+        match flushed {
+            Ok(_) => self.settle_client(token),
+            Err(_) => self.close_client(token),
+        }
+    }
+
+    /// Closes a finished client or re-syncs its poll interest.
+    fn settle_client(&mut self, token: u64) {
+        let Some(conn) = self.clients.get(&token) else {
+            return;
+        };
+        if conn.closing && conn.writes.is_empty() && conn.inflight == 0 {
+            self.close_client(token);
+        } else {
+            self.update_client_interest(token);
+        }
+    }
+
+    fn update_client_interest(&mut self, token: u64) {
+        let Some(conn) = self.clients.get_mut(&token) else {
+            return;
+        };
+        let want = Interest {
+            readable: !conn.closing && conn.writes.buffered() < WRITE_HIGH_WATER,
+            writable: !conn.writes.is_empty(),
+        };
+        if want.readable != conn.interest.readable || want.writable != conn.interest.writable {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, token, want).is_err() {
+                self.close_client(token);
+                return;
+            }
+            conn.interest = want;
+        }
+    }
+
+    fn close_client(&mut self, token: u64) {
+        if let Some(conn) = self.clients.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.timers.cancel(TAG_STALL | token);
+            self.timers.cancel(TAG_REFUSE | token);
+        }
+    }
+
+    fn on_client_event(&mut self, token: u64, readable: bool, writable: bool, hangup: bool) {
+        if writable {
+            self.flush_client(token);
+        }
+        if readable {
+            self.on_client_readable(token);
+        }
+        if hangup && !readable {
+            self.close_client(token);
+        }
+    }
+
+    fn on_client_readable(&mut self, token: u64) {
+        let budget = self.shared.cfg.read_budget.max(1);
+        let eof = {
+            let Some(conn) = self.clients.get_mut(&token) else {
+                return;
+            };
+            if conn.closing || conn.writes.buffered() >= WRITE_HIGH_WATER {
+                return;
+            }
+            match conn.decoder.fill_from(&mut conn.stream, budget) {
+                Ok((_, eof)) => eof,
+                Err(_) => {
+                    self.close_client(token);
+                    return;
+                }
+            }
+        };
+        loop {
+            let (payload, refusing) = {
+                let Some(conn) = self.clients.get_mut(&token) else {
+                    return;
+                };
+                if conn.closing {
+                    break;
+                }
+                match conn.decoder.next_frame() {
+                    Ok(Some(payload)) => (payload, conn.refusing),
+                    Ok(None) => break,
+                    Err(e) => {
+                        conn.closing = true;
+                        self.send_client(token, &Response::error(0, FrameError::from(e)));
+                        break;
+                    }
+                }
+            };
+            if refusing {
+                self.refuse(token);
+            } else {
+                self.handle_payload(token, &payload);
+            }
+        }
+        if eof {
+            let truncated = {
+                let Some(conn) = self.clients.get_mut(&token) else {
+                    return;
+                };
+                let truncated = conn.decoder.mid_frame() && !conn.refusing && !conn.closing;
+                conn.closing = true;
+                truncated
+            };
+            if truncated {
+                self.send_client(token, &Response::error(0, FrameError::Truncated));
+            }
+        }
+        // Stall deadline: armed only while a frame is partially read —
+        // an idle connection between frames never times out.
+        let Some(conn) = self.clients.get(&token) else {
+            return;
+        };
+        let (mid, closing) = (conn.decoder.mid_frame(), conn.closing);
+        if mid && !closing {
+            self.timers.schedule_after(
+                TAG_STALL | token,
+                Duration::from_millis(self.shared.cfg.read_timeout_ms.max(1)),
+            );
+        } else {
+            self.timers.cancel(TAG_STALL | token);
+        }
+        self.settle_client(token);
+    }
+
+    /// Sends the typed drain refusal on a connection accepted while the
+    /// front is shutting down.
+    fn refuse(&mut self, token: u64) {
+        self.timers.cancel(TAG_REFUSE | token);
+        if let Some(conn) = self.clients.get_mut(&token) {
+            conn.closing = true;
+        }
+        gnnmls_obs::counter_add("gnnmls_cluster_drain_refused_total", &[], 1);
+        self.send_client(
+            token,
+            &Response::rejected(0, "cluster front is draining; connection refused"),
+        );
+    }
+
+    /// Front-level dispatch for one decoded client frame. Shutdown,
+    /// Health and Metrics are answered on the loop; a `LoadModel`
+    /// broadcast runs on a helper thread (it must land on every shard,
+    /// and a slow shard must not stall routing); everything else starts
+    /// a nonblocking forward.
+    fn handle_payload(&mut self, token: u64, payload: &[u8]) {
+        let req: Request = match decode_payload(payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Frame-aligned despite the bad payload: typed error,
+                // keep the connection.
+                self.send_client(token, &Response::error(0, e));
+                return;
+            }
+        };
+        match req.kind {
+            RequestKind::Shutdown => {
+                if let Some(conn) = self.clients.get_mut(&token) {
+                    conn.closing = true;
+                }
+                self.send_client(token, &Response::ok(req.id));
+                self.shared.begin_shutdown();
+            }
+            RequestKind::Health => {
+                let resp = Response::ok(req.id).with_health(self.shared.health());
+                self.send_client(token, &resp);
+            }
+            RequestKind::Metrics => {
+                let resp = Response::ok(req.id).with_metrics(gnn_mls::api::metrics());
+                self.send_client(token, &resp);
+            }
+            RequestKind::LoadModel => {
+                if let Some(conn) = self.clients.get_mut(&token) {
+                    conn.inflight += 1;
+                }
+                self.shared
+                    .inflight_broadcasts
+                    .fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(&self.shared);
+                let completions = Arc::clone(&self.completions);
+                std::thread::spawn(move || {
+                    let resp = broadcast_load_model(&shared, &req);
+                    lock(&completions.ready).push((token, resp));
+                    shared.inflight_broadcasts.fetch_sub(1, Ordering::SeqCst);
+                    completions.waker.wake();
+                });
+            }
+            _ => self.start_forward(token, req),
+        }
+    }
+
+    /// Broadcast (and any other off-loop) responses coming home through
+    /// the completion queue.
+    fn deliver_completions(&mut self) {
+        let ready = std::mem::take(&mut *lock(&self.completions.ready));
+        for (token, resp) in ready {
+            self.deliver_to_client(token, resp);
+        }
+    }
+
+    /// Hands a finished response to the client that asked and settles
+    /// the connection (a closing client whose last answer just left is
+    /// reaped here).
+    fn deliver_to_client(&mut self, token: u64, resp: Response) {
+        if let Some(conn) = self.clients.get_mut(&token) {
+            conn.inflight = conn.inflight.saturating_sub(1);
+        }
+        self.send_client(token, &resp);
+        self.settle_client(token);
+    }
+
+    /// Routes one request: primary first, deterministic secondary on
+    /// failure, bounded seeded-jitter retries as timer events.
+    fn start_forward(&mut self, token: u64, req: Request) {
+        self.shared.counters.requests.fetch_add(1, Ordering::SeqCst);
+        let key = req.spec.cache_key();
+        let Some(primary) = self.shared.ring.primary(key) else {
+            self.send_client(token, &Response::error(req.id, "cluster has no shards"));
+            return;
+        };
+        let secondary = self.shared.ring.secondary(key);
+        let policy = RetryPolicy {
+            max_attempts: self.shared.cfg.retries.max(1),
+            base_delay_ms: self.shared.cfg.retry_base_ms,
+            max_delay_ms: self.shared.cfg.retry_max_ms,
+            seed: self.shared.cfg.seed ^ key,
+        };
+        let attempts = policy.max_attempts;
+        let fwd_id = self.next_fwd;
+        self.next_fwd += 1;
+        if let Some(conn) = self.clients.get_mut(&token) {
+            conn.inflight += 1;
+        }
+        self.forwards.insert(
+            fwd_id,
+            Forward {
+                orig_id: req.id,
+                client: token,
+                req,
+                primary,
+                secondary,
+                attempt: 0,
+                attempts,
+                prefer: primary,
+                target: primary,
+                floor_ms: None,
+                last: "no attempt made".into(),
+                policy,
+            },
+        );
+        self.attempt_forward(fwd_id);
+    }
+
+    /// Runs one forward attempt: breaker pre-check picks the target,
+    /// the frame (with its id rewritten to the forward id) goes onto
+    /// the shard's nonblocking connection, and the per-attempt deadline
+    /// is armed.
+    fn attempt_forward(&mut self, fwd_id: u64) {
+        let Some((prefer, primary, secondary)) = self
+            .forwards
+            .get(&fwd_id)
+            .map(|f| (f.prefer, f.primary, f.secondary))
+        else {
+            return;
+        };
+        let mut target = prefer;
+        // Breaker pre-check: an open target routes to the other shard
+        // when that one is closed; both open falls through to the
+        // preferred target as the half-open probe.
+        if self.shared.breaker_open(target) {
+            let alt = if target == primary {
+                secondary
+            } else {
+                Some(primary)
+            };
+            if let Some(alt) = alt {
+                if !self.shared.breaker_open(alt) {
+                    if target == primary {
+                        count_failover_reason(REASON_BREAKER);
+                    }
+                    target = alt;
+                }
+            }
+        }
+        // Deterministic seam: the shard we are about to use crashes
+        // now. The forward below fails and the failover path takes
+        // over.
+        if fire(FaultSite::ShardCrash) {
+            self.shared.crash_shard(target);
+        }
+        if let Some(f) = self.forwards.get_mut(&fwd_id) {
+            f.target = target;
+        }
+        let Some(btoken) = self.ensure_backend(target) else {
+            self.fail_attempt(fwd_id, REASON_CONN, format!("shard {target} unreachable"));
+            return;
+        };
+        let frame = {
+            let Some(f) = self.forwards.get(&fwd_id) else {
+                return;
+            };
+            let wire_req = Request {
+                id: fwd_id,
+                ..f.req.clone()
+            };
+            match encode_msg(&wire_req) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    let why = e.to_string();
+                    self.fail_attempt(fwd_id, REASON_CONN, why);
+                    return;
+                }
+            }
+        };
+        if let Some(b) = self.backends.get_mut(&btoken) {
+            b.writes.push(frame);
+            b.pending.insert(fwd_id);
+        }
+        self.flush_backend(btoken);
+        // The flush may have torn the connection down and already
+        // failed this attempt over.
+        let still_pending = self
+            .backends
+            .get(&btoken)
+            .is_some_and(|b| b.pending.contains(&fwd_id));
+        if !still_pending {
             return;
         }
-        if req.kind == RequestKind::Health {
-            let resp = Response::ok(req.id).with_health(shared.health());
-            if write_frame(&mut stream, &resp).is_err() {
-                return;
+        // Deterministic seam: the connection tears right after the
+        // request frame went out — the shard may or may not have
+        // processed it, the front never sees the answer.
+        if fire(FaultSite::ConnReset) {
+            if let Some(b) = self.backends.get(&btoken) {
+                let _ = b.stream.shutdown(std::net::Shutdown::Both);
             }
-            continue;
-        }
-        if req.kind == RequestKind::Metrics {
-            let resp = Response::ok(req.id).with_metrics(gnn_mls::api::metrics());
-            if write_frame(&mut stream, &resp).is_err() {
-                return;
-            }
-            continue;
-        }
-        // A model roll must land on every shard, not one ring target.
-        if req.kind == RequestKind::LoadModel {
-            let resp = broadcast_load_model(shared, &mut conns, &req);
-            if write_frame(&mut stream, &resp).is_err() {
-                return;
-            }
-            continue;
-        }
-        let resp = route_and_forward(shared, &mut conns, &req);
-        if write_frame(&mut stream, &resp).is_err() {
+            self.backend_failed(btoken, "injected front\u{2194}shard connection reset");
             return;
+        }
+        // Deterministic seam: the shard holds the answer past the
+        // forward deadline.
+        if fire(FaultSite::ShardStall) {
+            if let Some(b) = self.backends.get_mut(&btoken) {
+                b.pending.remove(&fwd_id);
+            }
+            self.fail_attempt(fwd_id, REASON_STALL, FrameError::Stalled.to_string());
+            return;
+        }
+        self.timers.schedule_after(
+            TAG_DEADLINE | fwd_id,
+            Duration::from_millis(self.shared.cfg.forward_timeout_ms.max(1)),
+        );
+    }
+
+    /// One attempt failed without a typed shard answer: feed the
+    /// breaker, flip the preference to the other shard (counting the
+    /// failover reason when leaving the primary), and schedule the next
+    /// attempt.
+    fn fail_attempt(&mut self, fwd_id: u64, reason: &'static str, last: String) {
+        self.timers.cancel(TAG_DEADLINE | fwd_id);
+        let Some((target, primary, secondary)) = self.forwards.get_mut(&fwd_id).map(|f| {
+            f.last = last;
+            (f.target, f.primary, f.secondary)
+        }) else {
+            return;
+        };
+        self.shared.record_shard_failure(target);
+        let alt = if target == primary {
+            secondary
+        } else {
+            Some(primary)
+        };
+        if let Some(alt) = alt {
+            if target == primary {
+                count_failover_reason(reason);
+            }
+            if let Some(f) = self.forwards.get_mut(&fwd_id) {
+                f.prefer = alt;
+            }
+        }
+        self.next_attempt(fwd_id);
+    }
+
+    /// Books the finished attempt and either schedules the retry timer
+    /// (honoring a `retry_after_ms` floor) or gives up.
+    fn next_attempt(&mut self, fwd_id: u64) {
+        let delay = {
+            let Some(f) = self.forwards.get_mut(&fwd_id) else {
+                return;
+            };
+            f.attempt += 1;
+            if f.attempt >= f.attempts {
+                None
+            } else {
+                Some(f.policy.delay_with_floor(f.attempt - 1, f.floor_ms.take()))
+            }
+        };
+        match delay {
+            None => self.give_up(fwd_id),
+            Some(ms) => {
+                self.timers
+                    .schedule_after(TAG_RETRY | fwd_id, Duration::from_millis(ms));
+            }
+        }
+    }
+
+    fn give_up(&mut self, fwd_id: u64) {
+        let Some(f) = self.forwards.remove(&fwd_id) else {
+            return;
+        };
+        self.shared
+            .counters
+            .lost_after_retry
+            .fetch_add(1, Ordering::SeqCst);
+        gnnmls_obs::counter_add(
+            "gnnmls_cluster_requests_total",
+            &[("shard", "none"), ("outcome", "lost")],
+            1,
+        );
+        let resp = Response::error(
+            f.orig_id,
+            format!(
+                "cluster: request not served after {} attempts; last: {}",
+                f.attempts, f.last
+            ),
+        );
+        self.deliver_to_client(f.client, resp);
+    }
+
+    /// A typed shard answer ends the forward: restore the client's id,
+    /// run the relay accounting, deliver.
+    fn complete_forward(&mut self, fwd_id: u64, resp: Response) {
+        let Some(f) = self.forwards.remove(&fwd_id) else {
+            return;
+        };
+        let resp = Response {
+            id: f.orig_id,
+            ..resp
+        };
+        let resp = relay(&self.shared, resp, f.target, f.primary);
+        self.deliver_to_client(f.client, resp);
+    }
+
+    /// One decoded response frame from a backend. Id 0 is a
+    /// connection-level notice (the shard is draining or flagged the
+    /// stream) and fails every pending forward on this connection over;
+    /// any other id is matched to its forward — or dropped as a late
+    /// answer for an attempt that already failed over.
+    fn on_backend_response(&mut self, btoken: u64, resp: Response) {
+        if resp.id == 0 {
+            let why = resp.error.unwrap_or_else(|| "connection notice".into());
+            self.backend_failed(btoken, &why);
+            return;
+        }
+        let fwd_id = resp.id;
+        let known = self
+            .backends
+            .get_mut(&btoken)
+            .is_some_and(|b| b.pending.remove(&fwd_id));
+        if !known || !self.forwards.contains_key(&fwd_id) {
+            return;
+        }
+        self.timers.cancel(TAG_DEADLINE | fwd_id);
+        let Some((target, primary, secondary, attempt, attempts)) = self
+            .forwards
+            .get(&fwd_id)
+            .map(|f| (f.target, f.primary, f.secondary, f.attempt, f.attempts))
+        else {
+            return;
+        };
+        // Any well-formed answer proves the shard alive.
+        self.shared.record_shard_success(target);
+        match resp.kind {
+            ResponseKind::Busy => {
+                // Alive but loaded: back off, same target.
+                if let Some(f) = self.forwards.get_mut(&fwd_id) {
+                    f.last = "busy".into();
+                    f.prefer = target;
+                }
+                self.next_attempt(fwd_id);
+            }
+            ResponseKind::Quarantined if attempt + 1 < attempts => {
+                // The spec's circuit is open on this shard. The
+                // secondary has its own (cold) session state, so fail
+                // over when we can; otherwise wait out the shard's own
+                // retry_after_ms.
+                let alt = if target == primary {
+                    secondary
+                } else {
+                    Some(primary)
+                };
+                if let Some(f) = self.forwards.get_mut(&fwd_id) {
+                    f.last = "quarantined".into();
+                }
+                match alt {
+                    Some(alt) if target == primary => {
+                        count_failover_reason(REASON_QUARANTINED);
+                        if let Some(f) = self.forwards.get_mut(&fwd_id) {
+                            f.prefer = alt;
+                        }
+                    }
+                    _ => {
+                        if let Some(f) = self.forwards.get_mut(&fwd_id) {
+                            f.floor_ms = resp.retry_after_ms;
+                            f.prefer = target;
+                        }
+                    }
+                }
+                self.next_attempt(fwd_id);
+            }
+            _ => self.complete_forward(fwd_id, resp),
+        }
+    }
+
+    /// Tears down a backend connection and fails every pending forward
+    /// over with a typed reason — the reactor guarantee that a shard
+    /// dying mid-forward never strands a request (or a thread).
+    fn backend_failed(&mut self, btoken: u64, why: &str) {
+        let Some(conn) = self.backends.remove(&btoken) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if self.by_shard.get(&conn.shard) == Some(&btoken) {
+            self.by_shard.remove(&conn.shard);
+        }
+        for fwd_id in conn.pending {
+            self.fail_attempt(fwd_id, REASON_CONN, why.to_string());
+        }
+    }
+
+    /// The live connection to a shard, opening one (nonblocking) when
+    /// none exists. `None` when the connect cannot even start.
+    fn ensure_backend(&mut self, shard: u16) -> Option<u64> {
+        if let Some(&btoken) = self.by_shard.get(&shard) {
+            if self.backends.contains_key(&btoken) {
+                return Some(btoken);
+            }
+            self.by_shard.remove(&shard);
+        }
+        let addr = self.shared.shard(shard).addr;
+        let stream = connect_nonblocking(addr).ok()?;
+        let _ = stream.set_nodelay(true);
+        let btoken = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(stream.as_raw_fd(), btoken, Interest::BOTH)
+            .is_err()
+        {
+            return None;
+        }
+        self.backends.insert(
+            btoken,
+            BackendConn {
+                stream,
+                shard,
+                decoder: FrameDecoder::new(PROTOCOL_VERSION, MAX_FRAME),
+                writes: WriteQueue::new(),
+                interest: Interest::BOTH,
+                connecting: true,
+                pending: HashSet::new(),
+            },
+        );
+        self.by_shard.insert(shard, btoken);
+        Some(btoken)
+    }
+
+    fn on_backend_event(&mut self, btoken: u64, readable: bool, writable: bool, hangup: bool) {
+        let connecting = self.backends.get(&btoken).is_some_and(|b| b.connecting);
+        if connecting && (writable || hangup) {
+            let outcome = self
+                .backends
+                .get(&btoken)
+                .map(|b| connect_outcome(&b.stream));
+            match outcome {
+                Some(Ok(())) => {
+                    if let Some(b) = self.backends.get_mut(&btoken) {
+                        b.connecting = false;
+                    }
+                }
+                Some(Err(e)) => {
+                    self.backend_failed(btoken, &format!("shard connect failed: {e}"));
+                    return;
+                }
+                None => return,
+            }
+        }
+        if writable {
+            self.flush_backend(btoken);
+        }
+        if readable {
+            self.backend_readable(btoken);
+        }
+        if hangup && !readable {
+            self.backend_failed(btoken, "connection reset");
+        }
+    }
+
+    fn flush_backend(&mut self, btoken: u64) {
+        let flushed = {
+            let Some(b) = self.backends.get_mut(&btoken) else {
+                return;
+            };
+            if b.connecting {
+                // Mid-handshake: the frame stays queued until the
+                // connect resolves.
+                Ok(false)
+            } else {
+                b.writes.flush_to(&mut b.stream)
+            }
+        };
+        match flushed {
+            Ok(_) => self.update_backend_interest(btoken),
+            Err(e) => self.backend_failed(btoken, &format!("frame io: {e}")),
+        }
+    }
+
+    fn update_backend_interest(&mut self, btoken: u64) {
+        let modify = {
+            let Some(b) = self.backends.get_mut(&btoken) else {
+                return;
+            };
+            let want = Interest {
+                readable: true,
+                writable: b.connecting || !b.writes.is_empty(),
+            };
+            if want.readable != b.interest.readable || want.writable != b.interest.writable {
+                b.interest = want;
+                Some((b.stream.as_raw_fd(), want))
+            } else {
+                None
+            }
+        };
+        if let Some((fd, want)) = modify {
+            if self.poller.modify(fd, btoken, want).is_err() {
+                self.backend_failed(btoken, "poller modify failed");
+            }
+        }
+    }
+
+    fn backend_readable(&mut self, btoken: u64) {
+        let budget = self.shared.cfg.read_budget.max(1);
+        let filled: Result<bool, String> = {
+            let Some(b) = self.backends.get_mut(&btoken) else {
+                return;
+            };
+            match b.decoder.fill_from(&mut b.stream, budget) {
+                Ok((_, eof)) => Ok(eof),
+                Err(e) => Err(format!("frame io: {e}")),
+            }
+        };
+        let eof = match filled {
+            Ok(eof) => eof,
+            Err(why) => {
+                self.backend_failed(btoken, &why);
+                return;
+            }
+        };
+        loop {
+            let frame = {
+                let Some(b) = self.backends.get_mut(&btoken) else {
+                    return;
+                };
+                b.decoder.next_frame()
+            };
+            match frame {
+                Ok(Some(payload)) => match decode_payload::<Response>(&payload) {
+                    Ok(resp) => self.on_backend_response(btoken, resp),
+                    Err(e) => {
+                        self.backend_failed(btoken, &e.to_string());
+                        return;
+                    }
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    self.backend_failed(btoken, &FrameError::from(e).to_string());
+                    return;
+                }
+            }
+        }
+        if eof {
+            self.backend_failed(btoken, &FrameError::Closed.to_string());
+        }
+    }
+
+    fn on_timer(&mut self, key: u64) {
+        let id = key & !TAG_MASK;
+        match key & TAG_MASK {
+            TAG_STALL => {
+                let stalled = self
+                    .clients
+                    .get(&id)
+                    .is_some_and(|c| c.decoder.mid_frame() && !c.closing);
+                if stalled {
+                    self.stall_out(id);
+                }
+            }
+            TAG_REFUSE => {
+                let waiting = self
+                    .clients
+                    .get(&id)
+                    .is_some_and(|c| c.refusing && !c.closing);
+                if waiting {
+                    self.refuse(id);
+                }
+            }
+            TAG_RETRY => self.attempt_forward(id),
+            TAG_DEADLINE => {
+                // Over-deadline: forget the pending id on its backend
+                // (a late answer is dropped by id — the connection
+                // itself stays up and synchronized) and fail over.
+                let target = self.forwards.get(&id).map(|f| f.target);
+                if let Some(target) = target {
+                    if let Some(&btoken) = self.by_shard.get(&target) {
+                        if let Some(b) = self.backends.get_mut(&btoken) {
+                            b.pending.remove(&id);
+                        }
+                    }
+                    self.fail_attempt(id, REASON_STALL, FrameError::Stalled.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Post-drain epilogue: deliver what the broadcast threads owe,
+    /// flush every client socket under a bounded grace period, then
+    /// drop everything (closing all fds).
+    fn final_flush(&mut self) {
+        let grace = Instant::now() + Duration::from_secs(2);
+        let mut events = Vec::new();
+        loop {
+            self.wake_rx.drain();
+            self.deliver_completions();
+            let owed: Vec<u64> = self
+                .clients
+                .iter()
+                .filter(|(_, c)| !c.writes.is_empty())
+                .map(|(&t, _)| t)
+                .collect();
+            for token in owed {
+                self.flush_client(token);
+            }
+            let done = self.clients.values().all(|c| c.writes.is_empty())
+                && lock(&self.completions.ready).is_empty();
+            if done || Instant::now() >= grace {
+                return;
+            }
+            events.clear();
+            let _ = self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(20)));
         }
     }
 }
@@ -914,9 +1828,9 @@ fn free_loopback_addr() -> std::io::Result<SocketAddr> {
 pub struct ClusterFront {
     shared: Arc<ClusterShared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    completions: Arc<Completions>,
     final_stats: Option<ClusterStats>,
 }
 
@@ -926,8 +1840,9 @@ impl ClusterFront {
     ///
     /// # Errors
     ///
-    /// Bind/spawn failures, or a spawned shard that never became
-    /// healthy inside `spawn_ready_timeout_ms`.
+    /// Bind/spawn failures, a spawned shard that never became healthy
+    /// inside `spawn_ready_timeout_ms`, or the reactor's poller/waker
+    /// plumbing failing to come up.
     pub fn start(cfg: ClusterConfig, backends: Vec<ShardBackendSpec>) -> std::io::Result<Self> {
         if backends.is_empty() {
             return Err(std::io::Error::new(
@@ -997,6 +1912,7 @@ impl ClusterFront {
         }
 
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let ring = HashRing::new(shards.iter().map(|s| s.id));
         let shared = Arc::new(ClusterShared {
@@ -1005,39 +1921,35 @@ impl ClusterFront {
             shards,
             running: AtomicBool::new(true),
             accept_stop: AtomicBool::new(false),
+            inflight_broadcasts: AtomicU64::new(0),
             counters: ClusterCounters::default(),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conns);
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(mut stream) = stream else { continue };
-                if !accept_shared.running.load(Ordering::SeqCst) {
-                    // Draining: typed refusal instead of a hang. Read
-                    // the client's first frame (bounded) before
-                    // refusing, so the close never races the client's
-                    // own write into a reset that discards the refusal.
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
-                    let deadline = Instant::now() + Duration::from_millis(500);
-                    let _ =
-                        read_frame_idle::<Request, _, _>(&mut stream, || Instant::now() < deadline);
-                    let _ = write_frame(
-                        &mut stream,
-                        &Response::rejected(0, "cluster front is draining; connection refused"),
-                    );
-                    continue;
-                }
-                let conn_shared = Arc::clone(&accept_shared);
-                let handle = std::thread::spawn(move || front_conn_loop(&conn_shared, stream));
-                lock(&accept_conns).push(handle);
-            }
+        let (waker, wake_rx) = wake_pair()?;
+        let completions = Arc::new(Completions {
+            ready: Mutex::new(Vec::new()),
+            waker,
         });
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        poller.register(wake_rx.raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
+        let mut reactor = FrontReactor {
+            shared: Arc::clone(&shared),
+            completions: Arc::clone(&completions),
+            listener,
+            poller,
+            // 1ms granularity: retry backoffs and forward deadlines are
+            // millisecond-scale; 512 slots keep the sweep cheap.
+            timers: TimerWheel::new(Duration::from_millis(1), 512),
+            wake_rx,
+            clients: HashMap::new(),
+            backends: HashMap::new(),
+            by_shard: HashMap::new(),
+            forwards: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            next_fwd: 1,
+        };
+        let reactor = std::thread::spawn(move || reactor.run());
 
         let prober_shared = Arc::clone(&shared);
         let prober = std::thread::spawn(move || prober_loop(&prober_shared));
@@ -1045,9 +1957,9 @@ impl ClusterFront {
         Ok(Self {
             shared,
             local_addr,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             prober: Some(prober),
-            conns,
+            completions,
             final_stats: None,
         })
     }
@@ -1124,6 +2036,12 @@ impl ClusterFront {
         self.drain()
     }
 
+    /// Flips the front into draining mode without blocking: new
+    /// connections get a typed `Rejected`, in-flight forwards finish.
+    pub fn initiate_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
     fn drain(&mut self) -> ClusterStats {
         self.shared.begin_shutdown();
         // Stop the supervisor first: a respawn racing the shard
@@ -1131,17 +2049,14 @@ impl ClusterFront {
         if let Some(prober) = self.prober.take() {
             let _ = prober.join();
         }
-        // The acceptor keeps refusing new connections (typed) while
-        // in-flight connections finish; then it exits and the
-        // connection list is stable.
+        // Now stop the reactor. It keeps running until in-flight
+        // forwards and broadcasts are answered (refusing new
+        // connections with a typed `Rejected` the whole time), runs its
+        // final flush, and exits.
         self.shared.accept_stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        let conn_handles: Vec<_> = lock(&self.conns).drain(..).collect();
-        for conn in conn_handles {
-            let _ = conn.join();
+        self.completions.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         // Collect every shard's final stats, then drain the shards
         // themselves.
@@ -1237,6 +2152,7 @@ mod tests {
             shards,
             running: AtomicBool::new(true),
             accept_stop: AtomicBool::new(false),
+            inflight_broadcasts: AtomicU64::new(0),
             counters: ClusterCounters::default(),
         }
     }
@@ -1312,5 +2228,34 @@ mod tests {
         let json = serde_json::to_string(&stats).unwrap();
         let back: ClusterStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn cluster_config_builder_validates_every_knob() {
+        let cfg = ClusterConfig::builder()
+            .read_timeout_ms(50)
+            .retries(2)
+            .max_connections(128)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.read_timeout_ms, 50);
+        assert_eq!(cfg.retries, 2);
+        assert_eq!(cfg.max_connections, 128);
+        let err = ClusterConfig::builder().retries(0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::BadConfig {
+                field: "retries",
+                ..
+            }
+        ));
+        let err = ClusterConfig::builder().read_budget(0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::BadConfig {
+                field: "read_budget",
+                ..
+            }
+        ));
     }
 }

@@ -17,6 +17,10 @@
 //!   worker watchdog + graceful drain-on-shutdown;
 //! - [`client`] — a small blocking client with capped, seeded-jitter
 //!   retries, used by the `gnnmls client` CLI and the tests;
+//! - [`api`] — the unified serving facade: the [`api::ServeError`]
+//!   taxonomy (every non-`Ok` wire outcome as one typed error with
+//!   `retry_after_ms` first-class) and the typed [`api::Client`] whose
+//!   per-request-kind methods return typed payloads;
 //! - [`ring`] — the consistent-hash ring that maps a `SessionSpec` to
 //!   its primary (and deterministic secondary) backend shard;
 //! - [`cluster`] — the `gnnmls serve --cluster` front tier: spawns and
@@ -46,6 +50,7 @@
 )]
 
 pub mod admission;
+pub mod api;
 pub mod client;
 pub mod cluster;
 pub mod loadgen;
@@ -55,8 +60,12 @@ pub mod server;
 pub mod zoobench;
 
 pub use admission::{request_cost, validate_request, AdmissionMeter};
+pub use api::{classify, Inference, ServeError};
 pub use client::{Client, ClientError, RetryPolicy};
-pub use cluster::{ClusterConfig, ClusterFront, ClusterStats, ShardStats, CLUSTER_STATS_STAGE};
+pub use cluster::{
+    ClusterConfig, ClusterConfigBuilder, ClusterFront, ClusterStats, ShardStats,
+    CLUSTER_STATS_STAGE,
+};
 pub use loadgen::{run_cluster_bench, ClusterBenchConfig, ClusterBenchReport};
 pub use protocol::{
     read_frame, read_frame_idle, write_frame, FrameError, HealthStatus, QuarantineInfo, Request,

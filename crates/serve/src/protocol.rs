@@ -102,6 +102,17 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
+impl From<gnnmls_reactor::DecodeError> for FrameError {
+    fn from(e: gnnmls_reactor::DecodeError) -> Self {
+        match e {
+            gnnmls_reactor::DecodeError::Version { got, want } => {
+                FrameError::VersionMismatch { got, want }
+            }
+            gnnmls_reactor::DecodeError::TooLarge { len, max } => FrameError::TooLarge { len, max },
+        }
+    }
+}
+
 /// What a [`Request`] asks the daemon to do.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RequestKind {
@@ -493,6 +504,23 @@ impl Response {
 /// [`FrameError::TooLarge`] when the encoded payload exceeds
 /// [`MAX_FRAME`], [`FrameError::Io`] on socket failure.
 pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> Result<(), FrameError> {
+    let frame = encode_msg(msg)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Encodes one message into a complete wire frame (version byte,
+/// length, payload) without writing it anywhere — the reactor loop
+/// queues the returned bytes on a [`gnnmls_reactor::WriteQueue`]. The
+/// [`gnnmls_faults::FaultSite::FrameCorrupt`] seam lives here, shared
+/// with [`write_frame`], so corruption tests drive both transports.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the encoded payload exceeds
+/// [`MAX_FRAME`]; [`FrameError::Malformed`] when serialization fails.
+pub fn encode_msg<T: Serialize>(msg: &T) -> Result<Vec<u8>, FrameError> {
     let json = serde_json::to_string(msg).map_err(|e| FrameError::Malformed(e.to_string()))?;
     let mut payload = json.into_bytes();
     if payload.len() > MAX_FRAME {
@@ -507,12 +535,22 @@ pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> Result<(), Fra
             *b ^= 0x20;
         }
     }
-    let len = payload.len() as u32;
-    w.write_all(&[PROTOCOL_VERSION])?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(&payload)?;
-    w.flush()?;
-    Ok(())
+    Ok(gnnmls_reactor::encode_frame(PROTOCOL_VERSION, &payload))
+}
+
+/// Decodes one frame payload (as produced by
+/// [`gnnmls_reactor::FrameDecoder`]) into a typed message, with the
+/// exact same [`FrameError::Malformed`] strings the blocking reader
+/// produces — error-message parity is part of the wire contract.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] when the payload is not UTF-8 or not JSON
+/// for the expected schema.
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    let json =
+        std::str::from_utf8(payload).map_err(|_| FrameError::Malformed("not utf-8".into()))?;
+    serde_json::from_str(json).map_err(|e| FrameError::Malformed(e.to_string()))
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {
@@ -587,12 +625,7 @@ where
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    let json =
-        std::str::from_utf8(&payload).map_err(|_| FrameError::Malformed("not utf-8".into()))?;
-    match serde_json::from_str(json) {
-        Ok(v) => Ok(Some(v)),
-        Err(e) => Err(FrameError::Malformed(e.to_string())),
-    }
+    decode_payload(&payload).map(Some)
 }
 
 /// Reads one frame, blocking until it arrives or the stream fails.

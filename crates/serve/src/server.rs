@@ -1,16 +1,27 @@
-//! The serve daemon: acceptor, bounded job queue, worker pool, and the
-//! warm session cache.
+//! The serve daemon: a readiness-driven reactor for the I/O plane in
+//! front of a bounded job queue, worker pool, and warm session cache.
 //!
-//! One thread accepts connections; each connection gets a reader thread
-//! that parses frames and pushes jobs onto a
+//! One **reactor thread** owns every socket: it accepts nonblockingly,
+//! assembles frames incrementally (partial reads and partial writes
+//! are first-class, see [`gnnmls_reactor::FrameDecoder`] and
+//! [`gnnmls_reactor::WriteQueue`]), and pushes decoded requests onto a
 //! [`gnnmls_par::queue::BoundedQueue`]. The push **never blocks**: a
 //! full queue sheds the request with a typed `Busy` response, so memory
-//! use is bounded no matter how many clients pile on. A small worker
-//! pool pops jobs; when a worker picks up an `InferMls` job it drains
-//! whatever else is queued and coalesces the inference requests that
-//! share a session into **one** batched model forward pass
-//! ([`gnn_mls::GnnMls::predict_paths`]), splitting the probabilities
-//! back per request — bit-identical to serving them one by one.
+//! use is bounded no matter how many clients pile on — ten thousand
+//! idle connections cost ten thousand fd slots and small buffers, not
+//! ten thousand threads. Stall deadlines, drain-refusal grace periods,
+//! and the inference micro-batching window all live on one
+//! [`gnnmls_reactor::TimerWheel`] instead of per-connection timeouts.
+//! A small worker pool pops jobs behind the queue; when a worker picks
+//! up an `InferMls` job it drains whatever else is queued and coalesces
+//! the inference requests that share a session into **one** batched
+//! model forward pass ([`gnn_mls::GnnMls::predict_paths`]), splitting
+//! the probabilities back per request — bit-identical to serving them
+//! one by one. With [`ServeConfig::batch_window_us`] set, the reactor
+//! additionally holds same-spec inference jobs for that window so they
+//! flush into the queue back-to-back and coalesce deterministically.
+//! Workers hand finished responses back to the loop through a
+//! completion queue plus a self-pipe [`gnnmls_reactor::Waker`].
 //!
 //! Sessions are cached warm in an LRU keyed by
 //! [`SessionSpec::cache_key`]; a hit answers a what-if with a usage-map
@@ -46,10 +57,12 @@
 //! `gnnmls client metrics` against a draining daemon fails fast.
 
 use std::collections::{HashMap, VecDeque};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -59,11 +72,15 @@ use gnn_mls::AuditMode;
 use gnnmls_faults::{fire, FaultSite};
 use gnnmls_obs::FieldValue;
 use gnnmls_par::queue::{BoundedQueue, PushError};
+use gnnmls_reactor::{
+    wake_pair, FrameDecoder, Interest, Poller, TimerWheel, WakeReceiver, Waker, WriteQueue,
+};
 
 use crate::admission::{self, AdmissionMeter};
 use crate::protocol::{
-    read_frame_idle, write_frame, FrameError, HealthStatus, ModelSwapResult, QuarantineInfo,
-    Request, RequestKind, Response, ResponseKind, ServerStats, DEFAULT_INFER_PATHS,
+    decode_payload, encode_msg, FrameError, HealthStatus, ModelSwapResult, QuarantineInfo, Request,
+    RequestKind, Response, ResponseKind, ServerStats, DEFAULT_INFER_PATHS, MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 
 /// Stage name of the final drain checkpoint envelope.
@@ -85,6 +102,23 @@ static CACHE_MISSES: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
 static BATCH_SIZE: gnnmls_obs::Histogram = gnnmls_obs::Histogram::new(
     "gnnmls_serve_infer_batch_size",
     "inference requests coalesced into one model forward pass",
+    &[1, 2, 4, 8, 16, 32, 64],
+);
+static REACTOR_WAKEUPS: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_reactor_wakeups_total",
+    "times the serve event loop woke with at least one readiness event",
+);
+static REACTOR_ACCEPTS: gnnmls_obs::Counter = gnnmls_obs::Counter::new(
+    "gnnmls_reactor_accepts_total",
+    "connections accepted by the serve event loop",
+);
+static REACTOR_CONNECTIONS: gnnmls_obs::Gauge = gnnmls_obs::Gauge::new(
+    "gnnmls_reactor_connections",
+    "connections currently registered with the serve event loop",
+);
+static BATCH_WINDOW_FILL: gnnmls_obs::Histogram = gnnmls_obs::Histogram::new(
+    "gnnmls_serve_batch_window_fill",
+    "inference jobs accumulated when a micro-batching window flushed",
     &[1, 2, 4, 8, 16, 32, 64],
 );
 
@@ -123,6 +157,19 @@ pub struct ServeConfig {
     pub quarantine_cooldown_ms: u64,
     /// Seed for the quarantine jitter (deterministic across runs).
     pub quarantine_seed: u64,
+    /// Micro-batching window for `InferMls`, microseconds. When
+    /// non-zero the reactor holds same-spec inference jobs up to this
+    /// long so they enter the queue back-to-back and coalesce into one
+    /// forward pass; `0` (the default) pushes each job immediately and
+    /// leaves coalescing to opportunistic queue draining.
+    pub batch_window_us: u64,
+    /// Connections the reactor keeps open at once; a connection beyond
+    /// the cap is answered with a typed `Busy` and closed.
+    pub max_connections: usize,
+    /// Bytes read from one connection per readiness event — the
+    /// fairness cap that stops a firehose client from starving the
+    /// loop (leftovers are re-reported by level-triggered polling).
+    pub read_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +185,9 @@ impl Default for ServeConfig {
             quarantine_threshold: 3,
             quarantine_cooldown_ms: 5_000,
             quarantine_seed: 0x6d6c_735f_7365_7276,
+            batch_window_us: 0,
+            max_connections: 16_384,
+            read_budget: 64 * 1024,
         }
     }
 }
@@ -202,6 +252,12 @@ impl ServeConfigBuilder {
         quarantine_cooldown_ms: u64,
         /// Seed for the quarantine jitter.
         quarantine_seed: u64,
+        /// `InferMls` micro-batching window, µs (0 = immediate).
+        batch_window_us: u64,
+        /// Concurrent-connection cap.
+        max_connections: usize,
+        /// Bytes read per connection per readiness event.
+        read_budget: usize,
     }
 
     /// Validates every knob and returns the config.
@@ -235,6 +291,19 @@ impl ServeConfigBuilder {
         }
         if c.quarantine_cooldown_ms == 0 {
             return bad("quarantine_cooldown_ms", "0".to_string(), ">= 1");
+        }
+        if c.batch_window_us > 1_000_000 {
+            return bad(
+                "batch_window_us",
+                c.batch_window_us.to_string(),
+                "<= 1000000 (one second)",
+            );
+        }
+        if c.max_connections == 0 {
+            return bad("max_connections", "0".to_string(), ">= 1");
+        }
+        if c.read_budget == 0 {
+            return bad("read_budget", "0".to_string(), ">= 1");
         }
         Ok(c)
     }
@@ -363,9 +432,36 @@ struct Counters {
     audit_failures: AtomicU64,
 }
 
+/// The worker→reactor handoff: finished responses land here and the
+/// waker nudges the loop (which owns every socket) to flush them.
+/// The worker→reactor response channel: completed (connection token,
+/// response) pairs plus the waker that pulls the loop out of `wait`.
+/// Shared with the cluster front, whose broadcast threads use the same
+/// delivery path.
+pub(crate) struct Completions {
+    pub(crate) ready: Mutex<Vec<(u64, Response)>>,
+    pub(crate) waker: Waker,
+}
+
+/// Where a job's response goes: the completion queue of the reactor
+/// that owns connection `conn`. A response for a connection that
+/// vanished in the meantime is silently dropped by the loop — a
+/// vanished client is not a server problem.
+struct Reply {
+    conn: u64,
+    completions: Arc<Completions>,
+}
+
+impl Reply {
+    fn send(&self, resp: Response) {
+        lock(&self.completions.ready).push((self.conn, resp));
+        self.completions.waker.wake();
+    }
+}
+
 struct Job {
     req: Request,
-    reply: mpsc::Sender<Response>,
+    reply: Reply,
     /// Admission cost units held while this job is in flight; returned
     /// to the meter when the response is sent.
     cost: u64,
@@ -714,8 +810,7 @@ impl Shared {
             );
         }
         self.meter.release(job.cost);
-        // A vanished client is not a server problem.
-        let _ = job.reply.send(resp);
+        job.reply.send(resp);
     }
 
     fn what_if_response(&self, req: &Request) -> Response {
@@ -957,80 +1052,455 @@ fn watchdog_loop(shared: &Arc<Shared>, slots: &Arc<Vec<WorkerSlot>>) {
     }
 }
 
-fn conn_loop(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(
-        shared.cfg.read_timeout_ms.max(1),
-    )));
-    let _ = stream.set_nodelay(true);
-    loop {
-        // Deterministic stall seam: treat this connection as a wedged
-        // client without waiting out a real socket timeout.
-        if fire(FaultSite::SlowClientStall) {
-            let _ = write_frame(&mut stream, &Response::error(0, FrameError::Stalled));
-            return;
+/// Timer-key namespace tags (high byte) so one wheel serves every
+/// purpose without collisions: connection tokens stay below 2^56.
+const TAG_MASK: u64 = !((1u64 << 56) - 1);
+const TAG_STALL: u64 = 1 << 56;
+const TAG_REFUSE: u64 = 2 << 56;
+/// The single micro-batching window timer. All pending batches flush
+/// together when it fires, so every held job waits at most one window.
+const KEY_BATCH: u64 = 3 << 56;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Write backpressure: reading from a connection pauses while its
+/// unsent responses exceed this many bytes (the peer is not draining).
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// How long a connection accepted during a drain may idle before the
+/// typed refusal goes out even without a request frame.
+const DRAIN_REFUSE_MS: u64 = 500;
+
+/// One connection's state on the reactor.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    writes: WriteQueue,
+    interest: Interest,
+    /// Jobs admitted on behalf of this connection, not yet answered.
+    inflight: usize,
+    /// Accepted while draining: the first frame (or a timer) gets a
+    /// typed refusal and nothing is served.
+    refusing: bool,
+    /// Stop serving; close once the write queue drains and no job is
+    /// in flight.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            decoder: FrameDecoder::new(PROTOCOL_VERSION, MAX_FRAME),
+            writes: WriteQueue::new(),
+            interest: Interest::READABLE,
+            inflight: 0,
+            refusing: false,
+            closing: false,
         }
-        let req: Request =
-            match read_frame_idle(&mut stream, || shared.running.load(Ordering::SeqCst)) {
-                Ok(Some(req)) => req,
-                Ok(None) | Err(FrameError::Closed) => return,
-                Err(e @ FrameError::Malformed(_)) => {
-                    // The length prefix already consumed the bad payload,
-                    // so the stream is still frame-aligned: answer with a
-                    // typed error and keep serving this client.
-                    if write_frame(&mut stream, &Response::error(0, e)).is_err() {
-                        return;
+    }
+}
+
+/// The readiness-driven I/O plane: one thread, every socket. Decodes
+/// requests, runs connection-level admission, pushes jobs, and flushes
+/// the responses workers hand back through the completion queue.
+struct Reactor {
+    shared: Arc<Shared>,
+    completions: Arc<Completions>,
+    listener: TcpListener,
+    poller: Poller,
+    timers: TimerWheel,
+    wake_rx: WakeReceiver,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// `InferMls` jobs held for the batching window, keyed by spec
+    /// cache key so a flush enters the queue as one contiguous run.
+    batches: HashMap<u64, Vec<Job>>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        let mut fired: Vec<u64> = Vec::new();
+        loop {
+            if self.shared.accept_stop.load(Ordering::SeqCst) {
+                self.final_flush();
+                return;
+            }
+            // Cap the sleep so a lost wakeup can only ever delay — not
+            // deadlock — a drain.
+            let timeout = self
+                .timers
+                .next_deadline()
+                .map_or(Duration::from_millis(500), |dl| {
+                    dl.saturating_duration_since(Instant::now())
+                })
+                .min(Duration::from_millis(500));
+            events.clear();
+            let n = self.poller.wait(&mut events, Some(timeout)).unwrap_or(0);
+            if n > 0 {
+                REACTOR_WAKEUPS.inc();
+            }
+            for ev in &events {
+                let (token, readable, writable, hangup) =
+                    (ev.token, ev.readable, ev.writable, ev.hangup);
+                match token {
+                    TOKEN_LISTENER => self.on_accept(),
+                    TOKEN_WAKER => {
+                        self.wake_rx.drain();
+                        self.deliver_completions();
                     }
-                    continue;
+                    _ => self.on_conn_event(token, readable, writable, hangup),
                 }
-                Err(e) => {
-                    // Oversized, truncated, stalled, or broken: the
-                    // stream cannot be trusted to be frame-aligned any
-                    // more. One best-effort typed error, then close.
-                    let _ = write_frame(&mut stream, &Response::error(0, e));
+            }
+            fired.clear();
+            self.timers.pop_expired(Instant::now(), &mut fired);
+            for &key in &fired {
+                self.on_timer(key);
+            }
+        }
+    }
+
+    fn on_accept(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            REACTOR_ACCEPTS.inc();
+            let token = self.next_token;
+            self.next_token += 1;
+            let mut conn = Conn::new(stream);
+            if self
+                .poller
+                .register(conn.stream.as_raw_fd(), token, Interest::READABLE)
+                .is_err()
+            {
+                continue;
+            }
+            REACTOR_CONNECTIONS.add(1);
+            if !self.shared.running.load(Ordering::SeqCst) {
+                // Draining: wait (bounded) for the client's first frame
+                // and answer it with a typed refusal — refusing before
+                // the client writes would race a TCP reset that
+                // discards the refusal before the client reads it.
+                conn.refusing = true;
+                self.conns.insert(token, conn);
+                self.timers
+                    .schedule_after(TAG_REFUSE | token, Duration::from_millis(DRAIN_REFUSE_MS));
+                continue;
+            }
+            if self.conns.len() >= self.shared.cfg.max_connections.max(1) {
+                gnnmls_obs::counter_add("gnnmls_serve_conn_limited_total", &[], 1);
+                conn.closing = true;
+                self.conns.insert(token, conn);
+                self.send(token, &Response::busy(0));
+                continue;
+            }
+            self.conns.insert(token, conn);
+            // Deterministic stall seam: treat this connection as a
+            // wedged client without waiting out a real timeout.
+            if fire(FaultSite::SlowClientStall) {
+                self.stall_out(token);
+            }
+        }
+    }
+
+    /// Answers with a typed stall notice and closes — the reactor's
+    /// rendering of the old mid-frame read timeout.
+    fn stall_out(&mut self, token: u64) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.closing = true;
+        }
+        self.send(token, &Response::error(0, FrameError::Stalled));
+    }
+
+    /// Encodes and queues one response on `token`, then flushes as much
+    /// as the socket accepts. A gone connection swallows the response.
+    fn send(&mut self, token: u64, resp: &Response) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match encode_msg(resp) {
+            Ok(frame) => conn.writes.push(frame),
+            // An unencodable response mirrors a failed blocking
+            // write_frame: the connection is torn down.
+            Err(_) => {
+                self.close_conn(token);
+                return;
+            }
+        }
+        self.flush_conn(token);
+    }
+
+    fn flush_conn(&mut self, token: u64) {
+        let flushed = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.writes.flush_to(&mut conn.stream)
+        };
+        match flushed {
+            Ok(_) => self.settle(token),
+            Err(_) => self.close_conn(token),
+        }
+    }
+
+    /// Closes a finished connection or re-syncs its poll interest.
+    fn settle(&mut self, token: u64) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        if conn.closing && conn.writes.is_empty() && conn.inflight == 0 {
+            self.close_conn(token);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = Interest {
+            readable: !conn.closing && conn.writes.buffered() < WRITE_HIGH_WATER,
+            writable: !conn.writes.is_empty(),
+        };
+        if want.readable != conn.interest.readable || want.writable != conn.interest.writable {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, token, want).is_err() {
+                self.close_conn(token);
+                return;
+            }
+            conn.interest = want;
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.timers.cancel(TAG_STALL | token);
+            self.timers.cancel(TAG_REFUSE | token);
+            REACTOR_CONNECTIONS.add(-1);
+        }
+    }
+
+    fn on_conn_event(&mut self, token: u64, readable: bool, writable: bool, hangup: bool) {
+        if writable {
+            self.flush_conn(token);
+        }
+        if readable {
+            self.on_readable(token);
+        }
+        if hangup && !readable {
+            // ERR/HUP with nothing left to read: the peer is gone for
+            // good, pending work is undeliverable.
+            self.close_conn(token);
+        }
+    }
+
+    fn on_readable(&mut self, token: u64) {
+        let budget = self.shared.cfg.read_budget.max(1);
+        let eof = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.closing || conn.writes.buffered() >= WRITE_HIGH_WATER {
+                return;
+            }
+            match conn.decoder.fill_from(&mut conn.stream, budget) {
+                Ok((_, eof)) => eof,
+                Err(_) => {
+                    self.close_conn(token);
                     return;
                 }
+            }
+        };
+        // Decode every complete frame buffered so far.
+        loop {
+            let (payload, refusing) = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.closing {
+                    break;
+                }
+                match conn.decoder.next_frame() {
+                    Ok(Some(payload)) => (payload, conn.refusing),
+                    Ok(None) => break,
+                    Err(e) => {
+                        // The stream is no longer frame-aligned: one
+                        // typed error, then close (mirrors the blocking
+                        // reader's oversized/version paths).
+                        conn.closing = true;
+                        self.send(token, &Response::error(0, FrameError::from(e)));
+                        break;
+                    }
+                }
             };
-        if req.kind == RequestKind::Shutdown {
-            let _ = write_frame(&mut stream, &Response::ok(req.id));
-            shared.begin_shutdown();
+            if refusing {
+                self.refuse(token);
+            } else {
+                self.handle_payload(token, payload);
+            }
+        }
+        if eof {
+            let truncated = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                let truncated = conn.decoder.mid_frame() && !conn.refusing && !conn.closing;
+                conn.closing = true;
+                truncated
+            };
+            if truncated {
+                // One best-effort typed error for a peer that vanished
+                // mid-frame; pending responses still flush first.
+                self.send(token, &Response::error(0, FrameError::Truncated));
+            }
+        }
+        // Stall deadline: armed only while a frame is partially read —
+        // an idle connection between frames never times out.
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        let (mid, closing) = (conn.decoder.mid_frame(), conn.closing);
+        if mid && !closing {
+            self.timers.schedule_after(
+                TAG_STALL | token,
+                Duration::from_millis(self.shared.cfg.read_timeout_ms.max(1)),
+            );
+        } else {
+            self.timers.cancel(TAG_STALL | token);
+        }
+        self.settle(token);
+    }
+
+    /// Sends the typed drain refusal on a connection accepted while the
+    /// daemon is shutting down.
+    fn refuse(&mut self, token: u64) {
+        self.timers.cancel(TAG_REFUSE | token);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.closing = true;
+        }
+        gnnmls_obs::counter_add("gnnmls_serve_drain_refused_total", &[], 1);
+        self.send(
+            token,
+            &Response::rejected(0, "server is draining; connection refused"),
+        );
+    }
+
+    fn on_timer(&mut self, key: u64) {
+        if key == KEY_BATCH {
+            self.flush_batches();
             return;
         }
-        // Health and Metrics are answered inline (never queued), so
-        // they work even when the queue is full or the workers are
-        // wedged — a scraper can always see a saturated daemon.
-        if req.kind == RequestKind::Health {
-            let resp = Response::ok(req.id).with_health(shared.health());
-            if write_frame(&mut stream, &resp).is_err() {
-                return;
+        let token = key & !TAG_MASK;
+        match key & TAG_MASK {
+            TAG_STALL => {
+                let stalled = self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|c| c.decoder.mid_frame() && !c.closing);
+                if stalled {
+                    self.stall_out(token);
+                }
             }
-            continue;
+            TAG_REFUSE => {
+                let waiting = self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|c| c.refusing && !c.closing);
+                if waiting {
+                    self.refuse(token);
+                }
+            }
+            _ => {}
         }
-        if req.kind == RequestKind::Metrics {
-            let resp = Response::ok(req.id).with_metrics(gnn_mls::api::metrics());
-            if write_frame(&mut stream, &resp).is_err() {
-                return;
+    }
+
+    /// Routes worker responses back to the connections that asked.
+    fn deliver_completions(&mut self) {
+        let ready = std::mem::take(&mut *lock(&self.completions.ready));
+        for (token, resp) in ready {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.inflight = conn.inflight.saturating_sub(1);
             }
-            continue;
+            self.send(token, &resp);
+            // A closing connection whose last response just left is
+            // reaped here rather than waiting for another event.
+            self.settle(token);
         }
-        // LoadModel is answered inline too: an operator must be able to
-        // roll a model while the queue is full. The swap itself is a
-        // checkpoint read + restore — bounded work, no session build.
-        if req.kind == RequestKind::LoadModel {
-            let resp = shared.load_model_response(&req);
-            if write_frame(&mut stream, &resp).is_err() {
+    }
+
+    /// Connection-level dispatch for one decoded frame. Inline kinds
+    /// are answered on the loop; the rest run admission and take a
+    /// queue slot (or a batching-window seat).
+    fn handle_payload(&mut self, token: u64, payload: Vec<u8>) {
+        // Deterministic stall seam, same cadence as the threaded
+        // server: checked once per incoming request.
+        if fire(FaultSite::SlowClientStall) {
+            self.stall_out(token);
+            return;
+        }
+        let req: Request = match decode_payload(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // The length prefix already consumed the bad payload,
+                // so the stream is still frame-aligned: answer with a
+                // typed error and keep serving this client.
+                self.send(token, &Response::error(0, e));
                 return;
             }
-            continue;
+        };
+        let shared = Arc::clone(&self.shared);
+        match req.kind {
+            RequestKind::Shutdown => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.closing = true;
+                }
+                self.send(token, &Response::ok(req.id));
+                shared.begin_shutdown();
+                return;
+            }
+            // Health and Metrics are answered on the loop (never
+            // queued), so they work even when the queue is full or the
+            // workers are wedged — a scraper can always see a
+            // saturated daemon.
+            RequestKind::Health => {
+                self.send(token, &Response::ok(req.id).with_health(shared.health()));
+                return;
+            }
+            RequestKind::Metrics => {
+                let resp = Response::ok(req.id).with_metrics(gnn_mls::api::metrics());
+                self.send(token, &resp);
+                return;
+            }
+            // LoadModel too: an operator must be able to roll a model
+            // while the queue is full. The swap itself is a checkpoint
+            // read + restore — bounded work, no session build.
+            RequestKind::LoadModel => {
+                let resp = shared.load_model_response(&req);
+                self.send(token, &resp);
+                return;
+            }
+            _ => {}
         }
         // Admission control: deep-validate before the request can cost
         // a queue slot or the build lock. Rejections are permanent.
         if let Err(e) = admission::validate_request(&req) {
             shared.counters.rejected.fetch_add(1, Ordering::SeqCst);
             count_admission("rejected");
-            if write_frame(&mut stream, &Response::rejected(req.id, e)).is_err() {
-                return;
-            }
-            continue;
+            self.send(token, &Response::rejected(req.id, e));
+            return;
         }
         // Circuit breaker: refuse a quarantined spec up front instead
         // of letting it queue up behind the build lock. (Re-checked in
@@ -1041,10 +1511,8 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
                 shared.counters.quarantined.fetch_add(1, Ordering::SeqCst);
                 count_admission("quarantined");
                 let resp = Shared::quarantined_response(req.id, strikes, remaining_ms);
-                if write_frame(&mut stream, &resp).is_err() {
-                    return;
-                }
-                continue;
+                self.send(token, &resp);
+                return;
             }
         }
         // Cost metering: shed when admitting would blow the budget.
@@ -1054,44 +1522,132 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
             shared.counters.busy.fetch_add(1, Ordering::SeqCst);
             shared.counters.shed.fetch_add(1, Ordering::SeqCst);
             count_admission("shed");
-            if write_frame(&mut stream, &Response::busy(req.id)).is_err() {
-                return;
-            }
-            continue;
+            self.send(token, &Response::busy(req.id));
+            return;
         }
         let id = req.id;
-        let (tx, rx) = mpsc::channel();
-        match shared.queue.try_push(Job {
+        let batch_key = (req.kind == RequestKind::InferMls && shared.cfg.batch_window_us > 0)
+            .then(|| req.spec.cache_key());
+        let job = Job {
             req,
-            reply: tx,
+            reply: Reply {
+                conn: token,
+                completions: Arc::clone(&self.completions),
+            },
             cost,
             enqueued_at: Instant::now(),
-        }) {
+        };
+        if let Some(key) = batch_key {
+            // Batching window: hold the job so same-spec inference
+            // enters the queue back-to-back and coalesces into one
+            // forward pass regardless of worker timing.
+            self.batches.entry(key).or_default().push(job);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.inflight += 1;
+            }
+            if !self.timers.is_armed(KEY_BATCH) {
+                self.timers
+                    .schedule_after(KEY_BATCH, Duration::from_micros(shared.cfg.batch_window_us));
+            }
+            return;
+        }
+        match shared.queue.try_push(job) {
             Ok(()) => {
                 count_admission("admitted");
-                let resp = rx.recv().unwrap_or_else(|_| {
-                    // The job died without an answer (worker lost mid
-                    // handling); its cost units were never returned.
-                    shared.meter.release(cost);
-                    Response::error(id, "server dropped the job")
-                });
-                if write_frame(&mut stream, &resp).is_err() {
-                    return;
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.inflight += 1;
                 }
             }
             Err((job, PushError::Full)) => {
                 shared.meter.release(job.cost);
                 shared.counters.busy.fetch_add(1, Ordering::SeqCst);
                 count_admission("busy");
-                if write_frame(&mut stream, &Response::busy(id)).is_err() {
-                    return;
-                }
+                self.send(token, &Response::busy(id));
             }
             Err((job, PushError::Closed)) => {
                 shared.meter.release(job.cost);
-                let _ = write_frame(&mut stream, &Response::error(id, "server is shutting down"));
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.closing = true;
+                }
+                self.send(token, &Response::error(id, "server is shutting down"));
+            }
+        }
+    }
+
+    /// Pushes every held micro-batch into the queue as one atomic run.
+    /// A refused batch is shed with the same per-request accounting the
+    /// immediate path uses.
+    fn flush_batches(&mut self) {
+        let batches = std::mem::take(&mut self.batches);
+        for (_, jobs) in batches {
+            BATCH_WINDOW_FILL.observe(jobs.len() as u64);
+            let n = jobs.len() as u64;
+            match self.shared.queue.try_push_all(jobs) {
+                Ok(()) => {
+                    gnnmls_obs::counter_add(
+                        "gnnmls_serve_admission_total",
+                        &[("verdict", "admitted")],
+                        n,
+                    );
+                }
+                Err((jobs, PushError::Full)) => {
+                    for job in jobs {
+                        self.shared.meter.release(job.cost);
+                        self.shared.counters.busy.fetch_add(1, Ordering::SeqCst);
+                        count_admission("busy");
+                        let (id, token) = (job.req.id, job.reply.conn);
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.inflight = conn.inflight.saturating_sub(1);
+                        }
+                        self.send(token, &Response::busy(id));
+                        self.settle(token);
+                    }
+                }
+                Err((jobs, PushError::Closed)) => {
+                    for job in jobs {
+                        self.shared.meter.release(job.cost);
+                        let (id, token) = (job.req.id, job.reply.conn);
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.inflight = conn.inflight.saturating_sub(1);
+                            conn.closing = true;
+                        }
+                        self.send(token, &Response::error(id, "server is shutting down"));
+                        self.settle(token);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-drain epilogue: the workers are joined, so every owed
+    /// response already sits in the completion queue. Deliver them,
+    /// flush each socket under a bounded grace period, then drop
+    /// everything (closing all fds).
+    fn final_flush(&mut self) {
+        self.flush_batches();
+        let grace = Instant::now() + Duration::from_secs(2);
+        let mut events = Vec::new();
+        loop {
+            self.wake_rx.drain();
+            self.deliver_completions();
+            let owed: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.writes.is_empty())
+                .map(|(&t, _)| t)
+                .collect();
+            for token in owed {
+                self.flush_conn(token);
+            }
+            let done = self.conns.values().all(|c| c.writes.is_empty())
+                && lock(&self.completions.ready).is_empty();
+            if done || Instant::now() >= grace {
                 return;
             }
+            events.clear();
+            let _ = self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(20)));
         }
     }
 }
@@ -1100,10 +1656,10 @@ fn conn_loop(shared: &Shared, mut stream: TcpStream) {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     slots: Arc<Vec<WorkerSlot>>,
     watchdog: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    completions: Arc<Completions>,
     final_stats: Option<ServerStats>,
 }
 
@@ -1112,9 +1668,11 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the bind error when the address is unavailable.
+    /// Returns the bind error when the address is unavailable, or when
+    /// the reactor's poller/waker plumbing cannot be created.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
@@ -1129,42 +1687,29 @@ impl Server {
             models: Mutex::new(HashMap::new()),
             cfg,
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conns);
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(mut stream) = stream else { continue };
-                if !accept_shared.running.load(Ordering::SeqCst) {
-                    // Draining: answer with a typed refusal instead of
-                    // leaving the connection to hang until the stall
-                    // timeout. The (bounded) read of the client's first
-                    // frame comes first — refuse-then-close while the
-                    // client is still writing would race a TCP reset
-                    // that discards the refusal before the client reads
-                    // it. The bounded timeouts keep a wedged client
-                    // from stalling the drain itself.
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
-                    let deadline = Instant::now() + Duration::from_millis(500);
-                    let _ =
-                        read_frame_idle::<Request, _, _>(&mut stream, || Instant::now() < deadline);
-                    let _ = write_frame(
-                        &mut stream,
-                        &Response::rejected(0, "server is draining; connection refused"),
-                    );
-                    gnnmls_obs::counter_add("gnnmls_serve_drain_refused_total", &[], 1);
-                    continue;
-                }
-                let conn_shared = Arc::clone(&accept_shared);
-                let handle = std::thread::spawn(move || conn_loop(&conn_shared, stream));
-                lock(&accept_conns).push(handle);
-            }
+        let (waker, wake_rx) = wake_pair()?;
+        let completions = Arc::new(Completions {
+            ready: Mutex::new(Vec::new()),
+            waker,
         });
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        poller.register(wake_rx.raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
+        let mut reactor = Reactor {
+            shared: Arc::clone(&shared),
+            completions: Arc::clone(&completions),
+            listener,
+            poller,
+            // 500µs granularity: fine enough for sub-millisecond batch
+            // windows, coarse enough that an idle wheel costs nothing.
+            timers: TimerWheel::new(Duration::from_micros(500), 512),
+            wake_rx,
+            conns: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            batches: HashMap::new(),
+        };
+        let reactor = std::thread::spawn(move || reactor.run());
 
         let slots: Arc<Vec<WorkerSlot>> =
             Arc::new((0..workers).map(|_| WorkerSlot::default()).collect());
@@ -1181,10 +1726,10 @@ impl Server {
         Ok(Self {
             shared,
             local_addr,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             slots,
             watchdog: Some(watchdog),
-            conns,
+            completions,
             final_stats: None,
         })
     }
@@ -1237,9 +1782,10 @@ impl Server {
             let _ = watchdog.join();
         }
         // Workers exit once the closed queue is empty — every queued job
-        // still gets its response (drain, not abort). The acceptor stays
+        // still gets its response (drain, not abort). The reactor stays
         // alive through this phase so late-arriving connections get a
-        // typed drain refusal instead of hanging.
+        // typed drain refusal instead of hanging, and so the answers
+        // the workers produce still reach their sockets.
         for slot in self.slots.iter() {
             let handle = lock(&slot.handle).take();
             if let Some(handle) = handle {
@@ -1253,17 +1799,12 @@ impl Server {
                     .respond(job, Response::error(id, "server is shutting down"));
             }
         }
-        // Now stop the acceptor; joining it first makes the connection
-        // list stable before the joins below.
+        // Now stop the reactor: it runs a final flush (delivering every
+        // completion queued above) before exiting.
         self.shared.accept_stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor's blocking accept.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        let conn_handles: Vec<_> = lock(&self.conns).drain(..).collect();
-        for conn in conn_handles {
-            let _ = conn.join();
+        self.completions.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         let stats = self.shared.server_stats(None);
         if let Some(dir) = &self.shared.cfg.checkpoint_dir {

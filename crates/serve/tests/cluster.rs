@@ -208,6 +208,72 @@ fn injected_fault_seams_are_absorbed_by_the_retry_path() {
     assert_eq!(stats.lost_after_retry, 0, "{stats:?}");
 }
 
+/// Value of `{metric}{{reason="{reason}"}}` in the exposition text, 0
+/// when the series has never been touched.
+fn failover_count(metrics: &str, reason: &str) -> u64 {
+    let series = format!("gnnmls_cluster_failovers_total{{reason=\"{reason}\"}}");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(series.as_str()))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Regression for the per-forward blocking-stream leak: a backend that
+/// stalls mid-forward must surface as a *typed* failover reason and be
+/// absorbed inside the request's retry budget — never parked as a
+/// thread blocked on a 2-minute read holding the backend stream. The
+/// timing asserts are the teeth: with the old leak, the answer waited
+/// out the stall and the drain waited out the parked thread.
+#[test]
+fn shard_stall_fails_over_typed_without_hung_threads() {
+    let _serial = serialize_tests();
+    let cfg = ClusterConfig::builder()
+        .probe_interval_ms(50)
+        .breaker_cooldown_ms(200)
+        .retry_base_ms(5)
+        .retry_max_ms(50)
+        .forward_timeout_ms(60_000)
+        .build()
+        .unwrap();
+    let (servers, front) = start_cluster(3, cfg);
+    let mut client = Client::connect(front.local_addr()).unwrap();
+    let r = client.what_if(&spec(), 0, true, None).unwrap();
+    assert_eq!(r.kind, ResponseKind::Ok);
+    let before = failover_count(&client.metrics().unwrap().metrics.unwrap(), "stall");
+
+    let guard = install(&FaultPlan::single(FaultSite::ShardStall, 1));
+    let t0 = Instant::now();
+    let r = client.what_if(&spec(), 1, true, None).unwrap();
+    let answered_in = t0.elapsed();
+    drop(guard);
+    assert_eq!(r.kind, ResponseKind::Ok, "stall must fail over: {r:?}");
+    assert!(
+        answered_in < Duration::from_secs(10),
+        "failover must not wait out the 60s forward timeout: {answered_in:?}"
+    );
+
+    let after = failover_count(&client.metrics().unwrap().metrics.unwrap(), "stall");
+    assert!(
+        after > before,
+        "stall failover must be counted under its typed reason \
+         (before {before}, after {after})"
+    );
+
+    // The drain is the leak detector: a thread still parked on the
+    // stalled forward's read would hold shutdown for the rest of the
+    // 60s timeout.
+    let t0 = Instant::now();
+    let stats = teardown(servers, front);
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "drain hung on a leaked forward: {:?}",
+        t0.elapsed()
+    );
+    assert!(stats.failovers >= 1, "{stats:?}");
+    assert_eq!(stats.lost_after_retry, 0, "{stats:?}");
+}
+
 #[test]
 fn drain_checkpoints_the_merged_envelope() {
     let _serial = serialize_tests();
